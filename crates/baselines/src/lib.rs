@@ -1,0 +1,20 @@
+//! Comparison baselines for the CellNPDP evaluation.
+//!
+//! * [`OriginalEngine`] — the unoptimized Fig. 1 triple loop (re-exported
+//!   from `npdp-core`): the denominator of Figures 10 and 11.
+//! * [`TanEngine`] — a from-scratch reimplementation of the state-of-the-art
+//!   scheme of Tan et al. (SC'06 / SPAA'07 / TPDS'09), the comparator of
+//!   Figure 12: row-major triangular layout + cache tiling + helper-thread
+//!   prefetching + *step parallelization* (one block at a time, all cores
+//!   cooperate inside the block). No SIMD computing blocks, no contiguous
+//!   block layout, barrier per block — exactly the structural reasons the
+//!   paper gives for TanNPDP's <4% processor utilization.
+//!
+//! The paper used the authors' original code; that code is not available, so
+//! this reimplementation follows the published algorithm description (see
+//! DESIGN.md's substitution table).
+
+pub mod tan;
+
+pub use npdp_core::SerialEngine as OriginalEngine;
+pub use tan::TanEngine;

@@ -1,0 +1,242 @@
+//! TanNPDP: tiling + helper threading + step parallelization on the
+//! row-major triangular layout.
+//!
+//! Algorithm shape (Tan et al., TPDS 2009, as described by the CellNPDP
+//! paper §II-B): the triangle is tiled so a block fits the shared cache;
+//! blocks are processed *one at a time* in dependence order; within a block,
+//! all cores cooperate — the bulk phase (split points `k` strictly between
+//! the block's row and column ranges, all operands final) is parallelized
+//! across the block's rows, then the block's inner dependences are resolved
+//! by a single thread. A helper-thread pass warms the next block's operands
+//! (on 2006-era hardware this hid cache-miss latency; on a modern host it is
+//! a hardware-prefetch hint at best, and is kept for structural fidelity,
+//! toggleable).
+
+use rayon::prelude::*;
+
+use npdp_core::{DpValue, Engine, TriangularMatrix};
+
+/// The TanNPDP baseline engine.
+#[derive(Debug, Clone, Copy)]
+pub struct TanEngine {
+    /// Tile side (chosen so ~3 tiles fit the shared cache; the paper uses
+    /// the same 32 KB as CellNPDP for the CPU comparison).
+    pub nb: usize,
+    /// Rayon threads; `None` uses the global pool.
+    pub threads: Option<usize>,
+    /// Emulate the helper-thread prefetch pass.
+    pub helper_threads: bool,
+}
+
+impl TanEngine {
+    /// TanNPDP with tiles of side `nb` on the global rayon pool.
+    pub fn new(nb: usize) -> Self {
+        assert!(nb > 0, "tile side must be positive");
+        Self {
+            nb,
+            threads: None,
+            helper_threads: true,
+        }
+    }
+
+    /// Pin the number of threads.
+    pub fn with_threads(nb: usize, threads: usize) -> Self {
+        assert!(nb > 0 && threads > 0);
+        Self {
+            nb,
+            threads: Some(threads),
+            helper_threads: true,
+        }
+    }
+
+    /// Disable the helper-thread emulation (ablation).
+    pub fn without_helper_threads(mut self) -> Self {
+        self.helper_threads = false;
+        self
+    }
+}
+
+/// Triangular table as a vector of rows (row `i` holds columns `i+1..n`),
+/// the layout TanNPDP shares with the original algorithm. Distinct rows can
+/// be mutated in parallel.
+struct Rows<T> {
+    n: usize,
+    rows: Vec<Vec<T>>,
+}
+
+impl<T: DpValue> Rows<T> {
+    fn from_triangular(src: &TriangularMatrix<T>) -> Self {
+        let n = src.n();
+        let rows = (0..n)
+            .map(|i| (i + 1..n).map(|j| src.get(i, j)).collect())
+            .collect();
+        Self { n, rows }
+    }
+
+    fn to_triangular(&self) -> TriangularMatrix<T> {
+        TriangularMatrix::from_fn(self.n, |i, j| self.rows[i][j - i - 1])
+    }
+
+    #[inline(always)]
+    fn get(&self, i: usize, j: usize) -> T {
+        self.rows[i][j - i - 1]
+    }
+
+    #[inline(always)]
+    fn set(&mut self, i: usize, j: usize, v: T) {
+        self.rows[i][j - i - 1] = v;
+    }
+}
+
+impl TanEngine {
+    fn solve_rows<T: DpValue>(&self, d: &mut Rows<T>) {
+        let n = d.n;
+        let nb = self.nb;
+        let m = n.div_ceil(nb).max(1);
+
+        for bj in 0..m {
+            for bi in (0..=bj).rev() {
+                let i_lo = bi * nb;
+                let i_hi = ((bi + 1) * nb).min(n);
+                let j_lo = bj * nb;
+                let j_hi = ((bj + 1) * nb).min(n);
+
+                if self.helper_threads {
+                    // Helper-thread emulation: touch the operand rows the
+                    // bulk phase will read, as the prefetch threads did.
+                    let mut sink = T::ZERO;
+                    for k in i_hi..j_lo {
+                        if let Some(&v) = d.rows[k].first() {
+                            sink = T::min2(sink, v);
+                        }
+                    }
+                    std::hint::black_box(sink);
+                }
+
+                // Bulk phase: k strictly between the block's row range and
+                // column range; all operands final. Parallel over the
+                // block's rows (each row is an independent mutable slice).
+                if bi < bj {
+                    let (head, tail) = d.rows.split_at_mut(i_hi);
+                    let block_rows = &mut head[i_lo..i_hi];
+                    let tail = &tail[..]; // shared view of rows ≥ i_hi
+                    block_rows.par_iter_mut().enumerate().for_each(|(off, row)| {
+                        let i = i_lo + off;
+                        for j in j_lo.max(i + 1)..j_hi {
+                            let mut best = row[j - i - 1];
+                            for k in i_hi..j_lo {
+                                // d[i][k] is in this very row; d[k][j] in a
+                                // shared, final row of the tail split.
+                                let a = row[k - i - 1];
+                                let b = tail[k - i_hi][j - k - 1];
+                                best = T::min2(best, a + b);
+                            }
+                            row[j - i - 1] = best;
+                        }
+                    });
+                }
+
+                // Inner-dependence phase: k inside the block's own row or
+                // column range — sequential, in the original flowchart
+                // order. (This serialization is a structural reason for
+                // TanNPDP's limited parallel efficiency.)
+                for j in j_lo..j_hi {
+                    for i in (i_lo..i_hi.min(j)).rev() {
+                        let mut best = d.get(i, j);
+                        for k in (i + 1)..i_hi.min(j) {
+                            best = T::min2(best, d.get(i, k) + d.get(k, j));
+                        }
+                        for k in j_lo.max(i + 1)..j {
+                            best = T::min2(best, d.get(i, k) + d.get(k, j));
+                        }
+                        d.set(i, j, best);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<T: DpValue> Engine<T> for TanEngine {
+    fn name(&self) -> &'static str {
+        "tan (tiling + helper threads + step parallelization)"
+    }
+
+    fn solve(&self, seeds: &TriangularMatrix<T>) -> TriangularMatrix<T> {
+        let mut d = Rows::from_triangular(seeds);
+        match self.threads {
+            None => self.solve_rows(&mut d),
+            Some(t) => {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(t)
+                    .build()
+                    .expect("failed to build rayon pool");
+                pool.install(|| self.solve_rows(&mut d));
+            }
+        }
+        d.to_triangular()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npdp_core::problem;
+
+    #[test]
+    fn tan_matches_serial() {
+        for n in [0, 1, 2, 9, 30, 64, 101] {
+            for nb in [4, 16, 64] {
+                let seeds = problem::random_seeds_f32(n, 100.0, (n + nb) as u64);
+                let a = OriginalRef.solve(&seeds);
+                let b = TanEngine::new(nb).solve(&seeds);
+                assert_eq!(a.first_difference(&b), None, "n={n} nb={nb}");
+            }
+        }
+    }
+
+    /// Local alias so the test reads like the comparison it performs.
+    struct OriginalRef;
+    impl<T: DpValue> Engine<T> for OriginalRef {
+        fn name(&self) -> &'static str {
+            "original"
+        }
+        fn solve(&self, seeds: &TriangularMatrix<T>) -> TriangularMatrix<T> {
+            npdp_core::SerialEngine.solve(seeds)
+        }
+    }
+
+    #[test]
+    fn tan_without_helpers_matches() {
+        let seeds = problem::random_seeds_f64(48, 10.0, 5);
+        let a = npdp_core::SerialEngine.solve(&seeds);
+        let b = TanEngine::new(16).without_helper_threads().solve(&seeds);
+        assert_eq!(a.first_difference(&b), None);
+    }
+
+    #[test]
+    fn tan_with_pinned_threads_matches() {
+        let seeds = problem::random_seeds_f32(75, 50.0, 8);
+        let a = npdp_core::SerialEngine.solve(&seeds);
+        let b = TanEngine::with_threads(16, 3).solve(&seeds);
+        assert_eq!(a.first_difference(&b), None);
+    }
+
+    #[test]
+    fn tan_handles_sparse_seeds() {
+        let seeds = problem::sparse_seeds_f32(40, 0.15, 4);
+        let a = npdp_core::SerialEngine.solve(&seeds);
+        let b = TanEngine::new(8).solve(&seeds);
+        assert_eq!(a.first_difference(&b), None);
+    }
+
+    #[test]
+    fn tan_deterministic_across_runs() {
+        let seeds = problem::random_seeds_f32(60, 100.0, 12);
+        let e = TanEngine::new(16);
+        let first = e.solve(&seeds);
+        for _ in 0..3 {
+            assert_eq!(first.first_difference(&e.solve(&seeds)), None);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! memory-block side, scheduling-block side, and task-queue vs wavefront
+//! barriers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use npdp_core::{problem, Engine, ParallelEngine, Scheduler, SimdEngine, WavefrontEngine};
+
+fn bench_block_side(c: &mut Criterion) {
+    // n divisible by every tested side (704 = 88·8 = 64·11 = 32·22 = 16·44).
+    let n = 704usize;
+    let seeds = problem::random_seeds_f32(n, 100.0, 9);
+    let mut g = c.benchmark_group("ablation_block_side");
+    g.sample_size(10);
+    for nb in [16usize, 32, 64, 88] {
+        g.bench_with_input(BenchmarkId::from_parameter(nb), &nb, |b, &nb| {
+            let e = SimdEngine::new(nb);
+            b.iter(|| e.solve(&seeds));
+        });
+    }
+    g.finish();
+}
+
+fn bench_scheduling_side(c: &mut Criterion) {
+    let n = 704usize;
+    let seeds = problem::random_seeds_f32(n, 100.0, 10);
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let mut g = c.benchmark_group("ablation_scheduling_side");
+    g.sample_size(10);
+    for sb in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(sb), &sb, |b, &sb| {
+            let e = ParallelEngine::new(32, sb, workers);
+            b.iter(|| e.solve(&seeds));
+        });
+    }
+    g.finish();
+}
+
+fn bench_queue_vs_wavefront(c: &mut Criterion) {
+    let n = 704usize;
+    let seeds = problem::random_seeds_f32(n, 100.0, 11);
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let mut g = c.benchmark_group("ablation_parallel_tier");
+    g.sample_size(10);
+    g.bench_function("task_queue", |b| {
+        let e = ParallelEngine::new(32, 2, workers);
+        b.iter(|| e.solve(&seeds));
+    });
+    g.bench_function("wavefront_barriers", |b| {
+        let e = WavefrontEngine::new(32);
+        b.iter(|| e.solve(&seeds));
+    });
+    g.bench_function("work_stealing", |b| {
+        let e = ParallelEngine::new(32, 2, workers).with_scheduler(Scheduler::WorkStealing);
+        b.iter(|| e.solve(&seeds));
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_block_side, bench_scheduling_side, bench_queue_vs_wavefront
+}
+criterion_main!(benches);

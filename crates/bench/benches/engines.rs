@@ -1,0 +1,57 @@
+//! Engine-level benchmarks: the paper's optimization ladder on one problem
+//! size (the Criterion companion to repro-fig10b/fig12).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use baselines::TanEngine;
+use npdp_core::{
+    problem, BlockedEngine, Engine, ParallelEngine, SerialEngine, SimdEngine, TiledEngine,
+    WavefrontEngine,
+};
+
+fn bench_engines(c: &mut Criterion) {
+    let n = 512usize;
+    let seeds = problem::random_seeds_f32(n, 100.0, 7);
+    let relax = (n * (n - 1) * (n - 2) / 6) as u64;
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    let engines: Vec<(&str, Box<dyn Engine<f32>>)> = vec![
+        ("serial", Box::new(SerialEngine)),
+        ("tiled", Box::new(TiledEngine::new(64))),
+        ("blocked_ndl", Box::new(BlockedEngine::new(64))),
+        ("simd", Box::new(SimdEngine::new(64))),
+        ("parallel", Box::new(ParallelEngine::new(64, 2, workers))),
+        ("wavefront", Box::new(WavefrontEngine::new(64))),
+        ("tan_baseline", Box::new(TanEngine::new(64))),
+    ];
+
+    let mut g = c.benchmark_group("engines_n512_f32");
+    g.throughput(Throughput::Elements(relax));
+    g.sample_size(10);
+    for (name, engine) in &engines {
+        g.bench_with_input(BenchmarkId::from_parameter(name), engine, |b, e| {
+            b.iter(|| e.solve(&seeds));
+        });
+    }
+    g.finish();
+
+    // DP variant for the SP/DP ratio.
+    let seeds64 = problem::random_seeds_f64(n, 100.0, 7);
+    let mut g = c.benchmark_group("engines_n512_f64");
+    g.throughput(Throughput::Elements(relax));
+    g.sample_size(10);
+    g.bench_function("serial", |b| b.iter(|| SerialEngine.solve(&seeds64)));
+    g.bench_function("simd", |b| {
+        let e = SimdEngine::new(64);
+        b.iter(|| e.solve(&seeds64))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_engines
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Application benchmark: Zuker RNA folding — the exact interleaved
+//! recursion vs the decoupled pipeline (stems + engine-routed W closure).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use npdp_core::{ParallelEngine, SerialEngine, SimdEngine};
+use zuker::{fold_exact, fold_with_engine, random_sequence, EnergyModel};
+
+fn bench_fold(c: &mut Criterion) {
+    let model = EnergyModel::default();
+    let seq = random_sequence(256, 5);
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    let mut g = c.benchmark_group("zuker_fold_256nt");
+    g.sample_size(10);
+    g.bench_function("exact_interleaved", |b| {
+        b.iter(|| fold_exact(&seq, &model))
+    });
+    g.bench_function("decoupled_serial", |b| {
+        b.iter(|| fold_with_engine(&seq, &model, &SerialEngine))
+    });
+    g.bench_function("decoupled_simd", |b| {
+        let e = SimdEngine::new(32);
+        b.iter(|| fold_with_engine(&seq, &model, &e))
+    });
+    g.bench_function("decoupled_cellnpdp", |b| {
+        let e = ParallelEngine::new(32, 2, workers);
+        b.iter(|| fold_with_engine(&seq, &model, &e))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_fold
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Run every repro binary in sequence (builds must already exist:
+//! `cargo build --release -p bench` first, or run via `cargo run`).
+
+use std::process::Command;
+
+const BINARIES: &[&str] = &[
+    "repro-table1",
+    "repro-table2",
+    "repro-table3",
+    "repro-fig9a",
+    "repro-fig9b",
+    "repro-fig10a",
+    "repro-fig10b",
+    "repro-fig11a",
+    "repro-fig11b",
+    "repro-fig12",
+    "repro-fig13",
+    "repro-model",
+    "repro-ablation",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for bin in BINARIES {
+        let path = dir.join(bin);
+        println!();
+        let status = Command::new(&path).status();
+        match status {
+            Ok(s) if s.success() => {}
+            other => {
+                eprintln!("{bin}: {other:?}");
+                failures.push(*bin);
+            }
+        }
+    }
+    if !failures.is_empty() {
+        eprintln!("\nFAILED: {failures:?}");
+        std::process::exit(1);
+    }
+    println!("\nall experiments regenerated ✓");
+}

@@ -1,0 +1,41 @@
+//! Fig. 10(a): single-precision speedups on the Cell blade — the three
+//! optimizations applied cumulatively, over the original algorithm on one
+//! SPE. Regenerated from the simulated machine.
+//!
+//! Paper averages: NDL ≈ 31.6×, + SPE procedure ≈ 28× more, + parallel
+//! procedure ≈ 15.7× more at 16 SPEs.
+
+use bench::header;
+use cell_sim::machine::{simulate_cellnpdp, simulate_ndl_scalar, CellConfig};
+use cell_sim::ppe::{Precision, SpeScalarModel};
+
+fn main() {
+    header(
+        "Fig. 10(a)",
+        "SP speedups on the simulated Cell blade (baseline: original on 1 SPE)",
+        "paper: NDL ≈ 31.6×, NDL+SPEP ≈ ×28 more, +PARP ≈ ×15.7 at 16 SPEs.",
+    );
+    let cfg = CellConfig::qs20();
+    let spe = SpeScalarModel::qs20();
+    let prec = Precision::Single;
+    let nb = cfg.block_side_for_bytes(32 * 1024, prec);
+
+    println!(
+        "{:<7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "n", "NDL", "+SPEP", "PARP 2", "PARP 4", "PARP 8", "PARP 16", "total"
+    );
+    for n in [2048usize, 4096, 8192] {
+        let base = spe.seconds_original(n as u64, prec);
+        let ndl = simulate_ndl_scalar(&cfg, n, nb, 1, prec, 1).seconds;
+        let spep = simulate_cellnpdp(&cfg, n, nb, 1, prec, 1).seconds;
+        let mut row = format!("{n:<7} {:>8.1}x {:>8.1}x", base / ndl, ndl / spep);
+        for spes in [2usize, 4, 8, 16] {
+            let t = simulate_cellnpdp(&cfg, n, nb, 1, prec, spes).seconds;
+            row += &format!(" {:>8.1}x", spep / t);
+        }
+        let t16 = simulate_cellnpdp(&cfg, n, nb, 1, prec, 16).seconds;
+        row += &format!(" {:>8.0}x", base / t16);
+        println!("{row}");
+    }
+    println!("\ncolumns: NDL vs baseline; +SPEP vs NDL; PARP-k vs 1 SPE; total vs baseline");
+}

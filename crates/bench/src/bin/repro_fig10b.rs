@@ -1,0 +1,46 @@
+//! Fig. 10(b): single-precision speedups on the CPU platform — measured on
+//! this host with the real engines: tiled (prior work) → NDL → +SIMD
+//! computing blocks → +parallel procedure.
+//!
+//! Paper averages: NDL ≈ 7.14×, +SPEP ≈ 5.28× more, +PARP ≈ 7.22× at
+//! 8 cores. The SPEP factor is smaller than on the Cell because an
+//! out-of-order host hides latency that the in-order SPU cannot (§VI-B.2);
+//! on a single-core host the PARP factor is necessarily ≈ 1.
+
+use bench::{header, host_workers, time_engine};
+use npdp_core::problem;
+use npdp_core::{BlockedEngine, ParallelEngine, SerialEngine, SimdEngine, TiledEngine};
+
+fn main() {
+    header(
+        "Fig. 10(b)",
+        "SP speedups on the CPU platform (measured; baseline: original)",
+        "paper: NDL ≈ 7.14×, +SPEP ≈ ×5.28, +PARP ≈ ×7.22 on 8 cores.",
+    );
+    let workers = host_workers();
+    println!(
+        "{:<7} {:>10} {:>9} {:>9} {:>9} {:>11}",
+        "n", "original", "tiled", "NDL", "+SPEP", "+PARP"
+    );
+    for n in [512usize, 1024, 1536] {
+        let seeds = problem::random_seeds_f32(n, 100.0, n as u64);
+        let t_orig = time_engine(&SerialEngine, &seeds);
+        let t_tiled = time_engine(&TiledEngine::new(64), &seeds);
+        let t_ndl = time_engine(&BlockedEngine::new(64), &seeds);
+        let t_simd = time_engine(&SimdEngine::new(64), &seeds);
+        let t_par = time_engine(&ParallelEngine::new(64, 2, workers), &seeds);
+        println!(
+            "{n:<7} {:>9.3}s {:>8.1}x {:>8.1}x {:>8.1}x {:>8.1}x/{}w",
+            t_orig,
+            t_orig / t_tiled,
+            t_orig / t_ndl,
+            t_orig / t_simd,
+            t_orig / t_par,
+            workers
+        );
+    }
+    println!(
+        "\ncolumns are speedups over the original; +SPEP includes NDL;\n\
+         +PARP includes both and uses {workers} worker thread(s)."
+    );
+}

@@ -1,0 +1,47 @@
+//! Fig. 11(a): double-precision speedups on the Cell blade — same structure
+//! as Fig. 10(a) but with the 2-lane, 13-cycle-latency, 6-cycle-stall DP
+//! pipeline, so every factor shrinks (the paper's §VI-A.5 point).
+
+use bench::header;
+use cell_sim::machine::{simulate_cellnpdp, simulate_ndl_scalar, CellConfig};
+use cell_sim::ppe::{Precision, SpeScalarModel};
+
+fn main() {
+    header(
+        "Fig. 11(a)",
+        "DP speedups on the simulated Cell blade (baseline: original on 1 SPE)",
+        "paper: all factors much smaller than SP — 2 lanes/register,\n\
+         13-cycle DP latency, 6-cycle pipeline stall.",
+    );
+    let cfg = CellConfig::qs20();
+    let spe = SpeScalarModel::qs20();
+    let prec = Precision::Double;
+    let nb = cfg.block_side_for_bytes(32 * 1024, prec);
+
+    println!(
+        "{:<7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "n", "NDL", "+SPEP", "PARP 2", "PARP 4", "PARP 8", "PARP 16", "total"
+    );
+    for n in [2048usize, 4096, 8192] {
+        let base = spe.seconds_original(n as u64, prec);
+        let ndl = simulate_ndl_scalar(&cfg, n, nb, 1, prec, 1).seconds;
+        let spep = simulate_cellnpdp(&cfg, n, nb, 1, prec, 1).seconds;
+        let mut row = format!("{n:<7} {:>8.1}x {:>8.1}x", base / ndl, ndl / spep);
+        for spes in [2usize, 4, 8, 16] {
+            let t = simulate_cellnpdp(&cfg, n, nb, 1, prec, spes).seconds;
+            row += &format!(" {:>8.1}x", spep / t);
+        }
+        let t16 = simulate_cellnpdp(&cfg, n, nb, 1, prec, 16).seconds;
+        row += &format!(" {:>8.0}x", base / t16);
+        println!("{row}");
+    }
+
+    // SP vs DP kernel contrast — the structural cause.
+    let sp_c = cfg.kernel_cycles(Precision::Single);
+    let dp_c = cfg.kernel_cycles(Precision::Double);
+    println!(
+        "\nkernel schedule: SP {sp_c:.0} cycles/update vs DP {dp_c:.0} cycles/update \
+         ({:.1}× slower per update, on half the lanes)",
+        dp_c / sp_c
+    );
+}

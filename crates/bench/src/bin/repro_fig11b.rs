@@ -1,0 +1,40 @@
+//! Fig. 11(b): double-precision speedups on the CPU platform — as
+//! Fig. 10(b) with f64. On the CPU the DP penalty is mild (no SPU-style
+//! stall; just half the SIMD lanes), which is the paper's §VI-B.5 point.
+
+use bench::{header, host_workers, time_engine};
+use npdp_core::problem;
+use npdp_core::{BlockedEngine, ParallelEngine, SerialEngine, SimdEngine, TiledEngine};
+
+fn main() {
+    header(
+        "Fig. 11(b)",
+        "DP speedups on the CPU platform (measured; baseline: original)",
+        "paper: DP factors close to SP on the CPU — Nehalem's DP units do\n\
+         not stall the pipeline the way the SPU's do.",
+    );
+    let workers = host_workers();
+    println!(
+        "{:<7} {:>10} {:>9} {:>9} {:>9} {:>11}",
+        "n", "original", "tiled", "NDL", "+SPEP", "+PARP"
+    );
+    for n in [512usize, 1024, 1536] {
+        let seeds = problem::random_seeds_f64(n, 100.0, n as u64);
+        let t_orig = time_engine(&SerialEngine, &seeds);
+        let t_tiled = time_engine(&TiledEngine::new(64), &seeds);
+        let t_ndl = time_engine(&BlockedEngine::new(64), &seeds);
+        let t_simd = time_engine(&SimdEngine::new(64), &seeds);
+        let t_par = time_engine(&ParallelEngine::new(64, 2, workers), &seeds);
+        println!(
+            "{n:<7} {:>9.3}s {:>8.1}x {:>8.1}x {:>8.1}x {:>8.1}x/{}w",
+            t_orig,
+            t_orig / t_tiled,
+            t_orig / t_ndl,
+            t_orig / t_simd,
+            t_orig / t_par,
+            workers
+        );
+    }
+    println!("\ncompare with repro-fig10b: the SP/DP gap on the host is ~2× (lane");
+    println!("count), not the ~20× of the simulated SPU (latency + stall).");
+}

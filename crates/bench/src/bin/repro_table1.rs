@@ -1,0 +1,77 @@
+//! Table I: characterization of the SIMD instructions of one
+//! computing-block update (counts, latencies, pipeline types), plus the
+//! §IV-A schedule-length story (128 → 80 instructions → ~54 cycles).
+
+use bench::header;
+use cell_sim::kernels::{
+    sp_kernel_blocked, sp_kernel_naive, sp_kernel_stream, sp_kernel_tree, TileAddrs,
+};
+use cell_sim::{schedule, software_pipeline, InstrMix, Instr, Reg};
+
+fn main() {
+    header(
+        "Table I",
+        "SIMD instructions of one computing-block update (SP)",
+        "paper: 12 load / 16 shuffle / 16 add / 16 compare / 16 select / 4 store = 80;\n\
+         latencies 6/4/6/2/2/6 cycles; pipeline 1/1/0/0/0/1; 54 cycles after\n\
+         software pipelining",
+    );
+
+    let t = TileAddrs::packed_sp(0);
+    let blocked = sp_kernel_blocked(t);
+    let mix = InstrMix::of(&blocked);
+
+    let r = Reg(0);
+    let rows: [(&str, usize, Instr); 6] = [
+        ("Load", mix.loads, Instr::Lqd { rt: r, addr: 0 }),
+        ("Shuffle", mix.shuffles, Instr::ShufbW { rt: r, ra: r, lane: 0 }),
+        ("Add", mix.adds, Instr::Fa { rt: r, ra: r, rb: r }),
+        ("Compare", mix.compares, Instr::Fcgt { rt: r, ra: r, rb: r }),
+        ("Select", mix.selects, Instr::Selb { rt: r, ra: r, rb: r, rc: r }),
+        ("Store", mix.stores, Instr::Stqd { rt: r, addr: 0 }),
+    ];
+    println!(
+        "{:<10} {:>10} {:>10} {:>9}",
+        "instr", "count", "latency", "pipeline"
+    );
+    for (name, count, instr) in rows {
+        let pipe = match instr.pipe() {
+            cell_sim::Pipe::Even => 0,
+            cell_sim::Pipe::Odd => 1,
+        };
+        println!(
+            "{name:<10} {count:>10} {:>10} {pipe:>9}",
+            instr.latency()
+        );
+    }
+    println!("{:<10} {:>10}", "total", mix.total());
+
+    println!("\nschedule lengths on the dual-issue in-order SPU model:");
+    let naive = sp_kernel_naive(t);
+    println!(
+        "  naive (no register blocking):  {:>4} instrs  {:>4} cycles",
+        naive.len(),
+        schedule(&naive).cycles
+    );
+    println!(
+        "  register-blocked, row order:   {:>4} instrs  {:>4} cycles",
+        blocked.len(),
+        schedule(&blocked).cycles
+    );
+    let piped = software_pipeline(&sp_kernel_tree(t));
+    println!(
+        "  software-pipelined:            {:>4} instrs  {:>4} cycles",
+        piped.program.len(),
+        piped.schedule.cycles
+    );
+    let n = 8;
+    let steady = software_pipeline(&sp_kernel_stream(n)).schedule.cycles as f64 / n as f64;
+    println!(
+        "  steady state (stream of {n}):   {:>4} instrs  {steady:>6.1} cycles/kernel (paper: 54)",
+        80
+    );
+    println!(
+        "  dual-issue rate: {:.2} instructions/cycle of 2.0 peak",
+        80.0 / steady
+    );
+}

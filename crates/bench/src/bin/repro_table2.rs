@@ -1,0 +1,66 @@
+//! Table II: performance on the IBM QS20 Cell blade — original algorithm on
+//! one PPE / one SPE, and CellNPDP on 16 SPEs; SP and DP; n ∈ {4K, 8K, 16K}.
+//!
+//! Regenerated from the simulated machine: the PPE/SPE baselines from the
+//! calibrated scalar cost models, CellNPDP from the discrete-event
+//! simulation whose kernel cost comes from scheduling the real SPU
+//! instruction sequence.
+
+use bench::header;
+use cell_sim::machine::{simulate_cellnpdp, CellConfig};
+use cell_sim::ppe::{PpeModel, Precision, SpeScalarModel};
+
+const SIZES: [usize; 3] = [4096, 8192, 16384];
+const PAPER_SP: [(f64, f64, f64); 3] = [
+    (715.0, 3061.0, 0.22),
+    (21961.0, 24588.0, 1.77),
+    (187945.0, 198432.0, 13.90),
+];
+const PAPER_DP: [(f64, f64, f64); 3] = [
+    (1015.0, 5096.0, 4.41),
+    (27821.0, 40752.0, 34.54),
+    (241759.0, 327276.0, 389.15),
+];
+
+fn run(prec: Precision, paper: &[(f64, f64, f64); 3]) {
+    let cfg = CellConfig::qs20();
+    let ppe = PpeModel::qs20();
+    let spe = SpeScalarModel::qs20();
+    let nb = cfg.block_side_for_bytes(32 * 1024, prec);
+    println!(
+        "{:<8} {:>13} {:>13} {:>13}   (paper: PPE / SPE / CellNPDP)",
+        "n", "orig 1 PPE", "orig 1 SPE", "CellNPDP 16"
+    );
+    for (idx, &n) in SIZES.iter().enumerate() {
+        let t_ppe = ppe.seconds_original(n as u64, prec);
+        let t_spe = spe.seconds_original(n as u64, prec);
+        let sim = simulate_cellnpdp(&cfg, n, nb, 1, prec, 16);
+        let (p_ppe, p_spe, p_cell) = paper[idx];
+        println!(
+            "{n:<8} {t_ppe:>12.1}s {t_spe:>12.1}s {:>12.2}s   ({p_ppe} / {p_spe} / {p_cell})",
+            sim.seconds
+        );
+    }
+}
+
+fn main() {
+    header(
+        "Table II",
+        "performance on the IBM QS20 Cell blade (simulated)",
+        "PPE/SPE baselines: calibrated scalar cost models (structure: cache-\n\
+         regime / DMA-latency bound); CellNPDP: discrete-event simulation.",
+    );
+
+    println!("-- single precision --");
+    run(Precision::Single, &PAPER_SP);
+    println!("\n-- double precision --");
+    run(Precision::Double, &PAPER_DP);
+
+    let cfg = CellConfig::qs20();
+    let nb = cfg.block_side_for_bytes(32 * 1024, Precision::Single);
+    let r = simulate_cellnpdp(&cfg, 8192, nb, 1, Precision::Single, 16);
+    println!(
+        "\nprocessor utilization (SP, 16 SPEs, n=8192): {:.1}%  (paper §VI-A.4: 62.5%)",
+        r.utilization * 100.0
+    );
+}

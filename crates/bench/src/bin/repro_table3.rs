@@ -1,0 +1,92 @@
+//! Table III: performance on the 8-core CPU platform — original algorithm
+//! vs CellNPDP (all cores); SP and DP; n ∈ {4K, 8K, 16K}.
+//!
+//! Measured on this host. The original algorithm at 8K/16K takes hours, so
+//! large sizes are extrapolated from a measured size via the exact
+//! n(n-1)(n-2)/6 work ratio (marked `*`). Pass `--full` to measure n=4096
+//! directly for both algorithms.
+
+use bench::{header, host_workers, time_engine, Timing};
+use npdp_core::problem;
+use npdp_core::{ParallelEngine, SerialEngine};
+
+const SIZES: [usize; 3] = [4096, 8192, 16384];
+const PAPER_SP: [(f64, f64); 3] = [(108.01, 0.43), (1041.1, 3.25), (11021.0, 25.56)];
+const PAPER_DP: [(f64, f64); 3] = [(119.79, 0.8159), (1234.3, 6.185), (13624.0, 48.170)];
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    header(
+        "Table III",
+        "performance on the CPU platform (measured on this host)",
+        "paper's platform: two quad-core Nehalems; `*` marks cubic\n\
+         extrapolation from the largest measured size.",
+    );
+    let workers = host_workers();
+    let cell = ParallelEngine::new(88, 2, workers);
+
+    // Measurement anchors.
+    let n_serial = if full { 4096 } else { 1024 };
+    let n_cell = if full { 4096 } else { 2048 };
+
+    println!("-- single precision --");
+    let seeds = problem::random_seeds_f32(n_serial, 100.0, 1);
+    let t_serial = time_engine(&SerialEngine, &seeds);
+    let seeds = problem::random_seeds_f32(n_cell, 100.0, 2);
+    let t_cell = time_engine(&cell, &seeds);
+    print_rows(t_serial, n_serial, t_cell, n_cell, &PAPER_SP);
+
+    println!("\n-- double precision --");
+    let seeds = problem::random_seeds_f64(n_serial, 100.0, 3);
+    let t_serial = time_engine(&SerialEngine, &seeds);
+    let seeds = problem::random_seeds_f64(n_cell, 100.0, 4);
+    let t_cell = time_engine(&cell, &seeds);
+    print_rows(t_serial, n_serial, t_cell, n_cell, &PAPER_DP);
+
+    println!(
+        "\nCellNPDP configuration: 88×88 memory blocks (32 KB SP), sb=2, {workers} worker(s)."
+    );
+
+    // Host "processor utilization" in the paper's sense: useful 32-bit ops
+    // per cycle over peak. We report achieved relaxations/second instead,
+    // which is substrate-independent.
+    let n = 2048usize;
+    let seeds = problem::random_seeds_f32(n, 100.0, 5);
+    let t = time_engine(&cell, &seeds);
+    let relax = (n * (n - 1) * (n - 2) / 6) as f64;
+    println!(
+        "CellNPDP SP throughput at n={n}: {:.2}e9 relaxations/s",
+        relax / t / 1e9
+    );
+}
+
+fn print_rows(
+    t_serial: f64,
+    n_serial: usize,
+    t_cell: f64,
+    n_cell: usize,
+    paper: &[(f64, f64); 3],
+) {
+    println!(
+        "{:<8} {:>12} {:>14}   (paper: original / CellNPDP)",
+        "n", "original", "CellNPDP"
+    );
+    for (idx, &n) in SIZES.iter().enumerate() {
+        let ser = if n == n_serial {
+            Timing::measured(t_serial)
+        } else {
+            Timing::extrapolated(t_serial, n_serial as u64, n as u64)
+        };
+        let cel = if n == n_cell {
+            Timing::measured(t_cell)
+        } else {
+            Timing::extrapolated(t_cell, n_cell as u64, n as u64)
+        };
+        let (p_orig, p_cell) = paper[idx];
+        println!(
+            "{n:<8} {:>12} {:>14}   ({p_orig} / {p_cell})",
+            ser.render(),
+            cel.render()
+        );
+    }
+}

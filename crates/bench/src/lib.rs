@@ -1,0 +1,121 @@
+//! Shared harness utilities for the repro binaries: wall-clock measurement,
+//! cubic extrapolation, and consistent table formatting.
+//!
+//! Every `repro-*` binary regenerates one table or figure of the paper's
+//! evaluation section. Absolute numbers come from a different substrate (a
+//! simulator and a modern host instead of a 2008 QS20/Nehalem), so each
+//! binary prints the paper's values alongside for *shape* comparison — who
+//! wins, by roughly what factor, where crossovers fall.
+
+use std::time::Instant;
+
+use npdp_core::{DpValue, Engine, TriangularMatrix};
+
+/// Wall-clock seconds of `f`, taking the minimum over `reps` runs (the
+/// standard noise-robust estimator for sub-second measurements).
+pub fn time_min<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    assert!(reps >= 1);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Measure one engine on one problem; repetitions adapt to problem size.
+pub fn time_engine<T: DpValue>(
+    engine: &dyn Engine<T>,
+    seeds: &TriangularMatrix<T>,
+) -> f64 {
+    let reps = if seeds.n() <= 512 { 3 } else { 1 };
+    time_min(reps, || engine.solve(seeds))
+}
+
+/// A measurement that may be extrapolated from a smaller run via the n³
+/// law (NPDP work is `n(n-1)(n-2)/6`).
+#[derive(Debug, Clone, Copy)]
+pub struct Timing {
+    /// Seconds at the target size.
+    pub seconds: f64,
+    /// Whether the value was measured directly (vs extrapolated).
+    pub measured: bool,
+}
+
+impl Timing {
+    /// A direct measurement.
+    pub fn measured(seconds: f64) -> Self {
+        Self {
+            seconds,
+            measured: true,
+        }
+    }
+
+    /// Extrapolate a measurement at `n_from` to `n_to` with the exact
+    /// relaxation-count ratio.
+    pub fn extrapolated(seconds_at: f64, n_from: u64, n_to: u64) -> Self {
+        let w = |n: u64| (n * (n - 1) * (n - 2)) as f64;
+        Self {
+            seconds: seconds_at * w(n_to) / w(n_from),
+            measured: false,
+        }
+    }
+
+    /// Render with an asterisk marking extrapolations.
+    pub fn render(&self) -> String {
+        let star = if self.measured { " " } else { "*" };
+        if self.seconds >= 100.0 {
+            format!("{:.0}{star}", self.seconds)
+        } else if self.seconds >= 1.0 {
+            format!("{:.2}{star}", self.seconds)
+        } else {
+            format!("{:.4}{star}", self.seconds)
+        }
+    }
+}
+
+/// Print a standard experiment header.
+pub fn header(id: &str, title: &str, paper_note: &str) {
+    println!("================================================================");
+    println!("{id} — {title}");
+    println!("================================================================");
+    if !paper_note.is_empty() {
+        println!("{paper_note}");
+    }
+    let host = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    println!("host: {host} hardware thread(s) available\n");
+}
+
+/// Number of worker threads to use for "all cores" measurements.
+pub fn host_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extrapolation_follows_cubic_law() {
+        let t = Timing::extrapolated(1.0, 1000, 2000);
+        assert!((t.seconds - 8.0).abs() < 0.05);
+        assert!(!t.measured);
+    }
+
+    #[test]
+    fn render_marks_extrapolations() {
+        assert!(Timing::measured(1.5).render().ends_with(' '));
+        assert!(Timing::extrapolated(1.0, 100, 200).render().ends_with('*'));
+    }
+
+    #[test]
+    fn time_min_returns_positive() {
+        let t = time_min(2, || (0..1000).sum::<u64>());
+        assert!(t >= 0.0);
+    }
+}

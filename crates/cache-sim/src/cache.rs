@@ -1,0 +1,357 @@
+//! A set-associative, write-back, write-allocate cache with true-LRU
+//! replacement.
+
+/// Geometry and policy parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: usize,
+}
+
+impl CacheConfig {
+    /// The paper's CPU platform LLC: 8 MB, 16-way, 64-byte lines
+    /// (per-socket Nehalem L3).
+    pub fn nehalem_llc() -> Self {
+        Self {
+            capacity_bytes: 8 * 1024 * 1024,
+            ways: 16,
+            line_bytes: 64,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.capacity_bytes / (self.ways * self.line_bytes)
+    }
+}
+
+/// Hit/miss/traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Read accesses.
+    pub reads: u64,
+    /// Write accesses.
+    pub writes: u64,
+    /// Read misses (line fills).
+    pub read_misses: u64,
+    /// Write misses (write-allocate line fills).
+    pub write_misses: u64,
+    /// Dirty lines evicted to memory.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Total misses.
+    pub fn misses(&self) -> u64 {
+        self.read_misses + self.write_misses
+    }
+
+    /// Overall miss rate.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Bytes moved between cache and memory: fills + write-backs, one line
+    /// each — what Fig. 9(b) plots.
+    pub fn traffic_bytes(&self, line_bytes: usize) -> u64 {
+        (self.misses() + self.writebacks) * line_bytes as u64
+    }
+}
+
+/// Anything that can absorb a read/write address stream: a single cache, a
+/// hierarchy, or a plain counter. The trace generators are generic over it.
+pub trait MemSink {
+    /// Read one datum at byte address `addr`.
+    fn read(&mut self, addr: u64);
+    /// Write one datum at byte address `addr`.
+    fn write(&mut self, addr: u64);
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// LRU timestamp (monotone access counter).
+    stamp: u64,
+}
+
+/// The cache simulator.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    clock: u64,
+    stats: CacheStats,
+    line_shift: u32,
+    set_mask: u64,
+}
+
+impl Cache {
+    /// Build an empty cache.
+    ///
+    /// # Panics
+    /// If the geometry is inconsistent (capacity not divisible into sets,
+    /// or line size not a power of two).
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.line_bytes.is_power_of_two(), "line size must be 2^k");
+        assert!(
+            cfg.capacity_bytes.is_multiple_of(cfg.ways * cfg.line_bytes),
+            "capacity must divide into ways × lines"
+        );
+        let sets = cfg.sets();
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Self {
+            cfg,
+            sets: vec![vec![Line::default(); cfg.ways]; sets],
+            clock: 0,
+            stats: CacheStats::default(),
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            set_mask: (sets - 1) as u64,
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Bytes moved so far (fills + write-backs).
+    pub fn traffic_bytes(&self) -> u64 {
+        self.stats.traffic_bytes(self.cfg.line_bytes)
+    }
+
+    #[inline]
+    fn access(&mut self, addr: u64, write: bool) {
+        self.clock += 1;
+        let line_addr = addr >> self.line_shift;
+        let set_idx = (line_addr & self.set_mask) as usize;
+        let tag = line_addr >> self.set_mask.count_ones();
+        let set = &mut self.sets[set_idx];
+
+        // Hit?
+        for line in set.iter_mut() {
+            if line.valid && line.tag == tag {
+                line.stamp = self.clock;
+                if write {
+                    line.dirty = true;
+                }
+                return;
+            }
+        }
+        // Miss: fill into the LRU way (write-allocate).
+        if write {
+            self.stats.write_misses += 1;
+        } else {
+            self.stats.read_misses += 1;
+        }
+        let victim = set
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.stamp } else { 0 })
+            .unwrap();
+        if victim.valid && victim.dirty {
+            self.stats.writebacks += 1;
+        }
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty: write,
+            stamp: self.clock,
+        };
+    }
+
+    /// Read one datum at byte address `addr`.
+    #[inline]
+    pub fn read(&mut self, addr: u64) {
+        self.stats.reads += 1;
+        self.access(addr, false);
+    }
+
+    /// Write one datum at byte address `addr`.
+    #[inline]
+    pub fn write(&mut self, addr: u64) {
+        self.stats.writes += 1;
+        self.access(addr, true);
+    }
+
+    /// Install a line without demand-access accounting (a prefetch fill):
+    /// returns `true` if the line came from the next level / memory, and
+    /// counts only the eviction write-back, not a demand miss.
+    pub fn prefetch(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        let line_addr = addr >> self.line_shift;
+        let set_idx = (line_addr & self.set_mask) as usize;
+        let tag = line_addr >> self.set_mask.count_ones();
+        let set = &mut self.sets[set_idx];
+        for line in set.iter_mut() {
+            if line.valid && line.tag == tag {
+                line.stamp = self.clock;
+                return false; // already resident
+            }
+        }
+        let clock = self.clock;
+        let victim = set
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.stamp } else { 0 })
+            .unwrap();
+        if victim.valid && victim.dirty {
+            self.stats.writebacks += 1;
+        }
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty: false,
+            stamp: clock,
+        };
+        true
+    }
+
+    /// Flush: write back all dirty lines (end-of-run accounting).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            for line in set.iter_mut() {
+                if line.valid && line.dirty {
+                    self.stats.writebacks += 1;
+                    line.dirty = false;
+                }
+            }
+        }
+    }
+}
+
+impl MemSink for Cache {
+    #[inline]
+    fn read(&mut self, addr: u64) {
+        Cache::read(self, addr);
+    }
+
+    #[inline]
+    fn write(&mut self, addr: u64) {
+        Cache::write(self, addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets × 2 ways × 64 B = 512 B.
+        Cache::new(CacheConfig {
+            capacity_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+        })
+    }
+
+    #[test]
+    fn geometry() {
+        let c = CacheConfig::nehalem_llc();
+        assert_eq!(c.sets(), 8192);
+        assert_eq!(tiny().config().sets(), 4);
+    }
+
+    #[test]
+    fn repeated_read_hits() {
+        let mut c = tiny();
+        c.read(0);
+        c.read(8);
+        c.read(63);
+        let s = c.stats();
+        assert_eq!(s.reads, 3);
+        assert_eq!(s.read_misses, 1); // same line
+    }
+
+    #[test]
+    fn write_allocate_and_writeback() {
+        let mut c = tiny();
+        c.write(0);
+        assert_eq!(c.stats().write_misses, 1);
+        // Fill the same set until the dirty line is evicted: set stride is
+        // 4 sets × 64 B = 256 B.
+        c.read(256);
+        c.read(512);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn lru_keeps_recent() {
+        let mut c = tiny();
+        c.read(0); // set 0, A
+        c.read(256); // set 0, B
+        c.read(0); // touch A
+        c.read(512); // evicts B (LRU)
+        c.read(0); // still a hit
+        assert_eq!(c.stats().read_misses, 3);
+        assert_eq!(c.stats().reads, 5);
+    }
+
+    #[test]
+    fn flush_writes_back_all_dirty() {
+        let mut c = tiny();
+        c.write(0);
+        c.write(64);
+        c.write(128);
+        c.flush();
+        assert_eq!(c.stats().writebacks, 3);
+        // Second flush is a no-op.
+        c.flush();
+        assert_eq!(c.stats().writebacks, 3);
+    }
+
+    #[test]
+    fn traffic_counts_fills_and_writebacks() {
+        let mut c = tiny();
+        c.write(0);
+        c.flush();
+        // 1 fill + 1 writeback = 2 lines.
+        assert_eq!(c.traffic_bytes(), 128);
+    }
+
+    #[test]
+    fn working_set_within_capacity_has_no_capacity_misses() {
+        let mut c = Cache::new(CacheConfig {
+            capacity_bytes: 4096,
+            ways: 4,
+            line_bytes: 64,
+        });
+        // 2 KB working set, scanned 10 times: only cold misses.
+        for _ in 0..10 {
+            for a in (0..2048u64).step_by(8) {
+                c.read(a);
+            }
+        }
+        assert_eq!(c.stats().read_misses, 32);
+    }
+
+    #[test]
+    fn streaming_over_capacity_misses_every_line() {
+        let mut c = tiny();
+        // 8 KB stream through a 512 B cache, twice: every line misses both
+        // times.
+        for _ in 0..2 {
+            for a in (0..8192u64).step_by(64) {
+                c.read(a);
+            }
+        }
+        assert_eq!(c.stats().read_misses, 256);
+    }
+}

@@ -1,0 +1,336 @@
+//! Textual form of SPU programs: a disassembler/pretty-printer and a small
+//! assembler for the micro-ISA — handy for inspecting generated kernels,
+//! writing tests, and debugging schedules.
+//!
+//! Syntax (one instruction per line, `;` comments):
+//!
+//! ```text
+//! lqd   r1, 0x10      ; load quadword from LS byte 16
+//! shufb r2, r1, 3     ; broadcast 32-bit lane 3
+//! fa    r3, r2, r4
+//! fcgt  r5, r3, r6
+//! selb  r7, r3, r6, r5
+//! stqd  r7, 0x20
+//! dfa   r8, r9, r10
+//! dfcgt r11, r8, r9
+//! shufd r12, r8, 1    ; broadcast 64-bit lane 1
+//! ```
+
+use crate::isa::{Instr, Reg};
+
+/// Render one instruction.
+pub fn disassemble_one(i: &Instr) -> String {
+    match *i {
+        Instr::Lqd { rt, addr } => format!("lqd   r{}, {:#x}", rt.0, addr),
+        Instr::Stqd { rt, addr } => format!("stqd  r{}, {:#x}", rt.0, addr),
+        Instr::ShufbW { rt, ra, lane } => format!("shufb r{}, r{}, {}", rt.0, ra.0, lane),
+        Instr::ShufbD { rt, ra, lane } => format!("shufd r{}, r{}, {}", rt.0, ra.0, lane),
+        Instr::Fa { rt, ra, rb } => format!("fa    r{}, r{}, r{}", rt.0, ra.0, rb.0),
+        Instr::Fcgt { rt, ra, rb } => format!("fcgt  r{}, r{}, r{}", rt.0, ra.0, rb.0),
+        Instr::Selb { rt, ra, rb, rc } => {
+            format!("selb  r{}, r{}, r{}, r{}", rt.0, ra.0, rb.0, rc.0)
+        }
+        Instr::Dfa { rt, ra, rb } => format!("dfa   r{}, r{}, r{}", rt.0, ra.0, rb.0),
+        Instr::Dfcgt { rt, ra, rb } => format!("dfcgt r{}, r{}, r{}", rt.0, ra.0, rb.0),
+        Instr::Il { rt, imm } => format!("il    r{}, {}", rt.0, imm),
+        Instr::Ai { rt, ra, imm } => format!("ai    r{}, r{}, {}", rt.0, ra.0, imm),
+        Instr::A { rt, ra, rb } => format!("a     r{}, r{}, r{}", rt.0, ra.0, rb.0),
+        Instr::Lqx { rt, ra, rb } => format!("lqx   r{}, r{}, r{}", rt.0, ra.0, rb.0),
+        Instr::Stqx { rt, ra, rb } => format!("stqx  r{}, r{}, r{}", rt.0, ra.0, rb.0),
+        Instr::Brnz { rt, target } => format!("brnz  r{}, {}", rt.0, target),
+        Instr::Br { target } => format!("br    {}", target),
+    }
+}
+
+/// Render a whole program, one instruction per line.
+pub fn disassemble(program: &[Instr]) -> String {
+    program
+        .iter()
+        .map(disassemble_one)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Render a program alongside its issue schedule (cycle, pipeline).
+pub fn disassemble_scheduled(program: &[Instr]) -> String {
+    let sched = crate::spu::schedule(program);
+    program
+        .iter()
+        .zip(&sched.issue_cycle)
+        .map(|(i, &cy)| {
+            let pipe = match i.pipe() {
+                crate::isa::Pipe::Even => "e",
+                crate::isa::Pipe::Odd => "o",
+            };
+            format!("{cy:>5} {pipe}  {}", disassemble_one(i))
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Parse errors from [`assemble`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    let body = tok
+        .strip_prefix('r')
+        .ok_or_else(|| AsmError { line, message: format!("expected register, got '{tok}'") })?;
+    let idx: u8 = body.parse().map_err(|_| AsmError {
+        line,
+        message: format!("bad register '{tok}'"),
+    })?;
+    if idx >= 128 {
+        return Err(AsmError {
+            line,
+            message: format!("register r{idx} out of range (SPU has 128)"),
+        });
+    }
+    Ok(Reg(idx))
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<u32, AsmError> {
+    let parsed = if let Some(hex) = tok.strip_prefix("0x") {
+        u32::from_str_radix(hex, 16)
+    } else {
+        tok.parse()
+    };
+    parsed.map_err(|_| AsmError {
+        line,
+        message: format!("bad immediate '{tok}'"),
+    })
+}
+
+/// Assemble a program from text.
+pub fn assemble(text: &str) -> Result<Vec<Instr>, AsmError> {
+    let mut program = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split(';').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (mnemonic, rest) = line.split_once(char::is_whitespace).ok_or_else(|| AsmError {
+            line: line_no,
+            message: format!("missing operands in '{line}'"),
+        })?;
+        let ops: Vec<&str> = rest.split(',').map(str::trim).collect();
+        let expect = |n: usize| -> Result<(), AsmError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(AsmError {
+                    line: line_no,
+                    message: format!("{mnemonic} takes {n} operands, got {}", ops.len()),
+                })
+            }
+        };
+        let instr = match mnemonic {
+            "lqd" => {
+                expect(2)?;
+                Instr::Lqd { rt: parse_reg(ops[0], line_no)?, addr: parse_imm(ops[1], line_no)? }
+            }
+            "stqd" => {
+                expect(2)?;
+                Instr::Stqd { rt: parse_reg(ops[0], line_no)?, addr: parse_imm(ops[1], line_no)? }
+            }
+            "shufb" | "shufd" => {
+                expect(3)?;
+                let lane = parse_imm(ops[2], line_no)? as u8;
+                let max_lane = if mnemonic == "shufb" { 4 } else { 2 };
+                if lane as u32 >= max_lane {
+                    return Err(AsmError {
+                        line: line_no,
+                        message: format!("lane {lane} out of range for {mnemonic}"),
+                    });
+                }
+                let (rt, ra) = (parse_reg(ops[0], line_no)?, parse_reg(ops[1], line_no)?);
+                if mnemonic == "shufb" {
+                    Instr::ShufbW { rt, ra, lane }
+                } else {
+                    Instr::ShufbD { rt, ra, lane }
+                }
+            }
+            "fa" | "fcgt" | "dfa" | "dfcgt" | "a" | "lqx" | "stqx" => {
+                expect(3)?;
+                let rt = parse_reg(ops[0], line_no)?;
+                let ra = parse_reg(ops[1], line_no)?;
+                let rb = parse_reg(ops[2], line_no)?;
+                match mnemonic {
+                    "fa" => Instr::Fa { rt, ra, rb },
+                    "fcgt" => Instr::Fcgt { rt, ra, rb },
+                    "dfa" => Instr::Dfa { rt, ra, rb },
+                    "dfcgt" => Instr::Dfcgt { rt, ra, rb },
+                    "a" => Instr::A { rt, ra, rb },
+                    "lqx" => Instr::Lqx { rt, ra, rb },
+                    _ => Instr::Stqx { rt, ra, rb },
+                }
+            }
+            "il" => {
+                expect(2)?;
+                Instr::Il {
+                    rt: parse_reg(ops[0], line_no)?,
+                    imm: parse_imm(ops[1], line_no).map(|v| v as i32).or_else(|_| {
+                        ops[1].parse::<i32>().map_err(|_| AsmError {
+                            line: line_no,
+                            message: format!("bad immediate '{}'", ops[1]),
+                        })
+                    })?,
+                }
+            }
+            "ai" => {
+                expect(3)?;
+                Instr::Ai {
+                    rt: parse_reg(ops[0], line_no)?,
+                    ra: parse_reg(ops[1], line_no)?,
+                    imm: ops[2].parse::<i32>().map_err(|_| AsmError {
+                        line: line_no,
+                        message: format!("bad immediate '{}'", ops[2]),
+                    })?,
+                }
+            }
+            "brnz" => {
+                expect(2)?;
+                Instr::Brnz {
+                    rt: parse_reg(ops[0], line_no)?,
+                    target: parse_imm(ops[1], line_no)?,
+                }
+            }
+            "br" => {
+                expect(1)?;
+                Instr::Br { target: parse_imm(ops[0], line_no)? }
+            }
+            "selb" => {
+                expect(4)?;
+                Instr::Selb {
+                    rt: parse_reg(ops[0], line_no)?,
+                    ra: parse_reg(ops[1], line_no)?,
+                    rb: parse_reg(ops[2], line_no)?,
+                    rc: parse_reg(ops[3], line_no)?,
+                }
+            }
+            other => {
+                return Err(AsmError {
+                    line: line_no,
+                    message: format!("unknown mnemonic '{other}'"),
+                })
+            }
+        };
+        program.push(instr);
+    }
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{sp_kernel_blocked, sp_kernel_tree, TileAddrs};
+    use crate::spu::Spu;
+
+    #[test]
+    fn roundtrip_generated_kernels() {
+        for prog in [
+            sp_kernel_blocked(TileAddrs::packed_sp(0)),
+            sp_kernel_tree(TileAddrs::packed_sp(192)),
+        ] {
+            let text = disassemble(&prog);
+            let back = assemble(&text).unwrap();
+            assert_eq!(back, prog);
+        }
+    }
+
+    #[test]
+    fn assemble_with_comments_and_blanks() {
+        let text = "\n; full line comment\nlqd r1, 0x10 ; trailing\n\n  fa r2, r1, r1\n";
+        let p = assemble(text).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0], Instr::Lqd { rt: Reg(1), addr: 16 });
+    }
+
+    #[test]
+    fn assembled_program_executes() {
+        let text = "lqd r1, 0\nlqd r2, 16\nfa r3, r1, r2\nfcgt r4, r1, r3\nselb r5, r1, r3, r4\nstqd r5, 32";
+        let prog = assemble(text).unwrap();
+        let mut spu = Spu::new();
+        spu.write_f32(0, &[5.0, -1.0, 2.0, 0.0]);
+        spu.write_f32(16, &[1.0, 1.0, 1.0, 1.0]);
+        spu.execute(&prog);
+        // min(v1, v1+v2) lane-wise.
+        assert_eq!(spu.read_f32(32, 4), vec![5.0, -1.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn error_reporting() {
+        assert_eq!(assemble("bogus r1, r2").unwrap_err().line, 1);
+        assert!(assemble("lqd r200, 0").unwrap_err().message.contains("out of range"));
+        assert!(assemble("shufb r1, r2, 7").unwrap_err().message.contains("lane"));
+        assert!(assemble("fa r1, r2").unwrap_err().message.contains("operands"));
+        assert!(assemble("lqd r1, zz").unwrap_err().message.contains("immediate"));
+    }
+
+    #[test]
+    fn scheduled_listing_contains_cycles() {
+        let prog = assemble("lqd r1, 0\nfa r2, r1, r1").unwrap();
+        let listing = disassemble_scheduled(&prog);
+        assert!(listing.contains("    0 o  lqd"));
+        assert!(listing.contains("    6 e  fa"));
+    }
+}
+
+#[cfg(test)]
+mod control_flow_asm_tests {
+    use super::*;
+    use crate::spu::Spu;
+
+    #[test]
+    fn assemble_and_run_a_loop() {
+        // The same summation loop as the executor test, written in text.
+        let text = "\
+il   r1, 0        ; cursor
+il   r2, 4        ; count
+il   r3, 0
+il   r10, 0       ; acc
+lqx  r4, r1, r3   ; loop body (index 4)
+fa   r10, r10, r4
+ai   r1, r1, 16
+ai   r2, r2, -1
+brnz r2, 4
+stqd r10, 0x100
+";
+        let prog = assemble(text).unwrap();
+        let mut spu = Spu::new();
+        for k in 0..4 {
+            spu.write_f32(16 * k, &[1.0; 4]);
+        }
+        spu.run(&prog, 1000).unwrap();
+        assert_eq!(spu.read_f32(256, 4), vec![4.0; 4]);
+    }
+
+    #[test]
+    fn control_flow_roundtrips() {
+        let prog = vec![
+            Instr::Il { rt: Reg(5), imm: -42 },
+            Instr::Ai { rt: Reg(6), ra: Reg(5), imm: 1 },
+            Instr::A { rt: Reg(7), ra: Reg(5), rb: Reg(6) },
+            Instr::Lqx { rt: Reg(8), ra: Reg(5), rb: Reg(6) },
+            Instr::Stqx { rt: Reg(8), ra: Reg(5), rb: Reg(6) },
+            Instr::Brnz { rt: Reg(5), target: 0 },
+            Instr::Br { target: 6 },
+        ];
+        let text = disassemble(&prog);
+        assert_eq!(assemble(&text).unwrap(), prog);
+    }
+}

@@ -1,0 +1,300 @@
+//! The SPU micro-ISA: the instruction subset CellNPDP needs, with the
+//! latency and pipeline assignments of Table I.
+//!
+//! Each SPE is a 128-bit SIMD processor with 128 registers and two in-order
+//! pipelines of different types (paper §II-C): the *even* pipeline (0)
+//! executes arithmetic (add, compare, select) and the *odd* pipeline (1)
+//! executes loads, stores and shuffles. Two adjacent instructions dual-issue
+//! only when their pipeline types differ.
+//!
+//! Double-precision arithmetic has a 13-cycle latency and additionally
+//! stalls its pipeline for 6 cycles after issue (paper §VI-A.5).
+
+/// One of the 128 SPU registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// Register index, checked against the 128-register file.
+    pub fn index(self) -> usize {
+        debug_assert!(self.0 < 128, "SPU has 128 registers");
+        self.0 as usize
+    }
+}
+
+/// Which SPU pipeline an instruction executes on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pipe {
+    /// Pipeline 0: fixed/floating arithmetic (fa, fcgt, selb, dfa, dfcgt).
+    Even,
+    /// Pipeline 1: local-store access and byte permutes (lqd, stqd, shufb).
+    Odd,
+}
+
+/// SPU instructions used by the CellNPDP kernels.
+///
+/// Local-store addresses are byte offsets, quadword (16-byte) aligned for
+/// `Lqd`/`Stqd` as on real hardware.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Instr {
+    /// Load quadword: `rt ← LS[addr..addr+16]`.
+    Lqd { rt: Reg, addr: u32 },
+    /// Store quadword: `LS[addr..addr+16] ← rt`.
+    Stqd { rt: Reg, addr: u32 },
+    /// Broadcast 32-bit lane `lane` of `ra` to all four lanes of `rt`
+    /// (a `shufb` with a replicate pattern).
+    ShufbW { rt: Reg, ra: Reg, lane: u8 },
+    /// Broadcast 64-bit lane `lane` of `ra` to both lanes of `rt`.
+    ShufbD { rt: Reg, ra: Reg, lane: u8 },
+    /// Single-precision vector add: `rt ← ra + rb` (4 lanes).
+    Fa { rt: Reg, ra: Reg, rb: Reg },
+    /// Single-precision compare greater-than: all-ones per true lane.
+    Fcgt { rt: Reg, ra: Reg, rb: Reg },
+    /// Bit select: `rt ← (ra & !rc) | (rb & rc)`.
+    Selb { rt: Reg, ra: Reg, rb: Reg, rc: Reg },
+    /// Double-precision vector add (2 lanes).
+    Dfa { rt: Reg, ra: Reg, rb: Reg },
+    /// Double-precision compare greater-than.
+    Dfcgt { rt: Reg, ra: Reg, rb: Reg },
+    /// Immediate load: every 32-bit lane of `rt` ← `imm` (sign-extended).
+    Il { rt: Reg, imm: i32 },
+    /// Add word immediate: per 32-bit lane, `rt ← ra + imm`.
+    Ai { rt: Reg, ra: Reg, imm: i32 },
+    /// Integer word add: per 32-bit lane, `rt ← ra + rb`.
+    A { rt: Reg, ra: Reg, rb: Reg },
+    /// Indexed load: `rt ← LS[(ra₀ + rb₀) & ~15 .. +16]` (lane-0 addresses,
+    /// quadword aligned as on hardware).
+    Lqx { rt: Reg, ra: Reg, rb: Reg },
+    /// Indexed store.
+    Stqx { rt: Reg, ra: Reg, rb: Reg },
+    /// Branch to instruction index `target` if `rt`'s preferred word
+    /// (lane 0) is non-zero.
+    Brnz { rt: Reg, target: u32 },
+    /// Unconditional branch to instruction index `target`.
+    Br { target: u32 },
+}
+
+impl Instr {
+    /// Result latency in cycles (Table I; DP per §VI-A.5; fixed-point and
+    /// branch latencies per the SPU pipeline documentation).
+    pub fn latency(&self) -> u32 {
+        match self {
+            Instr::Lqd { .. } | Instr::Stqd { .. } => 6,
+            Instr::Lqx { .. } | Instr::Stqx { .. } => 6,
+            Instr::ShufbW { .. } | Instr::ShufbD { .. } => 4,
+            Instr::Fa { .. } => 6,
+            Instr::Fcgt { .. } | Instr::Selb { .. } => 2,
+            Instr::Dfa { .. } | Instr::Dfcgt { .. } => 13,
+            Instr::Il { .. } | Instr::Ai { .. } | Instr::A { .. } => 2,
+            Instr::Brnz { .. } | Instr::Br { .. } => 4,
+        }
+    }
+
+    /// Extra cycles the issuing pipeline stays blocked after issue
+    /// (the DP stall: at least 6 cycles to the next instruction on the same
+    /// pipeline).
+    pub fn issue_stall(&self) -> u32 {
+        match self {
+            Instr::Dfa { .. } | Instr::Dfcgt { .. } => 6,
+            _ => 0,
+        }
+    }
+
+    /// Pipeline assignment.
+    pub fn pipe(&self) -> Pipe {
+        match self {
+            Instr::Lqd { .. }
+            | Instr::Stqd { .. }
+            | Instr::Lqx { .. }
+            | Instr::Stqx { .. }
+            | Instr::ShufbW { .. }
+            | Instr::ShufbD { .. }
+            | Instr::Brnz { .. }
+            | Instr::Br { .. } => Pipe::Odd,
+            _ => Pipe::Even,
+        }
+    }
+
+    /// Whether this is a control-flow instruction (the straight-line
+    /// scheduler and the software pipeliner treat these as barriers).
+    pub fn is_branch(&self) -> bool {
+        matches!(self, Instr::Brnz { .. } | Instr::Br { .. })
+    }
+
+    /// Destination register written by this instruction, if any.
+    pub fn dst(&self) -> Option<Reg> {
+        match *self {
+            Instr::Lqd { rt, .. }
+            | Instr::Lqx { rt, .. }
+            | Instr::ShufbW { rt, .. }
+            | Instr::ShufbD { rt, .. }
+            | Instr::Fa { rt, .. }
+            | Instr::Fcgt { rt, .. }
+            | Instr::Selb { rt, .. }
+            | Instr::Dfa { rt, .. }
+            | Instr::Dfcgt { rt, .. }
+            | Instr::Il { rt, .. }
+            | Instr::Ai { rt, .. }
+            | Instr::A { rt, .. } => Some(rt),
+            Instr::Stqd { .. } | Instr::Stqx { .. } => None,
+            Instr::Brnz { .. } | Instr::Br { .. } => None,
+        }
+    }
+
+    /// Source registers read by this instruction.
+    pub fn srcs(&self) -> Vec<Reg> {
+        match *self {
+            Instr::Lqd { .. } | Instr::Il { .. } | Instr::Br { .. } => vec![],
+            Instr::Stqd { rt, .. } | Instr::Brnz { rt, .. } => vec![rt],
+            Instr::ShufbW { ra, .. } | Instr::ShufbD { ra, .. } | Instr::Ai { ra, .. } => {
+                vec![ra]
+            }
+            Instr::Fa { ra, rb, .. } | Instr::Fcgt { ra, rb, .. } => vec![ra, rb],
+            Instr::Dfa { ra, rb, .. } | Instr::Dfcgt { ra, rb, .. } => vec![ra, rb],
+            Instr::A { ra, rb, .. } | Instr::Lqx { ra, rb, .. } => vec![ra, rb],
+            Instr::Stqx { rt, ra, rb } => vec![rt, ra, rb],
+            Instr::Selb { ra, rb, rc, .. } => vec![ra, rb, rc],
+        }
+    }
+
+    /// Short mnemonic for traces and instruction histograms.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Instr::Lqd { .. } => "lqd",
+            Instr::Stqd { .. } => "stqd",
+            Instr::Lqx { .. } => "lqx",
+            Instr::Stqx { .. } => "stqx",
+            Instr::ShufbW { .. } | Instr::ShufbD { .. } => "shufb",
+            Instr::Fa { .. } => "fa",
+            Instr::Fcgt { .. } => "fcgt",
+            Instr::Selb { .. } => "selb",
+            Instr::Dfa { .. } => "dfa",
+            Instr::Dfcgt { .. } => "dfcgt",
+            Instr::Il { .. } => "il",
+            Instr::Ai { .. } => "ai",
+            Instr::A { .. } => "a",
+            Instr::Brnz { .. } => "brnz",
+            Instr::Br { .. } => "br",
+        }
+    }
+}
+
+/// Instruction-mix histogram of a program — the raw material of Table I.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InstrMix {
+    /// `lqd` count.
+    pub loads: usize,
+    /// `stqd` count.
+    pub stores: usize,
+    /// `shufb` count.
+    pub shuffles: usize,
+    /// `fa`/`dfa` count.
+    pub adds: usize,
+    /// `fcgt`/`dfcgt` count.
+    pub compares: usize,
+    /// `selb` count.
+    pub selects: usize,
+    /// Fixed-point / control instructions (`il`, `ai`, `a`, branches).
+    pub other: usize,
+}
+
+impl InstrMix {
+    /// Histogram a program.
+    pub fn of(program: &[Instr]) -> Self {
+        let mut mix = Self::default();
+        for i in program {
+            match i {
+                Instr::Lqd { .. } | Instr::Lqx { .. } => mix.loads += 1,
+                Instr::Stqd { .. } | Instr::Stqx { .. } => mix.stores += 1,
+                Instr::ShufbW { .. } | Instr::ShufbD { .. } => mix.shuffles += 1,
+                Instr::Fa { .. } | Instr::Dfa { .. } => mix.adds += 1,
+                Instr::Fcgt { .. } | Instr::Dfcgt { .. } => mix.compares += 1,
+                Instr::Selb { .. } => mix.selects += 1,
+                Instr::Il { .. }
+                | Instr::Ai { .. }
+                | Instr::A { .. }
+                | Instr::Brnz { .. }
+                | Instr::Br { .. } => mix.other += 1,
+            }
+        }
+        mix
+    }
+
+    /// Total instruction count.
+    pub fn total(&self) -> usize {
+        self.loads + self.stores + self.shuffles + self.adds + self.compares + self.selects
+            + self.other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_latencies() {
+        let r = Reg(0);
+        assert_eq!(Instr::Lqd { rt: r, addr: 0 }.latency(), 6);
+        assert_eq!(Instr::ShufbW { rt: r, ra: r, lane: 0 }.latency(), 4);
+        assert_eq!(Instr::Fa { rt: r, ra: r, rb: r }.latency(), 6);
+        assert_eq!(Instr::Fcgt { rt: r, ra: r, rb: r }.latency(), 2);
+        assert_eq!(
+            Instr::Selb { rt: r, ra: r, rb: r, rc: r }.latency(),
+            2
+        );
+        assert_eq!(Instr::Stqd { rt: r, addr: 0 }.latency(), 6);
+    }
+
+    #[test]
+    fn table1_pipeline_types() {
+        let r = Reg(0);
+        assert_eq!(Instr::Lqd { rt: r, addr: 0 }.pipe(), Pipe::Odd);
+        assert_eq!(Instr::Stqd { rt: r, addr: 0 }.pipe(), Pipe::Odd);
+        assert_eq!(Instr::ShufbW { rt: r, ra: r, lane: 0 }.pipe(), Pipe::Odd);
+        assert_eq!(Instr::Fa { rt: r, ra: r, rb: r }.pipe(), Pipe::Even);
+        assert_eq!(Instr::Fcgt { rt: r, ra: r, rb: r }.pipe(), Pipe::Even);
+        assert_eq!(
+            Instr::Selb { rt: r, ra: r, rb: r, rc: r }.pipe(),
+            Pipe::Even
+        );
+    }
+
+    #[test]
+    fn dp_instructions_stall() {
+        let r = Reg(0);
+        assert_eq!(Instr::Dfa { rt: r, ra: r, rb: r }.latency(), 13);
+        assert_eq!(Instr::Dfa { rt: r, ra: r, rb: r }.issue_stall(), 6);
+        assert_eq!(Instr::Fa { rt: r, ra: r, rb: r }.issue_stall(), 0);
+    }
+
+    #[test]
+    fn dst_and_srcs() {
+        let i = Instr::Selb {
+            rt: Reg(7),
+            ra: Reg(1),
+            rb: Reg(2),
+            rc: Reg(3),
+        };
+        assert_eq!(i.dst(), Some(Reg(7)));
+        assert_eq!(i.srcs(), vec![Reg(1), Reg(2), Reg(3)]);
+        let s = Instr::Stqd { rt: Reg(4), addr: 16 };
+        assert_eq!(s.dst(), None);
+        assert_eq!(s.srcs(), vec![Reg(4)]);
+    }
+
+    #[test]
+    fn mix_histogram() {
+        let r = Reg(0);
+        let prog = vec![
+            Instr::Lqd { rt: r, addr: 0 },
+            Instr::Fa { rt: r, ra: r, rb: r },
+            Instr::Fa { rt: r, ra: r, rb: r },
+            Instr::Stqd { rt: r, addr: 0 },
+        ];
+        let mix = InstrMix::of(&prog);
+        assert_eq!(mix.loads, 1);
+        assert_eq!(mix.adds, 2);
+        assert_eq!(mix.stores, 1);
+        assert_eq!(mix.total(), 4);
+    }
+}

@@ -1,0 +1,391 @@
+//! SPU program builders for the computing-block kernels (paper §IV-A).
+//!
+//! Three single-precision variants tell the paper's optimization story:
+//!
+//! * [`sp_kernel_naive`] — the 8-instruction listing applied per step with
+//!   no register blocking: 16 × 8 = **128 instructions**.
+//! * [`sp_kernel_blocked`] — A, B and C buffered in 12 registers, removing
+//!   48 redundant loads/stores: **80 instructions** (Table I), emitted in
+//!   plain row-sequential order.
+//! * [`crate::swp::software_pipeline`] applied to the blocked kernel — the
+//!   order that hides instruction latency across the independent rows,
+//!   reaching the paper's ~54 cycles.
+//!
+//! The double-precision variant [`dp_kernel_blocked`] needs two registers
+//! per tile row (two 64-bit lanes per register), doubling the instruction
+//! count; combined with the 13-cycle latency and the 6-cycle pipeline stall
+//! this reproduces the paper's much poorer DP throughput (§VI-A.5).
+//!
+//! All tile operands are 4×4, stored contiguously in the local store
+//! (4 quadwords SP, 8 quadwords DP). The `min` is reassociated as a balanced
+//! tree in the pipelined variant — exact for `min`, so results stay
+//! bit-identical.
+
+use crate::isa::{Instr, Reg};
+
+/// Local-store byte addresses of the three 4×4 tiles of one update
+/// `C = min(C, A ⊗ B)`.
+#[derive(Debug, Clone, Copy)]
+pub struct TileAddrs {
+    /// A tile base (row-major, contiguous).
+    pub a: u32,
+    /// B tile base.
+    pub b: u32,
+    /// C tile base.
+    pub c: u32,
+}
+
+impl TileAddrs {
+    /// Tiles packed back to back starting at `base` (A, B, then C), SP.
+    pub fn packed_sp(base: u32) -> Self {
+        Self {
+            a: base,
+            b: base + 64,
+            c: base + 128,
+        }
+    }
+
+    /// Tiles packed back to back starting at `base`, DP (128 B per tile).
+    pub fn packed_dp(base: u32) -> Self {
+        Self {
+            a: base,
+            b: base + 128,
+            c: base + 256,
+        }
+    }
+}
+
+// Register conventions for the SP kernels.
+const A0: u8 = 0; // A rows: r0..r3
+const B0: u8 = 4; // B rows: r4..r7
+const C0: u8 = 8; // C rows: r8..r11
+
+/// The naive per-step kernel: every step reloads its operands and stores C
+/// (the "16 steps × 8 instructions = 128" count of §IV-A).
+pub fn sp_kernel_naive(t: TileAddrs) -> Vec<Instr> {
+    let mut p = Vec::with_capacity(128);
+    for r in 0..4u8 {
+        for k in 0..4u8 {
+            let (v1, v2, v3, v4, v5, v6, v7) = (
+                Reg(20),
+                Reg(21),
+                Reg(22),
+                Reg(23),
+                Reg(24),
+                Reg(25),
+                Reg(26),
+            );
+            p.push(Instr::Lqd { rt: v1, addr: t.c + 16 * r as u32 }); // C row
+            p.push(Instr::Lqd { rt: v2, addr: t.b + 16 * k as u32 }); // B row k
+            p.push(Instr::Lqd { rt: v3, addr: t.a + 16 * r as u32 }); // A row
+            p.push(Instr::ShufbW { rt: v4, ra: v3, lane: k });
+            p.push(Instr::Fa { rt: v5, ra: v4, rb: v2 });
+            p.push(Instr::Fcgt { rt: v6, ra: v1, rb: v5 });
+            p.push(Instr::Selb { rt: v7, ra: v1, rb: v5, rc: v6 });
+            p.push(Instr::Stqd { rt: v7, addr: t.c + 16 * r as u32 });
+        }
+    }
+    p
+}
+
+/// The register-blocked kernel: 12 loads, 16 × (shufb, fa, fcgt, selb),
+/// 4 stores — the 80 instructions of Table I, in row-sequential order.
+pub fn sp_kernel_blocked(t: TileAddrs) -> Vec<Instr> {
+    let mut p = Vec::with_capacity(80);
+    for r in 0..4u8 {
+        p.push(Instr::Lqd { rt: Reg(A0 + r), addr: t.a + 16 * r as u32 });
+    }
+    for r in 0..4u8 {
+        p.push(Instr::Lqd { rt: Reg(B0 + r), addr: t.b + 16 * r as u32 });
+    }
+    for r in 0..4u8 {
+        p.push(Instr::Lqd { rt: Reg(C0 + r), addr: t.c + 16 * r as u32 });
+    }
+    // Distinct temporaries per (r, k) step keep the dataflow visible to the
+    // software pipeliner: broadcasts r16.., candidates r32.., masks r48...
+    for r in 0..4u8 {
+        for k in 0..4u8 {
+            let idx = 4 * r + k;
+            let bc = Reg(16 + idx);
+            let cand = Reg(32 + idx);
+            let mask = Reg(48 + idx);
+            p.push(Instr::ShufbW { rt: bc, ra: Reg(A0 + r), lane: k });
+            p.push(Instr::Fa { rt: cand, ra: bc, rb: Reg(B0 + k) });
+            p.push(Instr::Fcgt { rt: mask, ra: Reg(C0 + r), rb: cand });
+            p.push(Instr::Selb { rt: Reg(C0 + r), ra: Reg(C0 + r), rb: cand, rc: mask });
+        }
+    }
+    for r in 0..4u8 {
+        p.push(Instr::Stqd { rt: Reg(C0 + r), addr: t.c + 16 * r as u32 });
+    }
+    debug_assert_eq!(p.len(), 80);
+    p
+}
+
+/// The register-blocked kernel with the per-row `min` reassociated into a
+/// balanced tree: `C_r = min(C_r, min(min(c0,c1), min(c2,c3)))`. Same
+/// operation counts as [`sp_kernel_blocked`] (16 compares, 16 selects), but
+/// the dependence chain per row shrinks from 16 serial updates to depth 3 —
+/// the transformation that lets software pipelining approach the paper's
+/// 54 cycles. `min` reassociation is exact, so results are bit-identical.
+pub fn sp_kernel_tree(t: TileAddrs) -> Vec<Instr> {
+    let mut p = Vec::with_capacity(80);
+    for r in 0..4u8 {
+        p.push(Instr::Lqd { rt: Reg(A0 + r), addr: t.a + 16 * r as u32 });
+    }
+    for r in 0..4u8 {
+        p.push(Instr::Lqd { rt: Reg(B0 + r), addr: t.b + 16 * r as u32 });
+    }
+    for r in 0..4u8 {
+        p.push(Instr::Lqd { rt: Reg(C0 + r), addr: t.c + 16 * r as u32 });
+    }
+    for r in 0..4u8 {
+        let base = 16 + 16 * r; // 16 scratch regs per row
+        // Broadcasts and candidates.
+        for k in 0..4u8 {
+            p.push(Instr::ShufbW { rt: Reg(base + k), ra: Reg(A0 + r), lane: k });
+            p.push(Instr::Fa {
+                rt: Reg(base + 4 + k),
+                ra: Reg(base + k),
+                rb: Reg(B0 + k),
+            });
+        }
+        let cand = |k: u8| Reg(base + 4 + k);
+        // min(c0, c1) → base+8 (mask) / base+9 (value)
+        p.push(Instr::Fcgt { rt: Reg(base + 8), ra: cand(0), rb: cand(1) });
+        p.push(Instr::Selb { rt: Reg(base + 9), ra: cand(0), rb: cand(1), rc: Reg(base + 8) });
+        // min(c2, c3) → base+10 / base+11
+        p.push(Instr::Fcgt { rt: Reg(base + 10), ra: cand(2), rb: cand(3) });
+        p.push(Instr::Selb { rt: Reg(base + 11), ra: cand(2), rb: cand(3), rc: Reg(base + 10) });
+        // min of the two partials → base+12 / base+13
+        p.push(Instr::Fcgt { rt: Reg(base + 12), ra: Reg(base + 9), rb: Reg(base + 11) });
+        p.push(Instr::Selb {
+            rt: Reg(base + 13),
+            ra: Reg(base + 9),
+            rb: Reg(base + 11),
+            rc: Reg(base + 12),
+        });
+        // Fold into C_r.
+        p.push(Instr::Fcgt { rt: Reg(base + 14), ra: Reg(C0 + r), rb: Reg(base + 13) });
+        p.push(Instr::Selb {
+            rt: Reg(C0 + r),
+            ra: Reg(C0 + r),
+            rb: Reg(base + 13),
+            rc: Reg(base + 14),
+        });
+    }
+    for r in 0..4u8 {
+        p.push(Instr::Stqd { rt: Reg(C0 + r), addr: t.c + 16 * r as u32 });
+    }
+    debug_assert_eq!(p.len(), 80);
+    p
+}
+
+/// The double-precision register-blocked kernel: two registers per 4-value
+/// tile row. 24 loads, 16 broadcasts, 32 dfa, 32 dfcgt, 32 selb, 8 stores =
+/// 144 instructions, all arithmetic with DP latency and stall.
+pub fn dp_kernel_blocked(t: TileAddrs) -> Vec<Instr> {
+    // Register map: A rows r0..r7 (two per row), B rows r8..r15,
+    // C rows r16..r23, temps r24+.
+    let a_reg = |r: u8, h: u8| Reg(2 * r + h);
+    let b_reg = |r: u8, h: u8| Reg(8 + 2 * r + h);
+    let c_reg = |r: u8, h: u8| Reg(16 + 2 * r + h);
+    let mut p = Vec::new();
+    for r in 0..4u8 {
+        for h in 0..2u8 {
+            p.push(Instr::Lqd { rt: a_reg(r, h), addr: t.a + 32 * r as u32 + 16 * h as u32 });
+        }
+    }
+    for r in 0..4u8 {
+        for h in 0..2u8 {
+            p.push(Instr::Lqd { rt: b_reg(r, h), addr: t.b + 32 * r as u32 + 16 * h as u32 });
+        }
+    }
+    for r in 0..4u8 {
+        for h in 0..2u8 {
+            p.push(Instr::Lqd { rt: c_reg(r, h), addr: t.c + 32 * r as u32 + 16 * h as u32 });
+        }
+    }
+    for r in 0..4u8 {
+        for k in 0..4u8 {
+            let idx = 4 * r + k;
+            let bc = Reg(24 + idx); // broadcast of A[r][k]
+            p.push(Instr::ShufbD { rt: bc, ra: a_reg(r, k / 2), lane: k % 2 });
+            for h in 0..2u8 {
+                let cand = Reg(40 + 2 * idx + h);
+                let mask = Reg(104 + 2 * (idx % 8) + h); // reused masks
+                p.push(Instr::Dfa { rt: cand, ra: bc, rb: b_reg(k, h) });
+                p.push(Instr::Dfcgt { rt: mask, ra: c_reg(r, h), rb: cand });
+                p.push(Instr::Selb { rt: c_reg(r, h), ra: c_reg(r, h), rb: cand, rc: mask });
+            }
+        }
+    }
+    for r in 0..4u8 {
+        for h in 0..2u8 {
+            p.push(Instr::Stqd { rt: c_reg(r, h), addr: t.c + 32 * r as u32 + 16 * h as u32 });
+        }
+    }
+    debug_assert_eq!(p.len(), 24 + 16 + 96 + 8);
+    p
+}
+
+/// A stream of `count` back-to-back SP tree kernels on rotating scratch
+/// slots — the steady-state workload whose amortized schedule length is the
+/// performance model's `C_C` (prologue and drain overlap across
+/// invocations, as they do in the real engine's inner loop).
+pub fn sp_kernel_stream(count: usize) -> Vec<Instr> {
+    let mut p = Vec::new();
+    for i in 0..count {
+        p.extend(sp_kernel_tree(TileAddrs::packed_sp((i % 3) as u32 * 192)));
+    }
+    p
+}
+
+/// DP variant of [`sp_kernel_stream`].
+pub fn dp_kernel_stream(count: usize) -> Vec<Instr> {
+    let mut p = Vec::new();
+    for i in 0..count {
+        p.extend(dp_kernel_blocked(TileAddrs::packed_dp((i % 3) as u32 * 384)));
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::InstrMix;
+    use crate::spu::Spu;
+
+    fn lcg_vals(seed: u64, count: usize, scale: f32) -> Vec<f32> {
+        let mut s = seed;
+        (0..count)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((s >> 33) as f32) / (u32::MAX as f32) * scale
+            })
+            .collect()
+    }
+
+    fn host_reference_sp(a: &[f32], b: &[f32], c: &[f32]) -> Vec<f32> {
+        let mut out = c.to_vec();
+        for r in 0..4 {
+            for cc in 0..4 {
+                let mut best = out[4 * r + cc];
+                for k in 0..4 {
+                    let cand = a[4 * r + k] + b[4 * k + cc];
+                    if best > cand {
+                        best = cand;
+                    }
+                }
+                out[4 * r + cc] = best;
+            }
+        }
+        out
+    }
+
+    fn run_sp(program_for: impl Fn(TileAddrs) -> Vec<Instr>, seed: u64) {
+        let a = lcg_vals(seed, 16, 50.0);
+        let b = lcg_vals(seed + 1, 16, 50.0);
+        let c = lcg_vals(seed + 2, 16, 50.0);
+        let t = TileAddrs::packed_sp(0);
+        let mut spu = Spu::new();
+        spu.write_f32(t.a as usize, &a);
+        spu.write_f32(t.b as usize, &b);
+        spu.write_f32(t.c as usize, &c);
+        spu.execute(&program_for(t));
+        assert_eq!(spu.read_f32(t.c as usize, 16), host_reference_sp(&a, &b, &c));
+    }
+
+    #[test]
+    fn naive_kernel_functionally_correct() {
+        for seed in 0..8 {
+            run_sp(sp_kernel_naive, seed * 10);
+        }
+    }
+
+    #[test]
+    fn blocked_kernel_functionally_correct() {
+        for seed in 0..8 {
+            run_sp(sp_kernel_blocked, seed * 10 + 3);
+        }
+    }
+
+    #[test]
+    fn tree_kernel_functionally_correct() {
+        for seed in 0..8 {
+            run_sp(sp_kernel_tree, seed * 10 + 7);
+        }
+    }
+
+    #[test]
+    fn blocked_kernel_matches_table1_mix() {
+        let mix = InstrMix::of(&sp_kernel_blocked(TileAddrs::packed_sp(0)));
+        assert_eq!(mix.loads, 12);
+        assert_eq!(mix.shuffles, 16);
+        assert_eq!(mix.adds, 16);
+        assert_eq!(mix.compares, 16);
+        assert_eq!(mix.selects, 16);
+        assert_eq!(mix.stores, 4);
+        assert_eq!(mix.total(), 80);
+        // And it matches the host-side constant from simd-kernel.
+        let k = simd_kernel::KERNEL_SIMD_INSTRUCTIONS;
+        assert_eq!(mix.loads, k.loads);
+        assert_eq!(mix.stores, k.stores);
+    }
+
+    #[test]
+    fn naive_kernel_has_128_instructions() {
+        assert_eq!(sp_kernel_naive(TileAddrs::packed_sp(0)).len(), 128);
+    }
+
+    #[test]
+    fn tree_kernel_same_mix_as_blocked() {
+        let t = TileAddrs::packed_sp(0);
+        assert_eq!(InstrMix::of(&sp_kernel_tree(t)), InstrMix::of(&sp_kernel_blocked(t)));
+    }
+
+    #[test]
+    fn dp_kernel_functionally_correct() {
+        let to_f64 = |v: Vec<f32>| v.into_iter().map(f64::from).collect::<Vec<_>>();
+        for seed in 0..6 {
+            let a = to_f64(lcg_vals(seed, 16, 50.0));
+            let b = to_f64(lcg_vals(seed + 40, 16, 50.0));
+            let c = to_f64(lcg_vals(seed + 80, 16, 50.0));
+            let t = TileAddrs::packed_dp(0);
+            let mut spu = Spu::new();
+            spu.write_f64(t.a as usize, &a);
+            spu.write_f64(t.b as usize, &b);
+            spu.write_f64(t.c as usize, &c);
+            spu.execute(&dp_kernel_blocked(t));
+            let got = spu.read_f64(t.c as usize, 16);
+            let mut expect = c.clone();
+            for r in 0..4 {
+                for cc in 0..4 {
+                    for k in 0..4 {
+                        let cand = a[4 * r + k] + b[4 * k + cc];
+                        if expect[4 * r + cc] > cand {
+                            expect[4 * r + cc] = cand;
+                        }
+                    }
+                }
+            }
+            assert_eq!(got, expect, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn kernels_with_infinity_padding_inert() {
+        let t = TileAddrs::packed_sp(0);
+        let mut spu = Spu::new();
+        let a = vec![f32::INFINITY; 16];
+        let b = lcg_vals(5, 16, 50.0);
+        let c = lcg_vals(6, 16, 50.0);
+        spu.write_f32(t.a as usize, &a);
+        spu.write_f32(t.b as usize, &b);
+        spu.write_f32(t.c as usize, &c);
+        spu.execute(&sp_kernel_tree(t));
+        assert_eq!(spu.read_f32(t.c as usize, 16), c);
+    }
+}

@@ -1,0 +1,289 @@
+//! Whole-block SPU programs with real control flow: one looped program
+//! performs the entire stage-1 update `C ⊗= A × B` over `nb × nb` blocks
+//! in the local store — loops, counted branches and strength-reduced
+//! address arithmetic included — instead of re-staging a straight-line
+//! kernel per 4×4 tile.
+//!
+//! This is how a production SPE binary is actually structured (the paper's
+//! SPE procedure is a loop nest around the 80-instruction kernel), and it
+//! exercises the simulator's branch/indexed-addressing path end to end.
+//!
+//! Loop structure (tile coordinates, `nt = nb/4` tiles per side):
+//!
+//! ```text
+//! for r in 0..nt:          # C/A tile row
+//!   for c in 0..nt:        # C/B tile column
+//!     load C(r,c) rows into registers
+//!     for t in 0..nt:      # reduction dimension
+//!       load A(r,t) and B(t,c) rows
+//!       16 × (shufb, fa, fcgt, selb)
+//!     store C(r,c)
+//! ```
+//!
+//! All addresses advance by additions only (no multiply in the ISA):
+//! cursors track `A(r,t)`, `B(t,c)` and `C(r,c)` and are stepped/reset with
+//! `ai` at the right loop boundaries.
+
+use crate::isa::{Instr, Reg};
+
+/// Register map for the looped program.
+mod regs {
+    /// A-row registers (4).
+    pub const A0: u8 = 0;
+    /// B-row registers (4).
+    pub const B0: u8 = 4;
+    /// C-row registers (4).
+    pub const C0: u8 = 8;
+    /// Broadcast / candidate / mask scratch.
+    pub const BC: u8 = 12;
+    pub const CAND: u8 = 13;
+    pub const MASK: u8 = 14;
+    /// Address cursors.
+    pub const A_CUR: u8 = 16;
+    pub const B_CUR: u8 = 17;
+    pub const C_CUR: u8 = 18;
+    /// Row-offset helper registers (0, nb·4, 2·nb·4, 3·nb·4 bytes).
+    pub const OFF0: u8 = 20;
+    pub const OFF1: u8 = 21;
+    pub const OFF2: u8 = 22;
+    pub const OFF3: u8 = 23;
+    /// Loop counters.
+    pub const R_CNT: u8 = 24;
+    pub const C_CNT: u8 = 25;
+    pub const T_CNT: u8 = 26;
+}
+
+/// Generate the looped stage-1 program for `nb × nb` blocks at local-store
+/// byte bases `a_base`, `b_base`, `c_base` (each block row-major,
+/// contiguous, f32).
+///
+/// # Panics
+/// If `nb` is not a positive multiple of 4 or any base is not quadword
+/// aligned.
+pub fn looped_stage1_program(nb: usize, a_base: u32, b_base: u32, c_base: u32) -> Vec<Instr> {
+    assert!(nb >= 4 && nb.is_multiple_of(4), "block side must be a multiple of 4");
+    for b in [a_base, b_base, c_base] {
+        assert!(b % 16 == 0, "block bases must be quadword aligned");
+    }
+    use regs::*;
+    let nt = (nb / 4) as i32;
+    let row_bytes = (nb * 4) as i32;
+
+    let mut p: Vec<Instr> = Vec::new();
+    let r = Reg;
+
+    // --- Prologue: row-offset constants and the r-loop counter. ---
+    p.push(Instr::Il { rt: r(OFF0), imm: 0 });
+    p.push(Instr::Il { rt: r(OFF1), imm: row_bytes });
+    p.push(Instr::Ai { rt: r(OFF2), ra: r(OFF1), imm: row_bytes });
+    p.push(Instr::Ai { rt: r(OFF3), ra: r(OFF2), imm: row_bytes });
+    p.push(Instr::Il { rt: r(R_CNT), imm: nt });
+    // C cursor starts at c_base; A row cursor at a_base.
+    p.push(Instr::Il { rt: r(C_CUR), imm: c_base as i32 });
+    p.push(Instr::Il { rt: r(A_CUR), imm: a_base as i32 });
+
+    // --- r loop head. ---
+    let r_loop = p.len() as u32;
+    p.push(Instr::Il { rt: r(C_CNT), imm: nt });
+
+    // --- c loop head: load C(r,c). ---
+    let c_loop = p.len() as u32;
+    p.push(Instr::Lqx { rt: r(C0), ra: r(C_CUR), rb: r(OFF0) });
+    p.push(Instr::Lqx { rt: r(C0 + 1), ra: r(C_CUR), rb: r(OFF1) });
+    p.push(Instr::Lqx { rt: r(C0 + 2), ra: r(C_CUR), rb: r(OFF2) });
+    p.push(Instr::Lqx { rt: r(C0 + 3), ra: r(C_CUR), rb: r(OFF3) });
+    // B cursor restarts at the top of the current tile column; the column
+    // offset equals (c_base cursor offset within the row): recover it from
+    // C_CUR minus the row start. Simpler: keep a dedicated B column cursor
+    // stepped at the end of each c iteration and reset per r iteration —
+    // but B's column base is independent of r, so track it with B_CUR and
+    // rewind after the t loop.
+    p.push(Instr::Il { rt: r(T_CNT), imm: nt });
+
+    // --- t loop head: load A(r,t) rows and B(t,c) rows. ---
+    let t_loop = p.len() as u32;
+    p.push(Instr::Lqx { rt: r(A0), ra: r(A_CUR), rb: r(OFF0) });
+    p.push(Instr::Lqx { rt: r(A0 + 1), ra: r(A_CUR), rb: r(OFF1) });
+    p.push(Instr::Lqx { rt: r(A0 + 2), ra: r(A_CUR), rb: r(OFF2) });
+    p.push(Instr::Lqx { rt: r(A0 + 3), ra: r(A_CUR), rb: r(OFF3) });
+    p.push(Instr::Lqx { rt: r(B0), ra: r(B_CUR), rb: r(OFF0) });
+    p.push(Instr::Lqx { rt: r(B0 + 1), ra: r(B_CUR), rb: r(OFF1) });
+    p.push(Instr::Lqx { rt: r(B0 + 2), ra: r(B_CUR), rb: r(OFF2) });
+    p.push(Instr::Lqx { rt: r(B0 + 3), ra: r(B_CUR), rb: r(OFF3) });
+    // The 16-step register kernel.
+    for row in 0..4u8 {
+        for k in 0..4u8 {
+            p.push(Instr::ShufbW { rt: r(BC), ra: r(A0 + row), lane: k });
+            p.push(Instr::Fa { rt: r(CAND), ra: r(BC), rb: r(B0 + k) });
+            p.push(Instr::Fcgt { rt: r(MASK), ra: r(C0 + row), rb: r(CAND) });
+            p.push(Instr::Selb { rt: r(C0 + row), ra: r(C0 + row), rb: r(CAND), rc: r(MASK) });
+        }
+    }
+    // Advance: A one tile right (16 B); B four rows down (4·row_bytes).
+    p.push(Instr::Ai { rt: r(A_CUR), ra: r(A_CUR), imm: 16 });
+    p.push(Instr::Ai { rt: r(B_CUR), ra: r(B_CUR), imm: 4 * row_bytes });
+    p.push(Instr::Ai { rt: r(T_CNT), ra: r(T_CNT), imm: -1 });
+    p.push(Instr::Brnz { rt: r(T_CNT), target: t_loop });
+
+    // --- c loop tail: store C(r,c); rewind A row; advance C and B column.
+    p.push(Instr::Stqx { rt: r(C0), ra: r(C_CUR), rb: r(OFF0) });
+    p.push(Instr::Stqx { rt: r(C0 + 1), ra: r(C_CUR), rb: r(OFF1) });
+    p.push(Instr::Stqx { rt: r(C0 + 2), ra: r(C_CUR), rb: r(OFF2) });
+    p.push(Instr::Stqx { rt: r(C0 + 3), ra: r(C_CUR), rb: r(OFF3) });
+    // A went nt tiles right (nt·16 = nb·4 bytes = row_bytes): rewind.
+    p.push(Instr::Ai { rt: r(A_CUR), ra: r(A_CUR), imm: -row_bytes });
+    // B went nt·4 rows down (= nb rows = the whole block) and must move to
+    // the next tile column: rewind nb rows, advance 16 B.
+    p.push(Instr::Ai { rt: r(B_CUR), ra: r(B_CUR), imm: -(nb as i32) * row_bytes + 16 });
+    p.push(Instr::Ai { rt: r(C_CUR), ra: r(C_CUR), imm: 16 });
+    p.push(Instr::Ai { rt: r(C_CNT), ra: r(C_CNT), imm: -1 });
+    p.push(Instr::Brnz { rt: r(C_CNT), target: c_loop });
+
+    // --- r loop tail: C to next tile row (advance 4 rows minus the nt·16
+    // column steps already taken); A down one tile row; B back to column 0
+    // (the c loop advanced it nt·16 = row_bytes to the right).
+    p.push(Instr::Ai { rt: r(C_CUR), ra: r(C_CUR), imm: 4 * row_bytes - row_bytes });
+    p.push(Instr::Ai { rt: r(A_CUR), ra: r(A_CUR), imm: 4 * row_bytes });
+    p.push(Instr::Ai { rt: r(B_CUR), ra: r(B_CUR), imm: -row_bytes });
+    p.push(Instr::Ai { rt: r(R_CNT), ra: r(R_CNT), imm: -1 });
+    p.push(Instr::Brnz { rt: r(R_CNT), target: r_loop });
+
+    // B_CUR must be initialized before first use; patch the prologue.
+    // (Inserted here for clarity of the loop body above.)
+    let mut with_b = Vec::with_capacity(p.len() + 1);
+    with_b.extend_from_slice(&p[..7]);
+    with_b.push(Instr::Il { rt: r(B_CUR), imm: b_base as i32 });
+    // Shift all branch targets ≥ 7 by one.
+    for instr in &p[7..] {
+        with_b.push(match *instr {
+            Instr::Brnz { rt, target } if target >= 7 => Instr::Brnz { rt, target: target + 1 },
+            Instr::Br { target } if target >= 7 => Instr::Br { target: target + 1 },
+            other => other,
+        });
+    }
+    with_b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spu::Spu;
+    use npdp_core::DpValue;
+
+    fn lcg(seed: u64, count: usize) -> Vec<f32> {
+        let mut s = seed;
+        (0..count)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((s >> 33) as f32) / (u32::MAX as f32) * 50.0
+            })
+            .collect()
+    }
+
+    fn host_stage1(c: &mut [f32], a: &[f32], b: &[f32], nb: usize) {
+        for i in 0..nb {
+            for j in 0..nb {
+                let mut best = c[i * nb + j];
+                for k in 0..nb {
+                    best = f32::min2(best, a[i * nb + k] + b[k * nb + j]);
+                }
+                c[i * nb + j] = best;
+            }
+        }
+    }
+
+    #[test]
+    fn looped_program_computes_whole_block_pair() {
+        for nb in [4usize, 8, 12, 16] {
+            let block = nb * nb;
+            let a = lcg(1, block);
+            let b = lcg(2, block);
+            let c0 = lcg(3, block);
+
+            let bytes = (block * 4).next_multiple_of(16) as u32;
+            let (a_base, b_base, c_base) = (0u32, bytes, 2 * bytes);
+
+            let mut spu = Spu::new();
+            spu.write_f32(a_base as usize, &a);
+            spu.write_f32(b_base as usize, &b);
+            spu.write_f32(c_base as usize, &c0);
+            let prog = looped_stage1_program(nb, a_base, b_base, c_base);
+            spu.run(&prog, 10_000_000).unwrap();
+
+            let mut expect = c0.clone();
+            host_stage1(&mut expect, &a, &b, nb);
+            assert_eq!(spu.read_f32(c_base as usize, block), expect, "nb={nb}");
+        }
+    }
+
+    #[test]
+    fn looped_program_matches_host_kernel_library() {
+        // Cross-check against npdp-core's stage-1 (the SIMD engine's inner
+        // routine) rather than the scalar reference.
+        let nb = 8;
+        let block = nb * nb;
+        let a = lcg(7, block);
+        let b = lcg(8, block);
+        let c0 = lcg(9, block);
+
+        let mut host_c = c0.clone();
+        // npdp-core's block_compute::stage1 is crate-private; drive it via
+        // the public tile update.
+        for r in 0..nb / 4 {
+            for cc in 0..nb / 4 {
+                for t in 0..nb / 4 {
+                    f32::tile4_update(
+                        &mut host_c[(r * 4) * nb + cc * 4..],
+                        nb,
+                        &a[(r * 4) * nb + t * 4..],
+                        nb,
+                        &b[(t * 4) * nb + cc * 4..],
+                        nb,
+                    );
+                }
+            }
+        }
+
+        let bytes = (block * 4) as u32;
+        let mut spu = Spu::new();
+        spu.write_f32(0, &a);
+        spu.write_f32(bytes as usize, &b);
+        spu.write_f32(2 * bytes as usize, &c0);
+        let prog = looped_stage1_program(nb, 0, bytes, 2 * bytes);
+        spu.run(&prog, 1_000_000).unwrap();
+        assert_eq!(spu.read_f32(2 * bytes as usize, block), host_c);
+    }
+
+    #[test]
+    fn instruction_count_is_constant_in_nb() {
+        // The whole point of loops: program size no longer scales with the
+        // block volume.
+        let p4 = looped_stage1_program(4, 0, 256, 512).len();
+        let p16 = looped_stage1_program(16, 0, 2048, 4096).len();
+        assert_eq!(p4, p16);
+        // Straight-line equivalent would need nt³ × ~90 instructions.
+        assert!(p4 < 120, "program is {p4} instructions");
+    }
+
+    #[test]
+    fn executed_steps_scale_with_nt_cubed() {
+        let mut s4 = Spu::new();
+        let steps4 = s4
+            .run(&looped_stage1_program(4, 0, 256, 512), 10_000_000)
+            .unwrap();
+        let mut s8 = Spu::new();
+        let steps8 = s8
+            .run(&looped_stage1_program(8, 0, 1024, 2048), 10_000_000)
+            .unwrap();
+        // nt 1 → 8 t-iterations ratio: roughly 8× dynamic instructions.
+        assert!(steps8 > 5 * steps4, "{steps4} vs {steps8}");
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 4")]
+    fn rejects_bad_block_side() {
+        let _ = looped_stage1_program(6, 0, 0, 0);
+    }
+}

@@ -1,0 +1,606 @@
+//! The QS20 machine model and the block-granular discrete-event simulation
+//! of CellNPDP — the source of the simulated Table II / Fig. 9a / 10a / 11a
+//! / 13 numbers.
+//!
+//! Performance mode is *sampling-based*: the computing-block kernel is
+//! scheduled once on the dual-issue SPU model (its cycle count is exact for
+//! the instruction sequence), block-level costs are assembled from kernel
+//! counts + the DMA model, and the parallel tier is a discrete-event
+//! simulation of the paper's task queue over scheduling blocks. Paper-scale
+//! sizes (n = 16 K) simulate in milliseconds this way; the *functional*
+//! cross-check for small n lives in [`crate::npdp`].
+
+use task_queue::scheduling_grid;
+
+use crate::dma::{double_buffered_cycles, DmaModel, DmaStats};
+use crate::kernels::{dp_kernel_stream, sp_kernel_stream};
+use crate::ppe::{relaxations, Precision};
+use crate::swp::software_pipeline;
+
+/// Machine configuration (defaults model the IBM QS20 blade).
+#[derive(Debug, Clone, Copy)]
+pub struct CellConfig {
+    /// SPEs available (QS20: 16 across two Cells).
+    pub spes: usize,
+    /// SPE clock in Hz.
+    pub freq_hz: f64,
+    /// Local-store bytes per SPE.
+    pub ls_bytes: usize,
+    /// Aggregate memory bandwidth in bytes/second (QS20: 2 × 25.6 GB/s).
+    pub mem_bandwidth: f64,
+    /// DMA engine model.
+    pub dma: DmaModel,
+    /// Cycles per scalar relaxation in NDL-scalar mode (local-store
+    /// latency-bound loop; calibrated, see EXPERIMENTS.md).
+    pub scalar_relax_cycles: f64,
+    /// Cycles per scalar relaxation inside the SIMD engine's edge passes.
+    pub edge_relax_cycles: f64,
+    /// Cycles of SPE-side overhead per scheduled task (mailbox round trip
+    /// to the PPE, task fetch, DMA-list setup). This is the overhead the
+    /// paper's *scheduling blocks* exist to amortize (§IV-B).
+    pub task_overhead_cycles: f64,
+}
+
+impl CellConfig {
+    /// The IBM QS20 dual-Cell blade.
+    pub fn qs20() -> Self {
+        Self {
+            spes: 16,
+            freq_hz: 3.2e9,
+            ls_bytes: 256 * 1024,
+            mem_bandwidth: 2.0 * 25.6e9,
+            dma: DmaModel::default(),
+            scalar_relax_cycles: 27.0,
+            edge_relax_cycles: 10.0,
+            task_overhead_cycles: 4000.0,
+        }
+    }
+
+    /// Amortized cycles per computing-block kernel in steady state — the
+    /// `C_C` of the performance model (paper: 54 for SP). Measured by
+    /// software-pipelining a stream of back-to-back kernel invocations so
+    /// prologue and drain overlap, exactly as in the engine's inner loop.
+    pub fn kernel_cycles(&self, prec: Precision) -> f64 {
+        const STREAM: usize = 8;
+        let stream = match prec {
+            Precision::Single => sp_kernel_stream(STREAM),
+            Precision::Double => dp_kernel_stream(STREAM),
+        };
+        software_pipeline(&stream).schedule.cycles as f64 / STREAM as f64
+    }
+
+    /// SIMD instructions per kernel invocation.
+    pub fn kernel_instructions(&self, prec: Precision) -> f64 {
+        match prec {
+            Precision::Single => 80.0,
+            Precision::Double => 144.0,
+        }
+    }
+
+    /// Largest memory-block side that fits six buffers in the local store,
+    /// rounded down to a multiple of 4 (paper §III).
+    pub fn max_block_side(&self, prec: Precision) -> usize {
+        let raw = ((self.ls_bytes as f64 / (6.0 * prec.bytes() as f64)).sqrt()) as usize;
+        (raw / 4) * 4
+    }
+
+    /// Block side for a target block byte size (e.g. the paper's 32 KB).
+    pub fn block_side_for_bytes(&self, block_bytes: usize, prec: Precision) -> usize {
+        let raw = ((block_bytes / prec.bytes()) as f64).sqrt() as usize;
+        ((raw / 4) * 4).max(4)
+    }
+}
+
+/// Result of one simulated CellNPDP run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Modelled wall-clock seconds.
+    pub seconds: f64,
+    /// Fraction of the machine's peak scalar-instruction issue rate used
+    /// (the paper's "processor utilization", §VI-A.4).
+    pub utilization: f64,
+    /// Aggregate DMA traffic.
+    pub dma: DmaStats,
+    /// Total computing-block kernel invocations.
+    pub kernel_calls: u64,
+    /// Per-SPE busy time in cycles.
+    pub spe_busy_cycles: Vec<f64>,
+    /// SPEs used.
+    pub spes_used: usize,
+}
+
+impl SimReport {
+    /// Load imbalance: max busy / mean busy.
+    pub fn imbalance(&self) -> f64 {
+        let mean: f64 =
+            self.spe_busy_cycles.iter().sum::<f64>() / self.spe_busy_cycles.len() as f64;
+        if mean == 0.0 {
+            return 1.0;
+        }
+        self.spe_busy_cycles
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max)
+            / mean
+    }
+}
+
+/// Per-block cost in cycles plus DMA traffic.
+#[derive(Debug, Clone, Copy)]
+struct BlockCost {
+    compute_cycles: f64,
+    dma: DmaStats,
+    kernel_calls: u64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn block_cost(
+    cfg: &CellConfig,
+    bi: usize,
+    bj: usize,
+    nb: usize,
+    prec: Precision,
+    kernel_cycles: f64,
+    simd: bool,
+    bw_share_bytes_per_cycle: f64,
+) -> BlockCost {
+    let nt = (nb / 4) as f64;
+    let block_bytes = nb * nb * prec.bytes();
+    let mut dma = DmaStats::default();
+    // Own block in + result out.
+    dma.merge(cfg.dma.contiguous(block_bytes));
+    dma.merge(cfg.dma.contiguous(block_bytes));
+
+    let (kernel_calls, scalar_relax) = if bi == bj {
+        // Diagonal block: middle k-tiles Σ_{r<c}(c-r-1) kernel calls; the
+        // in-tile closures and edge passes run scalar.
+        let nti = nb / 4;
+        let mut calls = 0u64;
+        for r in 0..nti {
+            for c in r + 1..nti {
+                calls += (c - r - 1) as u64;
+            }
+        }
+        let edge_tiles = (nti * (nti - 1) / 2) as f64;
+        let scalar = nti as f64 * relaxations(4) as f64 + edge_tiles * 16.0 * 6.0;
+        (calls, scalar)
+    } else {
+        // Stage 1: (bj-bi-1)·nt³; stage 2: nt²(nt-1) SIMD calls; edge pass
+        // ~6 candidates per cell.
+        let deps = (bj - bi - 1) as f64;
+        let calls = deps * nt * nt * nt + nt * nt * (nt - 1.0);
+        let scalar = nt * nt * 16.0 * 6.0;
+        ((calls as u64), scalar)
+    };
+
+    // Dependency blocks: 2(bj-bi) of them (paper §V), fetched contiguously
+    // under the NDL.
+    let dep_blocks = 2 * (bj - bi);
+    for _ in 0..dep_blocks {
+        dma.merge(cfg.dma.contiguous(block_bytes));
+    }
+
+    let compute_cycles = if simd {
+        kernel_calls as f64 * kernel_cycles + scalar_relax * cfg.edge_relax_cycles
+    } else {
+        // NDL + scalar kernels: every relaxation is a scalar local-store
+        // round trip.
+        let nbu = nb as u64;
+        let total_relax = if bi == bj {
+            relaxations(nbu) as f64
+        } else {
+            // Off-diagonal block: nb² cells × (deps·nb + 2·nb k-range).
+            (nb * nb) as f64 * ((bj - bi - 1) as f64 * nb as f64 + nb as f64)
+        };
+        total_relax * cfg.scalar_relax_cycles
+    };
+
+    // DMA overlaps compute under the six-buffer double-buffering scheme:
+    // build the per-step (dma, compute) sequence and run the pipeline
+    // timeline. Steps are the dependency pairs (2 blocks + one pair's
+    // compute each) plus the stage-2 step (2 diagonal blocks + the rest).
+    let pair_dma_cost = |blocks: usize| -> f64 {
+        let one = cfg.dma.contiguous(block_bytes);
+        blocks as f64 * (one.commands as f64 * cfg.dma.startup_cycles)
+            + blocks as f64 * block_bytes as f64 / bw_share_bytes_per_cycle
+    };
+    let prologue = cfg.dma.contiguous(block_bytes).commands as f64 * cfg.dma.startup_cycles
+        + block_bytes as f64 / bw_share_bytes_per_cycle;
+    let steps: Vec<(f64, f64)> = if bi == bj {
+        Vec::new() // diagonal block: everything is already local
+    } else {
+        let deps = bj - bi - 1;
+        let nt3 = nt * nt * nt;
+        let stage1_per_pair = nt3 * kernel_cycles_or_scalar(cfg, nb, simd, kernel_cycles, 1);
+        let stage2 = compute_cycles - deps as f64 * stage1_per_pair;
+        let mut v = vec![(pair_dma_cost(2), stage1_per_pair); deps];
+        v.push((pair_dma_cost(2), stage2.max(0.0)));
+        v
+    };
+    let total = if bi == bj {
+        prologue + compute_cycles + prologue
+    } else {
+        double_buffered_cycles(&steps, prologue, prologue)
+    };
+    BlockCost {
+        compute_cycles: total,
+        dma,
+        kernel_calls,
+    }
+}
+
+/// Compute cycles of one stage-1 pair (per unit of `pairs`): SIMD kernels
+/// or the scalar NDL loop.
+fn kernel_cycles_or_scalar(
+    cfg: &CellConfig,
+    nb: usize,
+    simd: bool,
+    kernel_cycles: f64,
+    _pairs: usize,
+) -> f64 {
+    if simd {
+        kernel_cycles
+    } else {
+        // Scalar: nb relaxations per cell × nb² cells per pair, divided by
+        // the nt³ kernel-equivalents the caller multiplies by.
+        let nt = (nb / 4) as f64;
+        (nb * nb) as f64 * nb as f64 * cfg.scalar_relax_cycles / (nt * nt * nt)
+    }
+}
+
+/// Ready-queue policy of the simulated PPE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueuePolicy {
+    /// First-ready-first-served — the paper's task queue.
+    #[default]
+    Fifo,
+    /// Prefer the ready task with the longest remaining dependence chain
+    /// (downward rank) — motivated by the m/3 critical-path bound.
+    CriticalPathFirst,
+}
+
+/// Simulate CellNPDP (NDL + SIMD kernels + task queue) on `spes` SPEs.
+///
+/// `nb` is the memory-block side (cells), `sb` the scheduling-block side
+/// (memory blocks).
+pub fn simulate_cellnpdp(
+    cfg: &CellConfig,
+    n: usize,
+    nb: usize,
+    sb: usize,
+    prec: Precision,
+    spes: usize,
+) -> SimReport {
+    simulate_cellnpdp_with_policy(cfg, n, nb, sb, prec, spes, QueuePolicy::Fifo)
+}
+
+/// [`simulate_cellnpdp`] with an explicit ready-queue policy.
+pub fn simulate_cellnpdp_with_policy(
+    cfg: &CellConfig,
+    n: usize,
+    nb: usize,
+    sb: usize,
+    prec: Precision,
+    spes: usize,
+    policy: QueuePolicy,
+) -> SimReport {
+    assert!(spes >= 1 && spes <= cfg.spes);
+    assert!(nb >= 4 && nb.is_multiple_of(4));
+    simulate_blocked(cfg, n, nb, sb, prec, spes, true, policy)
+}
+
+/// Simulate the NDL + *scalar* configuration (the paper's "NDL" ablation
+/// bar) on `spes` SPEs.
+pub fn simulate_ndl_scalar(
+    cfg: &CellConfig,
+    n: usize,
+    nb: usize,
+    sb: usize,
+    prec: Precision,
+    spes: usize,
+) -> SimReport {
+    simulate_blocked(cfg, n, nb, sb, prec, spes, false, QueuePolicy::Fifo)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn simulate_blocked(
+    cfg: &CellConfig,
+    n: usize,
+    nb: usize,
+    sb: usize,
+    prec: Precision,
+    spes: usize,
+    simd: bool,
+    policy: QueuePolicy,
+) -> SimReport {
+    let m = n.div_ceil(nb).max(1);
+    let kernel_cycles = cfg.kernel_cycles(prec);
+    let bw_per_cycle = cfg.mem_bandwidth / cfg.freq_hz;
+    let bw_share = (bw_per_cycle / spes as f64).min(cfg.dma.bytes_per_cycle);
+
+    let sched = scheduling_grid(m, sb);
+    let ntasks = sched.graph.len();
+
+    // Per-task duration and traffic.
+    let mut dur = vec![0.0f64; ntasks];
+    let mut total_dma = DmaStats::default();
+    let mut total_calls = 0u64;
+    for (t, members) in sched.members.iter().enumerate() {
+        dur[t] = cfg.task_overhead_cycles;
+        for &(bi, bj) in members {
+            let c = block_cost(cfg, bi, bj, nb, prec, kernel_cycles, simd, bw_share);
+            dur[t] += c.compute_cycles;
+            total_dma.merge(c.dma);
+            total_calls += c.kernel_calls;
+        }
+    }
+
+    // Downward ranks for critical-path-first scheduling.
+    let rank: Vec<f64> = {
+        let order = sched
+            .graph
+            .topological_order()
+            .expect("scheduling graph is a DAG");
+        let mut r = vec![0.0f64; ntasks];
+        for &t in order.iter().rev() {
+            let succ_max = sched
+                .graph
+                .successors(t)
+                .iter()
+                .map(|&s| r[s as usize])
+                .fold(0.0f64, f64::max);
+            r[t] = dur[t] + succ_max;
+        }
+        r
+    };
+
+    // Discrete-event list scheduling onto the earliest-free SPE (the PPE
+    // task-queue protocol), with the configured ready-queue policy.
+    let mut pending: Vec<u32> = (0..ntasks)
+        .map(|t| sched.graph.pred_count(t))
+        .collect();
+    let mut ready: Vec<(f64, usize)> = sched.graph.roots().map(|t| (0.0, t)).collect();
+    let mut spe_free = vec![0.0f64; spes];
+    let mut spe_busy = vec![0.0f64; spes];
+    let mut finish = vec![0.0f64; ntasks];
+    let mut done = 0usize;
+
+    while done < ntasks {
+        match policy {
+            QueuePolicy::Fifo => {
+                // First ready first (stable on ties by task id).
+                ready.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+            }
+            QueuePolicy::CriticalPathFirst => {
+                // Among the earliest-startable tasks, longest remaining
+                // chain first: order by (ready time, -rank, id).
+                let t_free = spe_free.iter().cloned().fold(f64::INFINITY, f64::min);
+                ready.sort_by(|a, b| {
+                    let a_now = a.0 <= t_free;
+                    let b_now = b.0 <= t_free;
+                    b_now
+                        .cmp(&a_now)
+                        .then(
+                            rank[b.1]
+                                .partial_cmp(&rank[a.1])
+                                .unwrap_or(std::cmp::Ordering::Equal),
+                        )
+                        .then(a.0.partial_cmp(&b.0).unwrap())
+                        .then(a.1.cmp(&b.1))
+                });
+            }
+        }
+        let (rt, task) = ready.remove(0);
+        // Earliest-available SPE.
+        let (s, _) = spe_free
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        let start = rt.max(spe_free[s]);
+        let end = start + dur[task];
+        spe_free[s] = end;
+        spe_busy[s] += dur[task];
+        finish[task] = end;
+        done += 1;
+        for &succ in sched.graph.successors(task) {
+            pending[succ as usize] -= 1;
+            if pending[succ as usize] == 0 {
+                ready.push((end, succ as usize));
+            }
+        }
+    }
+
+    let total_cycles = finish.iter().cloned().fold(0.0f64, f64::max).max(1.0);
+    let seconds = total_cycles / cfg.freq_hz;
+
+    // Utilization: executed SIMD instructions × lanes (each counted as a
+    // useful 32-bit op, as the paper counts) over peak scalar issue.
+    let useful = total_calls as f64 * cfg.kernel_instructions(prec) * prec.lanes() as f64;
+    let peak = total_cycles * cfg.spes as f64 * 2.0 * 4.0;
+    let utilization = useful / peak;
+
+    SimReport {
+        seconds,
+        utilization,
+        dma: total_dma,
+        kernel_calls: total_calls,
+        spe_busy_cycles: spe_busy,
+        spes_used: spes,
+    }
+}
+
+/// Bytes the *original* algorithm moves between memory and the processor on
+/// an SPE (element-granular column fetches; Fig. 9a's tall bar).
+pub fn original_bytes_transferred(n: u64, _prec: Precision) -> u64 {
+    // One d[k][j] element fetch per relaxation; quadword minimum transfer.
+    relaxations(n) * 16
+}
+
+/// Bytes CellNPDP's NDL moves (the paper's model: `N₁³·S / (3·N₂)` plus one
+/// read+write of the table itself).
+pub fn ndl_bytes_transferred(n: u64, nb: u64, prec: Precision) -> u64 {
+    let s = prec.bytes() as u64;
+    let table = n * n / 2 * s;
+    (n * n * n) / (3 * nb) * s + 2 * table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_cycles_sp_near_paper() {
+        let cfg = CellConfig::qs20();
+        let c = cfg.kernel_cycles(Precision::Single);
+        assert!((45.0..=64.0).contains(&c), "sp kernel cycles {c}");
+        let d = cfg.kernel_cycles(Precision::Double);
+        assert!(d >= 3.0 * c, "dp kernel cycles {d}");
+    }
+
+    #[test]
+    fn max_block_side_sp() {
+        let cfg = CellConfig::qs20();
+        let side = cfg.max_block_side(Precision::Single);
+        assert!((100..=104).contains(&side), "side {side}");
+        // 32 KB target → 88 (the paper's working size).
+        assert_eq!(cfg.block_side_for_bytes(32 * 1024, Precision::Single), 88);
+    }
+
+    #[test]
+    fn table2_sp_4096_magnitude() {
+        // Paper: 0.22 s for n=4096 SP on 16 SPEs. The simulated machine
+        // should land in the same decade.
+        let cfg = CellConfig::qs20();
+        let nb = cfg.block_side_for_bytes(32 * 1024, Precision::Single);
+        let r = simulate_cellnpdp(&cfg, 4096, nb, 2, Precision::Single, 16);
+        assert!(
+            (0.05..1.0).contains(&r.seconds),
+            "simulated {} s",
+            r.seconds
+        );
+    }
+
+    #[test]
+    fn utilization_above_half_for_sp() {
+        // Paper §VI-A.4: 62.5% on 16 SPEs. Block-level parallelism is
+        // ~m/3, so the measurement needs m/3 ≫ 16 (n = 8192 → m = 94).
+        let cfg = CellConfig::qs20();
+        let nb = cfg.block_side_for_bytes(32 * 1024, Precision::Single);
+        let r = simulate_cellnpdp(&cfg, 8192, nb, 1, Precision::Single, 16);
+        assert!(r.utilization > 0.5, "utilization {}", r.utilization);
+        assert!(r.utilization <= 1.0);
+    }
+
+    #[test]
+    fn utilization_roughly_size_independent() {
+        // The paper's §V headline: efficiency independent of problem size —
+        // once block-level parallelism (~m/3) exceeds the SPE count.
+        let cfg = CellConfig::qs20();
+        let nb = cfg.block_side_for_bytes(32 * 1024, Precision::Single);
+        let u: Vec<f64> = [8192, 16384, 24576]
+            .iter()
+            .map(|&n| simulate_cellnpdp(&cfg, n, nb, 1, Precision::Single, 16).utilization)
+            .collect();
+        for w in u.windows(2) {
+            assert!(
+                (w[0] - w[1]).abs() / w[0] < 0.15,
+                "utilizations {u:?} vary too much"
+            );
+        }
+    }
+
+    #[test]
+    fn scaling_with_spes() {
+        // Paper: 15.7× on 16 SPEs at n = 4096 — which is exactly the
+        // block-level critical-path bound m/3 = 47/3 ≈ 15.7. Fine-grained
+        // tasks (sb = 1) are needed to reach it.
+        let cfg = CellConfig::qs20();
+        let nb = cfg.block_side_for_bytes(32 * 1024, Precision::Single);
+        let t1 = simulate_cellnpdp(&cfg, 4096, nb, 1, Precision::Single, 1).seconds;
+        let t16 = simulate_cellnpdp(&cfg, 4096, nb, 1, Precision::Single, 16).seconds;
+        let speedup = t1 / t16;
+        assert!((11.0..=16.0).contains(&speedup), "speedup {speedup}");
+    }
+
+    #[test]
+    fn dp_much_slower_than_sp() {
+        let cfg = CellConfig::qs20();
+        let nb_sp = cfg.block_side_for_bytes(32 * 1024, Precision::Single);
+        let nb_dp = cfg.block_side_for_bytes(32 * 1024, Precision::Double);
+        let sp = simulate_cellnpdp(&cfg, 4096, nb_sp, 2, Precision::Single, 16).seconds;
+        let dp = simulate_cellnpdp(&cfg, 4096, nb_dp, 2, Precision::Double, 16).seconds;
+        // Paper Table II: 0.22 s vs 4.41 s (20×); the structural factors
+        // (lanes, latency, stall) must produce at least ~6×.
+        assert!(dp > 6.0 * sp, "sp={sp} dp={dp}");
+    }
+
+    #[test]
+    fn smaller_blocks_are_slower() {
+        // Fig. 13: shrinking the memory block degrades performance. On one
+        // SPE (the figure's baseline) there is no parallelism confound:
+        // compute per cell is block-size independent, so time is flat until
+        // DMA startup overhead makes tiny blocks memory-bound.
+        // Block sides dividing n exactly, so padding waste (a real effect,
+        // ~(⌈n/nb⌉·nb / n)³) does not confound the comparison.
+        let cfg = CellConfig::qs20();
+        let mut last = 0.0;
+        for nb in [64, 32, 16, 8] {
+            let t = simulate_cellnpdp(&cfg, 2048, nb, 1, Precision::Single, 1).seconds;
+            assert!(t >= last * 0.98, "block side {nb}: {t} < {last}");
+            last = t;
+        }
+        // And the smallest block is clearly memory-bound.
+        let t64 = simulate_cellnpdp(&cfg, 2048, 64, 1, Precision::Single, 1).seconds;
+        let t8 = simulate_cellnpdp(&cfg, 2048, 8, 1, Precision::Single, 1).seconds;
+        assert!(t8 > 1.5 * t64, "t8={t8} t64={t64}");
+    }
+
+    #[test]
+    fn ndl_scalar_between_original_and_simd() {
+        let cfg = CellConfig::qs20();
+        let nb = cfg.block_side_for_bytes(32 * 1024, Precision::Single);
+        let scalar = simulate_ndl_scalar(&cfg, 2048, nb, 2, Precision::Single, 1).seconds;
+        let simd = simulate_cellnpdp(&cfg, 2048, nb, 2, Precision::Single, 1).seconds;
+        // SPE procedure speedup ~28× in the paper.
+        let f = scalar / simd;
+        assert!((8.0..60.0).contains(&f), "SPEP factor {f}");
+    }
+
+    #[test]
+    fn fig9a_traffic_reduction() {
+        let orig = original_bytes_transferred(4096, Precision::Single);
+        let ndl = ndl_bytes_transferred(4096, 88, Precision::Single);
+        assert!(orig > 20 * ndl, "orig {orig} vs ndl {ndl}");
+    }
+
+    #[test]
+    fn critical_path_first_never_slower_near_the_bound() {
+        // At n=4096 (m/3 ≈ 16 SPEs) the tail binds; CPF should match or
+        // beat FIFO, and both must stay within the structural bound.
+        let cfg = CellConfig::qs20();
+        let nb = cfg.block_side_for_bytes(32 * 1024, Precision::Single);
+        let fifo =
+            simulate_cellnpdp_with_policy(&cfg, 4096, nb, 1, Precision::Single, 16, QueuePolicy::Fifo);
+        let cpf = simulate_cellnpdp_with_policy(
+            &cfg,
+            4096,
+            nb,
+            1,
+            Precision::Single,
+            16,
+            QueuePolicy::CriticalPathFirst,
+        );
+        assert!(cpf.seconds <= fifo.seconds * 1.02, "cpf {} fifo {}", cpf.seconds, fifo.seconds);
+        let t1 = simulate_cellnpdp(&cfg, 4096, nb, 1, Precision::Single, 1).seconds;
+        let bound = (4096f64 / nb as f64).ceil() / 3.0;
+        assert!(t1 / cpf.seconds <= bound * 1.05, "speedup beats the m/3 bound?");
+    }
+
+    #[test]
+    fn report_imbalance_reasonable() {
+        let cfg = CellConfig::qs20();
+        let r = simulate_cellnpdp(&cfg, 8192, 88, 2, Precision::Single, 16);
+        assert!(r.imbalance() < 1.5, "imbalance {}", r.imbalance());
+    }
+}

@@ -1,0 +1,113 @@
+//! PPE ↔ SPE mailboxes: the control channel of the Fig. 8 protocol.
+//!
+//! Real hardware gives each SPE a 4-entry inbound mailbox (PPE → SPE) and a
+//! 1-entry outbound mailbox (SPE → PPE); writes to a full mailbox stall the
+//! writer. The CellNPDP protocol sends one word per message: a task id
+//! (PPE → SPE assignment) or a completed task id (SPE → PPE notification).
+
+use std::collections::VecDeque;
+
+/// A bounded single-direction mailbox of 32-bit words.
+#[derive(Debug, Clone)]
+pub struct Mailbox {
+    capacity: usize,
+    queue: VecDeque<u32>,
+    /// Total messages ever enqueued (for protocol accounting).
+    pub messages: u64,
+    /// Number of writes that found the mailbox full (writer stalls).
+    pub stalls: u64,
+}
+
+impl Mailbox {
+    /// A mailbox of the given entry capacity.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1);
+        Self {
+            capacity,
+            queue: VecDeque::with_capacity(capacity),
+            messages: 0,
+            stalls: 0,
+        }
+    }
+
+    /// The SPU inbound mailbox (4 entries).
+    pub fn spu_inbound() -> Self {
+        Self::new(4)
+    }
+
+    /// The SPU outbound mailbox (1 entry).
+    pub fn spu_outbound() -> Self {
+        Self::new(1)
+    }
+
+    /// Try to enqueue; returns `false` (and counts a stall) when full.
+    pub fn try_write(&mut self, word: u32) -> bool {
+        if self.queue.len() == self.capacity {
+            self.stalls += 1;
+            return false;
+        }
+        self.queue.push_back(word);
+        self.messages += 1;
+        true
+    }
+
+    /// Dequeue the oldest word, if any.
+    pub fn read(&mut self) -> Option<u32> {
+        self.queue.pop_front()
+    }
+
+    /// Entries currently queued.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the mailbox is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Whether the mailbox is full.
+    pub fn is_full(&self) -> bool {
+        self.queue.len() == self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut m = Mailbox::new(4);
+        assert!(m.try_write(1));
+        assert!(m.try_write(2));
+        assert!(m.try_write(3));
+        assert_eq!(m.read(), Some(1));
+        assert_eq!(m.read(), Some(2));
+        assert!(m.try_write(4));
+        assert_eq!(m.read(), Some(3));
+        assert_eq!(m.read(), Some(4));
+        assert_eq!(m.read(), None);
+    }
+
+    #[test]
+    fn capacity_enforced_with_stall_accounting() {
+        let mut m = Mailbox::spu_outbound();
+        assert!(m.try_write(7));
+        assert!(m.is_full());
+        assert!(!m.try_write(8));
+        assert_eq!(m.stalls, 1);
+        assert_eq!(m.messages, 1);
+        assert_eq!(m.read(), Some(7));
+        assert!(m.try_write(8));
+    }
+
+    #[test]
+    fn inbound_capacity_is_four() {
+        let mut m = Mailbox::spu_inbound();
+        for i in 0..4 {
+            assert!(m.try_write(i));
+        }
+        assert!(!m.try_write(4));
+    }
+}

@@ -1,0 +1,176 @@
+//! The complete Fig. 8 protocol, functionally, on multiple simulated SPEs:
+//! the PPE procedure manages the task queue and dependence graph; each SPE
+//! procedure fetches ready tasks through its mailbox, computes the
+//! scheduling block's memory blocks on its own simulated SPU (real kernel
+//! programs, own 256 KB local store), and reports completion through its
+//! outbound mailbox.
+//!
+//! The simulation is single-threaded and deterministic: each outer round
+//! the PPE drains completions, notifies successors, assigns ready tasks to
+//! idle SPEs, and then every SPE with a pending assignment executes it.
+//! Results must be bit-identical to the host engines (integration-tested).
+
+use npdp_core::{BlockedMatrix, TriangularMatrix};
+use task_queue::scheduling_grid;
+
+use crate::mailbox::Mailbox;
+use crate::npdp::{spe_compute_block, LsLayout, SimSpe};
+
+/// Protocol statistics from a multi-SPE functional run.
+#[derive(Debug, Clone)]
+pub struct MultiSpeReport {
+    /// Tasks executed by each SPE.
+    pub tasks_per_spe: Vec<usize>,
+    /// Total kernel invocations across all SPEs.
+    pub kernel_calls: u64,
+    /// Mailbox words PPE → SPEs (task assignments).
+    pub assignments: u64,
+    /// Mailbox words SPEs → PPE (completions).
+    pub completions: u64,
+    /// Scheduler rounds until completion.
+    pub rounds: u64,
+}
+
+/// Run CellNPDP functionally on `spes` simulated SPEs with scheduling
+/// blocks of `sb × sb` memory blocks.
+pub fn functional_cellnpdp_multi_spe(
+    seeds: &TriangularMatrix<f32>,
+    nb: usize,
+    sb: usize,
+    spes: usize,
+) -> (TriangularMatrix<f32>, MultiSpeReport) {
+    assert!(nb >= 4 && nb.is_multiple_of(4), "block side must be a multiple of 4");
+    assert!(spes >= 1);
+    let mut mem = BlockedMatrix::from_triangular(seeds, nb);
+    let mb = mem.blocks_per_side();
+    let layout = LsLayout::new(nb, crate::spu::LOCAL_STORE_BYTES);
+    let sched = scheduling_grid(mb, sb);
+    let total = sched.graph.len();
+
+    // PPE-side task state (Fig. 8 steps 1–5).
+    let mut pending: Vec<u32> = (0..total).map(|t| sched.graph.pred_count(t)).collect();
+    let mut ready: std::collections::VecDeque<u32> =
+        sched.graph.roots().map(|t| t as u32).collect();
+
+    // SPE-side state.
+    let mut spe_units: Vec<SimSpe> = (0..spes).map(|_| SimSpe::new(&layout)).collect();
+    let mut inbox: Vec<Mailbox> = (0..spes).map(|_| Mailbox::spu_inbound()).collect();
+    let mut outbox: Vec<Mailbox> = (0..spes).map(|_| Mailbox::spu_outbound()).collect();
+    let mut tasks_per_spe = vec![0usize; spes];
+
+    let mut completed = 0usize;
+    let mut rounds = 0u64;
+    while completed < total {
+        rounds += 1;
+        // PPE step 4–5: receive finished tasks, notify dependents.
+        for ob in outbox.iter_mut() {
+            while let Some(t) = ob.read() {
+                completed += 1;
+                for &succ in sched.graph.successors(t as usize) {
+                    pending[succ as usize] -= 1;
+                    if pending[succ as usize] == 0 {
+                        ready.push_back(succ);
+                    }
+                }
+            }
+        }
+        // PPE step 3: assign ready tasks to SPEs with mailbox room.
+        for ib in inbox.iter_mut() {
+            if ib.is_empty() {
+                if let Some(t) = ready.pop_front() {
+                    assert!(ib.try_write(t), "empty inbound mailbox rejected a write");
+                }
+            }
+        }
+        // SPE steps 6–13: fetch a task, compute its blocks, report.
+        for s in 0..spes {
+            if let Some(t) = inbox[s].read() {
+                for &(bi, bj) in &sched.members[t as usize] {
+                    spe_compute_block(&mut spe_units[s], &layout, &mut mem, bi, bj);
+                }
+                tasks_per_spe[s] += 1;
+                assert!(
+                    outbox[s].try_write(t),
+                    "outbound mailbox full: PPE failed to drain"
+                );
+            }
+        }
+        assert!(rounds <= 4 * total as u64 + 8, "protocol livelock");
+    }
+
+    let report = MultiSpeReport {
+        tasks_per_spe,
+        kernel_calls: spe_units.iter().map(|s| s.kernel_calls).sum(),
+        assignments: inbox.iter().map(|m| m.messages).sum(),
+        completions: outbox.iter().map(|m| m.messages).sum(),
+        rounds,
+    };
+    (mem.to_triangular(), report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npdp_core::{Engine, SerialEngine};
+
+    fn random_seeds(n: usize, seed: u64) -> TriangularMatrix<f32> {
+        let mut s = seed;
+        TriangularMatrix::from_fn(n, |_, _| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 33) as f32) / (u32::MAX as f32) * 100.0
+        })
+    }
+
+    #[test]
+    fn multi_spe_matches_host_serial() {
+        for (n, nb, sb, spes) in [(24usize, 8usize, 1usize, 2usize), (40, 8, 2, 4), (48, 12, 1, 3)]
+        {
+            let seeds = random_seeds(n, (n * nb + sb) as u64);
+            let host = SerialEngine.solve(&seeds);
+            let (sim, _) = functional_cellnpdp_multi_spe(&seeds, nb, sb, spes);
+            assert_eq!(
+                host.first_difference(&sim),
+                None,
+                "n={n} nb={nb} sb={sb} spes={spes}"
+            );
+        }
+    }
+
+    #[test]
+    fn protocol_message_accounting() {
+        let seeds = random_seeds(40, 3);
+        let (_, report) = functional_cellnpdp_multi_spe(&seeds, 8, 1, 4);
+        // 40/8 = 5 blocks per side → 15 tasks; one assignment and one
+        // completion word each.
+        assert_eq!(report.assignments, 15);
+        assert_eq!(report.completions, 15);
+        assert_eq!(report.tasks_per_spe.iter().sum::<usize>(), 15);
+    }
+
+    #[test]
+    fn work_spreads_across_spes() {
+        let seeds = random_seeds(64, 9);
+        let (_, report) = functional_cellnpdp_multi_spe(&seeds, 8, 1, 4);
+        // 8×8 triangle = 36 tasks over 4 SPEs: every SPE must get some.
+        assert!(report.tasks_per_spe.iter().all(|&t| t > 0), "{report:?}");
+    }
+
+    #[test]
+    fn single_spe_degenerates_to_sequential() {
+        let seeds = random_seeds(32, 5);
+        let host = SerialEngine.solve(&seeds);
+        let (sim, report) = functional_cellnpdp_multi_spe(&seeds, 8, 2, 1);
+        assert_eq!(host.first_difference(&sim), None);
+        assert_eq!(report.tasks_per_spe.len(), 1);
+    }
+
+    #[test]
+    fn kernel_calls_match_single_spe_run() {
+        let seeds = random_seeds(48, 7);
+        let (_, single) = crate::npdp::functional_cellnpdp_f32(&seeds, 8);
+        let (_, multi) = functional_cellnpdp_multi_spe(&seeds, 8, 1, 4);
+        assert_eq!(single, multi.kernel_calls);
+    }
+}

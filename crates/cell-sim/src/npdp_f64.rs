@@ -1,0 +1,286 @@
+//! Double-precision CellNPDP on a simulated SPE — the DP counterpart of
+//! [`crate::npdp`], driving the 144-instruction `dfa`/`dfcgt` kernel
+//! (2 lanes per register, 2 registers per tile row) instruction by
+//! instruction. Validates the simulator's DP numerics against the host
+//! engines bit for bit.
+
+use npdp_core::{BlockedMatrix, DpValue, TriangularMatrix};
+
+use crate::kernels::{dp_kernel_blocked, TileAddrs};
+use crate::spu::Spu;
+use crate::swp::software_pipeline;
+
+struct LsLayoutF64 {
+    c: usize,
+    a: usize,
+    b: usize,
+    dlo: usize,
+    dhi: usize,
+    scratch: usize,
+    nb: usize,
+}
+
+impl LsLayoutF64 {
+    fn new(nb: usize, ls_bytes: usize) -> Self {
+        let block = nb * nb * 8;
+        let aligned = block.next_multiple_of(16);
+        let l = Self {
+            c: 0,
+            a: aligned,
+            b: 2 * aligned,
+            dlo: 3 * aligned,
+            dhi: 4 * aligned,
+            scratch: 5 * aligned,
+            nb,
+        };
+        assert!(
+            5 * aligned + 3 * 128 <= ls_bytes,
+            "DP block side {nb} does not fit the local store six-buffer budget"
+        );
+        l
+    }
+
+    fn cell(&self, base: usize, r: usize, c: usize) -> usize {
+        base + (r * self.nb + c) * 8
+    }
+}
+
+struct SimSpeF64 {
+    spu: Spu,
+    kernel: Vec<crate::isa::Instr>,
+    scratch: TileAddrs,
+    kernel_calls: u64,
+}
+
+impl SimSpeF64 {
+    fn new(layout: &LsLayoutF64) -> Self {
+        let scratch = TileAddrs::packed_dp(layout.scratch as u32);
+        let kernel = software_pipeline(&dp_kernel_blocked(scratch)).program;
+        Self {
+            spu: Spu::new(),
+            kernel,
+            scratch,
+            kernel_calls: 0,
+        }
+    }
+
+    fn stage_tile(&mut self, l: &LsLayoutF64, base: usize, tr: usize, tc: usize, dst: u32) {
+        for r in 0..4 {
+            let vals = self.spu.read_f64(l.cell(base, tr * 4 + r, tc * 4), 4);
+            self.spu.write_f64(dst as usize + 32 * r, &vals);
+        }
+    }
+
+    fn unstage_tile(&mut self, l: &LsLayoutF64, base: usize, tr: usize, tc: usize, src: u32) {
+        for r in 0..4 {
+            let vals = self.spu.read_f64(src as usize + 32 * r, 4);
+            self.spu.write_f64(l.cell(base, tr * 4 + r, tc * 4), &vals);
+        }
+    }
+
+    fn tile_update(
+        &mut self,
+        l: &LsLayoutF64,
+        (cb, ctr, ctc): (usize, usize, usize),
+        (ab, atr, atc): (usize, usize, usize),
+        (bb, btr, btc): (usize, usize, usize),
+    ) {
+        let (a, b, c) = (self.scratch.a, self.scratch.b, self.scratch.c);
+        self.stage_tile(l, ab, atr, atc, a);
+        self.stage_tile(l, bb, btr, btc, b);
+        self.stage_tile(l, cb, ctr, ctc, c);
+        let kernel = self.kernel.clone();
+        self.spu.execute(&kernel);
+        self.unstage_tile(l, cb, ctr, ctc, c);
+        self.kernel_calls += 1;
+    }
+
+    fn get(&self, l: &LsLayoutF64, base: usize, r: usize, c: usize) -> f64 {
+        self.spu.read_f64(l.cell(base, r, c), 1)[0]
+    }
+
+    fn set(&mut self, l: &LsLayoutF64, base: usize, r: usize, c: usize, v: f64) {
+        self.spu.write_f64(l.cell(base, r, c), &[v]);
+    }
+
+    fn scalar_edge(&mut self, l: &LsLayoutF64, dlo: usize, dhi: usize, r: usize, cc: usize) {
+        for il in (0..4).rev() {
+            let ii = r * 4 + il;
+            for jl in 0..4 {
+                let jj = cc * 4 + jl;
+                let mut best = self.get(l, l.c, ii, jj);
+                for k in ii + 1..(r + 1) * 4 {
+                    best = f64::min2(best, self.get(l, dlo, ii, k) + self.get(l, l.c, k, jj));
+                }
+                for k in cc * 4..jj {
+                    best = f64::min2(best, self.get(l, l.c, ii, k) + self.get(l, dhi, k, jj));
+                }
+                self.set(l, l.c, ii, jj, best);
+            }
+        }
+    }
+
+    fn diag_tile_closure(&mut self, l: &LsLayoutF64, t: usize) {
+        let base = t * 4;
+        for jl in 1..4 {
+            for il in (0..jl).rev() {
+                let (ii, jj) = (base + il, base + jl);
+                let mut best = self.get(l, l.c, ii, jj);
+                for k in il + 1..jl {
+                    let kk = base + k;
+                    best = f64::min2(best, self.get(l, l.c, ii, kk) + self.get(l, l.c, kk, jj));
+                }
+                self.set(l, l.c, ii, jj, best);
+            }
+        }
+    }
+}
+
+fn dma_in(spe: &mut SimSpeF64, m: &BlockedMatrix<f64>, bi: usize, bj: usize, base: usize) {
+    spe.spu.write_f64(base, m.block(bi, bj));
+}
+
+fn dma_out(spe: &SimSpeF64, m: &mut BlockedMatrix<f64>, bi: usize, bj: usize, base: usize) {
+    let nb = m.block_side();
+    let vals = spe.spu.read_f64(base, nb * nb);
+    m.block_mut(bi, bj).copy_from_slice(&vals);
+}
+
+/// Run double-precision CellNPDP functionally on one simulated SPE.
+pub fn functional_cellnpdp_f64(
+    seeds: &TriangularMatrix<f64>,
+    nb: usize,
+) -> (TriangularMatrix<f64>, u64) {
+    assert!(nb >= 4 && nb.is_multiple_of(4), "block side must be a multiple of 4");
+    let mut mem = BlockedMatrix::from_triangular(seeds, nb);
+    let layout = LsLayoutF64::new(nb, crate::spu::LOCAL_STORE_BYTES);
+    let mut spe = SimSpeF64::new(&layout);
+    let mb = mem.blocks_per_side();
+    let nt = nb / 4;
+
+    for bj in 0..mb {
+        for bi in (0..=bj).rev() {
+            dma_in(&mut spe, &mem, bi, bj, layout.c);
+            if bi == bj {
+                for r in (0..nt).rev() {
+                    for cc in r..nt {
+                        if r == cc {
+                            spe.diag_tile_closure(&layout, r);
+                            continue;
+                        }
+                        for tk in r + 1..cc {
+                            spe.tile_update(
+                                &layout,
+                                (layout.c, r, cc),
+                                (layout.c, r, tk),
+                                (layout.c, tk, cc),
+                            );
+                        }
+                        spe.scalar_edge(&layout, layout.c, layout.c, r, cc);
+                    }
+                }
+            } else {
+                for bk in bi + 1..bj {
+                    dma_in(&mut spe, &mem, bi, bk, layout.a);
+                    dma_in(&mut spe, &mem, bk, bj, layout.b);
+                    for r in 0..nt {
+                        for cc in 0..nt {
+                            for t in 0..nt {
+                                spe.tile_update(
+                                    &layout,
+                                    (layout.c, r, cc),
+                                    (layout.a, r, t),
+                                    (layout.b, t, cc),
+                                );
+                            }
+                        }
+                    }
+                }
+                dma_in(&mut spe, &mem, bi, bi, layout.dlo);
+                dma_in(&mut spe, &mem, bj, bj, layout.dhi);
+                for r in (0..nt).rev() {
+                    for cc in 0..nt {
+                        for tr in r + 1..nt {
+                            spe.tile_update(
+                                &layout,
+                                (layout.c, r, cc),
+                                (layout.dlo, r, tr),
+                                (layout.c, tr, cc),
+                            );
+                        }
+                        for tc in 0..cc {
+                            spe.tile_update(
+                                &layout,
+                                (layout.c, r, cc),
+                                (layout.c, r, tc),
+                                (layout.dhi, tc, cc),
+                            );
+                        }
+                        spe.scalar_edge(&layout, layout.dlo, layout.dhi, r, cc);
+                    }
+                }
+            }
+            dma_out(&spe, &mut mem, bi, bj, layout.c);
+        }
+    }
+    (mem.to_triangular(), spe.kernel_calls)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npdp_core::{Engine, SerialEngine};
+
+    fn random_seeds(n: usize, seed: u64) -> TriangularMatrix<f64> {
+        let mut s = seed;
+        TriangularMatrix::from_fn(n, |_, _| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 33) as f64) / (u32::MAX as f64) * 100.0
+        })
+    }
+
+    #[test]
+    fn dp_functional_sim_matches_host_serial() {
+        for (n, nb) in [(12usize, 4usize), (24, 8), (36, 8)] {
+            let seeds = random_seeds(n, (n + nb) as u64);
+            let expect = SerialEngine.solve(&seeds);
+            let (got, _) = functional_cellnpdp_f64(&seeds, nb);
+            assert_eq!(expect.first_difference(&got), None, "n={n} nb={nb}");
+        }
+    }
+
+    #[test]
+    fn dp_and_sp_kernel_call_counts_agree() {
+        // The algorithm structure is precision-independent.
+        let n = 32;
+        let nb = 8;
+        let sp_seeds = crate::npdp::functional_cellnpdp_f32(
+            &TriangularMatrix::from_fn(n, |i, j| (i + j) as f32),
+            nb,
+        )
+        .1;
+        let dp_seeds = functional_cellnpdp_f64(
+            &TriangularMatrix::from_fn(n, |i, j| (i + j) as f64),
+            nb,
+        )
+        .1;
+        assert_eq!(sp_seeds, dp_seeds);
+    }
+
+    #[test]
+    fn dp_sparse_seeds_with_infinity() {
+        let n = 20;
+        let seeds = TriangularMatrix::from_fn(n, |i, j| {
+            if (i * 5 + j) % 4 == 0 {
+                (i * 2 + j) as f64
+            } else {
+                f64::INFINITY
+            }
+        });
+        let expect = SerialEngine.solve(&seeds);
+        let (got, _) = functional_cellnpdp_f64(&seeds, 8);
+        assert_eq!(expect.first_difference(&got), None);
+    }
+}

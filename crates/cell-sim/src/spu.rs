@@ -1,0 +1,648 @@
+//! The SPU core: a functional executor over the 128-register file and the
+//! 256 KB local store, plus a cycle-approximate dual-issue in-order
+//! scheduler.
+//!
+//! The two are deliberately separate: [`Spu::execute`] defines *what* a
+//! program computes (validated against the host SIMD kernels), while
+//! [`schedule`] defines *how long* it takes on the in-order, dual-pipeline
+//! SPU — the quantity the paper's Table I / §IV-A "54 cycles" claim is
+//! about.
+
+use crate::isa::{Instr, Pipe, Reg};
+
+/// Local-store size of a real SPE (256 KB).
+pub const LOCAL_STORE_BYTES: usize = 256 * 1024;
+
+/// A 128-bit SPU register value.
+pub type Quad = [u8; 16];
+
+/// One synergistic processing unit: register file + local store.
+pub struct Spu {
+    regs: [Quad; 128],
+    ls: Vec<u8>,
+    /// Instructions executed since construction (functional count).
+    pub executed: u64,
+}
+
+impl Default for Spu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Spu {
+    /// A fresh SPU with a zeroed register file and local store.
+    pub fn new() -> Self {
+        Self::with_local_store(LOCAL_STORE_BYTES)
+    }
+
+    /// An SPU with a custom local-store size (the paper's §VI-D studies
+    /// smaller stores).
+    pub fn with_local_store(bytes: usize) -> Self {
+        Self {
+            regs: [[0; 16]; 128],
+            ls: vec![0; bytes],
+            executed: 0,
+        }
+    }
+
+    /// Local-store size in bytes.
+    pub fn local_store_len(&self) -> usize {
+        self.ls.len()
+    }
+
+    /// Raw local-store access (the DMA engine's target).
+    pub fn ls(&self) -> &[u8] {
+        &self.ls
+    }
+
+    /// Mutable local-store access.
+    pub fn ls_mut(&mut self) -> &mut [u8] {
+        &mut self.ls
+    }
+
+    /// Write a slice of `f32`s into the local store at byte offset `addr`.
+    pub fn write_f32(&mut self, addr: usize, vals: &[f32]) {
+        for (k, v) in vals.iter().enumerate() {
+            let b = v.to_le_bytes();
+            self.ls[addr + 4 * k..addr + 4 * k + 4].copy_from_slice(&b);
+        }
+    }
+
+    /// Read `count` `f32`s from the local store at byte offset `addr`.
+    pub fn read_f32(&self, addr: usize, count: usize) -> Vec<f32> {
+        (0..count)
+            .map(|k| {
+                let mut b = [0u8; 4];
+                b.copy_from_slice(&self.ls[addr + 4 * k..addr + 4 * k + 4]);
+                f32::from_le_bytes(b)
+            })
+            .collect()
+    }
+
+    /// Write a slice of `f64`s into the local store at byte offset `addr`.
+    pub fn write_f64(&mut self, addr: usize, vals: &[f64]) {
+        for (k, v) in vals.iter().enumerate() {
+            let b = v.to_le_bytes();
+            self.ls[addr + 8 * k..addr + 8 * k + 8].copy_from_slice(&b);
+        }
+    }
+
+    /// Read `count` `f64`s from the local store at byte offset `addr`.
+    pub fn read_f64(&self, addr: usize, count: usize) -> Vec<f64> {
+        (0..count)
+            .map(|k| {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&self.ls[addr + 8 * k..addr + 8 * k + 8]);
+                f64::from_le_bytes(b)
+            })
+            .collect()
+    }
+
+    fn reg_f32(&self, r: Reg) -> [f32; 4] {
+        let q = &self.regs[r.index()];
+        std::array::from_fn(|l| {
+            let mut b = [0u8; 4];
+            b.copy_from_slice(&q[4 * l..4 * l + 4]);
+            f32::from_le_bytes(b)
+        })
+    }
+
+    fn set_reg_f32(&mut self, r: Reg, v: [f32; 4]) {
+        let q = &mut self.regs[r.index()];
+        for (l, x) in v.iter().enumerate() {
+            q[4 * l..4 * l + 4].copy_from_slice(&x.to_le_bytes());
+        }
+    }
+
+    fn reg_i32(&self, r: Reg) -> [i32; 4] {
+        let q = &self.regs[r.index()];
+        std::array::from_fn(|l| {
+            let mut b = [0u8; 4];
+            b.copy_from_slice(&q[4 * l..4 * l + 4]);
+            i32::from_le_bytes(b)
+        })
+    }
+
+    fn set_reg_i32(&mut self, r: Reg, v: [i32; 4]) {
+        let q = &mut self.regs[r.index()];
+        for (l, x) in v.iter().enumerate() {
+            q[4 * l..4 * l + 4].copy_from_slice(&x.to_le_bytes());
+        }
+    }
+
+    /// Read a register's lanes as `i32` (e.g. loop counters in tests).
+    pub fn reg_lanes_i32(&self, r: Reg) -> [i32; 4] {
+        self.reg_i32(r)
+    }
+
+    fn reg_f64(&self, r: Reg) -> [f64; 2] {
+        let q = &self.regs[r.index()];
+        std::array::from_fn(|l| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&q[8 * l..8 * l + 8]);
+            f64::from_le_bytes(b)
+        })
+    }
+
+    fn set_reg_f64(&mut self, r: Reg, v: [f64; 2]) {
+        let q = &mut self.regs[r.index()];
+        for (l, x) in v.iter().enumerate() {
+            q[8 * l..8 * l + 8].copy_from_slice(&x.to_le_bytes());
+        }
+    }
+
+    /// Execute a straight-line program functionally (no timing).
+    ///
+    /// # Panics
+    /// On unaligned or out-of-range local-store accesses (as the hardware
+    /// would fault), and on branch instructions — control flow goes through
+    /// [`Spu::run`].
+    pub fn execute(&mut self, program: &[Instr]) {
+        for &instr in program {
+            assert!(
+                !instr.is_branch(),
+                "execute() is straight-line; use run() for programs with branches"
+            );
+            self.step(instr);
+        }
+        self.executed += program.len() as u64;
+    }
+
+    /// Execute a program with control flow: a program counter walks the
+    /// instruction list, branches retarget it by instruction index.
+    /// Returns the number of instructions executed.
+    ///
+    /// # Errors
+    /// When `max_steps` is exceeded (runaway loop) or a branch target is
+    /// out of range.
+    pub fn run(&mut self, program: &[Instr], max_steps: u64) -> Result<u64, String> {
+        let mut pc = 0usize;
+        let mut steps = 0u64;
+        while pc < program.len() {
+            if steps >= max_steps {
+                return Err(format!("exceeded {max_steps} steps at pc={pc}"));
+            }
+            let instr = program[pc];
+            match instr {
+                Instr::Br { target } => {
+                    if target as usize > program.len() {
+                        return Err(format!("branch target {target} out of range"));
+                    }
+                    pc = target as usize;
+                }
+                Instr::Brnz { rt, target } => {
+                    if target as usize > program.len() {
+                        return Err(format!("branch target {target} out of range"));
+                    }
+                    if self.reg_i32(rt)[0] != 0 {
+                        pc = target as usize;
+                    } else {
+                        pc += 1;
+                    }
+                }
+                other => {
+                    self.step(other);
+                    pc += 1;
+                }
+            }
+            steps += 1;
+        }
+        self.executed += steps;
+        Ok(steps)
+    }
+
+    fn step(&mut self, instr: Instr) {
+        match instr {
+            Instr::Lqd { rt, addr } => {
+                let a = addr as usize;
+                assert!(a.is_multiple_of(16), "lqd must be quadword aligned");
+                let mut q = [0u8; 16];
+                q.copy_from_slice(&self.ls[a..a + 16]);
+                self.regs[rt.index()] = q;
+            }
+            Instr::Stqd { rt, addr } => {
+                let a = addr as usize;
+                assert!(a.is_multiple_of(16), "stqd must be quadword aligned");
+                let q = self.regs[rt.index()];
+                self.ls[a..a + 16].copy_from_slice(&q);
+            }
+            Instr::ShufbW { rt, ra, lane } => {
+                let v = self.reg_f32(ra);
+                self.set_reg_f32(rt, [v[lane as usize]; 4]);
+            }
+            Instr::ShufbD { rt, ra, lane } => {
+                let v = self.reg_f64(ra);
+                self.set_reg_f64(rt, [v[lane as usize]; 2]);
+            }
+            Instr::Fa { rt, ra, rb } => {
+                let (a, b) = (self.reg_f32(ra), self.reg_f32(rb));
+                self.set_reg_f32(rt, std::array::from_fn(|l| a[l] + b[l]));
+            }
+            Instr::Fcgt { rt, ra, rb } => {
+                let (a, b) = (self.reg_f32(ra), self.reg_f32(rb));
+                let mut q = [0u8; 16];
+                for l in 0..4 {
+                    let m = if a[l] > b[l] { 0xFFu8 } else { 0 };
+                    q[4 * l..4 * l + 4].copy_from_slice(&[m; 4]);
+                }
+                self.regs[rt.index()] = q;
+            }
+            Instr::Selb { rt, ra, rb, rc } => {
+                let (a, b, c) = (
+                    self.regs[ra.index()],
+                    self.regs[rb.index()],
+                    self.regs[rc.index()],
+                );
+                let q: Quad = std::array::from_fn(|i| (a[i] & !c[i]) | (b[i] & c[i]));
+                self.regs[rt.index()] = q;
+            }
+            Instr::Dfa { rt, ra, rb } => {
+                let (a, b) = (self.reg_f64(ra), self.reg_f64(rb));
+                self.set_reg_f64(rt, [a[0] + b[0], a[1] + b[1]]);
+            }
+            Instr::Dfcgt { rt, ra, rb } => {
+                let (a, b) = (self.reg_f64(ra), self.reg_f64(rb));
+                let mut q = [0u8; 16];
+                for l in 0..2 {
+                    let m = if a[l] > b[l] { 0xFFu8 } else { 0 };
+                    q[8 * l..8 * l + 8].copy_from_slice(&[m; 8]);
+                }
+                self.regs[rt.index()] = q;
+            }
+            Instr::Il { rt, imm } => {
+                self.set_reg_i32(rt, [imm; 4]);
+            }
+            Instr::Ai { rt, ra, imm } => {
+                let a = self.reg_i32(ra);
+                self.set_reg_i32(rt, std::array::from_fn(|l| a[l].wrapping_add(imm)));
+            }
+            Instr::A { rt, ra, rb } => {
+                let (a, b) = (self.reg_i32(ra), self.reg_i32(rb));
+                self.set_reg_i32(rt, std::array::from_fn(|l| a[l].wrapping_add(b[l])));
+            }
+            Instr::Lqx { rt, ra, rb } => {
+                let addr =
+                    (self.reg_i32(ra)[0].wrapping_add(self.reg_i32(rb)[0]) as u32 & !15) as usize;
+                let mut q = [0u8; 16];
+                q.copy_from_slice(&self.ls[addr..addr + 16]);
+                self.regs[rt.index()] = q;
+            }
+            Instr::Stqx { rt, ra, rb } => {
+                let addr =
+                    (self.reg_i32(ra)[0].wrapping_add(self.reg_i32(rb)[0]) as u32 & !15) as usize;
+                let q = self.regs[rt.index()];
+                self.ls[addr..addr + 16].copy_from_slice(&q);
+            }
+            Instr::Brnz { .. } | Instr::Br { .. } => {
+                unreachable!("branches are handled by run()")
+            }
+        }
+    }
+}
+
+/// Outcome of scheduling a program on the dual-issue in-order SPU model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Total cycles from first issue to last result available.
+    pub cycles: u32,
+    /// Cycle at which each instruction issued (program order).
+    pub issue_cycle: Vec<u32>,
+    /// Number of cycles in which both pipelines issued.
+    pub dual_issues: u32,
+}
+
+impl Schedule {
+    /// Issued instructions per cycle, the utilization the paper reports
+    /// (e.g. 80 instructions / 54 cycles ≈ 1.48 of 2.0).
+    pub fn ipc(&self) -> f64 {
+        self.issue_cycle.len() as f64 / self.cycles as f64
+    }
+}
+
+/// Schedule a straight-line program on the in-order, dual-issue SPU:
+///
+/// * instructions issue in program order;
+/// * an instruction issues when its sources are ready and its pipeline is
+///   free;
+/// * two adjacent instructions issue in the same cycle only when their
+///   pipeline types differ (the fetch-group rule of §II-C, modelled as a
+///   type constraint);
+/// * double-precision arithmetic blocks its pipeline for 6 extra cycles
+///   after issue (§VI-A.5).
+pub fn schedule(program: &[Instr]) -> Schedule {
+    let mut reg_ready = [0u32; 128];
+    let mut pipe_free = [0u32; 2]; // Even, Odd
+    let mut issue_cycle = Vec::with_capacity(program.len());
+    let mut last_issue: Option<(u32, Pipe)> = None;
+    let mut dual_issues = 0u32;
+    let mut finish = 0u32;
+
+    for &instr in program {
+        let pipe = instr.pipe();
+        let p = match pipe {
+            Pipe::Even => 0,
+            Pipe::Odd => 1,
+        };
+        let src_ready = instr
+            .srcs()
+            .iter()
+            .map(|r| reg_ready[r.index()])
+            .max()
+            .unwrap_or(0);
+        // Earliest issue: sources ready, pipeline free, and not before the
+        // previous instruction's issue cycle (in-order issue).
+        let mut t = src_ready.max(pipe_free[p]);
+        if let Some((t_prev, pipe_prev)) = last_issue {
+            if t < t_prev {
+                t = t_prev;
+            }
+            // Same cycle as the previous instruction only if pipelines
+            // differ (dual issue); otherwise wait one cycle.
+            if t == t_prev && pipe_prev == pipe {
+                t += 1;
+            } else if t == t_prev {
+                dual_issues += 1;
+            }
+        }
+        issue_cycle.push(t);
+        pipe_free[p] = t + 1 + instr.issue_stall();
+        if let Some(dst) = instr.dst() {
+            reg_ready[dst.index()] = t + instr.latency();
+        }
+        finish = finish.max(t + instr.latency());
+        last_issue = Some((t, pipe));
+    }
+
+    Schedule {
+        cycles: finish,
+        issue_cycle,
+        dual_issues,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn execution_counter_accumulates() {
+        let mut spu = Spu::new();
+        let prog = vec![Instr::Lqd { rt: Reg(1), addr: 0 }; 5];
+        spu.execute(&prog);
+        spu.execute(&prog[..2]);
+        assert_eq!(spu.executed, 7);
+    }
+
+    #[test]
+    fn load_add_store_roundtrip() {
+        let mut spu = Spu::new();
+        spu.write_f32(0, &[1.0, 2.0, 3.0, 4.0]);
+        spu.write_f32(16, &[10.0, 20.0, 30.0, 40.0]);
+        let prog = vec![
+            Instr::Lqd { rt: Reg(1), addr: 0 },
+            Instr::Lqd { rt: Reg(2), addr: 16 },
+            Instr::Fa { rt: Reg(3), ra: Reg(1), rb: Reg(2) },
+            Instr::Stqd { rt: Reg(3), addr: 32 },
+        ];
+        spu.execute(&prog);
+        assert_eq!(spu.read_f32(32, 4), vec![11.0, 22.0, 33.0, 44.0]);
+    }
+
+    #[test]
+    fn compare_select_computes_min() {
+        let mut spu = Spu::new();
+        spu.write_f32(0, &[1.0, 5.0, 3.0, 8.0]);
+        spu.write_f32(16, &[2.0, 4.0, 3.0, 7.0]);
+        let prog = vec![
+            Instr::Lqd { rt: Reg(1), addr: 0 },
+            Instr::Lqd { rt: Reg(2), addr: 16 },
+            Instr::Fcgt { rt: Reg(3), ra: Reg(1), rb: Reg(2) },
+            Instr::Selb { rt: Reg(4), ra: Reg(1), rb: Reg(2), rc: Reg(3) },
+            Instr::Stqd { rt: Reg(4), addr: 32 },
+        ];
+        spu.execute(&prog);
+        assert_eq!(spu.read_f32(32, 4), vec![1.0, 4.0, 3.0, 7.0]);
+    }
+
+    #[test]
+    fn shuffle_broadcasts_lane() {
+        let mut spu = Spu::new();
+        spu.write_f32(0, &[1.0, 2.0, 3.0, 4.0]);
+        let prog = vec![
+            Instr::Lqd { rt: Reg(1), addr: 0 },
+            Instr::ShufbW { rt: Reg(2), ra: Reg(1), lane: 2 },
+            Instr::Stqd { rt: Reg(2), addr: 16 },
+        ];
+        spu.execute(&prog);
+        assert_eq!(spu.read_f32(16, 4), vec![3.0; 4]);
+    }
+
+    #[test]
+    fn double_precision_ops() {
+        let mut spu = Spu::new();
+        spu.write_f64(0, &[1.5, -2.0]);
+        spu.write_f64(16, &[0.5, 3.0]);
+        let prog = vec![
+            Instr::Lqd { rt: Reg(1), addr: 0 },
+            Instr::Lqd { rt: Reg(2), addr: 16 },
+            Instr::Dfa { rt: Reg(3), ra: Reg(1), rb: Reg(2) },
+            Instr::Dfcgt { rt: Reg(4), ra: Reg(1), rb: Reg(2) },
+            Instr::Selb { rt: Reg(5), ra: Reg(1), rb: Reg(2), rc: Reg(4) },
+            Instr::Stqd { rt: Reg(3), addr: 32 },
+            Instr::Stqd { rt: Reg(5), addr: 48 },
+        ];
+        spu.execute(&prog);
+        assert_eq!(spu.read_f64(32, 2), vec![2.0, 1.0]);
+        // min(1.5, 0.5) = 0.5; min(-2, 3) = -2.
+        assert_eq!(spu.read_f64(48, 2), vec![0.5, -2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn unaligned_load_faults() {
+        let mut spu = Spu::new();
+        spu.execute(&[Instr::Lqd { rt: Reg(0), addr: 4 }]);
+    }
+
+    #[test]
+    fn schedule_serial_dependence_chain() {
+        // lqd (lat 6) → fa (lat 6) → stqd: strictly serial.
+        let prog = vec![
+            Instr::Lqd { rt: Reg(1), addr: 0 },
+            Instr::Fa { rt: Reg(2), ra: Reg(1), rb: Reg(1) },
+            Instr::Stqd { rt: Reg(2), addr: 16 },
+        ];
+        let s = schedule(&prog);
+        assert_eq!(s.issue_cycle, vec![0, 6, 12]);
+        assert_eq!(s.cycles, 18);
+        assert_eq!(s.dual_issues, 0);
+    }
+
+    #[test]
+    fn schedule_dual_issues_mixed_pipes() {
+        // Independent load (odd) + add (even) — the add issues with the
+        // following load in one cycle once its inputs are ready.
+        let prog = vec![
+            Instr::Lqd { rt: Reg(1), addr: 0 },  // t=0 odd
+            Instr::Lqd { rt: Reg(2), addr: 16 }, // t=1 odd
+            Instr::Fa { rt: Reg(3), ra: Reg(1), rb: Reg(2) }, // t=7 even
+            Instr::Lqd { rt: Reg(4), addr: 32 }, // t=7 odd (dual)
+        ];
+        let s = schedule(&prog);
+        assert_eq!(s.issue_cycle, vec![0, 1, 7, 7]);
+        assert_eq!(s.dual_issues, 1);
+    }
+
+    #[test]
+    fn schedule_same_pipe_never_dual_issues() {
+        let prog = vec![
+            Instr::Fa { rt: Reg(1), ra: Reg(0), rb: Reg(0) },
+            Instr::Fa { rt: Reg(2), ra: Reg(0), rb: Reg(0) },
+        ];
+        let s = schedule(&prog);
+        assert_eq!(s.issue_cycle, vec![0, 1]);
+        assert_eq!(s.dual_issues, 0);
+    }
+
+    #[test]
+    fn schedule_dp_stall_blocks_pipeline() {
+        // Two independent DP adds: the second waits out the 6-cycle stall.
+        let prog = vec![
+            Instr::Dfa { rt: Reg(1), ra: Reg(0), rb: Reg(0) },
+            Instr::Dfa { rt: Reg(2), ra: Reg(0), rb: Reg(0) },
+        ];
+        let s = schedule(&prog);
+        assert_eq!(s.issue_cycle, vec![0, 7]);
+    }
+
+    #[test]
+    fn schedule_in_order_issue() {
+        // A later independent instruction cannot issue before an earlier
+        // stalled one (in-order core).
+        let prog = vec![
+            Instr::Lqd { rt: Reg(1), addr: 0 },
+            Instr::Fa { rt: Reg(2), ra: Reg(1), rb: Reg(1) }, // waits for lqd
+            Instr::Fa { rt: Reg(3), ra: Reg(0), rb: Reg(0) }, // independent
+        ];
+        let s = schedule(&prog);
+        assert!(s.issue_cycle[2] >= s.issue_cycle[1]);
+    }
+
+    #[test]
+    fn ipc_bounded_by_two() {
+        let prog: Vec<Instr> = (0..20)
+            .map(|i| {
+                if i % 2 == 0 {
+                    Instr::Fa { rt: Reg(i as u8 + 10), ra: Reg(0), rb: Reg(1) }
+                } else {
+                    Instr::Lqd { rt: Reg(i as u8 + 40), addr: 0 }
+                }
+            })
+            .collect();
+        let s = schedule(&prog);
+        assert!(s.ipc() <= 2.0);
+        assert!(s.dual_issues > 5);
+    }
+}
+
+#[cfg(test)]
+mod control_flow_tests {
+    use super::*;
+
+    /// A counted loop that sums 8 quadwords of f32s into r10:
+    /// r1 = address cursor, r2 = remaining count, r3 = constant 16.
+    fn sum_loop() -> Vec<Instr> {
+        vec![
+            /* 0 */ Instr::Il { rt: Reg(1), imm: 0 },   // addr = 0
+            /* 1 */ Instr::Il { rt: Reg(2), imm: 8 },   // count = 8
+            /* 2 */ Instr::Il { rt: Reg(3), imm: 0 },   // index register
+            /* 3 */ Instr::Il { rt: Reg(10), imm: 0 },  // acc = 0 (bits)
+            // loop:
+            /* 4 */ Instr::Lqx { rt: Reg(4), ra: Reg(1), rb: Reg(3) },
+            /* 5 */ Instr::Fa { rt: Reg(10), ra: Reg(10), rb: Reg(4) },
+            /* 6 */ Instr::Ai { rt: Reg(1), ra: Reg(1), imm: 16 },
+            /* 7 */ Instr::Ai { rt: Reg(2), ra: Reg(2), imm: -1 },
+            /* 8 */ Instr::Brnz { rt: Reg(2), target: 4 },
+            /* 9 */ Instr::Stqd { rt: Reg(10), addr: 256 },
+        ]
+    }
+
+    #[test]
+    fn counted_loop_sums_vectors() {
+        let mut spu = Spu::new();
+        for k in 0..8 {
+            spu.write_f32(16 * k, &[k as f32, 1.0, 2.0 * k as f32, -1.0]);
+        }
+        let steps = spu.run(&sum_loop(), 10_000).unwrap();
+        // 4 setup + 8 iterations × 5 + final store.
+        assert_eq!(steps, 4 + 8 * 5 + 1);
+        let got = spu.read_f32(256, 4);
+        assert_eq!(got, vec![28.0, 8.0, 56.0, -8.0]);
+    }
+
+    #[test]
+    fn runaway_loop_is_caught() {
+        let prog = vec![
+            Instr::Il { rt: Reg(1), imm: 1 },
+            Instr::Brnz { rt: Reg(1), target: 1 }, // spins forever
+        ];
+        let mut spu = Spu::new();
+        let err = spu.run(&prog, 1000).unwrap_err();
+        assert!(err.contains("exceeded"));
+    }
+
+    #[test]
+    fn branch_out_of_range_rejected() {
+        let prog = vec![Instr::Br { target: 99 }];
+        let mut spu = Spu::new();
+        assert!(spu.run(&prog, 10).unwrap_err().contains("out of range"));
+    }
+
+    #[test]
+    fn unconditional_branch_skips() {
+        let prog = vec![
+            Instr::Il { rt: Reg(1), imm: 7 },
+            Instr::Br { target: 3 },
+            Instr::Il { rt: Reg(1), imm: 99 }, // skipped
+            Instr::Stqd { rt: Reg(1), addr: 0 },
+        ];
+        let mut spu = Spu::new();
+        spu.run(&prog, 100).unwrap();
+        assert_eq!(spu.reg_lanes_i32(Reg(1)), [7; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "straight-line")]
+    fn execute_rejects_branches() {
+        let mut spu = Spu::new();
+        spu.execute(&[Instr::Br { target: 0 }]);
+    }
+
+    #[test]
+    fn integer_ops_semantics() {
+        let mut spu = Spu::new();
+        spu.execute(&[
+            Instr::Il { rt: Reg(1), imm: -3 },
+            Instr::Ai { rt: Reg(2), ra: Reg(1), imm: 10 },
+            Instr::A { rt: Reg(3), ra: Reg(1), rb: Reg(2) },
+        ]);
+        assert_eq!(spu.reg_lanes_i32(Reg(1)), [-3; 4]);
+        assert_eq!(spu.reg_lanes_i32(Reg(2)), [7; 4]);
+        assert_eq!(spu.reg_lanes_i32(Reg(3)), [4; 4]);
+    }
+
+    #[test]
+    fn indexed_load_store_roundtrip() {
+        let mut spu = Spu::new();
+        spu.write_f32(48, &[1.5, 2.5, 3.5, 4.5]);
+        spu.execute(&[
+            Instr::Il { rt: Reg(1), imm: 32 },
+            Instr::Il { rt: Reg(2), imm: 16 },
+            Instr::Lqx { rt: Reg(3), ra: Reg(1), rb: Reg(2) }, // LS[48]
+            Instr::Il { rt: Reg(4), imm: 64 },
+            Instr::Stqx { rt: Reg(3), ra: Reg(4), rb: Reg(2) }, // LS[80]
+        ]);
+        assert_eq!(spu.read_f32(80, 4), vec![1.5, 2.5, 3.5, 4.5]);
+    }
+}

@@ -1,0 +1,356 @@
+//! Software pipelining (paper §IV-A): reorder a straight-line kernel so the
+//! in-order dual-issue SPU can hide instruction latency across the
+//! independent rows of a computing block.
+//!
+//! The pass builds the full dependence DAG (RAW with producer latency, plus
+//! WAR/WAW and local-store ordering edges to preserve sequential semantics)
+//! and list-schedules it against the SPU resource model: two pipelines of
+//! fixed types, one instruction per pipeline per cycle, DP issue stalls.
+//! The emitted instruction order is a legal sequential program — the
+//! functional executor produces bit-identical results — that the in-order
+//! core can issue with far fewer bubbles.
+
+use crate::isa::{Instr, Pipe};
+use crate::spu::{schedule, Schedule};
+
+/// A software-pipelined program plus its modelled schedule.
+#[derive(Debug, Clone)]
+pub struct Pipelined {
+    /// The reordered, semantically-equivalent program.
+    pub program: Vec<Instr>,
+    /// The dual-issue schedule of the reordered program.
+    pub schedule: Schedule,
+}
+
+/// Dependence kinds; the delay is the minimum issue-cycle gap.
+fn raw_delay(producer: &Instr) -> u32 {
+    producer.latency()
+}
+
+/// Build dependence edges over the program: `edges[i]` lists `(j, delay)`
+/// meaning instruction `i` must issue at least `delay` cycles after `j`.
+fn dependence_edges(program: &[Instr]) -> Vec<Vec<(usize, u32)>> {
+    let n = program.len();
+    #[derive(Default)]
+    struct MemSlot {
+        last_store: Option<usize>,
+        loads_since_store: Vec<usize>,
+    }
+    let mut last_writer: [Option<usize>; 128] = [None; 128];
+    let mut readers_since_write: Vec<Vec<usize>> = vec![Vec::new(); 128];
+    let mut mem_by_addr: std::collections::HashMap<u32, MemSlot> =
+        std::collections::HashMap::new();
+    let mut edges: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n];
+
+    for (i, instr) in program.iter().enumerate() {
+        // RAW: sources depend on their last writer with its full latency.
+        for src in instr.srcs() {
+            if let Some(w) = last_writer[src.index()] {
+                edges[i].push((w, raw_delay(&program[w])));
+            }
+            readers_since_write[src.index()].push(i);
+        }
+        // Local-store ordering: accesses are quadword granular, so two
+        // memory operations conflict exactly when their addresses match.
+        // Per address: store→store (WAW, delay 1), load→store (WAR, delay
+        // 0) and store→load (RAW through memory, store latency).
+        match instr {
+            Instr::Stqd { addr, .. } => {
+                let slot = mem_by_addr.entry(*addr).or_default();
+                if let Some(s) = slot.last_store {
+                    edges[i].push((s, 1));
+                }
+                for &l in &slot.loads_since_store {
+                    edges[i].push((l, 0));
+                }
+                slot.loads_since_store.clear();
+                slot.last_store = Some(i);
+            }
+            Instr::Lqd { addr, .. } => {
+                let slot = mem_by_addr.entry(*addr).or_default();
+                if let Some(s) = slot.last_store {
+                    edges[i].push((s, program[s].latency()));
+                }
+                slot.loads_since_store.push(i);
+            }
+            _ => {}
+        }
+        if let Some(dst) = instr.dst() {
+            let d = dst.index();
+            // WAW: a later writer may not overtake an earlier one.
+            if let Some(w) = last_writer[d] {
+                edges[i].push((w, 1));
+            }
+            // WAR: a writer may not overtake a reader of the old value
+            // (reads happen at issue, so same-cycle is legal: delay 0 —
+            // but in-order value semantics under re-execution require the
+            // reader first; use delay 0 with ordering by edge).
+            for &r in &readers_since_write[d] {
+                if r != i {
+                    edges[i].push((r, 0));
+                }
+            }
+            readers_since_write[d].clear();
+            last_writer[d] = Some(i);
+        }
+    }
+    edges
+}
+
+/// Critical-path height of each instruction (for list-scheduling priority).
+fn heights(program: &[Instr], edges: &[Vec<(usize, u32)>]) -> Vec<u32> {
+    let n = program.len();
+    // successors: reverse of edges.
+    let mut succs: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n];
+    for (i, deps) in edges.iter().enumerate() {
+        for &(j, d) in deps {
+            succs[j].push((i, d));
+        }
+    }
+    let mut h = vec![0u32; n];
+    // Process in reverse program order: edges always point backwards, so
+    // successors of i have larger indices.
+    for i in (0..n).rev() {
+        let mut best = 0;
+        for &(s, d) in &succs[i] {
+            best = best.max(h[s] + d.max(1));
+        }
+        h[i] = best;
+    }
+    h
+}
+
+/// List-schedule the program onto the SPU resource model, returning the
+/// reordered instruction sequence and its schedule.
+pub fn software_pipeline(program: &[Instr]) -> Pipelined {
+    // Control flow is a scheduling barrier; programs with branches are
+    // returned unscheduled (kernels are straight-line by construction).
+    if program.iter().any(Instr::is_branch) {
+        return Pipelined {
+            program: program.to_vec(),
+            schedule: schedule(program),
+        };
+    }
+    let n = program.len();
+    let edges = dependence_edges(program);
+    let hs = heights(program, &edges);
+
+    // earliest[i]: lower bound on issue cycle given scheduled deps.
+    let mut issue = vec![u32::MAX; n];
+    let mut emitted_order: Vec<usize> = Vec::with_capacity(n);
+    let mut remaining_deps: Vec<usize> = edges.iter().map(Vec::len).collect();
+    // For delay accounting we need all deps' issue times; track per node.
+    let mut ready_nodes: Vec<usize> = (0..n).filter(|&i| remaining_deps[i] == 0).collect();
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, deps) in edges.iter().enumerate() {
+        for &(j, _) in deps {
+            succs[j].push(i);
+        }
+    }
+
+    let mut cycle: u32 = 0;
+    let mut pipe_free = [0u32; 2];
+    let mut scheduled = 0usize;
+
+    // A node is issueable at `cycle` if all deps are scheduled and their
+    // delays are met.
+    fn earliest(edges: &[Vec<(usize, u32)>], issue: &[u32], i: usize) -> Option<u32> {
+        let mut t = 0;
+        for &(j, d) in &edges[i] {
+            if issue[j] == u32::MAX {
+                return None;
+            }
+            t = t.max(issue[j] + d);
+        }
+        Some(t)
+    }
+
+    while scheduled < n {
+        // Try both pipelines this cycle, highest critical path first.
+        let mut issued_this_cycle = [false; 2];
+        loop {
+            let mut best: Option<(usize, u32)> = None;
+            for &i in &ready_nodes {
+                if issue[i] != u32::MAX {
+                    continue;
+                }
+                let p = match program[i].pipe() {
+                    Pipe::Even => 0,
+                    Pipe::Odd => 1,
+                };
+                if issued_this_cycle[p] || pipe_free[p] > cycle {
+                    continue;
+                }
+                match earliest(&edges, &issue, i) {
+                    Some(t) if t <= cycle
+                        && best.map(|(_, h)| hs[i] > h).unwrap_or(true) => {
+                            best = Some((i, hs[i]));
+                        }
+                    _ => {}
+                }
+            }
+            let Some((i, _)) = best else { break };
+            issue[i] = cycle;
+            let p = match program[i].pipe() {
+                Pipe::Even => 0,
+                Pipe::Odd => 1,
+            };
+            issued_this_cycle[p] = true;
+            pipe_free[p] = cycle + 1 + program[i].issue_stall();
+            emitted_order.push(i);
+            scheduled += 1;
+            for &s in &succs[i] {
+                remaining_deps[s] -= 1;
+                if remaining_deps[s] == 0 {
+                    ready_nodes.push(s);
+                }
+            }
+        }
+        cycle += 1;
+    }
+
+    let program_out: Vec<Instr> = emitted_order.iter().map(|&i| program[i]).collect();
+    let sched = schedule(&program_out);
+    Pipelined {
+        program: program_out,
+        schedule: sched,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{InstrMix, Reg};
+    use crate::kernels::{
+        dp_kernel_blocked, sp_kernel_blocked, sp_kernel_naive, sp_kernel_tree, TileAddrs,
+    };
+    use crate::spu::Spu;
+
+    fn lcg_vals(seed: u64, count: usize, scale: f32) -> Vec<f32> {
+        let mut s = seed;
+        (0..count)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((s >> 33) as f32) / (u32::MAX as f32) * scale
+            })
+            .collect()
+    }
+
+    fn assert_equivalent_sp(original: &[Instr], reordered: &[Instr], t: TileAddrs) {
+        for seed in 0..5u64 {
+            let a = lcg_vals(seed, 16, 50.0);
+            let b = lcg_vals(seed + 9, 16, 50.0);
+            let c = lcg_vals(seed + 18, 16, 50.0);
+            let mut s1 = Spu::new();
+            s1.write_f32(t.a as usize, &a);
+            s1.write_f32(t.b as usize, &b);
+            s1.write_f32(t.c as usize, &c);
+            let mut s2 = Spu::new();
+            s2.write_f32(t.a as usize, &a);
+            s2.write_f32(t.b as usize, &b);
+            s2.write_f32(t.c as usize, &c);
+            s1.execute(original);
+            s2.execute(reordered);
+            assert_eq!(
+                s1.read_f32(t.c as usize, 16),
+                s2.read_f32(t.c as usize, 16),
+                "seed={seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn pipelining_preserves_semantics() {
+        let t = TileAddrs::packed_sp(0);
+        for prog in [sp_kernel_blocked(t), sp_kernel_tree(t), sp_kernel_naive(t)] {
+            let piped = software_pipeline(&prog);
+            assert_eq!(InstrMix::of(&piped.program), InstrMix::of(&prog));
+            assert_equivalent_sp(&prog, &piped.program, t);
+        }
+    }
+
+    #[test]
+    fn pipelined_tree_kernel_near_paper_cycles() {
+        // The paper reports 54 cycles for the 80-instruction SP kernel; the
+        // even pipeline's 48 instructions lower-bound any schedule at 48.
+        let piped = software_pipeline(&sp_kernel_tree(TileAddrs::packed_sp(0)));
+        assert_eq!(piped.program.len(), 80);
+        assert!(
+            (48..=72).contains(&piped.schedule.cycles),
+            "got {} cycles",
+            piped.schedule.cycles
+        );
+    }
+
+    #[test]
+    fn steady_state_sp_kernel_near_54_cycles() {
+        // Back-to-back kernels overlap prologue/drain; the even pipeline's
+        // 48 instructions bound the amortized cost below, and the paper
+        // reports 54.
+        use crate::kernels::sp_kernel_stream;
+        let n = 8;
+        let piped = software_pipeline(&sp_kernel_stream(n));
+        let per_kernel = piped.schedule.cycles as f64 / n as f64;
+        assert!(
+            (48.0..=60.0).contains(&per_kernel),
+            "steady-state {per_kernel} cycles/kernel"
+        );
+    }
+
+    #[test]
+    fn pipelining_improves_blocked_kernel() {
+        let t = TileAddrs::packed_sp(0);
+        let plain = schedule(&sp_kernel_blocked(t));
+        let piped = software_pipeline(&sp_kernel_tree(t));
+        assert!(
+            piped.schedule.cycles < plain.cycles,
+            "pipelined {} vs plain {}",
+            piped.schedule.cycles,
+            plain.cycles
+        );
+    }
+
+    #[test]
+    fn naive_kernel_much_slower_than_pipelined() {
+        let t = TileAddrs::packed_sp(0);
+        let naive = schedule(&sp_kernel_naive(t));
+        let piped = software_pipeline(&sp_kernel_tree(t));
+        // The paper's 31.6× NDL / 28× SPEP factors come partly from here.
+        assert!(naive.cycles as f64 > 2.0 * piped.schedule.cycles as f64);
+    }
+
+    #[test]
+    fn dp_kernel_pipelined_much_slower_than_sp() {
+        let sp = software_pipeline(&sp_kernel_tree(TileAddrs::packed_sp(0)));
+        let dp = software_pipeline(&dp_kernel_blocked(TileAddrs::packed_dp(0)));
+        // Twice the instructions + 13-cycle latency + 6-cycle stalls: the
+        // paper's §VI-A.5 explanation of the SP/DP gap.
+        assert!(dp.schedule.cycles as f64 >= 3.0 * sp.schedule.cycles as f64);
+    }
+
+    #[test]
+    fn war_dependences_respected() {
+        // r1 is read by the fa then overwritten by the lqd; reordering the
+        // lqd first would corrupt the add.
+        let prog = vec![
+            Instr::Lqd { rt: Reg(1), addr: 0 },
+            Instr::Fa { rt: Reg(2), ra: Reg(1), rb: Reg(1) },
+            Instr::Lqd { rt: Reg(1), addr: 16 },
+            Instr::Fa { rt: Reg(3), ra: Reg(1), rb: Reg(1) },
+            Instr::Stqd { rt: Reg(2), addr: 32 },
+            Instr::Stqd { rt: Reg(3), addr: 48 },
+        ];
+        let mut s1 = Spu::new();
+        s1.write_f32(0, &[1.0; 4]);
+        s1.write_f32(16, &[2.0; 4]);
+        let mut s2 = Spu::new();
+        s2.write_f32(0, &[1.0; 4]);
+        s2.write_f32(16, &[2.0; 4]);
+        let piped = software_pipeline(&prog);
+        s1.execute(&prog);
+        s2.execute(&piped.program);
+        assert_eq!(s1.read_f32(32, 8), s2.read_f32(32, 8));
+    }
+}

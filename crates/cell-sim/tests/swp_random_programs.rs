@@ -1,0 +1,104 @@
+//! Property test: the software-pipelining pass preserves the semantics of
+//! *arbitrary* straight-line SPU programs, not just the kernels it was
+//! built for. Random programs exercise every hazard class — RAW chains,
+//! WAR/WAW register reuse, memory aliasing through the local store — and
+//! the reordered program must leave the SPU in an identical state.
+
+use cell_sim::swp::software_pipeline;
+use cell_sim::{Instr, Reg, Spu};
+use proptest::prelude::*;
+
+const LS_SLOTS: u32 = 16; // quadword slots used by generated programs
+const REGS: u8 = 24;
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    let reg = || (0..REGS).prop_map(Reg);
+    let addr = || (0..LS_SLOTS).prop_map(|s| s * 16);
+    prop_oneof![
+        (reg(), addr()).prop_map(|(rt, addr)| Instr::Lqd { rt, addr }),
+        (reg(), addr()).prop_map(|(rt, addr)| Instr::Stqd { rt, addr }),
+        (reg(), reg(), 0u8..4).prop_map(|(rt, ra, lane)| Instr::ShufbW { rt, ra, lane }),
+        (reg(), reg(), reg()).prop_map(|(rt, ra, rb)| Instr::Fa { rt, ra, rb }),
+        (reg(), reg(), reg()).prop_map(|(rt, ra, rb)| Instr::Fcgt { rt, ra, rb }),
+        (reg(), reg(), reg(), reg())
+            .prop_map(|(rt, ra, rb, rc)| Instr::Selb { rt, ra, rb, rc }),
+        (reg(), reg(), reg()).prop_map(|(rt, ra, rb)| Instr::Dfa { rt, ra, rb }),
+        (reg(), reg(), reg()).prop_map(|(rt, ra, rb)| Instr::Dfcgt { rt, ra, rb }),
+    ]
+}
+
+/// Seed the local store with finite, exactly-representable values so float
+/// comparisons are deterministic and adds stay exact.
+fn seeded_spu(seed: u64) -> Spu {
+    let mut spu = Spu::new();
+    let mut s = seed;
+    for slot in 0..LS_SLOTS {
+        let vals: Vec<f32> = (0..4)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((s >> 40) as i32 % 512) as f32
+            })
+            .collect();
+        spu.write_f32(slot as usize * 16, &vals);
+    }
+    spu
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn pipelined_program_is_semantically_identical(
+        program in prop::collection::vec(arb_instr(), 1..120),
+        seed in any::<u64>(),
+    ) {
+        let piped = software_pipeline(&program);
+        prop_assert_eq!(piped.program.len(), program.len());
+
+        let mut original = seeded_spu(seed);
+        let mut reordered = seeded_spu(seed);
+        original.execute(&program);
+        reordered.execute(&piped.program);
+
+        // Local store must match bit for bit (covers all stores and,
+        // through subsequent loads/stores, the live register state).
+        prop_assert_eq!(
+            &original.ls()[..LS_SLOTS as usize * 16],
+            &reordered.ls()[..LS_SLOTS as usize * 16]
+        );
+    }
+
+    #[test]
+    fn schedule_never_beats_critical_path_bounds(
+        program in prop::collection::vec(arb_instr(), 1..80),
+    ) {
+        let piped = software_pipeline(&program);
+        // Lower bound: instructions per pipeline (1 per cycle each).
+        let even = program.iter().filter(|i| i.pipe() == cell_sim::Pipe::Even).count();
+        let odd = program.len() - even;
+        let bound = even.max(odd) as u32;
+        prop_assert!(piped.schedule.cycles >= bound,
+            "{} cycles < resource bound {}", piped.schedule.cycles, bound);
+        // And the reordered schedule is essentially never worse than the
+        // original order: greedy list scheduling can lose a few drain
+        // cycles on adversarial programs (it is not optimal), but never
+        // more than one maximum instruction latency.
+        let plain = cell_sim::schedule(&program);
+        prop_assert!(piped.schedule.cycles <= plain.cycles + 13,
+            "pipelined {} ≫ plain {}", piped.schedule.cycles, plain.cycles);
+    }
+
+    #[test]
+    fn issue_cycles_are_monotone_in_program_order(
+        program in prop::collection::vec(arb_instr(), 1..60),
+    ) {
+        // The emitted order must be issueable strictly in order.
+        let piped = software_pipeline(&program);
+        let s = cell_sim::schedule(&piped.program);
+        for w in s.issue_cycle.windows(2) {
+            prop_assert!(w[1] >= w[0]);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Generic serial NPDP solvers for recurrences with k-dependent terms.
+//!
+//! The fast engines implement the pure min-plus closure
+//! `d[i][j] = min_k d[i][k] + d[k][j]`. Several classic NPDP applications
+//! add a term that depends on the split point `k` (matrix chain:
+//! `p_i · p_k · p_j`) or choose a *root* rather than a shared split point
+//! (optimal BST). These generic solvers cover both shapes with the same
+//! interval dependence structure as Fig. 1.
+
+use crate::layout::TriangularMatrix;
+use crate::value::DpValue;
+
+/// Shared-endpoint NPDP: `d[i][j] = min over i < k < j of
+/// combine(d[i][k], d[k][j], i, k, j)`, with `d[i][i+1] = base(i)`.
+///
+/// Cells run in the original flowchart order (columns ascending, rows
+/// descending), so both operands are final at every read.
+pub fn solve_shared_split<T, B, F>(n: usize, base: B, combine: F) -> TriangularMatrix<T>
+where
+    T: DpValue,
+    B: Fn(usize) -> T,
+    F: Fn(T, T, usize, usize, usize) -> T,
+{
+    let mut d = TriangularMatrix::new_infinity(n);
+    for j in 1..n {
+        d.set(j - 1, j, base(j - 1));
+        for i in (0..j.saturating_sub(1)).rev() {
+            let mut best = T::INFINITY;
+            for k in i + 1..j {
+                best = T::min2(best, combine(d.get(i, k), d.get(k, j), i, k, j));
+            }
+            d.set(i, j, best);
+        }
+    }
+    d
+}
+
+/// Rooted NPDP over gap indices: `d(i, j)` covers items `i+1 ..= j` of
+/// `0 ..= n` boundaries; choosing root `r` splits into `d(i, r-1)` and
+/// `d(r, j)` where empty intervals (`i == j`) have value `empty`:
+///
+/// `d[i][j] = min over i < r ≤ j of combine(d[i][r-1], d[r][j], i, r, j)`.
+///
+/// This is the optimal-BST shape. The returned triangle has side `n + 1`
+/// (cells `(i, j)` with `i < j ≤ n`).
+pub fn solve_rooted<T, F>(n: usize, empty: T, combine: F) -> TriangularMatrix<T>
+where
+    T: DpValue,
+    F: Fn(T, T, usize, usize, usize) -> T,
+{
+    let side = n + 1;
+    let mut d = TriangularMatrix::new_infinity(side);
+    let read = |d: &TriangularMatrix<T>, a: usize, b: usize| -> T {
+        if a == b {
+            empty
+        } else {
+            d.get(a, b)
+        }
+    };
+    for j in 1..side {
+        for i in (0..j).rev() {
+            let mut best = T::INFINITY;
+            for r in i + 1..=j {
+                best = T::min2(best, combine(read(&d, i, r - 1), read(&d, r, j), i, r, j));
+            }
+            d.set(i, j, best);
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_split_reduces_to_pure_closure() {
+        // With combine = a + b and chain bases, the result must equal the
+        // serial engine on chain seeds.
+        use crate::engine::{Engine, SerialEngine};
+        let n = 12;
+        let w: Vec<i64> = (0..n).map(|i| ((i * 7) % 11 + 1) as i64).collect();
+        let generic = solve_shared_split(n, |i| w[i], |a, b, _, _, _| a + b);
+
+        let seeds = TriangularMatrix::from_fn(n, |i, j| {
+            if j == i + 1 {
+                w[i]
+            } else {
+                i64::INFINITY
+            }
+        });
+        let closure = SerialEngine.solve(&seeds);
+        assert_eq!(generic.first_difference(&closure), None);
+    }
+
+    #[test]
+    fn rooted_single_item() {
+        // One item, cost = its weight when it is the root of a leaf tree.
+        let d = solve_rooted(1, 0i64, |l, r, _, _, _| l + r + 5);
+        assert_eq!(d.get(0, 1), 5);
+    }
+
+    #[test]
+    fn rooted_two_items_picks_cheaper_root() {
+        // combine adds a root-dependent constant; r=1 costs 1, r=2 costs 10
+        // at the top, with the leftover single item costing its own combine.
+        let cost = |r: usize| if r == 1 { 1i64 } else { 10 };
+        let d = solve_rooted(2, 0i64, |l, r_val, _, r, _| l + r_val + cost(r));
+        // Root 1: left empty + right d(1,2) [cost 10] + 1 = 11.
+        // Root 2: left d(0,1) [cost 1] + right empty + 10 = 11.
+        assert_eq!(d.get(0, 2), 11);
+    }
+}

@@ -1,0 +1,150 @@
+//! Optimal matrix-chain parenthesization — the textbook NPDP instance
+//! (paper §I).
+//!
+//! Multiplying matrices `M_1 (p_0 × p_1), …, M_n (p_{n-1} × p_n)` costs
+//! `m[i][j] = min over i < k < j of m[i][k] + m[k][j] + p_i · p_k · p_j`
+//! over the boundary indices `0..=n`, with `m[i][i+1] = 0`.
+
+use crate::apps::generic::solve_shared_split;
+use crate::layout::TriangularMatrix;
+
+/// Result of a matrix-chain optimization.
+#[derive(Debug, Clone)]
+pub struct MatrixChain {
+    /// Dimension vector `p` (length = number of matrices + 1).
+    pub dims: Vec<u64>,
+    /// Full cost table over boundary indices (side `dims.len()`).
+    pub table: TriangularMatrix<i64>,
+}
+
+impl MatrixChain {
+    /// Minimal scalar-multiplication count for the whole chain.
+    pub fn optimal_cost(&self) -> i64 {
+        let n = self.dims.len();
+        if n < 2 {
+            return 0;
+        }
+        self.table.get(0, n - 1)
+    }
+
+    /// Reconstruct an optimal parenthesization as a string like
+    /// `((M1 M2) M3)`. Ties resolve to the smallest split point.
+    pub fn parenthesization(&self) -> String {
+        let n = self.dims.len();
+        if n < 2 {
+            return String::new();
+        }
+        self.render(0, n - 1)
+    }
+
+    fn render(&self, i: usize, j: usize) -> String {
+        if j == i + 1 {
+            return format!("M{}", j);
+        }
+        for k in i + 1..j {
+            let cost = self.table.get(i, k)
+                + self.table.get(k, j)
+                + (self.dims[i] * self.dims[k] * self.dims[j]) as i64;
+            if cost == self.table.get(i, j) {
+                return format!("({} {})", self.render(i, k), self.render(k, j));
+            }
+        }
+        unreachable!("table cell not explained by any split");
+    }
+}
+
+/// Solve the matrix-chain problem for dimension vector `dims`
+/// (`dims.len() - 1` matrices; `dims[i-1] × dims[i]` each).
+///
+/// # Panics
+/// If any product `p_i · p_k · p_j` would overflow the `i64` cost domain.
+pub fn matrix_chain(dims: &[u64]) -> MatrixChain {
+    let n = dims.len();
+    let table = if n < 2 {
+        TriangularMatrix::new_infinity(n)
+    } else {
+        solve_shared_split(n, |_| 0i64, |a, b, i, k, j| {
+            let w = dims[i]
+                .checked_mul(dims[k])
+                .and_then(|x| x.checked_mul(dims[j]))
+                .and_then(|x| i64::try_from(x).ok())
+                .expect("matrix-chain cost overflow");
+            a + b + w
+        })
+    };
+    MatrixChain {
+        dims: dims.to_vec(),
+        table,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustive recursion over all parenthesizations (Catalan growth; fine
+    /// for tiny chains).
+    fn brute_force(dims: &[u64], i: usize, j: usize) -> i64 {
+        if j == i + 1 {
+            return 0;
+        }
+        (i + 1..j)
+            .map(|k| {
+                brute_force(dims, i, k)
+                    + brute_force(dims, k, j)
+                    + (dims[i] * dims[k] * dims[j]) as i64
+            })
+            .min()
+            .unwrap()
+    }
+
+    #[test]
+    fn clrs_example() {
+        // CLRS 15.2: dims (30,35,15,5,10,20,25) → 15125.
+        let mc = matrix_chain(&[30, 35, 15, 5, 10, 20, 25]);
+        assert_eq!(mc.optimal_cost(), 15125);
+        assert_eq!(mc.parenthesization(), "((M1 (M2 M3)) ((M4 M5) M6))");
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_chains() {
+        let mut s = 7u64;
+        for trial in 0..20 {
+            let len = 3 + (trial % 6);
+            let dims: Vec<u64> = (0..len)
+                .map(|_| {
+                    s = s
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    (s >> 59) + 1
+                })
+                .collect();
+            let mc = matrix_chain(&dims);
+            assert_eq!(
+                mc.optimal_cost(),
+                brute_force(&dims, 0, dims.len() - 1),
+                "dims={dims:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_matrix_costs_zero() {
+        let mc = matrix_chain(&[10, 20]);
+        assert_eq!(mc.optimal_cost(), 0);
+        assert_eq!(mc.parenthesization(), "M1");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(matrix_chain(&[]).optimal_cost(), 0);
+        assert_eq!(matrix_chain(&[5]).optimal_cost(), 0);
+    }
+
+    #[test]
+    fn two_matrices() {
+        let mc = matrix_chain(&[2, 3, 4]);
+        assert_eq!(mc.optimal_cost(), 24);
+        assert_eq!(mc.parenthesization(), "(M1 M2)");
+    }
+}

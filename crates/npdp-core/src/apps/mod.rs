@@ -1,0 +1,20 @@
+//! NPDP applications named by the paper (§I): optimal matrix
+//! parenthesization and optimal binary search trees. (The third, the Zuker
+//! algorithm, has its own crate — `zuker` — since it runs on top of the fast
+//! engines.)
+//!
+//! These two use k-dependent combination terms, so they run through the
+//! [`generic`] serial solvers rather than the pure min-plus engines; they
+//! exist to pin down the recurrence structure and for end-to-end validation
+//! against brute force.
+
+pub mod generic;
+pub mod matrix_chain;
+pub mod optimal_bst;
+pub mod split_tree;
+pub mod triangulation;
+
+pub use matrix_chain::{matrix_chain, MatrixChain};
+pub use optimal_bst::{optimal_bst, OptimalBst};
+pub use split_tree::{split_tree, SplitTree};
+pub use triangulation::{regular_polygon, triangulate, Triangulation};

@@ -1,0 +1,156 @@
+//! Optimal binary search trees (Knuth) — the second NPDP application the
+//! paper names.
+//!
+//! Keys `1..=n` with access frequencies `f`; the expected search cost of the
+//! subtree over keys `i+1..=j` (gap indices) is
+//! `e[i][j] = min over roots i < r ≤ j of e[i][r-1] + e[r][j] + w(i, j)`,
+//! where `w(i, j) = Σ f[i+1..=j]` is the subtree weight added once per level.
+
+use crate::apps::generic::solve_rooted;
+use crate::layout::TriangularMatrix;
+
+/// Result of an optimal-BST construction.
+#[derive(Debug, Clone)]
+pub struct OptimalBst {
+    /// Access frequencies of keys `1..=n` (index 0 = key 1).
+    pub freq: Vec<i64>,
+    /// Cost table over gap indices (side `n + 1`).
+    pub table: TriangularMatrix<i64>,
+    /// Prefix sums of `freq` for O(1) interval weights.
+    prefix: Vec<i64>,
+}
+
+impl OptimalBst {
+    /// Total weighted search cost of the optimal tree.
+    pub fn optimal_cost(&self) -> i64 {
+        let n = self.freq.len();
+        if n == 0 {
+            return 0;
+        }
+        self.table.get(0, n)
+    }
+
+    /// Interval weight `w(i, j) = Σ f[i+1..=j]` in gap indices.
+    pub fn weight(&self, i: usize, j: usize) -> i64 {
+        self.prefix[j] - self.prefix[i]
+    }
+
+    /// Recover an optimal root assignment: `roots[(i, j)]` = chosen root key
+    /// for the subtree over keys `i+1..=j`. Returns the root of the whole
+    /// tree, or `None` for an empty key set.
+    pub fn root(&self) -> Option<usize> {
+        let n = self.freq.len();
+        (n > 0).then(|| self.find_root(0, n))
+    }
+
+    fn cost(&self, a: usize, b: usize) -> i64 {
+        if a == b {
+            0
+        } else {
+            self.table.get(a, b)
+        }
+    }
+
+    fn find_root(&self, i: usize, j: usize) -> usize {
+        for r in i + 1..=j {
+            if self.cost(i, r - 1) + self.cost(r, j) + self.weight(i, j) == self.table.get(i, j) {
+                return r;
+            }
+        }
+        unreachable!("table cell not explained by any root");
+    }
+}
+
+/// Build the optimal BST over keys with the given access frequencies.
+pub fn optimal_bst(freq: &[i64]) -> OptimalBst {
+    let n = freq.len();
+    let mut prefix = Vec::with_capacity(n + 1);
+    prefix.push(0);
+    for &f in freq {
+        assert!(f >= 0, "frequencies must be non-negative");
+        prefix.push(prefix.last().unwrap() + f);
+    }
+    let prefix_for_solver = prefix.clone();
+    let table = solve_rooted(n, 0i64, move |l, r, i, _, j| {
+        l + r + (prefix_for_solver[j] - prefix_for_solver[i])
+    });
+    OptimalBst {
+        freq: freq.to_vec(),
+        table,
+        prefix,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute force over all roots, recursively.
+    fn brute(freq: &[i64], i: usize, j: usize) -> i64 {
+        if i == j {
+            return 0;
+        }
+        let w: i64 = freq[i..j].iter().sum();
+        (i + 1..=j)
+            .map(|r| brute(freq, i, r - 1) + brute(freq, r, j) + w)
+            .min()
+            .unwrap()
+    }
+
+    #[test]
+    fn single_key() {
+        let bst = optimal_bst(&[7]);
+        assert_eq!(bst.optimal_cost(), 7);
+        assert_eq!(bst.root(), Some(1));
+    }
+
+    #[test]
+    fn classic_three_key_example() {
+        // Frequencies 34, 8, 50: optimal root is key 3 (or 1) — cost
+        // computed by brute force.
+        let freq = [34, 8, 50];
+        let bst = optimal_bst(&freq);
+        assert_eq!(bst.optimal_cost(), brute(&freq, 0, 3));
+        assert_eq!(bst.optimal_cost(), 142);
+    }
+
+    #[test]
+    fn matches_brute_force_random() {
+        let mut s = 99u64;
+        for trial in 0..15 {
+            let n = 1 + (trial % 7);
+            let freq: Vec<i64> = (0..n)
+                .map(|_| {
+                    s = s
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((s >> 58) + 1) as i64
+                })
+                .collect();
+            let bst = optimal_bst(&freq);
+            assert_eq!(bst.optimal_cost(), brute(&freq, 0, n), "freq={freq:?}");
+        }
+    }
+
+    #[test]
+    fn uniform_frequencies_give_balanced_cost() {
+        // 7 equal keys: a perfectly balanced tree has cost
+        // 1*1 + 2*2 + 4*3 = 17 (with unit frequencies).
+        let bst = optimal_bst(&[1; 7]);
+        assert_eq!(bst.optimal_cost(), 17);
+    }
+
+    #[test]
+    fn empty_key_set() {
+        let bst = optimal_bst(&[]);
+        assert_eq!(bst.optimal_cost(), 0);
+        assert_eq!(bst.root(), None);
+    }
+
+    #[test]
+    fn skewed_frequencies_pull_root() {
+        // One huge frequency dominates; it must become the root.
+        let bst = optimal_bst(&[1, 1000, 1]);
+        assert_eq!(bst.root(), Some(2));
+    }
+}

@@ -1,0 +1,181 @@
+//! Recovering the *witness* of the min-plus closure: for each interval, the
+//! split that achieved the optimum — turning the DP table back into a
+//! binary decomposition tree (the parse tree of a parenthesization, the
+//! branch structure of an RNA fold, …).
+
+use crate::layout::TriangularMatrix;
+use crate::value::DpValue;
+
+/// A binary decomposition of the interval `(i, j)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SplitTree {
+    /// The cell's own seed was optimal (no split improves it).
+    Leaf {
+        /// Left endpoint.
+        i: usize,
+        /// Right endpoint.
+        j: usize,
+    },
+    /// Split at `k`: optimal value is `d[i][k] + d[k][j]`.
+    Node {
+        /// Split point, `i < k < j`.
+        k: usize,
+        /// Decomposition of `(i, k)`.
+        left: Box<SplitTree>,
+        /// Decomposition of `(k, j)`.
+        right: Box<SplitTree>,
+    },
+}
+
+impl SplitTree {
+    /// The interval this tree covers.
+    pub fn interval(&self) -> (usize, usize) {
+        match self {
+            SplitTree::Leaf { i, j } => (*i, *j),
+            SplitTree::Node { left, right, .. } => (left.interval().0, right.interval().1),
+        }
+    }
+
+    /// Number of leaves.
+    pub fn leaves(&self) -> usize {
+        match self {
+            SplitTree::Leaf { .. } => 1,
+            SplitTree::Node { left, right, .. } => left.leaves() + right.leaves(),
+        }
+    }
+
+    /// Tree depth (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            SplitTree::Leaf { .. } => 1,
+            SplitTree::Node { left, right, .. } => 1 + left.depth().max(right.depth()),
+        }
+    }
+
+    /// Re-evaluate the tree against the seeds: sum of leaf seeds. Equals
+    /// the DP optimum when the tree is a valid witness.
+    pub fn value<T: DpValue>(&self, seeds: &TriangularMatrix<T>) -> T {
+        match self {
+            SplitTree::Leaf { i, j } => seeds.get(*i, *j),
+            SplitTree::Node { left, right, .. } => {
+                left.value(seeds) + right.value(seeds)
+            }
+        }
+    }
+}
+
+/// Extract an optimal decomposition of `(i, j)` from a *closed* table and
+/// its seeds. Ties prefer the seed, then the smallest split point, making
+/// the result deterministic.
+///
+/// # Panics
+/// If `closed` is not actually the closure of `seeds` (no witness exists).
+pub fn split_tree<T: DpValue>(
+    seeds: &TriangularMatrix<T>,
+    closed: &TriangularMatrix<T>,
+    i: usize,
+    j: usize,
+) -> SplitTree {
+    assert!(i < j && j <= closed.n());
+    let target = closed.get(i, j);
+    if seeds.get(i, j) == target {
+        return SplitTree::Leaf { i, j };
+    }
+    for k in i + 1..j {
+        if closed.get(i, k) + closed.get(k, j) == target {
+            return SplitTree::Node {
+                k,
+                left: Box::new(split_tree(seeds, closed, i, k)),
+                right: Box::new(split_tree(seeds, closed, k, j)),
+            };
+        }
+    }
+    panic!("cell ({i},{j}) = {target:?} has no witness: table is not the closure of these seeds");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, SerialEngine};
+    use crate::problem;
+
+    #[test]
+    fn chain_seeds_give_full_depth_decomposition() {
+        // Only adjacent intervals seeded → every interval decomposes into
+        // j - i unit leaves.
+        let n = 10;
+        let seeds = TriangularMatrix::from_fn(n, |i, j| {
+            if j == i + 1 {
+                1i64
+            } else {
+                <i64 as DpValue>::INFINITY
+            }
+        });
+        let closed = SerialEngine.solve(&seeds);
+        let tree = split_tree(&seeds, &closed, 0, n - 1);
+        assert_eq!(tree.leaves(), n - 1);
+        assert_eq!(tree.value(&seeds), (n - 1) as i64);
+        assert_eq!(tree.interval(), (0, n - 1));
+    }
+
+    #[test]
+    fn seed_optimal_cell_is_a_leaf() {
+        let mut seeds = TriangularMatrix::<i64>::new_infinity(5);
+        seeds.set(0, 1, 10);
+        seeds.set(1, 4, 10);
+        seeds.set(0, 4, 3); // beats any split
+        let closed = SerialEngine.solve(&seeds);
+        assert_eq!(split_tree(&seeds, &closed, 0, 4), SplitTree::Leaf { i: 0, j: 4 });
+    }
+
+    #[test]
+    fn witness_value_always_matches_optimum() {
+        for seed in 0..10u64 {
+            let n = 24;
+            let seeds = problem::random_seeds_i64(n, 100, seed);
+            let closed = SerialEngine.solve(&seeds);
+            for (i, j) in [(0, n - 1), (3, 17), (5, 6), (10, 20)] {
+                let tree = split_tree(&seeds, &closed, i, j);
+                assert_eq!(tree.value(&seeds), closed.get(i, j), "({i},{j}) seed {seed}");
+                assert_eq!(tree.interval(), (i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_seeds_decompose_through_available_cells() {
+        let n = 16;
+        let seeds = TriangularMatrix::from_fn(n, |i, j| {
+            if j - i <= 2 {
+                (i + j) as i64
+            } else {
+                <i64 as DpValue>::INFINITY
+            }
+        });
+        let closed = SerialEngine.solve(&seeds);
+        let tree = split_tree(&seeds, &closed, 0, n - 1);
+        // Every leaf must be a finite seed.
+        fn check_leaves(t: &SplitTree, seeds: &TriangularMatrix<i64>) {
+            match t {
+                SplitTree::Leaf { i, j } => {
+                    assert!(seeds.get(*i, *j) < <i64 as DpValue>::INFINITY)
+                }
+                SplitTree::Node { left, right, .. } => {
+                    check_leaves(left, seeds);
+                    check_leaves(right, seeds);
+                }
+            }
+        }
+        check_leaves(&tree, &seeds);
+        assert!(tree.depth() >= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no witness")]
+    fn detects_inconsistent_table() {
+        let seeds = problem::random_seeds_i64(8, 50, 1);
+        let mut closed = SerialEngine.solve(&seeds);
+        closed.set(0, 7, -1); // impossible value
+        let _ = split_tree(&seeds, &closed, 0, 7);
+    }
+}

@@ -1,0 +1,201 @@
+//! Optimal convex-polygon triangulation — the geometric classic of the
+//! NPDP family (and the problem matrix-chain multiplication is isomorphic
+//! to).
+//!
+//! For a convex polygon with vertices `v_0..v_{n-1}`, a triangulation's
+//! cost is the sum of its triangles' weights; with
+//! `t[i][j] = min over i < k < j of t[i][k] + t[k][j] + w(v_i, v_k, v_j)`
+//! and `t[i][i+1] = 0`, `t[0][n-1]` is the optimal total weight.
+
+use crate::apps::generic::solve_shared_split;
+use crate::layout::TriangularMatrix;
+use crate::value::DpValue;
+
+/// A 2-D vertex.
+pub type Point = (f64, f64);
+
+/// Result of a triangulation optimization.
+#[derive(Debug, Clone)]
+pub struct Triangulation {
+    /// Polygon vertices, in order.
+    pub vertices: Vec<Point>,
+    /// Cost table over vertex indices.
+    pub table: TriangularMatrix<i64>,
+    /// Fixed-point scale used to keep costs exact integers.
+    pub scale: f64,
+}
+
+/// Weight of triangle `(a, b, c)`: its perimeter (the classic objective).
+pub fn perimeter(a: Point, b: Point, c: Point) -> f64 {
+    let d = |p: Point, q: Point| ((p.0 - q.0).powi(2) + (p.1 - q.1).powi(2)).sqrt();
+    d(a, b) + d(b, c) + d(c, a)
+}
+
+impl Triangulation {
+    /// Minimal total triangle weight for the whole polygon.
+    pub fn optimal_cost(&self) -> f64 {
+        let n = self.vertices.len();
+        if n < 3 {
+            return 0.0;
+        }
+        self.table.get(0, n - 1) as f64 / self.scale
+    }
+
+    /// Reconstruct the triangle fan/tree: the list of `(i, k, j)` triangles
+    /// of one optimal triangulation. Ties resolve to the smallest `k`.
+    pub fn triangles(&self) -> Vec<(usize, usize, usize)> {
+        let n = self.vertices.len();
+        let mut out = Vec::new();
+        if n >= 3 {
+            self.rec(0, n - 1, &mut out);
+        }
+        out
+    }
+
+    fn weight_fixed(&self, i: usize, k: usize, j: usize) -> i64 {
+        (perimeter(self.vertices[i], self.vertices[k], self.vertices[j]) * self.scale).round()
+            as i64
+    }
+
+    fn rec(&self, i: usize, j: usize, out: &mut Vec<(usize, usize, usize)>) {
+        if j <= i + 1 {
+            return;
+        }
+        let target = self.table.get(i, j);
+        for k in i + 1..j {
+            let left = if k == i + 1 { 0 } else { self.table.get(i, k) };
+            let right = if j == k + 1 { 0 } else { self.table.get(k, j) };
+            if left + right + self.weight_fixed(i, k, j) == target {
+                out.push((i, k, j));
+                self.rec(i, k, out);
+                self.rec(k, j, out);
+                return;
+            }
+        }
+        unreachable!("triangulation cell ({i},{j}) not explained");
+    }
+}
+
+/// Solve the minimum-weight triangulation of a convex polygon. Weights use
+/// a fixed-point scale of 2²⁰ to keep the DP in exact integers.
+pub fn triangulate(vertices: &[Point]) -> Triangulation {
+    let n = vertices.len();
+    let scale = (1u64 << 20) as f64;
+    let verts = vertices.to_vec();
+    let table = if n < 3 {
+        TriangularMatrix::new_infinity(n)
+    } else {
+        let v = verts.clone();
+        solve_shared_split(n, |_| 0i64, move |a, b, i, k, j| {
+            let w = (perimeter(v[i], v[k], v[j]) * scale).round() as i64;
+            let cand = a + b + w;
+            debug_assert!(cand < <i64 as DpValue>::INFINITY / 2);
+            cand
+        })
+    };
+    Triangulation {
+        vertices: verts,
+        table,
+        scale,
+    }
+}
+
+/// Vertices of a regular polygon (for tests and demos).
+pub fn regular_polygon(n: usize, radius: f64) -> Vec<Point> {
+    (0..n)
+        .map(|k| {
+            let th = 2.0 * std::f64::consts::PI * k as f64 / n as f64;
+            (radius * th.cos(), radius * th.sin())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute(vs: &[Point], i: usize, j: usize) -> f64 {
+        if j <= i + 1 {
+            return 0.0;
+        }
+        (i + 1..j)
+            .map(|k| brute(vs, i, k) + brute(vs, k, j) + perimeter(vs[i], vs[k], vs[j]))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    #[test]
+    fn triangle_costs_its_own_perimeter() {
+        let vs = vec![(0.0, 0.0), (1.0, 0.0), (0.0, 1.0)];
+        let t = triangulate(&vs);
+        let expect = perimeter(vs[0], vs[1], vs[2]);
+        assert!((t.optimal_cost() - expect).abs() < 1e-4);
+        assert_eq!(t.triangles(), vec![(0, 1, 2)]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_polygons() {
+        for n in 4..=9 {
+            let vs = regular_polygon(n, 1.0);
+            let t = triangulate(&vs);
+            let expect = brute(&vs, 0, n - 1);
+            assert!(
+                (t.optimal_cost() - expect).abs() < 1e-3,
+                "n={n}: {} vs {expect}",
+                t.optimal_cost()
+            );
+        }
+    }
+
+    #[test]
+    fn irregular_polygon_matches_brute_force() {
+        let vs = vec![
+            (0.0, 0.0),
+            (4.0, 0.0),
+            (6.0, 2.0),
+            (5.0, 5.0),
+            (2.0, 6.0),
+            (-1.0, 3.0),
+        ];
+        let t = triangulate(&vs);
+        assert!((t.optimal_cost() - brute(&vs, 0, 5)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn triangle_count_is_n_minus_2() {
+        for n in 3..=10 {
+            let t = triangulate(&regular_polygon(n, 2.0));
+            assert_eq!(t.triangles().len(), n - 2, "n={n}");
+        }
+    }
+
+    #[test]
+    fn triangles_partition_the_polygon() {
+        // Sum of triangle areas equals the polygon area (shoelace).
+        let vs = regular_polygon(8, 1.5);
+        let t = triangulate(&vs);
+        let tri_area = |a: Point, b: Point, c: Point| {
+            ((b.0 - a.0) * (c.1 - a.1) - (c.0 - a.0) * (b.1 - a.1)).abs() / 2.0
+        };
+        let total: f64 = t
+            .triangles()
+            .iter()
+            .map(|&(i, k, j)| tri_area(vs[i], vs[k], vs[j]))
+            .sum();
+        let shoelace: f64 = (0..vs.len())
+            .map(|i| {
+                let (x1, y1) = vs[i];
+                let (x2, y2) = vs[(i + 1) % vs.len()];
+                x1 * y2 - x2 * y1
+            })
+            .sum::<f64>()
+            .abs()
+            / 2.0;
+        assert!((total - shoelace).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(triangulate(&[]).optimal_cost(), 0.0);
+        assert_eq!(triangulate(&[(0.0, 0.0), (1.0, 1.0)]).optimal_cost(), 0.0);
+    }
+}

@@ -1,0 +1,317 @@
+//! The SPE procedure (paper §IV-A): computing one memory block.
+//!
+//! A memory block `C = (bi, bj)` of side `nb` receives min-plus contributions
+//! from every split point `k` with `i < k < j`. Partitioning `k` by the block
+//! it falls in gives the paper's two stages:
+//!
+//! * **Stage 1** — `k` strictly between the block's row and column ranges:
+//!   `C ⊗= Block(bi, bk) × Block(bk, bj)` for `bi < bk < bj`. Both operand
+//!   blocks are final, so the whole block sweeps as a dense tile-level
+//!   min-plus "matmul" with no ordering constraints ([`stage1`]).
+//!
+//! * **Stage 2** — `k` inside block `bi`'s row range (operands: the diagonal
+//!   block `(bi, bi)` and C itself) or block `bj`'s column range (C itself
+//!   and the diagonal block `(bj, bj)`). These are the block's *inner
+//!   dependences*: 4×4 computing blocks are swept bottom row first, left to
+//!   right; per computing block, contributions from already-final computing
+//!   blocks use the SIMD kernel, and the remaining same-tile dependences fall
+//!   back to the original scalar flowchart ([`stage2_offdiag`]).
+//!
+//! A diagonal memory block `(b, b)` is the whole recurrence in miniature and
+//! is handled by [`compute_diag`].
+//!
+//! Padding (`+∞`) below the diagonal of diagonal blocks makes the cell-level
+//! constraints `k > i` / `k < j` automatic: out-of-range candidates are
+//! `∞ + x` and never win the `min`.
+
+use crate::value::DpValue;
+
+/// Copy the 4×4 tile at tile coordinates `(tr, tc)` out of a row-major
+/// `nb × nb` block into a dense 4×4 scratch (stride 4). This mirrors the
+/// kernel's register loads and sidesteps aliasing when operand tiles live in
+/// the same block as the destination.
+#[inline(always)]
+fn copy_tile<T: Copy>(src: &[T], nb: usize, tr: usize, tc: usize) -> [T; 16] {
+    let base = tr * 4 * nb + tc * 4;
+    let mut out = [src[base]; 16];
+    for r in 0..4 {
+        out[4 * r..4 * r + 4].copy_from_slice(&src[base + r * nb..base + r * nb + 4]);
+    }
+    out
+}
+
+/// Stage 1: `C ⊗= A × B` where `A = (bi, bk)` and `B = (bk, bj)` are final
+/// memory blocks distinct from `C`. All three are `nb × nb` row-major.
+pub fn stage1<T: DpValue>(c: &mut [T], a: &[T], b: &[T], nb: usize) {
+    debug_assert!(nb.is_multiple_of(4));
+    let nt = nb / 4;
+    for r in 0..nt {
+        for cc in 0..nt {
+            let c_off = r * 4 * nb + cc * 4;
+            for t in 0..nt {
+                let a_off = r * 4 * nb + t * 4;
+                let b_off = t * 4 * nb + cc * 4;
+                T::tile4_update(&mut c[c_off..], nb, &a[a_off..], nb, &b[b_off..], nb);
+            }
+        }
+    }
+}
+
+/// The scalar edge pass of a computing block `(r, cc)` of `C`: resolves the
+/// candidates whose operands share the tile being computed — `k` in the
+/// tile-row range (reading `dlo = Block(bi, bi)`) and `k` in the tile-column
+/// range (reading `dhi = Block(bj, bj)`). Cells are swept bottom-up,
+/// left-to-right so same-tile operands are final when read.
+#[inline]
+fn scalar_edge<T: DpValue>(
+    c: &mut [T],
+    dlo: Option<&[T]>,
+    dhi: Option<&[T]>,
+    nb: usize,
+    r: usize,
+    cc: usize,
+) {
+    for il in (0..4).rev() {
+        let ii = r * 4 + il;
+        for jl in 0..4 {
+            let jj = cc * 4 + jl;
+            let mut best = c[ii * nb + jj];
+            // k inside this block's row range, k > ii: d(ii, k) comes from
+            // the low diagonal block, d(k, jj) from this tile's lower rows.
+            for k in ii + 1..(r + 1) * 4 {
+                let lo = match dlo {
+                    Some(d) => d[ii * nb + k],
+                    None => c[ii * nb + k],
+                };
+                best = T::min2(best, lo + c[k * nb + jj]);
+            }
+            // k inside this block's column range, k < jj: d(ii, k) from this
+            // tile's left columns, d(k, jj) from the high diagonal block.
+            for k in cc * 4..jj {
+                let hi = match dhi {
+                    Some(d) => d[k * nb + jj],
+                    None => c[k * nb + jj],
+                };
+                best = T::min2(best, c[ii * nb + k] + hi);
+            }
+            c[ii * nb + jj] = best;
+        }
+    }
+}
+
+/// Fully resolve the inner dependences of one 4×4 diagonal tile `(t, t)` of a
+/// diagonal memory block: the original Fig. 1 flowchart confined to the tile.
+/// Below-diagonal and diagonal cells are `+∞` padding and are never written.
+#[inline]
+fn diag_tile_closure<T: DpValue>(c: &mut [T], nb: usize, t: usize) {
+    let base = t * 4;
+    for jl in 1..4 {
+        for il in (0..jl).rev() {
+            let (ii, jj) = (base + il, base + jl);
+            let mut best = c[ii * nb + jj];
+            for k in il + 1..jl {
+                let kk = base + k;
+                best = T::min2(best, c[ii * nb + kk] + c[kk * nb + jj]);
+            }
+            c[ii * nb + jj] = best;
+        }
+    }
+}
+
+/// Stage 2 for an off-diagonal memory block `C = (bi, bj)`, `bi < bj`:
+/// resolve all contributions with `k` in block `bi`'s or block `bj`'s index
+/// range. `dlo = Block(bi, bi)` and `dhi = Block(bj, bj)` are final.
+///
+/// Computing blocks are processed bottom row first, left to right (paper:
+/// "the blocks on the left side and closer to the bottom are computed
+/// earlier"); per tile, the already-final tile operands go through the SIMD
+/// kernel and the same-tile remainder through [`scalar_edge`].
+pub fn stage2_offdiag<T: DpValue>(c: &mut [T], dlo: &[T], dhi: &[T], nb: usize) {
+    debug_assert!(nb.is_multiple_of(4));
+    let nt = nb / 4;
+    for r in (0..nt).rev() {
+        for cc in 0..nt {
+            // (a) k-tiles strictly below r in this block's row range:
+            //     C(r,cc) ⊗= DLO(r,tr) × C(tr,cc). The C operand tile lies in
+            //     strictly later rows, so the flat ranges are disjoint.
+            for tr in r + 1..nt {
+                let (head, tail) = c.split_at_mut(tr * 4 * nb);
+                let c_tile = &mut head[r * 4 * nb + cc * 4..];
+                let b_tile = &tail[cc * 4..];
+                T::tile4_update(c_tile, nb, &dlo[r * 4 * nb + tr * 4..], nb, b_tile, nb);
+            }
+            // (b) k-tiles strictly left of cc in this block's column range:
+            //     C(r,cc) ⊗= C(r,tc) × DHI(tc,cc). The A operand shares rows
+            //     with the destination, so it is staged through a scratch
+            //     tile (the kernel's register loads).
+            for tc in 0..cc {
+                let a_scratch = copy_tile(c, nb, r, tc);
+                let c_tile = &mut c[r * 4 * nb + cc * 4..];
+                T::tile4_update(c_tile, nb, &a_scratch, 4, &dhi[tc * 4 * nb + cc * 4..], nb);
+            }
+            // (c) same-tile remainder: the original flowchart.
+            scalar_edge(c, Some(dlo), Some(dhi), nb, r, cc);
+        }
+    }
+}
+
+/// Compute a diagonal memory block `(b, b)` entirely from its own seeds: the
+/// full NPDP recurrence restricted to the block, using the same
+/// tile-then-scalar structure as stage 2.
+pub fn compute_diag<T: DpValue>(c: &mut [T], nb: usize) {
+    debug_assert!(nb.is_multiple_of(4));
+    let nt = nb / 4;
+    for r in (0..nt).rev() {
+        for cc in r..nt {
+            if r == cc {
+                diag_tile_closure(c, nb, r);
+                continue;
+            }
+            // Middle k-tiles: both operands are final tiles of this block.
+            for tk in r + 1..cc {
+                let a_scratch = copy_tile(c, nb, r, tk);
+                let b_scratch = copy_tile(c, nb, tk, cc);
+                let c_tile = &mut c[r * 4 * nb + cc * 4..];
+                T::tile4_update(c_tile, nb, &a_scratch, 4, &b_scratch, 4);
+            }
+            // Edge k-tiles (tk == r and tk == cc) have same-tile operands.
+            scalar_edge(c, None, None, nb, r, cc);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference: the original triple loop over an `nb × nb` block stored
+    /// dense with +∞ padding, treating the block as a self-contained
+    /// triangle.
+    fn reference_diag(c: &mut [f32], nb: usize) {
+        for j in 0..nb {
+            for i in (0..j).rev() {
+                let mut best = c[i * nb + j];
+                for k in i + 1..j {
+                    best = best.min(c[i * nb + k] + c[k * nb + j]);
+                }
+                c[i * nb + j] = best;
+            }
+        }
+    }
+
+    fn seeded_block(nb: usize, seed: u64, diag: bool) -> Vec<f32> {
+        let mut s = seed;
+        let mut next = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 33) as f32) / (u32::MAX as f32) * 50.0
+        };
+        let mut v = vec![f32::INFINITY; nb * nb];
+        for i in 0..nb {
+            for j in 0..nb {
+                if !diag || i < j {
+                    v[i * nb + j] = next();
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn copy_tile_extracts_correctly() {
+        let nb = 8;
+        let block: Vec<f32> = (0..nb * nb).map(|x| x as f32).collect();
+        let tile = copy_tile(&block, nb, 1, 0);
+        assert_eq!(tile[0], 32.0); // cell (4, 0)
+        assert_eq!(tile[5], 41.0); // cell (5, 1)
+        assert_eq!(tile[15], 59.0); // cell (7, 3)
+    }
+
+    #[test]
+    fn compute_diag_matches_reference() {
+        for nb in [4usize, 8, 12, 16] {
+            for seed in 0..6u64 {
+                let mut fast = seeded_block(nb, seed, true);
+                let mut refr = fast.clone();
+                compute_diag(&mut fast, nb);
+                reference_diag(&mut refr, nb);
+                assert_eq!(fast, refr, "nb={nb} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn stage1_is_dense_minplus_matmul() {
+        let nb = 8;
+        let a = seeded_block(nb, 11, false);
+        let b = seeded_block(nb, 12, false);
+        let mut c = seeded_block(nb, 13, false);
+        let mut c_ref = c.clone();
+        stage1(&mut c, &a, &b, nb);
+        for i in 0..nb {
+            for j in 0..nb {
+                let mut best = c_ref[i * nb + j];
+                for k in 0..nb {
+                    best = best.min(a[i * nb + k] + b[k * nb + j]);
+                }
+                c_ref[i * nb + j] = best;
+            }
+        }
+        assert_eq!(c, c_ref);
+    }
+
+    #[test]
+    fn stage2_offdiag_matches_cellwise_reference() {
+        // Model: a 3-block row strip. C = (0, 2); dlo = (0,0), dhi = (2,2)
+        // already final; C pre-loaded with stage-1 results (here: seeds).
+        // The reference resolves k in block 0's range (k > i) and block 2's
+        // range (k < j) with the scalar recurrence in global coordinates.
+        let nb = 8;
+        for seed in 0..6u64 {
+            let mut dlo = seeded_block(nb, seed * 3 + 1, true);
+            let mut dhi = seeded_block(nb, seed * 3 + 2, true);
+            compute_diag(&mut dlo, nb);
+            compute_diag(&mut dhi, nb);
+            let c0 = seeded_block(nb, seed * 3 + 3, false);
+
+            let mut fast = c0.clone();
+            stage2_offdiag(&mut fast, &dlo, &dhi, nb);
+
+            // Reference: global rows 0..nb (block 0), global cols in block 2.
+            // Sweep the same dependence-safe order as the serial algorithm:
+            // columns ascending, rows descending.
+            let mut refr = c0;
+            for j in 0..nb {
+                for i in (0..nb).rev() {
+                    let mut best = refr[i * nb + j];
+                    for k in i + 1..nb {
+                        // k in block 0's range: dlo(i, k) + C(k, j).
+                        best = best.min(dlo[i * nb + k] + refr[k * nb + j]);
+                    }
+                    for k in 0..j {
+                        // k in block 2's range: C(i, k) + dhi(k, j).
+                        best = best.min(refr[i * nb + k] + dhi[k * nb + j]);
+                    }
+                    refr[i * nb + j] = best;
+                }
+            }
+            assert_eq!(fast, refr, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn padding_never_leaks_from_diag_blocks() {
+        let nb = 8;
+        let mut c = seeded_block(nb, 99, true);
+        compute_diag(&mut c, nb);
+        for i in 0..nb {
+            for j in 0..=i {
+                assert_eq!(c[i * nb + j], f32::INFINITY, "padding ({i},{j})");
+            }
+            for j in i + 1..nb {
+                assert!(c[i * nb + j].is_finite(), "interior ({i},{j})");
+            }
+        }
+    }
+}

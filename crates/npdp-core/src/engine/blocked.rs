@@ -1,0 +1,132 @@
+//! Single-threaded NDL engines: the blocked layout swept in dependence
+//! order, with either scalar or SIMD block kernels.
+
+use crate::engine::scalar_kernels::{ScalarKernels, SimdKernels};
+use crate::engine::{compute_offdiag_block, BlockKernels, Engine};
+use crate::layout::{BlockedMatrix, TriangularMatrix};
+use crate::value::DpValue;
+
+/// Solve the closure on a [`BlockedMatrix`] in place, single-threaded, with
+/// the given kernel family. Blocks run in dependence order (block columns
+/// ascending, block rows descending); each off-diagonal block is staged
+/// through a scratch buffer, mirroring the SPE local store.
+pub(crate) fn solve_blocked_in_place<T, K>(m: &mut BlockedMatrix<T>, kernels: &K)
+where
+    T: DpValue,
+    K: BlockKernels<T> + ?Sized,
+{
+    let nb = m.block_side();
+    let mb = m.blocks_per_side();
+    let mut scratch = vec![T::INFINITY; nb * nb];
+    for bj in 0..mb {
+        for bi in (0..=bj).rev() {
+            if bi == bj {
+                kernels.diag(m.block_mut(bi, bi), nb);
+            } else {
+                scratch.copy_from_slice(m.block(bi, bj));
+                compute_offdiag_block(&mut scratch, bi, bj, nb, kernels, |r, c| m.block(r, c));
+                m.block_mut(bi, bj).copy_from_slice(&scratch);
+            }
+        }
+    }
+}
+
+fn solve_via_blocked<T: DpValue>(
+    seeds: &TriangularMatrix<T>,
+    nb: usize,
+    kernels: &dyn BlockKernels<T>,
+) -> TriangularMatrix<T> {
+    let mut m = BlockedMatrix::from_triangular(seeds, nb);
+    solve_blocked_in_place(&mut m, kernels);
+    debug_assert!(m.padding_is_inert());
+    m.to_triangular()
+}
+
+/// New data layout with scalar inner loops: isolates the layout benefit
+/// (paper Fig. 10, "NDL" bar).
+#[derive(Debug, Clone, Copy)]
+pub struct BlockedEngine {
+    /// Memory-block side length (multiple of 4).
+    pub nb: usize,
+}
+
+impl BlockedEngine {
+    /// NDL engine with memory blocks of side `nb`.
+    pub fn new(nb: usize) -> Self {
+        assert!(nb > 0 && nb.is_multiple_of(4), "block side must be a multiple of 4");
+        Self { nb }
+    }
+}
+
+impl<T: DpValue> Engine<T> for BlockedEngine {
+    fn name(&self) -> &'static str {
+        "blocked (NDL, scalar kernels)"
+    }
+
+    fn solve(&self, seeds: &TriangularMatrix<T>) -> TriangularMatrix<T> {
+        solve_via_blocked(seeds, self.nb, &ScalarKernels)
+    }
+}
+
+/// New data layout + the SPE procedure's SIMD computing blocks,
+/// single-threaded (paper Fig. 10, "NDL+SPEP" bar).
+#[derive(Debug, Clone, Copy)]
+pub struct SimdEngineInner {
+    pub(crate) nb: usize,
+}
+
+impl SimdEngineInner {
+    pub(crate) fn solve<T: DpValue>(&self, seeds: &TriangularMatrix<T>) -> TriangularMatrix<T> {
+        solve_via_blocked(seeds, self.nb, &SimdKernels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SerialEngine;
+
+    fn random_seeds(n: usize, seed: u64) -> TriangularMatrix<f32> {
+        let mut s = seed;
+        TriangularMatrix::from_fn(n, |_, _| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 33) as f32) / (u32::MAX as f32) * 100.0
+        })
+    }
+
+    #[test]
+    fn blocked_engine_matches_serial() {
+        for n in [0, 1, 2, 7, 16, 23, 40, 65] {
+            for nb in [4, 8, 16] {
+                let seeds = random_seeds(n, (n * 31 + nb) as u64);
+                let a = SerialEngine.solve(&seeds);
+                let b = BlockedEngine::new(nb).solve(&seeds);
+                assert_eq!(a.first_difference(&b), None, "n={n} nb={nb}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_engine_f64() {
+        let seeds = TriangularMatrix::<f64>::from_fn(33, |i, j| ((i * 7 + j * 13) % 29) as f64);
+        let a = SerialEngine.solve(&seeds);
+        let b = BlockedEngine::new(8).solve(&seeds);
+        assert_eq!(a.first_difference(&b), None);
+    }
+
+    #[test]
+    fn blocked_engine_integer_values() {
+        let seeds = TriangularMatrix::<i64>::from_fn(25, |i, j| ((i * 17 + j * 5) % 41) as i64);
+        let a = SerialEngine.solve(&seeds);
+        let b = BlockedEngine::new(4).solve(&seeds);
+        assert_eq!(a.first_difference(&b), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 4")]
+    fn rejects_bad_block_side() {
+        let _ = BlockedEngine::new(10);
+    }
+}

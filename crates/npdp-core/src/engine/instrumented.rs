@@ -1,0 +1,184 @@
+//! Operation accounting: run any NDL engine with counting kernels and get
+//! the exact number of stage-1/stage-2 tile updates and scalar edge passes.
+//!
+//! This is the host-side mirror of the Cell machine model's cost formulas —
+//! the integration tests assert that the analytic accounting, the host
+//! engine, and the functional SPU simulation all count the *same* kernel
+//! invocations.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::engine::blocked::solve_blocked_in_place;
+use crate::engine::scalar_kernels::SimdKernels;
+use crate::engine::BlockKernels;
+use crate::layout::{BlockedMatrix, TriangularMatrix};
+use crate::value::DpValue;
+
+/// Exact operation counts of one blocked solve.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// 4×4 SIMD tile updates performed in stage 1 (dependency pairs).
+    pub stage1_tile_updates: u64,
+    /// 4×4 SIMD tile updates performed in stage 2 / diagonal middles.
+    pub stage2_tile_updates: u64,
+    /// `stage1(c, a, b)` invocations (one per dependency block pair).
+    pub stage1_calls: u64,
+    /// `stage2` invocations (one per off-diagonal block).
+    pub stage2_calls: u64,
+    /// Diagonal-block computations.
+    pub diag_calls: u64,
+}
+
+impl OpCounts {
+    /// All SIMD tile updates.
+    pub fn tile_updates(&self) -> u64 {
+        self.stage1_tile_updates + self.stage2_tile_updates
+    }
+}
+
+/// Counting wrapper around the SIMD kernels.
+struct CountingKernels<'a> {
+    inner: SimdKernels,
+    c: &'a Counters,
+}
+
+#[derive(Default)]
+struct Counters {
+    s1_tiles: AtomicU64,
+    s2_tiles: AtomicU64,
+    s1_calls: AtomicU64,
+    s2_calls: AtomicU64,
+    diag_calls: AtomicU64,
+}
+
+impl<T: DpValue> BlockKernels<T> for CountingKernels<'_> {
+    fn stage1(&self, c: &mut [T], a: &[T], b: &[T], nb: usize) {
+        let nt = (nb / 4) as u64;
+        self.c.s1_calls.fetch_add(1, Ordering::Relaxed);
+        self.c.s1_tiles.fetch_add(nt * nt * nt, Ordering::Relaxed);
+        self.inner.stage1(c, a, b, nb);
+    }
+
+    fn stage2(&self, c: &mut [T], dlo: &[T], dhi: &[T], nb: usize) {
+        let nt = (nb / 4) as u64;
+        self.c.s2_calls.fetch_add(1, Ordering::Relaxed);
+        // Per tile (r, cc): (nt-1-r) + cc SIMD updates → Σ = nt²(nt-1).
+        self.c
+            .s2_tiles
+            .fetch_add(nt * nt * (nt - 1), Ordering::Relaxed);
+        self.inner.stage2(c, dlo, dhi, nb);
+    }
+
+    fn diag(&self, c: &mut [T], nb: usize) {
+        let nt = nb / 4;
+        self.c.diag_calls.fetch_add(1, Ordering::Relaxed);
+        let mut middles = 0u64;
+        for r in 0..nt {
+            for cc in r + 1..nt {
+                middles += (cc - r - 1) as u64;
+            }
+        }
+        self.c.s2_tiles.fetch_add(middles, Ordering::Relaxed);
+        self.inner.diag(c, nb);
+    }
+}
+
+/// Solve with the SIMD engine and return exact operation counts alongside
+/// the table.
+pub fn solve_simd_counted<T: DpValue>(
+    seeds: &TriangularMatrix<T>,
+    nb: usize,
+) -> (TriangularMatrix<T>, OpCounts) {
+    assert!(nb > 0 && nb.is_multiple_of(4), "block side must be a multiple of 4");
+    let counters = Counters::default();
+    let kernels = CountingKernels {
+        inner: SimdKernels,
+        c: &counters,
+    };
+    let mut m = BlockedMatrix::from_triangular(seeds, nb);
+    solve_blocked_in_place(&mut m, &kernels);
+    let counts = OpCounts {
+        stage1_tile_updates: counters.s1_tiles.load(Ordering::Relaxed),
+        stage2_tile_updates: counters.s2_tiles.load(Ordering::Relaxed),
+        stage1_calls: counters.s1_calls.load(Ordering::Relaxed),
+        stage2_calls: counters.s2_calls.load(Ordering::Relaxed),
+        diag_calls: counters.diag_calls.load(Ordering::Relaxed),
+    };
+    (m.to_triangular(), counts)
+}
+
+/// Analytic tile-update count for a padded triangle of `mb` blocks with
+/// `nt = nb/4` tiles per block side: total = `T³`-independent-of-nb (see
+/// DESIGN.md) computed exactly from the per-block formulas.
+pub fn analytic_tile_updates(mb: usize, nb: usize) -> u64 {
+    let nt = (nb / 4) as u64;
+    let mut total = 0u64;
+    for bi in 0..mb as u64 {
+        for bj in bi..mb as u64 {
+            if bi == bj {
+                for r in 0..nt {
+                    for cc in r + 1..nt {
+                        total += cc - r - 1;
+                    }
+                }
+            } else {
+                let deps = bj - bi - 1;
+                total += deps * nt * nt * nt + nt * nt * (nt - 1);
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, SerialEngine, SimdEngine};
+    use crate::problem;
+
+    #[test]
+    fn counted_solve_matches_uncounted() {
+        let seeds = problem::random_seeds_f32(50, 100.0, 3);
+        let plain = SimdEngine::new(8).solve(&seeds);
+        let (counted, _) = solve_simd_counted(&seeds, 8);
+        assert_eq!(plain.first_difference(&counted), None);
+        let reference = SerialEngine.solve(&seeds);
+        assert_eq!(reference.first_difference(&counted), None);
+    }
+
+    #[test]
+    fn counts_match_analytic_formulas() {
+        for (n, nb) in [(32usize, 8usize), (64, 8), (48, 16), (40, 8)] {
+            let seeds = problem::random_seeds_f32(n, 100.0, (n + nb) as u64);
+            let (_, counts) = solve_simd_counted(&seeds, nb);
+            let mb = n.div_ceil(nb);
+            assert_eq!(
+                counts.tile_updates(),
+                analytic_tile_updates(mb, nb),
+                "n={n} nb={nb}"
+            );
+            // Call structure: one stage1 per dependency pair, one stage2
+            // per off-diagonal block, one diag per diagonal block.
+            let offdiag = (mb * (mb - 1) / 2) as u64;
+            let pairs: u64 = (0..mb as u64)
+                .flat_map(|bi| (bi + 1..mb as u64).map(move |bj| bj - bi - 1))
+                .sum();
+            assert_eq!(counts.stage1_calls, pairs);
+            assert_eq!(counts.stage2_calls, offdiag);
+            assert_eq!(counts.diag_calls, mb as u64);
+        }
+    }
+
+    #[test]
+    fn tile_updates_independent_of_block_side_for_exact_tilings() {
+        // DESIGN.md's accounting claim: total tile updates ≈ T³/6 terms and
+        // do not depend on nb when n divides evenly.
+        let n = 64;
+        let seeds = problem::random_seeds_f32(n, 100.0, 7);
+        let (_, c8) = solve_simd_counted(&seeds, 8);
+        let (_, c16) = solve_simd_counted(&seeds, 16);
+        let (_, c32) = solve_simd_counted(&seeds, 32);
+        assert_eq!(c8.tile_updates(), c16.tile_updates());
+        assert_eq!(c16.tile_updates(), c32.tile_updates());
+    }
+}

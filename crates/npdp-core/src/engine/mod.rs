@@ -1,0 +1,86 @@
+//! NPDP solver engines, from the original flowchart to full CellNPDP.
+//!
+//! Every engine computes the same min-plus interval closure
+//! `d[i][j] = min(d[i][j], d[i][k] + d[k][j])` for all `i < k < j`, and all
+//! engines produce **bit-identical** results (see [`crate::value::DpValue`]).
+//! They differ in data layout, kernel and parallel tier — the paper's
+//! ablation axes:
+//!
+//! | Engine | Layout | Kernel | Parallel | Paper label |
+//! |---|---|---|---|---|
+//! | [`SerialEngine`] | triangular | scalar | — | "original algorithm" (Fig. 1) |
+//! | [`TiledEngine`] | triangular | scalar | — | tiling of prior work (Fig. 4) |
+//! | [`BlockedEngine`] | **NDL** | scalar | — | + new data layout |
+//! | [`SimdEngine`] | **NDL** | **4×4 SIMD** | — | + SPE procedure |
+//! | [`ParallelEngine`] | **NDL** | **4×4 SIMD** | **task queue** | CellNPDP (Fig. 8) |
+//! | [`WavefrontEngine`] | NDL | 4×4 SIMD | rayon barriers | cross-check |
+
+pub(crate) mod banded;
+pub(crate) mod block_compute;
+mod blocked;
+mod instrumented;
+mod parallel;
+mod scalar_kernels;
+mod serial;
+mod shared;
+mod simd;
+mod tiled;
+mod wavefront;
+
+pub use banded::BandedEngine;
+pub use blocked::BlockedEngine;
+pub use instrumented::{analytic_tile_updates, solve_simd_counted, OpCounts};
+pub use parallel::{ParallelEngine, Scheduler};
+pub use serial::SerialEngine;
+pub use simd::SimdEngine;
+pub use tiled::TiledEngine;
+pub use wavefront::WavefrontEngine;
+
+use crate::layout::TriangularMatrix;
+use crate::value::DpValue;
+
+/// A solver for the NPDP min-plus interval closure.
+pub trait Engine<T: DpValue> {
+    /// Short name for reports and benchmark tables.
+    fn name(&self) -> &'static str;
+
+    /// Solve the closure over the seeded triangle, returning the completed
+    /// DP table. Seeds are the initial `d[i][j]` values (`+∞` where absent).
+    fn solve(&self, seeds: &TriangularMatrix<T>) -> TriangularMatrix<T>;
+}
+
+/// Kernel family used inside a memory block: scalar loops or the 4×4
+/// computing-block SIMD kernels. This is the paper's "SPE procedure"
+/// ablation axis, shared between the single-threaded and parallel
+/// orchestrators.
+pub(crate) trait BlockKernels<T: DpValue>: Sync {
+    /// Stage 1: `C ⊗= A × B` with distinct, final operand blocks.
+    fn stage1(&self, c: &mut [T], a: &[T], b: &[T], nb: usize);
+    /// Stage 2: resolve inner dependences of an off-diagonal block against
+    /// its two diagonal blocks.
+    fn stage2(&self, c: &mut [T], dlo: &[T], dhi: &[T], nb: usize);
+    /// Compute a diagonal block from its own seeds.
+    fn diag(&self, c: &mut [T], nb: usize);
+}
+
+/// Compute one off-diagonal memory block into `scratch` (the "local store"),
+/// given accessors for the dependency blocks. Shared by all NDL engines.
+#[inline]
+pub(crate) fn compute_offdiag_block<'a, T, K, F>(
+    scratch: &mut [T],
+    bi: usize,
+    bj: usize,
+    nb: usize,
+    kernels: &K,
+    block: F,
+) where
+    T: DpValue,
+    K: BlockKernels<T> + ?Sized,
+    F: Fn(usize, usize) -> &'a [T],
+{
+    debug_assert!(bi < bj);
+    for bk in bi + 1..bj {
+        kernels.stage1(scratch, block(bi, bk), block(bk, bj), nb);
+    }
+    kernels.stage2(scratch, block(bi, bi), block(bj, bj), nb);
+}

@@ -1,0 +1,196 @@
+//! The full CellNPDP algorithm (paper Fig. 8): NDL + SIMD computing blocks +
+//! the task-queue parallel procedure over scheduling blocks.
+
+use task_queue::{execute_stealing, execute_with_stats, scheduling_grid, ExecStats};
+
+use crate::engine::scalar_kernels::SimdKernels;
+use crate::engine::shared::SharedBlocked;
+use crate::engine::{compute_offdiag_block, BlockKernels, Engine};
+use crate::layout::{BlockedMatrix, TriangularMatrix};
+use crate::value::DpValue;
+
+/// Scheduling discipline of the parallel tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduler {
+    /// One shared FIFO ready queue — the paper's PPE task-queue model.
+    #[default]
+    CentralQueue,
+    /// Per-worker deques with work stealing — the modern alternative,
+    /// kept as an ablation axis.
+    WorkStealing,
+}
+
+/// CellNPDP on the host: every worker thread plays an SPE against the shared
+/// ready queue; the dependence graph is the simplified left+below graph over
+/// scheduling blocks.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelEngine {
+    /// Memory-block side length (multiple of 4).
+    pub nb: usize,
+    /// Scheduling-block side, in memory blocks (paper §IV-B).
+    pub sb: usize,
+    /// Worker threads ("SPEs").
+    pub workers: usize,
+    /// Ready-queue discipline.
+    pub scheduler: Scheduler,
+}
+
+impl ParallelEngine {
+    /// CellNPDP with memory blocks of side `nb`, scheduling blocks of
+    /// `sb × sb` memory blocks, and `workers` threads.
+    pub fn new(nb: usize, sb: usize, workers: usize) -> Self {
+        assert!(nb > 0 && nb.is_multiple_of(4), "block side must be a multiple of 4");
+        assert!(sb >= 1, "scheduling block side must be at least 1");
+        assert!(workers >= 1, "need at least one worker");
+        Self {
+            nb,
+            sb,
+            workers,
+            scheduler: Scheduler::CentralQueue,
+        }
+    }
+
+    /// Switch the ready-queue discipline (ablation).
+    pub fn with_scheduler(mut self, scheduler: Scheduler) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Sensible defaults: 32 KB-ish blocks and all available cores.
+    pub fn with_defaults() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        Self::new(88, 4, workers)
+    }
+
+    /// Solve and also return scheduler statistics (for load-balance
+    /// experiments).
+    pub fn solve_with_stats<T: DpValue>(
+        &self,
+        seeds: &TriangularMatrix<T>,
+    ) -> (TriangularMatrix<T>, ExecStats) {
+        let mut m = BlockedMatrix::from_triangular(seeds, self.nb);
+        let stats = self.solve_blocked_in_place(&mut m);
+        (m.to_triangular(), stats)
+    }
+
+    /// Run CellNPDP over an already-blocked matrix in place.
+    pub fn solve_blocked_in_place<T: DpValue>(&self, m: &mut BlockedMatrix<T>) -> ExecStats {
+        let nb = self.nb;
+        assert_eq!(m.block_side(), nb, "matrix blocked with a different nb");
+        let mb = m.blocks_per_side();
+        let shared = SharedBlocked::new(m);
+        let sched = scheduling_grid(mb, self.sb);
+        let kernels = SimdKernels;
+
+        let body = |task: usize| {
+            for &(bi, bj) in &sched.members[task] {
+                let c = shared.claim(bi, bj);
+                if bi == bj {
+                    kernels.diag(c, nb);
+                } else {
+                    compute_offdiag_block(c, bi, bj, nb, &kernels, |r, cc| {
+                        shared.read_final(r, cc)
+                    });
+                }
+                shared.finalize(bi, bj);
+            }
+        };
+        let stats = match self.scheduler {
+            Scheduler::CentralQueue => execute_with_stats(&sched.graph, self.workers, body),
+            Scheduler::WorkStealing => execute_stealing(&sched.graph, self.workers, body),
+        };
+        assert!(shared.all_final(), "scheduler left unfinished blocks");
+        stats
+    }
+}
+
+impl<T: DpValue> Engine<T> for ParallelEngine {
+    fn name(&self) -> &'static str {
+        "parallel (CellNPDP: NDL + SPE procedure + task queue)"
+    }
+
+    fn solve(&self, seeds: &TriangularMatrix<T>) -> TriangularMatrix<T> {
+        self.solve_with_stats(seeds).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SerialEngine;
+
+    fn random_seeds(n: usize, seed: u64) -> TriangularMatrix<f32> {
+        let mut s = seed;
+        TriangularMatrix::from_fn(n, |_, _| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 33) as f32) / (u32::MAX as f32) * 100.0
+        })
+    }
+
+    #[test]
+    fn parallel_matches_serial_across_configs() {
+        for n in [1, 9, 33, 64, 97] {
+            for (nb, sb, workers) in [(4, 1, 2), (8, 2, 4), (16, 3, 3), (8, 1, 8)] {
+                let seeds = random_seeds(n, (n * 7 + nb + sb + workers) as u64);
+                let a = SerialEngine.solve(&seeds);
+                let b = ParallelEngine::new(nb, sb, workers).solve(&seeds);
+                assert_eq!(
+                    a.first_difference(&b),
+                    None,
+                    "n={n} nb={nb} sb={sb} w={workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_single_worker_matches() {
+        let seeds = random_seeds(50, 3);
+        let a = SerialEngine.solve(&seeds);
+        let b = ParallelEngine::new(8, 2, 1).solve(&seeds);
+        assert_eq!(a.first_difference(&b), None);
+    }
+
+    #[test]
+    fn parallel_is_deterministic_across_runs() {
+        let seeds = random_seeds(80, 11);
+        let engine = ParallelEngine::new(8, 2, 8);
+        let first = engine.solve(&seeds);
+        for _ in 0..5 {
+            let again = engine.solve(&seeds);
+            assert_eq!(first.first_difference(&again), None);
+        }
+    }
+
+    #[test]
+    fn stats_account_for_all_tasks() {
+        let seeds = random_seeds(64, 5);
+        let engine = ParallelEngine::new(8, 2, 4);
+        let (_, stats) = engine.solve_with_stats(&seeds);
+        // 64/8 = 8 blocks per side → coarse 4×4 triangle → 10 tasks.
+        assert_eq!(stats.tasks_per_worker.iter().sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn work_stealing_scheduler_matches() {
+        let seeds = random_seeds(70, 23);
+        let a = SerialEngine.solve(&seeds);
+        let b = ParallelEngine::new(8, 2, 4)
+            .with_scheduler(Scheduler::WorkStealing)
+            .solve(&seeds);
+        assert_eq!(a.first_difference(&b), None);
+    }
+
+    #[test]
+    fn f64_parallel_matches() {
+        let seeds =
+            TriangularMatrix::<f64>::from_fn(45, |i, j| ((i * 13 + j * 31) % 53) as f64 * 0.5);
+        let a = SerialEngine.solve(&seeds);
+        let b = ParallelEngine::new(8, 2, 4).solve(&seeds);
+        assert_eq!(a.first_difference(&b), None);
+    }
+}

@@ -1,0 +1,137 @@
+//! The two kernel families implementing [`BlockKernels`]: plain scalar loops
+//! (the NDL-only ablation) and the 4×4 computing-block SIMD kernels
+//! (the full SPE procedure).
+
+use crate::engine::{block_compute, BlockKernels};
+use crate::value::DpValue;
+
+/// Scalar per-cell loops inside each memory block: isolates the benefit of
+/// the new data layout from the benefit of the SIMD computing blocks.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScalarKernels;
+
+impl<T: DpValue> BlockKernels<T> for ScalarKernels {
+    fn stage1(&self, c: &mut [T], a: &[T], b: &[T], nb: usize) {
+        for i in 0..nb {
+            for j in 0..nb {
+                let mut best = c[i * nb + j];
+                for k in 0..nb {
+                    best = T::min2(best, a[i * nb + k] + b[k * nb + j]);
+                }
+                c[i * nb + j] = best;
+            }
+        }
+    }
+
+    fn stage2(&self, c: &mut [T], dlo: &[T], dhi: &[T], nb: usize) {
+        // Columns ascending, rows descending: same-block operands are final
+        // when read.
+        for j in 0..nb {
+            for i in (0..nb).rev() {
+                let mut best = c[i * nb + j];
+                for k in i + 1..nb {
+                    best = T::min2(best, dlo[i * nb + k] + c[k * nb + j]);
+                }
+                for k in 0..j {
+                    best = T::min2(best, c[i * nb + k] + dhi[k * nb + j]);
+                }
+                c[i * nb + j] = best;
+            }
+        }
+    }
+
+    fn diag(&self, c: &mut [T], nb: usize) {
+        // The original flowchart confined to one padded block.
+        for j in 0..nb {
+            for i in (0..j).rev() {
+                let mut best = c[i * nb + j];
+                for k in i + 1..j {
+                    best = T::min2(best, c[i * nb + k] + c[k * nb + j]);
+                }
+                c[i * nb + j] = best;
+            }
+        }
+    }
+}
+
+/// The paper's SPE procedure: 4×4 computing blocks through the
+/// register-blocked SIMD kernel, scalar only on the same-tile remainder.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimdKernels;
+
+impl<T: DpValue> BlockKernels<T> for SimdKernels {
+    fn stage1(&self, c: &mut [T], a: &[T], b: &[T], nb: usize) {
+        block_compute::stage1(c, a, b, nb);
+    }
+
+    fn stage2(&self, c: &mut [T], dlo: &[T], dhi: &[T], nb: usize) {
+        block_compute::stage2_offdiag(c, dlo, dhi, nb);
+    }
+
+    fn diag(&self, c: &mut [T], nb: usize) {
+        block_compute::compute_diag(c, nb);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded(nb: usize, seed: u64, diag: bool) -> Vec<f32> {
+        let mut s = seed;
+        let mut next = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 33) as f32) / (u32::MAX as f32) * 50.0
+        };
+        let mut v = vec![f32::INFINITY; nb * nb];
+        for i in 0..nb {
+            for j in 0..nb {
+                if !diag || i < j {
+                    v[i * nb + j] = next();
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn simd_and_scalar_kernels_agree_on_stage1() {
+        for nb in [4, 8, 16] {
+            let a = seeded(nb, 1, false);
+            let b = seeded(nb, 2, false);
+            let c0 = seeded(nb, 3, false);
+            let (mut cs, mut cv) = (c0.clone(), c0);
+            BlockKernels::<f32>::stage1(&ScalarKernels, &mut cs, &a, &b, nb);
+            BlockKernels::<f32>::stage1(&SimdKernels, &mut cv, &a, &b, nb);
+            assert_eq!(cs, cv, "nb={nb}");
+        }
+    }
+
+    #[test]
+    fn simd_and_scalar_kernels_agree_on_stage2() {
+        for nb in [4, 8, 16] {
+            let mut dlo = seeded(nb, 4, true);
+            let mut dhi = seeded(nb, 5, true);
+            BlockKernels::<f32>::diag(&ScalarKernels, &mut dlo, nb);
+            BlockKernels::<f32>::diag(&ScalarKernels, &mut dhi, nb);
+            let c0 = seeded(nb, 6, false);
+            let (mut cs, mut cv) = (c0.clone(), c0);
+            BlockKernels::<f32>::stage2(&ScalarKernels, &mut cs, &dlo, &dhi, nb);
+            BlockKernels::<f32>::stage2(&SimdKernels, &mut cv, &dlo, &dhi, nb);
+            assert_eq!(cs, cv, "nb={nb}");
+        }
+    }
+
+    #[test]
+    fn simd_and_scalar_kernels_agree_on_diag() {
+        for nb in [4, 8, 12, 16] {
+            let c0 = seeded(nb, 7, true);
+            let (mut cs, mut cv) = (c0.clone(), c0);
+            BlockKernels::<f32>::diag(&ScalarKernels, &mut cs, nb);
+            BlockKernels::<f32>::diag(&SimdKernels, &mut cv, nb);
+            assert_eq!(cs, cv, "nb={nb}");
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Barrier-synchronized wavefront parallelization (rayon) — the classic
+//! alternative to the paper's task queue, kept as an independently-written
+//! cross-check engine and as the ablation point for "what does dynamic
+//! scheduling buy over barriers".
+
+use rayon::prelude::*;
+
+use crate::engine::scalar_kernels::SimdKernels;
+use crate::engine::shared::SharedBlocked;
+use crate::engine::{compute_offdiag_block, BlockKernels, Engine};
+use crate::layout::{BlockedMatrix, TriangularMatrix};
+use crate::value::DpValue;
+
+/// NDL + SIMD kernels, parallelized by block anti-diagonals with a barrier
+/// between waves. All blocks on wave `d = bj - bi` depend only on waves
+/// `< d`, so each wave is embarrassingly parallel — but the barrier idles
+/// cores as each wave drains (the paper's task queue does not).
+#[derive(Debug, Clone, Copy)]
+pub struct WavefrontEngine {
+    /// Memory-block side length (multiple of 4).
+    pub nb: usize,
+    /// Rayon threads; `None` uses the global pool.
+    pub threads: Option<usize>,
+}
+
+impl WavefrontEngine {
+    /// Wavefront engine with memory blocks of side `nb` on the global pool.
+    pub fn new(nb: usize) -> Self {
+        assert!(nb > 0 && nb.is_multiple_of(4), "block side must be a multiple of 4");
+        Self { nb, threads: None }
+    }
+
+    /// Pin the number of rayon threads (builds a local pool per solve).
+    pub fn with_threads(nb: usize, threads: usize) -> Self {
+        assert!(nb > 0 && nb.is_multiple_of(4), "block side must be a multiple of 4");
+        assert!(threads >= 1);
+        Self {
+            nb,
+            threads: Some(threads),
+        }
+    }
+
+    fn solve_inner<T: DpValue>(&self, m: &mut BlockedMatrix<T>) {
+        let nb = self.nb;
+        let mb = m.blocks_per_side();
+        let shared = SharedBlocked::new(m);
+        let kernels = SimdKernels;
+        for d in 0..mb {
+            (0..mb - d).into_par_iter().for_each(|bi| {
+                let bj = bi + d;
+                let c = shared.claim(bi, bj);
+                if bi == bj {
+                    kernels.diag(c, nb);
+                } else {
+                    compute_offdiag_block(c, bi, bj, nb, &kernels, |r, cc| {
+                        shared.read_final(r, cc)
+                    });
+                }
+                shared.finalize(bi, bj);
+            });
+        }
+        assert!(shared.all_final());
+    }
+}
+
+impl<T: DpValue> Engine<T> for WavefrontEngine {
+    fn name(&self) -> &'static str {
+        "wavefront (NDL + SPE procedure + rayon barriers)"
+    }
+
+    fn solve(&self, seeds: &TriangularMatrix<T>) -> TriangularMatrix<T> {
+        let mut m = BlockedMatrix::from_triangular(seeds, self.nb);
+        match self.threads {
+            None => self.solve_inner(&mut m),
+            Some(t) => {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(t)
+                    .build()
+                    .expect("failed to build rayon pool");
+                pool.install(|| self.solve_inner(&mut m));
+            }
+        }
+        m.to_triangular()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SerialEngine;
+
+    fn random_seeds(n: usize, seed: u64) -> TriangularMatrix<f32> {
+        let mut s = seed;
+        TriangularMatrix::from_fn(n, |_, _| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 33) as f32) / (u32::MAX as f32) * 100.0
+        })
+    }
+
+    #[test]
+    fn wavefront_matches_serial() {
+        for n in [1, 10, 33, 72] {
+            let seeds = random_seeds(n, n as u64);
+            let a = SerialEngine.solve(&seeds);
+            let b = WavefrontEngine::new(8).solve(&seeds);
+            assert_eq!(a.first_difference(&b), None, "n={n}");
+        }
+    }
+
+    #[test]
+    fn wavefront_with_pinned_threads() {
+        let seeds = random_seeds(40, 2);
+        let a = SerialEngine.solve(&seeds);
+        let b = WavefrontEngine::with_threads(8, 2).solve(&seeds);
+        assert_eq!(a.first_difference(&b), None);
+    }
+}

@@ -1,0 +1,232 @@
+//! The paper's **new data layout** (NDL, §III, Fig. 5).
+//!
+//! The triangle is tiled into square *memory blocks* of side `nb`; every
+//! block — including the padded triangular ones on the diagonal — is stored
+//! **contiguously** in memory, so a block moves between main memory and an
+//! SPE local store (or a cache hierarchy) in one maximal DMA transfer
+//! (one streaming pass) instead of `nb` small row transfers.
+//!
+//! Padding cells (`i ≥ j`, or beyond the logical side `n`) hold
+//! `T::INFINITY`: the identity of `min` absorbs addition, so padded lanes can
+//! be computed with full SIMD width and never influence an interior result.
+
+use task_queue::TriangleGrid;
+
+use crate::layout::TriangularMatrix;
+use crate::value::DpValue;
+
+/// Block-contiguous triangular DP matrix (the NDL).
+#[derive(Debug, Clone)]
+pub struct BlockedMatrix<T> {
+    /// Logical side length (cells `(i, j)` with `i < j < n` are real).
+    n: usize,
+    /// Memory-block side; must be a positive multiple of 4 (the computing-
+    /// block side).
+    nb: usize,
+    /// Blocks per triangle side, `ceil(n / nb)`.
+    m: usize,
+    grid: TriangleGrid,
+    /// Block-major storage: block `(bi, bj)` occupies
+    /// `grid.id(bi, bj) * nb²..+nb²`, row-major within the block.
+    data: Vec<T>,
+}
+
+impl<T: DpValue> BlockedMatrix<T> {
+    /// An all-infinity blocked triangle of logical side `n` with memory
+    /// blocks of side `nb`.
+    ///
+    /// # Panics
+    /// If `nb` is zero or not a multiple of 4.
+    pub fn new_infinity(n: usize, nb: usize) -> Self {
+        assert!(nb > 0 && nb.is_multiple_of(4), "block side must be a multiple of 4");
+        let m = n.div_ceil(nb).max(1);
+        let grid = TriangleGrid::new(m);
+        let data = vec![T::INFINITY; grid.len() * nb * nb];
+        Self {
+            n,
+            nb,
+            m,
+            grid,
+            data,
+        }
+    }
+
+    /// Import a row-major triangular matrix into the NDL.
+    pub fn from_triangular(src: &TriangularMatrix<T>, nb: usize) -> Self {
+        let mut out = Self::new_infinity(src.n(), nb);
+        for (i, j, v) in src.iter() {
+            out.set(i, j, v);
+        }
+        out
+    }
+
+    /// Export back to the row-major triangular layout.
+    pub fn to_triangular(&self) -> TriangularMatrix<T> {
+        TriangularMatrix::from_fn(self.n, |i, j| self.get(i, j))
+    }
+
+    /// Logical side length.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Memory-block side length.
+    pub fn block_side(&self) -> usize {
+        self.nb
+    }
+
+    /// Blocks per triangle side.
+    pub fn blocks_per_side(&self) -> usize {
+        self.m
+    }
+
+    /// Bytes occupied by one memory block.
+    pub fn block_bytes(&self) -> usize {
+        self.nb * self.nb * std::mem::size_of::<T>()
+    }
+
+    /// Flat offset of block `(bi, bj)` in the backing storage.
+    #[inline]
+    pub fn block_offset(&self, bi: usize, bj: usize) -> usize {
+        self.grid.id(bi, bj) * self.nb * self.nb
+    }
+
+    /// Shared view of block `(bi, bj)` (`nb × nb`, row-major).
+    #[inline]
+    pub fn block(&self, bi: usize, bj: usize) -> &[T] {
+        let off = self.block_offset(bi, bj);
+        &self.data[off..off + self.nb * self.nb]
+    }
+
+    /// Mutable view of block `(bi, bj)`.
+    #[inline]
+    pub fn block_mut(&mut self, bi: usize, bj: usize) -> &mut [T] {
+        let off = self.block_offset(bi, bj);
+        &mut self.data[off..off + self.nb * self.nb]
+    }
+
+    /// Read cell `(i, j)`. Requires `i < j < n`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        debug_assert!(i < j && j < self.n);
+        let (bi, bj) = (i / self.nb, j / self.nb);
+        self.block(bi, bj)[(i % self.nb) * self.nb + (j % self.nb)]
+    }
+
+    /// Write cell `(i, j)`. Requires `i < j < n`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
+        debug_assert!(i < j && j < self.n);
+        let (bi, bj) = (i / self.nb, j / self.nb);
+        let nb = self.nb;
+        self.block_mut(bi, bj)[(i % nb) * nb + (j % nb)] = v;
+    }
+
+    /// The whole block-major backing store.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable backing store (used by the parallel engine's shared view).
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Verify every padding cell still holds `INFINITY` — engines must keep
+    /// padding inert. (Padding cells *are* written by full-SIMD updates, but
+    /// only ever with values `≥ INFINITY`; this check accepts any such value.)
+    pub fn padding_is_inert(&self) -> bool {
+        for bi in 0..self.m {
+            for bj in bi..self.m {
+                let blk = self.block(bi, bj);
+                for li in 0..self.nb {
+                    for lj in 0..self.nb {
+                        let (i, j) = (bi * self.nb + li, bj * self.nb + lj);
+                        let pad = i >= j || j >= self.n;
+                        if pad && blk[li * self.nb + lj] < T::PAD_FLOOR {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tri(n: usize) -> TriangularMatrix<f32> {
+        TriangularMatrix::from_fn(n, |i, j| (i * 1000 + j) as f32)
+    }
+
+    #[test]
+    fn roundtrip_exact_multiple() {
+        let t = sample_tri(16);
+        let b = BlockedMatrix::from_triangular(&t, 8);
+        assert_eq!(b.blocks_per_side(), 2);
+        assert_eq!(b.to_triangular(), t);
+    }
+
+    #[test]
+    fn roundtrip_with_padding() {
+        for n in [1, 3, 5, 9, 13, 17] {
+            let t = sample_tri(n);
+            let b = BlockedMatrix::from_triangular(&t, 8);
+            assert_eq!(b.to_triangular(), t, "n={n}");
+            assert!(b.padding_is_inert(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn blocks_are_contiguous_and_disjoint() {
+        let b = BlockedMatrix::<f32>::new_infinity(32, 8);
+        let nb2 = 64;
+        let mut offsets: Vec<_> = (0..4)
+            .flat_map(|bi| (bi..4).map(move |bj| (bi, bj)))
+            .map(|(bi, bj)| b.block_offset(bi, bj))
+            .collect();
+        offsets.sort_unstable();
+        for w in offsets.windows(2) {
+            assert_eq!(w[1] - w[0], nb2, "blocks must tile storage exactly");
+        }
+        assert_eq!(b.as_slice().len(), 10 * nb2);
+    }
+
+    #[test]
+    fn get_set_through_blocks() {
+        let mut b = BlockedMatrix::<i32>::new_infinity(20, 8);
+        b.set(3, 17, 42);
+        assert_eq!(b.get(3, 17), 42);
+        // The cell lives in block (0, 2) at local (3, 1).
+        assert_eq!(b.block(0, 2)[3 * 8 + 1], 42);
+    }
+
+    #[test]
+    fn diagonal_blocks_padded_below_diagonal() {
+        let b = BlockedMatrix::<f32>::new_infinity(8, 8);
+        let blk = b.block(0, 0);
+        for i in 0..8 {
+            for j in 0..=i {
+                assert_eq!(blk[i * 8 + j], f32::INFINITY, "({i},{j}) must be padding");
+            }
+        }
+    }
+
+    #[test]
+    fn block_bytes_matches_paper_sizing() {
+        // 32 KB single-precision memory block (paper §VI-A) = 90×90 ≈ padded
+        // to a multiple of 4: 88×88×4 B = 30976 B ≤ 32 KB.
+        let b = BlockedMatrix::<f32>::new_infinity(1000, 88);
+        assert!(b.block_bytes() <= 32 * 1024);
+        assert!(b.block_bytes() > 28 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 4")]
+    fn rejects_unaligned_block_side() {
+        let _ = BlockedMatrix::<f32>::new_infinity(16, 6);
+    }
+}

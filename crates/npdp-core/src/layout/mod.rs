@@ -1,0 +1,11 @@
+//! Data layouts for the triangular NPDP table.
+//!
+//! [`TriangularMatrix`] is the baseline row-major triangular layout used by
+//! prior work; [`BlockedMatrix`] is the paper's new data layout (NDL) with
+//! contiguous square memory blocks.
+
+mod blocked;
+mod triangular;
+
+pub use blocked::BlockedMatrix;
+pub use triangular::TriangularMatrix;

@@ -1,0 +1,104 @@
+//! Problem/workload generators for benchmarks, tests and examples.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::layout::TriangularMatrix;
+
+/// Uniform random seeds in `[0, scale)` over every cell — the synthetic NPDP
+/// workload the paper times (random-initialized `d`, problem sizes 4K–16K).
+pub fn random_seeds_f32(n: usize, scale: f32, seed: u64) -> TriangularMatrix<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    TriangularMatrix::from_fn(n, |_, _| rng.random::<f32>() * scale)
+}
+
+/// Double-precision variant of [`random_seeds_f32`].
+pub fn random_seeds_f64(n: usize, scale: f64, seed: u64) -> TriangularMatrix<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    TriangularMatrix::from_fn(n, |_, _| rng.random::<f64>() * scale)
+}
+
+/// Integer random seeds in `[0, bound)` — exact workloads for equality
+/// testing without floating point at all.
+pub fn random_seeds_i64(n: usize, bound: i64, seed: u64) -> TriangularMatrix<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    TriangularMatrix::from_fn(n, |_, _| rng.random_range(0..bound))
+}
+
+/// "Chain" seeds: only adjacent intervals are finite (`d[i][i+1] = w_i`),
+/// everything longer must be composed by the closure. Stresses the longest
+/// dependence chains; the optimum is analytically `Σ w` over the interval.
+pub fn chain_seeds_f32(n: usize, seed: u64) -> TriangularMatrix<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let w: Vec<f32> = (0..n).map(|_| rng.random::<f32>() * 10.0 + 0.5).collect();
+    TriangularMatrix::from_fn(n, |i, j| {
+        if j == i + 1 {
+            w[i]
+        } else {
+            f32::INFINITY
+        }
+    })
+}
+
+/// Sparse seeds: a fraction `density` of cells finite. Exercises ∞
+/// propagation through every engine path.
+pub fn sparse_seeds_f32(n: usize, density: f64, seed: u64) -> TriangularMatrix<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    TriangularMatrix::from_fn(n, |_, _| {
+        if rng.random_bool(density) {
+            rng.random::<f32>() * 100.0
+        } else {
+            f32::INFINITY
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = random_seeds_f32(20, 10.0, 42);
+        let b = random_seeds_f32(20, 10.0, 42);
+        assert_eq!(a.first_difference(&b), None);
+        let c = random_seeds_f32(20, 10.0, 43);
+        assert!(c.first_difference(&a).is_some());
+    }
+
+    #[test]
+    fn random_seeds_respect_scale() {
+        let m = random_seeds_f32(30, 5.0, 1);
+        for (_, _, v) in m.iter() {
+            assert!((0.0..5.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chain_seeds_only_adjacent_finite() {
+        let m = chain_seeds_f32(10, 3);
+        for (i, j, v) in m.iter() {
+            if j == i + 1 {
+                assert!(v.is_finite());
+            } else {
+                assert!(v.is_infinite());
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_density_zero_and_one() {
+        let empty = sparse_seeds_f32(15, 0.0, 9);
+        assert!(empty.iter().all(|(_, _, v)| v.is_infinite()));
+        let full = sparse_seeds_f32(15, 1.0, 9);
+        assert!(full.iter().all(|(_, _, v)| v.is_finite()));
+    }
+
+    #[test]
+    fn integer_seeds_within_bound() {
+        let m = random_seeds_i64(25, 100, 7);
+        for (_, _, v) in m.iter() {
+            assert!((0..100).contains(&v));
+        }
+    }
+}

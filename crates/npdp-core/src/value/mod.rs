@@ -1,0 +1,196 @@
+//! The DP value abstraction: a min-plus semiring element.
+//!
+//! NPDP's recurrence `d[i][j] = min(d[i][j], d[i][k] + d[k][j])` needs only
+//! `min`, `+` and an identity of `min` (`+∞`) to pad triangular blocks into
+//! squares. Everything in this workspace is generic over [`DpValue`];
+//! `f32`/`f64` additionally route the hot 4×4 tile update through the SIMD
+//! kernels of the `simd-kernel` crate (the paper's 80-instruction sequence).
+
+use simd_kernel::{block4x4_minplus_f32_arrays, F64x2};
+
+/// A value usable in the min-plus NPDP recurrence.
+///
+/// # Determinism contract
+///
+/// Every candidate `d[i][k] + d[k][j]` is a *single* addition of two fully
+/// finalized values, and `min` over a fixed candidate set is order
+/// independent, so every engine in this workspace produces **bit-identical**
+/// tables for any evaluation order that respects the interval-containment
+/// dependences. Tests rely on exact equality.
+///
+/// # Infinity contract
+///
+/// `INFINITY` must absorb addition (`INFINITY + x` never compares less than
+/// any domain value) and be the identity of `min`. For floats this is the
+/// IEEE `+∞`; for integers a quarter of `MAX` so that one addition of two
+/// padding values cannot overflow. Integer problem seeds must therefore stay
+/// below `INFINITY / 2`.
+pub trait DpValue:
+    Copy + PartialOrd + std::ops::Add<Output = Self> + Send + Sync + std::fmt::Debug + 'static
+{
+    /// The identity of `min` (padding value).
+    const INFINITY: Self;
+    /// The identity of `+` (useful for application seeds).
+    const ZERO: Self;
+    /// Lower bound that any once-padded cell can reach: engines only ever
+    /// write `INFINITY + x` into padding, which for floats stays exactly
+    /// `INFINITY` but for integers can dip by a domain value. Domain values
+    /// must stay below `PAD_FLOOR` so padding never wins a `min`.
+    const PAD_FLOOR: Self;
+
+    /// `min(a, b)` taking the first argument on ties (compare + select, as
+    /// the SPE does it).
+    #[inline(always)]
+    fn min2(a: Self, b: Self) -> Self {
+        if a > b {
+            b
+        } else {
+            a
+        }
+    }
+
+    /// Min-plus rank-4 update of one 4×4 tile: `C = min(C, A ⊗ B)` with
+    /// row-strided tiles (`cs`, `as_`, `bs` are row strides in elements).
+    ///
+    /// The default is the scalar 64-iteration loop; `f32`/`f64` override it
+    /// with the register-blocked SIMD kernel.
+    #[inline]
+    fn tile4_update(c: &mut [Self], cs: usize, a: &[Self], as_: usize, b: &[Self], bs: usize) {
+        for r in 0..4 {
+            for cc in 0..4 {
+                let mut best = c[r * cs + cc];
+                for k in 0..4 {
+                    let cand = a[r * as_ + k] + b[k * bs + cc];
+                    best = Self::min2(best, cand);
+                }
+                c[r * cs + cc] = best;
+            }
+        }
+    }
+}
+
+impl DpValue for f32 {
+    const INFINITY: Self = f32::INFINITY;
+    const ZERO: Self = 0.0;
+    const PAD_FLOOR: Self = f32::INFINITY;
+
+    #[inline(always)]
+    fn tile4_update(c: &mut [Self], cs: usize, a: &[Self], as_: usize, b: &[Self], bs: usize) {
+        block4x4_minplus_f32_arrays(c, cs, a, as_, b, bs);
+    }
+}
+
+impl DpValue for f64 {
+    const INFINITY: Self = f64::INFINITY;
+    const ZERO: Self = 0.0;
+    const PAD_FLOOR: Self = f64::INFINITY;
+
+    #[inline(always)]
+    fn tile4_update(c: &mut [Self], cs: usize, a: &[Self], as_: usize, b: &[Self], bs: usize) {
+        // Two F64x2 registers per tile row (the SPU's DP layout).
+        let av: [[F64x2; 2]; 4] = std::array::from_fn(|r| {
+            [F64x2::load(&a[r * as_..]), F64x2::load(&a[r * as_ + 2..])]
+        });
+        let bv: [[F64x2; 2]; 4] = std::array::from_fn(|r| {
+            [F64x2::load(&b[r * bs..]), F64x2::load(&b[r * bs + 2..])]
+        });
+        let mut cv: [[F64x2; 2]; 4] = std::array::from_fn(|r| {
+            [F64x2::load(&c[r * cs..]), F64x2::load(&c[r * cs + 2..])]
+        });
+        simd_kernel::block4x4_minplus_f64(&mut cv, &av, &bv);
+        for r in 0..4 {
+            cv[r][0].store(&mut c[r * cs..]);
+            cv[r][1].store(&mut c[r * cs + 2..]);
+        }
+    }
+}
+
+impl DpValue for i32 {
+    const INFINITY: Self = i32::MAX / 4;
+    const ZERO: Self = 0;
+    const PAD_FLOOR: Self = i32::MAX / 8;
+}
+
+impl DpValue for i64 {
+    const INFINITY: Self = i64::MAX / 4;
+    const ZERO: Self = 0;
+    const PAD_FLOOR: Self = i64::MAX / 8;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min2_prefers_smaller() {
+        assert_eq!(f32::min2(1.0, 2.0), 1.0);
+        assert_eq!(f32::min2(2.0, 1.0), 1.0);
+        assert_eq!(i64::min2(-5, 3), -5);
+    }
+
+    #[test]
+    fn min2_infinity_identity() {
+        assert_eq!(f64::min2(f64::INFINITY, 7.0), 7.0);
+        assert_eq!(i32::min2(i32::INFINITY, 7), 7);
+    }
+
+    #[test]
+    fn int_infinity_addition_safe() {
+        // One addition of two infinities stays below MAX (no overflow) and
+        // above INFINITY (never beats a real value after min-padding).
+        let s = i32::INFINITY + i32::INFINITY;
+        assert!(s > i32::INFINITY);
+        let s = i64::INFINITY + i64::INFINITY;
+        assert!(s > i64::INFINITY);
+    }
+
+    fn tile_update_matches_scalar<T: DpValue>(vals: impl Fn(usize) -> T) {
+        let stride = 5;
+        let mk = |off: usize| -> Vec<T> {
+            (0..4 * stride).map(|i| vals(i * 7 + off)).collect()
+        };
+        let a = mk(1);
+        let b = mk(2);
+        let c0 = mk(3);
+
+        let mut c_fast = c0.clone();
+        T::tile4_update(&mut c_fast, stride, &a, stride, &b, stride);
+
+        let mut c_ref = c0;
+        for r in 0..4 {
+            for cc in 0..4 {
+                let mut best = c_ref[r * stride + cc];
+                for k in 0..4 {
+                    best = T::min2(best, a[r * stride + k] + b[k * stride + cc]);
+                }
+                c_ref[r * stride + cc] = best;
+            }
+        }
+        for r in 0..4 {
+            for cc in 0..4 {
+                assert!(
+                    c_fast[r * stride + cc] == c_ref[r * stride + cc],
+                    "mismatch at ({r},{cc})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn f32_override_matches_default() {
+        tile_update_matches_scalar::<f32>(|i| ((i * 37) % 101) as f32 * 0.5);
+    }
+
+    #[test]
+    fn f64_override_matches_default() {
+        tile_update_matches_scalar::<f64>(|i| ((i * 53) % 97) as f64 * 0.25);
+    }
+
+    #[test]
+    fn i32_default_kernel() {
+        tile_update_matches_scalar::<i32>(|i| ((i * 31) % 89) as i32);
+    }
+}
+
+pub mod max_plus;
+pub use max_plus::MaxPlus;

@@ -1,0 +1,46 @@
+//! # npdp — the CellNPDP reproduction, in one import
+//!
+//! Facade over the workspace crates reproducing *Efficient Nonserial
+//! Polyadic Dynamic Programming on the Cell Processor* (Liu et al., IPDPS
+//! 2011):
+//!
+//! * [`core`] (`npdp-core`) — the paper's contribution: the new data
+//!   layout, the SPE procedure's SIMD computing blocks, and the task-queue
+//!   parallel procedure, as host-CPU engines.
+//! * [`simd`] (`simd-kernel`) — portable 128-bit vectors and the
+//!   register-blocked 4×4 min-plus kernels.
+//! * [`tasks`] (`task-queue`) — the dependence-graph scheduler substrate.
+//! * [`cell`] (`cell-sim`) — the Cell Broadband Engine simulator (SPU ISA,
+//!   dual-issue timing, DMA/EIB model, QS20 machine model).
+//! * [`cachesim`] (`cache-sim`) — LLC traffic measurement (Fig. 9b).
+//! * [`model`] (`perf-model`) — the §V analytical performance model.
+//! * [`rna`] (`zuker`) — simplified Zuker RNA folding on the engines.
+//! * [`baseline`] (`baselines`) — the original algorithm and TanNPDP.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use npdp::prelude::*;
+//!
+//! let seeds = npdp::core::problem::random_seeds_f32(192, 100.0, 1);
+//! let table = ParallelEngine::new(16, 2, 4).solve(&seeds);
+//! assert_eq!(table.first_difference(&SerialEngine.solve(&seeds)), None);
+//! ```
+
+pub use baselines as baseline;
+pub use cache_sim as cachesim;
+pub use cell_sim as cell;
+pub use npdp_core as core;
+pub use perf_model as model;
+pub use simd_kernel as simd;
+pub use task_queue as tasks;
+pub use zuker as rna;
+
+/// The types most programs need.
+pub mod prelude {
+    pub use baselines::{OriginalEngine, TanEngine};
+    pub use npdp_core::{
+        BlockedEngine, BlockedMatrix, DpValue, Engine, ParallelEngine, Scheduler, SerialEngine,
+        SimdEngine, TiledEngine, TriangularMatrix, WavefrontEngine,
+    };
+}

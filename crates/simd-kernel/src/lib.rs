@@ -1,0 +1,36 @@
+//! Portable 128-bit SIMD substrate and the CellNPDP computing-block kernels.
+//!
+//! The paper (Liu et al., IPDPS 2011) computes 4×4 *computing blocks* with a
+//! register-blocked sequence of 80 SIMD instructions (Table I): 12 loads,
+//! 16 shuffles (lane broadcasts), 16 adds, 16 compares, 16 selects and
+//! 4 stores. The SPE has no `min` instruction, so a minimum is a
+//! compare-then-select pair — this crate mirrors that structure so the host
+//! kernel and the `cell-sim` SPU program share one dataflow.
+//!
+//! The vector types here are plain `#[repr(transparent)]` wrappers over fixed
+//! arrays with `#[inline(always)]` lane-wise operations; LLVM reliably lowers
+//! them to SSE/AVX/NEON 128-bit instructions, which play the role of the SPU's
+//! 128-bit SIMD unit.
+//!
+//! ```
+//! use simd_kernel::{block4x4_minplus_f32, F32x4, KERNEL_SIMD_INSTRUCTIONS};
+//!
+//! // One computing-block update C = min(C, A ⊗ B).
+//! let a = [F32x4::splat(1.0); 4];
+//! let b = [F32x4::splat(2.0); 4];
+//! let mut c = [F32x4::splat(10.0); 4];
+//! block4x4_minplus_f32(&mut c, &a, &b);
+//! assert_eq!(c[0].to_array(), [3.0; 4]); // 1 + 2 beats 10
+//!
+//! // The paper's Table I: 80 SIMD instructions per update.
+//! assert_eq!(KERNEL_SIMD_INSTRUCTIONS.total(), 80);
+//! ```
+
+pub mod kernel;
+pub mod vec;
+
+pub use kernel::{
+    block4x4_minplus_f32, block4x4_minplus_f32_arrays, block4x4_minplus_f64,
+    block4x4_minplus_scalar, BlockF32, BlockF64, KERNEL_SIMD_INSTRUCTIONS,
+};
+pub use vec::{F32x4, F64x2, I32x4, I64x2};

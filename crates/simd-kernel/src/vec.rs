@@ -1,0 +1,334 @@
+//! 128-bit vector newtypes mirroring the SPU register model.
+//!
+//! Each SPU register is 128 bits wide and holds either four 32-bit or two
+//! 64-bit lanes. The operations exposed here are exactly the ones the
+//! CellNPDP kernel needs (paper §IV-A): `load`/`store` (conversion from/to
+//! slices), `shuffle` (lane broadcast), `add`, `cmp_gt` (compare) and
+//! `select`. A `min` convenience method composes compare+select the way the
+//! SPE must, since the SPU ISA has no vector minimum.
+
+use std::ops::{Add, Index};
+
+macro_rules! float_vector {
+    ($name:ident, $elem:ty, $lanes:expr, $mask_elem:ty) => {
+        /// A 128-bit SIMD vector of floating-point lanes.
+        #[derive(Debug, Clone, Copy, PartialEq)]
+        #[repr(transparent)]
+        pub struct $name(pub [$elem; $lanes]);
+
+        impl $name {
+            /// Number of lanes in the vector.
+            pub const LANES: usize = $lanes;
+
+            /// A vector with every lane set to `v` (the SPU `shuffle`
+            /// broadcast / `splats` idiom).
+            #[inline(always)]
+            pub fn splat(v: $elem) -> Self {
+                Self([v; $lanes])
+            }
+
+            /// A vector with every lane set to positive infinity — the
+            /// identity of `min`, used to pad triangular computing blocks
+            /// into squares (paper §IV-A).
+            #[inline(always)]
+            pub fn infinity() -> Self {
+                Self::splat(<$elem>::INFINITY)
+            }
+
+            /// Load from the first `LANES` elements of a slice
+            /// (an SPU `lqd` from the local store).
+            #[inline(always)]
+            pub fn load(src: &[$elem]) -> Self {
+                let mut out = [0 as $elem; $lanes];
+                out.copy_from_slice(&src[..$lanes]);
+                Self(out)
+            }
+
+            /// Store into the first `LANES` elements of a slice
+            /// (an SPU `stqd` to the local store).
+            #[inline(always)]
+            pub fn store(self, dst: &mut [$elem]) {
+                dst[..$lanes].copy_from_slice(&self.0);
+            }
+
+            /// Broadcast lane `LANE` to every lane — the `shufb` with a
+            /// replicate mask from step 4 of the paper's SIMD procedure.
+            #[inline(always)]
+            pub fn broadcast<const LANE: usize>(self) -> Self {
+                Self::splat(self.0[LANE])
+            }
+
+            /// Dynamic-lane broadcast (for loop-driven code; the kernels use
+            /// the const-generic form so the shuffle mask is static).
+            #[inline(always)]
+            pub fn broadcast_lane(self, lane: usize) -> Self {
+                Self::splat(self.0[lane])
+            }
+
+            /// Lane-wise `self > other`, producing an all-ones/all-zeros
+            /// mask per lane (the SPU `fcgt`/`dfcgt` compare).
+            #[inline(always)]
+            pub fn cmp_gt(self, other: Self) -> [$mask_elem; $lanes] {
+                let mut mask = [0 as $mask_elem; $lanes];
+                for l in 0..$lanes {
+                    mask[l] = if self.0[l] > other.0[l] {
+                        <$mask_elem>::MAX
+                    } else {
+                        0
+                    };
+                }
+                mask
+            }
+
+            /// Lane-wise select: where `mask` is all-ones take `b`, else `a`
+            /// (the SPU `selb`).
+            #[inline(always)]
+            pub fn select(a: Self, b: Self, mask: [$mask_elem; $lanes]) -> Self {
+                let mut out = [0 as $elem; $lanes];
+                for l in 0..$lanes {
+                    out[l] = if mask[l] != 0 { b.0[l] } else { a.0[l] };
+                }
+                Self(out)
+            }
+
+            /// Lane-wise minimum, composed as compare + select exactly like
+            /// the SPE must do it: `min(a, b) = selb(a, b, fcgt(a, b))`.
+            #[inline(always)]
+            pub fn min(self, other: Self) -> Self {
+                let mask = self.cmp_gt(other);
+                Self::select(self, other, mask)
+            }
+
+            /// Smallest lane value (horizontal reduction; not an SPU
+            /// single-instruction op, used only outside the hot kernel).
+            #[inline(always)]
+            pub fn reduce_min(self) -> $elem {
+                let mut m = self.0[0];
+                for l in 1..$lanes {
+                    if self.0[l] < m {
+                        m = self.0[l];
+                    }
+                }
+                m
+            }
+
+            /// The underlying lanes.
+            #[inline(always)]
+            pub fn to_array(self) -> [$elem; $lanes] {
+                self.0
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+
+            /// Lane-wise addition (the SPU `fa`/`dfa`).
+            #[inline(always)]
+            fn add(self, rhs: Self) -> Self {
+                let mut out = [0 as $elem; $lanes];
+                for l in 0..$lanes {
+                    out[l] = self.0[l] + rhs.0[l];
+                }
+                Self(out)
+            }
+        }
+
+        impl Index<usize> for $name {
+            type Output = $elem;
+
+            #[inline(always)]
+            fn index(&self, i: usize) -> &$elem {
+                &self.0[i]
+            }
+        }
+
+        impl From<[$elem; $lanes]> for $name {
+            #[inline(always)]
+            fn from(a: [$elem; $lanes]) -> Self {
+                Self(a)
+            }
+        }
+    };
+}
+
+macro_rules! int_vector {
+    ($name:ident, $elem:ty, $lanes:expr) => {
+        /// A 128-bit SIMD vector of integer lanes (saturating-add variant of
+        /// the float vectors; integer NPDP instances use `MAX/4` as the
+        /// pseudo-infinity so one add cannot overflow).
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        #[repr(transparent)]
+        pub struct $name(pub [$elem; $lanes]);
+
+        impl $name {
+            /// Number of lanes in the vector.
+            pub const LANES: usize = $lanes;
+
+            /// A vector with every lane set to `v`.
+            #[inline(always)]
+            pub fn splat(v: $elem) -> Self {
+                Self([v; $lanes])
+            }
+
+            /// Load from the first `LANES` elements of a slice.
+            #[inline(always)]
+            pub fn load(src: &[$elem]) -> Self {
+                let mut out = [0 as $elem; $lanes];
+                out.copy_from_slice(&src[..$lanes]);
+                Self(out)
+            }
+
+            /// Store into the first `LANES` elements of a slice.
+            #[inline(always)]
+            pub fn store(self, dst: &mut [$elem]) {
+                dst[..$lanes].copy_from_slice(&self.0);
+            }
+
+            /// Broadcast lane `LANE` to every lane.
+            #[inline(always)]
+            pub fn broadcast<const LANE: usize>(self) -> Self {
+                Self::splat(self.0[LANE])
+            }
+
+            /// Lane-wise saturating addition.
+            #[inline(always)]
+            pub fn add_sat(self, rhs: Self) -> Self {
+                let mut out = [0 as $elem; $lanes];
+                for l in 0..$lanes {
+                    out[l] = self.0[l].saturating_add(rhs.0[l]);
+                }
+                Self(out)
+            }
+
+            /// Lane-wise minimum via compare + select.
+            #[inline(always)]
+            pub fn min(self, other: Self) -> Self {
+                let mut out = [0 as $elem; $lanes];
+                for l in 0..$lanes {
+                    out[l] = if self.0[l] > other.0[l] {
+                        other.0[l]
+                    } else {
+                        self.0[l]
+                    };
+                }
+                Self(out)
+            }
+
+            /// The underlying lanes.
+            #[inline(always)]
+            pub fn to_array(self) -> [$elem; $lanes] {
+                self.0
+            }
+        }
+    };
+}
+
+float_vector!(F32x4, f32, 4, u32);
+float_vector!(F64x2, f64, 2, u64);
+int_vector!(I32x4, i32, 4);
+int_vector!(I64x2, i64, 2);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32x4_splat_and_index() {
+        let v = F32x4::splat(3.5);
+        for l in 0..4 {
+            assert_eq!(v[l], 3.5);
+        }
+    }
+
+    #[test]
+    fn f32x4_load_store_roundtrip() {
+        let src = [1.0f32, 2.0, 3.0, 4.0, 99.0];
+        let v = F32x4::load(&src);
+        let mut dst = [0.0f32; 4];
+        v.store(&mut dst);
+        assert_eq!(dst, [1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn f32x4_add_lanewise() {
+        let a = F32x4::from([1.0, 2.0, 3.0, 4.0]);
+        let b = F32x4::from([10.0, 20.0, 30.0, 40.0]);
+        assert_eq!((a + b).to_array(), [11.0, 22.0, 33.0, 44.0]);
+    }
+
+    #[test]
+    fn f32x4_broadcast_each_lane() {
+        let v = F32x4::from([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(v.broadcast::<0>().to_array(), [1.0; 4]);
+        assert_eq!(v.broadcast::<1>().to_array(), [2.0; 4]);
+        assert_eq!(v.broadcast::<2>().to_array(), [3.0; 4]);
+        assert_eq!(v.broadcast::<3>().to_array(), [4.0; 4]);
+        assert_eq!(v.broadcast_lane(2).to_array(), [3.0; 4]);
+    }
+
+    #[test]
+    fn f32x4_cmp_select_is_min() {
+        let a = F32x4::from([1.0, 5.0, 3.0, 8.0]);
+        let b = F32x4::from([2.0, 4.0, 3.0, 7.0]);
+        let mask = a.cmp_gt(b);
+        assert_eq!(mask, [0, u32::MAX, 0, u32::MAX]);
+        let m = F32x4::select(a, b, mask);
+        assert_eq!(m.to_array(), [1.0, 4.0, 3.0, 7.0]);
+        assert_eq!(a.min(b).to_array(), [1.0, 4.0, 3.0, 7.0]);
+    }
+
+    #[test]
+    fn f32x4_min_with_infinity_identity() {
+        let a = F32x4::from([1.0, -2.0, 0.0, 1e30]);
+        assert_eq!(a.min(F32x4::infinity()).to_array(), a.to_array());
+        assert_eq!(F32x4::infinity().min(a).to_array(), a.to_array());
+    }
+
+    #[test]
+    fn f32x4_infinity_plus_finite_stays_infinite() {
+        let inf = F32x4::infinity();
+        let a = F32x4::splat(5.0);
+        assert!((inf + a).to_array().iter().all(|x| x.is_infinite()));
+    }
+
+    #[test]
+    fn f64x2_ops() {
+        let a = F64x2::from([1.0, 9.0]);
+        let b = F64x2::from([3.0, 4.0]);
+        assert_eq!((a + b).to_array(), [4.0, 13.0]);
+        assert_eq!(a.min(b).to_array(), [1.0, 4.0]);
+        assert_eq!(a.broadcast::<1>().to_array(), [9.0, 9.0]);
+        assert_eq!(a.reduce_min(), 1.0);
+    }
+
+    #[test]
+    fn f32x4_reduce_min() {
+        let v = F32x4::from([4.0, -1.0, 7.0, 0.0]);
+        assert_eq!(v.reduce_min(), -1.0);
+    }
+
+    #[test]
+    fn i32x4_saturating_add_no_overflow() {
+        let big = I32x4::splat(i32::MAX / 4 * 3);
+        let sum = big.add_sat(big);
+        assert_eq!(sum.to_array(), [i32::MAX; 4]);
+    }
+
+    #[test]
+    fn i32x4_min_and_broadcast() {
+        let a = I32x4([5, 1, 8, -3]);
+        let b = I32x4([2, 2, 2, 2]);
+        assert_eq!(a.min(b).to_array(), [2, 1, 2, -3]);
+        assert_eq!(a.broadcast::<2>().to_array(), [8; 4]);
+    }
+
+    #[test]
+    fn i64x2_roundtrip() {
+        let src = [7i64, -9, 4];
+        let v = I64x2::load(&src);
+        let mut dst = [0i64; 2];
+        v.store(&mut dst);
+        assert_eq!(dst, [7, -9]);
+        assert_eq!(v.min(I64x2::splat(0)).to_array(), [0, -9]);
+    }
+}

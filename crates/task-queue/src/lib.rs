@@ -1,0 +1,50 @@
+//! Dependence-graph task scheduling — the CellNPDP *parallel procedure*.
+//!
+//! The paper (Liu et al., IPDPS 2011, §IV-B) schedules the triangular grid of
+//! memory blocks with a PPE-managed task queue. Two ideas keep the overhead
+//! low:
+//!
+//! 1. **Simplified dependence graph** — although block `(i,j)` semantically
+//!    depends on *every* block `(i,k)` and `(k,j)`, it is enough to record at
+//!    most two predecessors: the nearest block on its left, `(i,j-1)`, and the
+//!    nearest block below it, `(i+1,j)`. Transitively these cover the full
+//!    dependence set (the left chain reaches every `(i,k)`, the below chain
+//!    every `(k,j)`). A task becomes ready once it has been *notified* by each
+//!    of its existing predecessors (twice in the interior, once on the edges,
+//!    zero times on the diagonal).
+//!
+//! 2. **Scheduling blocks** — tasks are squares of memory blocks, so the
+//!    number of scheduler events shrinks quadratically in the square side
+//!    while the member blocks inside a task are swept in a dependence-safe
+//!    order (bottom row first, left column first).
+//!
+//! This crate implements the substrate generically: a [`TaskGraph`] of
+//! predecessor counts and successor lists, an [`execute`] worker pool in which
+//! every worker plays the SPE role against a shared lock-free ready queue,
+//! and [`triangle`] helpers that build the paper's graphs.
+//!
+//! ```
+//! use std::sync::atomic::{AtomicUsize, Ordering};
+//! use task_queue::{execute, triangle_graph, TriangleGrid};
+//!
+//! // The paper's simplified graph over a 6×6 triangle of blocks.
+//! let graph = triangle_graph(6);
+//! let grid = TriangleGrid::new(6);
+//! assert_eq!(graph.len(), grid.len());
+//!
+//! let done = AtomicUsize::new(0);
+//! execute(&graph, 4, |_block| {
+//!     done.fetch_add(1, Ordering::Relaxed);
+//! });
+//! assert_eq!(done.load(Ordering::Relaxed), 21);
+//! ```
+
+pub mod graph;
+pub mod pool;
+pub mod stealing;
+pub mod triangle;
+
+pub use graph::TaskGraph;
+pub use pool::{execute, execute_sequential, execute_with_stats, ExecStats};
+pub use stealing::execute_stealing;
+pub use triangle::{scheduling_grid, triangle_graph, SchedulingGrid, TriangleGrid};

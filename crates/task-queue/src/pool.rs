@@ -1,0 +1,227 @@
+//! The worker pool: every worker plays the SPE role of Fig. 8.
+//!
+//! The paper's PPE procedure maintains a central ready queue; SPEs fetch a
+//! ready task, execute it, and report completion, whereupon dependent tasks
+//! are notified and inserted when their notify count is reached. Here the
+//! queue is a lock-free [`crossbeam::queue::SegQueue`] and the notification
+//! counters are atomics, so completion handling is distributed over the
+//! workers instead of funnelled through one PPE thread — same protocol, no
+//! central bottleneck (on the CPU platform the paper likewise lets "all cores
+//! cooperatively manage the task queue", §VI-B).
+
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+use crossbeam::queue::SegQueue;
+use crossbeam::utils::Backoff;
+
+use crate::graph::TaskGraph;
+
+/// Per-execution statistics, used by load-balance tests and the experiment
+/// harness.
+#[derive(Debug, Clone)]
+pub struct ExecStats {
+    /// Tasks executed by each worker.
+    pub tasks_per_worker: Vec<usize>,
+}
+
+impl ExecStats {
+    /// Ratio of the busiest worker to the ideal even share; 1.0 is perfect.
+    pub fn imbalance(&self) -> f64 {
+        let total: usize = self.tasks_per_worker.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let max = *self.tasks_per_worker.iter().max().unwrap();
+        max as f64 * self.tasks_per_worker.len() as f64 / total as f64
+    }
+}
+
+/// Execute every task of `graph` exactly once, respecting dependences, on
+/// `workers` threads. `task` is invoked with the task index.
+///
+/// Panics in `task` are propagated after the pool unwinds (via the scoped
+/// thread join).
+pub fn execute<F>(graph: &TaskGraph, workers: usize, task: F)
+where
+    F: Fn(usize) + Sync,
+{
+    execute_with_stats(graph, workers, task);
+}
+
+/// Like [`execute`], returning per-worker task counts.
+pub fn execute_with_stats<F>(graph: &TaskGraph, workers: usize, task: F) -> ExecStats
+where
+    F: Fn(usize) + Sync,
+{
+    assert!(workers >= 1, "need at least one worker");
+    let n = graph.len();
+    if n == 0 {
+        return ExecStats {
+            tasks_per_worker: vec![0; workers],
+        };
+    }
+    debug_assert!(
+        graph.topological_order().is_some(),
+        "task graph has a cycle"
+    );
+
+    // Remaining notify counts per task; a task is pushed when this hits zero.
+    let pending: Vec<AtomicU32> = (0..n)
+        .map(|t| AtomicU32::new(graph.pred_count(t)))
+        .collect();
+    let remaining = AtomicUsize::new(n);
+    let ready: SegQueue<u32> = SegQueue::new();
+    for t in graph.roots() {
+        ready.push(t as u32);
+    }
+
+    let counts: Vec<AtomicUsize> = (0..workers).map(|_| AtomicUsize::new(0)).collect();
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let pending = &pending;
+            let remaining = &remaining;
+            let ready = &ready;
+            let task = &task;
+            let counts = &counts;
+            scope.spawn(move || {
+                let backoff = Backoff::new();
+                loop {
+                    match ready.pop() {
+                        Some(t) => {
+                            backoff.reset();
+                            let t = t as usize;
+                            task(t);
+                            counts[w].fetch_add(1, Ordering::Relaxed);
+                            // Notify successors; Release pairs with the
+                            // Acquire below so a worker picking up a
+                            // newly-ready task sees all writes made while
+                            // computing its predecessors.
+                            for &s in graph.successors(t) {
+                                if pending[s as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                    ready.push(s);
+                                }
+                            }
+                            remaining.fetch_sub(1, Ordering::Release);
+                        }
+                        None => {
+                            if remaining.load(Ordering::Acquire) == 0 {
+                                break;
+                            }
+                            backoff.snooze();
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    ExecStats {
+        tasks_per_worker: counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+    }
+}
+
+/// Deterministic single-threaded executor: runs tasks in a fixed topological
+/// order (Kahn with a LIFO ready stack). Reference semantics for tests.
+pub fn execute_sequential<F>(graph: &TaskGraph, mut task: F)
+where
+    F: FnMut(usize),
+{
+    let order = graph
+        .topological_order()
+        .expect("task graph has a cycle");
+    for t in order {
+        task(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Mutex;
+
+    fn diamond() -> TaskGraph {
+        let mut g = TaskGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        g
+    }
+
+    #[test]
+    fn executes_every_task_once() {
+        let g = diamond();
+        let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        execute(&g, 3, |t| {
+            hits[t].fetch_add(1, Ordering::Relaxed);
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn respects_dependences() {
+        let g = diamond();
+        let done: Vec<AtomicBool> = (0..4).map(|_| AtomicBool::new(false)).collect();
+        execute(&g, 4, |t| {
+            match t {
+                1 | 2 => assert!(done[0].load(Ordering::SeqCst)),
+                3 => {
+                    assert!(done[1].load(Ordering::SeqCst));
+                    assert!(done[2].load(Ordering::SeqCst));
+                }
+                _ => {}
+            }
+            done[t].store(true, Ordering::SeqCst);
+        });
+    }
+
+    #[test]
+    fn sequential_matches_topological_order() {
+        let g = diamond();
+        let mut seen = Vec::new();
+        execute_sequential(&g, |t| seen.push(t));
+        assert_eq!(seen.len(), 4);
+        assert_eq!(seen[0], 0);
+        assert_eq!(seen[3], 3);
+    }
+
+    #[test]
+    fn single_worker_completes_large_chain() {
+        let mut g = TaskGraph::new(1000);
+        for i in 0..999 {
+            g.add_edge(i, i + 1);
+        }
+        let order = Mutex::new(Vec::new());
+        execute(&g, 1, |t| order.lock().unwrap().push(t));
+        let order = order.into_inner().unwrap();
+        assert_eq!(order, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stats_count_all_tasks() {
+        let g = diamond();
+        let stats = execute_with_stats(&g, 2, |_| {});
+        assert_eq!(stats.tasks_per_worker.iter().sum::<usize>(), 4);
+        assert!(stats.imbalance() >= 1.0);
+    }
+
+    #[test]
+    fn edgeless_graph_all_parallel() {
+        let g = TaskGraph::new(64);
+        let hits = AtomicUsize::new(0);
+        execute(&g, 8, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn empty_graph_returns_immediately() {
+        let g = TaskGraph::new(0);
+        execute(&g, 4, |_| panic!("no tasks to run"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Work-stealing executor — the modern alternative to the paper's central
+//! PPE queue, kept as an ablation point: per-worker LIFO deques with FIFO
+//! stealing (the rayon/Cilk discipline) versus one shared FIFO.
+//!
+//! For NPDP's block graph the central queue is nearly optimal (tasks are
+//! coarse, the queue is short); stealing pays off when tasks are fine or
+//! the machine is large. The `ablation` bench quantifies it.
+
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+use crossbeam::deque::{Injector, Stealer, Worker};
+use crossbeam::utils::Backoff;
+
+use crate::graph::TaskGraph;
+use crate::pool::ExecStats;
+
+/// Execute `graph` on `workers` threads with per-worker deques and work
+/// stealing. Semantics identical to [`crate::pool::execute`].
+pub fn execute_stealing<F>(graph: &TaskGraph, workers: usize, task: F) -> ExecStats
+where
+    F: Fn(usize) + Sync,
+{
+    assert!(workers >= 1);
+    let n = graph.len();
+    if n == 0 {
+        return ExecStats {
+            tasks_per_worker: vec![0; workers],
+        };
+    }
+    debug_assert!(graph.topological_order().is_some(), "cyclic task graph");
+
+    let pending: Vec<AtomicU32> = (0..n)
+        .map(|t| AtomicU32::new(graph.pred_count(t)))
+        .collect();
+    let remaining = AtomicUsize::new(n);
+    let injector: Injector<u32> = Injector::new();
+    for t in graph.roots() {
+        injector.push(t as u32);
+    }
+    let locals: Vec<Worker<u32>> = (0..workers).map(|_| Worker::new_lifo()).collect();
+    let stealers: Vec<Stealer<u32>> = locals.iter().map(Worker::stealer).collect();
+    let counts: Vec<AtomicUsize> = (0..workers).map(|_| AtomicUsize::new(0)).collect();
+
+    std::thread::scope(|scope| {
+        for (w, local) in locals.into_iter().enumerate() {
+            let pending = &pending;
+            let remaining = &remaining;
+            let injector = &injector;
+            let stealers = &stealers;
+            let task = &task;
+            let counts = &counts;
+            scope.spawn(move || {
+                let backoff = Backoff::new();
+                loop {
+                    let next = local.pop().or_else(|| {
+                        // Global queue first, then steal round-robin.
+                        std::iter::repeat_with(|| {
+                            injector
+                                .steal_batch_and_pop(&local)
+                                .or_else(|| {
+                                    stealers
+                                        .iter()
+                                        .enumerate()
+                                        .filter(|(i, _)| *i != w)
+                                        .map(|(_, s)| s.steal())
+                                        .collect()
+                                })
+                        })
+                        .find(|s| !s.is_retry())
+                        .and_then(|s| s.success())
+                    });
+                    match next {
+                        Some(t) => {
+                            backoff.reset();
+                            task(t as usize);
+                            counts[w].fetch_add(1, Ordering::Relaxed);
+                            for &s in graph.successors(t as usize) {
+                                if pending[s as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                    local.push(s);
+                                }
+                            }
+                            remaining.fetch_sub(1, Ordering::Release);
+                        }
+                        None => {
+                            if remaining.load(Ordering::Acquire) == 0 {
+                                break;
+                            }
+                            backoff.snooze();
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    ExecStats {
+        tasks_per_worker: counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triangle::triangle_graph;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn executes_every_task_once() {
+        let g = triangle_graph(10);
+        let hits: Vec<AtomicU32> = (0..g.len()).map(|_| AtomicU32::new(0)).collect();
+        let stats = execute_stealing(&g, 4, |t| {
+            hits[t].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+        assert_eq!(stats.tasks_per_worker.iter().sum::<usize>(), g.len());
+    }
+
+    #[test]
+    fn respects_dependences() {
+        let mut g = TaskGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        let done: Vec<AtomicBool> = (0..4).map(|_| AtomicBool::new(false)).collect();
+        execute_stealing(&g, 4, |t| {
+            match t {
+                1 | 2 => assert!(done[0].load(Ordering::SeqCst)),
+                3 => {
+                    assert!(done[1].load(Ordering::SeqCst));
+                    assert!(done[2].load(Ordering::SeqCst));
+                }
+                _ => {}
+            }
+            done[t].store(true, Ordering::SeqCst);
+        });
+    }
+
+    #[test]
+    fn single_worker_serial() {
+        let g = triangle_graph(6);
+        let stats = execute_stealing(&g, 1, |_| {});
+        assert_eq!(stats.tasks_per_worker, vec![21]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = TaskGraph::new(0);
+        execute_stealing(&g, 3, |_| panic!("nothing to run"));
+    }
+
+    #[test]
+    fn matches_central_queue_results() {
+        // Both executors must run the same task set exactly once under
+        // contention.
+        let g = triangle_graph(14);
+        for _ in 0..5 {
+            let hits: Vec<AtomicU32> = (0..g.len()).map(|_| AtomicU32::new(0)).collect();
+            execute_stealing(&g, 8, |t| {
+                hits[t].fetch_add(1, Ordering::SeqCst);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Triangular-grid helpers: the paper's simplified dependence graph (Fig. 7)
+//! and scheduling-block aggregation.
+
+use crate::graph::TaskGraph;
+
+/// Dense indexing of the upper-triangular grid of blocks `(r, c)`, `r ≤ c < m`.
+#[derive(Debug, Clone)]
+pub struct TriangleGrid {
+    m: usize,
+    /// `row_offsets[r]` = id of cell `(r, r)`.
+    row_offsets: Vec<usize>,
+}
+
+impl TriangleGrid {
+    /// Grid over an `m × m` triangle.
+    pub fn new(m: usize) -> Self {
+        let mut row_offsets = Vec::with_capacity(m + 1);
+        let mut off = 0;
+        for r in 0..=m {
+            row_offsets.push(off);
+            if r < m {
+                off += m - r;
+            }
+        }
+        Self { m, row_offsets }
+    }
+
+    /// Side length of the triangle.
+    pub fn side(&self) -> usize {
+        self.m
+    }
+
+    /// Number of cells, `m(m+1)/2`.
+    pub fn len(&self) -> usize {
+        self.m * (self.m + 1) / 2
+    }
+
+    /// Whether the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.m == 0
+    }
+
+    /// Dense id of cell `(r, c)`. Requires `r ≤ c < m`.
+    #[inline]
+    pub fn id(&self, r: usize, c: usize) -> usize {
+        debug_assert!(r <= c && c < self.m, "({r},{c}) outside triangle");
+        self.row_offsets[r] + (c - r)
+    }
+
+    /// Inverse of [`Self::id`].
+    pub fn coords(&self, id: usize) -> (usize, usize) {
+        debug_assert!(id < self.len());
+        // Rows shrink by one cell each, so find r by scanning offsets
+        // (binary search; rows are ordered).
+        let r = match self.row_offsets.binary_search(&id) {
+            Ok(r) => r,
+            Err(ins) => ins - 1,
+        };
+        let r = r.min(self.m - 1);
+        (r, r + (id - self.row_offsets[r]))
+    }
+
+    /// Iterate cells in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.m).flat_map(move |r| (r..self.m).map(move |c| (r, c)))
+    }
+}
+
+/// The paper's simplified dependence graph over an `m × m` triangle of
+/// blocks: each block depends on at most two others — its left neighbour
+/// `(r, c-1)` and the block below it `(r+1, c)`. Transitivity covers the full
+/// NPDP dependence set; diagonal blocks are roots.
+pub fn triangle_graph(m: usize) -> TaskGraph {
+    let grid = TriangleGrid::new(m);
+    let mut g = TaskGraph::new(grid.len());
+    for (r, c) in grid.iter() {
+        // Left neighbour exists when c-1 is still right of (or on) the diagonal.
+        if c > r {
+            g.add_edge(grid.id(r, c - 1), grid.id(r, c));
+        }
+        // Below neighbour exists when r+1 is still above (or on) the diagonal.
+        if r < c && r + 1 < m {
+            g.add_edge(grid.id(r + 1, c), grid.id(r, c));
+        }
+    }
+    g
+}
+
+/// A coarse task grid of *scheduling blocks*: squares of `sb × sb` memory
+/// blocks, reducing scheduler traffic while member blocks are swept in a
+/// dependence-safe order (paper §IV-B).
+#[derive(Debug, Clone)]
+pub struct SchedulingGrid {
+    /// Dependence graph over the coarse tasks (left + below rule).
+    pub graph: TaskGraph,
+    /// For each coarse task, its member memory blocks `(r, c)` in execution
+    /// order: bottom row first, then left to right.
+    pub members: Vec<Vec<(usize, usize)>>,
+    /// Coarse triangle side, `ceil(m / sb)`.
+    pub coarse_side: usize,
+    /// Scheduling-block side length in memory blocks.
+    pub sb: usize,
+}
+
+/// Build the scheduling grid for an `m`-block triangle with scheduling blocks
+/// of `sb × sb` memory blocks.
+pub fn scheduling_grid(m: usize, sb: usize) -> SchedulingGrid {
+    assert!(sb >= 1, "scheduling block side must be at least 1");
+    let cm = m.div_ceil(sb);
+    let coarse = TriangleGrid::new(cm);
+    let mut graph = TaskGraph::new(coarse.len());
+    let mut members = vec![Vec::new(); coarse.len()];
+
+    for (cr, cc) in coarse.iter() {
+        let id = coarse.id(cr, cc);
+        // Member blocks, bottom row first, left to right within each row.
+        let r_lo = cr * sb;
+        let r_hi = ((cr + 1) * sb).min(m);
+        let c_lo = cc * sb;
+        let c_hi = ((cc + 1) * sb).min(m);
+        for r in (r_lo..r_hi).rev() {
+            for c in c_lo..c_hi {
+                if r <= c {
+                    members[id].push((r, c));
+                }
+            }
+        }
+        if cc > cr {
+            graph.add_edge(coarse.id(cr, cc - 1), id);
+        }
+        if cr < cc && cr + 1 < cm {
+            graph.add_edge(coarse.id(cr + 1, cc), id);
+        }
+    }
+
+    SchedulingGrid {
+        graph,
+        members,
+        coarse_side: cm,
+        sb,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_id_roundtrip() {
+        for m in 1..=12 {
+            let g = TriangleGrid::new(m);
+            let mut seen = vec![false; g.len()];
+            for (r, c) in g.iter() {
+                let id = g.id(r, c);
+                assert!(!seen[id], "duplicate id {id}");
+                seen[id] = true;
+                assert_eq!(g.coords(id), (r, c));
+            }
+            assert!(seen.into_iter().all(|s| s));
+        }
+    }
+
+    #[test]
+    fn grid_len_formula() {
+        assert_eq!(TriangleGrid::new(0).len(), 0);
+        assert_eq!(TriangleGrid::new(1).len(), 1);
+        assert_eq!(TriangleGrid::new(4).len(), 10);
+    }
+
+    #[test]
+    fn triangle_graph_in_degrees() {
+        // 4×4 triangle: diagonal roots, edge blocks 1 pred... specifically
+        // (r, c) interior has 2, top row with c>r has 2 unless r+1>c.
+        let m = 4;
+        let grid = TriangleGrid::new(m);
+        let g = triangle_graph(m);
+        for (r, c) in grid.iter() {
+            let expected = usize::from(c > r) + usize::from(r < c && r + 1 < m);
+            assert_eq!(
+                g.pred_count(grid.id(r, c)) as usize,
+                expected,
+                "block ({r},{c})"
+            );
+        }
+        // Diagonal blocks are the only roots.
+        let roots: Vec<_> = g.roots().collect();
+        assert_eq!(roots.len(), m);
+    }
+
+    #[test]
+    fn triangle_graph_is_acyclic_and_critical_path() {
+        for m in 1..=10 {
+            let g = triangle_graph(m);
+            assert!(g.topological_order().is_some(), "m={m}");
+            // Successors move up or right only, so the longest chain from a
+            // diagonal root (r, r) to the apex (0, m-1) makes r up-moves and
+            // m-1-r right-moves: m tasks regardless of the root.
+            assert_eq!(g.critical_path_len(), m, "m={m}");
+        }
+    }
+
+    #[test]
+    fn triangle_graph_transitively_covers_full_dependences() {
+        // Check that when (r, c) runs, every (r, k) and (k, c) has run — over
+        // the sequential executor's order.
+        let m = 8;
+        let grid = TriangleGrid::new(m);
+        let g = triangle_graph(m);
+        let order = g.topological_order().unwrap();
+        let mut pos = vec![0; g.len()];
+        for (p, &t) in order.iter().enumerate() {
+            pos[t] = p;
+        }
+        for (r, c) in grid.iter() {
+            let me = pos[grid.id(r, c)];
+            for k in r..c {
+                assert!(pos[grid.id(r, k)] < me, "({r},{k}) before ({r},{c})");
+                assert!(
+                    pos[grid.id(k + 1, c)] < me,
+                    "({},{c}) before ({r},{c})",
+                    k + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scheduling_grid_covers_all_blocks_once() {
+        for (m, sb) in [(1, 1), (5, 2), (8, 3), (9, 4), (16, 16), (7, 10)] {
+            let sg = scheduling_grid(m, sb);
+            let grid = TriangleGrid::new(m);
+            let mut seen = vec![false; grid.len()];
+            for task in &sg.members {
+                for &(r, c) in task {
+                    let id = grid.id(r, c);
+                    assert!(!seen[id], "block ({r},{c}) in two tasks");
+                    seen[id] = true;
+                }
+            }
+            assert!(seen.into_iter().all(|s| s), "m={m} sb={sb}");
+        }
+    }
+
+    #[test]
+    fn scheduling_grid_member_order_is_dependence_safe() {
+        let sg = scheduling_grid(9, 3);
+        for task in &sg.members {
+            for (idx, &(r, c)) in task.iter().enumerate() {
+                // If the left / below neighbours are in the same task they
+                // must appear earlier.
+                for (jdx, &(r2, c2)) in task.iter().enumerate() {
+                    if (r2, c2) == (r, c.wrapping_sub(1)) || (r2, c2) == (r + 1, c) {
+                        assert!(jdx < idx, "({r2},{c2}) must precede ({r},{c})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scheduling_grid_degenerates_to_block_graph() {
+        // sb = 1 must reproduce the fine-grained triangle graph shape.
+        let m = 6;
+        let sg = scheduling_grid(m, 1);
+        let fine = triangle_graph(m);
+        assert_eq!(sg.graph.len(), fine.len());
+        assert_eq!(sg.graph.edge_count(), fine.edge_count());
+        assert!(sg.members.iter().all(|ms| ms.len() == 1));
+    }
+
+    #[test]
+    fn scheduling_grid_single_task_when_sb_big() {
+        let sg = scheduling_grid(5, 100);
+        assert_eq!(sg.graph.len(), 1);
+        assert_eq!(sg.members[0].len(), 15);
+    }
+}

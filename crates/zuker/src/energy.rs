@@ -1,0 +1,141 @@
+//! The synthetic nearest-neighbour energy model.
+//!
+//! Energies are integers in tenths of kcal/mol (more negative = more
+//! stable), shaped like the Turner rules: stacking two adjacent base pairs
+//! is stabilizing (GC-on-GC strongest), loops pay length-dependent
+//! penalties, multibranch loops pay affine costs. The absolute values are
+//! synthetic — the paper's experiments measure the DP kernel, not
+//! thermochemistry (see the substitution table in DESIGN.md).
+
+use crate::sequence::Base;
+
+/// "Infinite" energy for impossible states (safe against one addition).
+pub const INF: i32 = i32::MAX / 4;
+
+/// The energy model parameters.
+#[derive(Debug, Clone)]
+pub struct EnergyModel {
+    /// Minimum unpaired bases inside a hairpin loop.
+    pub min_hairpin: usize,
+    /// Maximum internal-loop size considered (Zuker bounds this; 30 in
+    /// practice).
+    pub max_internal: usize,
+    /// Multibranch closing penalty `a`.
+    pub multi_close: i32,
+    /// Multibranch per-branch penalty `b`.
+    pub multi_branch: i32,
+    /// Multibranch per-unpaired-base penalty `c`.
+    pub multi_unpaired: i32,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self {
+            min_hairpin: 3,
+            max_internal: 30,
+            multi_close: 34,
+            multi_branch: 4,
+            multi_unpaired: 0,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Strength index of a pair for the stacking table (GC=0, AU=1, GU=2),
+    /// or `None` if unpairable.
+    fn pair_class(a: Base, b: Base) -> Option<usize> {
+        use Base::*;
+        match (a, b) {
+            (G, C) | (C, G) => Some(0),
+            (A, U) | (U, A) => Some(1),
+            (G, U) | (U, G) => Some(2),
+            _ => None,
+        }
+    }
+
+    /// Whether `(a, b)` can form a pair.
+    pub fn can_pair(&self, a: Base, b: Base) -> bool {
+        Self::pair_class(a, b).is_some()
+    }
+
+    /// Stacking energy of pair `(a, b)` directly enclosing pair `(c, d)`
+    /// (both must be pairable; always stabilizing).
+    pub fn stack(&self, a: Base, b: Base, c: Base, d: Base) -> i32 {
+        let outer = Self::pair_class(a, b).expect("outer pair invalid");
+        let inner = Self::pair_class(c, d).expect("inner pair invalid");
+        // Synthetic Turner-like table (tenth kcal/mol):
+        // GC/GC strongest, GU/GU weakest.
+        const TABLE: [[i32; 3]; 3] = [
+            [-33, -24, -15], // GC on {GC, AU, GU}
+            [-24, -11, -9],  // AU on …
+            [-15, -9, -5],   // GU on …
+        ];
+        TABLE[outer][inner]
+    }
+
+    /// Hairpin-loop penalty for `len` unpaired bases (`len ≥ min_hairpin`).
+    pub fn hairpin(&self, len: usize) -> i32 {
+        if len < self.min_hairpin {
+            return INF;
+        }
+        // Jacobson–Stockmayer-like: base + logarithmic growth.
+        let base = 45i32;
+        base + (10.0 * (len as f64 / self.min_hairpin as f64).ln()) as i32
+    }
+
+    /// Internal-loop / bulge penalty for `l1` and `l2` unpaired bases on the
+    /// two sides (`l1 + l2 ≥ 1`; the `(0,0)` case is stacking, not a loop).
+    pub fn internal(&self, l1: usize, l2: usize) -> i32 {
+        let total = l1 + l2;
+        debug_assert!(total >= 1);
+        if total > self.max_internal {
+            return INF;
+        }
+        let asym = l1.abs_diff(l2) as i32;
+        20 + 11 * (total as f64).ln() as i32 + 3 * asym.min(10)
+    }
+
+    /// Multibranch closing penalty (`a` + contributions added per branch).
+    pub fn multi_close(&self) -> i32 {
+        self.multi_close
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequence::Base::*;
+
+    #[test]
+    fn stacking_is_stabilizing_and_symmetric_in_strength() {
+        let m = EnergyModel::default();
+        assert!(m.stack(G, C, G, C) < m.stack(A, U, A, U));
+        assert!(m.stack(A, U, A, U) < 0);
+        assert_eq!(m.stack(G, C, A, U), m.stack(A, U, G, C));
+    }
+
+    #[test]
+    fn hairpin_minimum_enforced() {
+        let m = EnergyModel::default();
+        assert_eq!(m.hairpin(2), INF);
+        assert!(m.hairpin(3) < INF);
+        assert!(m.hairpin(3) > 0);
+        // Longer loops cost more.
+        assert!(m.hairpin(10) > m.hairpin(3));
+    }
+
+    #[test]
+    fn internal_loop_grows_with_size_and_asymmetry() {
+        let m = EnergyModel::default();
+        assert!(m.internal(1, 1) < m.internal(5, 5));
+        assert!(m.internal(1, 5) > m.internal(3, 3));
+        assert_eq!(m.internal(20, 20), INF); // beyond the bound
+    }
+
+    #[test]
+    fn unpairable_bases_rejected() {
+        let m = EnergyModel::default();
+        assert!(!m.can_pair(A, G));
+        assert!(m.can_pair(G, U));
+    }
+}

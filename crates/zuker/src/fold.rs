@@ -1,0 +1,599 @@
+//! The folding dynamic programs: exact (interleaved `V`/`WM`/`W`) and
+//! decoupled (stems-only `V'`, then the `W` closure on an `npdp-core`
+//! engine).
+
+use npdp_core::{DpValue, Engine, TriangularMatrix};
+
+use crate::energy::{EnergyModel, INF};
+use crate::sequence::Base;
+
+/// Dense `n × n` matrix for `V` (only `i < j` meaningful).
+#[derive(Debug, Clone)]
+pub struct VTable {
+    n: usize,
+    data: Vec<i32>,
+}
+
+impl VTable {
+    fn new(n: usize) -> Self {
+        Self {
+            n,
+            data: vec![INF; n * n],
+        }
+    }
+
+    /// `V(i, j)`: minimum energy of `s[i..=j]` with `(i, j)` paired.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> i32 {
+        self.data[i * self.n + j]
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize, j: usize, v: i32) {
+        self.data[i * self.n + j] = v;
+    }
+}
+
+/// Result of a fold.
+#[derive(Debug, Clone)]
+pub struct FoldResult {
+    /// Minimum free energy of the whole sequence (tenth kcal/mol; ≤ 0).
+    pub energy: i32,
+    /// The `W` table in half-open gap coordinates (side `n + 1`):
+    /// `w.get(i, j)` = minimum energy of `s[i..j)`.
+    pub w: TriangularMatrix<i32>,
+    /// The paired-energy table used for seeding/traceback.
+    pub v: VTable,
+    /// The multiloop-interior table `WM` (dense `n × n`), present only for
+    /// [`fold_exact`] — needed by the multibranch traceback.
+    pub wm: Option<Vec<i32>>,
+}
+
+/// Compute the stems-only table `V'` (hairpin + stack + bounded internal
+/// loops; no multibranch).
+pub fn v_stems(seq: &[Base], model: &EnergyModel) -> VTable {
+    let n = seq.len();
+    let mut v = VTable::new(n);
+    for span in 1..n {
+        for i in 0..n - span {
+            let j = i + span;
+            if !model.can_pair(seq[i], seq[j]) {
+                continue;
+            }
+            let mut best = model.hairpin(j - i - 1);
+            // Stack.
+            if j >= i + 3 && model.can_pair(seq[i + 1], seq[j - 1]) {
+                let inner = v.get(i + 1, j - 1);
+                if inner < INF {
+                    best = best.min(inner + model.stack(seq[i], seq[j], seq[i + 1], seq[j - 1]));
+                }
+            }
+            // Bounded internal loops / bulges.
+            for i2 in i + 1..j {
+                let l1 = i2 - i - 1;
+                if l1 > model.max_internal {
+                    break;
+                }
+                for j2 in (i2 + 1..j).rev() {
+                    let l2 = j - j2 - 1;
+                    if l1 + l2 == 0 {
+                        continue; // that's the stack case
+                    }
+                    if l1 + l2 > model.max_internal {
+                        break;
+                    }
+                    if !model.can_pair(seq[i2], seq[j2]) {
+                        continue;
+                    }
+                    let inner = v.get(i2, j2);
+                    if inner < INF {
+                        best = best.min(inner + model.internal(l1, l2));
+                    }
+                }
+            }
+            v.set(i, j, best.min(INF));
+        }
+    }
+    v
+}
+
+/// Seed triangle for the `W` closure in gap coordinates: side `n + 1`;
+/// `seed(i, i+1) = 0` (an unpaired base), `seed(i, j) = V'(i, j-1)` (the
+/// whole interval closed by one stem).
+pub fn w_seeds(seq: &[Base], model: &EnergyModel) -> TriangularMatrix<i32> {
+    let v = v_stems(seq, model);
+    w_seeds_from_v(seq.len(), &v)
+}
+
+/// Seeds from a precomputed `V` table.
+pub fn w_seeds_from_v(n: usize, v: &VTable) -> TriangularMatrix<i32> {
+    TriangularMatrix::from_fn(n + 1, |i, j| {
+        if j == i + 1 {
+            0
+        } else {
+            let val = v.get(i, j - 1);
+            if val >= INF {
+                i32::INFINITY
+            } else {
+                val
+            }
+        }
+    })
+}
+
+/// Fold with the decoupled pipeline: stems-only `V'` + the min-plus `W`
+/// closure executed by `engine`. This is the benchmark configuration: the
+/// O(n³) closure is exactly the paper's NPDP kernel.
+pub fn fold_with_engine<E: Engine<i32> + ?Sized>(
+    seq: &[Base],
+    model: &EnergyModel,
+    engine: &E,
+) -> FoldResult {
+    let n = seq.len();
+    let v = v_stems(seq, model);
+    let seeds = w_seeds_from_v(n, &v);
+    let w = engine.solve(&seeds);
+    let energy = if n == 0 { 0 } else { w.get(0, n).min(0) };
+    FoldResult {
+        energy,
+        w,
+        v,
+        wm: None,
+    }
+}
+
+/// The full Zuker recursion (serial): `V` with hairpin/stack/internal/
+/// multibranch, `WM` for multiloop interiors, `W` for the exterior.
+/// The correctness reference — validated against exhaustive enumeration.
+pub fn fold_exact(seq: &[Base], model: &EnergyModel) -> FoldResult {
+    let n = seq.len();
+    let mut v = VTable::new(n);
+    // WM(i, j): minimum multiloop-interior energy of s[i..=j] with ≥1
+    // branch, b per branch, c per unpaired base. Dense, INF default.
+    let mut wm = vec![INF; n * n];
+    let wm_at = |wm: &Vec<i32>, i: usize, j: usize| -> i32 { wm[i * n + j] };
+    // W in gap coordinates, exterior bases free.
+    let mut w = TriangularMatrix::<i32>::new_infinity(n + 1);
+    for i in 0..n {
+        w.set(i, i + 1, 0);
+    }
+
+    for span in 1..n {
+        for i in 0..n - span {
+            let j = i + span;
+            // --- V(i, j) ---
+            if model.can_pair(seq[i], seq[j]) {
+                let mut best = model.hairpin(j - i - 1);
+                if j >= i + 3 && model.can_pair(seq[i + 1], seq[j - 1]) {
+                    let inner = v.get(i + 1, j - 1);
+                    if inner < INF {
+                        best =
+                            best.min(inner + model.stack(seq[i], seq[j], seq[i + 1], seq[j - 1]));
+                    }
+                }
+                for i2 in i + 1..j {
+                    let l1 = i2 - i - 1;
+                    if l1 > model.max_internal {
+                        break;
+                    }
+                    for j2 in (i2 + 1..j).rev() {
+                        let l2 = j - j2 - 1;
+                        if l1 + l2 == 0 {
+                            continue;
+                        }
+                        if l1 + l2 > model.max_internal {
+                            break;
+                        }
+                        if !model.can_pair(seq[i2], seq[j2]) {
+                            continue;
+                        }
+                        let inner = v.get(i2, j2);
+                        if inner < INF {
+                            best = best.min(inner + model.internal(l1, l2));
+                        }
+                    }
+                }
+                // Multibranch: a (closing) + b (the closing pair's branch)
+                // + two or more interior branches via WM + WM.
+                if j > i + 2 {
+                    for k in i + 1..j - 1 {
+                        let (l, r) = (wm_at(&wm, i + 1, k), wm_at(&wm, k + 1, j - 1));
+                        if l < INF && r < INF {
+                            best = best
+                                .min(model.multi_close() + model.multi_branch + l + r);
+                        }
+                    }
+                }
+                v.set(i, j, best.min(INF));
+            }
+            // --- WM(i, j) ---
+            let mut best = INF;
+            let vij = v.get(i, j);
+            if vij < INF {
+                best = best.min(vij + model.multi_branch);
+            }
+            if j > i {
+                let left = wm_at(&wm, i, j - 1);
+                if left < INF {
+                    best = best.min(left + model.multi_unpaired);
+                }
+                let right = wm_at(&wm, i + 1, j);
+                if right < INF {
+                    best = best.min(right + model.multi_unpaired);
+                }
+                for k in i..j {
+                    let (l, r) = (wm_at(&wm, i, k), wm_at(&wm, k + 1, j));
+                    if l < INF && r < INF {
+                        best = best.min(l + r);
+                    }
+                }
+            }
+            wm[i * n + j] = best;
+            // --- W gap (i, j+1): interval s[i..=j] ---
+            let gi = i;
+            let gj = j + 1;
+            let mut bw = 0i32.min(w.get(gi, gj - 1)); // j unpaired
+            bw = bw.min(w.get(gi + 1, gj)); // i unpaired
+            if vij < INF {
+                bw = bw.min(vij);
+            }
+            for k in gi + 1..gj {
+                bw = bw.min(w.get(gi, k).saturating_add(w.get(k, gj)));
+            }
+            w.set(gi, gj, bw);
+        }
+    }
+    // Single bases already seeded; empty sequence:
+    let energy = if n == 0 { 0 } else { w.get(0, n).min(0) };
+    FoldResult {
+        energy,
+        w,
+        v,
+        wm: Some(wm),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequence::{hairpin_sequence, parse, random_sequence};
+    use npdp_core::SerialEngine;
+
+    #[test]
+    fn empty_and_tiny_sequences_fold_to_zero() {
+        let m = EnergyModel::default();
+        for s in ["", "A", "ACGU", "AAAAA"] {
+            let seq = parse(s);
+            if seq.len() < 2 {
+                continue;
+            }
+            let r = fold_exact(&seq, &m);
+            // Too short to form any hairpin with min loop 3 (needs ≥ 5
+            // bases): energy 0.
+            if seq.len() < 5 {
+                assert_eq!(r.energy, 0, "{s}");
+            }
+        }
+    }
+
+    #[test]
+    fn hairpin_folds_negative() {
+        let m = EnergyModel::default();
+        let seq = hairpin_sequence(6, 4, 1);
+        let r = fold_exact(&seq, &m);
+        assert!(r.energy < 0, "stable hairpin must fold, got {}", r.energy);
+        let rd = fold_with_engine(&seq, &m, &SerialEngine);
+        assert!(rd.energy < 0);
+    }
+
+    #[test]
+    fn decoupled_equals_exact_when_multiloops_disabled() {
+        let m = EnergyModel {
+            multi_close: INF, // no multibranch loops
+            ..Default::default()
+        };
+        for seed in 0..6 {
+            let seq = random_sequence(40, seed);
+            let exact = fold_exact(&seq, &m);
+            let dec = fold_with_engine(&seq, &m, &SerialEngine);
+            assert_eq!(exact.energy, dec.energy, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn exact_at_most_decoupled() {
+        // Multibranch loops only add options: exact mfe ≤ decoupled mfe.
+        let m = EnergyModel::default();
+        for seed in 0..6 {
+            let seq = random_sequence(60, seed + 100);
+            let exact = fold_exact(&seq, &m);
+            let dec = fold_with_engine(&seq, &m, &SerialEngine);
+            assert!(exact.energy <= dec.energy, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_w_closure() {
+        let m = EnergyModel::default();
+        let seq = random_sequence(90, 5);
+        let serial = fold_with_engine(&seq, &m, &SerialEngine);
+        let simd = fold_with_engine(&seq, &m, &npdp_core::SimdEngine::new(8));
+        let par = fold_with_engine(&seq, &m, &npdp_core::ParallelEngine::new(8, 2, 4));
+        assert_eq!(serial.w.first_difference(&simd.w), None);
+        assert_eq!(serial.w.first_difference(&par.w), None);
+        assert_eq!(serial.energy, simd.energy);
+        assert_eq!(serial.energy, par.energy);
+    }
+
+    /// Exhaustive enumeration: all non-crossing pair sets with the hairpin
+    /// minimum, scored with the same context rules as the recursion.
+    fn enumerate_best(seq: &[Base], model: &EnergyModel) -> i32 {
+        fn go(
+            seq: &[Base],
+            model: &EnergyModel,
+            pairs: &mut Vec<(usize, usize)>,
+            from: usize,
+            best: &mut i32,
+        ) {
+            let score = super::tests::score_structure(seq, pairs, model);
+            if score < *best {
+                *best = score;
+            }
+            let n = seq.len();
+            for i in from..n {
+                // Skip positions already inside a chosen pair region? Pairs
+                // are chosen in increasing i; enforce non-crossing and
+                // distinctness.
+                if pairs.iter().any(|&(a, b)| i == a || i == b) {
+                    continue;
+                }
+                for j in i + model.min_hairpin + 1..n {
+                    if !model.can_pair(seq[i], seq[j]) {
+                        continue;
+                    }
+                    if pairs.iter().any(|&(a, b)| {
+                        let crosses = (a < i && i <= b && b < j) || (i < a && a <= j && j < b);
+                        crosses || j == a || j == b
+                    }) {
+                        continue;
+                    }
+                    pairs.push((i, j));
+                    go(seq, model, pairs, i + 1, best);
+                    pairs.pop();
+                }
+            }
+        }
+        let mut best = 0;
+        go(seq, model, &mut Vec::new(), 0, &mut best);
+        best
+    }
+
+    /// Score a structure with the recursion's energy rules. Returns INF for
+    /// illegal structures.
+    pub(super) fn score_structure(
+        seq: &[Base],
+        pairs: &[(usize, usize)],
+        model: &EnergyModel,
+    ) -> i32 {
+        let mut total = 0i64;
+        for &(i, j) in pairs {
+            // Children: pairs directly nested inside (i, j).
+            let children: Vec<(usize, usize)> = pairs
+                .iter()
+                .copied()
+                .filter(|&(a, b)| i < a && b < j)
+                .filter(|&(a, b)| {
+                    !pairs
+                        .iter()
+                        .any(|&(c, d)| i < c && d < j && c < a && b < d)
+                })
+                .collect();
+            let contrib = match children.len() {
+                0 => model.hairpin(j - i - 1),
+                1 => {
+                    let (a, b) = children[0];
+                    let (l1, l2) = (a - i - 1, j - b - 1);
+                    if l1 + l2 == 0 {
+                        model.stack(seq[i], seq[j], seq[a], seq[b])
+                    } else {
+                        model.internal(l1, l2)
+                    }
+                }
+                k => {
+                    // Multibranch: a + b(closing + k branches) + c·unpaired.
+                    let inside: usize = j - i - 1;
+                    let covered: usize = children.iter().map(|&(a, b)| b - a + 1).sum();
+                    model.multi_close()
+                        + model.multi_branch * (k as i32 + 1)
+                        + model.multi_unpaired * (inside - covered) as i32
+                }
+            };
+            if contrib >= INF {
+                return INF;
+            }
+            total += contrib as i64;
+        }
+        total.clamp(i64::from(i32::MIN / 2), i64::from(INF)) as i32
+    }
+
+    #[test]
+    fn exact_matches_exhaustive_enumeration() {
+        let m = EnergyModel::default();
+        for seed in 0..10 {
+            let seq = random_sequence(13, seed * 3 + 1);
+            let exact = fold_exact(&seq, &m);
+            let brute = enumerate_best(&seq, &m);
+            assert_eq!(
+                exact.energy,
+                brute.min(0),
+                "seed {seed} seq {}",
+                crate::sequence::to_string(&seq)
+            );
+        }
+    }
+
+    #[test]
+    fn exact_matches_enumeration_on_engineered_hairpins() {
+        let m = EnergyModel::default();
+        for (stem, lp) in [(2, 3), (3, 4), (2, 5)] {
+            let seq = hairpin_sequence(stem, lp, 9);
+            let exact = fold_exact(&seq, &m);
+            let brute = enumerate_best(&seq, &m);
+            assert_eq!(exact.energy, brute.min(0), "stem={stem} loop={lp}");
+        }
+    }
+}
+
+/// Local folding: restrict both the stems table and the `W` closure to
+/// windows of at most `band` bases (the standard "maximum base-pair
+/// distance" restriction of genome-scale scans). Returns the table plus the
+/// most stable local window.
+///
+/// Work drops from Θ(n³) to Θ(n·band²).
+pub fn fold_local(
+    seq: &[Base],
+    model: &EnergyModel,
+    band: usize,
+    nb: usize,
+) -> (FoldResult, Option<(usize, usize, i32)>) {
+    use npdp_core::{BandedEngine, Engine};
+    let n = seq.len();
+    let v = v_stems_banded(seq, model, band);
+    let seeds = w_seeds_from_v(n, &v);
+    let w = BandedEngine::new(nb, band.max(1)).solve(&seeds);
+    // Most stable in-band window.
+    let mut best: Option<(usize, usize, i32)> = None;
+    for i in 0..n {
+        for j in i + 1..=n.min(i + band) {
+            let e = w.get(i, j);
+            if e < 0 && best.map(|(_, _, b)| e < b).unwrap_or(true) {
+                best = Some((i, j, e));
+            }
+        }
+    }
+    let energy = best.map(|(_, _, e)| e).unwrap_or(0);
+    (
+        FoldResult {
+            energy,
+            w,
+            v,
+            wm: None,
+        },
+        best,
+    )
+}
+
+/// Stems-only `V'` with pair distance capped at `band`.
+pub fn v_stems_banded(seq: &[Base], model: &EnergyModel, band: usize) -> VTable {
+    let n = seq.len();
+    let mut v = VTable::new(n);
+    for span in 1..n.min(band + 1) {
+        for i in 0..n - span {
+            let j = i + span;
+            if !model.can_pair(seq[i], seq[j]) {
+                continue;
+            }
+            let mut best = model.hairpin(j - i - 1);
+            if j >= i + 3 && model.can_pair(seq[i + 1], seq[j - 1]) {
+                let inner = v.get(i + 1, j - 1);
+                if inner < INF {
+                    best = best.min(inner + model.stack(seq[i], seq[j], seq[i + 1], seq[j - 1]));
+                }
+            }
+            for i2 in i + 1..j {
+                let l1 = i2 - i - 1;
+                if l1 > model.max_internal {
+                    break;
+                }
+                for j2 in (i2 + 1..j).rev() {
+                    let l2 = j - j2 - 1;
+                    if l1 + l2 == 0 {
+                        continue;
+                    }
+                    if l1 + l2 > model.max_internal {
+                        break;
+                    }
+                    if !model.can_pair(seq[i2], seq[j2]) {
+                        continue;
+                    }
+                    let inner = v.get(i2, j2);
+                    if inner < INF {
+                        best = best.min(inner + model.internal(l1, l2));
+                    }
+                }
+            }
+            v.set(i, j, best.min(INF));
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod local_tests {
+    use super::*;
+    use crate::sequence::{hairpin_sequence, random_sequence};
+    
+
+    #[test]
+    fn local_fold_with_full_band_matches_global() {
+        let m = EnergyModel::default();
+        let seq = random_sequence(60, 3);
+        let global = fold_with_engine(&seq, &m, &npdp_core::SerialEngine);
+        let (local, best) = fold_local(&seq, &m, 60, 8);
+        assert_eq!(local.w.get(0, 60), global.w.get(0, 60));
+        if global.energy < 0 {
+            let (_, _, e) = best.expect("stable window must be found");
+            assert!(e <= global.energy);
+        }
+    }
+
+    #[test]
+    fn local_windows_match_banded_reference() {
+        let m = EnergyModel::default();
+        let seq = random_sequence(80, 11);
+        let band = 25;
+        let (local, _) = fold_local(&seq, &m, band, 8);
+        // Reference: banded serial closure over banded seeds.
+        let v = v_stems_banded(&seq, &m, band);
+        let seeds = w_seeds_from_v(seq.len(), &v);
+        let reference = npdp_core::BandedEngine::solve_serial(&seeds, band);
+        for i in 0..seq.len() {
+            for j in i + 1..=seq.len().min(i + band) {
+                assert_eq!(local.w.get(i, j), reference.get(i, j), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn local_fold_finds_an_embedded_hairpin() {
+        let m = EnergyModel::default();
+        // A stable hairpin buried in unpairable poly-A flanks.
+        let mut seq = vec![crate::sequence::Base::A; 40];
+        let hp = hairpin_sequence(7, 4, 5);
+        let hp_start = seq.len();
+        seq.extend(hp.iter().copied());
+        let hp_end = seq.len();
+        seq.extend(vec![crate::sequence::Base::A; 40]);
+
+        let (_, best) = fold_local(&seq, &m, 30, 8);
+        let (i, j, e) = best.expect("hairpin must be detected");
+        assert!(e < 0);
+        // The window must overlap the planted hairpin.
+        assert!(i < hp_end && j > hp_start, "window ({i},{j}) misses the hairpin");
+    }
+
+    #[test]
+    fn banded_v_agrees_with_full_v_within_band() {
+        let m = EnergyModel::default();
+        let seq = random_sequence(50, 7);
+        let full = v_stems(&seq, &m);
+        let banded = v_stems_banded(&seq, &m, 20);
+        for i in 0..50 {
+            for j in i + 1..50 {
+                if j - i <= 20 {
+                    assert_eq!(banded.get(i, j), full.get(i, j), "({i},{j})");
+                }
+            }
+        }
+    }
+}

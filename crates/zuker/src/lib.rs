@@ -1,0 +1,53 @@
+//! # zuker — simplified Zuker RNA secondary-structure prediction
+//!
+//! The CellNPDP paper's motivating application (§I): the Zuker algorithm
+//! finds the RNA secondary structure of minimum free energy, and its `W`
+//! recurrence's bifurcation term,
+//!
+//! ```text
+//! W(i, j) = min(…, min over i ≤ k < j of W(i, k) + W(k+1, j))
+//! ```
+//!
+//! is exactly the nonserial polyadic min-plus closure. In *half-open gap
+//! coordinates* `e(i, j) = W over s[i..j)`, the bifurcation becomes the
+//! shared-endpoint form `e(i, k) + e(k, j)`, and the unpaired-base terms
+//! `W(i+1, j)` / `W(i, j-1)` are the `k = i+1` / `k = j-1` split candidates
+//! with single-base intervals seeded at 0 — so `W` **is** the closure of
+//! the paired-energy seeds `V`, computable by any `npdp-core` engine.
+//!
+//! ## Substitution note (DESIGN.md)
+//!
+//! The thermodynamic parameters are synthetic (Turner-like shapes, not the
+//! published tables), and two fold variants are provided:
+//!
+//! * [`fold::fold_exact`] — the full interleaved `V`/`W`/`WM` dynamic
+//!   program with proper multibranch loops, serial (the correctness
+//!   reference, validated against exhaustive enumeration);
+//! * [`fold::fold_with_engine`] — the *decoupled* benchmark configuration:
+//!   `V` is computed without the multibranch term (stem-loops only), then
+//!   `W` runs as a pure min-plus closure on the chosen engine. This keeps
+//!   the O(n³) NPDP kernel — the part the paper accelerates — exactly
+//!   intact while letting every engine (serial → CellNPDP) execute it.
+
+//! ```
+//! use npdp_core::ParallelEngine;
+//! use zuker::{fold_with_engine, hairpin_sequence, traceback, EnergyModel};
+//!
+//! let model = EnergyModel::default();
+//! let seq = hairpin_sequence(6, 4, 1);
+//! let fold = fold_with_engine(&seq, &model, &ParallelEngine::new(8, 2, 2));
+//! assert!(fold.energy < 0); // a stable stem forms
+//!
+//! let s = traceback(&seq, &model, &fold.w, &fold.v);
+//! assert!(s.validate(&seq, &model).is_ok());
+//! ```
+
+pub mod energy;
+pub mod fold;
+pub mod sequence;
+pub mod traceback;
+
+pub use energy::EnergyModel;
+pub use fold::{fold_exact, fold_local, fold_with_engine, w_seeds, FoldResult};
+pub use sequence::{hairpin_sequence, parse_fasta, random_sequence, Base, FastaRecord, Seq};
+pub use traceback::{score_full, score_stems, traceback, traceback_exact, Structure};

@@ -1,0 +1,246 @@
+//! RNA sequences and generators.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// An RNA base.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Base {
+    /// Adenine.
+    A,
+    /// Cytosine.
+    C,
+    /// Guanine.
+    G,
+    /// Uracil.
+    U,
+}
+
+impl Base {
+    /// Parse from a character (case-insensitive; `T` reads as `U`).
+    pub fn from_char(c: char) -> Option<Base> {
+        match c.to_ascii_uppercase() {
+            'A' => Some(Base::A),
+            'C' => Some(Base::C),
+            'G' => Some(Base::G),
+            'U' | 'T' => Some(Base::U),
+            _ => None,
+        }
+    }
+
+    /// Display character.
+    pub fn to_char(self) -> char {
+        match self {
+            Base::A => 'A',
+            Base::C => 'C',
+            Base::G => 'G',
+            Base::U => 'U',
+        }
+    }
+
+    /// Watson–Crick complement (G↔C, A↔U).
+    pub fn complement(self) -> Base {
+        match self {
+            Base::A => Base::U,
+            Base::U => Base::A,
+            Base::G => Base::C,
+            Base::C => Base::G,
+        }
+    }
+
+    /// Whether `(self, other)` can pair: Watson–Crick plus the GU wobble.
+    pub fn pairs_with(self, other: Base) -> bool {
+        matches!(
+            (self, other),
+            (Base::A, Base::U)
+                | (Base::U, Base::A)
+                | (Base::G, Base::C)
+                | (Base::C, Base::G)
+                | (Base::G, Base::U)
+                | (Base::U, Base::G)
+        )
+    }
+}
+
+/// An RNA sequence.
+pub type Seq = Vec<Base>;
+
+/// Parse a sequence from a string.
+///
+/// # Panics
+/// On characters outside `ACGUT` (case-insensitive).
+pub fn parse(s: &str) -> Seq {
+    s.chars()
+        .map(|c| Base::from_char(c).unwrap_or_else(|| panic!("invalid base '{c}'")))
+        .collect()
+}
+
+/// Render a sequence as a string.
+pub fn to_string(seq: &[Base]) -> String {
+    seq.iter().map(|b| b.to_char()).collect()
+}
+
+/// Uniform random sequence of length `n`.
+pub fn random_sequence(n: usize, seed: u64) -> Seq {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| match rng.random_range(0..4u8) {
+            0 => Base::A,
+            1 => Base::C,
+            2 => Base::G,
+            _ => Base::U,
+        })
+        .collect()
+}
+
+/// A sequence engineered to fold into a hairpin: `stem` complementary
+/// bases around a `loop_len` unpaired loop. Useful for tests with a known
+/// optimal shape.
+pub fn hairpin_sequence(stem: usize, loop_len: usize, seed: u64) -> Seq {
+    assert!(loop_len >= 3, "hairpin loops need at least 3 bases");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let left: Seq = (0..stem)
+        .map(|_| if rng.random_bool(0.5) { Base::G } else { Base::A })
+        .collect();
+    let mut seq = left.clone();
+    for _ in 0..loop_len {
+        // Loop bases that cannot pair with the stem (use C against G/A).
+        seq.push(Base::C);
+    }
+    for &b in left.iter().rev() {
+        seq.push(b.complement());
+    }
+    seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        let s = parse("ACGUacgut");
+        assert_eq!(to_string(&s), "ACGUACGUU");
+    }
+
+    #[test]
+    fn pairing_rules() {
+        assert!(Base::G.pairs_with(Base::C));
+        assert!(Base::G.pairs_with(Base::U)); // wobble
+        assert!(Base::A.pairs_with(Base::U));
+        assert!(!Base::A.pairs_with(Base::G));
+        assert!(!Base::C.pairs_with(Base::U));
+        assert!(!Base::A.pairs_with(Base::A));
+    }
+
+    #[test]
+    fn complement_involutive() {
+        for b in [Base::A, Base::C, Base::G, Base::U] {
+            assert_eq!(b.complement().complement(), b);
+            assert!(b.pairs_with(b.complement()));
+        }
+    }
+
+    #[test]
+    fn random_sequence_deterministic() {
+        assert_eq!(random_sequence(50, 7), random_sequence(50, 7));
+        assert_ne!(random_sequence(50, 7), random_sequence(50, 8));
+    }
+
+    #[test]
+    fn hairpin_sequence_shape() {
+        let s = hairpin_sequence(5, 4, 3);
+        assert_eq!(s.len(), 14);
+        // Stem positions pair across the loop.
+        for k in 0..5 {
+            assert!(s[k].pairs_with(s[13 - k]), "stem position {k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid base")]
+    fn parse_rejects_garbage() {
+        parse("ACGX");
+    }
+}
+
+/// A named sequence from a FASTA stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastaRecord {
+    /// Header line without the leading `>`.
+    pub name: String,
+    /// The sequence (whitespace and line breaks removed; `T` read as `U`).
+    pub seq: Seq,
+}
+
+/// Parse FASTA-formatted text into records. Lines before the first header
+/// are rejected; empty sequences are allowed (and skipped by callers that
+/// fold).
+///
+/// # Errors
+/// Returns the offending line on characters outside `ACGUT`/whitespace.
+pub fn parse_fasta(text: &str) -> Result<Vec<FastaRecord>, String> {
+    let mut records: Vec<FastaRecord> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('>') {
+            records.push(FastaRecord {
+                name: name.trim().to_string(),
+                seq: Vec::new(),
+            });
+        } else {
+            let rec = records
+                .last_mut()
+                .ok_or_else(|| format!("line {}: sequence before any '>' header", lineno + 1))?;
+            for c in line.chars() {
+                if c.is_whitespace() {
+                    continue;
+                }
+                let b = Base::from_char(c)
+                    .ok_or_else(|| format!("line {}: invalid base '{c}'", lineno + 1))?;
+                rec.seq.push(b);
+            }
+        }
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod fasta_tests {
+    use super::*;
+
+    #[test]
+    fn parses_multiple_records() {
+        let text = ">seq1 first\nACGU\nGGCC\n>seq2\nauau\n";
+        let recs = parse_fasta(text).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].name, "seq1 first");
+        assert_eq!(to_string(&recs[0].seq), "ACGUGGCC");
+        assert_eq!(to_string(&recs[1].seq), "AUAU");
+    }
+
+    #[test]
+    fn dna_reads_as_rna() {
+        let recs = parse_fasta(">x\nACGT\n").unwrap();
+        assert_eq!(to_string(&recs[0].seq), "ACGU");
+    }
+
+    #[test]
+    fn rejects_headerless_sequence() {
+        assert!(parse_fasta("ACGU\n").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_bases_with_line_number() {
+        let err = parse_fasta(">x\nACGU\nACGX\n").unwrap_err();
+        assert!(err.contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert_eq!(parse_fasta("").unwrap(), vec![]);
+    }
+}

@@ -1,0 +1,557 @@
+//! Traceback: recover an optimal secondary structure from the decoupled
+//! fold's tables, and validate it.
+
+use npdp_core::TriangularMatrix;
+
+use crate::energy::{EnergyModel, INF};
+use crate::fold::VTable;
+use crate::sequence::Base;
+
+/// A pseudoknot-free secondary structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Structure {
+    /// Sequence length.
+    pub n: usize,
+    /// Base pairs `(i, j)`, `i < j`, sorted by `i`.
+    pub pairs: Vec<(usize, usize)>,
+}
+
+impl Structure {
+    /// Dot-bracket notation.
+    pub fn dot_bracket(&self) -> String {
+        let mut s = vec!['.'; self.n];
+        for &(i, j) in &self.pairs {
+            s[i] = '(';
+            s[j] = ')';
+        }
+        s.into_iter().collect()
+    }
+
+    /// Validity: pairs sorted, disjoint, non-crossing, loops ≥ min hairpin,
+    /// and every pair chemically pairable.
+    pub fn validate(&self, seq: &[Base], model: &EnergyModel) -> Result<(), String> {
+        if seq.len() != self.n {
+            return Err("length mismatch".into());
+        }
+        let mut used = vec![false; self.n];
+        for &(i, j) in &self.pairs {
+            if i >= j || j >= self.n {
+                return Err(format!("bad pair ({i},{j})"));
+            }
+            if used[i] || used[j] {
+                return Err(format!("base reused in ({i},{j})"));
+            }
+            used[i] = true;
+            used[j] = true;
+            if !model.can_pair(seq[i], seq[j]) {
+                return Err(format!("unpairable bases at ({i},{j})"));
+            }
+            if j - i - 1 < model.min_hairpin
+                && !self
+                    .pairs
+                    .iter()
+                    .any(|&(a, b)| i < a && b < j)
+            {
+                return Err(format!("hairpin too short at ({i},{j})"));
+            }
+        }
+        for &(a, b) in &self.pairs {
+            for &(c, d) in &self.pairs {
+                if a < c && c < b && b < d {
+                    return Err(format!("crossing pairs ({a},{b}) × ({c},{d})"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Reconstruct an optimal structure from the decoupled fold's `W` closure
+/// (gap coordinates) and stems-only `V'` table.
+pub fn traceback(
+    seq: &[Base],
+    model: &EnergyModel,
+    w: &TriangularMatrix<i32>,
+    v: &VTable,
+) -> Structure {
+    let n = seq.len();
+    let mut pairs = Vec::new();
+    if n > 0 {
+        explain_w(seq, model, w, v, 0, n, &mut pairs);
+    }
+    pairs.sort_unstable();
+    Structure { n, pairs }
+}
+
+fn explain_w(
+    seq: &[Base],
+    model: &EnergyModel,
+    w: &TriangularMatrix<i32>,
+    v: &VTable,
+    i: usize,
+    j: usize,
+    pairs: &mut Vec<(usize, usize)>,
+) {
+    debug_assert!(i < j);
+    let target = w.get(i, j);
+    if j == i + 1 {
+        return; // single unpaired base
+    }
+    if target >= 0 {
+        // Nothing stabilizing in here: leave unpaired. (All-unpaired has
+        // energy 0 and every candidate ≥ target ≥ 0.)
+        if target == 0 {
+            return;
+        }
+    }
+    // Whole interval closed by one stem?
+    if v.get(i, j - 1) == target {
+        explain_v(seq, model, v, i, j - 1, pairs);
+        return;
+    }
+    // Otherwise a split must explain it.
+    for k in i + 1..j {
+        if w.get(i, k).saturating_add(w.get(k, j)) == target {
+            explain_w(seq, model, w, v, i, k, pairs);
+            explain_w(seq, model, w, v, k, j, pairs);
+            return;
+        }
+    }
+    unreachable!("W({i},{j}) = {target} not explained by seed or split");
+}
+
+fn explain_v(
+    seq: &[Base],
+    model: &EnergyModel,
+    v: &VTable,
+    i: usize,
+    j: usize,
+    pairs: &mut Vec<(usize, usize)>,
+) {
+    let target = v.get(i, j);
+    debug_assert!(target < INF);
+    pairs.push((i, j));
+    // Hairpin?
+    if model.hairpin(j - i - 1) == target {
+        return;
+    }
+    // Stack?
+    if j >= i + 3 && model.can_pair(seq[i + 1], seq[j - 1]) {
+        let inner = v.get(i + 1, j - 1);
+        if inner < INF && inner + model.stack(seq[i], seq[j], seq[i + 1], seq[j - 1]) == target {
+            explain_v(seq, model, v, i + 1, j - 1, pairs);
+            return;
+        }
+    }
+    // Internal loop?
+    for i2 in i + 1..j {
+        let l1 = i2 - i - 1;
+        if l1 > model.max_internal {
+            break;
+        }
+        for j2 in (i2 + 1..j).rev() {
+            let l2 = j - j2 - 1;
+            if l1 + l2 == 0 || l1 + l2 > model.max_internal {
+                continue;
+            }
+            if !model.can_pair(seq[i2], seq[j2]) {
+                continue;
+            }
+            let inner = v.get(i2, j2);
+            if inner < INF && inner + model.internal(l1, l2) == target {
+                explain_v(seq, model, v, i2, j2, pairs);
+                return;
+            }
+        }
+    }
+    unreachable!("V({i},{j}) = {target} not explained");
+}
+
+/// Score a *stems-only* structure with the model's rules (the decoupled
+/// energy semantics): every pair is a hairpin closer, a stack, or an
+/// internal loop; sibling stems at any level are free.
+pub fn score_stems(seq: &[Base], s: &Structure, model: &EnergyModel) -> i32 {
+    let mut total = 0i32;
+    for &(i, j) in &s.pairs {
+        let children: Vec<(usize, usize)> = s
+            .pairs
+            .iter()
+            .copied()
+            .filter(|&(a, b)| i < a && b < j)
+            .filter(|&(a, b)| {
+                !s.pairs
+                    .iter()
+                    .any(|&(c, d)| i < c && d < j && c < a && b < d)
+            })
+            .collect();
+        total += match children.len() {
+            0 => model.hairpin(j - i - 1),
+            1 => {
+                let (a, b) = children[0];
+                let (l1, l2) = (a - i - 1, j - b - 1);
+                if l1 + l2 == 0 {
+                    model.stack(seq[i], seq[j], seq[a], seq[b])
+                } else {
+                    model.internal(l1, l2)
+                }
+            }
+            _ => INF, // multibranch does not occur in decoupled structures
+        };
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fold::fold_with_engine;
+    use crate::sequence::{hairpin_sequence, random_sequence};
+    use npdp_core::SerialEngine;
+
+    fn fold_and_trace(seq: &[Base]) -> (i32, Structure) {
+        let m = EnergyModel::default();
+        let r = fold_with_engine(seq, &m, &SerialEngine);
+        let s = traceback(seq, &m, &r.w, &r.v);
+        (r.energy, s)
+    }
+
+    #[test]
+    fn traceback_hairpin() {
+        let seq = hairpin_sequence(6, 4, 2);
+        let (energy, s) = fold_and_trace(&seq);
+        assert!(energy < 0);
+        assert!(!s.pairs.is_empty());
+        s.validate(&seq, &EnergyModel::default()).unwrap();
+        // The dot-bracket must be balanced.
+        let db = s.dot_bracket();
+        assert_eq!(db.matches('(').count(), db.matches(')').count());
+    }
+
+    #[test]
+    fn traceback_energy_consistent() {
+        let m = EnergyModel::default();
+        for seed in 0..8 {
+            let seq = random_sequence(50, seed * 11 + 3);
+            let r = fold_with_engine(&seq, &m, &SerialEngine);
+            let s = traceback(&seq, &m, &r.w, &r.v);
+            s.validate(&seq, &m).unwrap();
+            assert_eq!(
+                score_stems(&seq, &s, &m),
+                r.energy,
+                "seed {seed}: structure energy must equal the DP optimum"
+            );
+        }
+    }
+
+    #[test]
+    fn unpaired_sequence_traces_to_empty() {
+        // Poly-A cannot pair at all.
+        let seq = vec![crate::sequence::Base::A; 30];
+        let (energy, s) = fold_and_trace(&seq);
+        assert_eq!(energy, 0);
+        assert!(s.pairs.is_empty());
+        assert_eq!(s.dot_bracket(), ".".repeat(30));
+    }
+
+    #[test]
+    fn validate_catches_crossing() {
+        let m = EnergyModel::default();
+        let seq = random_sequence(12, 1);
+        let s = Structure {
+            n: 12,
+            pairs: vec![(0, 6), (3, 9)],
+        };
+        assert!(s.validate(&seq, &m).is_err());
+    }
+
+    #[test]
+    fn validate_catches_short_hairpin() {
+        let m = EnergyModel::default();
+        let seq = crate::sequence::parse("GCGC");
+        let s = Structure {
+            n: 4,
+            pairs: vec![(0, 3)],
+        };
+        assert!(s.validate(&seq, &m).is_err());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exact (multibranch) traceback
+// ---------------------------------------------------------------------------
+
+/// Score a structure under the *full* model (multibranch loops allowed):
+/// every pair is classified by its directly-nested children as hairpin,
+/// stack/internal, or multiloop; exterior branches are free.
+pub fn score_full(seq: &[Base], s: &Structure, model: &EnergyModel) -> i32 {
+    let mut total = 0i64;
+    for &(i, j) in &s.pairs {
+        let children: Vec<(usize, usize)> = s
+            .pairs
+            .iter()
+            .copied()
+            .filter(|&(a, b)| i < a && b < j)
+            .filter(|&(a, b)| {
+                !s.pairs
+                    .iter()
+                    .any(|&(c, d)| i < c && d < j && c < a && b < d)
+            })
+            .collect();
+        let contrib = match children.len() {
+            0 => model.hairpin(j - i - 1),
+            1 => {
+                let (a, b) = children[0];
+                let (l1, l2) = (a - i - 1, j - b - 1);
+                if l1 + l2 == 0 {
+                    model.stack(seq[i], seq[j], seq[a], seq[b])
+                } else {
+                    model.internal(l1, l2)
+                }
+            }
+            k => {
+                let inside = j - i - 1;
+                let covered: usize = children.iter().map(|&(a, b)| b - a + 1).sum();
+                model.multi_close()
+                    + model.multi_branch * (k as i32 + 1)
+                    + model.multi_unpaired * (inside - covered) as i32
+            }
+        };
+        if contrib >= INF {
+            return INF;
+        }
+        total += i64::from(contrib);
+    }
+    total.clamp(i64::from(i32::MIN / 2), i64::from(INF)) as i32
+}
+
+/// Traceback for the exact fold (multibranch loops included). Requires a
+/// [`crate::fold::FoldResult`] from [`crate::fold::fold_exact`] (it carries
+/// the `WM` table).
+///
+/// # Panics
+/// If `r.wm` is `None` (decoupled folds trace with [`traceback`]).
+pub fn traceback_exact(
+    seq: &[Base],
+    model: &EnergyModel,
+    r: &crate::fold::FoldResult,
+) -> Structure {
+    let wm = r
+        .wm
+        .as_ref()
+        .expect("traceback_exact needs fold_exact's WM table");
+    let n = seq.len();
+    let mut pairs = Vec::new();
+    if n > 0 {
+        let tb = ExactTb {
+            seq,
+            model,
+            w: &r.w,
+            v: &r.v,
+            wm,
+            n,
+        };
+        tb.explain_w(0, n, &mut pairs);
+    }
+    pairs.sort_unstable();
+    Structure { n, pairs }
+}
+
+struct ExactTb<'a> {
+    seq: &'a [Base],
+    model: &'a EnergyModel,
+    w: &'a TriangularMatrix<i32>,
+    v: &'a VTable,
+    wm: &'a [i32],
+    n: usize,
+}
+
+impl ExactTb<'_> {
+    fn wm_at(&self, i: usize, j: usize) -> i32 {
+        self.wm[i * self.n + j]
+    }
+
+    /// Explain `W(i, j)` (gap coordinates).
+    fn explain_w(&self, i: usize, j: usize, pairs: &mut Vec<(usize, usize)>) {
+        debug_assert!(i < j);
+        let target = self.w.get(i, j);
+        if j == i + 1 || target == 0 {
+            return; // unpaired
+        }
+        if j >= i + 2 && self.v.get(i, j - 1) == target {
+            self.explain_v(i, j - 1, pairs);
+            return;
+        }
+        for k in i + 1..j {
+            if self.w.get(i, k).saturating_add(self.w.get(k, j)) == target {
+                self.explain_w(i, k, pairs);
+                self.explain_w(k, j, pairs);
+                return;
+            }
+        }
+        unreachable!("W({i},{j}) = {target} unexplained in exact traceback");
+    }
+
+    /// Explain `V(i, j)` (sequence coordinates, `(i, j)` paired).
+    fn explain_v(&self, i: usize, j: usize, pairs: &mut Vec<(usize, usize)>) {
+        let target = self.v.get(i, j);
+        debug_assert!(target < INF);
+        pairs.push((i, j));
+        let m = self.model;
+        if m.hairpin(j - i - 1) == target {
+            return;
+        }
+        if j >= i + 3 && m.can_pair(self.seq[i + 1], self.seq[j - 1]) {
+            let inner = self.v.get(i + 1, j - 1);
+            if inner < INF
+                && inner + m.stack(self.seq[i], self.seq[j], self.seq[i + 1], self.seq[j - 1])
+                    == target
+            {
+                self.explain_v(i + 1, j - 1, pairs);
+                return;
+            }
+        }
+        for i2 in i + 1..j {
+            let l1 = i2 - i - 1;
+            if l1 > m.max_internal {
+                break;
+            }
+            for j2 in (i2 + 1..j).rev() {
+                let l2 = j - j2 - 1;
+                if l1 + l2 == 0 || l1 + l2 > m.max_internal {
+                    continue;
+                }
+                if !m.can_pair(self.seq[i2], self.seq[j2]) {
+                    continue;
+                }
+                let inner = self.v.get(i2, j2);
+                if inner < INF && inner + m.internal(l1, l2) == target {
+                    self.explain_v(i2, j2, pairs);
+                    return;
+                }
+            }
+        }
+        // Multibranch: a + b + WM(i+1, k) + WM(k+1, j-1).
+        if j > i + 2 {
+            for k in i + 1..j - 1 {
+                let (l, r) = (self.wm_at(i + 1, k), self.wm_at(k + 1, j - 1));
+                if l < INF && r < INF && m.multi_close() + m.multi_branch + l + r == target {
+                    self.explain_wm(i + 1, k, pairs);
+                    self.explain_wm(k + 1, j - 1, pairs);
+                    return;
+                }
+            }
+        }
+        unreachable!("V({i},{j}) = {target} unexplained in exact traceback");
+    }
+
+    /// Explain `WM(i, j)` (sequence coordinates, ≥ 1 branch).
+    fn explain_wm(&self, i: usize, j: usize, pairs: &mut Vec<(usize, usize)>) {
+        let target = self.wm_at(i, j);
+        debug_assert!(target < INF, "WM({i},{j}) must be reachable");
+        let m = self.model;
+        let vij = self.v.get(i, j);
+        if vij < INF && vij + m.multi_branch == target {
+            self.explain_v(i, j, pairs);
+            return;
+        }
+        if j > i {
+            let left = self.wm_at(i, j - 1);
+            if left < INF && left + m.multi_unpaired == target {
+                self.explain_wm(i, j - 1, pairs);
+                return;
+            }
+            let right = self.wm_at(i + 1, j);
+            if right < INF && right + m.multi_unpaired == target {
+                self.explain_wm(i + 1, j, pairs);
+                return;
+            }
+            for k in i..j {
+                let (l, r) = (self.wm_at(i, k), self.wm_at(k + 1, j));
+                if l < INF && r < INF && l + r == target {
+                    self.explain_wm(i, k, pairs);
+                    self.explain_wm(k + 1, j, pairs);
+                    return;
+                }
+            }
+        }
+        unreachable!("WM({i},{j}) = {target} unexplained in exact traceback");
+    }
+}
+
+#[cfg(test)]
+mod exact_tests {
+    use super::*;
+    use crate::fold::fold_exact;
+    use crate::sequence::{hairpin_sequence, random_sequence};
+
+    #[test]
+    fn exact_traceback_valid_and_energy_consistent() {
+        let m = EnergyModel::default();
+        for seed in 0..10 {
+            let seq = random_sequence(60, seed * 13 + 1);
+            let r = fold_exact(&seq, &m);
+            let s = traceback_exact(&seq, &m, &r);
+            s.validate(&seq, &m).unwrap();
+            assert_eq!(score_full(&seq, &s, &m), r.energy, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn exact_traceback_finds_multibranch_when_profitable() {
+        // Two stable hairpins enclosed by a strong outer stem: the optimal
+        // structure is a multiloop. Construct it explicitly.
+        let m = EnergyModel::default();
+        let mut found_multibranch = false;
+        for seed in 0..20 {
+            let inner1 = hairpin_sequence(5, 3, seed);
+            let inner2 = hairpin_sequence(5, 3, seed + 100);
+            // G...inner1 inner2...C wrapped in a GC stem of 4.
+            let mut seq = vec![crate::sequence::Base::G; 4];
+            seq.extend(inner1);
+            seq.push(crate::sequence::Base::A);
+            seq.extend(inner2);
+            seq.extend(vec![crate::sequence::Base::C; 4]);
+            let r = fold_exact(&seq, &m);
+            let s = traceback_exact(&seq, &m, &r);
+            s.validate(&seq, &m).unwrap();
+            assert_eq!(score_full(&seq, &s, &m), r.energy);
+            // Multibranch = some pair with ≥2 direct children.
+            for &(i, j) in &s.pairs {
+                let children = s
+                    .pairs
+                    .iter()
+                    .filter(|&&(a, b)| i < a && b < j)
+                    .filter(|&&(a, b)| {
+                        !s.pairs.iter().any(|&(c, d)| i < c && d < j && c < a && b < d)
+                    })
+                    .count();
+                if children >= 2 {
+                    found_multibranch = true;
+                }
+            }
+        }
+        assert!(found_multibranch, "no multiloop found in any engineered case");
+    }
+
+    #[test]
+    fn exact_and_decoupled_tracebacks_agree_when_multiloops_off() {
+        let m = EnergyModel {
+            multi_close: INF,
+            ..Default::default()
+        };
+        let seq = random_sequence(50, 77);
+        let exact = fold_exact(&seq, &m);
+        let s = traceback_exact(&seq, &m, &exact);
+        s.validate(&seq, &m).unwrap();
+        assert_eq!(score_full(&seq, &s, &m), exact.energy);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs fold_exact")]
+    fn exact_traceback_rejects_decoupled_results() {
+        let m = EnergyModel::default();
+        let seq = random_sequence(20, 1);
+        let r = crate::fold::fold_with_engine(&seq, &m, &npdp_core::SerialEngine);
+        let _ = traceback_exact(&seq, &m, &r);
+    }
+}

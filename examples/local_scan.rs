@@ -1,0 +1,66 @@
+//! Genome-scale local folding scan: read FASTA, fold each record with a
+//! capped base-pair distance (the banded NPDP engine — Θ(n·band²) instead
+//! of Θ(n³)), and report the most stable window per record.
+//!
+//! ```text
+//! cargo run --release -p npdp --example local_scan [band]
+//! ```
+
+use npdp::rna::{fold_local, parse_fasta, sequence, EnergyModel};
+
+const DEMO_FASTA: &str = "\
+>tRNA-like (engineered stems)
+GGGGCCCCAAAACCCCGGGGAAAAGGGGCCCCAAAACCCCGGGG
+>random-120
+ACGUACGUGGCAUCGAUCGUAGCUAGCUAGCAUCGAUGCAUGCAUGCGAUCGAUCGAUGC
+AUGCAUGGCAUCGAUCGAUGCAUGCAUGCAUGCAUGCUAGCAUGCAUCGAUCGAUCGAUG
+>poly-A (cannot fold)
+AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA
+";
+
+fn main() {
+    let band: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(40);
+    let model = EnergyModel::default();
+
+    println!("local folding scan: max base-pair distance = {band} nt\n");
+    let records = parse_fasta(DEMO_FASTA).expect("demo FASTA parses");
+    for rec in &records {
+        if rec.seq.len() < 2 {
+            continue;
+        }
+        let (fold, best) = fold_local(&rec.seq, &model, band, 8);
+        print!("{:<28} {:>4} nt  ", rec.name, rec.seq.len());
+        match best {
+            Some((i, j, e)) => {
+                println!(
+                    "best window [{i:>3}, {j:>3})  ΔG = {:>6.1} kcal/mol",
+                    e as f64 / 10.0
+                );
+                // Show the window, marked under the sequence.
+                let text = sequence::to_string(&rec.seq);
+                println!("    {text}");
+                let mut marks = vec![' '; rec.seq.len()];
+                for m in marks.iter_mut().take(j).skip(i) {
+                    *m = '~';
+                }
+                println!("    {}", marks.into_iter().collect::<String>());
+            }
+            None => println!("no stable structure within the band"),
+        }
+        let _ = fold;
+    }
+
+    // Scaling demonstration: banded work grows linearly in n.
+    println!("banded scaling (random sequences, band = {band}):");
+    println!("{:>8} {:>12}", "n", "seconds");
+    for n in [500usize, 1000, 2000] {
+        let seq = npdp::rna::random_sequence(n, 7);
+        let t0 = std::time::Instant::now();
+        let _ = fold_local(&seq, &model, band, 8);
+        println!("{n:>8} {:>11.3}s", t0.elapsed().as_secs_f64());
+    }
+    println!("(full Θ(n³) folding would grow 8× per doubling; banded ≈ 2×)");
+}

@@ -1,0 +1,37 @@
+//! The other classic NPDP applications the paper names (§I): optimal
+//! matrix-chain parenthesization and optimal binary search trees.
+//!
+//! ```text
+//! cargo run --release -p npdp --example parenthesization
+//! ```
+
+use npdp::core::apps::{matrix_chain, optimal_bst};
+
+fn main() {
+    // --- Matrix chain (CLRS 15.2's example) ---
+    let dims = [30u64, 35, 15, 5, 10, 20, 25];
+    let mc = matrix_chain(&dims);
+    println!("== optimal matrix parenthesization ==");
+    println!(
+        "chain: {}",
+        dims.windows(2)
+            .enumerate()
+            .map(|(i, w)| format!("M{}({}×{})", i + 1, w[0], w[1]))
+            .collect::<Vec<_>>()
+            .join(" · ")
+    );
+    println!("optimal cost:    {} scalar multiplications", mc.optimal_cost());
+    println!("parenthesization: {}", mc.parenthesization());
+
+    // --- Optimal BST ---
+    println!("\n== optimal binary search tree ==");
+    let freq = [34i64, 8, 50, 5, 20, 12];
+    let bst = optimal_bst(&freq);
+    println!("key frequencies: {freq:?}");
+    println!("optimal expected cost: {}", bst.optimal_cost());
+    println!("root: key {}", bst.root().unwrap());
+
+    // Both recurrences have the paper's triangular, nonuniform-dependence
+    // structure — cell (i, j) needs every shorter interval it contains.
+    println!("\nboth are NPDP instances: d[i][j] built from all splits of (i, j)");
+}

@@ -1,0 +1,83 @@
+//! Watch the Fig. 8 protocol run: CellNPDP on multiple *simulated* SPEs
+//! with real PPE↔SPE mailbox traffic, plus the layout-prefetchability
+//! experiment that explains why modern hosts blunt part of the NDL gain.
+//!
+//! ```text
+//! cargo run --release -p npdp --example protocol_trace
+//! ```
+
+use npdp::cachesim::{stream_blocked, stream_original, CacheConfig, Hierarchy};
+use npdp::cell::functional_cellnpdp_multi_spe;
+use npdp::core::problem;
+use npdp::model::extensions::{critical_path_speedup_bound, min_size_for_full_utilization};
+use npdp::prelude::*;
+
+fn main() {
+    // --- The Fig. 8 protocol on simulated hardware ---
+    println!("== CellNPDP on 4 simulated SPEs (functional, mailbox protocol) ==");
+    let n = 96;
+    let seeds = problem::random_seeds_f32(n, 100.0, 21);
+    let host = SerialEngine.solve(&seeds);
+    let (sim, report) = functional_cellnpdp_multi_spe(&seeds, 8, 2, 4);
+    assert_eq!(host.first_difference(&sim), None);
+    println!("n = {n}, 8×8-cell memory blocks, 2×2 scheduling blocks, 4 SPEs");
+    println!("result: bit-identical to the host serial engine ✓");
+    println!(
+        "protocol: {} task assignments, {} completions, {} scheduler rounds",
+        report.assignments, report.completions, report.rounds
+    );
+    println!(
+        "work split across SPEs: {:?} tasks ({} SPU kernel invocations total)",
+        report.tasks_per_spe, report.kernel_calls
+    );
+
+    // --- The critical-path bound (model extension) ---
+    println!("\n== block-level critical path (perf-model extension) ==");
+    println!(
+        "n = 4096, 88-cell blocks: speedup bound m/3 = {:.1} — the paper's\n\
+         measured 15.7× on 16 SPEs is the structural ceiling, not a\n\
+         scheduler artifact.",
+        critical_path_speedup_bound(4096.0, 88.0)
+    );
+    println!(
+        "16 SPEs become fully usable from n ≈ {:.0}.",
+        min_size_for_full_utilization(88.0, 16.0)
+    );
+
+    // --- Layout prefetchability (why modern hosts shrink the NDL factor) --
+    println!("\n== stride-prefetcher vs the two layouts (cache hierarchy sim) ==");
+    let n = 384;
+    let mk = |pf: usize| {
+        Hierarchy::new(
+            CacheConfig { capacity_bytes: 8 * 1024, ways: 8, line_bytes: 64 },
+            CacheConfig { capacity_bytes: 128 * 1024, ways: 16, line_bytes: 64 },
+            pf,
+        )
+    };
+    let mut h = mk(0);
+    stream_original(&mut h, n, 4);
+    let orig_no = h.finish().l1.read_misses;
+    let mut h = mk(4);
+    stream_original(&mut h, n, 4);
+    let orig_pf = h.finish().l1.read_misses;
+    let mut h = mk(0);
+    stream_blocked(&mut h, n, 32, 4);
+    let ndl_no = h.finish().l1.read_misses;
+    let mut h = mk(4);
+    stream_blocked(&mut h, n, 32, 4);
+    let ndl_pf = h.finish().l1.read_misses;
+    println!("L1 demand misses at n = {n} (degree-4 stride prefetcher):");
+    println!(
+        "  triangular layout: {orig_no:>10} → {orig_pf:>10}  ({:.2}× better)",
+        orig_no as f64 / orig_pf as f64
+    );
+    println!(
+        "  NDL blocked:       {ndl_no:>10} → {ndl_pf:>10}  ({:.2}× better)",
+        ndl_no as f64 / ndl_pf as f64
+    );
+    println!(
+        "the triangular column walk has *non-uniform* strides (paper §III),\n\
+         so even a stride prefetcher cannot lock on; the contiguous NDL is\n\
+         trivially prefetchable."
+    );
+}

@@ -1,0 +1,231 @@
+//! Cross-crate invariant #1 (DESIGN.md §5): every engine — serial, tiled,
+//! NDL, SIMD, parallel, wavefront, TanNPDP, and the functional Cell
+//! simulator — produces bit-identical DP tables.
+
+use npdp::cell::npdp::functional_cellnpdp_f32;
+use npdp::core::problem;
+use npdp::prelude::*;
+use proptest::prelude::*;
+
+fn all_f32_engines(workers: usize) -> Vec<(&'static str, Box<dyn Engine<f32>>)> {
+    vec![
+        ("serial", Box::new(SerialEngine)),
+        ("tiled-8", Box::new(TiledEngine::new(8))),
+        ("tiled-32", Box::new(TiledEngine::new(32))),
+        ("blocked-8", Box::new(BlockedEngine::new(8))),
+        ("blocked-16", Box::new(BlockedEngine::new(16))),
+        ("simd-8", Box::new(SimdEngine::new(8))),
+        ("simd-16", Box::new(SimdEngine::new(16))),
+        ("parallel-8-1", Box::new(ParallelEngine::new(8, 1, workers))),
+        ("parallel-16-2", Box::new(ParallelEngine::new(16, 2, workers))),
+        ("wavefront-8", Box::new(WavefrontEngine::new(8))),
+        ("tan-16", Box::new(TanEngine::new(16))),
+    ]
+}
+
+#[test]
+fn engines_bit_identical_on_dense_random_f32() {
+    for n in [1usize, 13, 47, 96, 150] {
+        let seeds = problem::random_seeds_f32(n, 100.0, n as u64);
+        let reference = SerialEngine.solve(&seeds);
+        for (name, engine) in all_f32_engines(4) {
+            let got = engine.solve(&seeds);
+            assert_eq!(
+                reference.first_difference(&got),
+                None,
+                "engine {name} diverged at n={n}"
+            );
+        }
+    }
+}
+
+#[test]
+fn engines_bit_identical_on_chain_seeds() {
+    let seeds = problem::chain_seeds_f32(120, 9);
+    let reference = SerialEngine.solve(&seeds);
+    for (name, engine) in all_f32_engines(3) {
+        assert_eq!(
+            reference.first_difference(&engine.solve(&seeds)),
+            None,
+            "engine {name} diverged on chain seeds"
+        );
+    }
+    // Chain optimum is analytic: d[i][j] = Σ w over the chain. Checked in
+    // integers — float chains are min-of-reassociated-sums, where different
+    // split trees legitimately round differently.
+    let n = 100usize;
+    let int_seeds = TriangularMatrix::from_fn(n, |i, j| {
+        if j == i + 1 {
+            ((i * 37) % 101 + 1) as i64
+        } else {
+            <i64 as DpValue>::INFINITY
+        }
+    });
+    let closed = ParallelEngine::new(8, 2, 4).solve(&int_seeds);
+    for i in 0..n - 1 {
+        let mut acc = 0i64;
+        for j in i + 1..n {
+            acc += int_seeds.get(j - 1, j);
+            assert_eq!(closed.get(i, j), acc, "chain cell ({i},{j})");
+        }
+    }
+}
+
+#[test]
+fn simulated_cell_bit_identical_to_host() {
+    for (n, nb) in [(24usize, 8usize), (40, 8), (52, 12)] {
+        let seeds = problem::random_seeds_f32(n, 50.0, (n + nb) as u64);
+        let host = SerialEngine.solve(&seeds);
+        let (sim, _) = functional_cellnpdp_f32(&seeds, nb);
+        assert_eq!(
+            host.first_difference(&sim),
+            None,
+            "simulated SPU diverged at n={n} nb={nb}"
+        );
+    }
+}
+
+#[test]
+fn integer_engines_exact() {
+    let seeds = problem::random_seeds_i64(90, 1000, 17);
+    let reference = SerialEngine.solve(&seeds);
+    let engines: Vec<(&str, Box<dyn Engine<i64>>)> = vec![
+        ("blocked", Box::new(BlockedEngine::new(8))),
+        ("simd", Box::new(SimdEngine::new(8))),
+        ("parallel", Box::new(ParallelEngine::new(8, 2, 4))),
+        ("tan", Box::new(TanEngine::new(32))),
+    ];
+    for (name, engine) in engines {
+        assert_eq!(
+            reference.first_difference(&engine.solve(&seeds)),
+            None,
+            "integer engine {name}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Property: for arbitrary sizes, block sides, worker counts and sparse
+    /// seeds, CellNPDP equals the original algorithm exactly.
+    #[test]
+    fn prop_parallel_equals_serial(
+        n in 1usize..120,
+        nb_pow in 0u32..3,
+        sb in 1usize..4,
+        workers in 1usize..9,
+        density in 0.05f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let nb = 8usize << nb_pow;
+        let seeds = problem::sparse_seeds_f32(n, density, seed);
+        let reference = SerialEngine.solve(&seeds);
+        let got = ParallelEngine::new(nb, sb, workers).solve(&seeds);
+        prop_assert_eq!(reference.first_difference(&got), None);
+    }
+
+    /// Property: the SIMD engine equals the scalar blocked engine on f64
+    /// (exercises the F64x2 kernel path).
+    #[test]
+    fn prop_simd_f64_equals_blocked(
+        n in 1usize..100,
+        seed in any::<u64>(),
+    ) {
+        let seeds = problem::random_seeds_f64(n, 10.0, seed);
+        let a = BlockedEngine::new(8).solve(&seeds);
+        let b = SimdEngine::new(8).solve(&seeds);
+        prop_assert_eq!(a.first_difference(&b), None);
+    }
+
+    /// Property: closure is idempotent (a fixed point) for every engine.
+    #[test]
+    fn prop_closure_idempotent(
+        n in 2usize..80,
+        seed in any::<u64>(),
+    ) {
+        let seeds = problem::random_seeds_f32(n, 100.0, seed);
+        let engine = SimdEngine::new(8);
+        let once = engine.solve(&seeds);
+        let twice = engine.solve(&once);
+        prop_assert_eq!(once.first_difference(&twice), None);
+    }
+
+    /// Property: the closure never increases a seed, and padding stays
+    /// inert through the blocked pipeline.
+    #[test]
+    fn prop_closure_monotone(
+        n in 2usize..90,
+        seed in any::<u64>(),
+    ) {
+        let seeds = problem::random_seeds_f32(n, 100.0, seed);
+        let out = ParallelEngine::new(8, 2, 4).solve(&seeds);
+        for (i, j, v) in out.iter() {
+            prop_assert!(v <= seeds.get(i, j), "cell ({},{}) increased", i, j);
+        }
+    }
+}
+
+mod more_invariants {
+    use npdp::cell::functional_cellnpdp_multi_spe;
+    use npdp::core::problem;
+    use npdp::core::MaxPlus;
+    use npdp::prelude::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// The multi-SPE functional simulator (mailbox protocol, several
+        /// simulated SPUs) equals the host serial engine for arbitrary
+        /// shapes.
+        #[test]
+        fn prop_multi_spe_simulator_matches(
+            n in 1usize..64,
+            sb in 1usize..4,
+            spes in 1usize..6,
+            seed in any::<u64>(),
+        ) {
+            let seeds = problem::random_seeds_f32(n, 100.0, seed);
+            let host = SerialEngine.solve(&seeds);
+            let (sim, report) = functional_cellnpdp_multi_spe(&seeds, 8, sb, spes);
+            prop_assert_eq!(host.first_difference(&sim), None);
+            prop_assert_eq!(report.assignments, report.completions);
+        }
+
+        /// Max-plus closure through the full engine stack: SIMD + parallel
+        /// equal serial under the reversed-order wrapper.
+        #[test]
+        fn prop_max_plus_engines_agree(
+            n in 1usize..80,
+            seed in any::<u64>(),
+        ) {
+            let base = problem::random_seeds_f32(n, 10.0, seed);
+            let seeds = TriangularMatrix::from_fn(n, |i, j| MaxPlus(base.get(i, j) - 5.0));
+            let a = SerialEngine.solve(&seeds);
+            let b = SimdEngine::new(8).solve(&seeds);
+            let c = ParallelEngine::new(8, 2, 3).solve(&seeds);
+            prop_assert_eq!(a.first_difference(&b), None);
+            prop_assert_eq!(a.first_difference(&c), None);
+            // Max closure dominates every seed.
+            for (i, j, v) in a.iter() {
+                prop_assert!(v.0 >= seeds.get(i, j).0);
+            }
+        }
+
+        /// Work-stealing and central-queue schedulers agree bit-for-bit.
+        #[test]
+        fn prop_schedulers_agree(
+            n in 1usize..100,
+            workers in 1usize..6,
+            seed in any::<u64>(),
+        ) {
+            let seeds = problem::random_seeds_f32(n, 100.0, seed);
+            let central = ParallelEngine::new(8, 2, workers).solve(&seeds);
+            let stealing = ParallelEngine::new(8, 2, workers)
+                .with_scheduler(Scheduler::WorkStealing)
+                .solve(&seeds);
+            prop_assert_eq!(central.first_difference(&stealing), None);
+        }
+    }
+}

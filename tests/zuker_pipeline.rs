@@ -1,0 +1,90 @@
+//! Cross-crate invariant #7 (DESIGN.md §5): the Zuker pipeline — seeds from
+//! the stems table, the W closure on any engine, traceback — is internally
+//! consistent and engine-independent.
+
+use npdp::prelude::*;
+use npdp::rna::{
+    fold_exact, fold_with_engine, random_sequence, traceback, EnergyModel,
+};
+use npdp::rna::traceback::score_stems;
+use proptest::prelude::*;
+
+#[test]
+fn w_closure_engine_independent() {
+    let model = EnergyModel::default();
+    for seed in 0..4 {
+        let seq = random_sequence(130, seed * 7 + 2);
+        let serial = fold_with_engine(&seq, &model, &SerialEngine);
+        for engine in [
+            Box::new(SimdEngine::new(8)) as Box<dyn Engine<i32>>,
+            Box::new(ParallelEngine::new(16, 2, 4)),
+            Box::new(WavefrontEngine::new(8)),
+            Box::new(TanEngine::new(32)),
+        ] {
+            let other = fold_with_engine(&seq, &model, engine.as_ref());
+            assert_eq!(serial.w.first_difference(&other.w), None, "seed {seed}");
+            assert_eq!(serial.energy, other.energy);
+        }
+    }
+}
+
+#[test]
+fn exact_never_worse_than_decoupled() {
+    let model = EnergyModel::default();
+    for seed in 0..8 {
+        let seq = random_sequence(70, seed);
+        let exact = fold_exact(&seq, &model);
+        let dec = fold_with_engine(&seq, &model, &SerialEngine);
+        assert!(
+            exact.energy <= dec.energy,
+            "seed {seed}: exact {} > decoupled {}",
+            exact.energy,
+            dec.energy
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Property: traceback yields a valid structure whose stems-only score
+    /// equals the DP optimum, for arbitrary sequences and engines.
+    #[test]
+    fn prop_traceback_sound(
+        len in 5usize..90,
+        seed in any::<u64>(),
+        par in any::<bool>(),
+    ) {
+        let model = EnergyModel::default();
+        let seq = random_sequence(len, seed);
+        let r = if par {
+            fold_with_engine(&seq, &model, &ParallelEngine::new(8, 2, 4))
+        } else {
+            fold_with_engine(&seq, &model, &SerialEngine)
+        };
+        let s = traceback(&seq, &model, &r.w, &r.v);
+        prop_assert!(s.validate(&seq, &model).is_ok());
+        prop_assert_eq!(score_stems(&seq, &s, &model), r.energy);
+        // Energy is never positive: the empty structure is always available.
+        prop_assert!(r.energy <= 0);
+    }
+
+    /// Property: W is monotone under concatenation — folding a prefix can
+    /// never be hurt by more sequence (the closure may only find better
+    /// splits): W(0, k) of the long fold ≤ standalone fold of the prefix…
+    /// in fact they are equal, since the closure over a prefix interval
+    /// only sees prefix seeds.
+    #[test]
+    fn prop_prefix_consistency(
+        len in 10usize..60,
+        cut in 5usize..10,
+        seed in any::<u64>(),
+    ) {
+        let model = EnergyModel::default();
+        let seq = random_sequence(len, seed);
+        let full = fold_with_engine(&seq, &model, &SerialEngine);
+        let prefix: Vec<_> = seq[..cut].to_vec();
+        let part = fold_with_engine(&prefix, &model, &SerialEngine);
+        prop_assert_eq!(full.w.get(0, cut), part.w.get(0, cut));
+    }
+}
