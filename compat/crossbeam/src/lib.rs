@@ -1,0 +1,363 @@
+//! Workspace-local stand-in for the `crossbeam` facade crate.
+//!
+//! The build environment has no access to crates.io, so the subset of
+//! crossbeam this repository uses is reimplemented here on `std` primitives:
+//!
+//! * [`queue::SegQueue`] — the central ready queue of the task pool,
+//! * [`utils::Backoff`] — bounded spin/yield backoff for idle workers,
+//! * [`deque`] — the work-stealing `Worker`/`Stealer`/`Injector` triple.
+//!
+//! The implementations are mutex-based rather than lock-free: semantics (and
+//! the public API surface the workspace touches) match crossbeam, throughput
+//! does not. That trade is acceptable because NPDP tasks are coarse — a block
+//! sweep costs orders of magnitude more than a queue operation — and the
+//! scheduler ablation benches compare *policies* (central vs stealing), which
+//! this preserves.
+
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Unbounded MPMC FIFO queue, API-compatible with
+    /// `crossbeam::queue::SegQueue` for the operations used here.
+    #[derive(Debug)]
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for SegQueue<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> SegQueue<T> {
+        pub fn new() -> Self {
+            Self {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        pub fn push(&self, value: T) {
+            self.inner.lock().unwrap().push_back(value);
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().unwrap().pop_front()
+        }
+
+        pub fn len(&self) -> usize {
+            self.inner.lock().unwrap().len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().unwrap().is_empty()
+        }
+    }
+}
+
+pub mod utils {
+    use std::cell::Cell;
+
+    const SPIN_LIMIT: u32 = 6;
+    const YIELD_LIMIT: u32 = 10;
+
+    /// Exponential backoff for spin loops, mirroring
+    /// `crossbeam::utils::Backoff`.
+    #[derive(Debug)]
+    pub struct Backoff {
+        step: Cell<u32>,
+    }
+
+    impl Default for Backoff {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl Backoff {
+        pub fn new() -> Self {
+            Self { step: Cell::new(0) }
+        }
+
+        pub fn reset(&self) {
+            self.step.set(0);
+        }
+
+        /// Spin briefly, escalating to `yield_now` once the spin budget is
+        /// spent — identical policy to crossbeam's `snooze`.
+        pub fn snooze(&self) {
+            let step = self.step.get();
+            if step <= SPIN_LIMIT {
+                for _ in 0..1u32 << step {
+                    std::hint::spin_loop();
+                }
+            } else {
+                std::thread::yield_now();
+            }
+            if step <= YIELD_LIMIT {
+                self.step.set(step + 1);
+            }
+        }
+
+        pub fn spin(&self) {
+            let step = self.step.get().min(SPIN_LIMIT);
+            for _ in 0..1u32 << step {
+                std::hint::spin_loop();
+            }
+            if self.step.get() <= YIELD_LIMIT {
+                self.step.set(self.step.get() + 1);
+            }
+        }
+
+        pub fn is_completed(&self) -> bool {
+            self.step.get() > YIELD_LIMIT
+        }
+    }
+}
+
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Result of a steal attempt, mirroring `crossbeam::deque::Steal`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        Empty,
+        Success(T),
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+
+        pub fn is_retry(&self) -> bool {
+            matches!(self, Steal::Retry)
+        }
+
+        pub fn is_success(&self) -> bool {
+            matches!(self, Steal::Success(_))
+        }
+
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        pub fn or_else<F: FnOnce() -> Steal<T>>(self, f: F) -> Steal<T> {
+            match self {
+                Steal::Success(v) => Steal::Success(v),
+                Steal::Retry => match f() {
+                    Steal::Empty => Steal::Retry,
+                    other => other,
+                },
+                Steal::Empty => f(),
+            }
+        }
+    }
+
+    impl<T> FromIterator<Steal<T>> for Steal<T> {
+        /// First success wins; a retry anywhere poisons an otherwise-empty
+        /// result into `Retry` — the same aggregation crossbeam documents.
+        fn from_iter<I: IntoIterator<Item = Steal<T>>>(iter: I) -> Self {
+            let mut retry = false;
+            for s in iter {
+                match s {
+                    Steal::Success(v) => return Steal::Success(v),
+                    Steal::Retry => retry = true,
+                    Steal::Empty => {}
+                }
+            }
+            if retry {
+                Steal::Retry
+            } else {
+                Steal::Empty
+            }
+        }
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Flavor {
+        Fifo,
+        Lifo,
+    }
+
+    /// Owner side of a work-stealing deque. The owner pushes/pops at one
+    /// end; stealers take from the other.
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+        flavor: Flavor,
+    }
+
+    /// Thief side of a [`Worker`]'s deque.
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Self {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Worker<T> {
+        pub fn new_lifo() -> Self {
+            Self {
+                inner: Arc::new(Mutex::new(VecDeque::new())),
+                flavor: Flavor::Lifo,
+            }
+        }
+
+        pub fn new_fifo() -> Self {
+            Self {
+                inner: Arc::new(Mutex::new(VecDeque::new())),
+                flavor: Flavor::Fifo,
+            }
+        }
+
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+
+        pub fn push(&self, value: T) {
+            self.inner.lock().unwrap().push_back(value);
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            let mut q = self.inner.lock().unwrap();
+            match self.flavor {
+                Flavor::Lifo => q.pop_back(),
+                Flavor::Fifo => q.pop_front(),
+            }
+        }
+
+        pub fn len(&self) -> usize {
+            self.inner.lock().unwrap().len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().unwrap().is_empty()
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steal one task from the cold end of the owner's deque.
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.lock().unwrap().pop_front() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+    }
+
+    /// Global injector queue shared by all workers.
+    #[derive(Debug)]
+    pub struct Injector<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        pub fn new() -> Self {
+            Self {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        pub fn push(&self, value: T) {
+            self.inner.lock().unwrap().push_back(value);
+        }
+
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.lock().unwrap().pop_front() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Move a batch from the injector into `dest`, returning one task
+        /// immediately (crossbeam's `steal_batch_and_pop`).
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut src = self.inner.lock().unwrap();
+            let first = match src.pop_front() {
+                Some(v) => v,
+                None => return Steal::Empty,
+            };
+            // Pull up to half of what remains (capped) over to the worker.
+            let batch = (src.len() / 2).min(16);
+            if batch > 0 {
+                let mut dst = dest.inner.lock().unwrap();
+                for _ in 0..batch {
+                    match src.pop_front() {
+                        Some(v) => dst.push_back(v),
+                        None => break,
+                    }
+                }
+            }
+            Steal::Success(first)
+        }
+
+        pub fn len(&self) -> usize {
+            self.inner.lock().unwrap().len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().unwrap().is_empty()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Steal, Worker};
+    use super::queue::SegQueue;
+
+    #[test]
+    fn segqueue_fifo() {
+        let q = SegQueue::new();
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn worker_lifo_stealer_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3)); // owner takes hot end
+        assert_eq!(s.steal(), Steal::Success(1)); // thief takes cold end
+        assert_eq!(w.pop(), Some(2));
+    }
+
+    #[test]
+    fn steal_collect_prefers_success() {
+        let all: Steal<u32> = [Steal::Empty, Steal::Retry, Steal::Success(7)]
+            .into_iter()
+            .collect();
+        assert_eq!(all, Steal::Success(7));
+        let retry: Steal<u32> = [Steal::Empty, Steal::Retry].into_iter().collect();
+        assert!(retry.is_retry());
+        let empty: Steal<u32> = [Steal::<u32>::Empty].into_iter().collect();
+        assert!(empty.is_empty());
+    }
+}

@@ -1,0 +1,183 @@
+//! Workspace-local stand-in for the slice of `rand` this repository uses.
+//!
+//! Crates.io is unreachable in the build environment, so `StdRng` here is a
+//! SplitMix64 generator — statistically fine for test-workload generation,
+//! deterministic per seed, *not* cryptographic (neither use in this repo
+//! needs it to be). The API mirrors rand 0.10's names (`RngExt::random`,
+//! `random_range`, `random_bool`, `SeedableRng::seed_from_u64`).
+
+/// Seedable generators (mirrors `rand::SeedableRng` for the one constructor
+/// the workspace calls).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly over their whole domain (the `random::<T>()`
+/// family). Floats sample uniformly in `[0, 1)`.
+pub trait Standard: Sized {
+    fn sample(rng: &mut rngs::StdRng) -> Self;
+}
+
+impl Standard for f32 {
+    fn sample(rng: &mut rngs::StdRng) -> Self {
+        // 24 mantissa bits → uniform on the 2^-24 grid in [0, 1).
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for f64 {
+    fn sample(rng: &mut rngs::StdRng) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn sample(rng: &mut rngs::StdRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample(rng: &mut rngs::StdRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample(rng: &mut rngs::StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Integer types usable as `random_range` bounds.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_below(rng: &mut rngs::StdRng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_below(rng: &mut rngs::StdRng, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "random_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                // Modulo bias is ≤ span/2^64 — irrelevant for the small test
+                // spans used here.
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (lo as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Extension methods every RNG exposes (mirrors rand 0.10's `Rng`/`RngExt`).
+pub trait RngExt {
+    fn next_u64(&mut self) -> u64;
+
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: AsStdRng,
+    {
+        T::sample(self.as_std_rng())
+    }
+
+    fn random_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: AsStdRng,
+    {
+        T::sample_below(self.as_std_rng(), range.start, range.end)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: AsStdRng,
+    {
+        debug_assert!((0.0..=1.0).contains(&p), "random_bool: p out of range");
+        f64::sample(self.as_std_rng()) < p
+    }
+}
+
+/// Helper so the extension methods can hand the concrete generator to the
+/// sampling traits (this shim has exactly one RNG type).
+pub trait AsStdRng {
+    fn as_std_rng(&mut self) -> &mut rngs::StdRng;
+}
+
+pub mod rngs {
+    use super::{AsStdRng, RngExt, SeedableRng};
+
+    /// SplitMix64 — the default generator of this shim.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { state: seed }
+        }
+    }
+
+    impl AsStdRng for StdRng {
+        fn as_std_rng(&mut self) -> &mut StdRng {
+            self
+        }
+    }
+
+    impl RngExt for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f32 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            let y: f64 = rng.random();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = rng.random_range(0..4u8);
+            assert!(v < 4);
+            let w = rng.random_range(-5i64..17);
+            assert!((-5..17).contains(&w));
+        }
+    }
+
+    #[test]
+    fn bool_probability_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!((0..100).all(|_| !rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+}

@@ -1,0 +1,257 @@
+//! Workspace-local stand-in for the slice of `rayon` this repository uses.
+//!
+//! Crates.io is unreachable in the build environment, so the wavefront
+//! engine and the TanNPDP baseline get their data parallelism from this
+//! shim instead: scoped `std::thread` fan-out with an atomic work counter
+//! (ranges) or contiguous chunking (mutable slices). `ThreadPool::install`
+//! pins the fan-out width through a thread-local, which is all the two
+//! engines rely on — rayon's work-stealing runtime is deliberately not
+//! reproduced (the repository's own `task-queue` crate covers that ground).
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSliceMut};
+}
+
+thread_local! {
+    /// Fan-out width installed by [`ThreadPool::install`]; 0 = default.
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of threads parallel iterators fan out to.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(Cell::get);
+    if installed > 0 {
+        return installed;
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` for the calls used here.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Error type kept for signature compatibility; building never fails.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self
+                .num_threads
+                .filter(|&n| n > 0)
+                .unwrap_or_else(current_num_threads),
+        })
+    }
+}
+
+/// A "pool" is just a pinned fan-out width; threads are scoped per
+/// operation, so there is nothing to keep alive between calls.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's width installed for any parallel
+    /// iterators it executes.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        let previous = INSTALLED_THREADS.with(|c| c.replace(self.num_threads));
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(previous);
+        op()
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Conversion into a parallel iterator (`rayon::iter::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    type Iter;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// Parallel iterator over a `Range<usize>`.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    /// Run `f` for every index, fanned out over scoped threads pulling from
+    /// a shared atomic cursor (dynamic load balance, like rayon).
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let start = self.range.start;
+        let len = self.range.end.saturating_sub(start);
+        let threads = current_num_threads().min(len);
+        if threads <= 1 {
+            for i in self.range {
+                f(i);
+            }
+            return;
+        }
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let cursor = &cursor;
+                let f = &f;
+                scope.spawn(move || loop {
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    if k >= len {
+                        break;
+                    }
+                    f(start + k);
+                });
+            }
+        });
+    }
+}
+
+/// `par_iter_mut` on slices (`rayon::iter::IntoParallelRefMutIterator`).
+pub trait ParallelSliceMut<T: Send> {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+impl<T: Send> ParallelSliceMut<T> for Vec<T> {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+/// Parallel iterator over `&mut [T]`.
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    pub fn enumerate(self) -> EnumerateMut<'a, T> {
+        EnumerateMut { slice: self.slice }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        EnumerateMut { slice: self.slice }.for_each(|(_, item)| f(item));
+    }
+}
+
+/// Enumerated parallel iterator over `&mut [T]`.
+pub struct EnumerateMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<T: Send> EnumerateMut<'_, T> {
+    /// Run `f` on every `(index, &mut item)`, splitting the slice into one
+    /// contiguous chunk per thread.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: for<'x> Fn((usize, &'x mut T)) + Sync,
+    {
+        let len = self.slice.len();
+        let threads = current_num_threads().min(len);
+        if threads <= 1 {
+            for pair in self.slice.iter_mut().enumerate() {
+                f(pair);
+            }
+            return;
+        }
+        let chunk = len.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (ci, chunk_slice) in self.slice.chunks_mut(chunk).enumerate() {
+                let f = &f;
+                scope.spawn(move || {
+                    for (k, item) in chunk_slice.iter_mut().enumerate() {
+                        f((ci * chunk + k, item));
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_range_covers_all_indices_once() {
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        (0..100).into_par_iter().for_each(|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_iter_mut_enumerate_indices_line_up() {
+        let mut v: Vec<usize> = vec![0; 257];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i * 2);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i * 2);
+        }
+    }
+
+    #[test]
+    fn install_pins_width() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 3));
+    }
+
+    #[test]
+    fn empty_range_is_fine() {
+        (5..5).into_par_iter().for_each(|_| panic!("no work"));
+    }
+}

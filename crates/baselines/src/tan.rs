@@ -120,20 +120,23 @@ impl TanEngine {
                     let (head, tail) = d.rows.split_at_mut(i_hi);
                     let block_rows = &mut head[i_lo..i_hi];
                     let tail = &tail[..]; // shared view of rows ≥ i_hi
-                    block_rows.par_iter_mut().enumerate().for_each(|(off, row)| {
-                        let i = i_lo + off;
-                        for j in j_lo.max(i + 1)..j_hi {
-                            let mut best = row[j - i - 1];
-                            for k in i_hi..j_lo {
-                                // d[i][k] is in this very row; d[k][j] in a
-                                // shared, final row of the tail split.
-                                let a = row[k - i - 1];
-                                let b = tail[k - i_hi][j - k - 1];
-                                best = T::min2(best, a + b);
+                    block_rows
+                        .par_iter_mut()
+                        .enumerate()
+                        .for_each(|(off, row)| {
+                            let i = i_lo + off;
+                            for j in j_lo.max(i + 1)..j_hi {
+                                let mut best = row[j - i - 1];
+                                for k in i_hi..j_lo {
+                                    // d[i][k] is in this very row; d[k][j] in a
+                                    // shared, final row of the tail split.
+                                    let a = row[k - i - 1];
+                                    let b = tail[k - i_hi][j - k - 1];
+                                    best = T::min2(best, a + b);
+                                }
+                                row[j - i - 1] = best;
                             }
-                            row[j - i - 1] = best;
-                        }
-                    });
+                        });
                 }
 
                 // Inner-dependence phase: k inside the block's own row or

@@ -1,12 +1,13 @@
 //! Engine-level benchmarks: the paper's optimization ladder on one problem
 //! size (the Criterion companion to repro-fig10b/fig12).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use baselines::TanEngine;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use npdp_core::{
     problem, BlockedEngine, Engine, ParallelEngine, SerialEngine, SimdEngine, TiledEngine,
     WavefrontEngine,
 };
+use npdp_metrics::Metrics;
 
 fn bench_engines(c: &mut Criterion) {
     let n = 512usize;
@@ -34,6 +35,24 @@ fn bench_engines(c: &mut Criterion) {
             b.iter(|| e.solve(&seeds));
         });
     }
+    g.finish();
+
+    // Metrics-layer overhead: plain solve vs solve_metered with the
+    // disabled (no-op) handle vs a live recorder. The no-op path must stay
+    // within noise of plain (<2% — one untaken branch per event).
+    let mut g = c.benchmark_group("metrics_overhead_n512_f32");
+    g.throughput(Throughput::Elements(relax));
+    g.sample_size(10);
+    let par = ParallelEngine::new(64, 2, workers);
+    g.bench_function("plain", |b| b.iter(|| par.solve(&seeds)));
+    g.bench_function("metered_noop", |b| {
+        let m = Metrics::noop();
+        b.iter(|| par.solve_metered(&seeds, &m))
+    });
+    g.bench_function("metered_recording", |b| {
+        let (m, _rec) = Metrics::recording();
+        b.iter(|| par.solve_metered(&seeds, &m))
+    });
     g.finish();
 
     // DP variant for the SP/DP ratio.

@@ -14,9 +14,7 @@ fn bench_fold(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("zuker_fold_256nt");
     g.sample_size(10);
-    g.bench_function("exact_interleaved", |b| {
-        b.iter(|| fold_exact(&seq, &model))
-    });
+    g.bench_function("exact_interleaved", |b| b.iter(|| fold_exact(&seq, &model)));
     g.bench_function("decoupled_serial", |b| {
         b.iter(|| fold_with_engine(&seq, &model, &SerialEngine))
     });

@@ -3,12 +3,16 @@
 //! trade-off), ready-queue discipline (PPE central queue vs work stealing),
 //! and the simplified dependence graph vs barriers.
 
-use bench::{header, host_workers, time_engine};
-use cell_sim::machine::{simulate_cellnpdp, simulate_cellnpdp_with_policy, CellConfig, QueuePolicy};
+use bench::{header, host_workers, json_out, time_engine, write_report, Report};
+use cell_sim::machine::{
+    simulate_cellnpdp, simulate_cellnpdp_with_policy, CellConfig, QueuePolicy,
+};
 use cell_sim::ppe::Precision;
 use npdp_core::{problem, ParallelEngine, Scheduler, WavefrontEngine};
+use npdp_metrics::json::Value;
 
 fn main() {
+    let json = json_out();
     header(
         "Ablations",
         "scheduling-block size, queue discipline, barriers vs task queue",
@@ -17,10 +21,15 @@ fn main() {
     let cfg = CellConfig::qs20();
     let prec = Precision::Single;
     let nb = cfg.block_side_for_bytes(32 * 1024, prec);
+    let mut report = Report::new("ablation");
+    report.set_param("precision", "f32").set_param("nb", nb);
 
     // --- Scheduling-block size on the simulated machine (paper §IV-B) ---
     println!("simulated QS20, n = 4096 SP, 16 SPEs: scheduling-block side sweep");
-    println!("{:<6} {:>9} {:>12} {:>12}", "sb", "tasks", "seconds", "imbalance");
+    println!(
+        "{:<6} {:>9} {:>12} {:>12}",
+        "sb", "tasks", "seconds", "imbalance"
+    );
     for sb in [1usize, 2, 3, 4, 6, 8] {
         let r = simulate_cellnpdp(&cfg, 4096, nb, sb, prec, 16);
         let m = (4096usize).div_ceil(nb);
@@ -31,6 +40,13 @@ fn main() {
             r.seconds,
             r.imbalance()
         );
+        let mut row = Value::object();
+        row.set("sweep", "sb")
+            .set("sb", sb)
+            .set("tasks", tasks)
+            .set("seconds", r.seconds)
+            .set("imbalance", r.imbalance());
+        report.add_row(row);
     }
     println!(
         "→ sb = 1 maximizes parallelism; larger sb trades critical-path\n\
@@ -52,6 +68,12 @@ fn main() {
         let cm = m.div_ceil(sb);
         let tasks = cm * (cm + 1) / 2;
         println!("{sb:<6} {tasks:>9} {:>11.3}s", r.seconds);
+        let mut row = Value::object();
+        row.set("sweep", "sb_slow_ppe")
+            .set("sb", sb)
+            .set("tasks", tasks)
+            .set("seconds", r.seconds);
+        report.add_row(row);
     }
     println!(
         "→ now the sweet spot is interior: too-fine tasking drowns in PPE\n\
@@ -62,9 +84,8 @@ fn main() {
     // --- Ready-queue policy near the critical-path bound ---
     println!("ready-queue policy on the simulated QS20 (n = 4096 SP, 16 SPEs):");
     let fifo = simulate_cellnpdp_with_policy(&cfg, 4096, nb, 1, prec, 16, QueuePolicy::Fifo);
-    let cpf = simulate_cellnpdp_with_policy(
-        &cfg, 4096, nb, 1, prec, 16, QueuePolicy::CriticalPathFirst,
-    );
+    let cpf =
+        simulate_cellnpdp_with_policy(&cfg, 4096, nb, 1, prec, 16, QueuePolicy::CriticalPathFirst);
     let t1 = simulate_cellnpdp(&cfg, 4096, nb, 1, prec, 1).seconds;
     println!(
         "  FIFO (paper):             {:.3}s  ({:.1}× vs 1 SPE)",
@@ -80,6 +101,10 @@ fn main() {
         "  structural bound m/3:     {:.1}×  (perf-model extension)\n",
         (4096f64 / nb as f64).ceil() / 3.0
     );
+    report
+        .add_timing("sim/fifo", fifo.seconds)
+        .add_timing("sim/critical_path_first", cpf.seconds)
+        .add_timing("sim/1spe", t1);
 
     // --- Host: queue discipline and barriers ---
     let workers = host_workers();
@@ -98,4 +123,10 @@ fn main() {
         "→ all three agree bit-for-bit; differences are scheduling overhead\n\
          only (meaningful on many-core hosts)."
     );
+    report
+        .set_param("workers", workers)
+        .add_timing("host/central_queue/n1024", t_q)
+        .add_timing("host/work_stealing/n1024", t_ws)
+        .add_timing("host/wavefront/n1024", t_wf);
+    write_report(&report, json.as_deref());
 }

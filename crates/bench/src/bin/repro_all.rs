@@ -1,7 +1,12 @@
 //! Run every repro binary in sequence (builds must already exist:
 //! `cargo build --release -p bench` first, or run via `cargo run`).
+//!
+//! `--json <dir>` passes each child `--json <dir>/BENCH_<experiment>.json`,
+//! collecting the full machine-readable result set in one directory.
 
 use std::process::Command;
+
+use bench::json_out;
 
 const BINARIES: &[&str] = &[
     "repro-table1",
@@ -20,13 +25,28 @@ const BINARIES: &[&str] = &[
 ];
 
 fn main() {
+    let json_dir = json_out();
+    if let Some(dir) = &json_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");
     let mut failures = Vec::new();
     for bin in BINARIES {
         let path = dir.join(bin);
         println!();
-        let status = Command::new(&path).status();
+        let mut cmd = Command::new(&path);
+        if let Some(json_dir) = &json_dir {
+            // Children name their reports BENCH_<experiment>.json where the
+            // experiment is the binary name minus the "repro-" prefix.
+            let stem = bin.strip_prefix("repro-").unwrap_or(bin);
+            cmd.arg("--json")
+                .arg(json_dir.join(format!("BENCH_{stem}.json")));
+        }
+        let status = cmd.status();
         match status {
             Ok(s) if s.success() => {}
             other => {

@@ -5,11 +5,13 @@
 //! Paper averages: NDL ≈ 31.6×, + SPE procedure ≈ 28× more, + parallel
 //! procedure ≈ 15.7× more at 16 SPEs.
 
-use bench::header;
+use bench::{header, json_out, write_report, Metrics, Report};
 use cell_sim::machine::{simulate_cellnpdp, simulate_ndl_scalar, CellConfig};
 use cell_sim::ppe::{Precision, SpeScalarModel};
+use npdp_metrics::json::Value;
 
 fn main() {
+    let json = json_out();
     header(
         "Fig. 10(a)",
         "SP speedups on the simulated Cell blade (baseline: original on 1 SPE)",
@@ -19,6 +21,8 @@ fn main() {
     let spe = SpeScalarModel::qs20();
     let prec = Precision::Single;
     let nb = cfg.block_side_for_bytes(32 * 1024, prec);
+    let mut report = Report::new("fig10a");
+    report.set_param("precision", "f32").set_param("nb", nb);
 
     println!(
         "{:<7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
@@ -29,13 +33,31 @@ fn main() {
         let ndl = simulate_ndl_scalar(&cfg, n, nb, 1, prec, 1).seconds;
         let spep = simulate_cellnpdp(&cfg, n, nb, 1, prec, 1).seconds;
         let mut row = format!("{n:<7} {:>8.1}x {:>8.1}x", base / ndl, ndl / spep);
+        let mut jrow = Value::object();
+        jrow.set("n", n)
+            .set("baseline_s", base)
+            .set("speedup_ndl", base / ndl)
+            .set("speedup_spep", ndl / spep);
         for spes in [2usize, 4, 8, 16] {
             let t = simulate_cellnpdp(&cfg, n, nb, 1, prec, spes).seconds;
             row += &format!(" {:>8.1}x", spep / t);
+            jrow.set(&format!("speedup_parp{spes}"), spep / t);
         }
         let t16 = simulate_cellnpdp(&cfg, n, nb, 1, prec, 16).seconds;
         row += &format!(" {:>8.0}x", base / t16);
+        jrow.set("speedup_total", base / t16);
+        report.add_row(jrow);
+        report.add_timing(&format!("cellnpdp_sim_16spe/n{n}"), t16);
         println!("{row}");
     }
     println!("\ncolumns: NDL vs baseline; +SPEP vs NDL; PARP-k vs 1 SPE; total vs baseline");
+    if json.is_some() {
+        // Full simulator counters at the largest size, 16 SPEs.
+        let n = 8192;
+        report.set_param("counter_n", n);
+        let (metrics, recorder) = Metrics::recording();
+        simulate_cellnpdp(&cfg, n, nb, 1, prec, 16).record_into(&metrics);
+        report.merge_recorder("", &recorder);
+    }
+    write_report(&report, json.as_deref());
 }

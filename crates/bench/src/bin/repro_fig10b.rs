@@ -6,23 +6,39 @@
 //! 8 cores. The SPEP factor is smaller than on the Cell because an
 //! out-of-order host hides latency that the in-order SPU cannot (§VI-B.2);
 //! on a single-core host the PARP factor is necessarily ≈ 1.
+//!
+//! `--json <path>` additionally writes the timings, the parallel engine's
+//! work counters (cells, blocks, kernels), the task-queue scheduler
+//! counters and the analytic DMA traffic as `BENCH_fig10b.json`.
 
-use bench::{header, host_workers, time_engine};
+use bench::{header, host_workers, json_out, time_engine, write_report, Metrics, Report};
+use cell_sim::machine::{ndl_bytes_transferred, original_bytes_transferred};
+use cell_sim::ppe::Precision;
 use npdp_core::problem;
 use npdp_core::{BlockedEngine, ParallelEngine, SerialEngine, SimdEngine, TiledEngine};
+use npdp_metrics::json::Value;
 
 fn main() {
+    let json = json_out();
     header(
         "Fig. 10(b)",
         "SP speedups on the CPU platform (measured; baseline: original)",
         "paper: NDL ≈ 7.14×, +SPEP ≈ ×5.28, +PARP ≈ ×7.22 on 8 cores.",
     );
     let workers = host_workers();
+    let mut report = Report::new("fig10b");
+    report
+        .set_param("precision", "f32")
+        .set_param("workers", workers)
+        .set_param("nb", 64u64)
+        .set_param("sb", 2u64);
+
     println!(
         "{:<7} {:>10} {:>9} {:>9} {:>9} {:>11}",
         "n", "original", "tiled", "NDL", "+SPEP", "+PARP"
     );
-    for n in [512usize, 1024, 1536] {
+    let sizes = [512usize, 1024, 1536];
+    for &n in &sizes {
         let seeds = problem::random_seeds_f32(n, 100.0, n as u64);
         let t_orig = time_engine(&SerialEngine, &seeds);
         let t_tiled = time_engine(&TiledEngine::new(64), &seeds);
@@ -38,9 +54,44 @@ fn main() {
             t_orig / t_par,
             workers
         );
+        report
+            .add_timing(&format!("original/n{n}"), t_orig)
+            .add_timing(&format!("tiled/n{n}"), t_tiled)
+            .add_timing(&format!("ndl/n{n}"), t_ndl)
+            .add_timing(&format!("simd/n{n}"), t_simd)
+            .add_timing(&format!("parallel/n{n}"), t_par);
+        let mut row = Value::object();
+        row.set("n", n)
+            .set("original_s", t_orig)
+            .set("speedup_tiled", t_orig / t_tiled)
+            .set("speedup_ndl", t_orig / t_ndl)
+            .set("speedup_simd", t_orig / t_simd)
+            .set("speedup_parallel", t_orig / t_par);
+        report.add_row(row);
     }
     println!(
         "\ncolumns are speedups over the original; +SPEP includes NDL;\n\
          +PARP includes both and uses {workers} worker thread(s)."
     );
+
+    if json.is_some() {
+        // One instrumented parallel run at the largest size for the engine
+        // and scheduler counters, plus the analytic DMA traffic of the NDL
+        // versus the original layout at that size (Fig. 9a's quantity).
+        let n = *sizes.last().unwrap();
+        let seeds = problem::random_seeds_f32(n, 100.0, n as u64);
+        let (metrics, recorder) = Metrics::recording();
+        let _ = ParallelEngine::new(64, 2, workers).solve_with_stats_metered(&seeds, &metrics);
+        report.set_param("counter_n", n);
+        report.merge_recorder("", &recorder);
+        report.set_counter(
+            "dma.bytes_ndl_model",
+            ndl_bytes_transferred(n as u64, 64, Precision::Single),
+        );
+        report.set_counter(
+            "dma.bytes_original_model",
+            original_bytes_transferred(n as u64, Precision::Single),
+        );
+    }
+    write_report(&report, json.as_deref());
 }

@@ -2,11 +2,13 @@
 //! as Fig. 10(a) but with the 2-lane, 13-cycle-latency, 6-cycle-stall DP
 //! pipeline, so every factor shrinks (the paper's §VI-A.5 point).
 
-use bench::header;
+use bench::{header, json_out, write_report, Metrics, Report};
 use cell_sim::machine::{simulate_cellnpdp, simulate_ndl_scalar, CellConfig};
 use cell_sim::ppe::{Precision, SpeScalarModel};
+use npdp_metrics::json::Value;
 
 fn main() {
+    let json = json_out();
     header(
         "Fig. 11(a)",
         "DP speedups on the simulated Cell blade (baseline: original on 1 SPE)",
@@ -17,6 +19,8 @@ fn main() {
     let spe = SpeScalarModel::qs20();
     let prec = Precision::Double;
     let nb = cfg.block_side_for_bytes(32 * 1024, prec);
+    let mut report = Report::new("fig11a");
+    report.set_param("precision", "f64").set_param("nb", nb);
 
     println!(
         "{:<7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
@@ -27,12 +31,21 @@ fn main() {
         let ndl = simulate_ndl_scalar(&cfg, n, nb, 1, prec, 1).seconds;
         let spep = simulate_cellnpdp(&cfg, n, nb, 1, prec, 1).seconds;
         let mut row = format!("{n:<7} {:>8.1}x {:>8.1}x", base / ndl, ndl / spep);
+        let mut jrow = Value::object();
+        jrow.set("n", n)
+            .set("baseline_s", base)
+            .set("speedup_ndl", base / ndl)
+            .set("speedup_spep", ndl / spep);
         for spes in [2usize, 4, 8, 16] {
             let t = simulate_cellnpdp(&cfg, n, nb, 1, prec, spes).seconds;
             row += &format!(" {:>8.1}x", spep / t);
+            jrow.set(&format!("speedup_parp{spes}"), spep / t);
         }
         let t16 = simulate_cellnpdp(&cfg, n, nb, 1, prec, 16).seconds;
         row += &format!(" {:>8.0}x", base / t16);
+        jrow.set("speedup_total", base / t16);
+        report.add_row(jrow);
+        report.add_timing(&format!("cellnpdp_sim_16spe/n{n}"), t16);
         println!("{row}");
     }
 
@@ -44,4 +57,16 @@ fn main() {
          ({:.1}× slower per update, on half the lanes)",
         dp_c / sp_c
     );
+    report
+        .set_param("kernel_cycles_sp", sp_c)
+        .set_param("kernel_cycles_dp", dp_c);
+    if json.is_some() {
+        // Full simulator counters at the largest size, 16 SPEs.
+        let n = 8192;
+        report.set_param("counter_n", n);
+        let (metrics, recorder) = Metrics::recording();
+        simulate_cellnpdp(&cfg, n, nb, 1, prec, 16).record_into(&metrics);
+        report.merge_recorder("", &recorder);
+    }
+    write_report(&report, json.as_deref());
 }

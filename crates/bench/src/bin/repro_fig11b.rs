@@ -1,12 +1,20 @@
 //! Fig. 11(b): double-precision speedups on the CPU platform — as
 //! Fig. 10(b) with f64. On the CPU the DP penalty is mild (no SPU-style
 //! stall; just half the SIMD lanes), which is the paper's §VI-B.5 point.
+//!
+//! `--json <path>` additionally writes the timings, the parallel engine's
+//! work counters, the scheduler counters and the analytic DMA traffic as
+//! `BENCH_fig11b.json`.
 
-use bench::{header, host_workers, time_engine};
+use bench::{header, host_workers, json_out, time_engine, write_report, Metrics, Report};
+use cell_sim::machine::{ndl_bytes_transferred, original_bytes_transferred};
+use cell_sim::ppe::Precision;
 use npdp_core::problem;
 use npdp_core::{BlockedEngine, ParallelEngine, SerialEngine, SimdEngine, TiledEngine};
+use npdp_metrics::json::Value;
 
 fn main() {
+    let json = json_out();
     header(
         "Fig. 11(b)",
         "DP speedups on the CPU platform (measured; baseline: original)",
@@ -14,11 +22,19 @@ fn main() {
          not stall the pipeline the way the SPU's do.",
     );
     let workers = host_workers();
+    let mut report = Report::new("fig11b");
+    report
+        .set_param("precision", "f64")
+        .set_param("workers", workers)
+        .set_param("nb", 64u64)
+        .set_param("sb", 2u64);
+
     println!(
         "{:<7} {:>10} {:>9} {:>9} {:>9} {:>11}",
         "n", "original", "tiled", "NDL", "+SPEP", "+PARP"
     );
-    for n in [512usize, 1024, 1536] {
+    let sizes = [512usize, 1024, 1536];
+    for &n in &sizes {
         let seeds = problem::random_seeds_f64(n, 100.0, n as u64);
         let t_orig = time_engine(&SerialEngine, &seeds);
         let t_tiled = time_engine(&TiledEngine::new(64), &seeds);
@@ -34,7 +50,39 @@ fn main() {
             t_orig / t_par,
             workers
         );
+        report
+            .add_timing(&format!("original/n{n}"), t_orig)
+            .add_timing(&format!("tiled/n{n}"), t_tiled)
+            .add_timing(&format!("ndl/n{n}"), t_ndl)
+            .add_timing(&format!("simd/n{n}"), t_simd)
+            .add_timing(&format!("parallel/n{n}"), t_par);
+        let mut row = Value::object();
+        row.set("n", n)
+            .set("original_s", t_orig)
+            .set("speedup_tiled", t_orig / t_tiled)
+            .set("speedup_ndl", t_orig / t_ndl)
+            .set("speedup_simd", t_orig / t_simd)
+            .set("speedup_parallel", t_orig / t_par);
+        report.add_row(row);
     }
     println!("\ncompare with repro-fig10b: the SP/DP gap on the host is ~2× (lane");
     println!("count), not the ~20× of the simulated SPU (latency + stall).");
+
+    if json.is_some() {
+        let n = *sizes.last().unwrap();
+        let seeds = problem::random_seeds_f64(n, 100.0, n as u64);
+        let (metrics, recorder) = Metrics::recording();
+        let _ = ParallelEngine::new(64, 2, workers).solve_with_stats_metered(&seeds, &metrics);
+        report.set_param("counter_n", n);
+        report.merge_recorder("", &recorder);
+        report.set_counter(
+            "dma.bytes_ndl_model",
+            ndl_bytes_transferred(n as u64, 64, Precision::Double),
+        );
+        report.set_counter(
+            "dma.bytes_original_model",
+            original_bytes_transferred(n as u64, Precision::Double),
+        );
+    }
+    write_report(&report, json.as_deref());
 }

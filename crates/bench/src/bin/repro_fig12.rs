@@ -6,12 +6,14 @@
 //! reimplementation in the `baselines` crate (tiling + helper threads +
 //! step parallelization, no SIMD, no NDL).
 
-use bench::{header, host_workers, time_engine, Timing};
 use baselines::TanEngine;
+use bench::{header, host_workers, json_out, time_engine, write_report, Report, Timing};
 use npdp_core::problem;
 use npdp_core::ParallelEngine;
+use npdp_metrics::json::Value;
 
 fn main() {
+    let json = json_out();
     header(
         "Fig. 12",
         "CellNPDP vs TanNPDP on the CPU platform (measured)",
@@ -20,6 +22,11 @@ fn main() {
     let workers = host_workers();
     let cell = ParallelEngine::new(64, 2, workers);
     let tan = TanEngine::new(64);
+    let mut report = Report::new("fig12");
+    report
+        .set_param("workers", workers)
+        .set_param("nb", 64u64)
+        .set_param("sb", 2u64);
 
     println!("-- single precision --");
     println!(
@@ -37,6 +44,7 @@ fn main() {
             t_cell,
             t_tan / t_cell
         );
+        record(&mut report, "f32", n, t_tan, t_cell);
         sp_anchor = (n, t_tan, t_cell);
     }
     project(sp_anchor);
@@ -57,6 +65,7 @@ fn main() {
             t_cell,
             t_tan / t_cell
         );
+        record(&mut report, "f64", n, t_tan, t_cell);
         dp_anchor = (n, t_tan, t_cell);
     }
     project(dp_anchor);
@@ -65,6 +74,20 @@ fn main() {
          the paper's 44×/28× additionally included 8-core parallel efficiency\n\
          differences, unreproducible on a {workers}-thread host."
     );
+    write_report(&report, json.as_deref());
+}
+
+fn record(report: &mut Report, precision: &str, n: usize, t_tan: f64, t_cell: f64) {
+    report
+        .add_timing(&format!("{precision}/tan/n{n}"), t_tan)
+        .add_timing(&format!("{precision}/cellnpdp/n{n}"), t_cell);
+    let mut row = Value::object();
+    row.set("precision", precision)
+        .set("n", n)
+        .set("tan_s", t_tan)
+        .set("cellnpdp_s", t_cell)
+        .set("speedup", t_tan / t_cell);
+    report.add_row(row);
 }
 
 fn project((n, t_tan, t_cell): (usize, f64, f64)) {

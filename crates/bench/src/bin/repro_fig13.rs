@@ -6,11 +6,13 @@
 //! software pipelining has less to work with. The effect compounds with
 //! SPE count as the shared memory interface saturates.
 
-use bench::header;
+use bench::{header, json_out, write_report, Metrics, Report};
 use cell_sim::machine::{simulate_cellnpdp, CellConfig};
 use cell_sim::ppe::Precision;
+use npdp_metrics::json::Value;
 
 fn main() {
+    let json = json_out();
     header(
         "Fig. 13",
         "CellNPDP speedup vs (memory-block size × SPEs), n = 4096 SP (simulated)",
@@ -72,6 +74,31 @@ fn main() {
          moderate sizes the simulated machine is compute-bound and nearly\n\
          flat — see EXPERIMENTS.md for the deviation discussion."
     );
+    let mut report = Report::new("fig13");
+    report
+        .set_param("precision", "f32")
+        .set_param("n", n)
+        .set_param("nb_base", nb_base)
+        .add_timing("baseline/32kb_1spe", base);
+    for (row, &nb) in sides.iter().enumerate() {
+        for (col, &s) in spes.iter().enumerate() {
+            let mut jrow = Value::object();
+            jrow.set("nb", nb)
+                .set("block_bytes", nb * nb * 4)
+                .set("spes", s)
+                .set("seconds", times[row][col])
+                .set("speedup_vs_baseline", base / times[row][col]);
+            report.add_row(jrow);
+        }
+    }
+    if json.is_some() {
+        // Full simulator counters for the baseline configuration.
+        report.set_param("counter_n", n);
+        let (metrics, recorder) = Metrics::recording();
+        simulate_cellnpdp(&cfg, n, nb_base, 1, prec, 1).record_into(&metrics);
+        report.merge_recorder("", &recorder);
+    }
+    write_report(&report, json.as_deref());
 }
 
 fn size_label(nb: usize) -> String {

@@ -4,18 +4,23 @@
 //! Original: one quadword-granular DMA element fetch per relaxation (the
 //! paper's one-SPE baseline). NDL: the simulator's actual per-block DMA
 //! counters, cross-checked against the §V formula n³·S/(3·N₂).
+//!
+//! `--json <path>` additionally writes the per-size rows and the simulator's
+//! DMA counters at the largest size as `BENCH_fig9a.json`.
 
-use bench::header;
+use bench::{header, json_out, write_report, Metrics, Report};
 use cell_sim::machine::{
     ndl_bytes_transferred, original_bytes_transferred, simulate_cellnpdp, CellConfig,
 };
 use cell_sim::ppe::Precision;
+use npdp_metrics::json::Value;
 
 fn gb(bytes: u64) -> f64 {
     bytes as f64 / 1e9
 }
 
 fn main() {
+    let json = json_out();
     header(
         "Fig. 9(a)",
         "data transfer between the Cell processor and main memory (SP)",
@@ -24,10 +29,13 @@ fn main() {
     );
     let cfg = CellConfig::qs20();
     let nb = cfg.block_side_for_bytes(32 * 1024, Precision::Single);
+    let mut report = Report::new("fig9a");
+    report.set_param("precision", "f32").set_param("nb", nb);
     println!(
         "{:<8} {:>16} {:>16} {:>16} {:>9}",
         "n", "original (GB)", "NDL model (GB)", "NDL sim (GB)", "reduction"
     );
+    let mut last_sim = None;
     for n in [4096usize, 8192, 16384] {
         let orig = original_bytes_transferred(n as u64, Precision::Single);
         let ndl_model = ndl_bytes_transferred(n as u64, nb as u64, Precision::Single);
@@ -39,6 +47,15 @@ fn main() {
             gb(sim.dma.bytes),
             orig as f64 / sim.dma.bytes as f64
         );
+        let mut row = Value::object();
+        row.set("n", n)
+            .set("original_bytes", orig)
+            .set("ndl_model_bytes", ndl_model)
+            .set("ndl_sim_bytes", sim.dma.bytes)
+            .set("reduction", orig as f64 / sim.dma.bytes as f64);
+        report.add_row(row);
+        report.set_param("counter_n", n);
+        last_sim = Some(sim);
     }
     println!("\nDMA command granularity (why fewer, larger transfers win):");
     let dma = cfg.dma;
@@ -53,4 +70,13 @@ fn main() {
         contiguous.cycles,
         strided.cycles / contiguous.cycles
     );
+    if json.is_some() {
+        // Full simulator counters (DMA + machine) at the largest size.
+        let (metrics, recorder) = Metrics::recording();
+        last_sim.expect("loop ran").record_into(&metrics);
+        report.merge_recorder("", &recorder);
+        report.set_counter("dma.commands_per_block_strided", strided.commands);
+        report.set_counter("dma.commands_per_block_contiguous", contiguous.commands);
+    }
+    write_report(&report, json.as_deref());
 }

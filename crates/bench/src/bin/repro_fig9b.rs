@@ -7,15 +7,19 @@
 //! configuration (table ≫ cache, the same regime) and prints the analytic
 //! large-n scaling. Pass `--paper-scale` to simulate n = 2048 against the
 //! full 8 MB LLC (minutes).
+//!
+//! `--json <path>` additionally writes the per-configuration rows and the
+//! cache counters of the last configuration as `BENCH_fig9b.json`.
 
-use bench::header;
-use cache_sim::{trace_blocked, trace_original, trace_tiled, Cache, CacheConfig};
+use bench::{header, json_out, write_report, Metrics, Report};
+use cache_sim::{trace_blocked, trace_original, trace_tiled, Cache, CacheConfig, TraceResult};
+use npdp_metrics::json::Value;
 
 fn mb(b: u64) -> f64 {
     b as f64 / 1e6
 }
 
-fn run(n: usize, cache_kb: usize, nb: usize) {
+fn run(n: usize, cache_kb: usize, nb: usize, report: &mut Report) -> (TraceResult, TraceResult) {
     let mk = || {
         Cache::new(CacheConfig {
             capacity_bytes: cache_kb * 1024,
@@ -33,10 +37,27 @@ fn run(n: usize, cache_kb: usize, nb: usize) {
         mb(ndl.traffic_bytes),
         orig.traffic_bytes as f64 / ndl.traffic_bytes as f64
     );
+    let mut row = Value::object();
+    row.set("n", n)
+        .set("llc_kb", cache_kb)
+        .set("nb", nb)
+        .set("original_bytes", orig.traffic_bytes)
+        .set("tiled_bytes", tiled.traffic_bytes)
+        .set("ndl_bytes", ndl.traffic_bytes)
+        .set(
+            "reduction",
+            orig.traffic_bytes as f64 / ndl.traffic_bytes as f64,
+        );
+    report.add_row(row);
+    report
+        .set_param("counter_n", n)
+        .set_param("counter_llc_kb", cache_kb);
+    (orig, ndl)
 }
 
 fn main() {
     let paper_scale = std::env::args().any(|a| a == "--paper-scale");
+    let json = json_out();
     header(
         "Fig. 9(b)",
         "CPU ↔ memory traffic via LLC simulation (64 B lines, SP)",
@@ -44,18 +65,23 @@ fn main() {
          (64 B line granularity wastes most of each transfer on column\n\
          walks); the NDL removes the gap. Shape: orig ≫ tiled > NDL.",
     );
+    let mut report = Report::new("fig9b");
+    report
+        .set_param("precision", "f32")
+        .set_param("line_bytes", 64u64)
+        .set_param("paper_scale", paper_scale);
     println!(
         "{:<7} {:>7} {:>14} {:>14} {:>14} {:>9}",
         "n", "LLC KB", "original MB", "tiled MB", "NDL MB", "orig/NDL"
     );
     // Scaled runs: the ratio table-size / cache-size matches the paper's
     // regimes (33–537 MB tables vs 8 MB LLC → ratios 4–67).
-    run(512, 256, 32); // ratio ~2
-    run(768, 256, 32); // ratio ~4.5
-    run(1024, 256, 32); // ratio ~8
+    run(512, 256, 32, &mut report); // ratio ~2
+    run(768, 256, 32, &mut report); // ratio ~4.5
+    let mut last = run(1024, 256, 32, &mut report); // ratio ~8
     if paper_scale {
-        run(2048, 8192, 88); // 8 MB LLC, ratio ~1... table 8.4 MB
-        run(3072, 8192, 88);
+        run(2048, 8192, 88, &mut report); // 8 MB LLC, ratio ~1... table 8.4 MB
+        last = run(3072, 8192, 88, &mut report);
     }
 
     println!(
@@ -67,4 +93,16 @@ fn main() {
         (16384f64.powi(3) / 6.0) * 64.0 / 1e9,
         (16384f64.powi(3) * 4.0 / (3.0 * 88.0) + 2.0 * 16384f64.powi(2) * 2.0) / 1e9
     );
+    if json.is_some() {
+        // Cache counters of the last (largest) configuration: the NDL trace
+        // under the plain `cache.*` keys, the original under `original.*`.
+        let (orig, ndl) = &mut last;
+        let (metrics, recorder) = Metrics::recording();
+        ndl.stats.record_into(&metrics, 64);
+        report.merge_recorder("", &recorder);
+        let (metrics, recorder) = Metrics::recording();
+        orig.stats.record_into(&metrics, 64);
+        report.merge_recorder("original", &recorder);
+    }
+    write_report(&report, json.as_deref());
 }

@@ -5,12 +5,14 @@
 //! 2. Does efficiency depend on problem size? → no: T_M and T_C both scale
 //!    as N₁³, so utilization is size-independent.
 
-use bench::header;
+use bench::{header, json_out, write_report, Report};
 use cell_sim::machine::{simulate_cellnpdp, CellConfig};
 use cell_sim::ppe::Precision;
+use npdp_metrics::json::Value;
 use perf_model::{Kernel, Machine, PerfModel};
 
 fn main() {
+    let json = json_out();
     header(
         "§V model",
         "analytical performance model vs the simulated machine",
@@ -20,7 +22,10 @@ fn main() {
     let dp = PerfModel::new(Machine::qs20(), Kernel::spu_dp(), 8);
 
     println!("maximum memory-block side N₂ = √(LS/(6S)):");
-    println!("  SP: {:.0} cells (paper uses 88 ≈ 32 KB)", sp.max_block_side());
+    println!(
+        "  SP: {:.0} cells (paper uses 88 ≈ 32 KB)",
+        sp.max_block_side()
+    );
     println!("  DP: {:.0} cells", dp.max_block_side());
 
     println!("\nkernel intrinsic utilization U_C = instrs/(issue width × C_C):");
@@ -37,6 +42,12 @@ fn main() {
     );
     let cfg = CellConfig::qs20();
     let nb = cfg.block_side_for_bytes(32 * 1024, Precision::Single);
+    let mut report = Report::new("model");
+    report
+        .set_param("precision", "f32")
+        .set_param("nb", nb)
+        .set_param("max_block_side_sp", sp.max_block_side())
+        .set_param("max_block_side_dp", dp.max_block_side());
     for n in [4096usize, 8192, 16384] {
         let tm = sp.memory_time(n as f64, Some(nb as f64));
         let tc = sp.compute_time(n as f64);
@@ -47,6 +58,14 @@ fn main() {
             u * 100.0,
             sim.utilization * 100.0
         );
+        report.add_timing(&format!("cellnpdp_sim_16spe/n{n}"), sim.seconds);
+        let mut row = Value::object();
+        row.set("n", n)
+            .set("memory_time_s", tm)
+            .set("compute_time_s", tc)
+            .set("utilization_model", u)
+            .set("utilization_sim", sim.utilization);
+        report.add_row(row);
     }
     println!("→ U is constant in n (both columns), the paper's §V headline.");
 
@@ -81,5 +100,14 @@ fn main() {
             sp.utilization(Some(side)) * 100.0,
             tight.utilization(Some(side)) * 100.0
         );
+        let mut row = Value::object();
+        row.set("block_side", side)
+            .set("utilization_qs20", sp.utilization(Some(side)))
+            .set("utilization_6gbs", tight.utilization(Some(side)));
+        report.add_row(row);
     }
+    report
+        .set_param("min_bandwidth_sp_gbs", min_sp / 1e9)
+        .set_param("min_bandwidth_dp_gbs", min_dp / 1e9);
+    write_report(&report, json.as_deref());
 }

@@ -2,13 +2,15 @@
 //! computing-block update (counts, latencies, pipeline types), plus the
 //! §IV-A schedule-length story (128 → 80 instructions → ~54 cycles).
 
-use bench::header;
+use bench::{header, json_out, write_report, Report};
 use cell_sim::kernels::{
     sp_kernel_blocked, sp_kernel_naive, sp_kernel_stream, sp_kernel_tree, TileAddrs,
 };
-use cell_sim::{schedule, software_pipeline, InstrMix, Instr, Reg};
+use cell_sim::{schedule, software_pipeline, Instr, InstrMix, Reg};
+use npdp_metrics::json::Value;
 
 fn main() {
+    let json = json_out();
     header(
         "Table I",
         "SIMD instructions of one computing-block update (SP)",
@@ -24,12 +26,47 @@ fn main() {
     let r = Reg(0);
     let rows: [(&str, usize, Instr); 6] = [
         ("Load", mix.loads, Instr::Lqd { rt: r, addr: 0 }),
-        ("Shuffle", mix.shuffles, Instr::ShufbW { rt: r, ra: r, lane: 0 }),
-        ("Add", mix.adds, Instr::Fa { rt: r, ra: r, rb: r }),
-        ("Compare", mix.compares, Instr::Fcgt { rt: r, ra: r, rb: r }),
-        ("Select", mix.selects, Instr::Selb { rt: r, ra: r, rb: r, rc: r }),
+        (
+            "Shuffle",
+            mix.shuffles,
+            Instr::ShufbW {
+                rt: r,
+                ra: r,
+                lane: 0,
+            },
+        ),
+        (
+            "Add",
+            mix.adds,
+            Instr::Fa {
+                rt: r,
+                ra: r,
+                rb: r,
+            },
+        ),
+        (
+            "Compare",
+            mix.compares,
+            Instr::Fcgt {
+                rt: r,
+                ra: r,
+                rb: r,
+            },
+        ),
+        (
+            "Select",
+            mix.selects,
+            Instr::Selb {
+                rt: r,
+                ra: r,
+                rb: r,
+                rc: r,
+            },
+        ),
         ("Store", mix.stores, Instr::Stqd { rt: r, addr: 0 }),
     ];
+    let mut report = Report::new("table1");
+    report.set_param("precision", "f32");
     println!(
         "{:<10} {:>10} {:>10} {:>9}",
         "instr", "count", "latency", "pipeline"
@@ -39,12 +76,16 @@ fn main() {
             cell_sim::Pipe::Even => 0,
             cell_sim::Pipe::Odd => 1,
         };
-        println!(
-            "{name:<10} {count:>10} {:>10} {pipe:>9}",
-            instr.latency()
-        );
+        println!("{name:<10} {count:>10} {:>10} {pipe:>9}", instr.latency());
+        let mut row = Value::object();
+        row.set("instr", name)
+            .set("count", count)
+            .set("latency", instr.latency() as u64)
+            .set("pipeline", pipe as u64);
+        report.add_row(row);
     }
     println!("{:<10} {:>10}", "total", mix.total());
+    report.set_counter("kernel.instructions", mix.total() as u64);
 
     println!("\nschedule lengths on the dual-issue in-order SPU model:");
     let naive = sp_kernel_naive(t);
@@ -74,4 +115,10 @@ fn main() {
         "  dual-issue rate: {:.2} instructions/cycle of 2.0 peak",
         80.0 / steady
     );
+    report.set_counter("kernel.cycles_naive", schedule(&naive).cycles as u64);
+    report.set_counter("kernel.cycles_blocked", schedule(&blocked).cycles as u64);
+    report.set_counter("kernel.cycles_pipelined", piped.schedule.cycles as u64);
+    report.set_param("steady_state_cycles_per_kernel", steady);
+    report.set_param("dual_issue_rate", 80.0 / steady);
+    write_report(&report, json.as_deref());
 }

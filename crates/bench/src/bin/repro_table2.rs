@@ -6,9 +6,10 @@
 //! simulation whose kernel cost comes from scheduling the real SPU
 //! instruction sequence.
 
-use bench::header;
+use bench::{header, json_out, write_report, Metrics, Report};
 use cell_sim::machine::{simulate_cellnpdp, CellConfig};
 use cell_sim::ppe::{PpeModel, Precision, SpeScalarModel};
+use npdp_metrics::json::Value;
 
 const SIZES: [usize; 3] = [4096, 8192, 16384];
 const PAPER_SP: [(f64, f64, f64); 3] = [
@@ -22,11 +23,15 @@ const PAPER_DP: [(f64, f64, f64); 3] = [
     (241759.0, 327276.0, 389.15),
 ];
 
-fn run(prec: Precision, paper: &[(f64, f64, f64); 3]) {
+fn run(prec: Precision, paper: &[(f64, f64, f64); 3], report: &mut Report) {
     let cfg = CellConfig::qs20();
     let ppe = PpeModel::qs20();
     let spe = SpeScalarModel::qs20();
     let nb = cfg.block_side_for_bytes(32 * 1024, prec);
+    let label = match prec {
+        Precision::Single => "f32",
+        Precision::Double => "f64",
+    };
     println!(
         "{:<8} {:>13} {:>13} {:>13}   (paper: PPE / SPE / CellNPDP)",
         "n", "orig 1 PPE", "orig 1 SPE", "CellNPDP 16"
@@ -40,10 +45,19 @@ fn run(prec: Precision, paper: &[(f64, f64, f64); 3]) {
             "{n:<8} {t_ppe:>12.1}s {t_spe:>12.1}s {:>12.2}s   ({p_ppe} / {p_spe} / {p_cell})",
             sim.seconds
         );
+        report.add_timing(&format!("{label}/cellnpdp_sim/n{n}"), sim.seconds);
+        let mut row = Value::object();
+        row.set("precision", label)
+            .set("n", n)
+            .set("ppe_original_s", t_ppe)
+            .set("spe_original_s", t_spe)
+            .set("cellnpdp_s", sim.seconds);
+        report.add_row(row);
     }
 }
 
 fn main() {
+    let json = json_out();
     header(
         "Table II",
         "performance on the IBM QS20 Cell blade (simulated)",
@@ -51,10 +65,12 @@ fn main() {
          regime / DMA-latency bound); CellNPDP: discrete-event simulation.",
     );
 
+    let mut report = Report::new("table2");
+    report.set_param("spes", 16u64);
     println!("-- single precision --");
-    run(Precision::Single, &PAPER_SP);
+    run(Precision::Single, &PAPER_SP, &mut report);
     println!("\n-- double precision --");
-    run(Precision::Double, &PAPER_DP);
+    run(Precision::Double, &PAPER_DP, &mut report);
 
     let cfg = CellConfig::qs20();
     let nb = cfg.block_side_for_bytes(32 * 1024, Precision::Single);
@@ -63,4 +79,12 @@ fn main() {
         "\nprocessor utilization (SP, 16 SPEs, n=8192): {:.1}%  (paper §VI-A.4: 62.5%)",
         r.utilization * 100.0
     );
+    if json.is_some() {
+        // Full simulator counters (machine + DMA) for the utilization probe.
+        report.set_param("counter_n", 8192u64);
+        let (metrics, recorder) = Metrics::recording();
+        r.record_into(&metrics);
+        report.merge_recorder("", &recorder);
+    }
+    write_report(&report, json.as_deref());
 }

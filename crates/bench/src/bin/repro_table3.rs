@@ -6,7 +6,9 @@
 //! n(n-1)(n-2)/6 work ratio (marked `*`). Pass `--full` to measure n=4096
 //! directly for both algorithms.
 
-use bench::{header, host_workers, time_engine, Timing};
+use bench::{header, host_workers, json_out, time_engine, write_report, Metrics, Report, Timing};
+use cell_sim::machine::{ndl_bytes_transferred, original_bytes_transferred};
+use cell_sim::ppe::Precision;
 use npdp_core::problem;
 use npdp_core::{ParallelEngine, SerialEngine};
 
@@ -16,6 +18,7 @@ const PAPER_DP: [(f64, f64); 3] = [(119.79, 0.8159), (1234.3, 6.185), (13624.0, 
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
+    let json = json_out();
     header(
         "Table III",
         "performance on the CPU platform (measured on this host)",
@@ -24,24 +27,41 @@ fn main() {
     );
     let workers = host_workers();
     let cell = ParallelEngine::new(88, 2, workers);
+    let mut report = Report::new("table3");
+    report
+        .set_param("workers", workers)
+        .set_param("nb", 88u64)
+        .set_param("sb", 2u64)
+        .set_param("full", full);
 
     // Measurement anchors.
     let n_serial = if full { 4096 } else { 1024 };
     let n_cell = if full { 4096 } else { 2048 };
+    report
+        .set_param("n_serial", n_serial)
+        .set_param("n_cell", n_cell);
 
     println!("-- single precision --");
     let seeds = problem::random_seeds_f32(n_serial, 100.0, 1);
     let t_serial = time_engine(&SerialEngine, &seeds);
     let seeds = problem::random_seeds_f32(n_cell, 100.0, 2);
     let t_cell = time_engine(&cell, &seeds);
+    report
+        .add_timing(&format!("sp/original/n{n_serial}"), t_serial)
+        .add_timing(&format!("sp/cellnpdp/n{n_cell}"), t_cell);
     print_rows(t_serial, n_serial, t_cell, n_cell, &PAPER_SP);
+    add_rows(&mut report, "f32", t_serial, n_serial, t_cell, n_cell);
 
     println!("\n-- double precision --");
     let seeds = problem::random_seeds_f64(n_serial, 100.0, 3);
     let t_serial = time_engine(&SerialEngine, &seeds);
     let seeds = problem::random_seeds_f64(n_cell, 100.0, 4);
     let t_cell = time_engine(&cell, &seeds);
+    report
+        .add_timing(&format!("dp/original/n{n_serial}"), t_serial)
+        .add_timing(&format!("dp/cellnpdp/n{n_cell}"), t_cell);
     print_rows(t_serial, n_serial, t_cell, n_cell, &PAPER_DP);
+    add_rows(&mut report, "f64", t_serial, n_serial, t_cell, n_cell);
 
     println!(
         "\nCellNPDP configuration: 88×88 memory blocks (32 KB SP), sb=2, {workers} worker(s)."
@@ -58,15 +78,61 @@ fn main() {
         "CellNPDP SP throughput at n={n}: {:.2}e9 relaxations/s",
         relax / t / 1e9
     );
+    report.add_timing(&format!("sp/throughput_probe/n{n}"), t);
+    report.set_param("sp_relaxations_per_s", relax / t);
+
+    if json.is_some() {
+        // One instrumented run at the SP cell anchor for the engine and
+        // scheduler counters, plus the analytic DMA traffic at that size.
+        let seeds = problem::random_seeds_f32(n_cell, 100.0, 2);
+        let (metrics, recorder) = Metrics::recording();
+        let _ = cell.solve_with_stats_metered(&seeds, &metrics);
+        report.set_param("counter_n", n_cell);
+        report.merge_recorder("", &recorder);
+        report.set_counter(
+            "dma.bytes_ndl_model",
+            ndl_bytes_transferred(n_cell as u64, 88, Precision::Single),
+        );
+        report.set_counter(
+            "dma.bytes_original_model",
+            original_bytes_transferred(n_cell as u64, Precision::Single),
+        );
+    }
+    write_report(&report, json.as_deref());
 }
 
-fn print_rows(
+fn add_rows(
+    report: &mut Report,
+    precision: &str,
     t_serial: f64,
     n_serial: usize,
     t_cell: f64,
     n_cell: usize,
-    paper: &[(f64, f64); 3],
 ) {
+    use npdp_metrics::json::Value;
+    for &n in &SIZES {
+        let ser = if n == n_serial {
+            Timing::measured(t_serial)
+        } else {
+            Timing::extrapolated(t_serial, n_serial as u64, n as u64)
+        };
+        let cel = if n == n_cell {
+            Timing::measured(t_cell)
+        } else {
+            Timing::extrapolated(t_cell, n_cell as u64, n as u64)
+        };
+        let mut row = Value::object();
+        row.set("precision", precision)
+            .set("n", n)
+            .set("original_s", ser.seconds)
+            .set("original_measured", ser.measured)
+            .set("cellnpdp_s", cel.seconds)
+            .set("cellnpdp_measured", cel.measured);
+        report.add_row(row);
+    }
+}
+
+fn print_rows(t_serial: f64, n_serial: usize, t_cell: f64, n_cell: usize, paper: &[(f64, f64); 3]) {
     println!(
         "{:<8} {:>12} {:>14}   (paper: original / CellNPDP)",
         "n", "original", "CellNPDP"

@@ -7,9 +7,47 @@
 //! binary prints the paper's values alongside for *shape* comparison — who
 //! wins, by roughly what factor, where crossovers fall.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use npdp_core::{DpValue, Engine, TriangularMatrix};
+
+pub use npdp_metrics::{Metrics, Recorder, Report};
+
+/// Parse the shared `--json <path>` flag from the process arguments.
+///
+/// Every repro binary accepts `--json <path>` and then writes its results
+/// machine-readably (schema `cellnpdp-bench-v1`, conventionally named
+/// `BENCH_<experiment>.json`) in addition to the human-readable table.
+/// Exits with an error if `--json` is given without a path.
+pub fn json_out() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            match args.next() {
+                Some(p) => return Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --json requires a path argument");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Write `report` to `path` if the `--json` flag was given, printing a
+/// confirmation line. Exits with an error if the write fails.
+pub fn write_report(report: &Report, path: Option<&std::path::Path>) {
+    let Some(path) = path else { return };
+    match report.write_to(path) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => {
+            eprintln!("error: failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
 
 /// Wall-clock seconds of `f`, taking the minimum over `reps` runs (the
 /// standard noise-robust estimator for sub-second measurements).
@@ -25,10 +63,7 @@ pub fn time_min<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
 }
 
 /// Measure one engine on one problem; repetitions adapt to problem size.
-pub fn time_engine<T: DpValue>(
-    engine: &dyn Engine<T>,
-    seeds: &TriangularMatrix<T>,
-) -> f64 {
+pub fn time_engine<T: DpValue>(engine: &dyn Engine<T>, seeds: &TriangularMatrix<T>) -> f64 {
     let reps = if seeds.n() <= 512 { 3 } else { 1 };
     time_min(reps, || engine.solve(seeds))
 }

@@ -69,6 +69,17 @@ impl CacheStats {
     pub fn traffic_bytes(&self, line_bytes: usize) -> u64 {
         (self.misses() + self.writebacks) * line_bytes as u64
     }
+
+    /// Emit `cache.reads`, `cache.writes`, `cache.line_fills` (read plus
+    /// write-allocate misses), `cache.writebacks` and `cache.traffic_bytes`
+    /// into a metrics sink.
+    pub fn record_into(&self, metrics: &npdp_metrics::Metrics, line_bytes: usize) {
+        metrics.add("cache.reads", self.reads);
+        metrics.add("cache.writes", self.writes);
+        metrics.add("cache.line_fills", self.misses());
+        metrics.add("cache.writebacks", self.writebacks);
+        metrics.add("cache.traffic_bytes", self.traffic_bytes(line_bytes));
+    }
 }
 
 /// Anything that can absorb a read/write address stream: a single cache, a

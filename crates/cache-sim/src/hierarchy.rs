@@ -114,10 +114,7 @@ impl Hierarchy {
         // 1. A stream whose prediction this miss confirms?
         let mut matched: Option<usize> = None;
         for (i, st) in self.streams.iter().enumerate() {
-            if st.valid
-                && st.stride != 0
-                && line_addr as i64 == st.last as i64 + st.stride
-            {
+            if st.valid && st.stride != 0 && line_addr as i64 == st.last as i64 + st.stride {
                 matched = Some(i);
                 break;
             }
@@ -129,16 +126,22 @@ impl Hierarchy {
             for (i, st) in self.streams.iter().enumerate() {
                 if st.valid {
                     let delta = (line_addr as i64 - st.last as i64).unsigned_abs();
-                    if delta != 0 && delta < (64 * line) as u64
-                        && best.map(|(_, lru)| st.lru > lru).unwrap_or(true) {
-                            best = Some((i, st.lru));
-                        }
+                    if delta != 0
+                        && delta < (64 * line) as u64
+                        && best.map(|(_, lru)| st.lru > lru).unwrap_or(true)
+                    {
+                        best = Some((i, st.lru));
+                    }
                 }
             }
             if let Some((i, _)) = best {
                 let st = &mut self.streams[i];
                 let new_stride = line_addr as i64 - st.last as i64;
-                st.confidence = if new_stride == st.stride { st.confidence.saturating_add(1) } else { 1 };
+                st.confidence = if new_stride == st.stride {
+                    st.confidence.saturating_add(1)
+                } else {
+                    1
+                };
                 st.stride = new_stride;
                 st.last = line_addr;
                 st.lru = self.clock;

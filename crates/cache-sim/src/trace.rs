@@ -328,8 +328,16 @@ mod tests {
         let n = 384;
         let mk = |pf: usize| {
             Hierarchy::new(
-                CacheConfig { capacity_bytes: 8 * 1024, ways: 8, line_bytes: 64 },
-                CacheConfig { capacity_bytes: 128 * 1024, ways: 16, line_bytes: 64 },
+                CacheConfig {
+                    capacity_bytes: 8 * 1024,
+                    ways: 8,
+                    line_bytes: 64,
+                },
+                CacheConfig {
+                    capacity_bytes: 128 * 1024,
+                    ways: 16,
+                    line_bytes: 64,
+                },
                 pf,
             )
         };
@@ -337,15 +345,15 @@ mod tests {
         stream_original(&mut orig_no, n, 4);
         let mut orig_pf = mk(4);
         stream_original(&mut orig_pf, n, 4);
-        let orig_benefit = orig_no.finish().l1.read_misses as f64
-            / orig_pf.finish().l1.read_misses as f64;
+        let orig_benefit =
+            orig_no.finish().l1.read_misses as f64 / orig_pf.finish().l1.read_misses as f64;
 
         let mut ndl_no = mk(0);
         stream_blocked(&mut ndl_no, n, 32, 4);
         let mut ndl_pf = mk(4);
         stream_blocked(&mut ndl_pf, n, 32, 4);
-        let ndl_benefit = ndl_no.finish().l1.read_misses as f64
-            / ndl_pf.finish().l1.read_misses as f64;
+        let ndl_benefit =
+            ndl_no.finish().l1.read_misses as f64 / ndl_pf.finish().l1.read_misses as f64;
 
         // The NDL's misses are already near-compulsory, so its improvement
         // factor is capped; the assertion is on direction with a margin.

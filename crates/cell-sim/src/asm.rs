@@ -86,9 +86,10 @@ impl std::fmt::Display for AsmError {
 impl std::error::Error for AsmError {}
 
 fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
-    let body = tok
-        .strip_prefix('r')
-        .ok_or_else(|| AsmError { line, message: format!("expected register, got '{tok}'") })?;
+    let body = tok.strip_prefix('r').ok_or_else(|| AsmError {
+        line,
+        message: format!("expected register, got '{tok}'"),
+    })?;
     let idx: u8 = body.parse().map_err(|_| AsmError {
         line,
         message: format!("bad register '{tok}'"),
@@ -123,10 +124,12 @@ pub fn assemble(text: &str) -> Result<Vec<Instr>, AsmError> {
         if line.is_empty() {
             continue;
         }
-        let (mnemonic, rest) = line.split_once(char::is_whitespace).ok_or_else(|| AsmError {
-            line: line_no,
-            message: format!("missing operands in '{line}'"),
-        })?;
+        let (mnemonic, rest) = line
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| AsmError {
+                line: line_no,
+                message: format!("missing operands in '{line}'"),
+            })?;
         let ops: Vec<&str> = rest.split(',').map(str::trim).collect();
         let expect = |n: usize| -> Result<(), AsmError> {
             if ops.len() == n {
@@ -141,11 +144,17 @@ pub fn assemble(text: &str) -> Result<Vec<Instr>, AsmError> {
         let instr = match mnemonic {
             "lqd" => {
                 expect(2)?;
-                Instr::Lqd { rt: parse_reg(ops[0], line_no)?, addr: parse_imm(ops[1], line_no)? }
+                Instr::Lqd {
+                    rt: parse_reg(ops[0], line_no)?,
+                    addr: parse_imm(ops[1], line_no)?,
+                }
             }
             "stqd" => {
                 expect(2)?;
-                Instr::Stqd { rt: parse_reg(ops[0], line_no)?, addr: parse_imm(ops[1], line_no)? }
+                Instr::Stqd {
+                    rt: parse_reg(ops[0], line_no)?,
+                    addr: parse_imm(ops[1], line_no)?,
+                }
             }
             "shufb" | "shufd" => {
                 expect(3)?;
@@ -211,7 +220,9 @@ pub fn assemble(text: &str) -> Result<Vec<Instr>, AsmError> {
             }
             "br" => {
                 expect(1)?;
-                Instr::Br { target: parse_imm(ops[0], line_no)? }
+                Instr::Br {
+                    target: parse_imm(ops[0], line_no)?,
+                }
             }
             "selb" => {
                 expect(4)?;
@@ -257,7 +268,13 @@ mod tests {
         let text = "\n; full line comment\nlqd r1, 0x10 ; trailing\n\n  fa r2, r1, r1\n";
         let p = assemble(text).unwrap();
         assert_eq!(p.len(), 2);
-        assert_eq!(p[0], Instr::Lqd { rt: Reg(1), addr: 16 });
+        assert_eq!(
+            p[0],
+            Instr::Lqd {
+                rt: Reg(1),
+                addr: 16
+            }
+        );
     }
 
     #[test]
@@ -275,10 +292,22 @@ mod tests {
     #[test]
     fn error_reporting() {
         assert_eq!(assemble("bogus r1, r2").unwrap_err().line, 1);
-        assert!(assemble("lqd r200, 0").unwrap_err().message.contains("out of range"));
-        assert!(assemble("shufb r1, r2, 7").unwrap_err().message.contains("lane"));
-        assert!(assemble("fa r1, r2").unwrap_err().message.contains("operands"));
-        assert!(assemble("lqd r1, zz").unwrap_err().message.contains("immediate"));
+        assert!(assemble("lqd r200, 0")
+            .unwrap_err()
+            .message
+            .contains("out of range"));
+        assert!(assemble("shufb r1, r2, 7")
+            .unwrap_err()
+            .message
+            .contains("lane"));
+        assert!(assemble("fa r1, r2")
+            .unwrap_err()
+            .message
+            .contains("operands"));
+        assert!(assemble("lqd r1, zz")
+            .unwrap_err()
+            .message
+            .contains("immediate"));
     }
 
     #[test]
@@ -322,12 +351,34 @@ stqd r10, 0x100
     #[test]
     fn control_flow_roundtrips() {
         let prog = vec![
-            Instr::Il { rt: Reg(5), imm: -42 },
-            Instr::Ai { rt: Reg(6), ra: Reg(5), imm: 1 },
-            Instr::A { rt: Reg(7), ra: Reg(5), rb: Reg(6) },
-            Instr::Lqx { rt: Reg(8), ra: Reg(5), rb: Reg(6) },
-            Instr::Stqx { rt: Reg(8), ra: Reg(5), rb: Reg(6) },
-            Instr::Brnz { rt: Reg(5), target: 0 },
+            Instr::Il {
+                rt: Reg(5),
+                imm: -42,
+            },
+            Instr::Ai {
+                rt: Reg(6),
+                ra: Reg(5),
+                imm: 1,
+            },
+            Instr::A {
+                rt: Reg(7),
+                ra: Reg(5),
+                rb: Reg(6),
+            },
+            Instr::Lqx {
+                rt: Reg(8),
+                ra: Reg(5),
+                rb: Reg(6),
+            },
+            Instr::Stqx {
+                rt: Reg(8),
+                ra: Reg(5),
+                rb: Reg(6),
+            },
+            Instr::Brnz {
+                rt: Reg(5),
+                target: 0,
+            },
             Instr::Br { target: 6 },
         ];
         let text = disassemble(&prog);

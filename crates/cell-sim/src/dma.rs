@@ -57,6 +57,14 @@ impl DmaStats {
         self.commands += other.commands;
         self.cycles += other.cycles;
     }
+
+    /// Emit `dma.bytes`, `dma.commands` and `dma.cycles` (rounded) into a
+    /// metrics sink.
+    pub fn record_into(&self, metrics: &npdp_metrics::Metrics) {
+        metrics.add("dma.bytes", self.bytes);
+        metrics.add("dma.commands", self.commands);
+        metrics.add("dma.cycles", self.cycles.round() as u64);
+    }
 }
 
 impl DmaModel {

@@ -222,7 +222,12 @@ impl InstrMix {
 
     /// Total instruction count.
     pub fn total(&self) -> usize {
-        self.loads + self.stores + self.shuffles + self.adds + self.compares + self.selects
+        self.loads
+            + self.stores
+            + self.shuffles
+            + self.adds
+            + self.compares
+            + self.selects
             + self.other
     }
 }
@@ -235,11 +240,41 @@ mod tests {
     fn table1_latencies() {
         let r = Reg(0);
         assert_eq!(Instr::Lqd { rt: r, addr: 0 }.latency(), 6);
-        assert_eq!(Instr::ShufbW { rt: r, ra: r, lane: 0 }.latency(), 4);
-        assert_eq!(Instr::Fa { rt: r, ra: r, rb: r }.latency(), 6);
-        assert_eq!(Instr::Fcgt { rt: r, ra: r, rb: r }.latency(), 2);
         assert_eq!(
-            Instr::Selb { rt: r, ra: r, rb: r, rc: r }.latency(),
+            Instr::ShufbW {
+                rt: r,
+                ra: r,
+                lane: 0
+            }
+            .latency(),
+            4
+        );
+        assert_eq!(
+            Instr::Fa {
+                rt: r,
+                ra: r,
+                rb: r
+            }
+            .latency(),
+            6
+        );
+        assert_eq!(
+            Instr::Fcgt {
+                rt: r,
+                ra: r,
+                rb: r
+            }
+            .latency(),
+            2
+        );
+        assert_eq!(
+            Instr::Selb {
+                rt: r,
+                ra: r,
+                rb: r,
+                rc: r
+            }
+            .latency(),
             2
         );
         assert_eq!(Instr::Stqd { rt: r, addr: 0 }.latency(), 6);
@@ -250,11 +285,41 @@ mod tests {
         let r = Reg(0);
         assert_eq!(Instr::Lqd { rt: r, addr: 0 }.pipe(), Pipe::Odd);
         assert_eq!(Instr::Stqd { rt: r, addr: 0 }.pipe(), Pipe::Odd);
-        assert_eq!(Instr::ShufbW { rt: r, ra: r, lane: 0 }.pipe(), Pipe::Odd);
-        assert_eq!(Instr::Fa { rt: r, ra: r, rb: r }.pipe(), Pipe::Even);
-        assert_eq!(Instr::Fcgt { rt: r, ra: r, rb: r }.pipe(), Pipe::Even);
         assert_eq!(
-            Instr::Selb { rt: r, ra: r, rb: r, rc: r }.pipe(),
+            Instr::ShufbW {
+                rt: r,
+                ra: r,
+                lane: 0
+            }
+            .pipe(),
+            Pipe::Odd
+        );
+        assert_eq!(
+            Instr::Fa {
+                rt: r,
+                ra: r,
+                rb: r
+            }
+            .pipe(),
+            Pipe::Even
+        );
+        assert_eq!(
+            Instr::Fcgt {
+                rt: r,
+                ra: r,
+                rb: r
+            }
+            .pipe(),
+            Pipe::Even
+        );
+        assert_eq!(
+            Instr::Selb {
+                rt: r,
+                ra: r,
+                rb: r,
+                rc: r
+            }
+            .pipe(),
             Pipe::Even
         );
     }
@@ -262,9 +327,33 @@ mod tests {
     #[test]
     fn dp_instructions_stall() {
         let r = Reg(0);
-        assert_eq!(Instr::Dfa { rt: r, ra: r, rb: r }.latency(), 13);
-        assert_eq!(Instr::Dfa { rt: r, ra: r, rb: r }.issue_stall(), 6);
-        assert_eq!(Instr::Fa { rt: r, ra: r, rb: r }.issue_stall(), 0);
+        assert_eq!(
+            Instr::Dfa {
+                rt: r,
+                ra: r,
+                rb: r
+            }
+            .latency(),
+            13
+        );
+        assert_eq!(
+            Instr::Dfa {
+                rt: r,
+                ra: r,
+                rb: r
+            }
+            .issue_stall(),
+            6
+        );
+        assert_eq!(
+            Instr::Fa {
+                rt: r,
+                ra: r,
+                rb: r
+            }
+            .issue_stall(),
+            0
+        );
     }
 
     #[test]
@@ -277,7 +366,10 @@ mod tests {
         };
         assert_eq!(i.dst(), Some(Reg(7)));
         assert_eq!(i.srcs(), vec![Reg(1), Reg(2), Reg(3)]);
-        let s = Instr::Stqd { rt: Reg(4), addr: 16 };
+        let s = Instr::Stqd {
+            rt: Reg(4),
+            addr: 16,
+        };
         assert_eq!(s.dst(), None);
         assert_eq!(s.srcs(), vec![Reg(4)]);
     }
@@ -287,8 +379,16 @@ mod tests {
         let r = Reg(0);
         let prog = vec![
             Instr::Lqd { rt: r, addr: 0 },
-            Instr::Fa { rt: r, ra: r, rb: r },
-            Instr::Fa { rt: r, ra: r, rb: r },
+            Instr::Fa {
+                rt: r,
+                ra: r,
+                rb: r,
+            },
+            Instr::Fa {
+                rt: r,
+                ra: r,
+                rb: r,
+            },
             Instr::Stqd { rt: r, addr: 0 },
         ];
         let mix = InstrMix::of(&prog);

@@ -75,14 +75,43 @@ pub fn sp_kernel_naive(t: TileAddrs) -> Vec<Instr> {
                 Reg(25),
                 Reg(26),
             );
-            p.push(Instr::Lqd { rt: v1, addr: t.c + 16 * r as u32 }); // C row
-            p.push(Instr::Lqd { rt: v2, addr: t.b + 16 * k as u32 }); // B row k
-            p.push(Instr::Lqd { rt: v3, addr: t.a + 16 * r as u32 }); // A row
-            p.push(Instr::ShufbW { rt: v4, ra: v3, lane: k });
-            p.push(Instr::Fa { rt: v5, ra: v4, rb: v2 });
-            p.push(Instr::Fcgt { rt: v6, ra: v1, rb: v5 });
-            p.push(Instr::Selb { rt: v7, ra: v1, rb: v5, rc: v6 });
-            p.push(Instr::Stqd { rt: v7, addr: t.c + 16 * r as u32 });
+            p.push(Instr::Lqd {
+                rt: v1,
+                addr: t.c + 16 * r as u32,
+            }); // C row
+            p.push(Instr::Lqd {
+                rt: v2,
+                addr: t.b + 16 * k as u32,
+            }); // B row k
+            p.push(Instr::Lqd {
+                rt: v3,
+                addr: t.a + 16 * r as u32,
+            }); // A row
+            p.push(Instr::ShufbW {
+                rt: v4,
+                ra: v3,
+                lane: k,
+            });
+            p.push(Instr::Fa {
+                rt: v5,
+                ra: v4,
+                rb: v2,
+            });
+            p.push(Instr::Fcgt {
+                rt: v6,
+                ra: v1,
+                rb: v5,
+            });
+            p.push(Instr::Selb {
+                rt: v7,
+                ra: v1,
+                rb: v5,
+                rc: v6,
+            });
+            p.push(Instr::Stqd {
+                rt: v7,
+                addr: t.c + 16 * r as u32,
+            });
         }
     }
     p
@@ -93,13 +122,22 @@ pub fn sp_kernel_naive(t: TileAddrs) -> Vec<Instr> {
 pub fn sp_kernel_blocked(t: TileAddrs) -> Vec<Instr> {
     let mut p = Vec::with_capacity(80);
     for r in 0..4u8 {
-        p.push(Instr::Lqd { rt: Reg(A0 + r), addr: t.a + 16 * r as u32 });
+        p.push(Instr::Lqd {
+            rt: Reg(A0 + r),
+            addr: t.a + 16 * r as u32,
+        });
     }
     for r in 0..4u8 {
-        p.push(Instr::Lqd { rt: Reg(B0 + r), addr: t.b + 16 * r as u32 });
+        p.push(Instr::Lqd {
+            rt: Reg(B0 + r),
+            addr: t.b + 16 * r as u32,
+        });
     }
     for r in 0..4u8 {
-        p.push(Instr::Lqd { rt: Reg(C0 + r), addr: t.c + 16 * r as u32 });
+        p.push(Instr::Lqd {
+            rt: Reg(C0 + r),
+            addr: t.c + 16 * r as u32,
+        });
     }
     // Distinct temporaries per (r, k) step keep the dataflow visible to the
     // software pipeliner: broadcasts r16.., candidates r32.., masks r48...
@@ -109,14 +147,34 @@ pub fn sp_kernel_blocked(t: TileAddrs) -> Vec<Instr> {
             let bc = Reg(16 + idx);
             let cand = Reg(32 + idx);
             let mask = Reg(48 + idx);
-            p.push(Instr::ShufbW { rt: bc, ra: Reg(A0 + r), lane: k });
-            p.push(Instr::Fa { rt: cand, ra: bc, rb: Reg(B0 + k) });
-            p.push(Instr::Fcgt { rt: mask, ra: Reg(C0 + r), rb: cand });
-            p.push(Instr::Selb { rt: Reg(C0 + r), ra: Reg(C0 + r), rb: cand, rc: mask });
+            p.push(Instr::ShufbW {
+                rt: bc,
+                ra: Reg(A0 + r),
+                lane: k,
+            });
+            p.push(Instr::Fa {
+                rt: cand,
+                ra: bc,
+                rb: Reg(B0 + k),
+            });
+            p.push(Instr::Fcgt {
+                rt: mask,
+                ra: Reg(C0 + r),
+                rb: cand,
+            });
+            p.push(Instr::Selb {
+                rt: Reg(C0 + r),
+                ra: Reg(C0 + r),
+                rb: cand,
+                rc: mask,
+            });
         }
     }
     for r in 0..4u8 {
-        p.push(Instr::Stqd { rt: Reg(C0 + r), addr: t.c + 16 * r as u32 });
+        p.push(Instr::Stqd {
+            rt: Reg(C0 + r),
+            addr: t.c + 16 * r as u32,
+        });
     }
     debug_assert_eq!(p.len(), 80);
     p
@@ -131,19 +189,32 @@ pub fn sp_kernel_blocked(t: TileAddrs) -> Vec<Instr> {
 pub fn sp_kernel_tree(t: TileAddrs) -> Vec<Instr> {
     let mut p = Vec::with_capacity(80);
     for r in 0..4u8 {
-        p.push(Instr::Lqd { rt: Reg(A0 + r), addr: t.a + 16 * r as u32 });
+        p.push(Instr::Lqd {
+            rt: Reg(A0 + r),
+            addr: t.a + 16 * r as u32,
+        });
     }
     for r in 0..4u8 {
-        p.push(Instr::Lqd { rt: Reg(B0 + r), addr: t.b + 16 * r as u32 });
+        p.push(Instr::Lqd {
+            rt: Reg(B0 + r),
+            addr: t.b + 16 * r as u32,
+        });
     }
     for r in 0..4u8 {
-        p.push(Instr::Lqd { rt: Reg(C0 + r), addr: t.c + 16 * r as u32 });
+        p.push(Instr::Lqd {
+            rt: Reg(C0 + r),
+            addr: t.c + 16 * r as u32,
+        });
     }
     for r in 0..4u8 {
         let base = 16 + 16 * r; // 16 scratch regs per row
-        // Broadcasts and candidates.
+                                // Broadcasts and candidates.
         for k in 0..4u8 {
-            p.push(Instr::ShufbW { rt: Reg(base + k), ra: Reg(A0 + r), lane: k });
+            p.push(Instr::ShufbW {
+                rt: Reg(base + k),
+                ra: Reg(A0 + r),
+                lane: k,
+            });
             p.push(Instr::Fa {
                 rt: Reg(base + 4 + k),
                 ra: Reg(base + k),
@@ -152,13 +223,35 @@ pub fn sp_kernel_tree(t: TileAddrs) -> Vec<Instr> {
         }
         let cand = |k: u8| Reg(base + 4 + k);
         // min(c0, c1) → base+8 (mask) / base+9 (value)
-        p.push(Instr::Fcgt { rt: Reg(base + 8), ra: cand(0), rb: cand(1) });
-        p.push(Instr::Selb { rt: Reg(base + 9), ra: cand(0), rb: cand(1), rc: Reg(base + 8) });
+        p.push(Instr::Fcgt {
+            rt: Reg(base + 8),
+            ra: cand(0),
+            rb: cand(1),
+        });
+        p.push(Instr::Selb {
+            rt: Reg(base + 9),
+            ra: cand(0),
+            rb: cand(1),
+            rc: Reg(base + 8),
+        });
         // min(c2, c3) → base+10 / base+11
-        p.push(Instr::Fcgt { rt: Reg(base + 10), ra: cand(2), rb: cand(3) });
-        p.push(Instr::Selb { rt: Reg(base + 11), ra: cand(2), rb: cand(3), rc: Reg(base + 10) });
+        p.push(Instr::Fcgt {
+            rt: Reg(base + 10),
+            ra: cand(2),
+            rb: cand(3),
+        });
+        p.push(Instr::Selb {
+            rt: Reg(base + 11),
+            ra: cand(2),
+            rb: cand(3),
+            rc: Reg(base + 10),
+        });
         // min of the two partials → base+12 / base+13
-        p.push(Instr::Fcgt { rt: Reg(base + 12), ra: Reg(base + 9), rb: Reg(base + 11) });
+        p.push(Instr::Fcgt {
+            rt: Reg(base + 12),
+            ra: Reg(base + 9),
+            rb: Reg(base + 11),
+        });
         p.push(Instr::Selb {
             rt: Reg(base + 13),
             ra: Reg(base + 9),
@@ -166,7 +259,11 @@ pub fn sp_kernel_tree(t: TileAddrs) -> Vec<Instr> {
             rc: Reg(base + 12),
         });
         // Fold into C_r.
-        p.push(Instr::Fcgt { rt: Reg(base + 14), ra: Reg(C0 + r), rb: Reg(base + 13) });
+        p.push(Instr::Fcgt {
+            rt: Reg(base + 14),
+            ra: Reg(C0 + r),
+            rb: Reg(base + 13),
+        });
         p.push(Instr::Selb {
             rt: Reg(C0 + r),
             ra: Reg(C0 + r),
@@ -175,7 +272,10 @@ pub fn sp_kernel_tree(t: TileAddrs) -> Vec<Instr> {
         });
     }
     for r in 0..4u8 {
-        p.push(Instr::Stqd { rt: Reg(C0 + r), addr: t.c + 16 * r as u32 });
+        p.push(Instr::Stqd {
+            rt: Reg(C0 + r),
+            addr: t.c + 16 * r as u32,
+        });
     }
     debug_assert_eq!(p.len(), 80);
     p
@@ -193,36 +293,65 @@ pub fn dp_kernel_blocked(t: TileAddrs) -> Vec<Instr> {
     let mut p = Vec::new();
     for r in 0..4u8 {
         for h in 0..2u8 {
-            p.push(Instr::Lqd { rt: a_reg(r, h), addr: t.a + 32 * r as u32 + 16 * h as u32 });
+            p.push(Instr::Lqd {
+                rt: a_reg(r, h),
+                addr: t.a + 32 * r as u32 + 16 * h as u32,
+            });
         }
     }
     for r in 0..4u8 {
         for h in 0..2u8 {
-            p.push(Instr::Lqd { rt: b_reg(r, h), addr: t.b + 32 * r as u32 + 16 * h as u32 });
+            p.push(Instr::Lqd {
+                rt: b_reg(r, h),
+                addr: t.b + 32 * r as u32 + 16 * h as u32,
+            });
         }
     }
     for r in 0..4u8 {
         for h in 0..2u8 {
-            p.push(Instr::Lqd { rt: c_reg(r, h), addr: t.c + 32 * r as u32 + 16 * h as u32 });
+            p.push(Instr::Lqd {
+                rt: c_reg(r, h),
+                addr: t.c + 32 * r as u32 + 16 * h as u32,
+            });
         }
     }
     for r in 0..4u8 {
         for k in 0..4u8 {
             let idx = 4 * r + k;
             let bc = Reg(24 + idx); // broadcast of A[r][k]
-            p.push(Instr::ShufbD { rt: bc, ra: a_reg(r, k / 2), lane: k % 2 });
+            p.push(Instr::ShufbD {
+                rt: bc,
+                ra: a_reg(r, k / 2),
+                lane: k % 2,
+            });
             for h in 0..2u8 {
                 let cand = Reg(40 + 2 * idx + h);
                 let mask = Reg(104 + 2 * (idx % 8) + h); // reused masks
-                p.push(Instr::Dfa { rt: cand, ra: bc, rb: b_reg(k, h) });
-                p.push(Instr::Dfcgt { rt: mask, ra: c_reg(r, h), rb: cand });
-                p.push(Instr::Selb { rt: c_reg(r, h), ra: c_reg(r, h), rb: cand, rc: mask });
+                p.push(Instr::Dfa {
+                    rt: cand,
+                    ra: bc,
+                    rb: b_reg(k, h),
+                });
+                p.push(Instr::Dfcgt {
+                    rt: mask,
+                    ra: c_reg(r, h),
+                    rb: cand,
+                });
+                p.push(Instr::Selb {
+                    rt: c_reg(r, h),
+                    ra: c_reg(r, h),
+                    rb: cand,
+                    rc: mask,
+                });
             }
         }
     }
     for r in 0..4u8 {
         for h in 0..2u8 {
-            p.push(Instr::Stqd { rt: c_reg(r, h), addr: t.c + 32 * r as u32 + 16 * h as u32 });
+            p.push(Instr::Stqd {
+                rt: c_reg(r, h),
+                addr: t.c + 32 * r as u32 + 16 * h as u32,
+            });
         }
     }
     debug_assert_eq!(p.len(), 24 + 16 + 96 + 8);
@@ -245,7 +374,9 @@ pub fn sp_kernel_stream(count: usize) -> Vec<Instr> {
 pub fn dp_kernel_stream(count: usize) -> Vec<Instr> {
     let mut p = Vec::new();
     for i in 0..count {
-        p.extend(dp_kernel_blocked(TileAddrs::packed_dp((i % 3) as u32 * 384)));
+        p.extend(dp_kernel_blocked(TileAddrs::packed_dp(
+            (i % 3) as u32 * 384,
+        )));
     }
     p
 }
@@ -295,7 +426,10 @@ mod tests {
         spu.write_f32(t.b as usize, &b);
         spu.write_f32(t.c as usize, &c);
         spu.execute(&program_for(t));
-        assert_eq!(spu.read_f32(t.c as usize, 16), host_reference_sp(&a, &b, &c));
+        assert_eq!(
+            spu.read_f32(t.c as usize, 16),
+            host_reference_sp(&a, &b, &c)
+        );
     }
 
     #[test]
@@ -343,7 +477,10 @@ mod tests {
     #[test]
     fn tree_kernel_same_mix_as_blocked() {
         let t = TileAddrs::packed_sp(0);
-        assert_eq!(InstrMix::of(&sp_kernel_tree(t)), InstrMix::of(&sp_kernel_blocked(t)));
+        assert_eq!(
+            InstrMix::of(&sp_kernel_tree(t)),
+            InstrMix::of(&sp_kernel_blocked(t))
+        );
     }
 
     #[test]

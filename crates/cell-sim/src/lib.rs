@@ -68,8 +68,8 @@ pub mod swp;
 
 pub use asm::{assemble, disassemble, disassemble_scheduled};
 pub use isa::{Instr, InstrMix, Pipe, Reg};
+pub use machine::{CellConfig, SimReport};
 pub use mailbox::Mailbox;
 pub use multi_spe::{functional_cellnpdp_multi_spe, MultiSpeReport};
-pub use machine::{CellConfig, SimReport};
 pub use spu::{schedule, Schedule, Spu};
 pub use swp::{software_pipeline, Pipelined};

@@ -61,7 +61,10 @@ mod regs {
 /// If `nb` is not a positive multiple of 4 or any base is not quadword
 /// aligned.
 pub fn looped_stage1_program(nb: usize, a_base: u32, b_base: u32, c_base: u32) -> Vec<Instr> {
-    assert!(nb >= 4 && nb.is_multiple_of(4), "block side must be a multiple of 4");
+    assert!(
+        nb >= 4 && nb.is_multiple_of(4),
+        "block side must be a multiple of 4"
+    );
     for b in [a_base, b_base, c_base] {
         assert!(b % 16 == 0, "block bases must be quadword aligned");
     }
@@ -73,90 +76,259 @@ pub fn looped_stage1_program(nb: usize, a_base: u32, b_base: u32, c_base: u32) -
     let r = Reg;
 
     // --- Prologue: row-offset constants and the r-loop counter. ---
-    p.push(Instr::Il { rt: r(OFF0), imm: 0 });
-    p.push(Instr::Il { rt: r(OFF1), imm: row_bytes });
-    p.push(Instr::Ai { rt: r(OFF2), ra: r(OFF1), imm: row_bytes });
-    p.push(Instr::Ai { rt: r(OFF3), ra: r(OFF2), imm: row_bytes });
-    p.push(Instr::Il { rt: r(R_CNT), imm: nt });
+    p.push(Instr::Il {
+        rt: r(OFF0),
+        imm: 0,
+    });
+    p.push(Instr::Il {
+        rt: r(OFF1),
+        imm: row_bytes,
+    });
+    p.push(Instr::Ai {
+        rt: r(OFF2),
+        ra: r(OFF1),
+        imm: row_bytes,
+    });
+    p.push(Instr::Ai {
+        rt: r(OFF3),
+        ra: r(OFF2),
+        imm: row_bytes,
+    });
+    p.push(Instr::Il {
+        rt: r(R_CNT),
+        imm: nt,
+    });
     // C cursor starts at c_base; A row cursor at a_base.
-    p.push(Instr::Il { rt: r(C_CUR), imm: c_base as i32 });
-    p.push(Instr::Il { rt: r(A_CUR), imm: a_base as i32 });
+    p.push(Instr::Il {
+        rt: r(C_CUR),
+        imm: c_base as i32,
+    });
+    p.push(Instr::Il {
+        rt: r(A_CUR),
+        imm: a_base as i32,
+    });
 
     // --- r loop head. ---
     let r_loop = p.len() as u32;
-    p.push(Instr::Il { rt: r(C_CNT), imm: nt });
+    p.push(Instr::Il {
+        rt: r(C_CNT),
+        imm: nt,
+    });
 
     // --- c loop head: load C(r,c). ---
     let c_loop = p.len() as u32;
-    p.push(Instr::Lqx { rt: r(C0), ra: r(C_CUR), rb: r(OFF0) });
-    p.push(Instr::Lqx { rt: r(C0 + 1), ra: r(C_CUR), rb: r(OFF1) });
-    p.push(Instr::Lqx { rt: r(C0 + 2), ra: r(C_CUR), rb: r(OFF2) });
-    p.push(Instr::Lqx { rt: r(C0 + 3), ra: r(C_CUR), rb: r(OFF3) });
+    p.push(Instr::Lqx {
+        rt: r(C0),
+        ra: r(C_CUR),
+        rb: r(OFF0),
+    });
+    p.push(Instr::Lqx {
+        rt: r(C0 + 1),
+        ra: r(C_CUR),
+        rb: r(OFF1),
+    });
+    p.push(Instr::Lqx {
+        rt: r(C0 + 2),
+        ra: r(C_CUR),
+        rb: r(OFF2),
+    });
+    p.push(Instr::Lqx {
+        rt: r(C0 + 3),
+        ra: r(C_CUR),
+        rb: r(OFF3),
+    });
     // B cursor restarts at the top of the current tile column; the column
     // offset equals (c_base cursor offset within the row): recover it from
     // C_CUR minus the row start. Simpler: keep a dedicated B column cursor
     // stepped at the end of each c iteration and reset per r iteration —
     // but B's column base is independent of r, so track it with B_CUR and
     // rewind after the t loop.
-    p.push(Instr::Il { rt: r(T_CNT), imm: nt });
+    p.push(Instr::Il {
+        rt: r(T_CNT),
+        imm: nt,
+    });
 
     // --- t loop head: load A(r,t) rows and B(t,c) rows. ---
     let t_loop = p.len() as u32;
-    p.push(Instr::Lqx { rt: r(A0), ra: r(A_CUR), rb: r(OFF0) });
-    p.push(Instr::Lqx { rt: r(A0 + 1), ra: r(A_CUR), rb: r(OFF1) });
-    p.push(Instr::Lqx { rt: r(A0 + 2), ra: r(A_CUR), rb: r(OFF2) });
-    p.push(Instr::Lqx { rt: r(A0 + 3), ra: r(A_CUR), rb: r(OFF3) });
-    p.push(Instr::Lqx { rt: r(B0), ra: r(B_CUR), rb: r(OFF0) });
-    p.push(Instr::Lqx { rt: r(B0 + 1), ra: r(B_CUR), rb: r(OFF1) });
-    p.push(Instr::Lqx { rt: r(B0 + 2), ra: r(B_CUR), rb: r(OFF2) });
-    p.push(Instr::Lqx { rt: r(B0 + 3), ra: r(B_CUR), rb: r(OFF3) });
+    p.push(Instr::Lqx {
+        rt: r(A0),
+        ra: r(A_CUR),
+        rb: r(OFF0),
+    });
+    p.push(Instr::Lqx {
+        rt: r(A0 + 1),
+        ra: r(A_CUR),
+        rb: r(OFF1),
+    });
+    p.push(Instr::Lqx {
+        rt: r(A0 + 2),
+        ra: r(A_CUR),
+        rb: r(OFF2),
+    });
+    p.push(Instr::Lqx {
+        rt: r(A0 + 3),
+        ra: r(A_CUR),
+        rb: r(OFF3),
+    });
+    p.push(Instr::Lqx {
+        rt: r(B0),
+        ra: r(B_CUR),
+        rb: r(OFF0),
+    });
+    p.push(Instr::Lqx {
+        rt: r(B0 + 1),
+        ra: r(B_CUR),
+        rb: r(OFF1),
+    });
+    p.push(Instr::Lqx {
+        rt: r(B0 + 2),
+        ra: r(B_CUR),
+        rb: r(OFF2),
+    });
+    p.push(Instr::Lqx {
+        rt: r(B0 + 3),
+        ra: r(B_CUR),
+        rb: r(OFF3),
+    });
     // The 16-step register kernel.
     for row in 0..4u8 {
         for k in 0..4u8 {
-            p.push(Instr::ShufbW { rt: r(BC), ra: r(A0 + row), lane: k });
-            p.push(Instr::Fa { rt: r(CAND), ra: r(BC), rb: r(B0 + k) });
-            p.push(Instr::Fcgt { rt: r(MASK), ra: r(C0 + row), rb: r(CAND) });
-            p.push(Instr::Selb { rt: r(C0 + row), ra: r(C0 + row), rb: r(CAND), rc: r(MASK) });
+            p.push(Instr::ShufbW {
+                rt: r(BC),
+                ra: r(A0 + row),
+                lane: k,
+            });
+            p.push(Instr::Fa {
+                rt: r(CAND),
+                ra: r(BC),
+                rb: r(B0 + k),
+            });
+            p.push(Instr::Fcgt {
+                rt: r(MASK),
+                ra: r(C0 + row),
+                rb: r(CAND),
+            });
+            p.push(Instr::Selb {
+                rt: r(C0 + row),
+                ra: r(C0 + row),
+                rb: r(CAND),
+                rc: r(MASK),
+            });
         }
     }
     // Advance: A one tile right (16 B); B four rows down (4·row_bytes).
-    p.push(Instr::Ai { rt: r(A_CUR), ra: r(A_CUR), imm: 16 });
-    p.push(Instr::Ai { rt: r(B_CUR), ra: r(B_CUR), imm: 4 * row_bytes });
-    p.push(Instr::Ai { rt: r(T_CNT), ra: r(T_CNT), imm: -1 });
-    p.push(Instr::Brnz { rt: r(T_CNT), target: t_loop });
+    p.push(Instr::Ai {
+        rt: r(A_CUR),
+        ra: r(A_CUR),
+        imm: 16,
+    });
+    p.push(Instr::Ai {
+        rt: r(B_CUR),
+        ra: r(B_CUR),
+        imm: 4 * row_bytes,
+    });
+    p.push(Instr::Ai {
+        rt: r(T_CNT),
+        ra: r(T_CNT),
+        imm: -1,
+    });
+    p.push(Instr::Brnz {
+        rt: r(T_CNT),
+        target: t_loop,
+    });
 
     // --- c loop tail: store C(r,c); rewind A row; advance C and B column.
-    p.push(Instr::Stqx { rt: r(C0), ra: r(C_CUR), rb: r(OFF0) });
-    p.push(Instr::Stqx { rt: r(C0 + 1), ra: r(C_CUR), rb: r(OFF1) });
-    p.push(Instr::Stqx { rt: r(C0 + 2), ra: r(C_CUR), rb: r(OFF2) });
-    p.push(Instr::Stqx { rt: r(C0 + 3), ra: r(C_CUR), rb: r(OFF3) });
+    p.push(Instr::Stqx {
+        rt: r(C0),
+        ra: r(C_CUR),
+        rb: r(OFF0),
+    });
+    p.push(Instr::Stqx {
+        rt: r(C0 + 1),
+        ra: r(C_CUR),
+        rb: r(OFF1),
+    });
+    p.push(Instr::Stqx {
+        rt: r(C0 + 2),
+        ra: r(C_CUR),
+        rb: r(OFF2),
+    });
+    p.push(Instr::Stqx {
+        rt: r(C0 + 3),
+        ra: r(C_CUR),
+        rb: r(OFF3),
+    });
     // A went nt tiles right (nt·16 = nb·4 bytes = row_bytes): rewind.
-    p.push(Instr::Ai { rt: r(A_CUR), ra: r(A_CUR), imm: -row_bytes });
+    p.push(Instr::Ai {
+        rt: r(A_CUR),
+        ra: r(A_CUR),
+        imm: -row_bytes,
+    });
     // B went nt·4 rows down (= nb rows = the whole block) and must move to
     // the next tile column: rewind nb rows, advance 16 B.
-    p.push(Instr::Ai { rt: r(B_CUR), ra: r(B_CUR), imm: -(nb as i32) * row_bytes + 16 });
-    p.push(Instr::Ai { rt: r(C_CUR), ra: r(C_CUR), imm: 16 });
-    p.push(Instr::Ai { rt: r(C_CNT), ra: r(C_CNT), imm: -1 });
-    p.push(Instr::Brnz { rt: r(C_CNT), target: c_loop });
+    p.push(Instr::Ai {
+        rt: r(B_CUR),
+        ra: r(B_CUR),
+        imm: -(nb as i32) * row_bytes + 16,
+    });
+    p.push(Instr::Ai {
+        rt: r(C_CUR),
+        ra: r(C_CUR),
+        imm: 16,
+    });
+    p.push(Instr::Ai {
+        rt: r(C_CNT),
+        ra: r(C_CNT),
+        imm: -1,
+    });
+    p.push(Instr::Brnz {
+        rt: r(C_CNT),
+        target: c_loop,
+    });
 
     // --- r loop tail: C to next tile row (advance 4 rows minus the nt·16
     // column steps already taken); A down one tile row; B back to column 0
     // (the c loop advanced it nt·16 = row_bytes to the right).
-    p.push(Instr::Ai { rt: r(C_CUR), ra: r(C_CUR), imm: 4 * row_bytes - row_bytes });
-    p.push(Instr::Ai { rt: r(A_CUR), ra: r(A_CUR), imm: 4 * row_bytes });
-    p.push(Instr::Ai { rt: r(B_CUR), ra: r(B_CUR), imm: -row_bytes });
-    p.push(Instr::Ai { rt: r(R_CNT), ra: r(R_CNT), imm: -1 });
-    p.push(Instr::Brnz { rt: r(R_CNT), target: r_loop });
+    p.push(Instr::Ai {
+        rt: r(C_CUR),
+        ra: r(C_CUR),
+        imm: 4 * row_bytes - row_bytes,
+    });
+    p.push(Instr::Ai {
+        rt: r(A_CUR),
+        ra: r(A_CUR),
+        imm: 4 * row_bytes,
+    });
+    p.push(Instr::Ai {
+        rt: r(B_CUR),
+        ra: r(B_CUR),
+        imm: -row_bytes,
+    });
+    p.push(Instr::Ai {
+        rt: r(R_CNT),
+        ra: r(R_CNT),
+        imm: -1,
+    });
+    p.push(Instr::Brnz {
+        rt: r(R_CNT),
+        target: r_loop,
+    });
 
     // B_CUR must be initialized before first use; patch the prologue.
     // (Inserted here for clarity of the loop body above.)
     let mut with_b = Vec::with_capacity(p.len() + 1);
     with_b.extend_from_slice(&p[..7]);
-    with_b.push(Instr::Il { rt: r(B_CUR), imm: b_base as i32 });
+    with_b.push(Instr::Il {
+        rt: r(B_CUR),
+        imm: b_base as i32,
+    });
     // Shift all branch targets ≥ 7 by one.
     for instr in &p[7..] {
         with_b.push(match *instr {
-            Instr::Brnz { rt, target } if target >= 7 => Instr::Brnz { rt, target: target + 1 },
+            Instr::Brnz { rt, target } if target >= 7 => Instr::Brnz {
+                rt,
+                target: target + 1,
+            },
             Instr::Br { target } if target >= 7 => Instr::Br { target: target + 1 },
             other => other,
         });

@@ -110,6 +110,25 @@ pub struct SimReport {
 }
 
 impl SimReport {
+    /// Emit the simulated run into a metrics sink: `sim.wall_ns` (modelled),
+    /// `sim.utilization_ppm`, `sim.kernel_invocations`, `sim.spes_used`,
+    /// `sim.spu_busy_cycles` (summed over SPEs) plus the aggregate `dma.*`
+    /// counters.
+    pub fn record_into(&self, metrics: &npdp_metrics::Metrics) {
+        metrics.add("sim.wall_ns", (self.seconds * 1e9).round() as u64);
+        metrics.add(
+            "sim.utilization_ppm",
+            (self.utilization * 1e6).round() as u64,
+        );
+        metrics.add("sim.kernel_invocations", self.kernel_calls);
+        metrics.add("sim.spes_used", self.spes_used as u64);
+        metrics.add(
+            "sim.spu_busy_cycles",
+            self.spe_busy_cycles.iter().sum::<f64>().round() as u64,
+        );
+        self.dma.record_into(metrics);
+    }
+
     /// Load imbalance: max busy / mean busy.
     pub fn imbalance(&self) -> f64 {
         let mean: f64 =
@@ -117,11 +136,7 @@ impl SimReport {
         if mean == 0.0 {
             return 1.0;
         }
-        self.spe_busy_cycles
-            .iter()
-            .cloned()
-            .fold(0.0f64, f64::max)
-            / mean
+        self.spe_busy_cycles.iter().cloned().fold(0.0f64, f64::max) / mean
     }
 }
 
@@ -356,9 +371,7 @@ fn simulate_blocked(
 
     // Discrete-event list scheduling onto the earliest-free SPE (the PPE
     // task-queue protocol), with the configured ready-queue policy.
-    let mut pending: Vec<u32> = (0..ntasks)
-        .map(|t| sched.graph.pred_count(t))
-        .collect();
+    let mut pending: Vec<u32> = (0..ntasks).map(|t| sched.graph.pred_count(t)).collect();
     let mut ready: Vec<(f64, usize)> = sched.graph.roots().map(|t| (0.0, t)).collect();
     let mut spe_free = vec![0.0f64; spes];
     let mut spe_busy = vec![0.0f64; spes];
@@ -580,8 +593,15 @@ mod tests {
         // beat FIFO, and both must stay within the structural bound.
         let cfg = CellConfig::qs20();
         let nb = cfg.block_side_for_bytes(32 * 1024, Precision::Single);
-        let fifo =
-            simulate_cellnpdp_with_policy(&cfg, 4096, nb, 1, Precision::Single, 16, QueuePolicy::Fifo);
+        let fifo = simulate_cellnpdp_with_policy(
+            &cfg,
+            4096,
+            nb,
+            1,
+            Precision::Single,
+            16,
+            QueuePolicy::Fifo,
+        );
         let cpf = simulate_cellnpdp_with_policy(
             &cfg,
             4096,
@@ -591,10 +611,18 @@ mod tests {
             16,
             QueuePolicy::CriticalPathFirst,
         );
-        assert!(cpf.seconds <= fifo.seconds * 1.02, "cpf {} fifo {}", cpf.seconds, fifo.seconds);
+        assert!(
+            cpf.seconds <= fifo.seconds * 1.02,
+            "cpf {} fifo {}",
+            cpf.seconds,
+            fifo.seconds
+        );
         let t1 = simulate_cellnpdp(&cfg, 4096, nb, 1, Precision::Single, 1).seconds;
         let bound = (4096f64 / nb as f64).ceil() / 3.0;
-        assert!(t1 / cpf.seconds <= bound * 1.05, "speedup beats the m/3 bound?");
+        assert!(
+            t1 / cpf.seconds <= bound * 1.05,
+            "speedup beats the m/3 bound?"
+        );
     }
 
     #[test]

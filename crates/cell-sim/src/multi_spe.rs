@@ -31,6 +31,23 @@ pub struct MultiSpeReport {
     pub rounds: u64,
 }
 
+impl MultiSpeReport {
+    /// Emit the protocol run into a metrics sink: `spe.tasks_executed`,
+    /// `spe.kernel_invocations`, `spe.rounds` and the mailbox traffic
+    /// (`mailbox.assignments`, `mailbox.completions`, `mailbox.words`).
+    pub fn record_into(&self, metrics: &npdp_metrics::Metrics) {
+        metrics.add(
+            "spe.tasks_executed",
+            self.tasks_per_spe.iter().sum::<usize>() as u64,
+        );
+        metrics.add("spe.kernel_invocations", self.kernel_calls);
+        metrics.add("spe.rounds", self.rounds);
+        metrics.add("mailbox.assignments", self.assignments);
+        metrics.add("mailbox.completions", self.completions);
+        metrics.add("mailbox.words", self.assignments + self.completions);
+    }
+}
+
 /// Run CellNPDP functionally on `spes` simulated SPEs with scheduling
 /// blocks of `sb × sb` memory blocks.
 pub fn functional_cellnpdp_multi_spe(
@@ -39,7 +56,10 @@ pub fn functional_cellnpdp_multi_spe(
     sb: usize,
     spes: usize,
 ) -> (TriangularMatrix<f32>, MultiSpeReport) {
-    assert!(nb >= 4 && nb.is_multiple_of(4), "block side must be a multiple of 4");
+    assert!(
+        nb >= 4 && nb.is_multiple_of(4),
+        "block side must be a multiple of 4"
+    );
     assert!(spes >= 1);
     let mut mem = BlockedMatrix::from_triangular(seeds, nb);
     let mb = mem.blocks_per_side();
@@ -125,8 +145,11 @@ mod tests {
 
     #[test]
     fn multi_spe_matches_host_serial() {
-        for (n, nb, sb, spes) in [(24usize, 8usize, 1usize, 2usize), (40, 8, 2, 4), (48, 12, 1, 3)]
-        {
+        for (n, nb, sb, spes) in [
+            (24usize, 8usize, 1usize, 2usize),
+            (40, 8, 2, 4),
+            (48, 12, 1, 3),
+        ] {
             let seeds = random_seeds(n, (n * nb + sb) as u64);
             let host = SerialEngine.solve(&seeds);
             let (sim, _) = functional_cellnpdp_multi_spe(&seeds, nb, sb, spes);

@@ -87,7 +87,8 @@ impl SimSpe {
     fn unstage_tile(&mut self, layout: &LsLayout, base: usize, tr: usize, tc: usize, src: u32) {
         for r in 0..4 {
             let vals = self.spu.read_f32(src as usize + 16 * r, 4);
-            self.spu.write_f32(layout.cell(base, tr * 4 + r, tc * 4), &vals);
+            self.spu
+                .write_f32(layout.cell(base, tr * 4 + r, tc * 4), &vals);
         }
     }
 
@@ -174,7 +175,10 @@ pub fn functional_cellnpdp_f32(
     seeds: &TriangularMatrix<f32>,
     nb: usize,
 ) -> (TriangularMatrix<f32>, u64) {
-    assert!(nb >= 4 && nb.is_multiple_of(4), "block side must be a multiple of 4");
+    assert!(
+        nb >= 4 && nb.is_multiple_of(4),
+        "block side must be a multiple of 4"
+    );
     let mut mem = BlockedMatrix::from_triangular(seeds, nb);
     let layout = LsLayout::new(nb, crate::spu::LOCAL_STORE_BYTES);
     let mut spe = SimSpe::new(&layout);
@@ -321,8 +325,7 @@ mod tests {
                     }
                 } else {
                     let deps = (bj - bi - 1) as u64;
-                    expect += deps * (nt * nt * nt) as u64
-                        + (nt * nt * (nt - 1)) as u64;
+                    expect += deps * (nt * nt * nt) as u64 + (nt * nt * (nt - 1)) as u64;
                 }
             }
         }

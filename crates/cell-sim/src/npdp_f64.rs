@@ -151,7 +151,10 @@ pub fn functional_cellnpdp_f64(
     seeds: &TriangularMatrix<f64>,
     nb: usize,
 ) -> (TriangularMatrix<f64>, u64) {
-    assert!(nb >= 4 && nb.is_multiple_of(4), "block side must be a multiple of 4");
+    assert!(
+        nb >= 4 && nb.is_multiple_of(4),
+        "block side must be a multiple of 4"
+    );
     let mut mem = BlockedMatrix::from_triangular(seeds, nb);
     let layout = LsLayoutF64::new(nb, crate::spu::LOCAL_STORE_BYTES);
     let mut spe = SimSpeF64::new(&layout);
@@ -261,11 +264,8 @@ mod tests {
             nb,
         )
         .1;
-        let dp_seeds = functional_cellnpdp_f64(
-            &TriangularMatrix::from_fn(n, |i, j| (i + j) as f64),
-            nb,
-        )
-        .1;
+        let dp_seeds =
+            functional_cellnpdp_f64(&TriangularMatrix::from_fn(n, |i, j| (i + j) as f64), nb).1;
         assert_eq!(sp_seeds, dp_seeds);
     }
 

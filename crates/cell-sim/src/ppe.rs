@@ -222,8 +222,7 @@ mod tests {
         let m = PpeModel::qs20();
         for n in [1024u64, 4096, 16384] {
             assert!(
-                m.seconds_original(n, Precision::Double)
-                    > m.seconds_original(n, Precision::Single)
+                m.seconds_original(n, Precision::Double) > m.seconds_original(n, Precision::Single)
             );
         }
     }

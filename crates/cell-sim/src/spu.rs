@@ -388,7 +388,13 @@ mod tests {
     #[test]
     fn execution_counter_accumulates() {
         let mut spu = Spu::new();
-        let prog = vec![Instr::Lqd { rt: Reg(1), addr: 0 }; 5];
+        let prog = vec![
+            Instr::Lqd {
+                rt: Reg(1),
+                addr: 0
+            };
+            5
+        ];
         spu.execute(&prog);
         spu.execute(&prog[..2]);
         assert_eq!(spu.executed, 7);
@@ -400,10 +406,23 @@ mod tests {
         spu.write_f32(0, &[1.0, 2.0, 3.0, 4.0]);
         spu.write_f32(16, &[10.0, 20.0, 30.0, 40.0]);
         let prog = vec![
-            Instr::Lqd { rt: Reg(1), addr: 0 },
-            Instr::Lqd { rt: Reg(2), addr: 16 },
-            Instr::Fa { rt: Reg(3), ra: Reg(1), rb: Reg(2) },
-            Instr::Stqd { rt: Reg(3), addr: 32 },
+            Instr::Lqd {
+                rt: Reg(1),
+                addr: 0,
+            },
+            Instr::Lqd {
+                rt: Reg(2),
+                addr: 16,
+            },
+            Instr::Fa {
+                rt: Reg(3),
+                ra: Reg(1),
+                rb: Reg(2),
+            },
+            Instr::Stqd {
+                rt: Reg(3),
+                addr: 32,
+            },
         ];
         spu.execute(&prog);
         assert_eq!(spu.read_f32(32, 4), vec![11.0, 22.0, 33.0, 44.0]);
@@ -415,11 +434,29 @@ mod tests {
         spu.write_f32(0, &[1.0, 5.0, 3.0, 8.0]);
         spu.write_f32(16, &[2.0, 4.0, 3.0, 7.0]);
         let prog = vec![
-            Instr::Lqd { rt: Reg(1), addr: 0 },
-            Instr::Lqd { rt: Reg(2), addr: 16 },
-            Instr::Fcgt { rt: Reg(3), ra: Reg(1), rb: Reg(2) },
-            Instr::Selb { rt: Reg(4), ra: Reg(1), rb: Reg(2), rc: Reg(3) },
-            Instr::Stqd { rt: Reg(4), addr: 32 },
+            Instr::Lqd {
+                rt: Reg(1),
+                addr: 0,
+            },
+            Instr::Lqd {
+                rt: Reg(2),
+                addr: 16,
+            },
+            Instr::Fcgt {
+                rt: Reg(3),
+                ra: Reg(1),
+                rb: Reg(2),
+            },
+            Instr::Selb {
+                rt: Reg(4),
+                ra: Reg(1),
+                rb: Reg(2),
+                rc: Reg(3),
+            },
+            Instr::Stqd {
+                rt: Reg(4),
+                addr: 32,
+            },
         ];
         spu.execute(&prog);
         assert_eq!(spu.read_f32(32, 4), vec![1.0, 4.0, 3.0, 7.0]);
@@ -430,9 +467,19 @@ mod tests {
         let mut spu = Spu::new();
         spu.write_f32(0, &[1.0, 2.0, 3.0, 4.0]);
         let prog = vec![
-            Instr::Lqd { rt: Reg(1), addr: 0 },
-            Instr::ShufbW { rt: Reg(2), ra: Reg(1), lane: 2 },
-            Instr::Stqd { rt: Reg(2), addr: 16 },
+            Instr::Lqd {
+                rt: Reg(1),
+                addr: 0,
+            },
+            Instr::ShufbW {
+                rt: Reg(2),
+                ra: Reg(1),
+                lane: 2,
+            },
+            Instr::Stqd {
+                rt: Reg(2),
+                addr: 16,
+            },
         ];
         spu.execute(&prog);
         assert_eq!(spu.read_f32(16, 4), vec![3.0; 4]);
@@ -444,13 +491,38 @@ mod tests {
         spu.write_f64(0, &[1.5, -2.0]);
         spu.write_f64(16, &[0.5, 3.0]);
         let prog = vec![
-            Instr::Lqd { rt: Reg(1), addr: 0 },
-            Instr::Lqd { rt: Reg(2), addr: 16 },
-            Instr::Dfa { rt: Reg(3), ra: Reg(1), rb: Reg(2) },
-            Instr::Dfcgt { rt: Reg(4), ra: Reg(1), rb: Reg(2) },
-            Instr::Selb { rt: Reg(5), ra: Reg(1), rb: Reg(2), rc: Reg(4) },
-            Instr::Stqd { rt: Reg(3), addr: 32 },
-            Instr::Stqd { rt: Reg(5), addr: 48 },
+            Instr::Lqd {
+                rt: Reg(1),
+                addr: 0,
+            },
+            Instr::Lqd {
+                rt: Reg(2),
+                addr: 16,
+            },
+            Instr::Dfa {
+                rt: Reg(3),
+                ra: Reg(1),
+                rb: Reg(2),
+            },
+            Instr::Dfcgt {
+                rt: Reg(4),
+                ra: Reg(1),
+                rb: Reg(2),
+            },
+            Instr::Selb {
+                rt: Reg(5),
+                ra: Reg(1),
+                rb: Reg(2),
+                rc: Reg(4),
+            },
+            Instr::Stqd {
+                rt: Reg(3),
+                addr: 32,
+            },
+            Instr::Stqd {
+                rt: Reg(5),
+                addr: 48,
+            },
         ];
         spu.execute(&prog);
         assert_eq!(spu.read_f64(32, 2), vec![2.0, 1.0]);
@@ -462,16 +534,29 @@ mod tests {
     #[should_panic(expected = "aligned")]
     fn unaligned_load_faults() {
         let mut spu = Spu::new();
-        spu.execute(&[Instr::Lqd { rt: Reg(0), addr: 4 }]);
+        spu.execute(&[Instr::Lqd {
+            rt: Reg(0),
+            addr: 4,
+        }]);
     }
 
     #[test]
     fn schedule_serial_dependence_chain() {
         // lqd (lat 6) → fa (lat 6) → stqd: strictly serial.
         let prog = vec![
-            Instr::Lqd { rt: Reg(1), addr: 0 },
-            Instr::Fa { rt: Reg(2), ra: Reg(1), rb: Reg(1) },
-            Instr::Stqd { rt: Reg(2), addr: 16 },
+            Instr::Lqd {
+                rt: Reg(1),
+                addr: 0,
+            },
+            Instr::Fa {
+                rt: Reg(2),
+                ra: Reg(1),
+                rb: Reg(1),
+            },
+            Instr::Stqd {
+                rt: Reg(2),
+                addr: 16,
+            },
         ];
         let s = schedule(&prog);
         assert_eq!(s.issue_cycle, vec![0, 6, 12]);
@@ -484,10 +569,23 @@ mod tests {
         // Independent load (odd) + add (even) — the add issues with the
         // following load in one cycle once its inputs are ready.
         let prog = vec![
-            Instr::Lqd { rt: Reg(1), addr: 0 },  // t=0 odd
-            Instr::Lqd { rt: Reg(2), addr: 16 }, // t=1 odd
-            Instr::Fa { rt: Reg(3), ra: Reg(1), rb: Reg(2) }, // t=7 even
-            Instr::Lqd { rt: Reg(4), addr: 32 }, // t=7 odd (dual)
+            Instr::Lqd {
+                rt: Reg(1),
+                addr: 0,
+            }, // t=0 odd
+            Instr::Lqd {
+                rt: Reg(2),
+                addr: 16,
+            }, // t=1 odd
+            Instr::Fa {
+                rt: Reg(3),
+                ra: Reg(1),
+                rb: Reg(2),
+            }, // t=7 even
+            Instr::Lqd {
+                rt: Reg(4),
+                addr: 32,
+            }, // t=7 odd (dual)
         ];
         let s = schedule(&prog);
         assert_eq!(s.issue_cycle, vec![0, 1, 7, 7]);
@@ -497,8 +595,16 @@ mod tests {
     #[test]
     fn schedule_same_pipe_never_dual_issues() {
         let prog = vec![
-            Instr::Fa { rt: Reg(1), ra: Reg(0), rb: Reg(0) },
-            Instr::Fa { rt: Reg(2), ra: Reg(0), rb: Reg(0) },
+            Instr::Fa {
+                rt: Reg(1),
+                ra: Reg(0),
+                rb: Reg(0),
+            },
+            Instr::Fa {
+                rt: Reg(2),
+                ra: Reg(0),
+                rb: Reg(0),
+            },
         ];
         let s = schedule(&prog);
         assert_eq!(s.issue_cycle, vec![0, 1]);
@@ -509,8 +615,16 @@ mod tests {
     fn schedule_dp_stall_blocks_pipeline() {
         // Two independent DP adds: the second waits out the 6-cycle stall.
         let prog = vec![
-            Instr::Dfa { rt: Reg(1), ra: Reg(0), rb: Reg(0) },
-            Instr::Dfa { rt: Reg(2), ra: Reg(0), rb: Reg(0) },
+            Instr::Dfa {
+                rt: Reg(1),
+                ra: Reg(0),
+                rb: Reg(0),
+            },
+            Instr::Dfa {
+                rt: Reg(2),
+                ra: Reg(0),
+                rb: Reg(0),
+            },
         ];
         let s = schedule(&prog);
         assert_eq!(s.issue_cycle, vec![0, 7]);
@@ -521,9 +635,20 @@ mod tests {
         // A later independent instruction cannot issue before an earlier
         // stalled one (in-order core).
         let prog = vec![
-            Instr::Lqd { rt: Reg(1), addr: 0 },
-            Instr::Fa { rt: Reg(2), ra: Reg(1), rb: Reg(1) }, // waits for lqd
-            Instr::Fa { rt: Reg(3), ra: Reg(0), rb: Reg(0) }, // independent
+            Instr::Lqd {
+                rt: Reg(1),
+                addr: 0,
+            },
+            Instr::Fa {
+                rt: Reg(2),
+                ra: Reg(1),
+                rb: Reg(1),
+            }, // waits for lqd
+            Instr::Fa {
+                rt: Reg(3),
+                ra: Reg(0),
+                rb: Reg(0),
+            }, // independent
         ];
         let s = schedule(&prog);
         assert!(s.issue_cycle[2] >= s.issue_cycle[1]);
@@ -534,9 +659,16 @@ mod tests {
         let prog: Vec<Instr> = (0..20)
             .map(|i| {
                 if i % 2 == 0 {
-                    Instr::Fa { rt: Reg(i as u8 + 10), ra: Reg(0), rb: Reg(1) }
+                    Instr::Fa {
+                        rt: Reg(i as u8 + 10),
+                        ra: Reg(0),
+                        rb: Reg(1),
+                    }
                 } else {
-                    Instr::Lqd { rt: Reg(i as u8 + 40), addr: 0 }
+                    Instr::Lqd {
+                        rt: Reg(i as u8 + 40),
+                        addr: 0,
+                    }
                 }
             })
             .collect();
@@ -554,17 +686,49 @@ mod control_flow_tests {
     /// r1 = address cursor, r2 = remaining count, r3 = constant 16.
     fn sum_loop() -> Vec<Instr> {
         vec![
-            /* 0 */ Instr::Il { rt: Reg(1), imm: 0 },   // addr = 0
-            /* 1 */ Instr::Il { rt: Reg(2), imm: 8 },   // count = 8
-            /* 2 */ Instr::Il { rt: Reg(3), imm: 0 },   // index register
-            /* 3 */ Instr::Il { rt: Reg(10), imm: 0 },  // acc = 0 (bits)
+            /* 0 */ Instr::Il { rt: Reg(1), imm: 0 }, // addr = 0
+            /* 1 */ Instr::Il { rt: Reg(2), imm: 8 }, // count = 8
+            /* 2 */ Instr::Il { rt: Reg(3), imm: 0 }, // index register
+            /* 3 */
+            Instr::Il {
+                rt: Reg(10),
+                imm: 0,
+            }, // acc = 0 (bits)
             // loop:
-            /* 4 */ Instr::Lqx { rt: Reg(4), ra: Reg(1), rb: Reg(3) },
-            /* 5 */ Instr::Fa { rt: Reg(10), ra: Reg(10), rb: Reg(4) },
-            /* 6 */ Instr::Ai { rt: Reg(1), ra: Reg(1), imm: 16 },
-            /* 7 */ Instr::Ai { rt: Reg(2), ra: Reg(2), imm: -1 },
-            /* 8 */ Instr::Brnz { rt: Reg(2), target: 4 },
-            /* 9 */ Instr::Stqd { rt: Reg(10), addr: 256 },
+            /* 4 */
+            Instr::Lqx {
+                rt: Reg(4),
+                ra: Reg(1),
+                rb: Reg(3),
+            },
+            /* 5 */
+            Instr::Fa {
+                rt: Reg(10),
+                ra: Reg(10),
+                rb: Reg(4),
+            },
+            /* 6 */
+            Instr::Ai {
+                rt: Reg(1),
+                ra: Reg(1),
+                imm: 16,
+            },
+            /* 7 */
+            Instr::Ai {
+                rt: Reg(2),
+                ra: Reg(2),
+                imm: -1,
+            },
+            /* 8 */
+            Instr::Brnz {
+                rt: Reg(2),
+                target: 4,
+            },
+            /* 9 */
+            Instr::Stqd {
+                rt: Reg(10),
+                addr: 256,
+            },
         ]
     }
 
@@ -585,7 +749,10 @@ mod control_flow_tests {
     fn runaway_loop_is_caught() {
         let prog = vec![
             Instr::Il { rt: Reg(1), imm: 1 },
-            Instr::Brnz { rt: Reg(1), target: 1 }, // spins forever
+            Instr::Brnz {
+                rt: Reg(1),
+                target: 1,
+            }, // spins forever
         ];
         let mut spu = Spu::new();
         let err = spu.run(&prog, 1000).unwrap_err();
@@ -604,8 +771,14 @@ mod control_flow_tests {
         let prog = vec![
             Instr::Il { rt: Reg(1), imm: 7 },
             Instr::Br { target: 3 },
-            Instr::Il { rt: Reg(1), imm: 99 }, // skipped
-            Instr::Stqd { rt: Reg(1), addr: 0 },
+            Instr::Il {
+                rt: Reg(1),
+                imm: 99,
+            }, // skipped
+            Instr::Stqd {
+                rt: Reg(1),
+                addr: 0,
+            },
         ];
         let mut spu = Spu::new();
         spu.run(&prog, 100).unwrap();
@@ -623,9 +796,20 @@ mod control_flow_tests {
     fn integer_ops_semantics() {
         let mut spu = Spu::new();
         spu.execute(&[
-            Instr::Il { rt: Reg(1), imm: -3 },
-            Instr::Ai { rt: Reg(2), ra: Reg(1), imm: 10 },
-            Instr::A { rt: Reg(3), ra: Reg(1), rb: Reg(2) },
+            Instr::Il {
+                rt: Reg(1),
+                imm: -3,
+            },
+            Instr::Ai {
+                rt: Reg(2),
+                ra: Reg(1),
+                imm: 10,
+            },
+            Instr::A {
+                rt: Reg(3),
+                ra: Reg(1),
+                rb: Reg(2),
+            },
         ]);
         assert_eq!(spu.reg_lanes_i32(Reg(1)), [-3; 4]);
         assert_eq!(spu.reg_lanes_i32(Reg(2)), [7; 4]);
@@ -637,11 +821,28 @@ mod control_flow_tests {
         let mut spu = Spu::new();
         spu.write_f32(48, &[1.5, 2.5, 3.5, 4.5]);
         spu.execute(&[
-            Instr::Il { rt: Reg(1), imm: 32 },
-            Instr::Il { rt: Reg(2), imm: 16 },
-            Instr::Lqx { rt: Reg(3), ra: Reg(1), rb: Reg(2) }, // LS[48]
-            Instr::Il { rt: Reg(4), imm: 64 },
-            Instr::Stqx { rt: Reg(3), ra: Reg(4), rb: Reg(2) }, // LS[80]
+            Instr::Il {
+                rt: Reg(1),
+                imm: 32,
+            },
+            Instr::Il {
+                rt: Reg(2),
+                imm: 16,
+            },
+            Instr::Lqx {
+                rt: Reg(3),
+                ra: Reg(1),
+                rb: Reg(2),
+            }, // LS[48]
+            Instr::Il {
+                rt: Reg(4),
+                imm: 64,
+            },
+            Instr::Stqx {
+                rt: Reg(3),
+                ra: Reg(4),
+                rb: Reg(2),
+            }, // LS[80]
         ]);
         assert_eq!(spu.read_f32(80, 4), vec![1.5, 2.5, 3.5, 4.5]);
     }

@@ -38,8 +38,7 @@ fn dependence_edges(program: &[Instr]) -> Vec<Vec<(usize, u32)>> {
     }
     let mut last_writer: [Option<usize>; 128] = [None; 128];
     let mut readers_since_write: Vec<Vec<usize>> = vec![Vec::new(); 128];
-    let mut mem_by_addr: std::collections::HashMap<u32, MemSlot> =
-        std::collections::HashMap::new();
+    let mut mem_by_addr: std::collections::HashMap<u32, MemSlot> = std::collections::HashMap::new();
     let mut edges: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n];
 
     for (i, instr) in program.iter().enumerate() {
@@ -182,10 +181,9 @@ pub fn software_pipeline(program: &[Instr]) -> Pipelined {
                     continue;
                 }
                 match earliest(&edges, &issue, i) {
-                    Some(t) if t <= cycle
-                        && best.map(|(_, h)| hs[i] > h).unwrap_or(true) => {
-                            best = Some((i, hs[i]));
-                        }
+                    Some(t) if t <= cycle && best.map(|(_, h)| hs[i] > h).unwrap_or(true) => {
+                        best = Some((i, hs[i]));
+                    }
                     _ => {}
                 }
             }
@@ -335,12 +333,32 @@ mod tests {
         // r1 is read by the fa then overwritten by the lqd; reordering the
         // lqd first would corrupt the add.
         let prog = vec![
-            Instr::Lqd { rt: Reg(1), addr: 0 },
-            Instr::Fa { rt: Reg(2), ra: Reg(1), rb: Reg(1) },
-            Instr::Lqd { rt: Reg(1), addr: 16 },
-            Instr::Fa { rt: Reg(3), ra: Reg(1), rb: Reg(1) },
-            Instr::Stqd { rt: Reg(2), addr: 32 },
-            Instr::Stqd { rt: Reg(3), addr: 48 },
+            Instr::Lqd {
+                rt: Reg(1),
+                addr: 0,
+            },
+            Instr::Fa {
+                rt: Reg(2),
+                ra: Reg(1),
+                rb: Reg(1),
+            },
+            Instr::Lqd {
+                rt: Reg(1),
+                addr: 16,
+            },
+            Instr::Fa {
+                rt: Reg(3),
+                ra: Reg(1),
+                rb: Reg(1),
+            },
+            Instr::Stqd {
+                rt: Reg(2),
+                addr: 32,
+            },
+            Instr::Stqd {
+                rt: Reg(3),
+                addr: 48,
+            },
         ];
         let mut s1 = Spu::new();
         s1.write_f32(0, &[1.0; 4]);

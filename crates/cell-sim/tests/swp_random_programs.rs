@@ -20,8 +20,7 @@ fn arb_instr() -> impl Strategy<Value = Instr> {
         (reg(), reg(), 0u8..4).prop_map(|(rt, ra, lane)| Instr::ShufbW { rt, ra, lane }),
         (reg(), reg(), reg()).prop_map(|(rt, ra, rb)| Instr::Fa { rt, ra, rb }),
         (reg(), reg(), reg()).prop_map(|(rt, ra, rb)| Instr::Fcgt { rt, ra, rb }),
-        (reg(), reg(), reg(), reg())
-            .prop_map(|(rt, ra, rb, rc)| Instr::Selb { rt, ra, rb, rc }),
+        (reg(), reg(), reg(), reg()).prop_map(|(rt, ra, rb, rc)| Instr::Selb { rt, ra, rb, rc }),
         (reg(), reg(), reg()).prop_map(|(rt, ra, rb)| Instr::Dfa { rt, ra, rb }),
         (reg(), reg(), reg()).prop_map(|(rt, ra, rb)| Instr::Dfcgt { rt, ra, rb }),
     ]

@@ -82,13 +82,8 @@ mod tests {
         let w: Vec<i64> = (0..n).map(|i| ((i * 7) % 11 + 1) as i64).collect();
         let generic = solve_shared_split(n, |i| w[i], |a, b, _, _, _| a + b);
 
-        let seeds = TriangularMatrix::from_fn(n, |i, j| {
-            if j == i + 1 {
-                w[i]
-            } else {
-                i64::INFINITY
-            }
-        });
+        let seeds =
+            TriangularMatrix::from_fn(n, |i, j| if j == i + 1 { w[i] } else { i64::INFINITY });
         let closure = SerialEngine.solve(&seeds);
         assert_eq!(generic.first_difference(&closure), None);
     }

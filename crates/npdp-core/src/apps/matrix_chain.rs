@@ -63,14 +63,18 @@ pub fn matrix_chain(dims: &[u64]) -> MatrixChain {
     let table = if n < 2 {
         TriangularMatrix::new_infinity(n)
     } else {
-        solve_shared_split(n, |_| 0i64, |a, b, i, k, j| {
-            let w = dims[i]
-                .checked_mul(dims[k])
-                .and_then(|x| x.checked_mul(dims[j]))
-                .and_then(|x| i64::try_from(x).ok())
-                .expect("matrix-chain cost overflow");
-            a + b + w
-        })
+        solve_shared_split(
+            n,
+            |_| 0i64,
+            |a, b, i, k, j| {
+                let w = dims[i]
+                    .checked_mul(dims[k])
+                    .and_then(|x| x.checked_mul(dims[j]))
+                    .and_then(|x| i64::try_from(x).ok())
+                    .expect("matrix-chain cost overflow");
+                a + b + w
+            },
+        )
     };
     MatrixChain {
         dims: dims.to_vec(),

@@ -57,9 +57,7 @@ impl SplitTree {
     pub fn value<T: DpValue>(&self, seeds: &TriangularMatrix<T>) -> T {
         match self {
             SplitTree::Leaf { i, j } => seeds.get(*i, *j),
-            SplitTree::Node { left, right, .. } => {
-                left.value(seeds) + right.value(seeds)
-            }
+            SplitTree::Node { left, right, .. } => left.value(seeds) + right.value(seeds),
         }
     }
 }
@@ -125,7 +123,10 @@ mod tests {
         seeds.set(1, 4, 10);
         seeds.set(0, 4, 3); // beats any split
         let closed = SerialEngine.solve(&seeds);
-        assert_eq!(split_tree(&seeds, &closed, 0, 4), SplitTree::Leaf { i: 0, j: 4 });
+        assert_eq!(
+            split_tree(&seeds, &closed, 0, 4),
+            SplitTree::Leaf { i: 0, j: 4 }
+        );
     }
 
     #[test]
@@ -136,7 +137,11 @@ mod tests {
             let closed = SerialEngine.solve(&seeds);
             for (i, j) in [(0, n - 1), (3, 17), (5, 6), (10, 20)] {
                 let tree = split_tree(&seeds, &closed, i, j);
-                assert_eq!(tree.value(&seeds), closed.get(i, j), "({i},{j}) seed {seed}");
+                assert_eq!(
+                    tree.value(&seeds),
+                    closed.get(i, j),
+                    "({i},{j}) seed {seed}"
+                );
                 assert_eq!(tree.interval(), (i, j));
             }
         }

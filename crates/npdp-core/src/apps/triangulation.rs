@@ -86,12 +86,16 @@ pub fn triangulate(vertices: &[Point]) -> Triangulation {
         TriangularMatrix::new_infinity(n)
     } else {
         let v = verts.clone();
-        solve_shared_split(n, |_| 0i64, move |a, b, i, k, j| {
-            let w = (perimeter(v[i], v[k], v[j]) * scale).round() as i64;
-            let cand = a + b + w;
-            debug_assert!(cand < <i64 as DpValue>::INFINITY / 2);
-            cand
-        })
+        solve_shared_split(
+            n,
+            |_| 0i64,
+            move |a, b, i, k, j| {
+                let w = (perimeter(v[i], v[k], v[j]) * scale).round() as i64;
+                let cand = a + b + w;
+                debug_assert!(cand < <i64 as DpValue>::INFINITY / 2);
+                cand
+            },
+        )
     };
     Triangulation {
         vertices: verts,

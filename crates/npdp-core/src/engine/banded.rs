@@ -29,7 +29,10 @@ pub struct BandedEngine {
 impl BandedEngine {
     /// Banded engine with blocks of side `nb` and the given span cap.
     pub fn new(nb: usize, band: usize) -> Self {
-        assert!(nb > 0 && nb.is_multiple_of(4), "block side must be a multiple of 4");
+        assert!(
+            nb > 0 && nb.is_multiple_of(4),
+            "block side must be a multiple of 4"
+        );
         assert!(band >= 1, "band must be at least 1");
         Self { nb, band }
     }
@@ -76,9 +79,7 @@ impl<T: DpValue> Engine<T> for BandedEngine {
                     kernels.diag(m.block_mut(bi, bi), nb);
                 } else {
                     scratch.copy_from_slice(m.block(bi, bj));
-                    compute_offdiag_block(&mut scratch, bi, bj, nb, &kernels, |r, c| {
-                        m.block(r, c)
-                    });
+                    compute_offdiag_block(&mut scratch, bi, bj, nb, &kernels, |r, c| m.block(r, c));
                     m.block_mut(bi, bj).copy_from_slice(&scratch);
                 }
             }
@@ -121,11 +122,7 @@ mod tests {
                     let seeds = problem::random_seeds_f32(n, 100.0, (n + band + nb) as u64);
                     let a = BandedEngine::solve_serial(&seeds, band);
                     let b = BandedEngine::new(nb, band).solve(&seeds);
-                    assert_eq!(
-                        a.first_difference(&b),
-                        None,
-                        "n={n} band={band} nb={nb}"
-                    );
+                    assert_eq!(a.first_difference(&b), None, "n={n} band={band} nb={nb}");
                 }
             }
         }

@@ -1,6 +1,8 @@
 //! Single-threaded NDL engines: the blocked layout swept in dependence
 //! order, with either scalar or SIMD block kernels.
 
+use npdp_metrics::Metrics;
+
 use crate::engine::scalar_kernels::{ScalarKernels, SimdKernels};
 use crate::engine::{compute_offdiag_block, BlockKernels, Engine};
 use crate::layout::{BlockedMatrix, TriangularMatrix};
@@ -15,6 +17,21 @@ where
     T: DpValue,
     K: BlockKernels<T> + ?Sized,
 {
+    solve_blocked_in_place_metered(m, kernels, &Metrics::noop());
+}
+
+/// [`solve_blocked_in_place`] with per-block work attribution:
+/// `engine.blocks_swept`, `engine.kernel_invocations` (stage-1 + stage-2 +
+/// diagonal kernel calls) and `engine.cells_computed` (logical cells only,
+/// so the total matches the serial engine exactly).
+pub(crate) fn solve_blocked_in_place_metered<T, K>(
+    m: &mut BlockedMatrix<T>,
+    kernels: &K,
+    metrics: &Metrics,
+) where
+    T: DpValue,
+    K: BlockKernels<T> + ?Sized,
+{
     let nb = m.block_side();
     let mb = m.blocks_per_side();
     let mut scratch = vec![T::INFINITY; nb * nb];
@@ -22,11 +39,19 @@ where
         for bi in (0..=bj).rev() {
             if bi == bj {
                 kernels.diag(m.block_mut(bi, bi), nb);
+                metrics.add("engine.kernel_invocations", 1);
             } else {
                 scratch.copy_from_slice(m.block(bi, bj));
                 compute_offdiag_block(&mut scratch, bi, bj, nb, kernels, |r, c| m.block(r, c));
                 m.block_mut(bi, bj).copy_from_slice(&scratch);
+                // (bj - bi - 1) stage-1 multiplications plus one stage-2.
+                metrics.add("engine.kernel_invocations", (bj - bi) as u64);
             }
+            metrics.add("engine.blocks_swept", 1);
+            metrics.add(
+                "engine.cells_computed",
+                m.logical_cells_in_block(bi, bj) as u64,
+            );
         }
     }
 }
@@ -36,8 +61,18 @@ fn solve_via_blocked<T: DpValue>(
     nb: usize,
     kernels: &dyn BlockKernels<T>,
 ) -> TriangularMatrix<T> {
+    solve_via_blocked_metered(seeds, nb, kernels, &Metrics::noop())
+}
+
+fn solve_via_blocked_metered<T: DpValue>(
+    seeds: &TriangularMatrix<T>,
+    nb: usize,
+    kernels: &dyn BlockKernels<T>,
+    metrics: &Metrics,
+) -> TriangularMatrix<T> {
+    let _t = metrics.timed("engine.wall_ns");
     let mut m = BlockedMatrix::from_triangular(seeds, nb);
-    solve_blocked_in_place(&mut m, kernels);
+    solve_blocked_in_place_metered(&mut m, kernels, metrics);
     debug_assert!(m.padding_is_inert());
     m.to_triangular()
 }
@@ -53,7 +88,10 @@ pub struct BlockedEngine {
 impl BlockedEngine {
     /// NDL engine with memory blocks of side `nb`.
     pub fn new(nb: usize) -> Self {
-        assert!(nb > 0 && nb.is_multiple_of(4), "block side must be a multiple of 4");
+        assert!(
+            nb > 0 && nb.is_multiple_of(4),
+            "block side must be a multiple of 4"
+        );
         Self { nb }
     }
 }
@@ -65,6 +103,10 @@ impl<T: DpValue> Engine<T> for BlockedEngine {
 
     fn solve(&self, seeds: &TriangularMatrix<T>) -> TriangularMatrix<T> {
         solve_via_blocked(seeds, self.nb, &ScalarKernels)
+    }
+
+    fn solve_metered(&self, seeds: &TriangularMatrix<T>, metrics: &Metrics) -> TriangularMatrix<T> {
+        solve_via_blocked_metered(seeds, self.nb, &ScalarKernels, metrics)
     }
 }
 
@@ -78,6 +120,14 @@ pub struct SimdEngineInner {
 impl SimdEngineInner {
     pub(crate) fn solve<T: DpValue>(&self, seeds: &TriangularMatrix<T>) -> TriangularMatrix<T> {
         solve_via_blocked(seeds, self.nb, &SimdKernels)
+    }
+
+    pub(crate) fn solve_metered<T: DpValue>(
+        &self,
+        seeds: &TriangularMatrix<T>,
+        metrics: &Metrics,
+    ) -> TriangularMatrix<T> {
+        solve_via_blocked_metered(seeds, self.nb, &SimdKernels, metrics)
     }
 }
 

@@ -89,7 +89,10 @@ pub fn solve_simd_counted<T: DpValue>(
     seeds: &TriangularMatrix<T>,
     nb: usize,
 ) -> (TriangularMatrix<T>, OpCounts) {
-    assert!(nb > 0 && nb.is_multiple_of(4), "block side must be a multiple of 4");
+    assert!(
+        nb > 0 && nb.is_multiple_of(4),
+        "block side must be a multiple of 4"
+    );
     let counters = Counters::default();
     let kernels = CountingKernels {
         inner: SimdKernels,

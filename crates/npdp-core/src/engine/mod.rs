@@ -36,6 +36,8 @@ pub use simd::SimdEngine;
 pub use tiled::TiledEngine;
 pub use wavefront::WavefrontEngine;
 
+use npdp_metrics::Metrics;
+
 use crate::layout::TriangularMatrix;
 use crate::value::DpValue;
 
@@ -47,6 +49,23 @@ pub trait Engine<T: DpValue> {
     /// Solve the closure over the seeded triangle, returning the completed
     /// DP table. Seeds are the initial `d[i][j]` values (`+∞` where absent).
     fn solve(&self, seeds: &TriangularMatrix<T>) -> TriangularMatrix<T>;
+
+    /// Solve while emitting metrics. A disabled handle ([`Metrics::noop`])
+    /// must leave the result bit-identical to [`Engine::solve`] at
+    /// negligible cost — the metrics layer observes, never steers.
+    ///
+    /// The default measures `engine.wall_ns` and attributes
+    /// `engine.cells_computed` (the `n(n-1)/2` logical DP cells) in one
+    /// shot; blocked engines override it to attribute work per memory block
+    /// and to count `engine.blocks_swept` / `engine.kernel_invocations`.
+    fn solve_metered(&self, seeds: &TriangularMatrix<T>, metrics: &Metrics) -> TriangularMatrix<T> {
+        let out = {
+            let _t = metrics.timed("engine.wall_ns");
+            self.solve(seeds)
+        };
+        metrics.add("engine.cells_computed", seeds.len() as u64);
+        out
+    }
 }
 
 /// Kernel family used inside a memory block: scalar loops or the 4×4

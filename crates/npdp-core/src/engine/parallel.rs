@@ -1,7 +1,8 @@
 //! The full CellNPDP algorithm (paper Fig. 8): NDL + SIMD computing blocks +
 //! the task-queue parallel procedure over scheduling blocks.
 
-use task_queue::{execute_stealing, execute_with_stats, scheduling_grid, ExecStats};
+use npdp_metrics::Metrics;
+use task_queue::{execute_metered, execute_stealing_metered, scheduling_grid, ExecStats};
 
 use crate::engine::scalar_kernels::SimdKernels;
 use crate::engine::shared::SharedBlocked;
@@ -39,7 +40,10 @@ impl ParallelEngine {
     /// CellNPDP with memory blocks of side `nb`, scheduling blocks of
     /// `sb × sb` memory blocks, and `workers` threads.
     pub fn new(nb: usize, sb: usize, workers: usize) -> Self {
-        assert!(nb > 0 && nb.is_multiple_of(4), "block side must be a multiple of 4");
+        assert!(
+            nb > 0 && nb.is_multiple_of(4),
+            "block side must be a multiple of 4"
+        );
         assert!(sb >= 1, "scheduling block side must be at least 1");
         assert!(workers >= 1, "need at least one worker");
         Self {
@@ -70,16 +74,52 @@ impl ParallelEngine {
         &self,
         seeds: &TriangularMatrix<T>,
     ) -> (TriangularMatrix<T>, ExecStats) {
+        self.solve_with_stats_metered(seeds, &Metrics::noop())
+    }
+
+    /// [`Self::solve_with_stats`] with metric emission: engine counters
+    /// (`engine.blocks_swept`, `engine.kernel_invocations`,
+    /// `engine.cells_computed`, `engine.wall_ns`) attributed per memory
+    /// block as workers finalize them, plus the scheduler's `queue.*`
+    /// counters from the task pool.
+    pub fn solve_with_stats_metered<T: DpValue>(
+        &self,
+        seeds: &TriangularMatrix<T>,
+        metrics: &Metrics,
+    ) -> (TriangularMatrix<T>, ExecStats) {
+        let _t = metrics.timed("engine.wall_ns");
         let mut m = BlockedMatrix::from_triangular(seeds, self.nb);
-        let stats = self.solve_blocked_in_place(&mut m);
+        let stats = self.solve_blocked_in_place_metered(&mut m, metrics);
         (m.to_triangular(), stats)
     }
 
     /// Run CellNPDP over an already-blocked matrix in place.
     pub fn solve_blocked_in_place<T: DpValue>(&self, m: &mut BlockedMatrix<T>) -> ExecStats {
+        self.solve_blocked_in_place_metered(m, &Metrics::noop())
+    }
+
+    /// [`Self::solve_blocked_in_place`] with metric emission.
+    pub fn solve_blocked_in_place_metered<T: DpValue>(
+        &self,
+        m: &mut BlockedMatrix<T>,
+        metrics: &Metrics,
+    ) -> ExecStats {
         let nb = self.nb;
         assert_eq!(m.block_side(), nb, "matrix blocked with a different nb");
         let mb = m.blocks_per_side();
+        // Per-block logical-cell counts, precomputed so the hot worker loop
+        // only increments counters.
+        let cell_counts: Vec<Vec<u64>> = if metrics.enabled() {
+            (0..mb)
+                .map(|bi| {
+                    (bi..mb)
+                        .map(|bj| m.logical_cells_in_block(bi, bj) as u64)
+                        .collect()
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         let shared = SharedBlocked::new(m);
         let sched = scheduling_grid(mb, self.sb);
         let kernels = SimdKernels;
@@ -89,17 +129,25 @@ impl ParallelEngine {
                 let c = shared.claim(bi, bj);
                 if bi == bj {
                     kernels.diag(c, nb);
+                    metrics.add("engine.kernel_invocations", 1);
                 } else {
                     compute_offdiag_block(c, bi, bj, nb, &kernels, |r, cc| {
                         shared.read_final(r, cc)
                     });
+                    metrics.add("engine.kernel_invocations", (bj - bi) as u64);
                 }
                 shared.finalize(bi, bj);
+                metrics.add("engine.blocks_swept", 1);
+                if metrics.enabled() {
+                    metrics.add("engine.cells_computed", cell_counts[bi][bj - bi]);
+                }
             }
         };
         let stats = match self.scheduler {
-            Scheduler::CentralQueue => execute_with_stats(&sched.graph, self.workers, body),
-            Scheduler::WorkStealing => execute_stealing(&sched.graph, self.workers, body),
+            Scheduler::CentralQueue => execute_metered(&sched.graph, self.workers, metrics, body),
+            Scheduler::WorkStealing => {
+                execute_stealing_metered(&sched.graph, self.workers, metrics, body)
+            }
         };
         assert!(shared.all_final(), "scheduler left unfinished blocks");
         stats
@@ -113,6 +161,10 @@ impl<T: DpValue> Engine<T> for ParallelEngine {
 
     fn solve(&self, seeds: &TriangularMatrix<T>) -> TriangularMatrix<T> {
         self.solve_with_stats(seeds).0
+    }
+
+    fn solve_metered(&self, seeds: &TriangularMatrix<T>, metrics: &Metrics) -> TriangularMatrix<T> {
+        self.solve_with_stats_metered(seeds, metrics).0
     }
 }
 

@@ -1,6 +1,8 @@
 //! The single-threaded SPE procedure on the host: NDL + SIMD computing
 //! blocks.
 
+use npdp_metrics::Metrics;
+
 use crate::engine::blocked::SimdEngineInner;
 use crate::engine::Engine;
 use crate::layout::TriangularMatrix;
@@ -17,7 +19,10 @@ pub struct SimdEngine {
 impl SimdEngine {
     /// SIMD engine with memory blocks of side `nb`.
     pub fn new(nb: usize) -> Self {
-        assert!(nb > 0 && nb.is_multiple_of(4), "block side must be a multiple of 4");
+        assert!(
+            nb > 0 && nb.is_multiple_of(4),
+            "block side must be a multiple of 4"
+        );
         Self { nb }
     }
 }
@@ -29,6 +34,10 @@ impl<T: DpValue> Engine<T> for SimdEngine {
 
     fn solve(&self, seeds: &TriangularMatrix<T>) -> TriangularMatrix<T> {
         SimdEngineInner { nb: self.nb }.solve(seeds)
+    }
+
+    fn solve_metered(&self, seeds: &TriangularMatrix<T>, metrics: &Metrics) -> TriangularMatrix<T> {
+        SimdEngineInner { nb: self.nb }.solve_metered(seeds, metrics)
     }
 }
 

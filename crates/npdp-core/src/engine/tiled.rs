@@ -80,11 +80,7 @@ mod tests {
                 let seeds = random_seeds(n, (n * 1000 + nb) as u64);
                 let reference = SerialEngine.solve(&seeds);
                 let tiled = TiledEngine::new(nb).solve(&seeds);
-                assert_eq!(
-                    reference.first_difference(&tiled),
-                    None,
-                    "n={n} nb={nb}"
-                );
+                assert_eq!(reference.first_difference(&tiled), None, "n={n} nb={nb}");
             }
         }
     }

@@ -26,13 +26,19 @@ pub struct WavefrontEngine {
 impl WavefrontEngine {
     /// Wavefront engine with memory blocks of side `nb` on the global pool.
     pub fn new(nb: usize) -> Self {
-        assert!(nb > 0 && nb.is_multiple_of(4), "block side must be a multiple of 4");
+        assert!(
+            nb > 0 && nb.is_multiple_of(4),
+            "block side must be a multiple of 4"
+        );
         Self { nb, threads: None }
     }
 
     /// Pin the number of rayon threads (builds a local pool per solve).
     pub fn with_threads(nb: usize, threads: usize) -> Self {
-        assert!(nb > 0 && nb.is_multiple_of(4), "block side must be a multiple of 4");
+        assert!(
+            nb > 0 && nb.is_multiple_of(4),
+            "block side must be a multiple of 4"
+        );
         assert!(threads >= 1);
         Self {
             nb,

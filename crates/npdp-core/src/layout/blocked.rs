@@ -38,7 +38,10 @@ impl<T: DpValue> BlockedMatrix<T> {
     /// # Panics
     /// If `nb` is zero or not a multiple of 4.
     pub fn new_infinity(n: usize, nb: usize) -> Self {
-        assert!(nb > 0 && nb.is_multiple_of(4), "block side must be a multiple of 4");
+        assert!(
+            nb > 0 && nb.is_multiple_of(4),
+            "block side must be a multiple of 4"
+        );
         let m = n.div_ceil(nb).max(1);
         let grid = TriangleGrid::new(m);
         let data = vec![T::INFINITY; grid.len() * nb * nb];
@@ -130,6 +133,24 @@ impl<T: DpValue> BlockedMatrix<T> {
     /// Mutable backing store (used by the parallel engine's shared view).
     pub fn as_mut_slice(&mut self) -> &mut [T] {
         &mut self.data
+    }
+
+    /// Number of *logical* DP cells (`i < j < n`) stored in block
+    /// `(bi, bj)` — edge blocks are partly padding, diagonal blocks hold a
+    /// strict triangle. Summed over all blocks this is `n(n-1)/2`, which is
+    /// how the metrics layer attributes `engine.cells_computed` per block.
+    pub fn logical_cells_in_block(&self, bi: usize, bj: usize) -> usize {
+        debug_assert!(bi <= bj && bj < self.m);
+        let rows = self.n.saturating_sub(bi * self.nb).min(self.nb);
+        let cols = self.n.saturating_sub(bj * self.nb).min(self.nb);
+        if bi == bj {
+            // Strict upper triangle of a rows×rows corner (rows == cols).
+            rows * rows.saturating_sub(1) / 2
+        } else {
+            // Every row index in block-row bi is below every column index in
+            // block-column bj, so the whole unpadded rectangle is logical.
+            rows * cols
+        }
     }
 
     /// Verify every padding cell still holds `INFINITY` — engines must keep
@@ -228,5 +249,19 @@ mod tests {
     #[should_panic(expected = "multiple of 4")]
     fn rejects_unaligned_block_side() {
         let _ = BlockedMatrix::<f32>::new_infinity(16, 6);
+    }
+
+    #[test]
+    fn logical_cells_sum_to_triangle_size() {
+        for n in [1, 2, 3, 5, 8, 9, 13, 16, 17, 40] {
+            for nb in [4, 8, 16] {
+                let b = BlockedMatrix::<f32>::new_infinity(n, nb);
+                let total: usize = (0..b.blocks_per_side())
+                    .flat_map(|bi| (bi..b.blocks_per_side()).map(move |bj| (bi, bj)))
+                    .map(|(bi, bj)| b.logical_cells_in_block(bi, bj))
+                    .sum();
+                assert_eq!(total, n * n.saturating_sub(1) / 2, "n={n} nb={nb}");
+            }
+        }
     }
 }

@@ -31,13 +31,7 @@ pub fn random_seeds_i64(n: usize, bound: i64, seed: u64) -> TriangularMatrix<i64
 pub fn chain_seeds_f32(n: usize, seed: u64) -> TriangularMatrix<f32> {
     let mut rng = StdRng::seed_from_u64(seed);
     let w: Vec<f32> = (0..n).map(|_| rng.random::<f32>() * 10.0 + 0.5).collect();
-    TriangularMatrix::from_fn(n, |i, j| {
-        if j == i + 1 {
-            w[i]
-        } else {
-            f32::INFINITY
-        }
-    })
+    TriangularMatrix::from_fn(n, |i, j| if j == i + 1 { w[i] } else { f32::INFINITY })
 }
 
 /// Sparse seeds: a fraction `density` of cells finite. Exercises ∞

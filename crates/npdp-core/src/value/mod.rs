@@ -88,15 +88,12 @@ impl DpValue for f64 {
     #[inline(always)]
     fn tile4_update(c: &mut [Self], cs: usize, a: &[Self], as_: usize, b: &[Self], bs: usize) {
         // Two F64x2 registers per tile row (the SPU's DP layout).
-        let av: [[F64x2; 2]; 4] = std::array::from_fn(|r| {
-            [F64x2::load(&a[r * as_..]), F64x2::load(&a[r * as_ + 2..])]
-        });
-        let bv: [[F64x2; 2]; 4] = std::array::from_fn(|r| {
-            [F64x2::load(&b[r * bs..]), F64x2::load(&b[r * bs + 2..])]
-        });
-        let mut cv: [[F64x2; 2]; 4] = std::array::from_fn(|r| {
-            [F64x2::load(&c[r * cs..]), F64x2::load(&c[r * cs + 2..])]
-        });
+        let av: [[F64x2; 2]; 4] =
+            std::array::from_fn(|r| [F64x2::load(&a[r * as_..]), F64x2::load(&a[r * as_ + 2..])]);
+        let bv: [[F64x2; 2]; 4] =
+            std::array::from_fn(|r| [F64x2::load(&b[r * bs..]), F64x2::load(&b[r * bs + 2..])]);
+        let mut cv: [[F64x2; 2]; 4] =
+            std::array::from_fn(|r| [F64x2::load(&c[r * cs..]), F64x2::load(&c[r * cs + 2..])]);
         simd_kernel::block4x4_minplus_f64(&mut cv, &av, &bv);
         for r in 0..4 {
             cv[r][0].store(&mut c[r * cs..]);
@@ -146,9 +143,7 @@ mod tests {
 
     fn tile_update_matches_scalar<T: DpValue>(vals: impl Fn(usize) -> T) {
         let stride = 5;
-        let mk = |off: usize| -> Vec<T> {
-            (0..4 * stride).map(|i| vals(i * 7 + off)).collect()
-        };
+        let mk = |off: usize| -> Vec<T> { (0..4 * stride).map(|i| vals(i * 7 + off)).collect() };
         let a = mk(1);
         let b = mk(2);
         let c0 = mk(3);

@@ -1,0 +1,314 @@
+//! Minimal JSON value model and serializer.
+//!
+//! The build environment has no crates.io access, so serde/serde_json are
+//! unavailable; `BENCH_*.json` reports are emitted through this hand-rolled
+//! writer instead. It covers exactly what the report format needs — objects
+//! with insertion order preserved, arrays, strings, integers, floats and
+//! booleans — and always produces valid RFC 8259 output (non-finite floats
+//! are serialized as `null`).
+
+use std::fmt::Write as _;
+
+/// A JSON value. Object keys keep insertion order so emitted reports diff
+/// cleanly between runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Serialized without a decimal point; counters land here.
+    UInt(u64),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::UInt(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::UInt(v as u64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::UInt(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::Float(v as f64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl<V: Into<Value>> FromIterator<V> for Value {
+    fn from_iter<I: IntoIterator<Item = V>>(iter: I) -> Self {
+        Value::Array(iter.into_iter().map(Into::into).collect())
+    }
+}
+
+impl Value {
+    /// An empty object, to be filled with [`Value::set`].
+    pub fn object() -> Self {
+        Value::Object(Vec::new())
+    }
+
+    /// Insert or replace `key` in an object. Panics on non-objects —
+    /// report-building code controls its own shapes.
+    pub fn set(&mut self, key: &str, value: impl Into<Value>) -> &mut Self {
+        let Value::Object(entries) = self else {
+            panic!("Value::set on non-object JSON value");
+        };
+        let value = value.into();
+        match entries.iter_mut().find(|(k, _)| k == key) {
+            Some((_, slot)) => *slot = value,
+            None => entries.push((key.to_owned(), value)),
+        }
+        self
+    }
+
+    /// Fetch `key` from an object (None on non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(v) => Some(*v),
+            Value::Int(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::UInt(v) => Some(*v as f64),
+            Value::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Serialize compactly (no whitespace).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    /// Serialize pretty-printed with two-space indentation and a trailing
+    /// newline — the on-disk `BENCH_*.json` format.
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::Float(v) => write_float(out, *v),
+            Value::Str(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Object(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Value::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    item.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Value::Object(entries) if !entries.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+            other => other.write_compact(out),
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_float(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        // JSON has no Infinity/NaN literals.
+        out.push_str("null");
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        // Keep integral floats distinguishable from counters (`12.0`).
+        let _ = write!(out, "{v:.1}");
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_serialize() {
+        assert_eq!(Value::Null.to_json(), "null");
+        assert_eq!(Value::from(true).to_json(), "true");
+        assert_eq!(Value::from(42u64).to_json(), "42");
+        assert_eq!(Value::from(-7i64).to_json(), "-7");
+        assert_eq!(Value::from(1.5f64).to_json(), "1.5");
+        assert_eq!(Value::from(3.0f64).to_json(), "3.0");
+        assert_eq!(Value::from(f64::NAN).to_json(), "null");
+        assert_eq!(Value::from(f64::INFINITY).to_json(), "null");
+    }
+
+    #[test]
+    fn strings_escape_control_characters() {
+        assert_eq!(
+            Value::from("a\"b\\c\nd\u{1}").to_json(),
+            r#""a\"b\\c\nd\u0001""#
+        );
+    }
+
+    #[test]
+    fn objects_preserve_insertion_order_and_replace() {
+        let mut obj = Value::object();
+        obj.set("z", 1u64).set("a", 2u64).set("z", 3u64);
+        assert_eq!(obj.to_json(), r#"{"z":3,"a":2}"#);
+        assert_eq!(obj.get("a").and_then(Value::as_u64), Some(2));
+        assert_eq!(obj.get("missing"), None);
+    }
+
+    #[test]
+    fn arrays_from_iterators() {
+        let v: Value = [1u64, 2, 3].into_iter().collect();
+        assert_eq!(v.to_json(), "[1,2,3]");
+    }
+
+    #[test]
+    fn pretty_printing_is_stable() {
+        let mut obj = Value::object();
+        obj.set("name", "fig10b");
+        obj.set("ns", [1u64, 2].into_iter().collect::<Value>());
+        obj.set("empty", Value::object());
+        let pretty = obj.to_json_pretty();
+        assert_eq!(
+            pretty,
+            "{\n  \"name\": \"fig10b\",\n  \"ns\": [\n    1,\n    2\n  ],\n  \"empty\": {}\n}\n"
+        );
+    }
+}

@@ -1,0 +1,203 @@
+//! The `BENCH_<experiment>.json` report format.
+//!
+//! Every repro binary can dump its results machine-readably (via the
+//! `--json <path>` flag wired in `crates/bench`), so perf trajectories can
+//! be tracked by diffing reports across commits instead of scraping stdout
+//! tables. One report = one experiment run:
+//!
+//! ```json
+//! {
+//!   "schema": "cellnpdp-bench-v1",
+//!   "experiment": "fig10b",
+//!   "parameters": { "n": 2048, "precision": "f32" },
+//!   "timings": [ { "label": "parallel/8", "seconds": 0.41 } ],
+//!   "counters": { "engine.cells_computed": 2096128 },
+//!   "rows": [ ... ]            // optional experiment-specific records
+//! }
+//! ```
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+use crate::json::Value;
+use crate::Recorder;
+
+pub const SCHEMA: &str = "cellnpdp-bench-v1";
+
+/// Builder for one experiment's machine-readable results.
+#[derive(Debug, Clone)]
+pub struct Report {
+    experiment: String,
+    parameters: Value,
+    timings: Vec<Value>,
+    counters: BTreeMap<String, u64>,
+    rows: Vec<Value>,
+}
+
+impl Report {
+    /// `experiment` names the run (e.g. `"fig10b"`); it becomes the
+    /// `BENCH_fig10b.json` default file name.
+    pub fn new(experiment: &str) -> Self {
+        Self {
+            experiment: experiment.to_owned(),
+            parameters: Value::object(),
+            timings: Vec::new(),
+            counters: BTreeMap::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn experiment(&self) -> &str {
+        &self.experiment
+    }
+
+    /// Record an input parameter of the run (problem size, precision, …).
+    pub fn set_param(&mut self, key: &str, value: impl Into<Value>) -> &mut Self {
+        self.parameters.set(key, value);
+        self
+    }
+
+    /// Record one labelled wall-clock measurement in seconds.
+    pub fn add_timing(&mut self, label: &str, seconds: f64) -> &mut Self {
+        let mut t = Value::object();
+        t.set("label", label).set("seconds", seconds);
+        self.timings.push(t);
+        self
+    }
+
+    /// Record one experiment-specific result record (a table row).
+    pub fn add_row(&mut self, row: Value) -> &mut Self {
+        self.rows.push(row);
+        self
+    }
+
+    /// Set one counter directly.
+    pub fn set_counter(&mut self, key: &str, value: u64) -> &mut Self {
+        self.counters.insert(key.to_owned(), value);
+        self
+    }
+
+    /// Merge a recorder snapshot, prefixing every key with `prefix` (pass
+    /// `""` for none). Later merges overwrite colliding keys.
+    pub fn merge_recorder(&mut self, prefix: &str, recorder: &Recorder) -> &mut Self {
+        for (key, value) in recorder.snapshot() {
+            let full = if prefix.is_empty() {
+                key
+            } else {
+                format!("{prefix}.{key}")
+            };
+            self.counters.insert(full, value);
+        }
+        self
+    }
+
+    /// The conventional file name for this report: `BENCH_<experiment>.json`.
+    pub fn default_filename(&self) -> String {
+        format!("BENCH_{}.json", self.experiment)
+    }
+
+    /// Assemble the JSON document.
+    pub fn to_value(&self) -> Value {
+        let mut doc = Value::object();
+        doc.set("schema", SCHEMA);
+        doc.set("experiment", self.experiment.as_str());
+        doc.set("parameters", self.parameters.clone());
+        doc.set("timings", Value::Array(self.timings.clone()));
+        let mut counters = Value::object();
+        for (key, value) in &self.counters {
+            counters.set(key, *value);
+        }
+        doc.set("counters", counters);
+        if !self.rows.is_empty() {
+            doc.set("rows", Value::Array(self.rows.clone()));
+        }
+        doc
+    }
+
+    pub fn to_json_pretty(&self) -> String {
+        self.to_value().to_json_pretty()
+    }
+
+    /// Write the report to `path` (pretty-printed).
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_json_pretty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Metrics;
+
+    #[test]
+    fn report_assembles_all_sections() {
+        let (metrics, recorder) = Metrics::recording();
+        metrics.add("engine.cells_computed", 120);
+        metrics.record_max("queue.depth_hwm", 4);
+
+        let mut report = Report::new("fig10b");
+        report
+            .set_param("n", 2048u64)
+            .set_param("precision", "f32")
+            .add_timing("parallel/8", 0.41)
+            .merge_recorder("", &recorder)
+            .set_counter("dma.bytes", 65536);
+
+        let doc = report.to_value();
+        assert_eq!(doc.get("schema").and_then(Value::as_str), Some(SCHEMA));
+        assert_eq!(
+            doc.get("experiment").and_then(Value::as_str),
+            Some("fig10b")
+        );
+        assert_eq!(
+            doc.get("parameters")
+                .and_then(|p| p.get("n"))
+                .and_then(Value::as_u64),
+            Some(2048)
+        );
+        let counters = doc.get("counters").unwrap();
+        assert_eq!(
+            counters
+                .get("engine.cells_computed")
+                .and_then(Value::as_u64),
+            Some(120)
+        );
+        assert_eq!(
+            counters.get("dma.bytes").and_then(Value::as_u64),
+            Some(65536)
+        );
+        assert_eq!(report.default_filename(), "BENCH_fig10b.json");
+        // No rows section when no rows recorded.
+        assert_eq!(doc.get("rows"), None);
+    }
+
+    #[test]
+    fn merge_recorder_applies_prefix() {
+        let (metrics, recorder) = Metrics::recording();
+        metrics.add("bytes", 7);
+        let mut report = Report::new("x");
+        report.merge_recorder("dma", &recorder);
+        let doc = report.to_value();
+        assert_eq!(
+            doc.get("counters")
+                .and_then(|c| c.get("dma.bytes"))
+                .and_then(Value::as_u64),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn write_to_round_trips_to_disk() {
+        let dir = std::env::temp_dir().join("npdp-metrics-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_roundtrip.json");
+        let mut report = Report::new("roundtrip");
+        report.add_timing("t", 1.0);
+        report.write_to(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"schema\": \"cellnpdp-bench-v1\""));
+        assert!(text.ends_with('\n'));
+        std::fs::remove_file(&path).ok();
+    }
+}

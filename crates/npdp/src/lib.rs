@@ -14,6 +14,8 @@
 //!   dual-issue timing, DMA/EIB model, QS20 machine model).
 //! * [`cachesim`] (`cache-sim`) — LLC traffic measurement (Fig. 9b).
 //! * [`model`] (`perf-model`) — the §V analytical performance model.
+//! * [`metrics`] (`npdp-metrics`) — counters, scoped timers and the
+//!   `BENCH_*.json` report emitter threaded through all of the above.
 //! * [`rna`] (`zuker`) — simplified Zuker RNA folding on the engines.
 //! * [`baseline`] (`baselines`) — the original algorithm and TanNPDP.
 //!
@@ -31,6 +33,7 @@ pub use baselines as baseline;
 pub use cache_sim as cachesim;
 pub use cell_sim as cell;
 pub use npdp_core as core;
+pub use npdp_metrics as metrics;
 pub use perf_model as model;
 pub use simd_kernel as simd;
 pub use task_queue as tasks;
@@ -43,4 +46,5 @@ pub mod prelude {
         BlockedEngine, BlockedMatrix, DpValue, Engine, ParallelEngine, Scheduler, SerialEngine,
         SimdEngine, TiledEngine, TriangularMatrix, WavefrontEngine,
     };
+    pub use npdp_metrics::{Metrics, MetricsSink, Recorder, Report};
 }

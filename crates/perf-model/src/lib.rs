@@ -164,10 +164,7 @@ impl PerfModel {
     /// Compute time `T_C ≈ N₁³·C_C / (6·N₃³·f·C_N)` in seconds.
     pub fn compute_time(&self, n1: f64) -> f64 {
         n1.powi(3) * self.kernel.cycles_per_update
-            / (6.0
-                * self.kernel.n3.powi(3)
-                * self.machine.freq_hz
-                * self.machine.cores)
+            / (6.0 * self.kernel.n3.powi(3) * self.machine.freq_hz * self.machine.cores)
     }
 
     /// Total time `T_All = max(T_M, T_C)` — DMA is asynchronous, so memory

@@ -241,7 +241,9 @@ mod tests {
         let mut m = [[0.0f32; 4]; 4];
         for row in m.iter_mut() {
             for v in row.iter_mut() {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 *v = ((s >> 33) as f32) / (u32::MAX as f32) * 100.0;
             }
         }

@@ -138,8 +138,7 @@ mod tests {
         assert_eq!(g.pred_count(3), 2);
         assert_eq!(g.critical_path_len(), 3);
         let order = g.topological_order().unwrap();
-        let pos =
-            |t: usize| order.iter().position(|&x| x == t).unwrap();
+        let pos = |t: usize| order.iter().position(|&x| x == t).unwrap();
         assert!(pos(0) < pos(1) && pos(0) < pos(2));
         assert!(pos(1) < pos(3) && pos(2) < pos(3));
     }

@@ -10,9 +10,11 @@
 //! cooperatively manage the task queue", §VI-B).
 
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::time::Instant;
 
 use crossbeam::queue::SegQueue;
 use crossbeam::utils::Backoff;
+use npdp_metrics::Metrics;
 
 use crate::graph::TaskGraph;
 
@@ -53,6 +55,23 @@ pub fn execute_with_stats<F>(graph: &TaskGraph, workers: usize, task: F) -> Exec
 where
     F: Fn(usize) + Sync,
 {
+    execute_metered(graph, workers, &Metrics::noop(), task)
+}
+
+/// Like [`execute_with_stats`], also emitting scheduler counters into
+/// `metrics`: `queue.tasks_executed`, `queue.ready_pushes`,
+/// `queue.depth_hwm` (ready-queue high-water mark) and
+/// `queue.worker_idle_ns` (summed over workers). With a disabled handle
+/// every event is one untaken branch and idle time is not sampled.
+pub fn execute_metered<F>(
+    graph: &TaskGraph,
+    workers: usize,
+    metrics: &Metrics,
+    task: F,
+) -> ExecStats
+where
+    F: Fn(usize) + Sync,
+{
     assert!(workers >= 1, "need at least one worker");
     let n = graph.len();
     if n == 0 {
@@ -73,7 +92,9 @@ where
     let ready: SegQueue<u32> = SegQueue::new();
     for t in graph.roots() {
         ready.push(t as u32);
+        metrics.add("queue.ready_pushes", 1);
     }
+    metrics.record_max("queue.depth_hwm", ready.len() as u64);
 
     let counts: Vec<AtomicUsize> = (0..workers).map(|_| AtomicUsize::new(0)).collect();
 
@@ -86,6 +107,7 @@ where
             let counts = &counts;
             scope.spawn(move || {
                 let backoff = Backoff::new();
+                let mut idle_ns: u64 = 0;
                 loop {
                     match ready.pop() {
                         Some(t) => {
@@ -93,6 +115,7 @@ where
                             let t = t as usize;
                             task(t);
                             counts[w].fetch_add(1, Ordering::Relaxed);
+                            metrics.add("queue.tasks_executed", 1);
                             // Notify successors; Release pairs with the
                             // Acquire below so a worker picking up a
                             // newly-ready task sees all writes made while
@@ -100,6 +123,8 @@ where
                             for &s in graph.successors(t) {
                                 if pending[s as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
                                     ready.push(s);
+                                    metrics.add("queue.ready_pushes", 1);
+                                    metrics.record_max("queue.depth_hwm", ready.len() as u64);
                                 }
                             }
                             remaining.fetch_sub(1, Ordering::Release);
@@ -108,9 +133,18 @@ where
                             if remaining.load(Ordering::Acquire) == 0 {
                                 break;
                             }
-                            backoff.snooze();
+                            if metrics.enabled() {
+                                let start = Instant::now();
+                                backoff.snooze();
+                                idle_ns += start.elapsed().as_nanos() as u64;
+                            } else {
+                                backoff.snooze();
+                            }
                         }
                     }
+                }
+                if idle_ns > 0 {
+                    metrics.add("queue.worker_idle_ns", idle_ns);
                 }
             });
         }
@@ -127,9 +161,7 @@ pub fn execute_sequential<F>(graph: &TaskGraph, mut task: F)
 where
     F: FnMut(usize),
 {
-    let order = graph
-        .topological_order()
-        .expect("task graph has a cycle");
+    let order = graph.topological_order().expect("task graph has a cycle");
     for t in order {
         task(t);
     }
@@ -223,5 +255,25 @@ mod tests {
     fn empty_graph_returns_immediately() {
         let g = TaskGraph::new(0);
         execute(&g, 4, |_| panic!("no tasks to run"));
+    }
+
+    #[test]
+    fn metered_execution_counts_tasks_and_pushes() {
+        let g = diamond();
+        let (metrics, recorder) = Metrics::recording();
+        let stats = execute_metered(&g, 2, &metrics, |_| {});
+        assert_eq!(stats.tasks_per_worker.iter().sum::<usize>(), 4);
+        assert_eq!(recorder.get("queue.tasks_executed"), 4);
+        // Every task enters the ready queue exactly once.
+        assert_eq!(recorder.get("queue.ready_pushes"), 4);
+        let hwm = recorder.get("queue.depth_hwm");
+        assert!((1..=4).contains(&hwm), "hwm={hwm}");
+    }
+
+    #[test]
+    fn disabled_metrics_record_nothing() {
+        let g = diamond();
+        let stats = execute_metered(&g, 2, &Metrics::noop(), |_| {});
+        assert_eq!(stats.tasks_per_worker.iter().sum::<usize>(), 4);
     }
 }

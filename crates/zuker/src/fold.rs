@@ -199,8 +199,7 @@ pub fn fold_exact(seq: &[Base], model: &EnergyModel) -> FoldResult {
                     for k in i + 1..j - 1 {
                         let (l, r) = (wm_at(&wm, i + 1, k), wm_at(&wm, k + 1, j - 1));
                         if l < INF && r < INF {
-                            best = best
-                                .min(model.multi_close() + model.multi_branch + l + r);
+                            best = best.min(model.multi_close() + model.multi_branch + l + r);
                         }
                     }
                 }
@@ -382,11 +381,7 @@ mod tests {
                 .iter()
                 .copied()
                 .filter(|&(a, b)| i < a && b < j)
-                .filter(|&(a, b)| {
-                    !pairs
-                        .iter()
-                        .any(|&(c, d)| i < c && d < j && c < a && b < d)
-                })
+                .filter(|&(a, b)| !pairs.iter().any(|&(c, d)| i < c && d < j && c < a && b < d))
                 .collect();
             let contrib = match children.len() {
                 0 => model.hairpin(j - i - 1),
@@ -532,7 +527,6 @@ pub fn v_stems_banded(seq: &[Base], model: &EnergyModel, band: usize) -> VTable 
 mod local_tests {
     use super::*;
     use crate::sequence::{hairpin_sequence, random_sequence};
-    
 
     #[test]
     fn local_fold_with_full_band_matches_global() {
@@ -579,7 +573,10 @@ mod local_tests {
         let (i, j, e) = best.expect("hairpin must be detected");
         assert!(e < 0);
         // The window must overlap the planted hairpin.
-        assert!(i < hp_end && j > hp_start, "window ({i},{j}) misses the hairpin");
+        assert!(
+            i < hp_end && j > hp_start,
+            "window ({i},{j}) misses the hairpin"
+        );
     }
 
     #[test]

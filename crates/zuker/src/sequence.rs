@@ -100,7 +100,13 @@ pub fn hairpin_sequence(stem: usize, loop_len: usize, seed: u64) -> Seq {
     assert!(loop_len >= 3, "hairpin loops need at least 3 bases");
     let mut rng = StdRng::seed_from_u64(seed);
     let left: Seq = (0..stem)
-        .map(|_| if rng.random_bool(0.5) { Base::G } else { Base::A })
+        .map(|_| {
+            if rng.random_bool(0.5) {
+                Base::G
+            } else {
+                Base::A
+            }
+        })
         .collect();
     let mut seq = left.clone();
     for _ in 0..loop_len {

@@ -46,12 +46,7 @@ impl Structure {
             if !model.can_pair(seq[i], seq[j]) {
                 return Err(format!("unpairable bases at ({i},{j})"));
             }
-            if j - i - 1 < model.min_hairpin
-                && !self
-                    .pairs
-                    .iter()
-                    .any(|&(a, b)| i < a && b < j)
-            {
+            if j - i - 1 < model.min_hairpin && !self.pairs.iter().any(|&(a, b)| i < a && b < j) {
                 return Err(format!("hairpin too short at ({i},{j})"));
             }
         }
@@ -335,10 +330,9 @@ pub fn traceback_exact(
     model: &EnergyModel,
     r: &crate::fold::FoldResult,
 ) -> Structure {
-    let wm = r
-        .wm
-        .as_ref()
-        .expect("traceback_exact needs fold_exact's WM table");
+    let wm =
+        r.wm.as_ref()
+            .expect("traceback_exact needs fold_exact's WM table");
     let n = seq.len();
     let mut pairs = Vec::new();
     if n > 0 {
@@ -522,7 +516,9 @@ mod exact_tests {
                     .iter()
                     .filter(|&&(a, b)| i < a && b < j)
                     .filter(|&&(a, b)| {
-                        !s.pairs.iter().any(|&(c, d)| i < c && d < j && c < a && b < d)
+                        !s.pairs
+                            .iter()
+                            .any(|&(c, d)| i < c && d < j && c < a && b < d)
                     })
                     .count();
                 if children >= 2 {
@@ -530,7 +526,10 @@ mod exact_tests {
                 }
             }
         }
-        assert!(found_multibranch, "no multiloop found in any engineered case");
+        assert!(
+            found_multibranch,
+            "no multiloop found in any engineered case"
+        );
     }
 
     #[test]

@@ -63,7 +63,11 @@ fn main() {
     println!("{:>7} {:>12} {:>12}", "n", "seconds", "utilization");
     for n in [4096usize, 8192, 16384] {
         let r = simulate_cellnpdp(&cfg, n, nb, 1, Precision::Single, 16);
-        println!("{n:>7} {:>11.2}s {:>11.1}%", r.seconds, r.utilization * 100.0);
+        println!(
+            "{n:>7} {:>11.2}s {:>11.1}%",
+            r.seconds,
+            r.utilization * 100.0
+        );
     }
     println!("(paper Table II: 0.22 s / 1.77 s / 13.90 s; §VI-A.4: 62.5% utilization)");
 }

@@ -20,7 +20,10 @@ fn main() {
             .collect::<Vec<_>>()
             .join(" · ")
     );
-    println!("optimal cost:    {} scalar multiplications", mc.optimal_cost());
+    println!(
+        "optimal cost:    {} scalar multiplications",
+        mc.optimal_cost()
+    );
     println!("parenthesization: {}", mc.parenthesization());
 
     // --- Optimal BST ---

@@ -49,8 +49,16 @@ fn main() {
     let n = 384;
     let mk = |pf: usize| {
         Hierarchy::new(
-            CacheConfig { capacity_bytes: 8 * 1024, ways: 8, line_bytes: 64 },
-            CacheConfig { capacity_bytes: 128 * 1024, ways: 16, line_bytes: 64 },
+            CacheConfig {
+                capacity_bytes: 8 * 1024,
+                ways: 8,
+                line_bytes: 64,
+            },
+            CacheConfig {
+                capacity_bytes: 128 * 1024,
+                ways: 16,
+                line_bytes: 64,
+            },
             pf,
         )
     };

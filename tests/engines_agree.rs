@@ -17,7 +17,10 @@ fn all_f32_engines(workers: usize) -> Vec<(&'static str, Box<dyn Engine<f32>>)> 
         ("simd-8", Box::new(SimdEngine::new(8))),
         ("simd-16", Box::new(SimdEngine::new(16))),
         ("parallel-8-1", Box::new(ParallelEngine::new(8, 1, workers))),
-        ("parallel-16-2", Box::new(ParallelEngine::new(16, 2, workers))),
+        (
+            "parallel-16-2",
+            Box::new(ParallelEngine::new(16, 2, workers)),
+        ),
         ("wavefront-8", Box::new(WavefrontEngine::new(8))),
         ("tan-16", Box::new(TanEngine::new(16))),
     ]
@@ -162,6 +165,104 @@ proptest! {
         let out = ParallelEngine::new(8, 2, 4).solve(&seeds);
         for (i, j, v) in out.iter() {
             prop_assert!(v <= seeds.get(i, j), "cell ({},{}) increased", i, j);
+        }
+    }
+}
+
+mod edge_shapes {
+    use super::all_f32_engines;
+    use npdp::core::problem;
+    use npdp::prelude::*;
+
+    /// Regression: the degenerate shapes — empty triangle (n = 1), a single
+    /// cell (n = 2), and sizes straddling every block boundary — must agree
+    /// bit-for-bit across every engine.
+    #[test]
+    fn engines_bit_identical_on_boundary_sizes() {
+        for n in [1usize, 2, 3, 7, 8, 9, 15, 16, 17, 31, 33] {
+            let seeds = problem::random_seeds_f32(n, 100.0, 1000 + n as u64);
+            let reference = SerialEngine.solve(&seeds);
+            for (name, engine) in all_f32_engines(4) {
+                assert_eq!(
+                    reference.first_difference(&engine.solve(&seeds)),
+                    None,
+                    "engine {name} diverged at boundary n={n}"
+                );
+            }
+        }
+    }
+
+    /// Regression: diagonal padding of a ragged BlockedMatrix must stay +∞
+    /// through a full blocked solve, for n not a multiple of the block side.
+    #[test]
+    fn blocked_padding_stays_infinite_on_ragged_sizes() {
+        for n in [1usize, 2, 5, 9, 13, 17, 21, 37] {
+            for nb in [4usize, 8, 16] {
+                let seeds = problem::random_seeds_f32(n, 100.0, (n * nb) as u64);
+                let mut m = BlockedMatrix::from_triangular(&seeds, nb);
+                assert!(m.padding_is_inert(), "fresh padding n={n} nb={nb}");
+                ParallelEngine::new(nb, 2, 3).solve_blocked_in_place(&mut m);
+                assert!(
+                    m.padding_is_inert(),
+                    "padding corrupted by solve at n={n} nb={nb}"
+                );
+                assert_eq!(
+                    SerialEngine
+                        .solve(&seeds)
+                        .first_difference(&m.to_triangular()),
+                    None,
+                    "ragged blocked solve diverged at n={n} nb={nb}"
+                );
+            }
+        }
+    }
+}
+
+mod metrics_invariants {
+    use npdp::core::problem;
+    use npdp::prelude::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// A no-op metrics sink must not change DP results: `solve_metered`
+        /// with disabled metrics and with a live recorder both equal the
+        /// plain `solve`, bit for bit.
+        #[test]
+        fn prop_metrics_sink_leaves_results_unchanged(
+            n in 1usize..90,
+            workers in 1usize..6,
+            seed in any::<u64>(),
+        ) {
+            let seeds = problem::random_seeds_f32(n, 100.0, seed);
+            let engine = ParallelEngine::new(8, 2, workers);
+            let plain = engine.solve(&seeds);
+            let noop = engine.solve_metered(&seeds, &Metrics::noop());
+            let (recording, _rec) = Metrics::recording();
+            let recorded = engine.solve_metered(&seeds, &recording);
+            prop_assert_eq!(plain.first_difference(&noop), None);
+            prop_assert_eq!(plain.first_difference(&recorded), None);
+        }
+
+        /// Serial and parallel engines must account the same logical work:
+        /// `engine.cells_computed` equals n(n-1)/2 for both.
+        #[test]
+        fn prop_serial_and_parallel_count_same_cells(
+            n in 1usize..100,
+            nb_pow in 0u32..3,
+            workers in 1usize..6,
+            seed in any::<u64>(),
+        ) {
+            let nb = 8usize << nb_pow;
+            let seeds = problem::random_seeds_f32(n, 100.0, seed);
+            let (m_serial, rec_serial) = Metrics::recording();
+            let _ = SerialEngine.solve_metered(&seeds, &m_serial);
+            let (m_par, rec_par) = Metrics::recording();
+            let _ = ParallelEngine::new(nb, 2, workers).solve_metered(&seeds, &m_par);
+            let expected = (n * (n - 1) / 2) as u64;
+            prop_assert_eq!(rec_serial.get("engine.cells_computed"), expected);
+            prop_assert_eq!(rec_par.get("engine.cells_computed"), expected);
         }
     }
 }

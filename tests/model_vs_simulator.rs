@@ -7,6 +7,7 @@
 use npdp::cell::machine::{ndl_bytes_transferred, simulate_cellnpdp, CellConfig};
 use npdp::cell::ppe::Precision;
 use npdp::model::{Kernel, Machine, PerfModel};
+use proptest::prelude::*;
 
 fn qs20_model() -> PerfModel {
     PerfModel::new(Machine::qs20(), Kernel::spu_sp(), 4)
@@ -96,6 +97,44 @@ fn dma_counter_matches_traffic_formula() {
         sim.dma.bytes,
         formula
     );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Property: for small problem sizes the simulator's DMA byte counter
+    /// tracks the §V analytic NDL traffic — both the closed-form
+    /// `ndl_bytes_transferred` (cubic term + table read/write) and the
+    /// perf-model's leading term `n³·S/(3·nb)`. The band is wide at small
+    /// sizes because the O(n²) table term the leading term drops is still
+    /// visible there.
+    #[test]
+    fn prop_dma_bytes_match_ndl_formula_small_n(
+        blocks in 4usize..14,
+        nb_choice in 0usize..3,
+        spes in 1usize..9,
+    ) {
+        let nb = [32usize, 64, 88][nb_choice];
+        let n = blocks * nb;
+        let cfg = CellConfig::qs20();
+        let sim = simulate_cellnpdp(&cfg, n, nb, 1, Precision::Single, spes);
+        let formula = ndl_bytes_transferred(n as u64, nb as u64, Precision::Single);
+        let ratio = sim.dma.bytes as f64 / formula as f64;
+        prop_assert!(
+            (0.6..1.5).contains(&ratio),
+            "sim {} vs closed form {} (n={}, nb={}, ratio {:.2})",
+            sim.dma.bytes, formula, n, nb, ratio
+        );
+        let model = PerfModel::new(Machine::qs20(), Kernel::spu_sp(), 4);
+        let leading = model.memory_time(n as f64, Some(nb as f64))
+            * model.machine.bandwidth_bytes_per_s;
+        let ratio_leading = sim.dma.bytes as f64 / leading;
+        prop_assert!(
+            (0.6..2.5).contains(&ratio_leading),
+            "sim {} vs model leading term {:.0} (n={}, nb={}, ratio {:.2})",
+            sim.dma.bytes, leading, n, nb, ratio_leading
+        );
+    }
 }
 
 #[test]

@@ -6,10 +6,52 @@
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 
 use npdp::tasks::{
-    execute, execute_sequential, execute_with_stats, scheduling_grid, triangle_graph, TaskGraph,
-    TriangleGrid,
+    execute, execute_metered, execute_sequential, execute_stealing, execute_stealing_metered,
+    execute_with_stats, scheduling_grid, triangle_graph, TaskGraph, TriangleGrid,
 };
+use npdp_metrics::Metrics;
 use proptest::prelude::*;
+
+#[test]
+fn tiny_triangles_never_deadlock() {
+    // Regression for the notify-twice ready rule: the 1×1 triangle (one
+    // root, no edges) and single-row triangles (a pure chain) are the shapes
+    // where a double notification or a missed root would deadlock or
+    // double-run. Stress both executors with more workers than tasks.
+    for m in [1usize, 2, 3] {
+        let graph = triangle_graph(m);
+        let expected = m * (m + 1) / 2;
+        for workers in [1usize, 4, 16] {
+            let count = AtomicUsize::new(0);
+            execute(&graph, workers, |_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(count.load(Ordering::Relaxed), expected, "pool m={m}");
+            let count = AtomicUsize::new(0);
+            execute_stealing(&graph, workers, |_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(count.load(Ordering::Relaxed), expected, "steal m={m}");
+        }
+    }
+}
+
+#[test]
+fn metered_executors_count_exactly_once_on_edge_shapes() {
+    // The metered paths share the ready-rule logic; their task counter is an
+    // independent witness that each task ran exactly once.
+    for m in [1usize, 2, 5, 9] {
+        let graph = triangle_graph(m);
+        let expected = (m * (m + 1) / 2) as u64;
+        let (metrics, rec) = Metrics::recording();
+        execute_metered(&graph, 8, &metrics, |_| {});
+        assert_eq!(rec.get("queue.tasks_executed"), expected, "pool m={m}");
+        assert_eq!(rec.get("queue.ready_pushes"), expected, "pushes m={m}");
+        let (metrics, rec) = Metrics::recording();
+        execute_stealing_metered(&graph, 8, &metrics, |_| {});
+        assert_eq!(rec.get("queue.tasks_executed"), expected, "steal m={m}");
+    }
+}
 
 #[test]
 fn triangle_execution_respects_full_dependence_set() {
@@ -56,7 +98,10 @@ fn scheduling_blocks_respect_dependences_too() {
                 done[grid.id(r, c)].fetch_add(1, Ordering::SeqCst);
             }
         });
-        assert!(done.iter().all(|d| d.load(Ordering::SeqCst) == 1), "sb={sb}");
+        assert!(
+            done.iter().all(|d| d.load(Ordering::SeqCst) == 1),
+            "sb={sb}"
+        );
     }
 }
 
@@ -110,7 +155,7 @@ proptest! {
             // Up to 3 random predecessors per node.
             for _ in 0..3 {
                 s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-                if s % 3 == 0 {
+                if s.is_multiple_of(3) {
                     let i = (s >> 33) as usize % j;
                     edges.push((i, j));
                 }
@@ -140,7 +185,7 @@ proptest! {
         let mut edges = Vec::new();
         for j in 1..n {
             s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-            if s % 2 == 0 {
+            if s.is_multiple_of(2) {
                 edges.push(((s >> 33) as usize % j, j));
             }
         }

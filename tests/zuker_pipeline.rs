@@ -3,10 +3,8 @@
 //! consistent and engine-independent.
 
 use npdp::prelude::*;
-use npdp::rna::{
-    fold_exact, fold_with_engine, random_sequence, traceback, EnergyModel,
-};
 use npdp::rna::traceback::score_stems;
+use npdp::rna::{fold_exact, fold_with_engine, random_sequence, traceback, EnergyModel};
 use proptest::prelude::*;
 
 #[test]
