@@ -8,6 +8,7 @@ use npdp_core::{
     WavefrontEngine,
 };
 use npdp_metrics::Metrics;
+use npdp_trace::Tracer;
 
 fn bench_engines(c: &mut Criterion) {
     let n = 512usize;
@@ -52,6 +53,28 @@ fn bench_engines(c: &mut Criterion) {
     g.bench_function("metered_recording", |b| {
         let (m, _rec) = Metrics::recording();
         b.iter(|| par.solve_metered(&seeds, &m))
+    });
+    g.finish();
+
+    // Trace-layer overhead: same contract as the metrics layer. The no-op
+    // tracer costs one untaken branch per would-be event and must stay
+    // within noise of plain (<2%); the recording tracer pays a clock read
+    // plus a ring-buffer push per event and is reported for reference.
+    let mut g = c.benchmark_group("trace_overhead_n512_f32");
+    g.throughput(Throughput::Elements(relax));
+    g.sample_size(10);
+    let par = ParallelEngine::new(64, 2, workers);
+    let metrics = Metrics::noop();
+    g.bench_function("plain", |b| b.iter(|| par.solve(&seeds)));
+    g.bench_function("traced_noop", |b| {
+        let t = Tracer::noop();
+        b.iter(|| par.solve_traced(&seeds, &metrics, &t))
+    });
+    g.bench_function("traced_recording", |b| {
+        b.iter(|| {
+            let t = Tracer::new();
+            par.solve_traced(&seeds, &metrics, &t)
+        })
     });
     g.finish();
 

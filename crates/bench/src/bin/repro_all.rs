@@ -3,10 +3,19 @@
 //!
 //! `--json <dir>` passes each child `--json <dir>/BENCH_<experiment>.json`,
 //! collecting the full machine-readable result set in one directory.
+//!
+//! `--trace <dir>` passes the binaries that support event tracing
+//! `--trace <dir>/TRACE_<experiment>.json`, collecting Chrome trace-event
+//! timelines alongside the reports. `NPDP_REPRO_SMALL=1` in the
+//! environment shrinks the host-measured problem sizes (inherited by the
+//! children automatically).
 
 use std::process::Command;
 
-use bench::json_out;
+use bench::{json_out, trace_out};
+
+/// Binaries that understand `--trace <path>`.
+const TRACEABLE: &[&str] = &["repro-table3", "repro-fig10b", "repro-fig11b"];
 
 const BINARIES: &[&str] = &[
     "repro-table1",
@@ -26,7 +35,8 @@ const BINARIES: &[&str] = &[
 
 fn main() {
     let json_dir = json_out();
-    if let Some(dir) = &json_dir {
+    let trace_dir = trace_out();
+    for dir in json_dir.iter().chain(trace_dir.iter()) {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("error: cannot create {}: {e}", dir.display());
             std::process::exit(1);
@@ -45,6 +55,13 @@ fn main() {
             let stem = bin.strip_prefix("repro-").unwrap_or(bin);
             cmd.arg("--json")
                 .arg(json_dir.join(format!("BENCH_{stem}.json")));
+        }
+        if let Some(trace_dir) = &trace_dir {
+            if TRACEABLE.contains(bin) {
+                let stem = bin.strip_prefix("repro-").unwrap_or(bin);
+                cmd.arg("--trace")
+                    .arg(trace_dir.join(format!("TRACE_{stem}.json")));
+            }
         }
         let status = cmd.status();
         match status {

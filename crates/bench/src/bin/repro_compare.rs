@@ -1,0 +1,122 @@
+//! Diff two `cellnpdp-bench-v1` reports (or directories of them) and exit
+//! nonzero on wall-clock regressions.
+//!
+//! ```text
+//! repro-compare <base.json|base-dir> <new.json|new-dir>
+//!               [--max-regress <pct|fraction>]   allowed slowdown (default 10%)
+//!               [--min-seconds <s>]              ignore faster timings (default 0)
+//! ```
+//!
+//! Exit codes: `0` no regressions, `1` regressions found, `2` usage or I/O
+//! error. Counters are compared informationally but never gate.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bench::compare::{diff_dirs, diff_files, parse_max_regress, CompareOptions};
+
+struct Args {
+    base: PathBuf,
+    new: PathBuf,
+    opts: CompareOptions,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro-compare <base.json|base-dir> <new.json|new-dir> \
+         [--max-regress <pct>] [--min-seconds <s>]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut positional = Vec::new();
+    let mut opts = CompareOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--max-regress" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.max_regress = parse_max_regress(&v).unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                });
+            }
+            "--min-seconds" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.min_seconds = v.parse().unwrap_or_else(|_| {
+                    eprintln!("error: invalid --min-seconds value '{v}'");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => usage(),
+            _ => positional.push(PathBuf::from(a)),
+        }
+    }
+    if positional.len() != 2 {
+        usage();
+    }
+    let new = positional.pop().unwrap();
+    let base = positional.pop().unwrap();
+    Args { base, new, opts }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let opts = &args.opts;
+    println!(
+        "comparing {} -> {} (max regress {:.1}%{})",
+        args.base.display(),
+        args.new.display(),
+        opts.max_regress * 100.0,
+        if opts.min_seconds > 0.0 {
+            format!(", ignoring timings < {}s", opts.min_seconds)
+        } else {
+            String::new()
+        }
+    );
+
+    let both_dirs = args.base.is_dir() && args.new.is_dir();
+    let (compared, regressions) = if both_dirs {
+        let d = match diff_dirs(&args.base, &args.new) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        for (name, diff) in &d.diffs {
+            println!("\n{name}");
+            print!("{}", diff.render(opts));
+        }
+        for name in &d.only_base {
+            println!("\n{name}: missing from new directory");
+        }
+        for name in &d.only_new {
+            println!("\n{name}: new (no baseline)");
+        }
+        let timings: usize = d.diffs.iter().map(|(_, x)| x.timings.len()).sum();
+        (timings, d.regression_count(opts))
+    } else if args.base.is_dir() != args.new.is_dir() {
+        eprintln!("error: cannot compare a directory against a single report");
+        return ExitCode::from(2);
+    } else {
+        let diff = match diff_files(&args.base, &args.new) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        println!();
+        print!("{}", diff.render(opts));
+        (diff.timings.len(), diff.regressions(opts).len())
+    };
+
+    println!("\n{compared} timing(s) compared, {regressions} regression(s)");
+    if regressions > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -10,16 +10,28 @@
 //! `--json <path>` additionally writes the timings, the parallel engine's
 //! work counters (cells, blocks, kernels), the task-queue scheduler
 //! counters and the analytic DMA traffic as `BENCH_fig10b.json`.
+//!
+//! `--trace <path>` captures an event timeline of one representative run —
+//! a host parallel solve (wall clock) plus a simulated QS20 run (SPE cycle
+//! clock, with DMA lanes) — as Chrome trace-event JSON and prints the
+//! occupancy/overlap/critical-path summary.
 
-use bench::{header, host_workers, json_out, time_engine, write_report, Metrics, Report};
-use cell_sim::machine::{ndl_bytes_transferred, original_bytes_transferred};
+use bench::{
+    header, host_workers, json_out, repro_small, time_engine, trace_out, write_report, write_trace,
+    Metrics, Report, Tracer,
+};
+use cell_sim::machine::{
+    ndl_bytes_transferred, original_bytes_transferred, simulate_cellnpdp_traced, CellConfig,
+    QueuePolicy,
+};
 use cell_sim::ppe::Precision;
 use npdp_core::problem;
-use npdp_core::{BlockedEngine, ParallelEngine, SerialEngine, SimdEngine, TiledEngine};
+use npdp_core::{BlockedEngine, Engine, ParallelEngine, SerialEngine, SimdEngine, TiledEngine};
 use npdp_metrics::json::Value;
 
 fn main() {
     let json = json_out();
+    let trace = trace_out();
     header(
         "Fig. 10(b)",
         "SP speedups on the CPU platform (measured; baseline: original)",
@@ -37,7 +49,11 @@ fn main() {
         "{:<7} {:>10} {:>9} {:>9} {:>9} {:>11}",
         "n", "original", "tiled", "NDL", "+SPEP", "+PARP"
     );
-    let sizes = [512usize, 1024, 1536];
+    let sizes: Vec<usize> = if repro_small() {
+        vec![192, 256]
+    } else {
+        vec![512, 1024, 1536]
+    };
     for &n in &sizes {
         let seeds = problem::random_seeds_f32(n, 100.0, n as u64);
         let t_orig = time_engine(&SerialEngine, &seeds);
@@ -94,4 +110,26 @@ fn main() {
         );
     }
     write_report(&report, json.as_deref());
+
+    if trace.is_some() {
+        // One traced capture at the smallest size: the host parallel engine
+        // on the wall clock and the simulated QS20 on its cycle clock share
+        // a tracer — the exporter and analyzer keep the domains apart.
+        let n = sizes[0];
+        let tracer = Tracer::new();
+        let seeds = problem::random_seeds_f32(n, 100.0, n as u64);
+        ParallelEngine::new(64, 2, workers).solve_traced(&seeds, &Metrics::noop(), &tracer);
+        let cfg = CellConfig::qs20();
+        simulate_cellnpdp_traced(
+            &cfg,
+            n,
+            64,
+            2,
+            Precision::Single,
+            workers.clamp(1, cfg.spes),
+            QueuePolicy::Fifo,
+            &tracer,
+        );
+        write_trace(&tracer, trace.as_deref());
+    }
 }

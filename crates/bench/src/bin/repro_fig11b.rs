@@ -5,16 +5,26 @@
 //! `--json <path>` additionally writes the timings, the parallel engine's
 //! work counters, the scheduler counters and the analytic DMA traffic as
 //! `BENCH_fig11b.json`.
+//!
+//! `--trace <path>` captures an event timeline (host parallel solve + a
+//! DP simulated QS20 run) as Chrome trace-event JSON, as in `repro-fig10b`.
 
-use bench::{header, host_workers, json_out, time_engine, write_report, Metrics, Report};
-use cell_sim::machine::{ndl_bytes_transferred, original_bytes_transferred};
+use bench::{
+    header, host_workers, json_out, repro_small, time_engine, trace_out, write_report, write_trace,
+    Metrics, Report, Tracer,
+};
+use cell_sim::machine::{
+    ndl_bytes_transferred, original_bytes_transferred, simulate_cellnpdp_traced, CellConfig,
+    QueuePolicy,
+};
 use cell_sim::ppe::Precision;
 use npdp_core::problem;
-use npdp_core::{BlockedEngine, ParallelEngine, SerialEngine, SimdEngine, TiledEngine};
+use npdp_core::{BlockedEngine, Engine, ParallelEngine, SerialEngine, SimdEngine, TiledEngine};
 use npdp_metrics::json::Value;
 
 fn main() {
     let json = json_out();
+    let trace = trace_out();
     header(
         "Fig. 11(b)",
         "DP speedups on the CPU platform (measured; baseline: original)",
@@ -33,7 +43,11 @@ fn main() {
         "{:<7} {:>10} {:>9} {:>9} {:>9} {:>11}",
         "n", "original", "tiled", "NDL", "+SPEP", "+PARP"
     );
-    let sizes = [512usize, 1024, 1536];
+    let sizes: Vec<usize> = if repro_small() {
+        vec![192, 256]
+    } else {
+        vec![512, 1024, 1536]
+    };
     for &n in &sizes {
         let seeds = problem::random_seeds_f64(n, 100.0, n as u64);
         let t_orig = time_engine(&SerialEngine, &seeds);
@@ -85,4 +99,23 @@ fn main() {
         );
     }
     write_report(&report, json.as_deref());
+
+    if trace.is_some() {
+        let n = sizes[0];
+        let tracer = Tracer::new();
+        let seeds = problem::random_seeds_f64(n, 100.0, n as u64);
+        ParallelEngine::new(64, 2, workers).solve_traced(&seeds, &Metrics::noop(), &tracer);
+        let cfg = CellConfig::qs20();
+        simulate_cellnpdp_traced(
+            &cfg,
+            n,
+            64,
+            2,
+            Precision::Double,
+            workers.clamp(1, cfg.spes),
+            QueuePolicy::Fifo,
+            &tracer,
+        );
+        write_trace(&tracer, trace.as_deref());
+    }
 }

@@ -7,7 +7,9 @@
 //! step parallelization, no SIMD, no NDL).
 
 use baselines::TanEngine;
-use bench::{header, host_workers, json_out, time_engine, write_report, Report, Timing};
+use bench::{
+    header, host_workers, json_out, repro_small, time_engine, write_report, Report, Timing,
+};
 use npdp_core::problem;
 use npdp_core::ParallelEngine;
 use npdp_metrics::json::Value;
@@ -33,8 +35,13 @@ fn main() {
         "{:<7} {:>12} {:>12} {:>9}",
         "n", "TanNPDP", "CellNPDP", "speedup"
     );
+    let sizes: Vec<usize> = if repro_small() {
+        vec![192, 256]
+    } else {
+        vec![512, 1024, 1536]
+    };
     let mut sp_anchor = (0usize, 0.0f64, 0.0f64);
-    for n in [512usize, 1024, 1536] {
+    for &n in &sizes {
         let seeds = problem::random_seeds_f32(n, 100.0, n as u64);
         let t_tan = time_engine(&tan, &seeds);
         let t_cell = time_engine(&cell, &seeds);
@@ -55,7 +62,7 @@ fn main() {
         "n", "TanNPDP", "CellNPDP", "speedup"
     );
     let mut dp_anchor = (0usize, 0.0f64, 0.0f64);
-    for n in [512usize, 1024, 1536] {
+    for &n in &sizes {
         let seeds = problem::random_seeds_f64(n, 100.0, n as u64);
         let t_tan = time_engine(&tan, &seeds);
         let t_cell = time_engine(&cell, &seeds);

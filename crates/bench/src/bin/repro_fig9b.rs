@@ -11,7 +11,7 @@
 //! `--json <path>` additionally writes the per-configuration rows and the
 //! cache counters of the last configuration as `BENCH_fig9b.json`.
 
-use bench::{header, json_out, write_report, Metrics, Report};
+use bench::{header, json_out, repro_small, write_report, Metrics, Report};
 use cache_sim::{trace_blocked, trace_original, trace_tiled, Cache, CacheConfig, TraceResult};
 use npdp_metrics::json::Value;
 
@@ -75,10 +75,17 @@ fn main() {
         "n", "LLC KB", "original MB", "tiled MB", "NDL MB", "orig/NDL"
     );
     // Scaled runs: the ratio table-size / cache-size matches the paper's
-    // regimes (33–537 MB tables vs 8 MB LLC → ratios 4–67).
-    run(512, 256, 32, &mut report); // ratio ~2
-    run(768, 256, 32, &mut report); // ratio ~4.5
-    let mut last = run(1024, 256, 32, &mut report); // ratio ~8
+    // regimes (33–537 MB tables vs 8 MB LLC → ratios 4–67). The address
+    // streams are ~n³ long, so `NPDP_REPRO_SMALL` halves n (same regime,
+    // the cache shrinks with the table).
+    let mut last = if repro_small() && !paper_scale {
+        run(256, 64, 32, &mut report); // ratio ~4
+        run(512, 64, 32, &mut report) // ratio ~16
+    } else {
+        run(512, 256, 32, &mut report); // ratio ~2
+        run(768, 256, 32, &mut report); // ratio ~4.5
+        run(1024, 256, 32, &mut report) // ratio ~8
+    };
     if paper_scale {
         run(2048, 8192, 88, &mut report); // 8 MB LLC, ratio ~1... table 8.4 MB
         last = run(3072, 8192, 88, &mut report);

@@ -5,12 +5,21 @@
 //! large sizes are extrapolated from a measured size via the exact
 //! n(n-1)(n-2)/6 work ratio (marked `*`). Pass `--full` to measure n=4096
 //! directly for both algorithms.
+//!
+//! `--trace <path>` captures an event timeline of a representative run
+//! (host parallel solve + simulated QS20) as Chrome trace-event JSON.
 
-use bench::{header, host_workers, json_out, time_engine, write_report, Metrics, Report, Timing};
-use cell_sim::machine::{ndl_bytes_transferred, original_bytes_transferred};
+use bench::{
+    header, host_workers, json_out, repro_small, time_engine, trace_out, write_report, write_trace,
+    Metrics, Report, Timing, Tracer,
+};
+use cell_sim::machine::{
+    ndl_bytes_transferred, original_bytes_transferred, simulate_cellnpdp_traced, CellConfig,
+    QueuePolicy,
+};
 use cell_sim::ppe::Precision;
 use npdp_core::problem;
-use npdp_core::{ParallelEngine, SerialEngine};
+use npdp_core::{Engine, ParallelEngine, SerialEngine};
 
 const SIZES: [usize; 3] = [4096, 8192, 16384];
 const PAPER_SP: [(f64, f64); 3] = [(108.01, 0.43), (1041.1, 3.25), (11021.0, 25.56)];
@@ -19,6 +28,7 @@ const PAPER_DP: [(f64, f64); 3] = [(119.79, 0.8159), (1234.3, 6.185), (13624.0, 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
     let json = json_out();
+    let trace = trace_out();
     header(
         "Table III",
         "performance on the CPU platform (measured on this host)",
@@ -34,9 +44,23 @@ fn main() {
         .set_param("sb", 2u64)
         .set_param("full", full);
 
-    // Measurement anchors.
-    let n_serial = if full { 4096 } else { 1024 };
-    let n_cell = if full { 4096 } else { 2048 };
+    // Measurement anchors. `NPDP_REPRO_SMALL` shrinks them (and the
+    // throughput probe) so a CI run stays in seconds, not minutes.
+    let small = repro_small() && !full;
+    let n_serial = if full {
+        4096
+    } else if small {
+        256
+    } else {
+        1024
+    };
+    let n_cell = if full {
+        4096
+    } else if small {
+        512
+    } else {
+        2048
+    };
     report
         .set_param("n_serial", n_serial)
         .set_param("n_cell", n_cell);
@@ -70,7 +94,7 @@ fn main() {
     // Host "processor utilization" in the paper's sense: useful 32-bit ops
     // per cycle over peak. We report achieved relaxations/second instead,
     // which is substrate-independent.
-    let n = 2048usize;
+    let n = if small { 512usize } else { 2048 };
     let seeds = problem::random_seeds_f32(n, 100.0, 5);
     let t = time_engine(&cell, &seeds);
     let relax = (n * (n - 1) * (n - 2) / 6) as f64;
@@ -99,6 +123,28 @@ fn main() {
         );
     }
     write_report(&report, json.as_deref());
+
+    if trace.is_some() {
+        // One traced capture at a modest size with the Table III block
+        // geometry (88×88): host parallel engine on the wall clock plus a
+        // simulated QS20 run on its cycle clock, sharing one tracer.
+        let n = if small { 512 } else { 1024 };
+        let tracer = Tracer::new();
+        let seeds = problem::random_seeds_f32(n, 100.0, 2);
+        ParallelEngine::new(88, 2, workers).solve_traced(&seeds, &Metrics::noop(), &tracer);
+        let cfg = CellConfig::qs20();
+        simulate_cellnpdp_traced(
+            &cfg,
+            n,
+            88,
+            2,
+            Precision::Single,
+            workers.clamp(1, cfg.spes),
+            QueuePolicy::Fifo,
+            &tracer,
+        );
+        write_trace(&tracer, trace.as_deref());
+    }
 }
 
 fn add_rows(

@@ -1,0 +1,481 @@
+//! Diff two `cellnpdp-bench-v1` reports (or directories of them) and flag
+//! wall-clock regressions — the machine-checkable end of the `--json`
+//! report pipeline: capture a baseline report set on one commit, rerun on
+//! another, and gate on `repro-compare base/ new/ --max-regress 10%`.
+//!
+//! Timings are matched by label; a timing regresses when
+//! `new > base × (1 + max_regress)`. Counter changes (work counts,
+//! scheduler traffic, DMA bytes) are reported but never gate — they are
+//! workload descriptions, not performance.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use npdp_metrics::json::Value;
+use npdp_metrics::report::SCHEMA;
+
+/// Thresholds for [`ReportDiff::regressions`].
+#[derive(Debug, Clone, Copy)]
+pub struct CompareOptions {
+    /// Allowed fractional slowdown before a timing counts as a regression
+    /// (`0.10` = new may be up to 10% slower).
+    pub max_regress: f64,
+    /// Timings where both sides are below this many seconds are never
+    /// flagged — sub-threshold measurements are noise-dominated.
+    pub min_seconds: f64,
+}
+
+impl Default for CompareOptions {
+    fn default() -> Self {
+        Self {
+            max_regress: 0.10,
+            min_seconds: 0.0,
+        }
+    }
+}
+
+/// Parse a `--max-regress` argument: `10%` or a bare fraction like `0.1`.
+pub fn parse_max_regress(s: &str) -> Result<f64, String> {
+    let (text, scale) = match s.strip_suffix('%') {
+        Some(t) => (t, 0.01),
+        None => (s, 1.0),
+    };
+    let v: f64 = text
+        .trim()
+        .parse()
+        .map_err(|_| format!("invalid --max-regress value '{s}'"))?;
+    if !(v * scale).is_finite() || v * scale < 0.0 {
+        return Err(format!("--max-regress must be non-negative, got '{s}'"));
+    }
+    Ok(v * scale)
+}
+
+/// One label present in both reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingDelta {
+    pub label: String,
+    pub base_s: f64,
+    pub new_s: f64,
+}
+
+impl TimingDelta {
+    /// `new / base` (`∞` when the base is zero but the new time is not).
+    pub fn ratio(&self) -> f64 {
+        if self.base_s > 0.0 {
+            self.new_s / self.base_s
+        } else if self.new_s > 0.0 {
+            f64::INFINITY
+        } else {
+            1.0
+        }
+    }
+
+    /// Whether this timing exceeds the allowed slowdown.
+    pub fn regressed(&self, opts: &CompareOptions) -> bool {
+        self.base_s.max(self.new_s) >= opts.min_seconds
+            && self.new_s > self.base_s * (1.0 + opts.max_regress)
+    }
+}
+
+/// A counter whose value changed (informational only).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterDelta {
+    pub key: String,
+    pub base: u64,
+    pub new: u64,
+}
+
+/// The structured diff of two reports.
+#[derive(Debug, Clone)]
+pub struct ReportDiff {
+    pub experiment: String,
+    /// Labels present in both, in the base report's order.
+    pub timings: Vec<TimingDelta>,
+    /// Labels only in the base report (coverage shrank).
+    pub only_base: Vec<String>,
+    /// Labels only in the new report (coverage grew).
+    pub only_new: Vec<String>,
+    /// Counters present in both but with different values.
+    pub counters_changed: Vec<CounterDelta>,
+}
+
+impl ReportDiff {
+    /// Timings exceeding the allowed slowdown.
+    pub fn regressions(&self, opts: &CompareOptions) -> Vec<&TimingDelta> {
+        self.timings.iter().filter(|t| t.regressed(opts)).collect()
+    }
+
+    /// Render the human-readable comparison table.
+    pub fn render(&self, opts: &CompareOptions) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "[{}]", self.experiment);
+        for t in &self.timings {
+            let flag = if t.regressed(opts) {
+                "  REGRESSION"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "  {:<40} {:>12.4}s -> {:>12.4}s  {:>+7.1}%{}",
+                t.label,
+                t.base_s,
+                t.new_s,
+                (t.ratio() - 1.0) * 100.0,
+                flag
+            );
+        }
+        for l in &self.only_base {
+            let _ = writeln!(out, "  {l:<40} missing from new report");
+        }
+        for l in &self.only_new {
+            let _ = writeln!(out, "  {l:<40} new (no baseline)");
+        }
+        if !self.counters_changed.is_empty() {
+            let _ = writeln!(out, "  counters changed (informational):");
+            for c in &self.counters_changed {
+                let _ = writeln!(out, "    {:<38} {} -> {}", c.key, c.base, c.new);
+            }
+        }
+        out
+    }
+}
+
+fn expect_schema(doc: &Value, who: &str) -> Result<(), String> {
+    match doc.get("schema").and_then(Value::as_str) {
+        Some(s) if s == SCHEMA => Ok(()),
+        Some(s) => Err(format!("{who}: unsupported schema '{s}' (want '{SCHEMA}')")),
+        None => Err(format!("{who}: not a bench report (no 'schema' field)")),
+    }
+}
+
+fn timing_list(doc: &Value, who: &str) -> Result<Vec<(String, f64)>, String> {
+    let Some(Value::Array(items)) = doc.get("timings") else {
+        return Err(format!("{who}: 'timings' array missing"));
+    };
+    let mut out = Vec::with_capacity(items.len());
+    for t in items {
+        let label = t
+            .get("label")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{who}: timing without a label"))?;
+        let seconds = t
+            .get("seconds")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("{who}: timing '{label}' without seconds"))?;
+        out.push((label.to_owned(), seconds));
+    }
+    Ok(out)
+}
+
+fn counter_map(doc: &Value) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    if let Some(Value::Object(entries)) = doc.get("counters") {
+        for (k, v) in entries {
+            if let Some(n) = v.as_u64() {
+                out.insert(k.clone(), n);
+            }
+        }
+    }
+    out
+}
+
+/// Diff two parsed reports. The experiments must match — comparing fig10b
+/// against table3 is a pilot error, not a regression.
+pub fn diff_reports(base: &Value, new: &Value) -> Result<ReportDiff, String> {
+    expect_schema(base, "base")?;
+    expect_schema(new, "new")?;
+    let b_exp = base
+        .get("experiment")
+        .and_then(Value::as_str)
+        .unwrap_or("?");
+    let n_exp = new.get("experiment").and_then(Value::as_str).unwrap_or("?");
+    if b_exp != n_exp {
+        return Err(format!(
+            "experiment mismatch: base is '{b_exp}', new is '{n_exp}'"
+        ));
+    }
+
+    let base_t = timing_list(base, "base")?;
+    let new_t = timing_list(new, "new")?;
+    let new_map: BTreeMap<&str, f64> = new_t.iter().map(|(l, s)| (l.as_str(), *s)).collect();
+    let base_labels: std::collections::BTreeSet<&str> =
+        base_t.iter().map(|(l, _)| l.as_str()).collect();
+
+    let mut timings = Vec::new();
+    let mut only_base = Vec::new();
+    for (label, base_s) in &base_t {
+        match new_map.get(label.as_str()) {
+            Some(&new_s) => timings.push(TimingDelta {
+                label: label.clone(),
+                base_s: *base_s,
+                new_s,
+            }),
+            None => only_base.push(label.clone()),
+        }
+    }
+    let only_new = new_t
+        .iter()
+        .filter(|(l, _)| !base_labels.contains(l.as_str()))
+        .map(|(l, _)| l.clone())
+        .collect();
+
+    let base_c = counter_map(base);
+    let new_c = counter_map(new);
+    let counters_changed = base_c
+        .iter()
+        .filter_map(|(k, &b)| {
+            new_c.get(k).filter(|&&n| n != b).map(|&n| CounterDelta {
+                key: k.clone(),
+                base: b,
+                new: n,
+            })
+        })
+        .collect();
+
+    Ok(ReportDiff {
+        experiment: b_exp.to_owned(),
+        timings,
+        only_base,
+        only_new,
+        counters_changed,
+    })
+}
+
+/// Read and parse one report file.
+pub fn load_report(path: &Path) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Value::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Diff two report files.
+pub fn diff_files(base: &Path, new: &Path) -> Result<ReportDiff, String> {
+    diff_reports(&load_report(base)?, &load_report(new)?)
+}
+
+/// The diff of two report directories, matched by `BENCH_*.json` file name.
+#[derive(Debug, Clone)]
+pub struct DirDiff {
+    /// Per-file diffs for files present in both directories, by file name.
+    pub diffs: Vec<(String, ReportDiff)>,
+    /// Report files only in the base directory.
+    pub only_base: Vec<String>,
+    /// Report files only in the new directory.
+    pub only_new: Vec<String>,
+}
+
+impl DirDiff {
+    /// Total regressions across all matched reports.
+    pub fn regression_count(&self, opts: &CompareOptions) -> usize {
+        self.diffs
+            .iter()
+            .map(|(_, d)| d.regressions(opts).len())
+            .sum()
+    }
+}
+
+fn report_files(dir: &Path) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with("BENCH_") && name.ends_with(".json") {
+            names.push(name);
+        }
+    }
+    names.sort();
+    Ok(names)
+}
+
+/// Diff every `BENCH_*.json` present in both directories.
+pub fn diff_dirs(base: &Path, new: &Path) -> Result<DirDiff, String> {
+    let base_files = report_files(base)?;
+    let new_files = report_files(new)?;
+    let mut diffs = Vec::new();
+    let mut only_base = Vec::new();
+    for name in &base_files {
+        if new_files.contains(name) {
+            diffs.push((name.clone(), diff_files(&base.join(name), &new.join(name))?));
+        } else {
+            only_base.push(name.clone());
+        }
+    }
+    let only_new = new_files
+        .into_iter()
+        .filter(|n| !base_files.contains(n))
+        .collect();
+    Ok(DirDiff {
+        diffs,
+        only_base,
+        only_new,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npdp_metrics::Report;
+
+    fn report(experiment: &str, timings: &[(&str, f64)], counters: &[(&str, u64)]) -> Value {
+        let mut r = Report::new(experiment);
+        for &(label, s) in timings {
+            r.add_timing(label, s);
+        }
+        for &(key, v) in counters {
+            r.set_counter(key, v);
+        }
+        r.to_value()
+    }
+
+    #[test]
+    fn identical_reports_have_no_regressions() {
+        let doc = report("fig10b", &[("a", 1.0), ("b", 0.5)], &[("k", 7)]);
+        let d = diff_reports(&doc, &doc).unwrap();
+        assert_eq!(d.timings.len(), 2);
+        assert!(d.regressions(&CompareOptions::default()).is_empty());
+        assert!(d.only_base.is_empty() && d.only_new.is_empty());
+        assert!(d.counters_changed.is_empty());
+    }
+
+    #[test]
+    fn injected_regression_is_detected_at_threshold() {
+        let base = report(
+            "fig10b",
+            &[("parallel/n512", 1.0), ("serial/n512", 2.0)],
+            &[],
+        );
+        // parallel 12% slower: over a 10% gate, under a 15% one.
+        let new = report(
+            "fig10b",
+            &[("parallel/n512", 1.12), ("serial/n512", 2.0)],
+            &[],
+        );
+        let d = diff_reports(&base, &new).unwrap();
+        let strict = CompareOptions {
+            max_regress: 0.10,
+            min_seconds: 0.0,
+        };
+        let loose = CompareOptions {
+            max_regress: 0.15,
+            min_seconds: 0.0,
+        };
+        let r = d.regressions(&strict);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].label, "parallel/n512");
+        assert!((r[0].ratio() - 1.12).abs() < 1e-12);
+        assert!(d.regressions(&loose).is_empty());
+    }
+
+    #[test]
+    fn min_seconds_suppresses_noise() {
+        let base = report("x", &[("micro", 0.0001)], &[]);
+        let new = report("x", &[("micro", 0.0002)], &[]);
+        let d = diff_reports(&base, &new).unwrap();
+        let opts = CompareOptions {
+            max_regress: 0.10,
+            min_seconds: 0.001,
+        };
+        assert!(d.regressions(&opts).is_empty());
+        assert_eq!(d.regressions(&CompareOptions::default()).len(), 1);
+    }
+
+    #[test]
+    fn label_set_changes_are_reported() {
+        let base = report("x", &[("a", 1.0), ("gone", 1.0)], &[]);
+        let new = report("x", &[("a", 1.0), ("added", 1.0)], &[]);
+        let d = diff_reports(&base, &new).unwrap();
+        assert_eq!(d.only_base, vec!["gone".to_owned()]);
+        assert_eq!(d.only_new, vec!["added".to_owned()]);
+    }
+
+    #[test]
+    fn counter_changes_are_informational() {
+        let base = report(
+            "x",
+            &[("t", 1.0)],
+            &[("engine.blocks_swept", 10), ("same", 5)],
+        );
+        let new = report(
+            "x",
+            &[("t", 5.0)],
+            &[("engine.blocks_swept", 12), ("same", 5)],
+        );
+        let d = diff_reports(&base, &new).unwrap();
+        assert_eq!(
+            d.counters_changed,
+            vec![CounterDelta {
+                key: "engine.blocks_swept".into(),
+                base: 10,
+                new: 12
+            }]
+        );
+        // The big timing regression gates; the counter change never does.
+        assert_eq!(d.regressions(&CompareOptions::default()).len(), 1);
+    }
+
+    #[test]
+    fn experiment_mismatch_is_an_error() {
+        let a = report("fig10b", &[], &[]);
+        let b = report("table3", &[], &[]);
+        assert!(diff_reports(&a, &b).unwrap_err().contains("mismatch"));
+    }
+
+    #[test]
+    fn schema_is_validated() {
+        let mut bogus = Value::object();
+        bogus.set("schema", "something-else");
+        let ok = report("x", &[], &[]);
+        assert!(diff_reports(&bogus, &ok).unwrap_err().contains("schema"));
+        assert!(diff_reports(&Value::object(), &ok)
+            .unwrap_err()
+            .contains("schema"));
+    }
+
+    #[test]
+    fn max_regress_parses_percent_and_fraction() {
+        assert!((parse_max_regress("10%").unwrap() - 0.10).abs() < 1e-12);
+        assert!((parse_max_regress("0.25").unwrap() - 0.25).abs() < 1e-12);
+        assert!((parse_max_regress(" 5 %").unwrap() - 0.05).abs() < 1e-12);
+        assert!(parse_max_regress("abc").is_err());
+        assert!(parse_max_regress("-1").is_err());
+    }
+
+    #[test]
+    fn directory_compare_matches_by_filename() {
+        let dir = std::env::temp_dir().join(format!("npdp-compare-{}", std::process::id()));
+        let base_dir = dir.join("base");
+        let new_dir = dir.join("new");
+        std::fs::create_dir_all(&base_dir).unwrap();
+        std::fs::create_dir_all(&new_dir).unwrap();
+        let write = |d: &Path, name: &str, doc: &Value| {
+            std::fs::write(d.join(name), doc.to_json_pretty()).unwrap();
+        };
+        write(&base_dir, "BENCH_a.json", &report("a", &[("t", 1.0)], &[]));
+        write(&new_dir, "BENCH_a.json", &report("a", &[("t", 1.5)], &[]));
+        write(&base_dir, "BENCH_gone.json", &report("gone", &[], &[]));
+        write(&new_dir, "BENCH_new.json", &report("new", &[], &[]));
+        write(&base_dir, "notes.txt", &Value::object()); // ignored
+
+        let d = diff_dirs(&base_dir, &new_dir).unwrap();
+        assert_eq!(d.diffs.len(), 1);
+        assert_eq!(d.diffs[0].0, "BENCH_a.json");
+        assert_eq!(d.only_base, vec!["BENCH_gone.json".to_owned()]);
+        assert_eq!(d.only_new, vec!["BENCH_new.json".to_owned()]);
+        assert_eq!(d.regression_count(&CompareOptions::default()), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn render_marks_regressions() {
+        let base = report("x", &[("slow", 1.0), ("fine", 1.0)], &[]);
+        let new = report("x", &[("slow", 2.0), ("fine", 1.01)], &[]);
+        let d = diff_reports(&base, &new).unwrap();
+        let text = d.render(&CompareOptions::default());
+        assert!(text.contains("REGRESSION"), "{text}");
+        assert_eq!(text.matches("REGRESSION").count(), 1, "{text}");
+    }
+}

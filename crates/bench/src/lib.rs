@@ -7,12 +7,15 @@
 //! binary prints the paper's values alongside for *shape* comparison — who
 //! wins, by roughly what factor, where crossovers fall.
 
+pub mod compare;
+
 use std::path::PathBuf;
 use std::time::Instant;
 
 use npdp_core::{DpValue, Engine, TriangularMatrix};
 
 pub use npdp_metrics::{Metrics, Recorder, Report};
+pub use npdp_trace::Tracer;
 
 /// Parse the shared `--json <path>` flag from the process arguments.
 ///
@@ -36,10 +39,69 @@ pub fn json_out() -> Option<PathBuf> {
     None
 }
 
+/// Parse the shared `--trace <path>` flag from the process arguments.
+///
+/// Repro binaries that accept it capture an event timeline of one
+/// representative run and write it as a Chrome trace-event JSON file
+/// (loadable in Perfetto / `chrome://tracing`), conventionally named
+/// `TRACE_<experiment>.json`, then print the occupancy/overlap/critical-path
+/// summary. Exits with an error if `--trace` is given without a path.
+pub fn trace_out() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            match args.next() {
+                Some(p) => return Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --trace requires a path argument");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Snapshot `tracer`, write the Chrome trace to `path` (if given) and print
+/// the analysis summary. Exits with an error if the write fails.
+pub fn write_trace(tracer: &Tracer, path: Option<&std::path::Path>) {
+    let Some(path) = path else { return };
+    let data = tracer.snapshot();
+    match npdp_trace::chrome::write_chrome_trace(&data, path) {
+        Ok(()) => println!(
+            "\nwrote {} ({} events across {} tracks)",
+            path.display(),
+            data.event_count(),
+            data.tracks.len()
+        ),
+        Err(e) => {
+            eprintln!("error: failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    match npdp_trace::analysis::analyze(&data) {
+        Ok(a) => print!("\n{a}"),
+        Err(e) => eprintln!("warning: trace analysis failed: {e}"),
+    }
+}
+
+/// True when `NPDP_REPRO_SMALL` is set (to anything but `0` or empty): the
+/// host-measured repro binaries shrink their problem sizes so the whole
+/// suite finishes in CI-smoke time. Simulator-driven binaries ignore it —
+/// they sample, and run in milliseconds at paper scale anyway.
+pub fn repro_small() -> bool {
+    std::env::var("NPDP_REPRO_SMALL").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
 /// Write `report` to `path` if the `--json` flag was given, printing a
 /// confirmation line. Exits with an error if the write fails.
 pub fn write_report(report: &Report, path: Option<&std::path::Path>) {
     let Some(path) = path else { return };
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
     match report.write_to(path) {
         Ok(()) => println!("\nwrote {}", path.display()),
         Err(e) => {

@@ -1,0 +1,170 @@
+//! Regression test: the Chrome trace exported by a tiny `repro-fig10b`-style
+//! traced run is schema-valid trace-event JSON — every event a well-formed
+//! `B`/`E`/`i`/`M` record, `B`/`E` balanced per thread, and the embedded
+//! analysis showing real DMA/compute overlap and per-SPE occupancy.
+
+use std::collections::HashMap;
+
+use bench::{Metrics, Tracer};
+use cell_sim::machine::{simulate_cellnpdp_traced, CellConfig, QueuePolicy};
+use cell_sim::ppe::Precision;
+use npdp_core::{problem, Engine, ParallelEngine};
+use npdp_metrics::json::Value;
+use npdp_trace::analysis::analyze;
+use npdp_trace::chrome::{chrome_trace, write_chrome_trace};
+use npdp_trace::TimeDomain;
+
+/// The fig10b `--trace` capture at toy size: one host parallel solve on the
+/// wall clock plus one simulated QS20 run on its cycle clock, one tracer.
+fn fig10b_style_trace() -> Tracer {
+    let tracer = Tracer::new();
+    // n=512, nb=64, sb=2 → 10 scheduling tasks: enough for all 4 simulated
+    // SPEs to receive work (256 would leave SPE 3 idle — 3 tasks).
+    let n = 512usize;
+    let seeds = problem::random_seeds_f32(n, 100.0, n as u64);
+    ParallelEngine::new(64, 2, 2).solve_traced(&seeds, &Metrics::noop(), &tracer);
+    let cfg = CellConfig::qs20();
+    simulate_cellnpdp_traced(
+        &cfg,
+        n,
+        64,
+        2,
+        Precision::Single,
+        4,
+        QueuePolicy::Fifo,
+        &tracer,
+    );
+    tracer
+}
+
+fn trace_events(doc: &Value) -> &[Value] {
+    match doc.get("traceEvents") {
+        Some(Value::Array(evs)) => evs,
+        other => panic!("traceEvents array missing: {other:?}"),
+    }
+}
+
+/// Every event must be one of the four phases with the fields the trace
+/// event format requires for it; `B`/`E` must balance per `(pid, tid)`.
+fn assert_schema_valid(doc: &Value) {
+    let evs = trace_events(doc);
+    assert!(!evs.is_empty(), "trace exported no events");
+    let mut depth: HashMap<(u64, u64), i64> = HashMap::new();
+    let mut last_ts: HashMap<(u64, u64), f64> = HashMap::new();
+    for ev in evs {
+        let ph = ev.get("ph").and_then(Value::as_str).expect("ph missing");
+        let pid = ev.get("pid").and_then(Value::as_u64).expect("pid missing");
+        let tid = ev.get("tid").and_then(Value::as_u64).expect("tid missing");
+        let key = (pid, tid);
+        match ph {
+            "M" => {
+                let name = ev.get("name").and_then(Value::as_str).expect("M name");
+                assert!(
+                    ["process_name", "thread_name", "thread_sort_index"].contains(&name),
+                    "unknown metadata record {name}"
+                );
+                assert!(ev.get("args").is_some(), "metadata without args");
+            }
+            "B" | "E" | "i" => {
+                let ts = ev.get("ts").and_then(Value::as_f64).expect("ts missing");
+                assert!(ts >= 0.0 && ts.is_finite(), "bad timestamp {ts}");
+                // Events are appended in per-track time order.
+                let prev = last_ts.insert(key, ts).unwrap_or(0.0);
+                assert!(ts >= prev, "track {key:?} went backwards: {prev} -> {ts}");
+                if ph != "E" {
+                    assert!(
+                        ev.get("name").and_then(Value::as_str).is_some(),
+                        "{ph} event without name"
+                    );
+                    assert!(
+                        ev.get("cat").and_then(Value::as_str).is_some(),
+                        "{ph} event without category"
+                    );
+                }
+                match ph {
+                    "B" => *depth.entry(key).or_insert(0) += 1,
+                    "E" => {
+                        let d = depth.entry(key).or_insert(0);
+                        *d -= 1;
+                        assert!(*d >= 0, "unmatched E on track {key:?}");
+                    }
+                    _ => {
+                        assert_eq!(
+                            ev.get("s").and_then(Value::as_str),
+                            Some("t"),
+                            "instant without thread scope"
+                        );
+                    }
+                }
+            }
+            other => panic!("unknown phase {other:?}"),
+        }
+    }
+    for (key, d) in &depth {
+        assert_eq!(*d, 0, "unbalanced spans on track {key:?}");
+    }
+}
+
+#[test]
+fn fig10b_trace_is_schema_valid_chrome_json() {
+    let tracer = fig10b_style_trace();
+    let doc = chrome_trace(&tracer.snapshot());
+    assert_schema_valid(&doc);
+
+    // Both clock domains are present as distinct trace "processes".
+    let pids: Vec<u64> = trace_events(&doc)
+        .iter()
+        .filter(|e| e.get("name").and_then(Value::as_str) == Some("process_name"))
+        .map(|e| e.get("pid").and_then(Value::as_u64).unwrap())
+        .collect();
+    assert_eq!(pids.len(), 2, "expected wall + sim-cycle domains: {pids:?}");
+    assert_ne!(pids[0], pids[1]);
+}
+
+#[test]
+fn fig10b_trace_roundtrips_through_the_file_format() {
+    let tracer = fig10b_style_trace();
+    let dir = std::env::temp_dir().join(format!("npdp-trace-schema-{}", std::process::id()));
+    let path = dir.join("TRACE_fig10b.json");
+    write_chrome_trace(&tracer.snapshot(), &path).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+    let doc = Value::parse(&text).expect("exported trace is not valid JSON");
+    assert_schema_valid(&doc);
+}
+
+#[test]
+fn fig10b_trace_analysis_shows_overlap_and_occupancy() {
+    let tracer = fig10b_style_trace();
+    let analysis = analyze(&tracer.snapshot()).unwrap();
+    assert_eq!(analysis.dropped, 0);
+
+    let sim = analysis
+        .domains
+        .iter()
+        .find(|d| matches!(d.domain, TimeDomain::SimCycles { .. }))
+        .expect("no simulated-cycle domain in the trace");
+    let dma = sim.dma.as_ref().expect("sim domain recorded no DMA");
+    assert!(
+        dma.ratio > 0.0,
+        "double buffering should overlap some DMA with compute"
+    );
+    assert_eq!(sim.workers.len(), 4, "one breakdown per SPE");
+    for w in &sim.workers {
+        assert!(
+            w.occupancy > 0.0 && w.occupancy <= 1.0,
+            "{}: implausible occupancy {}",
+            w.track,
+            w.occupancy
+        );
+    }
+
+    // The wall-clock domain carries the host engine's worker tracks.
+    let wall = analysis
+        .domains
+        .iter()
+        .find(|d| matches!(d.domain, TimeDomain::WallNs))
+        .expect("no wall-clock domain in the trace");
+    assert!(!wall.workers.is_empty());
+    assert!(wall.workers.iter().any(|w| w.busy > 0));
+}

@@ -132,6 +132,67 @@ pub fn double_buffered_cycles(steps: &[(f64, f64)], prologue_dma: f64, epilogue_
     compute_end + epilogue_dma
 }
 
+/// The per-interval expansion of [`double_buffered_cycles`]: when each DMA
+/// transfer and each compute step actually occupies its unit, under the same
+/// one-transfer-in-flight / two-buffer recurrence. `total` is always equal
+/// to `double_buffered_cycles` on the same inputs (equivalence-tested), so
+/// the timing model and its timeline can never drift apart.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PipelineTimeline {
+    /// `(start, end)` of each DMA transfer on the block's DMA lane, in
+    /// issue order: prologue fetch (if any), one fetch per step with a
+    /// nonzero DMA cost, then the epilogue write-back (if any).
+    pub dma: Vec<(f64, f64)>,
+    /// `(start, end)` of each nonzero compute step on the SPU.
+    pub compute: Vec<(f64, f64)>,
+    /// End of the whole pipeline (compute drain + epilogue write-back).
+    pub total: f64,
+}
+
+impl PipelineTimeline {
+    /// Index into `dma` where the epilogue write-back sits, if present.
+    pub fn epilogue_index(&self, epilogue_dma: f64) -> Option<usize> {
+        (epilogue_dma > 0.0).then(|| self.dma.len() - 1)
+    }
+}
+
+/// Like [`double_buffered_cycles`], but returns the full interval timeline
+/// instead of only the end time.
+pub fn double_buffered_timeline(
+    steps: &[(f64, f64)],
+    prologue_dma: f64,
+    epilogue_dma: f64,
+) -> PipelineTimeline {
+    let mut out = PipelineTimeline::default();
+    if prologue_dma > 0.0 {
+        out.dma.push((0.0, prologue_dma));
+    }
+    let mut dma_done = prologue_dma;
+    let mut compute_end = prologue_dma;
+    let mut prev_compute_end = prologue_dma;
+    let mut prev_prev_end = prologue_dma;
+    for &(dma, compute) in steps {
+        let dma_start = dma_done.max(prev_prev_end);
+        dma_done = dma_start + dma;
+        if dma > 0.0 {
+            out.dma.push((dma_start, dma_done));
+        }
+        let start = prev_compute_end.max(dma_done);
+        let end = start + compute;
+        if compute > 0.0 {
+            out.compute.push((start, end));
+        }
+        prev_prev_end = prev_compute_end;
+        prev_compute_end = end;
+        compute_end = end;
+    }
+    if epilogue_dma > 0.0 {
+        out.dma.push((compute_end, compute_end + epilogue_dma));
+    }
+    out.total = compute_end + epilogue_dma;
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,6 +277,61 @@ mod tests {
         let approx = (10.0 * 60.0f64).max(10.0 * 80.0);
         assert!(t >= approx);
         assert!(t <= approx + 60.0 + 80.0);
+    }
+
+    #[test]
+    fn timeline_total_matches_cycles_model() {
+        type Case = (Vec<(f64, f64)>, f64, f64);
+        let cases: Vec<Case> = vec![
+            (vec![(10.0, 100.0); 8], 50.0, 20.0),
+            (vec![(100.0, 10.0); 8], 50.0, 20.0),
+            (vec![], 5.0, 7.0),
+            (vec![(60.0, 80.0); 10], 0.0, 0.0),
+            (
+                vec![(30.0, 5.0), (0.0, 40.0), (200.0, 0.0), (17.0, 23.0)],
+                12.0,
+                9.0,
+            ),
+        ];
+        for (steps, pro, epi) in cases {
+            let tl = double_buffered_timeline(&steps, pro, epi);
+            assert_eq!(
+                tl.total,
+                double_buffered_cycles(&steps, pro, epi),
+                "steps={steps:?} pro={pro} epi={epi}"
+            );
+        }
+    }
+
+    #[test]
+    fn timeline_intervals_are_ordered_per_lane() {
+        let steps = vec![(60.0, 80.0), (10.0, 5.0), (120.0, 40.0), (30.0, 90.0)];
+        let tl = double_buffered_timeline(&steps, 25.0, 15.0);
+        for lane in [&tl.dma, &tl.compute] {
+            for w in lane.windows(2) {
+                assert!(w[0].1 <= w[1].0, "lane intervals overlap: {lane:?}");
+            }
+            for &(s, e) in lane {
+                assert!(s < e);
+            }
+        }
+        // Prologue starts at 0, epilogue ends at total, fetches interleave.
+        assert_eq!(tl.dma.first(), Some(&(0.0, 25.0)));
+        assert_eq!(tl.dma.last().unwrap().1, tl.total);
+        assert_eq!(tl.epilogue_index(15.0), Some(tl.dma.len() - 1));
+        assert_eq!(tl.epilogue_index(0.0), None);
+    }
+
+    #[test]
+    fn timeline_compute_waits_for_its_fetch() {
+        // Each step's compute may only start once its own DMA landed.
+        let steps = vec![(100.0, 10.0); 4];
+        let tl = double_buffered_timeline(&steps, 0.0, 0.0);
+        assert_eq!(tl.dma.len(), 4);
+        assert_eq!(tl.compute.len(), 4);
+        for (d, c) in tl.dma.iter().zip(&tl.compute) {
+            assert!(c.0 >= d.1, "compute {c:?} started before fetch {d:?} done");
+        }
     }
 
     #[test]

@@ -6,9 +6,12 @@
 //! (PPE → SPE assignment) or a completed task id (SPE → PPE notification).
 
 use std::collections::VecDeque;
+use std::fmt;
+
+use npdp_trace::{EventKind, Tracer, Track};
 
 /// A bounded single-direction mailbox of 32-bit words.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Mailbox {
     capacity: usize,
     queue: VecDeque<u32>,
@@ -16,6 +19,24 @@ pub struct Mailbox {
     pub messages: u64,
     /// Number of writes that found the mailbox full (writer stalls).
     pub stalls: u64,
+    /// Optional timeline sink: delivered words become `MailboxSend` instants
+    /// and stalled writes `MailboxWait` instants on the attached track.
+    tracer: Option<(Tracer, Track)>,
+    /// Protocol clock for emitted instants (mailboxes have no clock of their
+    /// own; the owning protocol advances it via [`Mailbox::set_now`]).
+    now: u64,
+}
+
+impl fmt::Debug for Mailbox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mailbox")
+            .field("capacity", &self.capacity)
+            .field("queue", &self.queue)
+            .field("messages", &self.messages)
+            .field("stalls", &self.stalls)
+            .field("traced", &self.tracer.is_some())
+            .finish()
+    }
 }
 
 impl Mailbox {
@@ -27,7 +48,19 @@ impl Mailbox {
             queue: VecDeque::with_capacity(capacity),
             messages: 0,
             stalls: 0,
+            tracer: None,
+            now: 0,
         }
+    }
+
+    /// Journal this mailbox's traffic onto `track`.
+    pub fn attach_tracer(&mut self, tracer: &Tracer, track: Track) {
+        self.tracer = Some((tracer.clone(), track));
+    }
+
+    /// Advance the protocol clock used to timestamp emitted instants.
+    pub fn set_now(&mut self, now: u64) {
+        self.now = now;
     }
 
     /// The SPU inbound mailbox (4 entries).
@@ -44,10 +77,16 @@ impl Mailbox {
     pub fn try_write(&mut self, word: u32) -> bool {
         if self.queue.len() == self.capacity {
             self.stalls += 1;
+            if let Some((tracer, track)) = &self.tracer {
+                tracer.instant_at(*track, self.now, EventKind::MailboxWait);
+            }
             return false;
         }
         self.queue.push_back(word);
         self.messages += 1;
+        if let Some((tracer, track)) = &self.tracer {
+            tracer.instant_at(*track, self.now, EventKind::MailboxSend { word });
+        }
         true
     }
 
@@ -100,6 +139,25 @@ mod tests {
         assert_eq!(m.messages, 1);
         assert_eq!(m.read(), Some(7));
         assert!(m.try_write(8));
+    }
+
+    #[test]
+    fn attached_tracer_journals_sends_and_stalls() {
+        let tracer = Tracer::new();
+        let track = tracer.register(npdp_trace::TrackDesc::control("mbox"));
+        let mut m = Mailbox::spu_outbound();
+        m.attach_tracer(&tracer, track);
+        m.set_now(10);
+        assert!(m.try_write(42));
+        m.set_now(20);
+        assert!(!m.try_write(43)); // full → stall
+        let data = tracer.snapshot();
+        let events = &data.tracks[0].events;
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].ts, 10);
+        assert_eq!(events[0].kind, EventKind::MailboxSend { word: 42 });
+        assert_eq!(events[1].ts, 20);
+        assert_eq!(events[1].kind, EventKind::MailboxWait);
     }
 
     #[test]

@@ -11,10 +11,16 @@
 //! Results must be bit-identical to the host engines (integration-tested).
 
 use npdp_core::{BlockedMatrix, TriangularMatrix};
+use npdp_trace::{EventKind, TimeDomain, Tracer, TrackDesc};
 use task_queue::scheduling_grid;
 
 use crate::mailbox::Mailbox;
 use crate::npdp::{spe_compute_block, LsLayout, SimSpe};
+
+/// Protocol-clock ticks per scheduler round in traced runs. The functional
+/// simulation has no cycle model — its clock is the round counter, stretched
+/// so each round leaves room for per-block spans inside a task.
+pub const ROUND_TICKS: u64 = 10_000;
 
 /// Protocol statistics from a multi-SPE functional run.
 #[derive(Debug, Clone)]
@@ -56,6 +62,21 @@ pub fn functional_cellnpdp_multi_spe(
     sb: usize,
     spes: usize,
 ) -> (TriangularMatrix<f32>, MultiSpeReport) {
+    functional_cellnpdp_multi_spe_traced(seeds, nb, sb, spes, &Tracer::noop())
+}
+
+/// [`functional_cellnpdp_multi_spe`] plus timeline emission in
+/// [`TimeDomain::Ticks`]: one worker track per SPE with `Task` spans (one
+/// round wide) nesting per-block spans, mailbox `MailboxSend`/`MailboxWait`
+/// instants from the attached mailboxes (assignments on the SPE's track,
+/// completions on the PPE's), timestamped on the round clock.
+pub fn functional_cellnpdp_multi_spe_traced(
+    seeds: &TriangularMatrix<f32>,
+    nb: usize,
+    sb: usize,
+    spes: usize,
+    tracer: &Tracer,
+) -> (TriangularMatrix<f32>, MultiSpeReport) {
     assert!(
         nb >= 4 && nb.is_multiple_of(4),
         "block side must be a multiple of 4"
@@ -78,10 +99,31 @@ pub fn functional_cellnpdp_multi_spe(
     let mut outbox: Vec<Mailbox> = (0..spes).map(|_| Mailbox::spu_outbound()).collect();
     let mut tasks_per_spe = vec![0usize; spes];
 
+    // Timeline tracks on the round clock: task assignments surface on the
+    // receiving SPE's track, completions on the PPE's.
+    let spe_tracks: Vec<_> = (0..spes)
+        .map(|s| {
+            tracer.register(
+                TrackDesc::worker(format!("spe {s}"), s as u32).in_domain(TimeDomain::Ticks),
+            )
+        })
+        .collect();
+    let ppe_track = tracer.register(TrackDesc::control("ppe").in_domain(TimeDomain::Ticks));
+    for (s, ib) in inbox.iter_mut().enumerate() {
+        ib.attach_tracer(tracer, spe_tracks[s]);
+    }
+    for ob in outbox.iter_mut() {
+        ob.attach_tracer(tracer, ppe_track);
+    }
+
     let mut completed = 0usize;
     let mut rounds = 0u64;
     while completed < total {
         rounds += 1;
+        let now = rounds * ROUND_TICKS;
+        for mb in inbox.iter_mut().chain(outbox.iter_mut()) {
+            mb.set_now(now);
+        }
         // PPE step 4–5: receive finished tasks, notify dependents.
         for ob in outbox.iter_mut() {
             while let Some(t) = ob.read() {
@@ -105,9 +147,19 @@ pub fn functional_cellnpdp_multi_spe(
         // SPE steps 6–13: fetch a task, compute its blocks, report.
         for s in 0..spes {
             if let Some(t) = inbox[s].read() {
-                for &(bi, bj) in &sched.members[t as usize] {
+                let members = &sched.members[t as usize];
+                let width = ROUND_TICKS / members.len().max(1) as u64;
+                tracer.begin_at(spe_tracks[s], now, EventKind::Task { id: t });
+                for (k, &(bi, bj)) in members.iter().enumerate() {
+                    let kind = EventKind::Block {
+                        bi: bi as u32,
+                        bj: bj as u32,
+                    };
+                    tracer.begin_at(spe_tracks[s], now + k as u64 * width, kind);
                     spe_compute_block(&mut spe_units[s], &layout, &mut mem, bi, bj);
+                    tracer.end_at(spe_tracks[s], now + (k as u64 + 1) * width, kind);
                 }
+                tracer.end_at(spe_tracks[s], now + ROUND_TICKS, EventKind::Task { id: t });
                 tasks_per_spe[s] += 1;
                 assert!(
                     outbox[s].try_write(t),
@@ -187,6 +239,56 @@ mod tests {
         let (sim, report) = functional_cellnpdp_multi_spe(&seeds, 8, 2, 1);
         assert_eq!(host.first_difference(&sim), None);
         assert_eq!(report.tasks_per_spe.len(), 1);
+    }
+
+    #[test]
+    fn traced_protocol_is_bit_identical_and_well_formed() {
+        use npdp_trace::analysis::{analyze, pair_spans};
+        let seeds = random_seeds(48, 13);
+        let (plain, plain_report) = functional_cellnpdp_multi_spe(&seeds, 8, 2, 3);
+        let tracer = Tracer::new();
+        let (traced, report) = functional_cellnpdp_multi_spe_traced(&seeds, 8, 2, 3, &tracer);
+        assert_eq!(plain.first_difference(&traced), None);
+        assert_eq!(plain_report.rounds, report.rounds);
+
+        let data = tracer.snapshot();
+        assert_eq!(data.dropped(), 0);
+        // 3 SPE worker tracks + the PPE control track.
+        assert_eq!(data.tracks.len(), 4);
+        // Every memory block computed exactly once, spans nest and balance.
+        let mut blocks: Vec<(u32, u32)> = pair_spans(&data)
+            .expect("spans nest and balance")
+            .into_iter()
+            .filter_map(|s| match s.kind {
+                EventKind::Block { bi, bj } => Some((bi, bj)),
+                _ => None,
+            })
+            .collect();
+        blocks.sort_unstable();
+        let mb = 48u32 / 8;
+        let expected: Vec<(u32, u32)> = (0..mb)
+            .flat_map(|bi| (bi..mb).map(move |bj| (bi, bj)))
+            .collect();
+        assert_eq!(blocks, expected);
+
+        let a = analyze(&data).expect("analyzable");
+        assert_eq!(a.domains.len(), 1);
+        assert_eq!(a.domains[0].domain, TimeDomain::Ticks);
+        // Diagonals are counted over *memory* blocks: 48/8 = 6 per side.
+        assert_eq!(a.domains[0].diagonals.len(), 6);
+
+        // Mailbox traffic surfaced as instants: one assignment per task on
+        // the SPE tracks, one completion per task on the PPE track.
+        let instants = |name: &str| {
+            data.tracks
+                .iter()
+                .filter(|t| t.name.starts_with(name))
+                .flat_map(|t| &t.events)
+                .filter(|e| matches!(e.kind, EventKind::MailboxSend { .. }))
+                .count() as u64
+        };
+        assert_eq!(instants("spe"), report.assignments);
+        assert_eq!(instants("ppe"), report.completions);
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub use tiled::TiledEngine;
 pub use wavefront::WavefrontEngine;
 
 use npdp_metrics::Metrics;
+use npdp_trace::{EventKind, Tracer, TrackDesc};
 
 use crate::layout::TriangularMatrix;
 use crate::value::DpValue;
@@ -65,6 +66,24 @@ pub trait Engine<T: DpValue> {
         };
         metrics.add("engine.cells_computed", seeds.len() as u64);
         out
+    }
+
+    /// Solve while emitting both metrics and a timeline. Like the metrics
+    /// handle, a disabled [`Tracer::noop`] must leave the result
+    /// bit-identical to [`Engine::solve`] at one-untaken-branch cost.
+    ///
+    /// The default wraps the whole solve in a single `Solve` span on a
+    /// control track; the parallel engine overrides it to journal one track
+    /// per worker with per-task and per-block spans.
+    fn solve_traced(
+        &self,
+        seeds: &TriangularMatrix<T>,
+        metrics: &Metrics,
+        tracer: &Tracer,
+    ) -> TriangularMatrix<T> {
+        let track = tracer.register(TrackDesc::control(format!("engine: {}", self.name())));
+        let _span = tracer.span(track, EventKind::Solve);
+        self.solve_metered(seeds, metrics)
     }
 }
 

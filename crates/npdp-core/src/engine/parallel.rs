@@ -2,7 +2,8 @@
 //! the task-queue parallel procedure over scheduling blocks.
 
 use npdp_metrics::Metrics;
-use task_queue::{execute_metered, execute_stealing_metered, scheduling_grid, ExecStats};
+use npdp_trace::{EventKind, Tracer};
+use task_queue::{execute_instrumented, execute_stealing_instrumented, scheduling_grid, ExecStats};
 
 use crate::engine::scalar_kernels::SimdKernels;
 use crate::engine::shared::SharedBlocked;
@@ -87,9 +88,22 @@ impl ParallelEngine {
         seeds: &TriangularMatrix<T>,
         metrics: &Metrics,
     ) -> (TriangularMatrix<T>, ExecStats) {
+        self.solve_with_stats_instrumented(seeds, metrics, &Tracer::noop())
+    }
+
+    /// [`Self::solve_with_stats_metered`] plus a timeline: one `Worker`
+    /// track per thread with `Task` spans from the scheduler and a nested
+    /// `Block` span for every memory block as it is claimed, computed and
+    /// finalized.
+    pub fn solve_with_stats_instrumented<T: DpValue>(
+        &self,
+        seeds: &TriangularMatrix<T>,
+        metrics: &Metrics,
+        tracer: &Tracer,
+    ) -> (TriangularMatrix<T>, ExecStats) {
         let _t = metrics.timed("engine.wall_ns");
         let mut m = BlockedMatrix::from_triangular(seeds, self.nb);
-        let stats = self.solve_blocked_in_place_metered(&mut m, metrics);
+        let stats = self.solve_blocked_in_place_instrumented(&mut m, metrics, tracer);
         (m.to_triangular(), stats)
     }
 
@@ -103,6 +117,16 @@ impl ParallelEngine {
         &self,
         m: &mut BlockedMatrix<T>,
         metrics: &Metrics,
+    ) -> ExecStats {
+        self.solve_blocked_in_place_instrumented(m, metrics, &Tracer::noop())
+    }
+
+    /// [`Self::solve_blocked_in_place_metered`] plus timeline emission.
+    pub fn solve_blocked_in_place_instrumented<T: DpValue>(
+        &self,
+        m: &mut BlockedMatrix<T>,
+        metrics: &Metrics,
+        tracer: &Tracer,
     ) -> ExecStats {
         let nb = self.nb;
         assert_eq!(m.block_side(), nb, "matrix blocked with a different nb");
@@ -126,6 +150,13 @@ impl ParallelEngine {
 
         let body = |task: usize| {
             for &(bi, bj) in &sched.members[task] {
+                // The executor bound this thread's track, so the block span
+                // nests inside its task span.
+                let kind = EventKind::Block {
+                    bi: bi as u32,
+                    bj: bj as u32,
+                };
+                tracer.begin_current(kind);
                 let c = shared.claim(bi, bj);
                 if bi == bj {
                     kernels.diag(c, nb);
@@ -137,6 +168,7 @@ impl ParallelEngine {
                     metrics.add("engine.kernel_invocations", (bj - bi) as u64);
                 }
                 shared.finalize(bi, bj);
+                tracer.end_current(kind);
                 metrics.add("engine.blocks_swept", 1);
                 if metrics.enabled() {
                     metrics.add("engine.cells_computed", cell_counts[bi][bj - bi]);
@@ -144,9 +176,11 @@ impl ParallelEngine {
             }
         };
         let stats = match self.scheduler {
-            Scheduler::CentralQueue => execute_metered(&sched.graph, self.workers, metrics, body),
+            Scheduler::CentralQueue => {
+                execute_instrumented(&sched.graph, self.workers, metrics, tracer, body)
+            }
             Scheduler::WorkStealing => {
-                execute_stealing_metered(&sched.graph, self.workers, metrics, body)
+                execute_stealing_instrumented(&sched.graph, self.workers, metrics, tracer, body)
             }
         };
         assert!(shared.all_final(), "scheduler left unfinished blocks");
@@ -165,6 +199,15 @@ impl<T: DpValue> Engine<T> for ParallelEngine {
 
     fn solve_metered(&self, seeds: &TriangularMatrix<T>, metrics: &Metrics) -> TriangularMatrix<T> {
         self.solve_with_stats_metered(seeds, metrics).0
+    }
+
+    fn solve_traced(
+        &self,
+        seeds: &TriangularMatrix<T>,
+        metrics: &Metrics,
+        tracer: &Tracer,
+    ) -> TriangularMatrix<T> {
+        self.solve_with_stats_instrumented(seeds, metrics, tracer).0
     }
 }
 

@@ -1,0 +1,759 @@
+//! Timeline analysis: turns a [`TraceData`] snapshot into the quantities the
+//! paper argues about — per-worker busy/idle breakdown, DMA/compute overlap
+//! ratio (§V's double-buffering claim), per-diagonal wavefront occupancy
+//! (Fig. 12–13's shrinking tail) and the critical path through the block
+//! dependency DAG (left + below edges, Fig. 7).
+//!
+//! Tracks in different [`TimeDomain`]s are analysed separately — simulated
+//! cycles and wall nanoseconds never mix.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use npdp_metrics::json::Value;
+
+use crate::{EventKind, Phase, TimeDomain, TraceData, TrackKind};
+
+/// A paired begin/end interval on one track.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Span {
+    /// Index of the owning track in the [`TraceData`].
+    pub track: usize,
+    pub kind: EventKind,
+    pub start: u64,
+    pub end: u64,
+}
+
+impl Span {
+    pub fn duration(&self) -> u64 {
+        self.end - self.start
+    }
+}
+
+/// A malformed trace (unbalanced or mismatched begin/end events).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError(pub String);
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed trace: {}", self.0)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Pair every `Begin` with its matching `End` per track (spans must nest,
+/// an `End` must carry the same [`EventKind`] as its `Begin`, and must not
+/// precede it). Instant events are skipped.
+pub fn pair_spans(data: &TraceData) -> Result<Vec<Span>, TraceError> {
+    let mut spans = Vec::new();
+    for (ti, track) in data.tracks.iter().enumerate() {
+        let mut stack: Vec<(EventKind, u64)> = Vec::new();
+        for ev in &track.events {
+            match ev.phase {
+                Phase::Begin => stack.push((ev.kind, ev.ts)),
+                Phase::End => {
+                    let Some((kind, start)) = stack.pop() else {
+                        return Err(TraceError(format!(
+                            "track '{}': end {:?} without begin",
+                            track.name, ev.kind
+                        )));
+                    };
+                    if kind != ev.kind {
+                        return Err(TraceError(format!(
+                            "track '{}': end {:?} closes span {:?}",
+                            track.name, ev.kind, kind
+                        )));
+                    }
+                    if ev.ts < start {
+                        return Err(TraceError(format!(
+                            "track '{}': span {:?} ends at {} before its begin at {}",
+                            track.name, kind, ev.ts, start
+                        )));
+                    }
+                    spans.push(Span {
+                        track: ti,
+                        kind,
+                        start,
+                        end: ev.ts,
+                    });
+                }
+                Phase::Instant => {}
+            }
+        }
+        if let Some((kind, ts)) = stack.pop() {
+            return Err(TraceError(format!(
+                "track '{}': span {kind:?} begun at {ts} never ends",
+                track.name
+            )));
+        }
+    }
+    Ok(spans)
+}
+
+/// Busy/idle breakdown of one worker track.
+#[derive(Debug, Clone)]
+pub struct WorkerBreakdown {
+    pub track: String,
+    /// Union length of compute spans (`Task`/`Block`).
+    pub busy: u64,
+    /// Union length of recorded `Idle` spans.
+    pub idle_recorded: u64,
+    /// Union length of recorded `MailboxWait` spans.
+    pub wait_recorded: u64,
+    pub span_count: usize,
+    /// `busy / domain window`.
+    pub occupancy: f64,
+}
+
+/// Aggregate DMA/compute overlap for one time domain (transfer time that ran
+/// concurrently with compute on the owning worker group — the §V
+/// double-buffering claim).
+#[derive(Debug, Clone)]
+pub struct DmaOverlap {
+    /// Total DMA transfer time (union per DMA track, summed).
+    pub dma_busy: u64,
+    /// Portion of `dma_busy` overlapping the owning group's compute spans.
+    pub overlapped: u64,
+    /// `overlapped / dma_busy` (0 when no transfers).
+    pub ratio: f64,
+    pub transfers: usize,
+    pub bytes: u64,
+}
+
+/// Occupancy of one wavefront diagonal `d = bj - bi`.
+#[derive(Debug, Clone)]
+pub struct DiagonalOccupancy {
+    pub diagonal: u32,
+    /// Distinct blocks with spans on this diagonal.
+    pub blocks: usize,
+    /// Sum of block-span durations on this diagonal.
+    pub busy: u64,
+    /// `max end - min start` over this diagonal's block spans.
+    pub window: u64,
+    /// `busy / (window × worker tracks)`.
+    pub occupancy: f64,
+}
+
+/// The longest duration-weighted chain through the block dependency DAG
+/// (edges from the left `(bi, bj-1)` and below `(bi+1, bj)` neighbours).
+#[derive(Debug, Clone)]
+pub struct CriticalPath {
+    /// Blocks on the path, in execution order.
+    pub blocks: Vec<(u32, u32)>,
+    /// Sum of block durations along the path.
+    pub length: u64,
+    /// Sum of all block durations in the domain.
+    pub total_block_time: u64,
+    /// `total_block_time / length` — the DAG's inherent parallelism.
+    pub parallelism: f64,
+}
+
+/// Everything derived for one clock domain.
+#[derive(Debug, Clone)]
+pub struct DomainAnalysis {
+    pub domain: TimeDomain,
+    /// `(min start, max end)` over all spans in the domain.
+    pub window: (u64, u64),
+    pub workers: Vec<WorkerBreakdown>,
+    pub dma: Option<DmaOverlap>,
+    pub diagonals: Vec<DiagonalOccupancy>,
+    pub critical_path: Option<CriticalPath>,
+}
+
+/// Full analysis of a trace snapshot.
+#[derive(Debug, Clone)]
+pub struct TraceAnalysis {
+    pub domains: Vec<DomainAnalysis>,
+    /// Events lost to track-capacity bounds (a non-zero value means the
+    /// numbers below undercount).
+    pub dropped: u64,
+}
+
+/// Analyse a snapshot: pair spans, then derive the per-domain breakdowns.
+pub fn analyze(data: &TraceData) -> Result<TraceAnalysis, TraceError> {
+    let spans = pair_spans(data)?;
+
+    let mut domains: Vec<TimeDomain> = Vec::new();
+    for s in &spans {
+        let d = data.tracks[s.track].domain;
+        if !domains.contains(&d) {
+            domains.push(d);
+        }
+    }
+
+    let analyses = domains
+        .into_iter()
+        .map(|domain| analyze_domain(data, &spans, domain))
+        .collect();
+    Ok(TraceAnalysis {
+        domains: analyses,
+        dropped: data.dropped(),
+    })
+}
+
+fn is_compute(kind: &EventKind) -> bool {
+    matches!(kind, EventKind::Task { .. } | EventKind::Block { .. })
+}
+
+fn analyze_domain(data: &TraceData, all: &[Span], domain: TimeDomain) -> DomainAnalysis {
+    let spans: Vec<&Span> = all
+        .iter()
+        .filter(|s| data.tracks[s.track].domain == domain)
+        .collect();
+    let window = (
+        spans.iter().map(|s| s.start).min().unwrap_or(0),
+        spans.iter().map(|s| s.end).max().unwrap_or(0),
+    );
+    let window_len = window.1 - window.0;
+
+    // Per-worker busy/idle and per-group compute unions (for DMA overlap).
+    let mut workers = Vec::new();
+    let mut group_compute: BTreeMap<u32, Vec<(u64, u64)>> = BTreeMap::new();
+    let mut worker_tracks = 0usize;
+    for (ti, track) in data.tracks.iter().enumerate() {
+        if track.domain != domain || track.kind != TrackKind::Worker {
+            continue;
+        }
+        worker_tracks += 1;
+        let mine: Vec<&&Span> = spans.iter().filter(|s| s.track == ti).collect();
+        let busy_iv = union(
+            mine.iter()
+                .filter(|s| is_compute(&s.kind))
+                .map(|s| (s.start, s.end)),
+        );
+        group_compute
+            .entry(track.group)
+            .or_default()
+            .extend(busy_iv.iter().copied());
+        let busy = total(&busy_iv);
+        let idle_recorded = total(&union(
+            mine.iter()
+                .filter(|s| matches!(s.kind, EventKind::Idle))
+                .map(|s| (s.start, s.end)),
+        ));
+        let wait_recorded = total(&union(
+            mine.iter()
+                .filter(|s| matches!(s.kind, EventKind::MailboxWait))
+                .map(|s| (s.start, s.end)),
+        ));
+        workers.push(WorkerBreakdown {
+            track: track.name.clone(),
+            busy,
+            idle_recorded,
+            wait_recorded,
+            span_count: mine.len(),
+            occupancy: ratio(busy, window_len),
+        });
+    }
+    for iv in group_compute.values_mut() {
+        *iv = union(iv.iter().copied());
+    }
+
+    // DMA/compute overlap per DMA track against its group's compute union.
+    let mut dma_busy = 0u64;
+    let mut overlapped = 0u64;
+    let mut transfers = 0usize;
+    let mut bytes = 0u64;
+    let mut saw_dma = false;
+    for (ti, track) in data.tracks.iter().enumerate() {
+        if track.domain != domain || track.kind != TrackKind::Dma {
+            continue;
+        }
+        saw_dma = true;
+        let mut iv = Vec::new();
+        for s in spans.iter().filter(|s| s.track == ti) {
+            match s.kind {
+                EventKind::DmaGet { bytes: b } | EventKind::DmaPut { bytes: b } => {
+                    transfers += 1;
+                    bytes += b;
+                    iv.push((s.start, s.end));
+                }
+                _ => {}
+            }
+        }
+        let iv = union(iv.iter().copied());
+        dma_busy += total(&iv);
+        if let Some(compute) = group_compute.get(&track.group) {
+            overlapped += intersect_len(&iv, compute);
+        }
+    }
+    let dma = saw_dma.then(|| DmaOverlap {
+        dma_busy,
+        overlapped,
+        ratio: ratio(overlapped, dma_busy),
+        transfers,
+        bytes,
+    });
+
+    // Per-diagonal wavefront occupancy over block spans.
+    let mut per_diag: BTreeMap<u32, Vec<&&Span>> = BTreeMap::new();
+    for s in &spans {
+        if let EventKind::Block { bi, bj } = s.kind {
+            per_diag.entry(bj - bi).or_default().push(s);
+        }
+    }
+    let diagonals = per_diag
+        .iter()
+        .map(|(&d, ss)| {
+            let lo = ss.iter().map(|s| s.start).min().unwrap();
+            let hi = ss.iter().map(|s| s.end).max().unwrap();
+            let busy: u64 = ss.iter().map(|s| s.duration()).sum();
+            let mut ids: Vec<(u32, u32)> = ss
+                .iter()
+                .map(|s| match s.kind {
+                    EventKind::Block { bi, bj } => (bi, bj),
+                    _ => unreachable!(),
+                })
+                .collect();
+            ids.sort_unstable();
+            ids.dedup();
+            DiagonalOccupancy {
+                diagonal: d,
+                blocks: ids.len(),
+                busy,
+                window: hi - lo,
+                occupancy: ratio(busy, (hi - lo) * worker_tracks as u64),
+            }
+        })
+        .collect();
+
+    DomainAnalysis {
+        domain,
+        window,
+        workers,
+        dma,
+        diagonals,
+        critical_path: critical_path(&spans),
+    }
+}
+
+/// Longest duration-weighted chain through the recorded blocks, following the
+/// paper's simplified dependence edges (left and below neighbours). Blocks
+/// are processed by increasing diagonal, so both potential predecessors are
+/// finished before a block is considered.
+fn critical_path(spans: &[&Span]) -> Option<CriticalPath> {
+    let mut durations: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+    for s in spans {
+        if let EventKind::Block { bi, bj } = s.kind {
+            *durations.entry((bi, bj)).or_insert(0) += s.duration();
+        }
+    }
+    if durations.is_empty() {
+        return None;
+    }
+
+    let mut order: Vec<(u32, u32)> = durations.keys().copied().collect();
+    order.sort_by_key(|&(bi, bj)| (bj - bi, bi));
+
+    let mut finish: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+    let mut pred: BTreeMap<(u32, u32), (u32, u32)> = BTreeMap::new();
+    for &(bi, bj) in &order {
+        let mut best: Option<((u32, u32), u64)> = None;
+        for p in [(bi, bj.wrapping_sub(1)), (bi + 1, bj)] {
+            if let Some(&f) = finish.get(&p) {
+                if best.is_none_or(|(_, bf)| f > bf) {
+                    best = Some((p, f));
+                }
+            }
+        }
+        let start = best.map_or(0, |(_, f)| f);
+        if let Some((p, _)) = best {
+            pred.insert((bi, bj), p);
+        }
+        finish.insert((bi, bj), start + durations[&(bi, bj)]);
+    }
+
+    let (&tail, &length) = finish.iter().max_by_key(|(_, &f)| f)?;
+    let mut blocks = vec![tail];
+    let mut cur = tail;
+    while let Some(&p) = pred.get(&cur) {
+        blocks.push(p);
+        cur = p;
+    }
+    blocks.reverse();
+    let total_block_time: u64 = durations.values().sum();
+    Some(CriticalPath {
+        blocks,
+        length,
+        total_block_time,
+        parallelism: ratio(total_block_time, length),
+    })
+}
+
+/// Sort and merge intervals into a disjoint union.
+fn union(iv: impl IntoIterator<Item = (u64, u64)>) -> Vec<(u64, u64)> {
+    let mut iv: Vec<(u64, u64)> = iv.into_iter().filter(|(a, b)| b > a).collect();
+    iv.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(iv.len());
+    for (a, b) in iv {
+        match out.last_mut() {
+            Some((_, pb)) if a <= *pb => *pb = (*pb).max(b),
+            _ => out.push((a, b)),
+        }
+    }
+    out
+}
+
+fn total(iv: &[(u64, u64)]) -> u64 {
+    iv.iter().map(|(a, b)| b - a).sum()
+}
+
+/// Total intersection length of two disjoint, sorted interval sets.
+fn intersect_len(a: &[(u64, u64)], b: &[(u64, u64)]) -> u64 {
+    let (mut i, mut j, mut out) = (0, 0, 0u64);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if hi > lo {
+            out += hi - lo;
+        }
+        if a[i].1 <= b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    out
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+impl TraceAnalysis {
+    /// JSON form of the summary (embedded in reports and printed by
+    /// `--trace` runs alongside the human-readable rendering).
+    pub fn to_value(&self) -> Value {
+        let mut root = Value::object();
+        root.set("dropped_events", self.dropped);
+        let mut domains = Vec::new();
+        for d in &self.domains {
+            let mut dv = Value::object();
+            dv.set("domain", d.domain.label());
+            dv.set("window_start", d.window.0);
+            dv.set("window_end", d.window.1);
+            let mut workers = Vec::new();
+            for w in &d.workers {
+                let mut wv = Value::object();
+                wv.set("track", w.track.as_str());
+                wv.set("busy", w.busy);
+                wv.set("idle_recorded", w.idle_recorded);
+                wv.set("wait_recorded", w.wait_recorded);
+                wv.set("spans", w.span_count);
+                wv.set("occupancy", w.occupancy);
+                workers.push(wv);
+            }
+            dv.set("workers", Value::Array(workers));
+            if let Some(dma) = &d.dma {
+                let mut mv = Value::object();
+                mv.set("dma_busy", dma.dma_busy);
+                mv.set("overlapped", dma.overlapped);
+                mv.set("overlap_ratio", dma.ratio);
+                mv.set("transfers", dma.transfers);
+                mv.set("bytes", dma.bytes);
+                dv.set("dma", mv);
+            }
+            let mut diags = Vec::new();
+            for o in &d.diagonals {
+                let mut ov = Value::object();
+                ov.set("diagonal", o.diagonal);
+                ov.set("blocks", o.blocks);
+                ov.set("busy", o.busy);
+                ov.set("window", o.window);
+                ov.set("occupancy", o.occupancy);
+                diags.push(ov);
+            }
+            dv.set("diagonals", Value::Array(diags));
+            if let Some(cp) = &d.critical_path {
+                let mut cv = Value::object();
+                cv.set("length", cp.length);
+                cv.set("total_block_time", cp.total_block_time);
+                cv.set("parallelism", cp.parallelism);
+                cv.set("blocks", cp.blocks.len());
+                cv.set(
+                    "path",
+                    Value::Array(
+                        cp.blocks
+                            .iter()
+                            .map(|&(bi, bj)| [bi, bj].into_iter().collect())
+                            .collect(),
+                    ),
+                );
+                dv.set("critical_path", cv);
+            }
+            domains.push(dv);
+        }
+        root.set("domains", Value::Array(domains));
+        root
+    }
+}
+
+impl fmt::Display for TraceAnalysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "trace summary")?;
+        if self.dropped > 0 {
+            writeln!(
+                f,
+                "  WARNING: {} events dropped to capacity bounds; numbers undercount",
+                self.dropped
+            )?;
+        }
+        for d in &self.domains {
+            let scale = d.domain.ticks_to_us() / 1e3; // ticks → ms
+            let ms = |t: u64| t as f64 * scale;
+            writeln!(
+                f,
+                "  [{}] window {:.3} ms, {} worker track(s)",
+                d.domain.label(),
+                ms(d.window.1 - d.window.0),
+                d.workers.len()
+            )?;
+            for w in &d.workers {
+                writeln!(
+                    f,
+                    "    {}: busy {:.1}% ({:.3} ms, {} spans; idle {:.3} ms, wait {:.3} ms)",
+                    w.track,
+                    100.0 * w.occupancy,
+                    ms(w.busy),
+                    w.span_count,
+                    ms(w.idle_recorded),
+                    ms(w.wait_recorded),
+                )?;
+            }
+            if let Some(dma) = &d.dma {
+                writeln!(
+                    f,
+                    "    dma/compute overlap {:.1}% ({:.3} of {:.3} ms over {} transfers, {} bytes)",
+                    100.0 * dma.ratio,
+                    ms(dma.overlapped),
+                    ms(dma.dma_busy),
+                    dma.transfers,
+                    dma.bytes,
+                )?;
+            }
+            if !d.diagonals.is_empty() {
+                write!(f, "    wavefront occupancy by diagonal:")?;
+                for o in &d.diagonals {
+                    write!(
+                        f,
+                        " d{}={:.0}%({}blk)",
+                        o.diagonal,
+                        100.0 * o.occupancy,
+                        o.blocks
+                    )?;
+                }
+                writeln!(f)?;
+            }
+            if let Some(cp) = &d.critical_path {
+                writeln!(
+                    f,
+                    "    critical path: {} blocks, {:.3} ms of {:.3} ms total block time (parallelism {:.2}x)",
+                    cp.blocks.len(),
+                    ms(cp.length),
+                    ms(cp.total_block_time),
+                    cp.parallelism,
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Tracer, TrackDesc};
+
+    /// The hand-built two-SPE trace used across tests: a 2×2 block triangle
+    /// in the `Ticks` domain with exactly-known numbers.
+    ///
+    /// ```text
+    /// spe0 (group 0): block (0,0) [0,100)      block (0,1) [150,350)
+    /// spe1 (group 1): block (1,1) [0,150)
+    /// dma0 (group 0):            get [120,170)            put [340,360)
+    /// ```
+    fn two_spe_trace() -> TraceData {
+        let t = Tracer::new();
+        let spe0 = t.register(TrackDesc::worker("spe0", 0).in_domain(TimeDomain::Ticks));
+        let spe1 = t.register(TrackDesc::worker("spe1", 1).in_domain(TimeDomain::Ticks));
+        let dma0 = t.register(TrackDesc::dma("dma0", 0).in_domain(TimeDomain::Ticks));
+        let b = |bi, bj| EventKind::Block { bi, bj };
+        t.begin_at(spe0, 0, b(0, 0));
+        t.end_at(spe0, 100, b(0, 0));
+        t.begin_at(spe0, 150, b(0, 1));
+        t.end_at(spe0, 350, b(0, 1));
+        t.begin_at(spe1, 0, b(1, 1));
+        t.end_at(spe1, 150, b(1, 1));
+        t.begin_at(dma0, 120, EventKind::DmaGet { bytes: 1024 });
+        t.end_at(dma0, 170, EventKind::DmaGet { bytes: 1024 });
+        t.begin_at(dma0, 340, EventKind::DmaPut { bytes: 512 });
+        t.end_at(dma0, 360, EventKind::DmaPut { bytes: 512 });
+        t.snapshot()
+    }
+
+    #[test]
+    fn two_spe_overlap_ratio_is_exact() {
+        let a = analyze(&two_spe_trace()).unwrap();
+        assert_eq!(a.domains.len(), 1);
+        let d = &a.domains[0];
+        assert_eq!(d.domain, TimeDomain::Ticks);
+        assert_eq!(d.window, (0, 360));
+        // get [120,170) ∩ ([0,100)∪[150,350)) = [150,170) → 20
+        // put [340,360) ∩ ...               = [340,350) → 10
+        let dma = d.dma.as_ref().unwrap();
+        assert_eq!(dma.dma_busy, 70);
+        assert_eq!(dma.overlapped, 30);
+        assert!((dma.ratio - 30.0 / 70.0).abs() < 1e-12);
+        assert_eq!(dma.transfers, 2);
+        assert_eq!(dma.bytes, 1536);
+    }
+
+    #[test]
+    fn two_spe_worker_breakdown_is_exact() {
+        let a = analyze(&two_spe_trace()).unwrap();
+        let d = &a.domains[0];
+        assert_eq!(d.workers.len(), 2);
+        assert_eq!(d.workers[0].busy, 300);
+        assert!((d.workers[0].occupancy - 300.0 / 360.0).abs() < 1e-12);
+        assert_eq!(d.workers[1].busy, 150);
+        assert!((d.workers[1].occupancy - 150.0 / 360.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_spe_diagonal_occupancy_is_exact() {
+        let a = analyze(&two_spe_trace()).unwrap();
+        let d = &a.domains[0];
+        assert_eq!(d.diagonals.len(), 2);
+        // d=0: blocks (0,0) [0,100) + (1,1) [0,150): busy 250 over window
+        // 150 × 2 workers.
+        assert_eq!(d.diagonals[0].diagonal, 0);
+        assert_eq!(d.diagonals[0].blocks, 2);
+        assert_eq!(d.diagonals[0].busy, 250);
+        assert_eq!(d.diagonals[0].window, 150);
+        assert!((d.diagonals[0].occupancy - 250.0 / 300.0).abs() < 1e-12);
+        // d=1: block (0,1) [150,350): busy 200 over window 200 × 2.
+        assert_eq!(d.diagonals[1].diagonal, 1);
+        assert_eq!(d.diagonals[1].blocks, 1);
+        assert!((d.diagonals[1].occupancy - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_spe_critical_path_is_exact() {
+        let a = analyze(&two_spe_trace()).unwrap();
+        let cp = a.domains[0].critical_path.as_ref().unwrap();
+        // (0,1) depends on left (0,0) [100] and below (1,1) [150]; its own
+        // duration is 200, so the path is (1,1) → (0,1) with length 350.
+        assert_eq!(cp.blocks, vec![(1, 1), (0, 1)]);
+        assert_eq!(cp.length, 350);
+        assert_eq!(cp.total_block_time, 450);
+        assert!((cp.parallelism - 450.0 / 350.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_renders_and_serializes() {
+        let a = analyze(&two_spe_trace()).unwrap();
+        let text = a.to_string();
+        assert!(text.contains("dma/compute overlap 42.9%"), "{text}");
+        assert!(text.contains("critical path: 2 blocks"), "{text}");
+        let v = a.to_value();
+        let d0 = match v.get("domains") {
+            Some(Value::Array(ds)) => &ds[0],
+            other => panic!("domains missing: {other:?}"),
+        };
+        let ratio = d0
+            .get("dma")
+            .and_then(|m| m.get("overlap_ratio"))
+            .and_then(Value::as_f64)
+            .unwrap();
+        assert!((ratio - 30.0 / 70.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unbalanced_begin_is_an_error() {
+        let t = Tracer::new();
+        let w = t.register(TrackDesc::worker("w", 0));
+        t.begin_at(w, 0, EventKind::Solve);
+        let err = pair_spans(&t.snapshot()).unwrap_err();
+        assert!(err.0.contains("never ends"), "{err}");
+    }
+
+    #[test]
+    fn end_without_begin_is_an_error() {
+        let t = Tracer::new();
+        let w = t.register(TrackDesc::worker("w", 0));
+        t.end_at(w, 5, EventKind::Solve);
+        let err = pair_spans(&t.snapshot()).unwrap_err();
+        assert!(err.0.contains("without begin"), "{err}");
+    }
+
+    #[test]
+    fn mismatched_kind_is_an_error() {
+        let t = Tracer::new();
+        let w = t.register(TrackDesc::worker("w", 0));
+        t.begin_at(w, 0, EventKind::Task { id: 1 });
+        t.end_at(w, 5, EventKind::Task { id: 2 });
+        let err = pair_spans(&t.snapshot()).unwrap_err();
+        assert!(err.0.contains("closes span"), "{err}");
+    }
+
+    #[test]
+    fn nested_spans_pair_inside_out() {
+        let t = Tracer::new();
+        let w = t.register(TrackDesc::worker("w", 0));
+        t.begin_at(w, 0, EventKind::Task { id: 1 });
+        t.begin_at(w, 10, EventKind::Block { bi: 0, bj: 0 });
+        t.end_at(w, 20, EventKind::Block { bi: 0, bj: 0 });
+        t.end_at(w, 30, EventKind::Task { id: 1 });
+        let spans = pair_spans(&t.snapshot()).unwrap();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].kind, EventKind::Block { bi: 0, bj: 0 });
+        assert_eq!(spans[0].duration(), 10);
+        assert_eq!(spans[1].kind, EventKind::Task { id: 1 });
+        assert_eq!(spans[1].duration(), 30);
+    }
+
+    #[test]
+    fn interval_helpers() {
+        assert_eq!(union([(5, 7), (0, 2), (1, 3)]), vec![(0, 3), (5, 7)]);
+        assert_eq!(total(&[(0, 3), (5, 7)]), 5);
+        assert_eq!(intersect_len(&[(0, 10)], &[(5, 15)]), 5);
+        assert_eq!(intersect_len(&[(0, 2), (4, 6)], &[(1, 5)]), 2);
+        assert_eq!(intersect_len(&[(0, 2)], &[(3, 4)]), 0);
+    }
+
+    #[test]
+    fn domains_are_analyzed_separately() {
+        let t = Tracer::new();
+        let host = t.register(TrackDesc::worker("host", 0));
+        let sim =
+            t.register(TrackDesc::worker("spe", 0).in_domain(TimeDomain::SimCycles { hz: 3.2e9 }));
+        t.begin_at(host, 0, EventKind::Block { bi: 0, bj: 0 });
+        t.end_at(host, 10, EventKind::Block { bi: 0, bj: 0 });
+        t.begin_at(sim, 1_000, EventKind::Block { bi: 0, bj: 0 });
+        t.end_at(sim, 2_000, EventKind::Block { bi: 0, bj: 0 });
+        let a = analyze(&t.snapshot()).unwrap();
+        assert_eq!(a.domains.len(), 2);
+        assert_eq!(a.domains[0].window, (0, 10));
+        assert_eq!(a.domains[1].window, (1_000, 2_000));
+    }
+
+    #[test]
+    fn idle_spans_do_not_count_as_busy() {
+        let t = Tracer::new();
+        let w = t.register(TrackDesc::worker("w", 0).in_domain(TimeDomain::Ticks));
+        t.begin_at(w, 0, EventKind::Task { id: 0 });
+        t.end_at(w, 40, EventKind::Task { id: 0 });
+        t.begin_at(w, 40, EventKind::Idle);
+        t.end_at(w, 100, EventKind::Idle);
+        let a = analyze(&t.snapshot()).unwrap();
+        let wk = &a.domains[0].workers[0];
+        assert_eq!(wk.busy, 40);
+        assert_eq!(wk.idle_recorded, 60);
+        assert!((wk.occupancy - 0.4).abs() < 1e-12);
+    }
+}

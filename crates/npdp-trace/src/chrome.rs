@@ -1,0 +1,228 @@
+//! Chrome trace-event JSON export.
+//!
+//! Produces the [trace event format] consumed by `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev): one *process* per clock domain (wall
+//! time vs simulated cycles never share an axis), one *thread* per track,
+//! `B`/`E` duration events for spans and `i` events for instants, with
+//! timestamps scaled to microseconds per the track's [`TimeDomain`].
+//!
+//! [trace event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use std::io;
+use std::path::Path;
+
+use npdp_metrics::json::Value;
+
+use crate::{EventKind, Phase, TraceData};
+
+/// Build the trace-event JSON document for a snapshot.
+pub fn chrome_trace(data: &TraceData) -> Value {
+    let mut events: Vec<Value> = Vec::new();
+
+    // Process metadata: one "process" per clock domain present.
+    let mut seen = Vec::new();
+    for track in &data.tracks {
+        let pid = track.domain.id();
+        if !seen.contains(&pid) {
+            seen.push(pid);
+            let mut args = Value::object();
+            args.set("name", track.domain.label());
+            events.push(meta("process_name", pid, 0, args));
+        }
+    }
+
+    for (tid, track) in data.tracks.iter().enumerate() {
+        let tid = tid as u32;
+        let pid = track.domain.id();
+        let scale = track.domain.ticks_to_us();
+
+        let mut args = Value::object();
+        args.set("name", track.name.as_str());
+        events.push(meta("thread_name", pid, tid, args));
+        // Registration order doubles as display order.
+        let mut args = Value::object();
+        args.set("sort_index", u64::from(tid));
+        events.push(meta("thread_sort_index", pid, tid, args));
+
+        for ev in &track.events {
+            let ts = ev.ts as f64 * scale;
+            let mut obj = Value::object();
+            match ev.phase {
+                Phase::Begin => {
+                    obj.set("ph", "B");
+                    obj.set("name", ev.kind.label());
+                    obj.set("cat", ev.kind.category());
+                }
+                Phase::End => {
+                    obj.set("ph", "E");
+                }
+                Phase::Instant => {
+                    obj.set("ph", "i");
+                    obj.set("name", ev.kind.label());
+                    obj.set("cat", ev.kind.category());
+                    obj.set("s", "t");
+                }
+            }
+            obj.set("ts", ts);
+            obj.set("pid", pid);
+            obj.set("tid", tid);
+            if ev.phase != Phase::End {
+                if let Some(args) = kind_args(&ev.kind) {
+                    obj.set("args", args);
+                }
+            }
+            events.push(obj);
+        }
+    }
+
+    let mut root = Value::object();
+    root.set("traceEvents", Value::Array(events));
+    root.set("displayTimeUnit", "ms");
+    root
+}
+
+/// Export a snapshot to `path` as pretty-printed trace-event JSON.
+pub fn write_chrome_trace(data: &TraceData, path: &Path) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(path, chrome_trace(data).to_json_pretty())
+}
+
+fn meta(name: &str, pid: u32, tid: u32, args: Value) -> Value {
+    let mut obj = Value::object();
+    obj.set("ph", "M");
+    obj.set("name", name);
+    obj.set("pid", pid);
+    obj.set("tid", tid);
+    obj.set("args", args);
+    obj
+}
+
+/// Structured arguments attached to `B`/`i` events for the viewer's detail
+/// pane.
+fn kind_args(kind: &EventKind) -> Option<Value> {
+    let mut args = Value::object();
+    match *kind {
+        EventKind::Block { bi, bj } => {
+            args.set("bi", bi).set("bj", bj).set("diagonal", bj - bi);
+        }
+        EventKind::Task { id } => {
+            args.set("task", id);
+        }
+        EventKind::DmaGet { bytes } | EventKind::DmaPut { bytes } => {
+            args.set("bytes", bytes);
+        }
+        EventKind::MailboxSend { word } => {
+            args.set("word", word);
+        }
+        EventKind::Steal { task } => {
+            args.set("task", task);
+        }
+        EventKind::Solve | EventKind::MailboxWait | EventKind::Idle => return None,
+    }
+    Some(args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TimeDomain, Tracer, TrackDesc};
+
+    fn events(v: &Value) -> &[Value] {
+        match v.get("traceEvents") {
+            Some(Value::Array(evs)) => evs,
+            other => panic!("traceEvents missing: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exports_spans_instants_and_metadata() {
+        let t = Tracer::new();
+        let w = t.register(TrackDesc::worker("worker 0", 0).in_domain(TimeDomain::Ticks));
+        t.begin_at(w, 10, EventKind::Block { bi: 1, bj: 2 });
+        t.instant_at(w, 15, EventKind::Steal { task: 7 });
+        t.end_at(w, 30, EventKind::Block { bi: 1, bj: 2 });
+        let doc = chrome_trace(&t.snapshot());
+
+        let evs = events(&doc);
+        // process_name + thread_name + thread_sort_index + B + i + E.
+        assert_eq!(evs.len(), 6);
+        let phases: Vec<&str> = evs
+            .iter()
+            .map(|e| e.get("ph").and_then(Value::as_str).unwrap())
+            .collect();
+        assert_eq!(phases, ["M", "M", "M", "B", "i", "E"]);
+
+        let begin = &evs[3];
+        assert_eq!(
+            begin.get("name").and_then(Value::as_str),
+            Some("block (1,2)")
+        );
+        assert_eq!(begin.get("cat").and_then(Value::as_str), Some("compute"));
+        assert_eq!(begin.get("ts").and_then(Value::as_f64), Some(10.0));
+        assert_eq!(begin.get("tid").and_then(Value::as_u64), Some(0));
+        let args = begin.get("args").unwrap();
+        assert_eq!(args.get("diagonal").and_then(Value::as_u64), Some(1));
+
+        let instant = &evs[4];
+        assert_eq!(instant.get("s").and_then(Value::as_str), Some("t"));
+    }
+
+    #[test]
+    fn timestamps_scale_per_domain() {
+        let t = Tracer::new();
+        // 2 MHz simulated clock: one cycle = 0.5 µs.
+        let sim =
+            t.register(TrackDesc::worker("spe0", 0).in_domain(TimeDomain::SimCycles { hz: 2e6 }));
+        let wall = t.register(TrackDesc::worker("host", 0));
+        t.instant_at(sim, 100, EventKind::Idle);
+        t.instant_at(wall, 3_000, EventKind::Idle); // 3000 ns = 3 µs
+        let doc = chrome_trace(&t.snapshot());
+        let ts: Vec<f64> = events(&doc)
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("i"))
+            .map(|e| e.get("ts").and_then(Value::as_f64).unwrap())
+            .collect();
+        assert_eq!(ts, vec![50.0, 3.0]);
+    }
+
+    #[test]
+    fn domains_map_to_distinct_pids() {
+        let t = Tracer::new();
+        let a = t.register(TrackDesc::worker("host", 0));
+        let b =
+            t.register(TrackDesc::worker("spe", 0).in_domain(TimeDomain::SimCycles { hz: 3.2e9 }));
+        t.instant_at(a, 0, EventKind::Idle);
+        t.instant_at(b, 0, EventKind::Idle);
+        let doc = chrome_trace(&t.snapshot());
+        let pids: Vec<u64> = events(&doc)
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("i"))
+            .map(|e| e.get("pid").and_then(Value::as_u64).unwrap())
+            .collect();
+        assert_eq!(pids.len(), 2);
+        assert_ne!(pids[0], pids[1]);
+        // Two process_name metadata records, one per domain.
+        let procs = events(&doc)
+            .iter()
+            .filter(|e| e.get("name").and_then(Value::as_str) == Some("process_name"))
+            .count();
+        assert_eq!(procs, 2);
+    }
+
+    #[test]
+    fn write_creates_parent_dirs() {
+        let t = Tracer::new();
+        let w = t.register(TrackDesc::worker("w", 0));
+        t.instant_at(w, 0, EventKind::Idle);
+        let dir = std::env::temp_dir().join(format!("npdp-trace-test-{}", std::process::id()));
+        let path = dir.join("nested").join("trace.json");
+        write_chrome_trace(&t.snapshot(), &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"traceEvents\""));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,697 @@
+//! Event tracing for the CellNPDP reproduction — the *temporal* companion to
+//! the `npdp-metrics` counters.
+//!
+//! The paper's headline claims are about **when** things happen, not only how
+//! much: double-buffered DMA hides transfer latency behind compute (§V,
+//! Fig. 8), and the tiled wavefront keeps every SPE busy except on the
+//! shrinking final diagonals (Fig. 12–13). Aggregate counters cannot show
+//! whether a transfer actually overlapped a kernel or where the critical
+//! path ran; a timeline can. This crate provides:
+//!
+//! * [`Tracer`] — a cheap cloneable handle, either disabled (one untaken
+//!   branch per event, the zero-overhead default mirroring
+//!   `npdp_metrics::Metrics`) or backed by a journal;
+//! * per-*track* lock-free event buffers (one track per worker thread /
+//!   simulated SPE / DMA engine) of timestamped begin/end spans and instant
+//!   events — fixed capacity, overflow counted, never blocking the hot path;
+//! * injected timestamps: hosts record monotonic wall nanoseconds, while the
+//!   Cell simulator records *simulated cycles* through the `*_at` methods —
+//!   each track declares its [`TimeDomain`] so consumers can scale and
+//!   separate the clock domains;
+//! * [`chrome`] — a Chrome trace-event JSON exporter
+//!   (`chrome://tracing` / [Perfetto](https://ui.perfetto.dev) loadable);
+//! * [`analysis`] — per-diagonal wavefront occupancy, DMA/compute overlap,
+//!   per-worker busy/idle breakdown and the critical path through the block
+//!   dependency DAG.
+
+use std::cell::{Cell, UnsafeCell};
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+pub mod analysis;
+pub mod chrome;
+
+/// Default per-track event capacity (events beyond it are counted, not
+/// stored).
+pub const DEFAULT_TRACK_CAPACITY: usize = 1 << 16;
+
+/// What clock a track's timestamps are in. Consumers must not compare
+/// timestamps across domains; the exporter maps each domain to its own
+/// process and the analyzer reports each domain separately.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TimeDomain {
+    /// Monotonic wall-clock nanoseconds since the tracer's creation.
+    WallNs,
+    /// Simulated processor cycles at the given clock frequency.
+    SimCycles {
+        /// Simulated clock in Hz (for scaling to real time on export).
+        hz: f64,
+    },
+    /// Abstract protocol ticks (the functional multi-SPE simulation's
+    /// round-based clock).
+    Ticks,
+}
+
+impl TimeDomain {
+    /// Factor turning one timestamp unit into Chrome-trace microseconds.
+    pub fn ticks_to_us(&self) -> f64 {
+        match self {
+            TimeDomain::WallNs => 1e-3,
+            TimeDomain::SimCycles { hz } => 1e6 / hz,
+            TimeDomain::Ticks => 1.0,
+        }
+    }
+
+    /// Stable id grouping tracks of the same clock; doubles as the exported
+    /// Chrome `pid`.
+    pub fn id(&self) -> u32 {
+        match self {
+            TimeDomain::WallNs => 1,
+            TimeDomain::SimCycles { .. } => 2,
+            TimeDomain::Ticks => 3,
+        }
+    }
+
+    /// Human label for the exporter's process names and analysis reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TimeDomain::WallNs => "host (wall ns)",
+            TimeDomain::SimCycles { .. } => "cell-sim (cycles)",
+            TimeDomain::Ticks => "protocol (ticks)",
+        }
+    }
+}
+
+/// Role of a track; the analyzer uses it to pick which lanes participate in
+/// occupancy (workers) and which are transfer engines (DMA).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrackKind {
+    /// A compute lane: host worker thread or simulated SPE.
+    Worker,
+    /// A DMA engine lane, associated to the worker with the same `group`.
+    Dma,
+    /// Control traffic (PPE scheduler, mailboxes); excluded from occupancy.
+    Control,
+}
+
+/// What happened. `End` events must carry the same kind as their `Begin` —
+/// the analyzer verifies nesting and pairing per track.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A whole `solve` call (the default engine span).
+    Solve,
+    /// One scheduler task (a scheduling block of the paper's task queue).
+    Task { id: u32 },
+    /// Compute of one memory block `(bi, bj)` of the triangle.
+    Block { bi: u32, bj: u32 },
+    /// DMA transfer into the local store.
+    DmaGet { bytes: u64 },
+    /// DMA write-back to main memory.
+    DmaPut { bytes: u64 },
+    /// A mailbox word delivered (instant).
+    MailboxSend { word: u32 },
+    /// Waiting on a full/empty mailbox.
+    MailboxWait,
+    /// A successful steal of a task from another worker (instant).
+    Steal { task: u32 },
+    /// A worker found no ready task and backed off.
+    Idle,
+}
+
+impl EventKind {
+    /// Display name used by the Chrome exporter.
+    pub fn label(&self) -> String {
+        match self {
+            EventKind::Solve => "solve".to_owned(),
+            EventKind::Task { id } => format!("task {id}"),
+            EventKind::Block { bi, bj } => format!("block ({bi},{bj})"),
+            EventKind::DmaGet { bytes } => format!("dma get {bytes}B"),
+            EventKind::DmaPut { bytes } => format!("dma put {bytes}B"),
+            EventKind::MailboxSend { word } => format!("mbox {word}"),
+            EventKind::MailboxWait => "mbox wait".to_owned(),
+            EventKind::Steal { task } => format!("steal {task}"),
+            EventKind::Idle => "idle".to_owned(),
+        }
+    }
+
+    /// Chrome trace category.
+    pub fn category(&self) -> &'static str {
+        match self {
+            EventKind::Solve | EventKind::Task { .. } | EventKind::Block { .. } => "compute",
+            EventKind::DmaGet { .. } | EventKind::DmaPut { .. } => "dma",
+            EventKind::MailboxSend { .. } | EventKind::MailboxWait => "mailbox",
+            EventKind::Steal { .. } | EventKind::Idle => "scheduler",
+        }
+    }
+}
+
+/// Span phase of one journal entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    Begin,
+    End,
+    Instant,
+}
+
+/// One journal entry: a timestamp in the owning track's [`TimeDomain`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    pub ts: u64,
+    pub phase: Phase,
+    pub kind: EventKind,
+}
+
+/// Description of a track at registration time.
+#[derive(Debug, Clone)]
+pub struct TrackDesc {
+    pub name: String,
+    pub kind: TrackKind,
+    /// Links lanes: a `Dma` track with group `g` belongs to the `Worker`
+    /// track(s) with group `g`.
+    pub group: u32,
+    pub domain: TimeDomain,
+}
+
+impl TrackDesc {
+    /// A compute lane (host worker or simulated SPE) in the wall domain.
+    pub fn worker(name: impl Into<String>, group: u32) -> Self {
+        Self {
+            name: name.into(),
+            kind: TrackKind::Worker,
+            group,
+            domain: TimeDomain::WallNs,
+        }
+    }
+
+    /// A DMA lane attached to worker `group`.
+    pub fn dma(name: impl Into<String>, group: u32) -> Self {
+        Self {
+            name: name.into(),
+            kind: TrackKind::Dma,
+            group,
+            domain: TimeDomain::WallNs,
+        }
+    }
+
+    /// A control lane (scheduler / mailbox traffic).
+    pub fn control(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            kind: TrackKind::Control,
+            group: u32::MAX,
+            domain: TimeDomain::WallNs,
+        }
+    }
+
+    /// Override the clock domain (simulators inject their own time).
+    pub fn in_domain(mut self, domain: TimeDomain) -> Self {
+        self.domain = domain;
+        self
+    }
+}
+
+/// Handle to a registered track. `Copy`, so it threads freely through worker
+/// closures; a handle from a disabled tracer is inert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Track(u32);
+
+impl Track {
+    /// The inert track handed out by a disabled tracer.
+    pub const INVALID: Track = Track(u32::MAX);
+}
+
+/// One track's bounded, preallocated event journal.
+///
+/// Writes reserve a slot with a single `fetch_add` and store the event —
+/// no locks, no allocation, overflow counted in `dropped`. The journal is
+/// *single-logical-producer*: one thread owns a track at a time (the
+/// executor hands each worker its own). Reading ([`Tracer::snapshot`])
+/// must happen after producers quiesce — in practice after the solve call
+/// returns, which joins its worker scope.
+struct TrackBuf {
+    desc: TrackDesc,
+    slots: Box<[Slot]>,
+    reserved: AtomicUsize,
+    committed: AtomicUsize,
+    dropped: AtomicU64,
+}
+
+struct Slot(UnsafeCell<MaybeUninit<Event>>);
+
+// Safety: slots are written at uniquely reserved indices and read only
+// after producers quiesce (see `TrackBuf` docs); `committed` release/acquire
+// ordering publishes the writes.
+unsafe impl Sync for TrackBuf {}
+unsafe impl Send for TrackBuf {}
+
+impl TrackBuf {
+    fn new(desc: TrackDesc, capacity: usize) -> Self {
+        let slots = (0..capacity)
+            .map(|_| Slot(UnsafeCell::new(MaybeUninit::uninit())))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self {
+            desc,
+            slots,
+            reserved: AtomicUsize::new(0),
+            committed: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn push(&self, event: Event) {
+        let idx = self.reserved.fetch_add(1, Ordering::Relaxed);
+        if idx < self.slots.len() {
+            // Safety: `idx` was uniquely reserved, so no other thread writes
+            // this slot; readers wait for the committed count (Release).
+            unsafe { (*self.slots[idx].0.get()).write(event) };
+            self.committed.fetch_add(1, Ordering::Release);
+        } else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn events(&self) -> Vec<Event> {
+        let n = self.committed.load(Ordering::Acquire).min(self.slots.len());
+        (0..n)
+            // Safety: slots below `committed` are initialized (Acquire above
+            // pairs with the producers' Release).
+            .map(|i| unsafe { (*self.slots[i].0.get()).assume_init() })
+            .collect()
+    }
+}
+
+struct TraceInner {
+    epoch: Instant,
+    capacity: usize,
+    tracks: RwLock<Vec<Arc<TrackBuf>>>,
+}
+
+/// The tracing handle threaded through executors, engines and simulators.
+///
+/// Cloning is a pointer copy. The disabled handle ([`Tracer::noop`]) costs
+/// one branch per event — the same zero-overhead discipline as
+/// `npdp_metrics::Metrics`, pinned by the `trace_overhead` criterion group.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TraceInner>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.inner.is_some())
+            .finish()
+    }
+}
+
+thread_local! {
+    /// Track currently bound to this thread (set by the executors so
+    /// engine-layer code can attribute block spans without plumbing).
+    static CURRENT_TRACK: Cell<u32> = const { Cell::new(u32::MAX) };
+}
+
+impl Tracer {
+    /// The zero-overhead default: every event is a single untaken branch.
+    pub fn noop() -> Self {
+        Self { inner: None }
+    }
+
+    /// An enabled tracer with the default per-track capacity, anchored to
+    /// "now" for wall-clock timestamps.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_TRACK_CAPACITY)
+    }
+
+    /// An enabled tracer storing at most `capacity` events per track
+    /// (overflow is counted, not stored).
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity >= 1);
+        Self {
+            inner: Some(Arc::new(TraceInner {
+                epoch: Instant::now(),
+                capacity,
+                tracks: RwLock::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// Whether events are being journaled.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Monotonic nanoseconds since this tracer was created (0 when
+    /// disabled) — the `WallNs` domain's clock.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.epoch.elapsed().as_nanos() as u64,
+            None => 0,
+        }
+    }
+
+    /// Register a new track. On a disabled tracer this returns
+    /// [`Track::INVALID`] without allocating.
+    pub fn register(&self, desc: TrackDesc) -> Track {
+        let Some(inner) = &self.inner else {
+            return Track::INVALID;
+        };
+        let mut tracks = inner.tracks.write().unwrap();
+        assert!(tracks.len() < u32::MAX as usize - 1, "too many tracks");
+        let id = tracks.len() as u32;
+        tracks.push(Arc::new(TrackBuf::new(desc, inner.capacity)));
+        Track(id)
+    }
+
+    #[inline]
+    fn push(&self, track: Track, event: Event) {
+        if let Some(inner) = &self.inner {
+            if let Some(buf) = inner.tracks.read().unwrap().get(track.0 as usize) {
+                buf.push(event);
+            }
+        }
+    }
+
+    /// Record a span begin at an explicit timestamp (simulators inject
+    /// simulated cycles here).
+    #[inline]
+    pub fn begin_at(&self, track: Track, ts: u64, kind: EventKind) {
+        self.push(
+            track,
+            Event {
+                ts,
+                phase: Phase::Begin,
+                kind,
+            },
+        );
+    }
+
+    /// Record a span end at an explicit timestamp; `kind` must match the
+    /// open span's.
+    #[inline]
+    pub fn end_at(&self, track: Track, ts: u64, kind: EventKind) {
+        self.push(
+            track,
+            Event {
+                ts,
+                phase: Phase::End,
+                kind,
+            },
+        );
+    }
+
+    /// Record an instant event at an explicit timestamp.
+    #[inline]
+    pub fn instant_at(&self, track: Track, ts: u64, kind: EventKind) {
+        self.push(
+            track,
+            Event {
+                ts,
+                phase: Phase::Instant,
+                kind,
+            },
+        );
+    }
+
+    /// Begin a span at the wall clock.
+    #[inline]
+    pub fn begin(&self, track: Track, kind: EventKind) {
+        if self.inner.is_some() {
+            self.begin_at(track, self.now_ns(), kind);
+        }
+    }
+
+    /// End a span at the wall clock.
+    #[inline]
+    pub fn end(&self, track: Track, kind: EventKind) {
+        if self.inner.is_some() {
+            self.end_at(track, self.now_ns(), kind);
+        }
+    }
+
+    /// Record an instant at the wall clock.
+    #[inline]
+    pub fn instant(&self, track: Track, kind: EventKind) {
+        if self.inner.is_some() {
+            self.instant_at(track, self.now_ns(), kind);
+        }
+    }
+
+    /// RAII wall-clock span: begins now, ends when the guard drops.
+    pub fn span(&self, track: Track, kind: EventKind) -> SpanGuard<'_> {
+        self.begin(track, kind);
+        SpanGuard {
+            tracer: self,
+            track,
+            kind,
+        }
+    }
+
+    /// Bind `track` to the current thread until the guard drops; used by
+    /// the executors so per-block code deeper in the stack can attribute
+    /// spans via [`Tracer::begin_current`] without explicit plumbing.
+    pub fn bind_thread(&self, track: Track) -> ThreadTrackGuard {
+        let prev = CURRENT_TRACK.with(|c| c.replace(track.0));
+        ThreadTrackGuard { prev }
+    }
+
+    /// The track bound to this thread, if any.
+    #[inline]
+    pub fn thread_track(&self) -> Option<Track> {
+        self.inner.as_ref()?;
+        let id = CURRENT_TRACK.with(Cell::get);
+        (id != u32::MAX).then_some(Track(id))
+    }
+
+    /// Begin a wall-clock span on the thread-bound track (no-op when
+    /// disabled or unbound).
+    #[inline]
+    pub fn begin_current(&self, kind: EventKind) {
+        if let Some(track) = self.thread_track() {
+            self.begin(track, kind);
+        }
+    }
+
+    /// End a wall-clock span on the thread-bound track.
+    #[inline]
+    pub fn end_current(&self, kind: EventKind) {
+        if let Some(track) = self.thread_track() {
+            self.end(track, kind);
+        }
+    }
+
+    /// Snapshot every track's journal. Call after producers quiesce (e.g.
+    /// after the traced solve returned — executors join their workers).
+    pub fn snapshot(&self) -> TraceData {
+        let Some(inner) = &self.inner else {
+            return TraceData { tracks: Vec::new() };
+        };
+        let tracks = inner.tracks.read().unwrap();
+        TraceData {
+            tracks: tracks
+                .iter()
+                .map(|buf| TrackData {
+                    name: buf.desc.name.clone(),
+                    kind: buf.desc.kind,
+                    group: buf.desc.group,
+                    domain: buf.desc.domain,
+                    events: buf.events(),
+                    dropped: buf.dropped.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Ends its span on drop (see [`Tracer::span`]).
+#[must_use = "a span guard ends its span on drop; binding it to _ records an empty span"]
+pub struct SpanGuard<'a> {
+    tracer: &'a Tracer,
+    track: Track,
+    kind: EventKind,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.tracer.end(self.track, self.kind);
+    }
+}
+
+/// Restores the previous thread-track binding on drop (see
+/// [`Tracer::bind_thread`]).
+pub struct ThreadTrackGuard {
+    prev: u32,
+}
+
+impl Drop for ThreadTrackGuard {
+    fn drop(&mut self) {
+        CURRENT_TRACK.with(|c| c.set(self.prev));
+    }
+}
+
+/// Immutable snapshot of a whole trace.
+#[derive(Debug, Clone)]
+pub struct TraceData {
+    pub tracks: Vec<TrackData>,
+}
+
+/// One track's snapshot.
+#[derive(Debug, Clone)]
+pub struct TrackData {
+    pub name: String,
+    pub kind: TrackKind,
+    pub group: u32,
+    pub domain: TimeDomain,
+    pub events: Vec<Event>,
+    /// Events lost to the capacity bound.
+    pub dropped: u64,
+}
+
+impl TraceData {
+    /// Total events across tracks.
+    pub fn event_count(&self) -> usize {
+        self.tracks.iter().map(|t| t.events.len()).sum()
+    }
+
+    /// Total events dropped to capacity bounds across tracks.
+    pub fn dropped(&self) -> u64 {
+        self.tracks.iter().map(|t| t.dropped).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_tracer_records_nothing() {
+        let t = Tracer::noop();
+        assert!(!t.enabled());
+        let track = t.register(TrackDesc::worker("w", 0));
+        assert_eq!(track, Track::INVALID);
+        t.begin(track, EventKind::Idle);
+        t.end(track, EventKind::Idle);
+        t.instant(track, EventKind::Steal { task: 3 });
+        drop(t.span(track, EventKind::Solve));
+        assert_eq!(t.snapshot().event_count(), 0);
+        assert_eq!(t.now_ns(), 0);
+    }
+
+    #[test]
+    fn spans_and_instants_are_journaled_in_order() {
+        let t = Tracer::new();
+        let track = t.register(TrackDesc::worker("w0", 0));
+        t.begin_at(track, 10, EventKind::Task { id: 1 });
+        t.instant_at(track, 15, EventKind::Steal { task: 2 });
+        t.end_at(track, 20, EventKind::Task { id: 1 });
+        let data = t.snapshot();
+        assert_eq!(data.tracks.len(), 1);
+        let ev = &data.tracks[0].events;
+        assert_eq!(ev.len(), 3);
+        assert_eq!(ev[0].phase, Phase::Begin);
+        assert_eq!(ev[1].phase, Phase::Instant);
+        assert_eq!(ev[2].phase, Phase::End);
+        assert_eq!(ev[2].ts, 20);
+        assert_eq!(data.tracks[0].dropped, 0);
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let t = Tracer::new();
+        let a = t.now_ns();
+        let b = t.now_ns();
+        assert!(b >= a);
+        let track = t.register(TrackDesc::worker("w", 0));
+        t.begin(track, EventKind::Solve);
+        t.end(track, EventKind::Solve);
+        let ev = &t.snapshot().tracks[0].events;
+        assert!(ev[1].ts >= ev[0].ts);
+    }
+
+    #[test]
+    fn capacity_overflow_counts_drops() {
+        let t = Tracer::with_capacity(4);
+        let track = t.register(TrackDesc::worker("w", 0));
+        for i in 0..10 {
+            t.instant_at(track, i, EventKind::Idle);
+        }
+        let data = t.snapshot();
+        assert_eq!(data.tracks[0].events.len(), 4);
+        assert_eq!(data.tracks[0].dropped, 6);
+        assert_eq!(data.dropped(), 6);
+    }
+
+    #[test]
+    fn thread_binding_scopes_current_track() {
+        let t = Tracer::new();
+        let a = t.register(TrackDesc::worker("a", 0));
+        let b = t.register(TrackDesc::worker("b", 1));
+        assert_eq!(t.thread_track(), None);
+        {
+            let _g = t.bind_thread(a);
+            assert_eq!(t.thread_track(), Some(a));
+            {
+                let _g2 = t.bind_thread(b);
+                assert_eq!(t.thread_track(), Some(b));
+                t.begin_current(EventKind::Block { bi: 0, bj: 1 });
+                t.end_current(EventKind::Block { bi: 0, bj: 1 });
+            }
+            assert_eq!(t.thread_track(), Some(a));
+        }
+        assert_eq!(t.thread_track(), None);
+        let data = t.snapshot();
+        assert_eq!(data.tracks[0].events.len(), 0);
+        assert_eq!(data.tracks[1].events.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_tracks_do_not_interfere() {
+        let t = Tracer::new();
+        let tracks: Vec<Track> = (0..8)
+            .map(|w| t.register(TrackDesc::worker(format!("w{w}"), w)))
+            .collect();
+        std::thread::scope(|s| {
+            for (w, &track) in tracks.iter().enumerate() {
+                let t = t.clone();
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        t.begin_at(track, i * 2, EventKind::Task { id: w as u32 });
+                        t.end_at(track, i * 2 + 1, EventKind::Task { id: w as u32 });
+                    }
+                });
+            }
+        });
+        let data = t.snapshot();
+        for (w, track) in data.tracks.iter().enumerate() {
+            assert_eq!(track.events.len(), 1000, "track {w}");
+            for pair in track.events.chunks(2) {
+                assert_eq!(pair[0].phase, Phase::Begin);
+                assert_eq!(pair[1].phase, Phase::End);
+                assert_eq!(pair[0].kind, EventKind::Task { id: w as u32 });
+            }
+        }
+    }
+
+    #[test]
+    fn domain_scaling_constants() {
+        assert_eq!(TimeDomain::WallNs.ticks_to_us(), 1e-3);
+        let cycles = TimeDomain::SimCycles { hz: 3.2e9 };
+        assert!((cycles.ticks_to_us() - 1.0 / 3200.0).abs() < 1e-12);
+        assert_eq!(TimeDomain::Ticks.ticks_to_us(), 1.0);
+        assert_ne!(TimeDomain::WallNs.id(), cycles.id());
+    }
+
+    #[test]
+    fn clone_shares_the_journal() {
+        let t = Tracer::new();
+        let track = t.register(TrackDesc::worker("w", 0));
+        let t2 = t.clone();
+        t2.instant_at(track, 1, EventKind::Idle);
+        assert_eq!(t.snapshot().event_count(), 1);
+    }
+}

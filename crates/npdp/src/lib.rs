@@ -16,6 +16,8 @@
 //! * [`model`] (`perf-model`) — the §V analytical performance model.
 //! * [`metrics`] (`npdp-metrics`) — counters, scoped timers and the
 //!   `BENCH_*.json` report emitter threaded through all of the above.
+//! * [`trace`] (`npdp-trace`) — per-track event timelines, Chrome-trace
+//!   export and occupancy/overlap/critical-path analysis.
 //! * [`rna`] (`zuker`) — simplified Zuker RNA folding on the engines.
 //! * [`baseline`] (`baselines`) — the original algorithm and TanNPDP.
 //!
@@ -34,6 +36,7 @@ pub use cache_sim as cachesim;
 pub use cell_sim as cell;
 pub use npdp_core as core;
 pub use npdp_metrics as metrics;
+pub use npdp_trace as trace;
 pub use perf_model as model;
 pub use simd_kernel as simd;
 pub use task_queue as tasks;
@@ -47,4 +50,5 @@ pub mod prelude {
         SimdEngine, TiledEngine, TriangularMatrix, WavefrontEngine,
     };
     pub use npdp_metrics::{Metrics, MetricsSink, Recorder, Report};
+    pub use npdp_trace::Tracer;
 }

@@ -45,6 +45,9 @@ pub mod stealing;
 pub mod triangle;
 
 pub use graph::TaskGraph;
-pub use pool::{execute, execute_metered, execute_sequential, execute_with_stats, ExecStats};
-pub use stealing::{execute_stealing, execute_stealing_metered};
+pub use pool::{
+    execute, execute_instrumented, execute_metered, execute_sequential, execute_with_stats,
+    ExecStats,
+};
+pub use stealing::{execute_stealing, execute_stealing_instrumented, execute_stealing_metered};
 pub use triangle::{scheduling_grid, triangle_graph, SchedulingGrid, TriangleGrid};

@@ -15,6 +15,7 @@ use std::time::Instant;
 use crossbeam::queue::SegQueue;
 use crossbeam::utils::Backoff;
 use npdp_metrics::Metrics;
+use npdp_trace::{EventKind, Tracer, TrackDesc};
 
 use crate::graph::TaskGraph;
 
@@ -72,6 +73,24 @@ pub fn execute_metered<F>(
 where
     F: Fn(usize) + Sync,
 {
+    execute_instrumented(graph, workers, metrics, &Tracer::noop(), task)
+}
+
+/// Like [`execute_metered`], also journaling a timeline into `tracer`: one
+/// `Worker` track per thread (bound to the thread so nested code can emit
+/// block spans via [`Tracer::begin_current`]), a `Task` span per executed
+/// task and `Idle` spans around scheduler back-off. With a disabled tracer
+/// every event is one untaken branch.
+pub fn execute_instrumented<F>(
+    graph: &TaskGraph,
+    workers: usize,
+    metrics: &Metrics,
+    tracer: &Tracer,
+    task: F,
+) -> ExecStats
+where
+    F: Fn(usize) + Sync,
+{
     assert!(workers >= 1, "need at least one worker");
     let n = graph.len();
     if n == 0 {
@@ -97,6 +116,9 @@ where
     metrics.record_max("queue.depth_hwm", ready.len() as u64);
 
     let counts: Vec<AtomicUsize> = (0..workers).map(|_| AtomicUsize::new(0)).collect();
+    let tracks: Vec<_> = (0..workers)
+        .map(|w| tracer.register(TrackDesc::worker(format!("worker {w}"), w as u32)))
+        .collect();
 
     std::thread::scope(|scope| {
         for w in 0..workers {
@@ -105,7 +127,9 @@ where
             let ready = &ready;
             let task = &task;
             let counts = &counts;
+            let track = tracks[w];
             scope.spawn(move || {
+                let _bind = tracer.bind_thread(track);
                 let backoff = Backoff::new();
                 let mut idle_ns: u64 = 0;
                 loop {
@@ -113,7 +137,9 @@ where
                         Some(t) => {
                             backoff.reset();
                             let t = t as usize;
+                            tracer.begin(track, EventKind::Task { id: t as u32 });
                             task(t);
+                            tracer.end(track, EventKind::Task { id: t as u32 });
                             counts[w].fetch_add(1, Ordering::Relaxed);
                             metrics.add("queue.tasks_executed", 1);
                             // Notify successors; Release pairs with the
@@ -133,10 +159,12 @@ where
                             if remaining.load(Ordering::Acquire) == 0 {
                                 break;
                             }
-                            if metrics.enabled() {
+                            if metrics.enabled() || tracer.enabled() {
+                                tracer.begin(track, EventKind::Idle);
                                 let start = Instant::now();
                                 backoff.snooze();
                                 idle_ns += start.elapsed().as_nanos() as u64;
+                                tracer.end(track, EventKind::Idle);
                             } else {
                                 backoff.snooze();
                             }
@@ -275,5 +303,32 @@ mod tests {
         let g = diamond();
         let stats = execute_metered(&g, 2, &Metrics::noop(), |_| {});
         assert_eq!(stats.tasks_per_worker.iter().sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn instrumented_execution_journals_balanced_task_spans() {
+        let g = diamond();
+        let tracer = Tracer::new();
+        execute_instrumented(&g, 3, &Metrics::noop(), &tracer, |_| {});
+        let data = tracer.snapshot();
+        assert_eq!(data.tracks.len(), 3);
+        let spans = npdp_trace::analysis::pair_spans(&data).expect("spans balance");
+        let mut task_ids: Vec<u32> = spans
+            .iter()
+            .filter_map(|s| match s.kind {
+                EventKind::Task { id } => Some(id),
+                _ => None,
+            })
+            .collect();
+        task_ids.sort_unstable();
+        assert_eq!(task_ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn disabled_tracer_registers_no_tracks() {
+        let g = diamond();
+        let tracer = Tracer::noop();
+        execute_instrumented(&g, 2, &Metrics::noop(), &tracer, |_| {});
+        assert_eq!(tracer.snapshot().tracks.len(), 0);
     }
 }

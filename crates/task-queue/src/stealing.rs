@@ -12,6 +12,7 @@ use std::time::Instant;
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use crossbeam::utils::Backoff;
 use npdp_metrics::Metrics;
+use npdp_trace::{EventKind, Tracer, TrackDesc};
 
 use crate::graph::TaskGraph;
 use crate::pool::ExecStats;
@@ -38,6 +39,23 @@ pub fn execute_stealing_metered<F>(
 where
     F: Fn(usize) + Sync,
 {
+    execute_stealing_instrumented(graph, workers, metrics, &Tracer::noop(), task)
+}
+
+/// Like [`execute_stealing_metered`], also journaling a timeline into
+/// `tracer`: one `Worker` track per thread (bound for
+/// [`Tracer::begin_current`]), `Task` spans, `Idle` spans around back-off
+/// and a `Steal` instant on every successful deque-to-deque steal.
+pub fn execute_stealing_instrumented<F>(
+    graph: &TaskGraph,
+    workers: usize,
+    metrics: &Metrics,
+    tracer: &Tracer,
+    task: F,
+) -> ExecStats
+where
+    F: Fn(usize) + Sync,
+{
     assert!(workers >= 1);
     let n = graph.len();
     if n == 0 {
@@ -58,6 +76,9 @@ where
     let locals: Vec<Worker<u32>> = (0..workers).map(|_| Worker::new_lifo()).collect();
     let stealers: Vec<Stealer<u32>> = locals.iter().map(Worker::stealer).collect();
     let counts: Vec<AtomicUsize> = (0..workers).map(|_| AtomicUsize::new(0)).collect();
+    let tracks: Vec<_> = (0..workers)
+        .map(|w| tracer.register(TrackDesc::worker(format!("worker {w}"), w as u32)))
+        .collect();
 
     std::thread::scope(|scope| {
         for (w, local) in locals.into_iter().enumerate() {
@@ -67,7 +88,9 @@ where
             let stealers = &stealers;
             let task = &task;
             let counts = &counts;
+            let track = tracks[w];
             scope.spawn(move || {
+                let _bind = tracer.bind_thread(track);
                 let backoff = Backoff::new();
                 let mut idle_ns: u64 = 0;
                 loop {
@@ -91,6 +114,7 @@ where
                             match stealer.steal() {
                                 Steal::Success(t) => {
                                     metrics.add("queue.steals", 1);
+                                    tracer.instant(track, EventKind::Steal { task: t });
                                     break 'search Some(t);
                                 }
                                 Steal::Retry => contended = true,
@@ -104,7 +128,9 @@ where
                     match next {
                         Some(t) => {
                             backoff.reset();
+                            tracer.begin(track, EventKind::Task { id: t });
                             task(t as usize);
+                            tracer.end(track, EventKind::Task { id: t });
                             counts[w].fetch_add(1, Ordering::Relaxed);
                             metrics.add("queue.tasks_executed", 1);
                             for &s in graph.successors(t as usize) {
@@ -119,10 +145,12 @@ where
                             if remaining.load(Ordering::Acquire) == 0 {
                                 break;
                             }
-                            if metrics.enabled() {
+                            if metrics.enabled() || tracer.enabled() {
+                                tracer.begin(track, EventKind::Idle);
                                 let start = Instant::now();
                                 backoff.snooze();
                                 idle_ns += start.elapsed().as_nanos() as u64;
+                                tracer.end(track, EventKind::Idle);
                             } else {
                                 backoff.snooze();
                             }
@@ -207,6 +235,27 @@ mod tests {
         // Every non-root task is pushed to a local deque exactly once.
         let roots = g.roots().count();
         assert_eq!(recorder.get("queue.ready_pushes"), (g.len() - roots) as u64);
+    }
+
+    #[test]
+    fn instrumented_stealing_journals_balanced_task_spans() {
+        let g = triangle_graph(8);
+        let tracer = Tracer::new();
+        execute_stealing_instrumented(&g, 4, &Metrics::noop(), &tracer, |_| {
+            std::thread::yield_now();
+        });
+        let data = tracer.snapshot();
+        assert_eq!(data.tracks.len(), 4);
+        let spans = npdp_trace::analysis::pair_spans(&data).expect("spans balance");
+        let mut task_ids: Vec<u32> = spans
+            .iter()
+            .filter_map(|s| match s.kind {
+                EventKind::Task { id } => Some(id),
+                _ => None,
+            })
+            .collect();
+        task_ids.sort_unstable();
+        assert_eq!(task_ids, (0..g.len() as u32).collect::<Vec<_>>());
     }
 
     #[test]
