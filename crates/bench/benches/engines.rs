@@ -7,6 +7,7 @@ use npdp_core::{
     problem, BlockedEngine, Engine, ParallelEngine, SerialEngine, SimdEngine, TiledEngine,
     WavefrontEngine,
 };
+use npdp_fault::{FaultInjector, FaultKind, FaultPlan, RetryPolicy};
 use npdp_metrics::Metrics;
 use npdp_trace::Tracer;
 
@@ -74,6 +75,39 @@ fn bench_engines(c: &mut Criterion) {
         b.iter(|| {
             let t = Tracer::new();
             par.solve_traced(&seeds, &metrics, &t)
+        })
+    });
+    g.finish();
+
+    // Fault-layer overhead: plain solve vs the fault-tolerant entry point
+    // with a disabled injector vs a live low-rate plan. The disabled path
+    // costs one untaken branch per would-be injection site and must stay
+    // within noise of plain (<2%), same contract as the metrics and trace
+    // layers; the live plan pays site hashing plus recovery and is reported
+    // for reference.
+    let mut g = c.benchmark_group("fault_overhead_n512_f32");
+    g.throughput(Throughput::Elements(relax));
+    g.sample_size(10);
+    let par = ParallelEngine::new(64, 2, workers);
+    let metrics = Metrics::noop();
+    let tracer = Tracer::noop();
+    g.bench_function("plain", |b| b.iter(|| par.solve(&seeds)));
+    g.bench_function("faulted_noop", |b| {
+        let f = FaultInjector::noop();
+        b.iter(|| {
+            par.try_solve_with_stats_faulted(&seeds, &metrics, &tracer, &f, RetryPolicy::DEFAULT)
+                .unwrap()
+        })
+    });
+    g.bench_function("faulted_low_rate", |b| {
+        let f = FaultInjector::new(FaultPlan::seeded(42).with_rate(FaultKind::TaskPanic, 0.01));
+        let retry = RetryPolicy {
+            max_attempts: 16,
+            base_backoff: 64,
+        };
+        b.iter(|| {
+            par.try_solve_with_stats_faulted(&seeds, &metrics, &tracer, &f, retry)
+                .unwrap()
         })
     });
     g.finish();

@@ -31,6 +31,7 @@ const BINARIES: &[&str] = &[
     "repro-fig13",
     "repro-model",
     "repro-ablation",
+    "repro-chaos",
 ];
 
 fn main() {

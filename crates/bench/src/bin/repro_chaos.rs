@@ -1,0 +1,236 @@
+//! Chaos mode: the robustness acceptance gate, run over every fault-tolerant
+//! execution path in the workspace.
+//!
+//! For a sweep of deterministic fault-plan seeds, the same problem is solved
+//! under injection by
+//!
+//! * the host parallel engine (central-queue and work-stealing executors,
+//!   panic isolation + retry),
+//! * the functional multi-SPE simulator (checksummed DMA retry, mailbox
+//!   watchdog resend, SPE-loss rebalancing),
+//! * the machine model (seeded DMA retry/delay stretching the schedule),
+//!
+//! and every outcome must be **bit-identical** to the fault-free reference
+//! or a **typed error** — never a hang, an escaped panic, or a wrong answer.
+//! The binary exits non-zero on any violation.
+//!
+//! `--faults <seed>` pins the sweep to one seed, `--fault-rate <r>` sets the
+//! per-site rate (default 0.05), `--json <path>` writes the outcome and
+//! fault counters (`fault.injected`, `dma.retries`, `mailbox.resends`,
+//! `queue.task_panics`, `spe.rebalanced_blocks`) as `BENCH_chaos.json`.
+
+use std::collections::BTreeMap;
+
+use bench::{
+    fault_args, header, host_workers, json_out, repro_small, write_report, FaultInjector,
+    FaultPlan, Metrics, Report, RetryPolicy, Tracer,
+};
+use cell_sim::machine::{simulate_cellnpdp_faulted, CellConfig, QueuePolicy};
+use cell_sim::multi_spe::functional_cellnpdp_multi_spe_faulted;
+use cell_sim::ppe::Precision;
+use npdp_core::{problem, Engine, ParallelEngine, Scheduler, SerialEngine, SolveError};
+
+fn main() {
+    // Injected task panics are expected here by the dozen; keep the default
+    // hook for everything else so a real bug still prints a backtrace.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|m| m.contains("injected task panic"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    let json = json_out();
+    let fa = fault_args();
+    header(
+        "Chaos",
+        "fault-injection sweep over every fault-tolerant execution path",
+        "every run must be bit-identical to the fault-free reference or a\n\
+         typed error — never a hang, an escaped panic, or a wrong answer.",
+    );
+    let workers = host_workers();
+    let rate = fa.map_or(0.05, |f| f.rate);
+    let retry = RetryPolicy {
+        max_attempts: 16,
+        base_backoff: 64,
+    };
+    let (n_host, n_sim, sweep) = if repro_small() {
+        (96, 40, 4)
+    } else {
+        (256, 56, 8)
+    };
+    let seeds_u64: Vec<u64> = match fa {
+        Some(f) => vec![f.seed],
+        None => (0..sweep).collect(),
+    };
+
+    let mut report = Report::new("chaos");
+    report
+        .set_param("workers", workers)
+        .set_param("fault_rate", rate)
+        .set_param("n_host", n_host as u64)
+        .set_param("n_sim", n_sim as u64)
+        .set_param(
+            "fault_seeds",
+            seeds_u64
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+
+    let host_seeds = problem::random_seeds_f32(n_host, 100.0, 1);
+    let host_ref = SerialEngine.solve(&host_seeds);
+    let sim_seeds = problem::random_seeds_f32(n_sim, 100.0, 2);
+    let sim_ref = SerialEngine.solve(&sim_seeds);
+
+    // Fault counters summed across the whole sweep.
+    let mut totals: BTreeMap<String, u64> = BTreeMap::new();
+    let mut violations = 0u64;
+    let mut identical = 0u64;
+    let mut typed_errors = 0u64;
+    let mut runs = 0u64;
+
+    println!("{:<28} {:>6} {:>6} {:>20}", "path", "seed", "ok", "outcome");
+    // Scoped so its borrows of the tallies end with the sweep.
+    {
+        let mut check =
+            |path: &str,
+             seed: u64,
+             faults: &FaultInjector,
+             result: Result<Option<(usize, usize)>, SolveError>| {
+                runs += 1;
+                let (ok, outcome) = match result {
+                    Ok(Some((i, j))) => {
+                        violations += 1;
+                        (false, format!("DIVERGED at ({i},{j})"))
+                    }
+                    Ok(None) => {
+                        identical += 1;
+                        (
+                            true,
+                            format!("bit-identical ({} injected)", faults.injected_total()),
+                        )
+                    }
+                    Err(e) => {
+                        typed_errors += 1;
+                        (true, format!("typed error: {e}"))
+                    }
+                };
+                println!(
+                    "{path:<28} {seed:>6} {:>6} {outcome:>20}",
+                    if ok { "yes" } else { "NO" }
+                );
+                for (k, v) in faults.snapshot() {
+                    *totals.entry(k).or_insert(0) += v;
+                }
+            };
+
+        for &seed in &seeds_u64 {
+            for (sname, sched) in [
+                ("host/central-queue", Scheduler::CentralQueue),
+                ("host/work-stealing", Scheduler::WorkStealing),
+            ] {
+                let faults = FaultInjector::new(FaultPlan::default_rates(seed, rate));
+                let engine = ParallelEngine::new(16, 1, workers).with_scheduler(sched);
+                let r = engine
+                    .try_solve_with_stats_faulted(
+                        &host_seeds,
+                        &Metrics::noop(),
+                        &Tracer::noop(),
+                        &faults,
+                        retry,
+                    )
+                    .map(|(got, _)| host_ref.first_difference(&got).map(|(i, j, _, _)| (i, j)));
+                check(sname, seed, &faults, r);
+            }
+
+            let faults = FaultInjector::new(FaultPlan::default_rates(seed, rate));
+            let r = functional_cellnpdp_multi_spe_faulted(
+                &sim_seeds,
+                8,
+                2,
+                4,
+                &faults,
+                retry,
+                &Tracer::noop(),
+            )
+            .map(|(got, _)| sim_ref.first_difference(&got).map(|(i, j, _, _)| (i, j)));
+            check("sim/multi-spe", seed, &faults, r);
+
+            // Machine model: a performance projection, so the contract is only
+            // that it terminates with a sane, deterministic report.
+            let faults = FaultInjector::new(FaultPlan::default_rates(seed, rate));
+            let cfg = CellConfig::qs20();
+            let rep = simulate_cellnpdp_faulted(
+                &cfg,
+                1024,
+                64,
+                2,
+                Precision::Single,
+                8,
+                QueuePolicy::Fifo,
+                &faults,
+                retry,
+            );
+            let sane = rep.seconds.is_finite() && rep.seconds > 0.0;
+            check(
+                "sim/machine-model",
+                seed,
+                &faults,
+                if sane {
+                    Ok(None)
+                } else {
+                    Err(SolveError::ProtocolStalled { rounds: 0 })
+                },
+            );
+        }
+    }
+
+    // Input validation is part of the robustness surface: a poisoned seed
+    // must be a typed error from every engine front door.
+    let mut bad = problem::random_seeds_f32(64, 100.0, 3);
+    bad.set(2, 9, f32::NAN);
+    match ParallelEngine::new(32, 2, workers).try_solve(&bad) {
+        Err(SolveError::InvalidSeed { i: 2, j: 9, .. }) => {
+            println!(
+                "{:<28} {:>6} {:>6} {:>20}",
+                "host/seed-validation", "-", "yes", "typed InvalidSeed"
+            );
+        }
+        other => {
+            violations += 1;
+            println!(
+                "{:<28} {:>6} {:>6} {:>20}",
+                "host/seed-validation",
+                "-",
+                "NO",
+                format!("{other:?}")
+            );
+        }
+    }
+
+    println!(
+        "\n{runs} chaos runs: {identical} bit-identical, {typed_errors} typed errors, \
+         {violations} violations"
+    );
+    report
+        .set_counter("chaos.runs", runs)
+        .set_counter("chaos.bit_identical", identical)
+        .set_counter("chaos.typed_errors", typed_errors)
+        .set_counter("chaos.violations", violations);
+    for (k, v) in &totals {
+        report.set_counter(k, *v);
+    }
+    write_report(&report, json.as_deref());
+
+    if violations > 0 {
+        eprintln!("\nCHAOS FAILED: {violations} violation(s)");
+        std::process::exit(1);
+    }
+    println!("chaos sweep clean ✓");
+}

@@ -17,8 +17,8 @@
 //! occupancy/overlap/critical-path summary.
 
 use bench::{
-    header, host_workers, json_out, repro_small, time_engine, trace_out, write_report, write_trace,
-    Metrics, Report, Tracer,
+    fault_args, header, host_workers, json_out, merge_fault_counters, repro_small, time_engine,
+    trace_out, write_report, write_trace, Metrics, Report, Tracer,
 };
 use cell_sim::machine::{
     ndl_bytes_transferred, original_bytes_transferred, simulate_cellnpdp_traced, CellConfig,
@@ -108,6 +108,49 @@ fn main() {
             "dma.bytes_original_model",
             original_bytes_transferred(n as u64, Precision::Single),
         );
+    }
+    if let Some(fa) = fault_args() {
+        // Seeded chaos pass at the smallest size: the same solve under a
+        // deterministic fault plan must recover bit-identically (or fail
+        // typed); the fault counters join the JSON report.
+        let n = sizes[0];
+        let seeds = problem::random_seeds_f32(n, 100.0, n as u64);
+        // Small blocks: enough scheduler tasks that the plan actually
+        // fires at the default rate even at NPDP_REPRO_SMALL sizes.
+        let chaos_engine = ParallelEngine::new(16, 1, workers);
+        let clean = chaos_engine.solve(&seeds);
+        let faults = fa.injector();
+        report
+            .set_param("fault_seed", fa.seed)
+            .set_param("fault_rate", fa.rate);
+        match chaos_engine.try_solve_with_stats_faulted(
+            &seeds,
+            &Metrics::noop(),
+            &Tracer::noop(),
+            &faults,
+            fa.retry(),
+        ) {
+            Ok((got, _)) => {
+                assert_eq!(
+                    clean.first_difference(&got).map(|(i, j, _, _)| (i, j)),
+                    None,
+                    "faulted solve diverged from the fault-free run"
+                );
+                println!(
+                    "
+faults seed {} rate {}: recovered bit-identical ({} injected)",
+                    fa.seed,
+                    fa.rate,
+                    faults.injected_total()
+                );
+            }
+            Err(e) => println!(
+                "
+faults seed {} rate {}: typed error: {e}",
+                fa.seed, fa.rate
+            ),
+        }
+        merge_fault_counters(&mut report, &faults);
     }
     write_report(&report, json.as_deref());
 

@@ -10,8 +10,8 @@
 //! (host parallel solve + simulated QS20) as Chrome trace-event JSON.
 
 use bench::{
-    header, host_workers, json_out, repro_small, time_engine, trace_out, write_report, write_trace,
-    Metrics, Report, Timing, Tracer,
+    fault_args, header, host_workers, json_out, merge_fault_counters, repro_small, time_engine,
+    trace_out, write_report, write_trace, Metrics, Report, Timing, Tracer,
 };
 use cell_sim::machine::{
     ndl_bytes_transferred, original_bytes_transferred, simulate_cellnpdp_traced, CellConfig,
@@ -121,6 +121,70 @@ fn main() {
             "dma.bytes_original_model",
             original_bytes_transferred(n_cell as u64, Precision::Single),
         );
+    }
+    if let Some(fa) = fault_args() {
+        // Seeded chaos pass with the Table III block geometry: host engine
+        // and the functional multi-SPE simulator both recover bit-identical
+        // (or fail typed) under the same deterministic plan.
+        let n = if small { 256 } else { 512 };
+        let seeds = problem::random_seeds_f32(n, 100.0, 6);
+        let clean = SerialEngine.solve(&seeds);
+        let faults = fa.injector();
+        report
+            .set_param("fault_seed", fa.seed)
+            .set_param("fault_rate", fa.rate);
+        match cell.try_solve_with_stats_faulted(
+            &seeds,
+            &Metrics::noop(),
+            &Tracer::noop(),
+            &faults,
+            fa.retry(),
+        ) {
+            Ok((got, _)) => {
+                assert_eq!(
+                    clean.first_difference(&got).map(|(i, j, _, _)| (i, j)),
+                    None,
+                    "faulted solve diverged from the fault-free run"
+                );
+                println!(
+                    "
+faults seed {} rate {}: host recovered bit-identical ({} injected)",
+                    fa.seed,
+                    fa.rate,
+                    faults.injected_total()
+                );
+            }
+            Err(e) => println!(
+                "
+faults seed {} rate {}: typed error: {e}",
+                fa.seed, fa.rate
+            ),
+        }
+        let sim_seeds = problem::random_seeds_f32(48, 100.0, 7);
+        let sim_clean = SerialEngine.solve(&sim_seeds);
+        match cell_sim::multi_spe::functional_cellnpdp_multi_spe_faulted(
+            &sim_seeds,
+            8,
+            2,
+            4,
+            &faults,
+            fa.retry(),
+            &Tracer::noop(),
+        ) {
+            Ok((got, rep)) => {
+                assert_eq!(
+                    sim_clean.first_difference(&got).map(|(i, j, _, _)| (i, j)),
+                    None,
+                    "faulted multi-SPE sim diverged"
+                );
+                println!(
+                    "multi-SPE sim recovered bit-identical ({} resends, {} rebalanced blocks)",
+                    rep.resends, rep.rebalanced_blocks
+                );
+            }
+            Err(e) => println!("multi-SPE sim: typed error: {e}"),
+        }
+        merge_fault_counters(&mut report, &faults);
     }
     write_report(&report, json.as_deref());
 

@@ -14,6 +14,7 @@ use std::time::Instant;
 
 use npdp_core::{DpValue, Engine, TriangularMatrix};
 
+pub use npdp_fault::{FaultInjector, FaultKind, FaultPlan, RetryPolicy};
 pub use npdp_metrics::{Metrics, Recorder, Report};
 pub use npdp_trace::Tracer;
 
@@ -82,6 +83,77 @@ pub fn write_trace(tracer: &Tracer, path: Option<&std::path::Path>) {
     match npdp_trace::analysis::analyze(&data) {
         Ok(a) => print!("\n{a}"),
         Err(e) => eprintln!("warning: trace analysis failed: {e}"),
+    }
+}
+
+/// Parsed `--faults <seed>` / `--fault-rate <r>` flags.
+///
+/// Binaries that accept them run an extra seeded chaos pass: the same
+/// problem solved under a deterministic fault plan must come back
+/// **bit-identical** to the fault-free run (or fail with a typed error),
+/// and the fault counters land in the JSON report.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultArgs {
+    /// Fault-plan seed (`--faults <seed>`).
+    pub seed: u64,
+    /// Per-site injection rate (`--fault-rate <r>`, default 0.05).
+    pub rate: f64,
+}
+
+impl FaultArgs {
+    /// Build the injector for this plan: uniform rates across fault kinds
+    /// with crashes an order of magnitude rarer (see
+    /// [`FaultPlan::default_rates`]).
+    pub fn injector(&self) -> FaultInjector {
+        FaultInjector::new(FaultPlan::default_rates(self.seed, self.rate))
+    }
+
+    /// A retry policy generous enough that sub-0.5 rates recover with
+    /// overwhelming probability — chaos runs test recovery, not budgets.
+    pub fn retry(&self) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 16,
+            base_backoff: 64,
+        }
+    }
+}
+
+/// Parse `--faults <seed>` and `--fault-rate <r>` from the process
+/// arguments. Returns `None` when `--faults` was not given; exits with an
+/// error on a malformed value.
+pub fn fault_args() -> Option<FaultArgs> {
+    let mut seed = None;
+    let mut rate = 0.05f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--faults" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(s) => seed = Some(s),
+                None => {
+                    eprintln!("error: --faults requires an integer seed");
+                    std::process::exit(2);
+                }
+            },
+            "--fault-rate" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(r) if (0.0..=1.0).contains(&r) => rate = r,
+                _ => {
+                    eprintln!("error: --fault-rate requires a number in [0, 1]");
+                    std::process::exit(2);
+                }
+            },
+            _ => {}
+        }
+    }
+    seed.map(|seed| FaultArgs { seed, rate })
+}
+
+/// Write an injector's counter snapshot (`fault.injected`, `dma.retries`,
+/// `mailbox.resends`, `queue.task_panics`, `spe.rebalanced_blocks`, …) into
+/// `report` under the canonical keys (overwriting earlier values — pass the
+/// injector that accumulated the whole run).
+pub fn merge_fault_counters(report: &mut Report, faults: &FaultInjector) {
+    for (k, v) in faults.snapshot() {
+        report.set_counter(&k, v);
     }
 }
 

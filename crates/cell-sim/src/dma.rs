@@ -18,6 +18,21 @@
 /// MFC maximum bytes per DMA command.
 pub const MAX_DMA_BYTES: usize = 16 * 1024;
 
+/// FNV-1a over the raw bit patterns of a block of `f32`s — the
+/// verify-on-receive checksum of the fault-tolerant DMA path. Bit-pattern
+/// based, so NaNs and signed zeros hash stably and any single flipped bit
+/// changes the digest.
+pub fn checksum_f32(data: &[f32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in data {
+        for byte in v.to_bits().to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
 /// DMA engine parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct DmaModel {
@@ -195,6 +210,20 @@ pub fn double_buffered_timeline(
 
 #[cfg(test)]
 mod tests {
+    #[test]
+    fn checksum_is_deterministic_and_bit_sensitive() {
+        let a = vec![1.0f32, 2.5, f32::INFINITY, -0.0];
+        let b = a.clone();
+        assert_eq!(checksum_f32(&a), checksum_f32(&b));
+        let mut c = a.clone();
+        c[1] = f32::from_bits(c[1].to_bits() ^ 1);
+        assert_ne!(checksum_f32(&a), checksum_f32(&c));
+        // NaN payloads hash by bit pattern, not by float equality.
+        let n1 = vec![f32::from_bits(0x7FC0_0001)];
+        let n2 = vec![f32::from_bits(0x7FC0_0002)];
+        assert_ne!(checksum_f32(&n1), checksum_f32(&n2));
+    }
+
     use super::*;
 
     #[test]

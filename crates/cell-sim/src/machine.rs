@@ -108,6 +108,8 @@ pub struct SimReport {
     pub spe_busy_cycles: Vec<f64>,
     /// SPEs used.
     pub spes_used: usize,
+    /// Modelled DMA retries (faulted runs only; zero otherwise).
+    pub dma_retries: u64,
 }
 
 impl SimReport {
@@ -128,6 +130,9 @@ impl SimReport {
             self.spe_busy_cycles.iter().sum::<f64>().round() as u64,
         );
         self.dma.record_into(metrics);
+        if self.dma_retries > 0 {
+            metrics.add("dma.retries", self.dma_retries);
+        }
     }
 
     /// Load imbalance: max busy / mean busy.
@@ -313,7 +318,54 @@ pub fn simulate_cellnpdp_with_policy(
 ) -> SimReport {
     assert!(spes >= 1 && spes <= cfg.spes);
     assert!(nb >= 4 && nb.is_multiple_of(4));
-    simulate_blocked(cfg, n, nb, sb, prec, spes, true, policy, &Tracer::noop())
+    simulate_blocked(
+        cfg,
+        n,
+        nb,
+        sb,
+        prec,
+        spes,
+        true,
+        policy,
+        &Tracer::noop(),
+        &npdp_fault::FaultInjector::noop(),
+        npdp_fault::RetryPolicy::DEFAULT,
+    )
+}
+
+/// [`simulate_cellnpdp_with_policy`] under a fault plan: an injected DMA
+/// failure re-issues the block's prologue transfer after exponential
+/// backoff (per the retry policy), and an injected delay stretches the
+/// block by a deterministic payload-derived stall — both lengthen the
+/// schedule without changing what is computed. The retry count lands in
+/// [`SimReport::dma_retries`].
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_cellnpdp_faulted(
+    cfg: &CellConfig,
+    n: usize,
+    nb: usize,
+    sb: usize,
+    prec: Precision,
+    spes: usize,
+    policy: QueuePolicy,
+    faults: &npdp_fault::FaultInjector,
+    retry: npdp_fault::RetryPolicy,
+) -> SimReport {
+    assert!(spes >= 1 && spes <= cfg.spes);
+    assert!(nb >= 4 && nb.is_multiple_of(4));
+    simulate_blocked(
+        cfg,
+        n,
+        nb,
+        sb,
+        prec,
+        spes,
+        true,
+        policy,
+        &Tracer::noop(),
+        faults,
+        retry,
+    )
 }
 
 /// [`simulate_cellnpdp_with_policy`] plus timeline emission: one `Worker`
@@ -335,7 +387,19 @@ pub fn simulate_cellnpdp_traced(
 ) -> SimReport {
     assert!(spes >= 1 && spes <= cfg.spes);
     assert!(nb >= 4 && nb.is_multiple_of(4));
-    simulate_blocked(cfg, n, nb, sb, prec, spes, true, policy, tracer)
+    simulate_blocked(
+        cfg,
+        n,
+        nb,
+        sb,
+        prec,
+        spes,
+        true,
+        policy,
+        tracer,
+        &npdp_fault::FaultInjector::noop(),
+        npdp_fault::RetryPolicy::DEFAULT,
+    )
 }
 
 /// Simulate the NDL + *scalar* configuration (the paper's "NDL" ablation
@@ -358,6 +422,8 @@ pub fn simulate_ndl_scalar(
         false,
         QueuePolicy::Fifo,
         &Tracer::noop(),
+        &npdp_fault::FaultInjector::noop(),
+        npdp_fault::RetryPolicy::DEFAULT,
     )
 }
 
@@ -372,6 +438,8 @@ fn simulate_blocked(
     simd: bool,
     policy: QueuePolicy,
     tracer: &Tracer,
+    faults: &npdp_fault::FaultInjector,
+    retry: npdp_fault::RetryPolicy,
 ) -> SimReport {
     let m = n.div_ceil(nb).max(1);
     let kernel_cycles = cfg.kernel_cycles(prec);
@@ -388,11 +456,30 @@ fn simulate_blocked(
     let mut total_dma = DmaStats::default();
     let mut total_calls = 0u64;
     let mut costs: Vec<Vec<BlockCost>> = Vec::with_capacity(if traced { ntasks } else { 0 });
+    let mut dma_retries = 0u64;
     for (t, members) in sched.members.iter().enumerate() {
         dur[t] = cfg.task_overhead_cycles;
         let mut per_block = Vec::with_capacity(if traced { members.len() } else { 0 });
         for &(bi, bj) in members {
-            let c = block_cost(cfg, bi, bj, nb, prec, kernel_cycles, simd, bw_share);
+            let mut c = block_cost(cfg, bi, bj, nb, prec, kernel_cycles, simd, bw_share);
+            if faults.enabled() {
+                use npdp_fault::{site2, site3, FaultKind};
+                let site = site3(t as u64, bi as u64, bj as u64);
+                // Each failed attempt re-issues the block's prologue
+                // transfer after backoff; the budget bounds the stretch.
+                let mut attempt = 0u32;
+                while attempt + 1 < retry.max_attempts
+                    && faults.should_inject(FaultKind::DmaFail, site2(site, attempt as u64))
+                {
+                    c.total_cycles += c.prologue + retry.backoff(attempt) as f64;
+                    dma_retries += 1;
+                    faults.count_dma_retry();
+                    attempt += 1;
+                }
+                if faults.should_inject(FaultKind::DmaDelay, site) {
+                    c.total_cycles += (faults.payload(FaultKind::DmaDelay, site) % 4096) as f64;
+                }
+            }
             dur[t] += c.total_cycles;
             total_dma.merge(c.dma);
             total_calls += c.kernel_calls;
@@ -510,6 +597,7 @@ fn simulate_blocked(
         kernel_calls: total_calls,
         spe_busy_cycles: spe_busy,
         spes_used: spes,
+        dma_retries,
     }
 }
 

@@ -8,7 +8,22 @@
 use std::collections::VecDeque;
 use std::fmt;
 
+use npdp_fault::{FaultInjector, FaultKind};
 use npdp_trace::{EventKind, Tracer, Track};
+
+/// Outcome of a fault-aware mailbox write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MailboxWrite {
+    /// The word was enqueued and will be read.
+    Delivered,
+    /// The channel accepted the word but it will never arrive — the writer
+    /// cannot tell this apart from [`MailboxWrite::Delivered`]; only a
+    /// protocol-level watchdog recovers it.
+    Dropped,
+    /// The mailbox refused service this round (full, or an injected stall);
+    /// the writer must retry later.
+    Stalled,
+}
 
 /// A bounded single-direction mailbox of 32-bit words.
 #[derive(Clone)]
@@ -90,6 +105,53 @@ impl Mailbox {
         true
     }
 
+    /// Fault-aware [`Mailbox::try_write`]: consults `faults` at `site` for
+    /// an injected stall (word refused, writer retries) or an injected drop
+    /// (word swallowed — the writer believes it was delivered). Drops and
+    /// injected stalls surface as `Fault` instants on the attached track.
+    pub fn write_faulted(&mut self, word: u32, faults: &FaultInjector, site: u64) -> MailboxWrite {
+        if self.queue.len() == self.capacity {
+            self.stalls += 1;
+            if let Some((tracer, track)) = &self.tracer {
+                tracer.instant_at(*track, self.now, EventKind::MailboxWait);
+            }
+            return MailboxWrite::Stalled;
+        }
+        if faults.should_inject(FaultKind::MailboxStall, site) {
+            self.stalls += 1;
+            if let Some((tracer, track)) = &self.tracer {
+                tracer.instant_at(
+                    *track,
+                    self.now,
+                    EventKind::Fault {
+                        code: FaultKind::MailboxStall.code(),
+                    },
+                );
+            }
+            return MailboxWrite::Stalled;
+        }
+        if faults.should_inject(FaultKind::MailboxDrop, site) {
+            // Writer-side accounting happens as if the send succeeded.
+            self.messages += 1;
+            if let Some((tracer, track)) = &self.tracer {
+                tracer.instant_at(
+                    *track,
+                    self.now,
+                    EventKind::Fault {
+                        code: FaultKind::MailboxDrop.code(),
+                    },
+                );
+            }
+            return MailboxWrite::Dropped;
+        }
+        self.queue.push_back(word);
+        self.messages += 1;
+        if let Some((tracer, track)) = &self.tracer {
+            tracer.instant_at(*track, self.now, EventKind::MailboxSend { word });
+        }
+        MailboxWrite::Delivered
+    }
+
     /// Dequeue the oldest word, if any.
     pub fn read(&mut self) -> Option<u32> {
         self.queue.pop_front()
@@ -158,6 +220,48 @@ mod tests {
         assert_eq!(events[0].kind, EventKind::MailboxSend { word: 42 });
         assert_eq!(events[1].ts, 20);
         assert_eq!(events[1].kind, EventKind::MailboxWait);
+    }
+
+    #[test]
+    fn write_faulted_matches_try_write_with_noop_injector() {
+        let mut a = Mailbox::new(2);
+        let mut b = Mailbox::new(2);
+        let noop = FaultInjector::noop();
+        for w in 0..3u32 {
+            let plain = a.try_write(w);
+            let faulted = b.write_faulted(w, &noop, w as u64);
+            assert_eq!(
+                plain,
+                faulted == MailboxWrite::Delivered,
+                "word {w}: {faulted:?}"
+            );
+        }
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.stalls, b.stalls);
+    }
+
+    #[test]
+    fn injected_drop_swallows_word_but_counts_message() {
+        let drops = FaultInjector::new(
+            npdp_fault::FaultPlan::seeded(1).with_rate(FaultKind::MailboxDrop, 1.0),
+        );
+        let mut m = Mailbox::new(4);
+        assert_eq!(m.write_faulted(9, &drops, 0), MailboxWrite::Dropped);
+        assert!(m.is_empty());
+        assert_eq!(m.messages, 1);
+        assert_eq!(m.read(), None);
+    }
+
+    #[test]
+    fn injected_stall_refuses_service() {
+        let stalls = FaultInjector::new(
+            npdp_fault::FaultPlan::seeded(2).with_rate(FaultKind::MailboxStall, 1.0),
+        );
+        let mut m = Mailbox::new(4);
+        assert_eq!(m.write_faulted(9, &stalls, 0), MailboxWrite::Stalled);
+        assert!(m.is_empty());
+        assert_eq!(m.stalls, 1);
+        assert_eq!(m.messages, 0);
     }
 
     #[test]

@@ -12,8 +12,10 @@
 //! The output must be **bit-identical** to `npdp_core::SerialEngine` —
 //! the integration tests enforce it.
 
-use npdp_core::{BlockedMatrix, DpValue, TriangularMatrix};
+use npdp_core::{BlockedMatrix, DpValue, SolveError, TriangularMatrix};
+use npdp_fault::{site2, site3, FaultInjector, FaultKind, RetryPolicy};
 
+use crate::dma::checksum_f32;
 use crate::kernels::{sp_kernel_tree, TileAddrs};
 use crate::spu::Spu;
 use crate::swp::software_pipeline;
@@ -169,12 +171,136 @@ fn dma_out(spe: &SimSpe, m: &mut BlockedMatrix<f32>, bi: usize, bj: usize, base:
     m.block_mut(bi, bj).copy_from_slice(&vals);
 }
 
+/// Site salt distinguishing put-direction transfers from get-direction ones
+/// of the same block through the same buffer.
+const DMA_OUT_DIR: u64 = 1 << 63;
+
+/// Flip one mantissa bit of one local-store word (an injected single-event
+/// upset); which word is hit comes from the injector's deterministic payload.
+fn corrupt_ls_word(spe: &mut SimSpe, base: usize, len: usize, payload: u64) {
+    let idx = (payload as usize) % len;
+    let addr = base + idx * 4;
+    let v = spe.spu.read_f32(addr, 1)[0];
+    spe.spu
+        .write_f32(addr, &[f32::from_bits(v.to_bits() ^ 0x0040_0000)]);
+}
+
+/// Fault-aware [`dma_in`]: checksum the source block, transfer (the injector
+/// may lose the payload or corrupt one word in flight), verify the checksum
+/// of what actually landed in the local store, and retry on mismatch up to
+/// the budget. A verified pass guarantees the local-store bytes equal main
+/// memory bit for bit, so recovery can never alter the numerics.
+fn dma_in_checked(
+    spe: &mut SimSpe,
+    m: &BlockedMatrix<f32>,
+    bi: usize,
+    bj: usize,
+    base: usize,
+    faults: &FaultInjector,
+    retry: RetryPolicy,
+) -> Result<(), SolveError> {
+    if !faults.enabled() {
+        dma_in(spe, m, bi, bj, base);
+        return Ok(());
+    }
+    let expect = checksum_f32(m.block(bi, bj));
+    let nb = m.block_side();
+    for attempt in 0..retry.max_attempts {
+        let site = site2(site3(bi as u64, bj as u64, base as u64), attempt as u64);
+        if !faults.should_inject(FaultKind::DmaFail, site) {
+            spe.spu.write_f32(base, m.block(bi, bj));
+            if faults.should_inject(FaultKind::DmaCorrupt, site) {
+                corrupt_ls_word(
+                    spe,
+                    base,
+                    nb * nb,
+                    faults.payload(FaultKind::DmaCorrupt, site),
+                );
+            }
+        }
+        // Delays have no functional effect; the injector still counts them.
+        let _ = faults.should_inject(FaultKind::DmaDelay, site);
+        let got = spe.spu.read_f32(base, nb * nb);
+        if checksum_f32(&got) == expect {
+            return Ok(());
+        }
+        faults.count_dma_retry();
+    }
+    Err(SolveError::TransferFailed {
+        bi,
+        bj,
+        attempts: retry.max_attempts,
+    })
+}
+
+/// Fault-aware [`dma_out`], mirroring [`dma_in_checked`] in the put
+/// direction: a lost transfer leaves the stale block in main memory, a
+/// corrupted one flips a word there; both are caught by the checksum of the
+/// local-store source and retried.
+fn dma_out_checked(
+    spe: &SimSpe,
+    m: &mut BlockedMatrix<f32>,
+    bi: usize,
+    bj: usize,
+    base: usize,
+    faults: &FaultInjector,
+    retry: RetryPolicy,
+) -> Result<(), SolveError> {
+    if !faults.enabled() {
+        dma_out(spe, m, bi, bj, base);
+        return Ok(());
+    }
+    let nb = m.block_side();
+    let vals = spe.spu.read_f32(base, nb * nb);
+    let expect = checksum_f32(&vals);
+    for attempt in 0..retry.max_attempts {
+        let site = site2(
+            site3(bi as u64, bj as u64, base as u64 | DMA_OUT_DIR),
+            attempt as u64,
+        );
+        if !faults.should_inject(FaultKind::DmaFail, site) {
+            m.block_mut(bi, bj).copy_from_slice(&vals);
+            if faults.should_inject(FaultKind::DmaCorrupt, site) {
+                let idx = (faults.payload(FaultKind::DmaCorrupt, site) as usize) % vals.len();
+                let b = m.block_mut(bi, bj);
+                b[idx] = f32::from_bits(b[idx].to_bits() ^ 0x0040_0000);
+            }
+        }
+        let _ = faults.should_inject(FaultKind::DmaDelay, site);
+        if checksum_f32(m.block(bi, bj)) == expect {
+            return Ok(());
+        }
+        faults.count_dma_retry();
+    }
+    Err(SolveError::TransferFailed {
+        bi,
+        bj,
+        attempts: retry.max_attempts,
+    })
+}
+
 /// Run CellNPDP functionally on one simulated SPE. Returns the completed
 /// table and the number of kernel invocations executed.
 pub fn functional_cellnpdp_f32(
     seeds: &TriangularMatrix<f32>,
     nb: usize,
 ) -> (TriangularMatrix<f32>, u64) {
+    functional_cellnpdp_f32_faulted(seeds, nb, &FaultInjector::noop(), RetryPolicy::DEFAULT)
+        .expect("fault-free run cannot fail")
+}
+
+/// [`functional_cellnpdp_f32`] under a fault plan: every DMA transfer is
+/// checksum-verified on receive and retried with backoff on loss or
+/// corruption. Whenever recovery succeeds the table is **bit-identical** to
+/// the fault-free run (a verified transfer delivered exactly the source
+/// bytes); once a transfer exhausts its retry budget the run stops with
+/// [`SolveError::TransferFailed`].
+pub fn functional_cellnpdp_f32_faulted(
+    seeds: &TriangularMatrix<f32>,
+    nb: usize,
+    faults: &FaultInjector,
+    retry: RetryPolicy,
+) -> Result<(TriangularMatrix<f32>, u64), SolveError> {
     assert!(
         nb >= 4 && nb.is_multiple_of(4),
         "block side must be a multiple of 4"
@@ -186,25 +312,32 @@ pub fn functional_cellnpdp_f32(
 
     for bj in 0..mb {
         for bi in (0..=bj).rev() {
-            spe_compute_block(&mut spe, &layout, &mut mem, bi, bj);
+            spe_compute_block_checked(&mut spe, &layout, &mut mem, bi, bj, faults, retry)?;
         }
     }
-    (mem.to_triangular(), spe.kernel_calls)
+    Ok((mem.to_triangular(), spe.kernel_calls))
 }
 
 /// Execute the full SPE procedure for one memory block on a simulated SPE:
 /// DMA the block and its dependencies into the local store, run both stages
 /// (SIMD tile updates as real SPU programs, scalar remainders on the
 /// original flowchart), and DMA the result back.
-pub(crate) fn spe_compute_block(
+/// The same procedure with fault-aware DMA: every transfer goes through
+/// the checksummed retry path (a no-op with a disabled injector). Recomputing a block with this function is
+/// idempotent — the result is written back only at the very end, and block
+/// updates read only finalized inputs — which is what makes protocol-level
+/// recovery (resend, SPE-loss rebalancing) bit-identical-safe.
+pub(crate) fn spe_compute_block_checked(
     spe: &mut SimSpe,
     layout: &LsLayout,
     mem: &mut BlockedMatrix<f32>,
     bi: usize,
     bj: usize,
-) {
+    faults: &FaultInjector,
+    retry: RetryPolicy,
+) -> Result<(), SolveError> {
     let nt = layout.nb / 4;
-    dma_in(spe, mem, bi, bj, layout.c);
+    dma_in_checked(spe, mem, bi, bj, layout.c, faults, retry)?;
     if bi == bj {
         // Diagonal block: everything inside the C buffer.
         for r in (0..nt).rev() {
@@ -227,8 +360,8 @@ pub(crate) fn spe_compute_block(
     } else {
         // Stage 1: dependency pairs streamed through the A/B buffers.
         for bk in bi + 1..bj {
-            dma_in(spe, mem, bi, bk, layout.a);
-            dma_in(spe, mem, bk, bj, layout.b);
+            dma_in_checked(spe, mem, bi, bk, layout.a, faults, retry)?;
+            dma_in_checked(spe, mem, bk, bj, layout.b, faults, retry)?;
             for r in 0..nt {
                 for cc in 0..nt {
                     for t in 0..nt {
@@ -243,8 +376,8 @@ pub(crate) fn spe_compute_block(
             }
         }
         // Stage 2: the two diagonal blocks.
-        dma_in(spe, mem, bi, bi, layout.dlo);
-        dma_in(spe, mem, bj, bj, layout.dhi);
+        dma_in_checked(spe, mem, bi, bi, layout.dlo, faults, retry)?;
+        dma_in_checked(spe, mem, bj, bj, layout.dhi, faults, retry)?;
         for r in (0..nt).rev() {
             for cc in 0..nt {
                 for tr in r + 1..nt {
@@ -267,7 +400,7 @@ pub(crate) fn spe_compute_block(
             }
         }
     }
-    dma_out(spe, mem, bi, bj, layout.c);
+    dma_out_checked(spe, mem, bi, bj, layout.c, faults, retry)
 }
 
 #[cfg(test)]
@@ -345,6 +478,59 @@ mod tests {
         let expect = SerialEngine.solve(&seeds);
         let (got, _) = functional_cellnpdp_f32(&seeds, 8);
         assert_eq!(expect.first_difference(&got), None);
+    }
+
+    #[test]
+    fn dma_faults_recover_bit_identical() {
+        let seeds = random_seeds(24, 11);
+        let (clean, clean_calls) = functional_cellnpdp_f32(&seeds, 8);
+        let faults = FaultInjector::new(
+            npdp_fault::FaultPlan::seeded(77)
+                .with_rate(FaultKind::DmaFail, 0.3)
+                .with_rate(FaultKind::DmaCorrupt, 0.3),
+        );
+        let retry = RetryPolicy {
+            max_attempts: 16,
+            base_backoff: 1,
+        };
+        let (got, calls) = functional_cellnpdp_f32_faulted(&seeds, 8, &faults, retry)
+            .expect("a 16-attempt budget absorbs a 0.3 fault rate");
+        assert_eq!(clean.first_difference(&got), None);
+        assert_eq!(clean_calls, calls);
+        assert!(faults.injected_total() > 0, "plan injected nothing");
+        assert!(faults.injected(FaultKind::DmaFail) + faults.injected(FaultKind::DmaCorrupt) > 0);
+    }
+
+    #[test]
+    fn exhausted_dma_retries_are_a_typed_error() {
+        let seeds = random_seeds(16, 2);
+        let faults =
+            FaultInjector::new(npdp_fault::FaultPlan::seeded(5).with_rate(FaultKind::DmaFail, 1.0));
+        let err = functional_cellnpdp_f32_faulted(
+            &seeds,
+            8,
+            &faults,
+            RetryPolicy {
+                max_attempts: 2,
+                base_backoff: 1,
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, SolveError::TransferFailed { attempts: 2, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn enabled_zero_rate_injector_is_a_noop() {
+        let seeds = random_seeds(16, 4);
+        let (clean, _) = functional_cellnpdp_f32(&seeds, 8);
+        let faults = FaultInjector::new(npdp_fault::FaultPlan::seeded(9));
+        let (got, _) = functional_cellnpdp_f32_faulted(&seeds, 8, &faults, RetryPolicy::DEFAULT)
+            .expect("zero-rate plan cannot fail");
+        assert_eq!(clean.first_difference(&got), None);
+        assert_eq!(faults.injected_total(), 0);
     }
 
     #[test]

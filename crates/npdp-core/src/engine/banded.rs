@@ -48,7 +48,7 @@ impl BandedEngine {
             for i in (j.saturating_sub(band)..j).rev() {
                 let mut best = d.get(i, j);
                 for k in i + 1..j {
-                    best = T::min2(best, d.get(i, k) + d.get(k, j));
+                    best = T::min2(best, T::add_sat(d.get(i, k), d.get(k, j)));
                 }
                 d.set(i, j, best);
             }

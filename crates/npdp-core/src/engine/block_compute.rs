@@ -83,7 +83,7 @@ fn scalar_edge<T: DpValue>(
                     Some(d) => d[ii * nb + k],
                     None => c[ii * nb + k],
                 };
-                best = T::min2(best, lo + c[k * nb + jj]);
+                best = T::min2(best, T::add_sat(lo, c[k * nb + jj]));
             }
             // k inside this block's column range, k < jj: d(ii, k) from this
             // tile's left columns, d(k, jj) from the high diagonal block.
@@ -92,7 +92,7 @@ fn scalar_edge<T: DpValue>(
                     Some(d) => d[k * nb + jj],
                     None => c[k * nb + jj],
                 };
-                best = T::min2(best, c[ii * nb + k] + hi);
+                best = T::min2(best, T::add_sat(c[ii * nb + k], hi));
             }
             c[ii * nb + jj] = best;
         }
@@ -111,7 +111,7 @@ fn diag_tile_closure<T: DpValue>(c: &mut [T], nb: usize, t: usize) {
             let mut best = c[ii * nb + jj];
             for k in il + 1..jl {
                 let kk = base + k;
-                best = T::min2(best, c[ii * nb + kk] + c[kk * nb + jj]);
+                best = T::min2(best, T::add_sat(c[ii * nb + kk], c[kk * nb + jj]));
             }
             c[ii * nb + jj] = best;
         }

@@ -39,8 +39,20 @@ pub use wavefront::WavefrontEngine;
 use npdp_metrics::Metrics;
 use npdp_trace::{EventKind, Tracer, TrackDesc};
 
+use crate::error::SolveError;
 use crate::layout::TriangularMatrix;
 use crate::value::DpValue;
+
+/// Validate every problem seed (NaN, negative lengths) before a solve.
+/// O(n²) compares — negligible next to the O(n³) closure.
+pub fn validate_seeds<T: DpValue>(seeds: &TriangularMatrix<T>) -> Result<(), SolveError> {
+    for (i, j, v) in seeds.iter() {
+        if let Some(issue) = T::seed_issue(v) {
+            return Err(SolveError::InvalidSeed { i, j, issue });
+        }
+    }
+    Ok(())
+}
 
 /// A solver for the NPDP min-plus interval closure.
 pub trait Engine<T: DpValue> {
@@ -50,6 +62,15 @@ pub trait Engine<T: DpValue> {
     /// Solve the closure over the seeded triangle, returning the completed
     /// DP table. Seeds are the initial `d[i][j]` values (`+∞` where absent).
     fn solve(&self, seeds: &TriangularMatrix<T>) -> TriangularMatrix<T>;
+
+    /// Validating solve: rejects NaN / negative-length seeds with a typed
+    /// [`SolveError`] instead of computing garbage. The fault-tolerant
+    /// engines additionally override this to convert worker failures into
+    /// errors rather than panics.
+    fn try_solve(&self, seeds: &TriangularMatrix<T>) -> Result<TriangularMatrix<T>, SolveError> {
+        validate_seeds(seeds)?;
+        Ok(self.solve(seeds))
+    }
 
     /// Solve while emitting metrics. A disabled handle ([`Metrics::noop`])
     /// must leave the result bit-identical to [`Engine::solve`] at

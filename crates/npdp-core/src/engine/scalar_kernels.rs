@@ -16,7 +16,7 @@ impl<T: DpValue> BlockKernels<T> for ScalarKernels {
             for j in 0..nb {
                 let mut best = c[i * nb + j];
                 for k in 0..nb {
-                    best = T::min2(best, a[i * nb + k] + b[k * nb + j]);
+                    best = T::min2(best, T::add_sat(a[i * nb + k], b[k * nb + j]));
                 }
                 c[i * nb + j] = best;
             }
@@ -30,10 +30,10 @@ impl<T: DpValue> BlockKernels<T> for ScalarKernels {
             for i in (0..nb).rev() {
                 let mut best = c[i * nb + j];
                 for k in i + 1..nb {
-                    best = T::min2(best, dlo[i * nb + k] + c[k * nb + j]);
+                    best = T::min2(best, T::add_sat(dlo[i * nb + k], c[k * nb + j]));
                 }
                 for k in 0..j {
-                    best = T::min2(best, c[i * nb + k] + dhi[k * nb + j]);
+                    best = T::min2(best, T::add_sat(c[i * nb + k], dhi[k * nb + j]));
                 }
                 c[i * nb + j] = best;
             }
@@ -46,7 +46,7 @@ impl<T: DpValue> BlockKernels<T> for ScalarKernels {
             for i in (0..j).rev() {
                 let mut best = c[i * nb + j];
                 for k in i + 1..j {
-                    best = T::min2(best, c[i * nb + k] + c[k * nb + j]);
+                    best = T::min2(best, T::add_sat(c[i * nb + k], c[k * nb + j]));
                 }
                 c[i * nb + j] = best;
             }

@@ -47,7 +47,7 @@ impl<T: DpValue> Engine<T> for TiledEngine {
                     for i in (i_lo..i_hi.min(j)).rev() {
                         let mut best = d.get(i, j);
                         for k in i + 1..j {
-                            best = T::min2(best, d.get(i, k) + d.get(k, j));
+                            best = T::min2(best, T::add_sat(d.get(i, k), d.get(k, j)));
                         }
                         d.set(i, j, best);
                     }

@@ -1,0 +1,105 @@
+//! Typed solve failures.
+//!
+//! The engines historically panicked (or worse, hung) on bad input and
+//! worker faults; the fault-tolerant entry points ([`crate::Engine::try_solve`],
+//! `ParallelEngine::try_solve_with_stats_faulted` and the `cell-sim`
+//! protocol variants) report them as [`SolveError`] instead — a solve either
+//! returns a bit-identical table or one of these, never a hang.
+
+/// Why a seed value is unusable (see [`crate::DpValue::seed_issue`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeedIssue {
+    /// The value is NaN (floats only).
+    NotANumber,
+    /// The value is below the semiring zero — a negative length.
+    Negative,
+}
+
+/// Typed failure of a solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// A problem seed failed validation at the engine boundary.
+    InvalidSeed {
+        /// Row of the offending seed.
+        i: usize,
+        /// Column of the offending seed.
+        j: usize,
+        /// What is wrong with it.
+        issue: SeedIssue,
+    },
+    /// A scheduler task panicked on every attempt of its retry budget.
+    TaskFailed {
+        /// Scheduler task index.
+        task: usize,
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// Panic message of the last attempt.
+        message: String,
+    },
+    /// A DMA transfer of block `(bi, bj)` failed checksum verification on
+    /// every attempt of its retry budget.
+    TransferFailed {
+        /// Block row.
+        bi: usize,
+        /// Block column.
+        bj: usize,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// Every SPE died before the protocol could finish.
+    NoSurvivingWorkers,
+    /// The multi-SPE protocol stopped making progress (watchdog gave up).
+    ProtocolStalled {
+        /// Rounds executed before the watchdog fired.
+        rounds: u64,
+    },
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::InvalidSeed { i, j, issue } => {
+                let what = match issue {
+                    SeedIssue::NotANumber => "NaN",
+                    SeedIssue::Negative => "negative",
+                };
+                write!(f, "invalid problem seed at ({i},{j}): {what}")
+            }
+            SolveError::TaskFailed {
+                task,
+                attempts,
+                message,
+            } => write!(
+                f,
+                "scheduler task {task} failed after {attempts} attempts: {message}"
+            ),
+            SolveError::TransferFailed { bi, bj, attempts } => write!(
+                f,
+                "DMA transfer of block ({bi},{bj}) failed checksum after {attempts} attempts"
+            ),
+            SolveError::NoSurvivingWorkers => write!(f, "every SPE died before the solve finished"),
+            SolveError::ProtocolStalled { rounds } => write!(
+                f,
+                "multi-SPE protocol made no progress for too long (gave up after {rounds} rounds)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+impl From<task_queue::ExecError> for SolveError {
+    fn from(e: task_queue::ExecError) -> Self {
+        match e {
+            task_queue::ExecError::TaskPanicked {
+                task,
+                attempts,
+                message,
+            } => SolveError::TaskFailed {
+                task,
+                attempts,
+                message,
+            },
+        }
+    }
+}

@@ -40,6 +40,7 @@
 
 pub mod apps;
 pub mod engine;
+pub mod error;
 pub mod layout;
 pub mod problem;
 pub mod value;
@@ -48,5 +49,6 @@ pub use engine::{
     BandedEngine, BlockedEngine, Engine, ParallelEngine, Scheduler, SerialEngine, SimdEngine,
     TiledEngine, WavefrontEngine,
 };
+pub use error::{SeedIssue, SolveError};
 pub use layout::{BlockedMatrix, TriangularMatrix};
 pub use value::{DpValue, MaxPlus};

@@ -65,6 +65,23 @@ impl<T: NegInfinity> DpValue for MaxPlus<T> {
     const INFINITY: Self = MaxPlus(T::NEG_INFINITY);
     const ZERO: Self = MaxPlus(T::ZERO);
     const PAD_FLOOR: Self = MaxPlus(T::NEG_PAD_FLOOR);
+
+    #[inline(always)]
+    fn add_sat(a: Self, b: Self) -> Self {
+        MaxPlus(T::add_sat(a.0, b.0))
+    }
+
+    // Negative values are legitimate max-plus seeds (losses along a chain),
+    // so only NaN is rejected here.
+    #[inline]
+    fn seed_issue(v: Self) -> Option<crate::error::SeedIssue> {
+        #[allow(clippy::eq_op)]
+        if v.0 != v.0 {
+            Some(crate::error::SeedIssue::NotANumber)
+        } else {
+            None
+        }
+    }
 }
 
 #[cfg(test)]

@@ -49,6 +49,31 @@ pub trait DpValue:
         }
     }
 
+    /// Saturating min-plus addition: on valid inputs identical to `a + b`,
+    /// but integer overflow clamps instead of wrapping, so `INFINITY +
+    /// INFINITY` (or adversarial near-`MAX` inputs) can never wrap around
+    /// into a winning candidate. Floats already saturate at `±∞` natively.
+    #[inline(always)]
+    fn add_sat(a: Self, b: Self) -> Self {
+        a + b
+    }
+
+    /// Validate one problem seed at the engine boundary: `None` if usable,
+    /// or the reason it is not. The default rejects NaN (`v != v`) and
+    /// values below [`DpValue::ZERO`] (negative lengths); order-reversing
+    /// wrappers override it.
+    #[inline]
+    fn seed_issue(v: Self) -> Option<crate::error::SeedIssue> {
+        #[allow(clippy::eq_op)]
+        if v != v {
+            Some(crate::error::SeedIssue::NotANumber)
+        } else if v < Self::ZERO {
+            Some(crate::error::SeedIssue::Negative)
+        } else {
+            None
+        }
+    }
+
     /// Min-plus rank-4 update of one 4×4 tile: `C = min(C, A ⊗ B)` with
     /// row-strided tiles (`cs`, `as_`, `bs` are row strides in elements).
     ///
@@ -60,7 +85,7 @@ pub trait DpValue:
             for cc in 0..4 {
                 let mut best = c[r * cs + cc];
                 for k in 0..4 {
-                    let cand = a[r * as_ + k] + b[k * bs + cc];
+                    let cand = Self::add_sat(a[r * as_ + k], b[k * bs + cc]);
                     best = Self::min2(best, cand);
                 }
                 c[r * cs + cc] = best;
@@ -106,12 +131,22 @@ impl DpValue for i32 {
     const INFINITY: Self = i32::MAX / 4;
     const ZERO: Self = 0;
     const PAD_FLOOR: Self = i32::MAX / 8;
+
+    #[inline(always)]
+    fn add_sat(a: Self, b: Self) -> Self {
+        a.saturating_add(b)
+    }
 }
 
 impl DpValue for i64 {
     const INFINITY: Self = i64::MAX / 4;
     const ZERO: Self = 0;
     const PAD_FLOOR: Self = i64::MAX / 8;
+
+    #[inline(always)]
+    fn add_sat(a: Self, b: Self) -> Self {
+        a.saturating_add(b)
+    }
 }
 
 #[cfg(test)]
@@ -169,6 +204,36 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn add_sat_matches_add_on_domain_values() {
+        assert_eq!(i32::add_sat(3, 4), 7);
+        assert_eq!(i64::add_sat(i64::INFINITY, 1), i64::INFINITY + 1);
+        assert_eq!(f32::add_sat(1.5, 2.5), 4.0);
+        assert_eq!(f64::add_sat(f64::INFINITY, 1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn add_sat_cannot_wrap() {
+        // Raw MAX inputs wrap under `+` but clamp under `add_sat`, so an
+        // adversarial "infinity" can never wrap into a winning candidate.
+        assert_eq!(i32::add_sat(i32::MAX, i32::MAX), i32::MAX);
+        assert_eq!(i64::add_sat(i64::MAX, 1), i64::MAX);
+        assert!(i32::min2(i32::add_sat(i32::MAX, i32::MAX), 5) == 5);
+    }
+
+    #[test]
+    fn seed_issue_flags_nan_and_negative() {
+        use crate::error::SeedIssue;
+        assert_eq!(f32::seed_issue(1.0), None);
+        assert_eq!(f32::seed_issue(0.0), None);
+        assert_eq!(f32::seed_issue(f32::INFINITY), None);
+        assert_eq!(f32::seed_issue(f32::NAN), Some(SeedIssue::NotANumber));
+        assert_eq!(f32::seed_issue(-1.0), Some(SeedIssue::Negative));
+        assert_eq!(f64::seed_issue(f64::NAN), Some(SeedIssue::NotANumber));
+        assert_eq!(i32::seed_issue(-3), Some(SeedIssue::Negative));
+        assert_eq!(i64::seed_issue(7), None);
     }
 
     #[test]

@@ -121,6 +121,9 @@ fn kind_args(kind: &EventKind) -> Option<Value> {
         EventKind::Steal { task } => {
             args.set("task", task);
         }
+        EventKind::Fault { code } => {
+            args.set("code", code);
+        }
         EventKind::Solve | EventKind::MailboxWait | EventKind::Idle => return None,
     }
     Some(args)

@@ -118,6 +118,9 @@ pub enum EventKind {
     Steal { task: u32 },
     /// A worker found no ready task and backed off.
     Idle,
+    /// An injected fault fired, or a recovery action ran, at this point
+    /// (instant). `code` is the `npdp_fault::FaultKind` discriminant.
+    Fault { code: u32 },
 }
 
 impl EventKind {
@@ -133,6 +136,7 @@ impl EventKind {
             EventKind::MailboxWait => "mbox wait".to_owned(),
             EventKind::Steal { task } => format!("steal {task}"),
             EventKind::Idle => "idle".to_owned(),
+            EventKind::Fault { code } => format!("fault {code}"),
         }
     }
 
@@ -143,6 +147,7 @@ impl EventKind {
             EventKind::DmaGet { .. } | EventKind::DmaPut { .. } => "dma",
             EventKind::MailboxSend { .. } | EventKind::MailboxWait => "mailbox",
             EventKind::Steal { .. } | EventKind::Idle => "scheduler",
+            EventKind::Fault { .. } => "fault",
         }
     }
 }

@@ -18,6 +18,8 @@
 //!   `BENCH_*.json` report emitter threaded through all of the above.
 //! * [`trace`] (`npdp-trace`) — per-track event timelines, Chrome-trace
 //!   export and occupancy/overlap/critical-path analysis.
+//! * [`fault`] (`npdp-fault`) — deterministic seed-driven fault injection
+//!   and the retry policies behind the fault-tolerant entry points.
 //! * [`rna`] (`zuker`) — simplified Zuker RNA folding on the engines.
 //! * [`baseline`] (`baselines`) — the original algorithm and TanNPDP.
 //!
@@ -35,6 +37,7 @@ pub use baselines as baseline;
 pub use cache_sim as cachesim;
 pub use cell_sim as cell;
 pub use npdp_core as core;
+pub use npdp_fault as fault;
 pub use npdp_metrics as metrics;
 pub use npdp_trace as trace;
 pub use perf_model as model;
@@ -49,6 +52,7 @@ pub mod prelude {
         BlockedEngine, BlockedMatrix, DpValue, Engine, ParallelEngine, Scheduler, SerialEngine,
         SimdEngine, TiledEngine, TriangularMatrix, WavefrontEngine,
     };
+    pub use npdp_fault::{FaultInjector, FaultKind, FaultPlan, RetryPolicy};
     pub use npdp_metrics::{Metrics, MetricsSink, Recorder, Report};
     pub use npdp_trace::Tracer;
 }

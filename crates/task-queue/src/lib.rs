@@ -47,7 +47,10 @@ pub mod triangle;
 pub use graph::TaskGraph;
 pub use pool::{
     execute, execute_instrumented, execute_metered, execute_sequential, execute_with_stats,
-    ExecStats,
+    try_execute, try_execute_faulted, ExecError, ExecStats,
 };
-pub use stealing::{execute_stealing, execute_stealing_instrumented, execute_stealing_metered};
+pub use stealing::{
+    execute_stealing, execute_stealing_instrumented, execute_stealing_metered,
+    try_execute_stealing, try_execute_stealing_faulted,
+};
 pub use triangle::{scheduling_grid, triangle_graph, SchedulingGrid, TriangleGrid};

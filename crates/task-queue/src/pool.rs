@@ -9,15 +9,61 @@
 //! central bottleneck (on the CPU platform the paper likewise lets "all cores
 //! cooperatively manage the task queue", §VI-B).
 
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use crossbeam::queue::SegQueue;
 use crossbeam::utils::Backoff;
+use npdp_fault::{site2, FaultInjector, FaultKind, RetryPolicy};
 use npdp_metrics::Metrics;
 use npdp_trace::{EventKind, Tracer, TrackDesc};
 
 use crate::graph::TaskGraph;
+
+/// Typed failure of a pool execution: the retry budget for a panicking task
+/// ran out and the pool shut down cleanly (no hang, no escaped panic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// Task `task` panicked on every one of its `attempts` attempts.
+    TaskPanicked {
+        /// Graph index of the failing task.
+        task: usize,
+        /// Attempts made (first run + retries).
+        attempts: u32,
+        /// Panic payload of the last attempt, when it was a string.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::TaskPanicked {
+                task,
+                attempts,
+                message,
+            } => write!(
+                f,
+                "task {task} panicked on all {attempts} attempts: {message}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Best-effort extraction of a panic payload's message.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
 
 /// Per-execution statistics, used by load-balance tests and the experiment
 /// harness.
@@ -42,8 +88,10 @@ impl ExecStats {
 /// Execute every task of `graph` exactly once, respecting dependences, on
 /// `workers` threads. `task` is invoked with the task index.
 ///
-/// Panics in `task` are propagated after the pool unwinds (via the scoped
-/// thread join).
+/// Panics in `task` are caught, retried up to the default budget, and then
+/// re-raised as a single clean panic after every worker has shut down — the
+/// pool never hangs on a panicking task. Use [`try_execute`] for an error
+/// return instead.
 pub fn execute<F>(graph: &TaskGraph, workers: usize, task: F)
 where
     F: Fn(usize) + Sync,
@@ -91,12 +139,70 @@ pub fn execute_instrumented<F>(
 where
     F: Fn(usize) + Sync,
 {
+    match try_execute_faulted(
+        graph,
+        workers,
+        metrics,
+        tracer,
+        &FaultInjector::noop(),
+        RetryPolicy::DEFAULT,
+        task,
+    ) {
+        Ok(stats) => stats,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Like [`execute`], but a task whose closure panics on every attempt of its
+/// retry budget produces an `Err` instead of propagating the panic — the
+/// pool always shuts down cleanly.
+pub fn try_execute<F>(graph: &TaskGraph, workers: usize, task: F) -> Result<ExecStats, ExecError>
+where
+    F: Fn(usize) + Sync,
+{
+    try_execute_faulted(
+        graph,
+        workers,
+        &Metrics::noop(),
+        &Tracer::noop(),
+        &FaultInjector::noop(),
+        RetryPolicy::DEFAULT,
+        task,
+    )
+}
+
+/// The fault-tolerant core of the central-queue executor.
+///
+/// Every task body runs inside [`catch_unwind`]: a panicking task (injected
+/// via `faults` with [`FaultKind::TaskPanic`], or real) is counted
+/// (`queue.task_panics`), requeued up to `retry.max_attempts` total attempts
+/// (`queue.task_retries`), and on budget exhaustion the pool sets an abort
+/// flag, drains, joins every worker and returns
+/// [`ExecError::TaskPanicked`] — it never hangs and never lets a panic
+/// escape. Injected panics fire *before* the task body, so a retry replays
+/// the task from a clean slate and the result stays bit-identical.
+pub fn try_execute_faulted<F>(
+    graph: &TaskGraph,
+    workers: usize,
+    metrics: &Metrics,
+    tracer: &Tracer,
+    faults: &FaultInjector,
+    retry: RetryPolicy,
+    task: F,
+) -> Result<ExecStats, ExecError>
+where
+    F: Fn(usize) + Sync,
+{
     assert!(workers >= 1, "need at least one worker");
+    assert!(
+        retry.max_attempts >= 1,
+        "retry budget must allow one attempt"
+    );
     let n = graph.len();
     if n == 0 {
-        return ExecStats {
+        return Ok(ExecStats {
             tasks_per_worker: vec![0; workers],
-        };
+        });
     }
     debug_assert!(
         graph.topological_order().is_some(),
@@ -107,6 +213,9 @@ where
     let pending: Vec<AtomicU32> = (0..n)
         .map(|t| AtomicU32::new(graph.pred_count(t)))
         .collect();
+    let attempts: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    let aborted = AtomicBool::new(false);
+    let failure: Mutex<Option<ExecError>> = Mutex::new(None);
     let remaining = AtomicUsize::new(n);
     let ready: SegQueue<u32> = SegQueue::new();
     for t in graph.roots() {
@@ -123,6 +232,9 @@ where
     std::thread::scope(|scope| {
         for w in 0..workers {
             let pending = &pending;
+            let attempts = &attempts;
+            let aborted = &aborted;
+            let failure = &failure;
             let remaining = &remaining;
             let ready = &ready;
             let task = &task;
@@ -133,27 +245,69 @@ where
                 let backoff = Backoff::new();
                 let mut idle_ns: u64 = 0;
                 loop {
+                    if aborted.load(Ordering::Acquire) {
+                        break;
+                    }
                     match ready.pop() {
                         Some(t) => {
                             backoff.reset();
                             let t = t as usize;
+                            let attempt = attempts[t].load(Ordering::Relaxed);
                             tracer.begin(track, EventKind::Task { id: t as u32 });
-                            task(t);
+                            // Injected panics fire before the body touches
+                            // anything, so retrying them is side-effect free.
+                            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                if faults.should_inject(
+                                    FaultKind::TaskPanic,
+                                    site2(t as u64, attempt as u64),
+                                ) {
+                                    panic!("injected task panic");
+                                }
+                                task(t)
+                            }));
                             tracer.end(track, EventKind::Task { id: t as u32 });
-                            counts[w].fetch_add(1, Ordering::Relaxed);
-                            metrics.add("queue.tasks_executed", 1);
-                            // Notify successors; Release pairs with the
-                            // Acquire below so a worker picking up a
-                            // newly-ready task sees all writes made while
-                            // computing its predecessors.
-                            for &s in graph.successors(t) {
-                                if pending[s as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
-                                    ready.push(s);
-                                    metrics.add("queue.ready_pushes", 1);
-                                    metrics.record_max("queue.depth_hwm", ready.len() as u64);
+                            match outcome {
+                                Ok(()) => {
+                                    counts[w].fetch_add(1, Ordering::Relaxed);
+                                    metrics.add("queue.tasks_executed", 1);
+                                    // Notify successors; Release pairs with
+                                    // the Acquire below so a worker picking
+                                    // up a newly-ready task sees all writes
+                                    // made while computing its predecessors.
+                                    for &s in graph.successors(t) {
+                                        if pending[s as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                            ready.push(s);
+                                            metrics.add("queue.ready_pushes", 1);
+                                            metrics
+                                                .record_max("queue.depth_hwm", ready.len() as u64);
+                                        }
+                                    }
+                                    remaining.fetch_sub(1, Ordering::Release);
+                                }
+                                Err(payload) => {
+                                    faults.count_task_panic();
+                                    metrics.add("queue.task_panics", 1);
+                                    tracer.instant(
+                                        track,
+                                        EventKind::Fault {
+                                            code: FaultKind::TaskPanic.code(),
+                                        },
+                                    );
+                                    let made = attempts[t].fetch_add(1, Ordering::Relaxed) + 1;
+                                    if made < retry.max_attempts {
+                                        metrics.add("queue.task_retries", 1);
+                                        ready.push(t as u32);
+                                    } else {
+                                        *failure.lock().unwrap() = Some(ExecError::TaskPanicked {
+                                            task: t,
+                                            attempts: made,
+                                            message: panic_message(payload),
+                                        });
+                                        aborted.store(true, Ordering::Release);
+                                        break;
+                                    }
                                 }
                             }
-                            remaining.fetch_sub(1, Ordering::Release);
                         }
                         None => {
                             if remaining.load(Ordering::Acquire) == 0 {
@@ -178,9 +332,12 @@ where
         }
     });
 
-    ExecStats {
-        tasks_per_worker: counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+    if let Some(err) = failure.into_inner().unwrap() {
+        return Err(err);
     }
+    Ok(ExecStats {
+        tasks_per_worker: counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+    })
 }
 
 /// Deterministic single-threaded executor: runs tasks in a fixed topological
@@ -330,5 +487,110 @@ mod tests {
         let tracer = Tracer::noop();
         execute_instrumented(&g, 2, &Metrics::noop(), &tracer, |_| {});
         assert_eq!(tracer.snapshot().tracks.len(), 0);
+    }
+
+    // Regression for the latent hang: before the catch_unwind isolation a
+    // panicking task closure unwound its worker while `remaining` stayed
+    // positive, leaving the other workers snoozing forever inside the scope
+    // join. Now it is a typed error.
+    #[test]
+    fn panicking_task_errors_instead_of_hanging() {
+        let g = diamond();
+        let err = try_execute(&g, 3, |t| {
+            if t == 2 {
+                panic!("boom in task 2");
+            }
+        })
+        .unwrap_err();
+        let ExecError::TaskPanicked {
+            task,
+            attempts,
+            message,
+        } = err;
+        assert_eq!(task, 2);
+        assert_eq!(attempts, RetryPolicy::DEFAULT.max_attempts);
+        assert!(message.contains("boom"), "message={message}");
+    }
+
+    #[test]
+    fn panicking_task_panics_cleanly_under_execute() {
+        let g = diamond();
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            execute(&g, 2, |t| {
+                if t == 1 {
+                    panic!("task 1 fails");
+                }
+            });
+        }));
+        let message = panic_message(caught.unwrap_err());
+        assert!(message.contains("task 1 panicked"), "message={message}");
+    }
+
+    #[test]
+    fn transient_panic_is_retried_and_succeeds() {
+        let g = diamond();
+        let (metrics, recorder) = Metrics::recording();
+        let first_try = AtomicBool::new(true);
+        let stats = try_execute_faulted(
+            &g,
+            2,
+            &metrics,
+            &Tracer::noop(),
+            &FaultInjector::noop(),
+            RetryPolicy::DEFAULT,
+            |t| {
+                if t == 3 && first_try.swap(false, Ordering::SeqCst) {
+                    panic!("transient");
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(stats.tasks_per_worker.iter().sum::<usize>(), 4);
+        assert_eq!(recorder.get("queue.task_panics"), 1);
+        assert_eq!(recorder.get("queue.task_retries"), 1);
+    }
+
+    #[test]
+    fn injected_panics_all_recovered_at_full_rate_with_budget() {
+        // TaskPanic at rate 1.0 fires on every attempt — with a budget of 4
+        // and a per-(task, attempt) site the run cannot succeed…
+        let g = diamond();
+        let always = FaultInjector::new(
+            npdp_fault::FaultPlan::seeded(9).with_rate(FaultKind::TaskPanic, 1.0),
+        );
+        let err = try_execute_faulted(
+            &g,
+            2,
+            &Metrics::noop(),
+            &Tracer::noop(),
+            &always,
+            RetryPolicy::DEFAULT,
+            |_| {},
+        );
+        assert!(err.is_err());
+
+        // …while a moderate rate completes via retries, bit-identically:
+        // every task still runs to completion exactly once.
+        let some = FaultInjector::new(
+            npdp_fault::FaultPlan::seeded(9).with_rate(FaultKind::TaskPanic, 0.4),
+        );
+        let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        let stats = try_execute_faulted(
+            &g,
+            3,
+            &Metrics::noop(),
+            &Tracer::noop(),
+            &some,
+            RetryPolicy {
+                max_attempts: 16,
+                base_backoff: 1,
+            },
+            |t| {
+                hits[t].fetch_add(1, Ordering::Relaxed);
+            },
+        )
+        .unwrap();
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert_eq!(stats.tasks_per_worker.iter().sum::<usize>(), 4);
     }
 }

@@ -6,16 +6,19 @@
 //! coarse, the queue is short); stealing pays off when tasks are fine or
 //! the machine is large. The `ablation` bench quantifies it.
 
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use crossbeam::utils::Backoff;
+use npdp_fault::{site2, FaultInjector, FaultKind, RetryPolicy};
 use npdp_metrics::Metrics;
 use npdp_trace::{EventKind, Tracer, TrackDesc};
 
 use crate::graph::TaskGraph;
-use crate::pool::ExecStats;
+use crate::pool::{panic_message, ExecError, ExecStats};
 
 /// Execute `graph` on `workers` threads with per-worker deques and work
 /// stealing. Semantics identical to [`crate::pool::execute`].
@@ -56,18 +59,77 @@ pub fn execute_stealing_instrumented<F>(
 where
     F: Fn(usize) + Sync,
 {
+    match try_execute_stealing_faulted(
+        graph,
+        workers,
+        metrics,
+        tracer,
+        &FaultInjector::noop(),
+        RetryPolicy::DEFAULT,
+        task,
+    ) {
+        Ok(stats) => stats,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Like [`execute_stealing`], but a task whose closure panics on every
+/// attempt of its retry budget produces an `Err` instead of propagating the
+/// panic — the pool always shuts down cleanly.
+pub fn try_execute_stealing<F>(
+    graph: &TaskGraph,
+    workers: usize,
+    task: F,
+) -> Result<ExecStats, ExecError>
+where
+    F: Fn(usize) + Sync,
+{
+    try_execute_stealing_faulted(
+        graph,
+        workers,
+        &Metrics::noop(),
+        &Tracer::noop(),
+        &FaultInjector::noop(),
+        RetryPolicy::DEFAULT,
+        task,
+    )
+}
+
+/// The fault-tolerant core of the work-stealing executor; the stealing twin
+/// of [`crate::pool::try_execute_faulted`] with identical panic-isolation,
+/// retry-budget and abort semantics (a failed task's retry goes back on the
+/// failing worker's own deque).
+pub fn try_execute_stealing_faulted<F>(
+    graph: &TaskGraph,
+    workers: usize,
+    metrics: &Metrics,
+    tracer: &Tracer,
+    faults: &FaultInjector,
+    retry: RetryPolicy,
+    task: F,
+) -> Result<ExecStats, ExecError>
+where
+    F: Fn(usize) + Sync,
+{
     assert!(workers >= 1);
+    assert!(
+        retry.max_attempts >= 1,
+        "retry budget must allow one attempt"
+    );
     let n = graph.len();
     if n == 0 {
-        return ExecStats {
+        return Ok(ExecStats {
             tasks_per_worker: vec![0; workers],
-        };
+        });
     }
     debug_assert!(graph.topological_order().is_some(), "cyclic task graph");
 
     let pending: Vec<AtomicU32> = (0..n)
         .map(|t| AtomicU32::new(graph.pred_count(t)))
         .collect();
+    let attempts: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    let aborted = AtomicBool::new(false);
+    let failure: Mutex<Option<ExecError>> = Mutex::new(None);
     let remaining = AtomicUsize::new(n);
     let injector: Injector<u32> = Injector::new();
     for t in graph.roots() {
@@ -83,6 +145,9 @@ where
     std::thread::scope(|scope| {
         for (w, local) in locals.into_iter().enumerate() {
             let pending = &pending;
+            let attempts = &attempts;
+            let aborted = &aborted;
+            let failure = &failure;
             let remaining = &remaining;
             let injector = &injector;
             let stealers = &stealers;
@@ -94,6 +159,9 @@ where
                 let backoff = Backoff::new();
                 let mut idle_ns: u64 = 0;
                 loop {
+                    if aborted.load(Ordering::Acquire) {
+                        break;
+                    }
                     // Local deque first, then the global queue, then steal
                     // round-robin; keep searching while any source reports
                     // a racing Retry.
@@ -128,18 +196,57 @@ where
                     match next {
                         Some(t) => {
                             backoff.reset();
+                            let attempt = attempts[t as usize].load(Ordering::Relaxed);
                             tracer.begin(track, EventKind::Task { id: t });
-                            task(t as usize);
+                            // Injected panics fire before the body touches
+                            // anything, so retrying them is side-effect free.
+                            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                if faults.should_inject(
+                                    FaultKind::TaskPanic,
+                                    site2(t as u64, attempt as u64),
+                                ) {
+                                    panic!("injected task panic");
+                                }
+                                task(t as usize)
+                            }));
                             tracer.end(track, EventKind::Task { id: t });
-                            counts[w].fetch_add(1, Ordering::Relaxed);
-                            metrics.add("queue.tasks_executed", 1);
-                            for &s in graph.successors(t as usize) {
-                                if pending[s as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
-                                    local.push(s);
-                                    metrics.add("queue.ready_pushes", 1);
+                            match outcome {
+                                Ok(()) => {
+                                    counts[w].fetch_add(1, Ordering::Relaxed);
+                                    metrics.add("queue.tasks_executed", 1);
+                                    for &s in graph.successors(t as usize) {
+                                        if pending[s as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                            local.push(s);
+                                            metrics.add("queue.ready_pushes", 1);
+                                        }
+                                    }
+                                    remaining.fetch_sub(1, Ordering::Release);
+                                }
+                                Err(payload) => {
+                                    faults.count_task_panic();
+                                    metrics.add("queue.task_panics", 1);
+                                    tracer.instant(
+                                        track,
+                                        EventKind::Fault {
+                                            code: FaultKind::TaskPanic.code(),
+                                        },
+                                    );
+                                    let made =
+                                        attempts[t as usize].fetch_add(1, Ordering::Relaxed) + 1;
+                                    if made < retry.max_attempts {
+                                        metrics.add("queue.task_retries", 1);
+                                        local.push(t);
+                                    } else {
+                                        *failure.lock().unwrap() = Some(ExecError::TaskPanicked {
+                                            task: t as usize,
+                                            attempts: made,
+                                            message: panic_message(payload),
+                                        });
+                                        aborted.store(true, Ordering::Release);
+                                        break;
+                                    }
                                 }
                             }
-                            remaining.fetch_sub(1, Ordering::Release);
                         }
                         None => {
                             if remaining.load(Ordering::Acquire) == 0 {
@@ -164,9 +271,12 @@ where
         }
     });
 
-    ExecStats {
-        tasks_per_worker: counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+    if let Some(err) = failure.into_inner().unwrap() {
+        return Err(err);
     }
+    Ok(ExecStats {
+        tasks_per_worker: counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+    })
 }
 
 #[cfg(test)]
@@ -256,6 +366,70 @@ mod tests {
             .collect();
         task_ids.sort_unstable();
         assert_eq!(task_ids, (0..g.len() as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panicking_task_errors_instead_of_hanging() {
+        let g = triangle_graph(5);
+        let err = try_execute_stealing(&g, 4, |t| {
+            if t == 7 {
+                panic!("boom in task 7");
+            }
+        })
+        .unwrap_err();
+        let ExecError::TaskPanicked { task, attempts, .. } = err;
+        assert_eq!(task, 7);
+        assert_eq!(attempts, RetryPolicy::DEFAULT.max_attempts);
+    }
+
+    #[test]
+    fn transient_panic_is_retried_and_succeeds() {
+        let g = triangle_graph(4);
+        let (metrics, recorder) = Metrics::recording();
+        let first_try = AtomicBool::new(true);
+        let stats = try_execute_stealing_faulted(
+            &g,
+            3,
+            &metrics,
+            &Tracer::noop(),
+            &FaultInjector::noop(),
+            RetryPolicy::DEFAULT,
+            |t| {
+                if t == 5 && first_try.swap(false, Ordering::SeqCst) {
+                    panic!("transient");
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(stats.tasks_per_worker.iter().sum::<usize>(), g.len());
+        assert_eq!(recorder.get("queue.task_panics"), 1);
+        assert_eq!(recorder.get("queue.task_retries"), 1);
+    }
+
+    #[test]
+    fn injected_panics_recovered_by_retry() {
+        let g = triangle_graph(6);
+        let faults = FaultInjector::new(
+            npdp_fault::FaultPlan::seeded(17).with_rate(FaultKind::TaskPanic, 0.4),
+        );
+        let hits: Vec<AtomicU32> = (0..g.len()).map(|_| AtomicU32::new(0)).collect();
+        try_execute_stealing_faulted(
+            &g,
+            4,
+            &Metrics::noop(),
+            &Tracer::noop(),
+            &faults,
+            RetryPolicy {
+                max_attempts: 16,
+                base_backoff: 1,
+            },
+            |t| {
+                hits[t].fetch_add(1, Ordering::SeqCst);
+            },
+        )
+        .unwrap();
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+        assert!(faults.injected(FaultKind::TaskPanic) > 0);
     }
 
     #[test]

@@ -1,0 +1,285 @@
+//! Chaos properties: under arbitrary deterministic fault schedules, every
+//! fault-tolerant execution path either recovers **bit-identically** to the
+//! fault-free reference or fails with a **typed** [`SolveError`] — never a
+//! hang, an escaped panic, or a silently wrong answer — and the same fault
+//! seed always replays the same fault sequence.
+
+use npdp::cell::multi_spe::functional_cellnpdp_multi_spe_faulted;
+use npdp::cell::npdp::functional_cellnpdp_f32_faulted;
+use npdp::core::{problem, Engine, ParallelEngine, Scheduler, SerialEngine, SolveError};
+use npdp::fault::{FaultInjector, FaultKind, FaultPlan, RetryPolicy, ALL_FAULT_KINDS};
+use npdp::metrics::Metrics;
+use npdp::trace::Tracer;
+use proptest::prelude::*;
+
+/// The generous budget the chaos suite runs with: enough attempts that
+/// sub-0.5 per-site rates recover with overwhelming probability, so the
+/// properties exercise *recovery*, not budget exhaustion.
+const CHAOS_RETRY: RetryPolicy = RetryPolicy {
+    max_attempts: 16,
+    base_backoff: 1,
+};
+
+/// Build a plan from a generated (seed, base rate, kind mask) triple — the
+/// fault-schedule generator shared by the properties below. Bit `k` of
+/// `mask` enables fault kind `k`; crash rates are scaled down so a plan
+/// usually leaves a survivor.
+fn plan_from(seed: u64, rate: f64, mask: u8) -> FaultPlan {
+    let mut plan = FaultPlan::seeded(seed);
+    for kind in ALL_FAULT_KINDS {
+        if mask & (1 << (kind as usize)) != 0 {
+            let r = if kind == FaultKind::SpeCrash {
+                rate * 0.1
+            } else {
+                rate
+            };
+            plan = plan.with_rate(kind, r);
+        }
+    }
+    plan
+}
+
+/// A [`SolveError`] is an acceptable chaos outcome only if it is also
+/// well-formed: displayable and internally consistent.
+fn assert_typed(e: &SolveError) {
+    let msg = e.to_string();
+    assert!(!msg.is_empty());
+    if let SolveError::TaskFailed { attempts, .. } = e {
+        assert_eq!(*attempts, CHAOS_RETRY.max_attempts);
+    }
+}
+
+/// Suppress the panic-hook noise of injected task panics (they are caught
+/// and retried by the executors, but the default hook still prints).
+fn quiet_injected_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|m| m.contains("injected task panic"));
+            if !injected {
+                default_hook(info);
+            }
+        }));
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Property: the host parallel engine under arbitrary task-panic
+    /// schedules, on both executors, is bit-identical on recovery and typed
+    /// on exhaustion — and the run always terminates.
+    #[test]
+    fn prop_host_chaos_bit_identical_or_typed(
+        n in 8usize..96,
+        workers in 1usize..5,
+        fault_seed in any::<u64>(),
+        rate in 0.0f64..0.5,
+        stealing in any::<bool>(),
+    ) {
+        quiet_injected_panics();
+        let seeds = problem::random_seeds_f32(n, 100.0, n as u64);
+        let reference = SerialEngine.solve(&seeds);
+        let sched = if stealing { Scheduler::WorkStealing } else { Scheduler::CentralQueue };
+        let faults = FaultInjector::new(
+            FaultPlan::seeded(fault_seed).with_rate(FaultKind::TaskPanic, rate),
+        );
+        let engine = ParallelEngine::new(16, 1, workers).with_scheduler(sched);
+        match engine.try_solve_with_stats_faulted(
+            &seeds, &Metrics::noop(), &Tracer::noop(), &faults, CHAOS_RETRY,
+        ) {
+            Ok((got, _)) => prop_assert_eq!(reference.first_difference(&got), None),
+            Err(e) => assert_typed(&e),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Property: the single-SPE functional simulator under arbitrary DMA
+    /// fault schedules (loss, corruption, delay) recovers bit-identically
+    /// through the checksum-retry path or fails typed.
+    #[test]
+    fn prop_dma_chaos_bit_identical_or_typed(
+        n in 8usize..56,
+        fault_seed in any::<u64>(),
+        rate in 0.0f64..0.6,
+    ) {
+        let seeds = problem::random_seeds_f32(n, 100.0, n as u64 + 1);
+        let reference = SerialEngine.solve(&seeds);
+        let faults = FaultInjector::new(
+            FaultPlan::seeded(fault_seed)
+                .with_rate(FaultKind::DmaFail, rate)
+                .with_rate(FaultKind::DmaCorrupt, rate)
+                .with_rate(FaultKind::DmaDelay, rate),
+        );
+        match functional_cellnpdp_f32_faulted(&seeds, 8, &faults, CHAOS_RETRY) {
+            Ok((got, _)) => prop_assert_eq!(reference.first_difference(&got), None),
+            Err(e) => assert_typed(&e),
+        }
+    }
+
+    /// Property: the multi-SPE protocol under *mixed* fault schedules —
+    /// DMA faults, mailbox drops/stalls, SPE stalls and crashes — completes
+    /// bit-identically (possibly degraded, on fewer SPEs) or fails typed.
+    #[test]
+    fn prop_multi_spe_chaos_bit_identical_or_typed(
+        n in 16usize..48,
+        spes in 1usize..5,
+        fault_seed in any::<u64>(),
+        rate in 0.0f64..0.25,
+        mask in 1u16..256,
+    ) {
+        let seeds = problem::random_seeds_f32(n, 100.0, n as u64 + 2);
+        let reference = SerialEngine.solve(&seeds);
+        let faults = FaultInjector::new(plan_from(fault_seed, rate, mask as u8));
+        match functional_cellnpdp_multi_spe_faulted(
+            &seeds, 8, 2, spes, &faults, CHAOS_RETRY, &Tracer::noop(),
+        ) {
+            Ok((got, report)) => {
+                prop_assert_eq!(reference.first_difference(&got), None);
+                prop_assert!(report.dead_spes < spes);
+            }
+            Err(e) => assert_typed(&e),
+        }
+    }
+
+    /// Property: deterministic replay. The same fault seed produces the
+    /// same fault sequence — identical injector counters, identical outcome
+    /// (same table bit-for-bit, or the same error), identical protocol
+    /// report — on the single-threaded multi-SPE simulator.
+    #[test]
+    fn prop_replay_is_deterministic(
+        n in 16usize..40,
+        fault_seed in any::<u64>(),
+        rate in 0.0f64..0.3,
+        mask in 1u16..256,
+    ) {
+        let seeds = problem::random_seeds_f32(n, 100.0, n as u64 + 3);
+        let run = || {
+            let faults = FaultInjector::new(plan_from(fault_seed, rate, mask as u8));
+            let r = functional_cellnpdp_multi_spe_faulted(
+                &seeds, 8, 2, 3, &faults, CHAOS_RETRY, &Tracer::noop(),
+            );
+            (r, faults.snapshot())
+        };
+        let (r1, snap1) = run();
+        let (r2, snap2) = run();
+        prop_assert_eq!(snap1, snap2, "fault sequence must replay identically");
+        match (r1, r2) {
+            (Ok((t1, rep1)), Ok((t2, rep2))) => {
+                prop_assert_eq!(t1.first_difference(&t2), None);
+                prop_assert_eq!(rep1.rounds, rep2.rounds);
+                prop_assert_eq!(rep1.resends, rep2.resends);
+                prop_assert_eq!(rep1.rebalanced_blocks, rep2.rebalanced_blocks);
+                prop_assert_eq!(rep1.dead_spes, rep2.dead_spes);
+            }
+            (Err(e1), Err(e2)) => prop_assert_eq!(e1, e2),
+            (a, b) => prop_assert!(false, "outcomes diverged: {:?} vs {:?}", a.is_ok(), b.is_ok()),
+        }
+    }
+}
+
+/// Replay extends to the event timeline: the same fault seed produces the
+/// same trace (same tracks, same per-track event counts, same fault
+/// instants) on the single-threaded simulator.
+#[test]
+fn trace_replays_identically_under_faults() {
+    let seeds = problem::random_seeds_f32(40, 100.0, 9);
+    let capture = || {
+        let faults = FaultInjector::new(FaultPlan::default_rates(31, 0.15));
+        let tracer = Tracer::new();
+        let r =
+            functional_cellnpdp_multi_spe_faulted(&seeds, 8, 2, 3, &faults, CHAOS_RETRY, &tracer);
+        assert!(r.is_ok() || r.is_err()); // either way the trace must replay
+        let data = tracer.snapshot();
+        let shape: Vec<(String, usize)> = data
+            .tracks
+            .iter()
+            .map(|t| (t.name.clone(), t.events.len()))
+            .collect();
+        let faults_seen = data
+            .tracks
+            .iter()
+            .flat_map(|t| &t.events)
+            .filter(|e| matches!(e.kind, npdp::trace::EventKind::Fault { .. }))
+            .count();
+        (shape, faults_seen, faults.snapshot())
+    };
+    let (shape1, f1, snap1) = capture();
+    let (shape2, f2, snap2) = capture();
+    assert_eq!(shape1, shape2);
+    assert_eq!(f1, f2);
+    assert_eq!(snap1, snap2);
+}
+
+/// The host executors replay deterministically too: injection decisions are
+/// pure in (seed, site), so thread scheduling cannot change which tasks
+/// panic or how often.
+#[test]
+fn host_fault_counters_replay_across_thread_interleavings() {
+    quiet_injected_panics();
+    let seeds = problem::random_seeds_f32(64, 100.0, 10);
+    let reference = SerialEngine.solve(&seeds);
+    let mut snaps = Vec::new();
+    for _ in 0..3 {
+        let faults =
+            FaultInjector::new(FaultPlan::seeded(123).with_rate(FaultKind::TaskPanic, 0.3));
+        let engine = ParallelEngine::new(16, 1, 4);
+        let (got, _) = engine
+            .try_solve_with_stats_faulted(
+                &seeds,
+                &Metrics::noop(),
+                &Tracer::noop(),
+                &faults,
+                CHAOS_RETRY,
+            )
+            .expect("0.3 rate recovers under a 16-attempt budget");
+        assert_eq!(reference.first_difference(&got), None);
+        snaps.push(faults.snapshot());
+    }
+    assert_eq!(snaps[0], snaps[1]);
+    assert_eq!(snaps[1], snaps[2]);
+}
+
+/// Poisoned inputs are rejected typed at every front door, and the
+/// saturating min-plus add keeps adversarial integer seeds from wrapping
+/// into wrong answers (the unit details live in npdp-core; this pins the
+/// end-to-end behavior).
+#[test]
+fn poisoned_inputs_fail_typed_end_to_end() {
+    let mut bad = problem::random_seeds_f32(32, 100.0, 11);
+    bad.set(1, 17, f32::NAN);
+    match ParallelEngine::new(16, 2, 2).try_solve(&bad) {
+        Err(SolveError::InvalidSeed { i: 1, j: 17, .. }) => {}
+        other => panic!("expected InvalidSeed, got {other:?}"),
+    }
+
+    let mut neg = problem::random_seeds_f32(16, 100.0, 12);
+    neg.set(0, 3, -4.0);
+    assert!(matches!(
+        SerialEngine.try_solve(&neg),
+        Err(SolveError::InvalidSeed { i: 0, j: 3, .. })
+    ));
+
+    // Adversarial integer "infinities" saturate instead of wrapping: the
+    // solve completes with every cell still a sane min-plus value.
+    use npdp::core::TriangularMatrix;
+    let hostile = TriangularMatrix::from_fn(24, |i, j| {
+        if (i + j) % 5 == 0 {
+            i64::MAX / 2
+        } else {
+            (i + j) as i64
+        }
+    });
+    let solved = SerialEngine.solve(&hostile);
+    for (_, _, v) in solved.iter() {
+        assert!(v >= 0, "min-plus closure wrapped negative: {v}");
+    }
+}
