@@ -32,6 +32,7 @@ const BINARIES: &[&str] = &[
     "repro-model",
     "repro-ablation",
     "repro-chaos",
+    "repro-tune",
 ];
 
 fn main() {

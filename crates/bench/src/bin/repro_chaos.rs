@@ -134,6 +134,7 @@ fn main() {
             for (sname, sched) in [
                 ("host/central-queue", Scheduler::CentralQueue),
                 ("host/work-stealing", Scheduler::WorkStealing),
+                ("host/locality-batched", Scheduler::LocalityBatched),
             ] {
                 let faults = FaultInjector::new(FaultPlan::default_rates(seed, rate));
                 let engine = ParallelEngine::new(16, 1, workers).with_scheduler(sched);

@@ -8,12 +8,18 @@
 //! ```
 //!
 //! Exit codes: `0` no regressions, `1` regressions found, `2` usage or I/O
-//! error. Counters are compared informationally but never gate.
+//! error. Counters are compared informationally but never gate. In
+//! directory mode, `TRACE_*.json` files present on both sides are imported
+//! and their analyzer summaries diffed (occupancy, critical-path slack,
+//! per-diagonal occupancy) — also informationally.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use bench::compare::{diff_dirs, diff_files, parse_max_regress, CompareOptions};
+use npdp_metrics::json::Value;
+use npdp_trace::analysis::{analyze, diff_analyses};
+use npdp_trace::chrome::parse_chrome_trace;
 
 struct Args {
     base: PathBuf,
@@ -61,6 +67,70 @@ fn parse_args() -> Args {
     Args { base, new, opts }
 }
 
+/// Import and analyze one Chrome-trace file; `None` (with a note) when the
+/// file is missing, unparsable, or not a trace this analyzer understands —
+/// trace diffing is informational and must never fail the comparison.
+fn load_trace(path: &Path) -> Option<npdp_trace::analysis::TraceAnalysis> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            println!("  (skipping {}: {e})", path.display());
+            return None;
+        }
+    };
+    let doc = match Value::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            println!("  (skipping {}: invalid JSON: {e:?})", path.display());
+            return None;
+        }
+    };
+    let data = match parse_chrome_trace(&doc) {
+        Ok(d) => d,
+        Err(e) => {
+            println!("  (skipping {}: {e})", path.display());
+            return None;
+        }
+    };
+    match analyze(&data) {
+        Ok(a) => Some(a),
+        Err(e) => {
+            println!("  (skipping {}: {e})", path.display());
+            None
+        }
+    }
+}
+
+/// Diff the analyzer summaries of `TRACE_*.json` files present in both
+/// directories: scheduler-variant comparisons in one place — occupancy,
+/// critical-path slack, starved-tail duty cycle, per-diagonal occupancy.
+fn diff_trace_files(base: &Path, new: &Path) {
+    let mut names: Vec<String> = match std::fs::read_dir(base) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.starts_with("TRACE_") && n.ends_with(".json"))
+            .filter(|n| new.join(n).is_file())
+            .collect(),
+        Err(_) => return,
+    };
+    names.sort();
+    for name in names {
+        println!("\n{name} (trace analysis, informational)");
+        let (Some(a), Some(b)) = (load_trace(&base.join(&name)), load_trace(&new.join(&name)))
+        else {
+            continue;
+        };
+        let diffs = diff_analyses(&a, &b);
+        if diffs.is_empty() {
+            println!("  (no common clock domains)");
+        }
+        for d in diffs {
+            print!("{d}");
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     let opts = &args.opts;
@@ -96,6 +166,7 @@ fn main() -> ExitCode {
             println!("\n{name}: new (no baseline)");
         }
         let timings: usize = d.diffs.iter().map(|(_, x)| x.timings.len()).sum();
+        diff_trace_files(&args.base, &args.new);
         (timings, d.regression_count(opts))
     } else if args.base.is_dir() != args.new.is_dir() {
         eprintln!("error: cannot compare a directory against a single report");

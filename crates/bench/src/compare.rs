@@ -71,7 +71,16 @@ impl TimingDelta {
     }
 
     /// Whether this timing exceeds the allowed slowdown.
+    ///
+    /// A zero baseline needs care: under `NPDP_REPRO_SMALL` a
+    /// sub-millisecond run rounds to `0.0` in the report, which would make
+    /// any non-zero new time an infinite-ratio "regression". A zero base
+    /// with a new time still under the noise floor (`min_seconds`) is a
+    /// pass, not a regression.
     pub fn regressed(&self, opts: &CompareOptions) -> bool {
+        if self.base_s == 0.0 && self.new_s <= opts.min_seconds {
+            return false;
+        }
         self.base_s.max(self.new_s) >= opts.min_seconds
             && self.new_s > self.base_s * (1.0 + opts.max_regress)
     }
@@ -381,6 +390,28 @@ mod tests {
         };
         assert!(d.regressions(&opts).is_empty());
         assert_eq!(d.regressions(&CompareOptions::default()).len(), 1);
+    }
+
+    #[test]
+    fn zero_baseline_under_noise_floor_passes() {
+        // NPDP_REPRO_SMALL runs finish in sub-millisecond times that round
+        // to 0.0 in the stored report; a later run measuring 0.8 ms must
+        // not trip the gate on an infinite ratio.
+        let base = report("x", &[("tiny", 0.0)], &[]);
+        let new = report("x", &[("tiny", 0.0008)], &[]);
+        let d = diff_reports(&base, &new).unwrap();
+        let opts = CompareOptions {
+            max_regress: 0.10,
+            min_seconds: 0.001,
+        };
+        assert!(d.regressions(&opts).is_empty());
+        // Above the floor it is still a real regression from zero.
+        let slow = report("x", &[("tiny", 0.1)], &[]);
+        let d = diff_reports(&base, &slow).unwrap();
+        assert_eq!(d.regressions(&opts).len(), 1);
+        // And both-zero stays quiet even with no floor at all.
+        let d = diff_reports(&base, &base).unwrap();
+        assert!(d.regressions(&CompareOptions::default()).is_empty());
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! cross-check for small n lives in [`crate::npdp`].
 
 use npdp_trace::{EventKind, TimeDomain, Tracer, Track, TrackDesc};
-use task_queue::scheduling_grid;
+use task_queue::{diagonal_batched_grid, scheduling_grid};
 
 use crate::dma::{double_buffered_cycles, double_buffered_timeline, DmaModel, DmaStats};
 use crate::kernels::{dp_kernel_stream, sp_kernel_stream};
@@ -330,6 +330,7 @@ pub fn simulate_cellnpdp_with_policy(
         &Tracer::noop(),
         &npdp_fault::FaultInjector::noop(),
         npdp_fault::RetryPolicy::DEFAULT,
+        None,
     )
 }
 
@@ -365,6 +366,7 @@ pub fn simulate_cellnpdp_faulted(
         &Tracer::noop(),
         faults,
         retry,
+        None,
     )
 }
 
@@ -399,6 +401,79 @@ pub fn simulate_cellnpdp_traced(
         tracer,
         &npdp_fault::FaultInjector::noop(),
         npdp_fault::RetryPolicy::DEFAULT,
+        None,
+    )
+}
+
+/// [`simulate_cellnpdp_with_policy`] with the diagonal-batched scheduling
+/// grid: trailing coarse diagonals carrying fewer than `min_parallel` tasks
+/// are folded into one batch task ([`task_queue::diagonal_batched_grid`]),
+/// so the apex tail pays one task overhead instead of one per starved task.
+/// Same blocks, same per-block costs — only the scheduling granularity
+/// changes. The batch runs on a single SPE, so merging a diagonal trades
+/// its residual parallelism for the saved dispatch overheads: small
+/// `min_parallel` (merge only the near-serial apex) is the profitable
+/// setting; `min_parallel >= spes` (merge every starved diagonal) is the
+/// aggressive ablation.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_cellnpdp_batched(
+    cfg: &CellConfig,
+    n: usize,
+    nb: usize,
+    sb: usize,
+    prec: Precision,
+    spes: usize,
+    policy: QueuePolicy,
+    min_parallel: usize,
+) -> SimReport {
+    assert!(spes >= 1 && spes <= cfg.spes);
+    assert!(nb >= 4 && nb.is_multiple_of(4));
+    simulate_blocked(
+        cfg,
+        n,
+        nb,
+        sb,
+        prec,
+        spes,
+        true,
+        policy,
+        &Tracer::noop(),
+        &npdp_fault::FaultInjector::noop(),
+        npdp_fault::RetryPolicy::DEFAULT,
+        Some(min_parallel),
+    )
+}
+
+/// [`simulate_cellnpdp_batched`] plus timeline emission (same track layout
+/// as [`simulate_cellnpdp_traced`]), for analyzer-level comparison of the
+/// plain and batched disciplines on identical block costs.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_cellnpdp_batched_traced(
+    cfg: &CellConfig,
+    n: usize,
+    nb: usize,
+    sb: usize,
+    prec: Precision,
+    spes: usize,
+    policy: QueuePolicy,
+    min_parallel: usize,
+    tracer: &Tracer,
+) -> SimReport {
+    assert!(spes >= 1 && spes <= cfg.spes);
+    assert!(nb >= 4 && nb.is_multiple_of(4));
+    simulate_blocked(
+        cfg,
+        n,
+        nb,
+        sb,
+        prec,
+        spes,
+        true,
+        policy,
+        tracer,
+        &npdp_fault::FaultInjector::noop(),
+        npdp_fault::RetryPolicy::DEFAULT,
+        Some(min_parallel),
     )
 }
 
@@ -424,6 +499,7 @@ pub fn simulate_ndl_scalar(
         &Tracer::noop(),
         &npdp_fault::FaultInjector::noop(),
         npdp_fault::RetryPolicy::DEFAULT,
+        None,
     )
 }
 
@@ -440,13 +516,17 @@ fn simulate_blocked(
     tracer: &Tracer,
     faults: &npdp_fault::FaultInjector,
     retry: npdp_fault::RetryPolicy,
+    batch_min_parallel: Option<usize>,
 ) -> SimReport {
     let m = n.div_ceil(nb).max(1);
     let kernel_cycles = cfg.kernel_cycles(prec);
     let bw_per_cycle = cfg.mem_bandwidth / cfg.freq_hz;
     let bw_share = (bw_per_cycle / spes as f64).min(cfg.dma.bytes_per_cycle);
 
-    let sched = scheduling_grid(m, sb);
+    let sched = match batch_min_parallel {
+        Some(mp) => diagonal_batched_grid(m, sb, mp),
+        None => scheduling_grid(m, sb),
+    };
     let ntasks = sched.graph.len();
 
     // Per-task duration and traffic. When tracing, keep the per-block costs
@@ -882,6 +962,51 @@ mod tests {
             t1 / cpf.seconds <= bound * 1.05,
             "speedup beats the m/3 bound?"
         );
+    }
+
+    #[test]
+    fn diagonal_batching_wins_when_overhead_dominates() {
+        // Merging a diagonal trades its residual parallelism for the saved
+        // dispatch overheads, so the profitable regime is the small-problem
+        // end of Fig. 13 where per-task overhead rivals block compute: merge
+        // only the near-serial apex (min_parallel = 3) of a tiny run.
+        let cfg = CellConfig::qs20();
+        let plain =
+            simulate_cellnpdp_with_policy(&cfg, 16, 4, 1, Precision::Single, 4, QueuePolicy::Fifo);
+        let batched =
+            simulate_cellnpdp_batched(&cfg, 16, 4, 1, Precision::Single, 4, QueuePolicy::Fifo, 3);
+        assert!(
+            batched.seconds < plain.seconds,
+            "batched {} plain {}",
+            batched.seconds,
+            plain.seconds
+        );
+        // Same blocks, same kernels, same traffic — only scheduling changed.
+        assert_eq!(batched.kernel_calls, plain.kernel_calls);
+        assert_eq!(batched.dma.bytes, plain.dma.bytes);
+        assert_eq!(batched.dma.commands, plain.dma.commands);
+    }
+
+    #[test]
+    fn batched_simulation_preserves_block_work_at_scale() {
+        // In the compute-bound regime batching is an ablation — serializing
+        // the tail costs more than the dispatch it saves — but it must never
+        // change what is computed or transferred.
+        let cfg = CellConfig::qs20();
+        let plain = simulate_cellnpdp(&cfg, 1024, 64, 1, Precision::Single, 8);
+        let batched = simulate_cellnpdp_batched(
+            &cfg,
+            1024,
+            64,
+            1,
+            Precision::Single,
+            8,
+            QueuePolicy::Fifo,
+            8,
+        );
+        assert_eq!(batched.kernel_calls, plain.kernel_calls);
+        assert_eq!(batched.dma.bytes, plain.dma.bytes);
+        assert!(batched.seconds.is_finite() && batched.seconds > 0.0);
     }
 
     #[test]

@@ -89,6 +89,16 @@ pub trait Engine<T: DpValue> {
         out
     }
 
+    /// Solve with a model-chosen memory-block size. Engines without a
+    /// tunable block (or whose block size is load-bearing for layout
+    /// round-trips) behave exactly like [`Engine::solve`];
+    /// [`ParallelEngine`] overrides this to pick `nb` from the §V
+    /// performance model via `npdp_tune::Tuner` for this problem size and
+    /// worker count, so callers need not hand-sweep Fig. 13.
+    fn solve_autotuned(&self, seeds: &TriangularMatrix<T>) -> TriangularMatrix<T> {
+        self.solve(seeds)
+    }
+
     /// Solve while emitting both metrics and a timeline. Like the metrics
     /// handle, a disabled [`Tracer::noop`] must leave the result
     /// bit-identical to [`Engine::solve`] at one-untaken-branch cost.

@@ -4,7 +4,10 @@
 use npdp_fault::{FaultInjector, RetryPolicy};
 use npdp_metrics::Metrics;
 use npdp_trace::{EventKind, Tracer};
-use task_queue::{scheduling_grid, try_execute_faulted, try_execute_stealing_faulted, ExecStats};
+use task_queue::{
+    diagonal_batched_grid, scheduling_grid, try_execute_faulted, try_execute_locality_faulted,
+    try_execute_stealing_faulted, ExecStats,
+};
 
 use crate::engine::scalar_kernels::SimdKernels;
 use crate::engine::shared::SharedBlocked;
@@ -22,6 +25,12 @@ pub enum Scheduler {
     /// Per-worker deques with work stealing — the modern alternative,
     /// kept as an ablation axis.
     WorkStealing,
+    /// Locality-aware batched discipline: trailing starved diagonals are
+    /// merged into one scheduling batch
+    /// ([`task_queue::diagonal_batched_grid`]) and a finished task's first
+    /// ready successor stays on the worker that just produced its operand
+    /// blocks ([`task_queue::locality`]).
+    LocalityBatched,
 }
 
 /// CellNPDP on the host: every worker thread plays an SPE against the shared
@@ -58,6 +67,32 @@ impl ParallelEngine {
     }
 
     /// Switch the ready-queue discipline (ablation).
+    /// Model-chosen memory-block side for an `n`-interval problem on
+    /// `workers` host threads: a host-profile [`npdp_tune::Tuner`] scored
+    /// over the Fig. 13 ladder. `elem_bytes` is the DP element size
+    /// (`size_of::<T>()`); it selects the SP or DP kernel profile and the
+    /// working-set bound. Used by [`Engine::solve_autotuned`].
+    pub fn autotune_nb(workers: usize, n: usize, elem_bytes: usize) -> usize {
+        let workers = workers.max(1);
+        let machine = npdp_tune::Machine {
+            cores: workers as f64,
+            ..npdp_tune::Machine::nehalem_8core()
+        };
+        let kernel = if elem_bytes <= 4 {
+            npdp_tune::Kernel::spu_sp()
+        } else {
+            npdp_tune::Kernel::spu_dp()
+        };
+        let tuner = npdp_tune::Tuner::new(
+            machine,
+            kernel,
+            elem_bytes.max(1),
+            workers,
+            npdp_tune::Calibration::host(),
+        );
+        tuner.predicted_nb(n.max(1))
+    }
+
     pub fn with_scheduler(mut self, scheduler: Scheduler) -> Self {
         self.scheduler = scheduler;
         self
@@ -196,7 +231,13 @@ impl ParallelEngine {
             Vec::new()
         };
         let shared = SharedBlocked::new(m);
-        let sched = scheduling_grid(mb, self.sb);
+        // The batched variant folds diagonals with fewer tasks than workers
+        // into one trailing batch; member order keeps the sweep
+        // dependence-safe, so results stay bit-identical.
+        let sched = match self.scheduler {
+            Scheduler::LocalityBatched => diagonal_batched_grid(mb, self.sb, self.workers),
+            _ => scheduling_grid(mb, self.sb),
+        };
         let kernels = SimdKernels;
 
         let body = |task: usize| {
@@ -245,6 +286,15 @@ impl ParallelEngine {
                 retry,
                 body,
             ),
+            Scheduler::LocalityBatched => try_execute_locality_faulted(
+                &sched.graph,
+                self.workers,
+                metrics,
+                tracer,
+                faults,
+                retry,
+                body,
+            ),
         };
         let stats = result.map_err(SolveError::from)?;
         assert!(shared.all_final(), "scheduler left unfinished blocks");
@@ -259,6 +309,11 @@ impl<T: DpValue> Engine<T> for ParallelEngine {
 
     fn solve(&self, seeds: &TriangularMatrix<T>) -> TriangularMatrix<T> {
         self.solve_with_stats(seeds).0
+    }
+
+    fn solve_autotuned(&self, seeds: &TriangularMatrix<T>) -> TriangularMatrix<T> {
+        let nb = Self::autotune_nb(self.workers, seeds.n(), std::mem::size_of::<T>());
+        ParallelEngine { nb, ..*self }.solve(seeds)
     }
 
     fn try_solve(&self, seeds: &TriangularMatrix<T>) -> Result<TriangularMatrix<T>, SolveError> {
@@ -356,11 +411,65 @@ mod tests {
     }
 
     #[test]
+    fn locality_batched_scheduler_matches() {
+        for n in [1, 9, 33, 64, 97] {
+            for (nb, sb, workers) in [(4, 1, 2), (8, 2, 4), (8, 1, 8)] {
+                let seeds = random_seeds(n, (n * 5 + nb + sb + workers) as u64);
+                let a = SerialEngine.solve(&seeds);
+                let b = ParallelEngine::new(nb, sb, workers)
+                    .with_scheduler(Scheduler::LocalityBatched)
+                    .solve(&seeds);
+                assert_eq!(
+                    a.first_difference(&b),
+                    None,
+                    "n={n} nb={nb} sb={sb} w={workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn locality_batched_shrinks_the_task_count() {
+        let seeds = random_seeds(64, 5);
+        // 64/8 = 8 blocks per side, sb=1 → 36 plain tasks; with 4 workers
+        // diagonals 5..7 (3+2+1 tasks) fold into one batch → 31.
+        let plain = ParallelEngine::new(8, 1, 4).solve_with_stats(&seeds).1;
+        let batched = ParallelEngine::new(8, 1, 4)
+            .with_scheduler(Scheduler::LocalityBatched)
+            .solve_with_stats(&seeds)
+            .1;
+        assert_eq!(plain.tasks_per_worker.iter().sum::<usize>(), 36);
+        assert_eq!(batched.tasks_per_worker.iter().sum::<usize>(), 31);
+    }
+
+    #[test]
+    fn autotuned_solve_is_bit_identical_and_legal() {
+        for n in [5usize, 64, 130] {
+            let seeds = random_seeds(n, 11);
+            let expect = SerialEngine.solve(&seeds);
+            let engine = ParallelEngine::new(8, 1, 4);
+            let got = engine.solve_autotuned(&seeds);
+            assert_eq!(got.as_slice(), expect.as_slice(), "n = {n}");
+            let nb = ParallelEngine::autotune_nb(4, n, 4);
+            assert_eq!(nb % 4, 0, "nb = {nb} not a computing-block multiple");
+            assert!(nb >= 4);
+        }
+        // The DP profile halves the working-set bound but must still pick a
+        // legal side.
+        let nb = ParallelEngine::autotune_nb(8, 1024, 8);
+        assert_eq!(nb % 4, 0);
+    }
+
+    #[test]
     fn injected_task_panics_recover_bit_identical() {
         use npdp_fault::{FaultKind, FaultPlan};
         let seeds = random_seeds(64, 77);
         let expect = SerialEngine.solve(&seeds);
-        for scheduler in [Scheduler::CentralQueue, Scheduler::WorkStealing] {
+        for scheduler in [
+            Scheduler::CentralQueue,
+            Scheduler::WorkStealing,
+            Scheduler::LocalityBatched,
+        ] {
             let faults =
                 FaultInjector::new(FaultPlan::seeded(123).with_rate(FaultKind::TaskPanic, 0.3));
             let engine = ParallelEngine::new(8, 1, 4).with_scheduler(scheduler);

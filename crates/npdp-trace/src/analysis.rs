@@ -91,6 +91,45 @@ pub fn pair_spans(data: &TraceData) -> Result<Vec<Span>, TraceError> {
     Ok(spans)
 }
 
+/// Pair spans like [`pair_spans`], but skip malformed events instead of
+/// failing: an `End` without a matching `Begin` (or closing a different
+/// kind, or ending before its begin) is dropped, as is a `Begin` that never
+/// ends — the truncated-trace case when a worker died or a snapshot was
+/// taken mid-solve. Returns the recovered spans plus the count of events
+/// that had to be discarded, so callers can surface the undercount.
+pub fn pair_spans_lossy(data: &TraceData) -> (Vec<Span>, usize) {
+    let mut spans = Vec::new();
+    let mut malformed = 0usize;
+    for (ti, track) in data.tracks.iter().enumerate() {
+        let mut stack: Vec<(EventKind, u64)> = Vec::new();
+        for ev in &track.events {
+            match ev.phase {
+                Phase::Begin => stack.push((ev.kind, ev.ts)),
+                Phase::End => {
+                    match stack.last() {
+                        Some(&(kind, start)) if kind == ev.kind && ev.ts >= start => {
+                            stack.pop();
+                            spans.push(Span {
+                                track: ti,
+                                kind,
+                                start,
+                                end: ev.ts,
+                            });
+                        }
+                        // Wrong kind, time-reversed, or no open span: drop
+                        // the end event but keep any open spans — a later,
+                        // well-formed end may still close them.
+                        _ => malformed += 1,
+                    }
+                }
+                Phase::Instant => {}
+            }
+        }
+        malformed += stack.len();
+    }
+    (spans, malformed)
+}
+
 /// Busy/idle breakdown of one worker track.
 #[derive(Debug, Clone)]
 pub struct WorkerBreakdown {
@@ -133,6 +172,14 @@ pub struct DiagonalOccupancy {
     pub window: u64,
     /// `busy / (window × worker tracks)`.
     pub occupancy: f64,
+    /// Distinct worker tracks with block spans on this diagonal.
+    pub active_workers: usize,
+    /// `busy / (window × active_workers)` — the duty cycle of the workers
+    /// actually running this diagonal. On starved apex diagonals this is
+    /// the discriminating number: a scheduler that spreads the few blocks
+    /// across waiting workers scores low (dispatch gaps dominate the
+    /// window), one that runs them dense scores high.
+    pub active_occupancy: f64,
 }
 
 /// The longest duration-weighted chain through the block dependency DAG
@@ -147,6 +194,34 @@ pub struct CriticalPath {
     pub total_block_time: u64,
     /// `total_block_time / length` — the DAG's inherent parallelism.
     pub parallelism: f64,
+    /// `domain window − length`: time the schedule spent beyond the DAG's
+    /// inherent lower bound (dispatch overhead, starvation, imbalance).
+    /// Zero means the run was critical-path limited.
+    pub slack: u64,
+}
+
+/// Aggregate occupancy of the starved wavefront tail: every diagonal with
+/// fewer blocks than worker tracks (the apex-ward diagonals of Fig. 12–13,
+/// which cannot fill the machine). This is the quantity diagonal batching
+/// targets — merging those diagonals into one batch trims their dispatch
+/// gaps, raising `occupancy`.
+#[derive(Debug, Clone)]
+pub struct TailOccupancy {
+    /// Number of starved diagonals aggregated.
+    pub diagonals: usize,
+    /// Distinct blocks across them.
+    pub blocks: usize,
+    /// Sum of their block-span durations.
+    pub busy: u64,
+    /// Union length of their execution windows.
+    pub window: u64,
+    /// `busy / (window × worker tracks)`.
+    pub occupancy: f64,
+    /// Distinct worker tracks with block spans in the tail.
+    pub active_workers: usize,
+    /// `busy / (window × active_workers)` — see
+    /// [`DiagonalOccupancy::active_occupancy`].
+    pub active_occupancy: f64,
 }
 
 /// Everything derived for one clock domain.
@@ -158,6 +233,9 @@ pub struct DomainAnalysis {
     pub workers: Vec<WorkerBreakdown>,
     pub dma: Option<DmaOverlap>,
     pub diagonals: Vec<DiagonalOccupancy>,
+    /// Aggregate over the starved diagonals (`blocks < worker tracks`),
+    /// when any exist.
+    pub tail: Option<TailOccupancy>,
     pub critical_path: Option<CriticalPath>,
 }
 
@@ -168,11 +246,20 @@ pub struct TraceAnalysis {
     /// Events lost to track-capacity bounds (a non-zero value means the
     /// numbers below undercount).
     pub dropped: u64,
+    /// Events discarded by lossy pairing (truncated or mismatched spans);
+    /// non-zero likewise means the numbers undercount. See
+    /// [`pair_spans_lossy`].
+    pub malformed_spans: usize,
 }
 
 /// Analyse a snapshot: pair spans, then derive the per-domain breakdowns.
+///
+/// Malformed spans (a truncated track, an unmatched end) are skipped and
+/// counted in [`TraceAnalysis::malformed_spans`] rather than failing the
+/// whole analysis — a trace cut short by a fault must still be analysable.
+/// Use [`pair_spans`] directly for strict validation.
 pub fn analyze(data: &TraceData) -> Result<TraceAnalysis, TraceError> {
-    let spans = pair_spans(data)?;
+    let (spans, malformed_spans) = pair_spans_lossy(data);
 
     let mut domains: Vec<TimeDomain> = Vec::new();
     for s in &spans {
@@ -189,6 +276,7 @@ pub fn analyze(data: &TraceData) -> Result<TraceAnalysis, TraceError> {
     Ok(TraceAnalysis {
         domains: analyses,
         dropped: data.dropped(),
+        malformed_spans,
     })
 }
 
@@ -293,11 +381,14 @@ fn analyze_domain(data: &TraceData, all: &[Span], domain: TimeDomain) -> DomainA
             per_diag.entry(bj - bi).or_default().push(s);
         }
     }
-    let diagonals = per_diag
+    let diagonals: Vec<DiagonalOccupancy> = per_diag
         .iter()
         .map(|(&d, ss)| {
-            let lo = ss.iter().map(|s| s.start).min().unwrap();
-            let hi = ss.iter().map(|s| s.end).max().unwrap();
+            // `ss` is non-empty by construction, but a lossy pairing must
+            // never be one refactor away from a panic: fold from the span
+            // bounds instead of unwrapping.
+            let lo = ss.iter().map(|s| s.start).min().unwrap_or(0);
+            let hi = ss.iter().map(|s| s.end).max().unwrap_or(lo);
             let busy: u64 = ss.iter().map(|s| s.duration()).sum();
             let mut ids: Vec<(u32, u32)> = ss
                 .iter()
@@ -308,15 +399,49 @@ fn analyze_domain(data: &TraceData, all: &[Span], domain: TimeDomain) -> DomainA
                 .collect();
             ids.sort_unstable();
             ids.dedup();
+            let mut active: Vec<usize> = ss.iter().map(|s| s.track).collect();
+            active.sort_unstable();
+            active.dedup();
             DiagonalOccupancy {
                 diagonal: d,
                 blocks: ids.len(),
                 busy,
                 window: hi - lo,
                 occupancy: ratio(busy, (hi - lo) * worker_tracks as u64),
+                active_workers: active.len(),
+                active_occupancy: ratio(busy, (hi - lo) * active.len() as u64),
             }
         })
         .collect();
+
+    // Starved-tail aggregate: the diagonals that cannot fill the machine.
+    let starved: Vec<&DiagonalOccupancy> = diagonals
+        .iter()
+        .filter(|o| worker_tracks > 0 && o.blocks < worker_tracks)
+        .collect();
+    let tail = (!starved.is_empty()).then(|| {
+        let mut windows = Vec::new();
+        let mut active: Vec<usize> = Vec::new();
+        for o in &starved {
+            for s in &per_diag[&o.diagonal] {
+                windows.push((s.start, s.end));
+                active.push(s.track);
+            }
+        }
+        active.sort_unstable();
+        active.dedup();
+        let busy: u64 = starved.iter().map(|o| o.busy).sum();
+        let window = total(&union(windows));
+        TailOccupancy {
+            diagonals: starved.len(),
+            blocks: starved.iter().map(|o| o.blocks).sum(),
+            busy,
+            window,
+            occupancy: ratio(busy, window * worker_tracks as u64),
+            active_workers: active.len(),
+            active_occupancy: ratio(busy, window * active.len() as u64),
+        }
+    });
 
     DomainAnalysis {
         domain,
@@ -324,7 +449,8 @@ fn analyze_domain(data: &TraceData, all: &[Span], domain: TimeDomain) -> DomainA
         workers,
         dma,
         diagonals,
-        critical_path: critical_path(&spans),
+        tail,
+        critical_path: critical_path(&spans, window_len),
     }
 }
 
@@ -332,7 +458,7 @@ fn analyze_domain(data: &TraceData, all: &[Span], domain: TimeDomain) -> DomainA
 /// paper's simplified dependence edges (left and below neighbours). Blocks
 /// are processed by increasing diagonal, so both potential predecessors are
 /// finished before a block is considered.
-fn critical_path(spans: &[&Span]) -> Option<CriticalPath> {
+fn critical_path(spans: &[&Span], window_len: u64) -> Option<CriticalPath> {
     let mut durations: BTreeMap<(u32, u32), u64> = BTreeMap::new();
     for s in spans {
         if let EventKind::Block { bi, bj } = s.kind {
@@ -378,6 +504,7 @@ fn critical_path(spans: &[&Span]) -> Option<CriticalPath> {
         length,
         total_block_time,
         parallelism: ratio(total_block_time, length),
+        slack: window_len.saturating_sub(length),
     })
 }
 
@@ -425,12 +552,119 @@ fn ratio(num: u64, den: u64) -> f64 {
     }
 }
 
+/// Side-by-side comparison of one clock domain across two analyses (e.g.
+/// the same problem solved under two schedulers). Each pair is `(a, b)`.
+#[derive(Debug, Clone)]
+pub struct DomainDiff {
+    pub domain: TimeDomain,
+    /// Domain window lengths.
+    pub window: (u64, u64),
+    /// Mean worker occupancy.
+    pub mean_occupancy: (f64, f64),
+    /// Critical-path slack (0 when a side recorded no blocks).
+    pub slack: (u64, u64),
+    /// Starved-tail occupancy (0 when a side has no starved diagonals).
+    pub tail_occupancy: (f64, f64),
+    /// Starved-tail occupancy normalised by the workers that actually ran
+    /// tail blocks — the duty cycle of the participating workers.
+    pub tail_active_occupancy: (f64, f64),
+    /// Per-diagonal occupancy for diagonals present on both sides.
+    pub diagonals: Vec<(u32, f64, f64)>,
+}
+
+/// Diff two analyses domain-by-domain — the scheduler-comparison view:
+/// which variant closed the critical-path slack, and what happened to the
+/// starved apex diagonals. Domains present on only one side are skipped.
+pub fn diff_analyses(a: &TraceAnalysis, b: &TraceAnalysis) -> Vec<DomainDiff> {
+    let mut out = Vec::new();
+    for da in &a.domains {
+        let Some(db) = b.domains.iter().find(|d| d.domain == da.domain) else {
+            continue;
+        };
+        let mean = |d: &DomainAnalysis| {
+            if d.workers.is_empty() {
+                0.0
+            } else {
+                d.workers.iter().map(|w| w.occupancy).sum::<f64>() / d.workers.len() as f64
+            }
+        };
+        let slack = |d: &DomainAnalysis| d.critical_path.as_ref().map_or(0, |cp| cp.slack);
+        let tail = |d: &DomainAnalysis| d.tail.as_ref().map_or(0.0, |t| t.occupancy);
+        let tail_active = |d: &DomainAnalysis| d.tail.as_ref().map_or(0.0, |t| t.active_occupancy);
+        let mut diagonals = Vec::new();
+        for oa in &da.diagonals {
+            if let Some(ob) = db.diagonals.iter().find(|o| o.diagonal == oa.diagonal) {
+                diagonals.push((oa.diagonal, oa.occupancy, ob.occupancy));
+            }
+        }
+        out.push(DomainDiff {
+            domain: da.domain,
+            window: (da.window.1 - da.window.0, db.window.1 - db.window.0),
+            mean_occupancy: (mean(da), mean(db)),
+            slack: (slack(da), slack(db)),
+            tail_occupancy: (tail(da), tail(db)),
+            tail_active_occupancy: (tail_active(da), tail_active(db)),
+            diagonals,
+        });
+    }
+    out
+}
+
+impl DomainDiff {
+    /// JSON form, for embedding in comparison reports.
+    pub fn to_value(&self) -> Value {
+        let mut v = Value::object();
+        v.set("domain", self.domain.label());
+        let pair = |(x, y): (u64, u64)| Value::Array(vec![x.into(), y.into()]);
+        let fpair = |(x, y): (f64, f64)| Value::Array(vec![x.into(), y.into()]);
+        v.set("window", pair(self.window));
+        v.set("mean_occupancy", fpair(self.mean_occupancy));
+        v.set("critical_path_slack", pair(self.slack));
+        v.set("tail_occupancy", fpair(self.tail_occupancy));
+        v.set("tail_active_occupancy", fpair(self.tail_active_occupancy));
+        let mut ds = Vec::new();
+        for &(d, oa, ob) in &self.diagonals {
+            let mut dv = Value::object();
+            dv.set("diagonal", d);
+            dv.set("occupancy", fpair((oa, ob)));
+            ds.push(dv);
+        }
+        v.set("diagonals", Value::Array(ds));
+        v
+    }
+}
+
+impl fmt::Display for DomainDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "[{}] window {} -> {}, mean occupancy {:.1}% -> {:.1}%, cp slack {} -> {}, tail occupancy {:.1}% -> {:.1}% (active {:.1}% -> {:.1}%)",
+            self.domain.label(),
+            self.window.0,
+            self.window.1,
+            100.0 * self.mean_occupancy.0,
+            100.0 * self.mean_occupancy.1,
+            self.slack.0,
+            self.slack.1,
+            100.0 * self.tail_occupancy.0,
+            100.0 * self.tail_occupancy.1,
+            100.0 * self.tail_active_occupancy.0,
+            100.0 * self.tail_active_occupancy.1,
+        )?;
+        for &(d, oa, ob) in &self.diagonals {
+            writeln!(f, "  d{d}: {:.1}% -> {:.1}%", 100.0 * oa, 100.0 * ob)?;
+        }
+        Ok(())
+    }
+}
+
 impl TraceAnalysis {
     /// JSON form of the summary (embedded in reports and printed by
     /// `--trace` runs alongside the human-readable rendering).
     pub fn to_value(&self) -> Value {
         let mut root = Value::object();
         root.set("dropped_events", self.dropped);
+        root.set("malformed_spans", self.malformed_spans);
         let mut domains = Vec::new();
         for d in &self.domains {
             let mut dv = Value::object();
@@ -469,11 +703,23 @@ impl TraceAnalysis {
                 diags.push(ov);
             }
             dv.set("diagonals", Value::Array(diags));
+            if let Some(t) = &d.tail {
+                let mut tv = Value::object();
+                tv.set("diagonals", t.diagonals);
+                tv.set("blocks", t.blocks);
+                tv.set("busy", t.busy);
+                tv.set("window", t.window);
+                tv.set("occupancy", t.occupancy);
+                tv.set("active_workers", t.active_workers);
+                tv.set("active_occupancy", t.active_occupancy);
+                dv.set("tail", tv);
+            }
             if let Some(cp) = &d.critical_path {
                 let mut cv = Value::object();
                 cv.set("length", cp.length);
                 cv.set("total_block_time", cp.total_block_time);
                 cv.set("parallelism", cp.parallelism);
+                cv.set("slack", cp.slack);
                 cv.set("blocks", cp.blocks.len());
                 cv.set(
                     "path",
@@ -501,6 +747,13 @@ impl fmt::Display for TraceAnalysis {
                 f,
                 "  WARNING: {} events dropped to capacity bounds; numbers undercount",
                 self.dropped
+            )?;
+        }
+        if self.malformed_spans > 0 {
+            writeln!(
+                f,
+                "  WARNING: {} malformed span event(s) skipped (truncated trace?); numbers undercount",
+                self.malformed_spans
             )?;
         }
         for d in &self.domains {
@@ -549,14 +802,25 @@ impl fmt::Display for TraceAnalysis {
                 }
                 writeln!(f)?;
             }
+            if let Some(t) = &d.tail {
+                writeln!(
+                    f,
+                    "    starved tail: {} diagonal(s), {} block(s), occupancy {:.1}% over {:.3} ms",
+                    t.diagonals,
+                    t.blocks,
+                    100.0 * t.occupancy,
+                    ms(t.window),
+                )?;
+            }
             if let Some(cp) = &d.critical_path {
                 writeln!(
                     f,
-                    "    critical path: {} blocks, {:.3} ms of {:.3} ms total block time (parallelism {:.2}x)",
+                    "    critical path: {} blocks, {:.3} ms of {:.3} ms total block time (parallelism {:.2}x, slack {:.3} ms)",
                     cp.blocks.len(),
                     ms(cp.length),
                     ms(cp.total_block_time),
                     cp.parallelism,
+                    ms(cp.slack),
                 )?;
             }
         }
@@ -740,6 +1004,104 @@ mod tests {
         assert_eq!(a.domains.len(), 2);
         assert_eq!(a.domains[0].window, (0, 10));
         assert_eq!(a.domains[1].window, (1_000, 2_000));
+    }
+
+    #[test]
+    fn two_spe_tail_and_slack_are_exact() {
+        let a = analyze(&two_spe_trace()).unwrap();
+        let d = &a.domains[0];
+        // Diagonal 1 has one block on a two-worker domain → starved.
+        let t = d.tail.as_ref().unwrap();
+        assert_eq!(t.diagonals, 1);
+        assert_eq!(t.blocks, 1);
+        assert_eq!(t.busy, 200);
+        assert_eq!(t.window, 200);
+        assert!((t.occupancy - 0.5).abs() < 1e-12);
+        // Only one worker ran the tail block, and it ran back-to-back.
+        assert_eq!(t.active_workers, 1);
+        assert!((t.active_occupancy - 1.0).abs() < 1e-12);
+        // Window 360 − critical path 350.
+        assert_eq!(d.critical_path.as_ref().unwrap().slack, 10);
+    }
+
+    #[test]
+    fn truncated_trace_analyzes_lossily_instead_of_failing() {
+        // Hand-truncate the fixture: drop the last End (the DmaPut close),
+        // the shape a snapshot has when a worker dies mid-span.
+        let mut data = two_spe_trace();
+        let dma = data
+            .tracks
+            .iter_mut()
+            .find(|t| t.name == "dma0")
+            .expect("dma track");
+        let ev = dma.events.pop().expect("events");
+        assert_eq!(ev.phase, Phase::End);
+
+        // The strict pairer still reports the typed error…
+        let err = pair_spans(&data).unwrap_err();
+        assert!(err.0.contains("never ends"), "{err}");
+
+        // …while the analyzer recovers everything else and flags the loss.
+        let a = analyze(&data).expect("lossy analysis succeeds");
+        assert_eq!(a.malformed_spans, 1);
+        let d = &a.domains[0];
+        assert_eq!(d.workers.len(), 2);
+        assert_eq!(d.workers[0].busy, 300);
+        // Only the get survives: [120,170) ∩ compute = 20.
+        let dma = d.dma.as_ref().unwrap();
+        assert_eq!(dma.dma_busy, 50);
+        assert_eq!(dma.overlapped, 20);
+        assert!(a.to_string().contains("malformed span"), "{a}");
+    }
+
+    #[test]
+    fn lossy_pairing_drops_only_the_bad_events() {
+        let t = Tracer::new();
+        let w = t.register(TrackDesc::worker("w", 0));
+        // End with no begin, then a well-formed span, then a mismatched
+        // end, then a dangling begin: 3 malformed, 1 recovered.
+        t.end_at(w, 1, EventKind::Solve);
+        t.begin_at(w, 2, EventKind::Task { id: 1 });
+        t.end_at(w, 5, EventKind::Task { id: 1 });
+        t.begin_at(w, 6, EventKind::Task { id: 2 });
+        t.end_at(w, 7, EventKind::Task { id: 3 });
+        let (spans, malformed) = pair_spans_lossy(&t.snapshot());
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].kind, EventKind::Task { id: 1 });
+        assert_eq!(malformed, 3);
+    }
+
+    #[test]
+    fn diff_analyses_compares_schedulers() {
+        let a = analyze(&two_spe_trace()).unwrap();
+        // A "better-scheduled" variant: the apex block starts immediately
+        // after its below predecessor, closing the slack and packing the
+        // tail window.
+        let t = Tracer::new();
+        let spe0 = t.register(TrackDesc::worker("spe0", 0).in_domain(TimeDomain::Ticks));
+        let spe1 = t.register(TrackDesc::worker("spe1", 1).in_domain(TimeDomain::Ticks));
+        let b = |bi, bj| EventKind::Block { bi, bj };
+        t.begin_at(spe0, 0, b(0, 0));
+        t.end_at(spe0, 100, b(0, 0));
+        t.begin_at(spe1, 0, b(1, 1));
+        t.end_at(spe1, 150, b(1, 1));
+        t.begin_at(spe0, 150, b(0, 1));
+        t.end_at(spe0, 350, b(0, 1));
+        let b_run = analyze(&t.snapshot()).unwrap();
+
+        let diffs = diff_analyses(&a, &b_run);
+        assert_eq!(diffs.len(), 1);
+        let d = &diffs[0];
+        assert_eq!(d.window, (360, 350));
+        assert_eq!(d.slack, (10, 0));
+        assert_eq!(d.diagonals.len(), 2);
+        // Same tail occupancy either way here (the apex span fills its own
+        // window on one of two workers).
+        assert!((d.tail_occupancy.0 - 0.5).abs() < 1e-12);
+        assert!((d.tail_active_occupancy.0 - 1.0).abs() < 1e-12);
+        let text = d.to_string();
+        assert!(text.contains("cp slack 10 -> 0"), "{text}");
+        assert!(d.to_value().get("critical_path_slack").is_some());
     }
 
     #[test]

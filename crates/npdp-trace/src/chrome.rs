@@ -13,7 +13,8 @@ use std::path::Path;
 
 use npdp_metrics::json::Value;
 
-use crate::{EventKind, Phase, TraceData};
+use crate::analysis::TraceError;
+use crate::{Event, EventKind, Phase, TimeDomain, TraceData, TrackData, TrackKind};
 
 /// Build the trace-event JSON document for a snapshot.
 pub fn chrome_trace(data: &TraceData) -> Value {
@@ -36,8 +37,32 @@ pub fn chrome_trace(data: &TraceData) -> Value {
         let pid = track.domain.id();
         let scale = track.domain.ticks_to_us();
 
+        // Besides the viewer-facing name, the thread metadata carries the
+        // track attributes the importer needs to reconstruct the snapshot
+        // ([`parse_chrome_trace`]); viewers ignore the extra keys.
         let mut args = Value::object();
         args.set("name", track.name.as_str());
+        args.set(
+            "npdp_kind",
+            match track.kind {
+                TrackKind::Worker => "worker",
+                TrackKind::Dma => "dma",
+                TrackKind::Control => "control",
+            },
+        );
+        args.set("npdp_group", track.group);
+        args.set(
+            "npdp_domain",
+            match track.domain {
+                TimeDomain::WallNs => "wall_ns",
+                TimeDomain::SimCycles { .. } => "sim_cycles",
+                TimeDomain::Ticks => "ticks",
+            },
+        );
+        if let TimeDomain::SimCycles { hz } = track.domain {
+            args.set("npdp_hz", hz);
+        }
+        args.set("npdp_dropped", track.dropped);
         events.push(meta("thread_name", pid, tid, args));
         // Registration order doubles as display order.
         let mut args = Value::object();
@@ -89,6 +114,174 @@ pub fn write_chrome_trace(data: &TraceData, path: &Path) -> io::Result<()> {
         }
     }
     std::fs::write(path, chrome_trace(data).to_json_pretty())
+}
+
+/// Parse a trace-event document produced by [`chrome_trace`] back into a
+/// [`TraceData`] snapshot — the analyzer's import path for traces written
+/// to disk by an earlier run (`repro-compare` uses it to diff scheduler
+/// variants from their `TRACE_*.json` artifacts).
+///
+/// The importer never panics on missing fields: events without the
+/// structured `args` (e.g. a hand-edited `Fault` instant, or an `E` event,
+/// which the exporter writes bare) are reconstructed from the event name
+/// and the track's open-span stack. Unrecognized event names and non-`BEiM`
+/// phases yield a typed [`TraceError`].
+pub fn parse_chrome_trace(doc: &Value) -> Result<TraceData, TraceError> {
+    let Some(Value::Array(events)) = doc.get("traceEvents") else {
+        return Err(TraceError("no traceEvents array".into()));
+    };
+
+    // Track identity is (pid, tid); registration order is tid order within
+    // a pid, and the exporter never reuses tids across pids.
+    let mut keys: Vec<(u64, u64)> = Vec::new();
+    let mut tracks: Vec<TrackData> = Vec::new();
+    let mut open: Vec<Vec<EventKind>> = Vec::new();
+
+    let key_of = |ev: &Value| {
+        let pid = ev.get("pid").and_then(Value::as_u64).unwrap_or(0);
+        let tid = ev.get("tid").and_then(Value::as_u64).unwrap_or(0);
+        (pid, tid)
+    };
+
+    // Pass 1: thread metadata → track table.
+    for ev in events {
+        if ev.get("ph").and_then(Value::as_str) != Some("M")
+            || ev.get("name").and_then(Value::as_str) != Some("thread_name")
+        {
+            continue;
+        }
+        let key = key_of(ev);
+        if keys.contains(&key) {
+            return Err(TraceError(format!("duplicate thread_name for {key:?}")));
+        }
+        let args = ev.get("args");
+        let get_str = |k: &str| args.and_then(|a| a.get(k)).and_then(Value::as_str);
+        let get_u64 = |k: &str| args.and_then(|a| a.get(k)).and_then(Value::as_u64);
+        let domain = match get_str("npdp_domain") {
+            Some("sim_cycles") => TimeDomain::SimCycles {
+                hz: args
+                    .and_then(|a| a.get("npdp_hz"))
+                    .and_then(Value::as_f64)
+                    .unwrap_or(1e9),
+            },
+            Some("ticks") => TimeDomain::Ticks,
+            Some("wall_ns") | None => TimeDomain::WallNs,
+            Some(other) => return Err(TraceError(format!("unknown domain '{other}'"))),
+        };
+        let kind = match get_str("npdp_kind") {
+            Some("dma") => TrackKind::Dma,
+            Some("control") => TrackKind::Control,
+            Some("worker") | None => TrackKind::Worker,
+            Some(other) => return Err(TraceError(format!("unknown track kind '{other}'"))),
+        };
+        keys.push(key);
+        tracks.push(TrackData {
+            name: get_str("name").unwrap_or("track").to_owned(),
+            kind,
+            group: get_u64("npdp_group").unwrap_or(0) as u32,
+            domain,
+            events: Vec::new(),
+            dropped: get_u64("npdp_dropped").unwrap_or(0),
+        });
+        open.push(Vec::new());
+    }
+
+    // Pass 2: span and instant events, in document order (which is the
+    // exporter's per-track journal order).
+    for ev in events {
+        let ph = ev.get("ph").and_then(Value::as_str).unwrap_or("");
+        let phase = match ph {
+            "B" => Phase::Begin,
+            "E" => Phase::End,
+            "i" => Phase::Instant,
+            "M" => continue,
+            other => return Err(TraceError(format!("unsupported phase '{other}'"))),
+        };
+        let key = key_of(ev);
+        let Some(ti) = keys.iter().position(|&k| k == key) else {
+            return Err(TraceError(format!("event on unregistered track {key:?}")));
+        };
+        let track = &mut tracks[ti];
+        let ts_us = ev.get("ts").and_then(Value::as_f64).unwrap_or(0.0);
+        let ts = (ts_us / track.domain.ticks_to_us()).round().max(0.0) as u64;
+        let kind = match phase {
+            // The exporter writes `E` events bare; the matching `B` names
+            // the span.
+            Phase::End => open[ti]
+                .pop()
+                .ok_or_else(|| TraceError(format!("track '{}': end without begin", track.name)))?,
+            _ => parse_kind(
+                ev.get("name").and_then(Value::as_str).unwrap_or(""),
+                ev.get("args"),
+            )
+            .ok_or_else(|| {
+                TraceError(format!(
+                    "unrecognized event name '{}'",
+                    ev.get("name").and_then(Value::as_str).unwrap_or("")
+                ))
+            })?,
+        };
+        if phase == Phase::Begin {
+            open[ti].push(kind);
+        }
+        track.events.push(Event { ts, phase, kind });
+    }
+
+    Ok(TraceData { tracks })
+}
+
+/// Reconstruct an [`EventKind`] from its exported name, preferring the
+/// structured `args` for the payload and falling back to the name's own
+/// digits when the args are absent.
+fn parse_kind(name: &str, args: Option<&Value>) -> Option<EventKind> {
+    let arg_u64 = |k: &str| args.and_then(|a| a.get(k)).and_then(Value::as_u64);
+    let tail_u64 = |prefix: &str| {
+        name.strip_prefix(prefix)
+            .and_then(|r| r.trim().trim_end_matches('B').trim().parse::<u64>().ok())
+    };
+    if name == "solve" {
+        Some(EventKind::Solve)
+    } else if name == "mbox wait" {
+        Some(EventKind::MailboxWait)
+    } else if name == "idle" {
+        Some(EventKind::Idle)
+    } else if name.starts_with("block") {
+        let (bi, bj) = match (arg_u64("bi"), arg_u64("bj")) {
+            (Some(bi), Some(bj)) => (bi, bj),
+            _ => {
+                let inner = name.trim_start_matches("block").trim();
+                let inner = inner.strip_prefix('(')?.strip_suffix(')')?;
+                let (a, b) = inner.split_once(',')?;
+                (a.trim().parse().ok()?, b.trim().parse().ok()?)
+            }
+        };
+        Some(EventKind::Block {
+            bi: bi as u32,
+            bj: bj as u32,
+        })
+    } else if name.starts_with("task") {
+        let id = arg_u64("task").or_else(|| tail_u64("task"))?;
+        Some(EventKind::Task { id: id as u32 })
+    } else if name.starts_with("dma get") {
+        let bytes = arg_u64("bytes").or_else(|| tail_u64("dma get"))?;
+        Some(EventKind::DmaGet { bytes })
+    } else if name.starts_with("dma put") {
+        let bytes = arg_u64("bytes").or_else(|| tail_u64("dma put"))?;
+        Some(EventKind::DmaPut { bytes })
+    } else if name.starts_with("mbox") {
+        let word = arg_u64("word").or_else(|| tail_u64("mbox"))?;
+        Some(EventKind::MailboxSend { word: word as u32 })
+    } else if name.starts_with("steal") {
+        let task = arg_u64("task").or_else(|| tail_u64("steal"))?;
+        Some(EventKind::Steal { task: task as u32 })
+    } else if name.starts_with("fault") {
+        // A `Fault` instant must import even with no args at all: fall back
+        // to the label's code, then to 0 for a bare "fault".
+        let code = arg_u64("code").or_else(|| tail_u64("fault")).unwrap_or(0);
+        Some(EventKind::Fault { code: code as u32 })
+    } else {
+        None
+    }
 }
 
 fn meta(name: &str, pid: u32, tid: u32, args: Value) -> Value {
@@ -214,6 +407,121 @@ mod tests {
             .filter(|e| e.get("name").and_then(Value::as_str) == Some("process_name"))
             .count();
         assert_eq!(procs, 2);
+    }
+
+    fn assert_round_trips(data: &TraceData) {
+        // Through the JSON text, not just the tree: the disk artifact is
+        // what repro-compare re-reads.
+        let text = chrome_trace(data).to_json_pretty();
+        let doc = Value::parse(&text).expect("parseable export");
+        let back = parse_chrome_trace(&doc).expect("importable export");
+        assert_eq!(back.tracks.len(), data.tracks.len());
+        for (a, b) in data.tracks.iter().zip(&back.tracks) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.group, b.group);
+            assert_eq!(a.domain, b.domain);
+            assert_eq!(a.dropped, b.dropped);
+            assert_eq!(a.events, b.events, "track '{}'", a.name);
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_every_event_kind() {
+        let t = Tracer::new();
+        let spe = t
+            .register(TrackDesc::worker("spe 0", 2).in_domain(TimeDomain::SimCycles { hz: 3.2e9 }));
+        let dma =
+            t.register(TrackDesc::dma("dma 0", 2).in_domain(TimeDomain::SimCycles { hz: 3.2e9 }));
+        let host = t.register(TrackDesc::worker("worker 1", 1));
+        t.begin_at(spe, 0, EventKind::Solve);
+        t.begin_at(spe, 10, EventKind::Task { id: 7 });
+        t.begin_at(spe, 12, EventKind::Block { bi: 3, bj: 9 });
+        t.end_at(spe, 450, EventKind::Block { bi: 3, bj: 9 });
+        t.instant_at(spe, 500, EventKind::MailboxSend { word: 7 });
+        t.begin_at(spe, 510, EventKind::MailboxWait);
+        t.end_at(spe, 700, EventKind::MailboxWait);
+        t.end_at(spe, 800, EventKind::Task { id: 7 });
+        t.instant_at(spe, 900, EventKind::Fault { code: 2 });
+        t.end_at(spe, 1_000, EventKind::Solve);
+        t.begin_at(dma, 20, EventKind::DmaGet { bytes: 4096 });
+        t.end_at(dma, 120, EventKind::DmaGet { bytes: 4096 });
+        t.begin_at(dma, 460, EventKind::DmaPut { bytes: 2048 });
+        t.end_at(dma, 520, EventKind::DmaPut { bytes: 2048 });
+        t.instant_at(host, 1_000, EventKind::Steal { task: 4 });
+        t.begin_at(host, 2_000, EventKind::Idle);
+        t.end_at(host, 3_000, EventKind::Idle);
+        assert_round_trips(&t.snapshot());
+    }
+
+    #[test]
+    fn fault_instants_import_without_args() {
+        // A hand-edited trace (or a foreign producer) may strip the args
+        // object; Fault instants must still import, from the label or bare.
+        let text = r#"{
+            "traceEvents": [
+                {"ph":"M","name":"thread_name","pid":3,"tid":0,
+                 "args":{"name":"w","npdp_kind":"worker","npdp_group":0,
+                         "npdp_domain":"ticks","npdp_dropped":0}},
+                {"ph":"i","name":"fault 3","ts":5.0,"pid":3,"tid":0,"s":"t"},
+                {"ph":"i","name":"fault","ts":9.0,"pid":3,"tid":0,"s":"t"}
+            ]
+        }"#;
+        let doc = Value::parse(text).unwrap();
+        let data = parse_chrome_trace(&doc).expect("fault instants import bare");
+        assert_eq!(data.tracks.len(), 1);
+        assert_eq!(
+            data.tracks[0].events,
+            vec![
+                Event {
+                    ts: 5,
+                    phase: Phase::Instant,
+                    kind: EventKind::Fault { code: 3 }
+                },
+                Event {
+                    ts: 9,
+                    phase: Phase::Instant,
+                    kind: EventKind::Fault { code: 0 }
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn import_errors_are_typed_not_panics() {
+        let no_events = Value::parse(r#"{"foo": 1}"#).unwrap();
+        assert!(parse_chrome_trace(&no_events).is_err());
+        // An E with no open span is a malformed document, not a crash.
+        let text = r#"{
+            "traceEvents": [
+                {"ph":"M","name":"thread_name","pid":3,"tid":0,
+                 "args":{"name":"w","npdp_domain":"ticks"}},
+                {"ph":"E","ts":5.0,"pid":3,"tid":0}
+            ]
+        }"#;
+        let err = parse_chrome_trace(&Value::parse(text).unwrap()).unwrap_err();
+        assert!(err.0.contains("end without begin"), "{err}");
+        // Events on tracks with no thread_name meta are rejected likewise.
+        let text = r#"{
+            "traceEvents": [
+                {"ph":"i","name":"idle","ts":1.0,"pid":1,"tid":9,"s":"t"}
+            ]
+        }"#;
+        let err = parse_chrome_trace(&Value::parse(text).unwrap()).unwrap_err();
+        assert!(err.0.contains("unregistered"), "{err}");
+    }
+
+    #[test]
+    fn imported_trace_is_analyzable() {
+        let t = Tracer::new();
+        let w = t.register(TrackDesc::worker("spe0", 0).in_domain(TimeDomain::Ticks));
+        t.begin_at(w, 0, EventKind::Block { bi: 0, bj: 1 });
+        t.end_at(w, 100, EventKind::Block { bi: 0, bj: 1 });
+        let doc = chrome_trace(&t.snapshot());
+        let back = parse_chrome_trace(&doc).unwrap();
+        let a = crate::analysis::analyze(&back).unwrap();
+        assert_eq!(a.domains[0].window, (0, 100));
+        assert_eq!(a.domains[0].workers.len(), 1);
     }
 
     #[test]

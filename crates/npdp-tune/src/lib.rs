@@ -1,0 +1,536 @@
+//! Model-driven block-size autotuning — deriving the Fig. 13 sweet spot
+//! instead of sweeping for it.
+//!
+//! The paper picks the memory-block side `nb` empirically: Fig. 13 sweeps
+//! it and §V explains the two asymptotes (the six-buffer local-store bound
+//! caps `nb` from above; DMA startup and task overhead punish small `nb`).
+//! This crate closes the loop: [`Tuner`] combines the §V analytical model
+//! ([`perf_model::PerfModel`]) with a measured [`Calibration`] — per-task
+//! dispatch overhead and the achieved DMA/compute overlap ratio, both
+//! observable from `cellnpdp-bench-v1` counters and the trace analyzer —
+//! into a per-`(machine, kernel, n)` time prediction with an interior
+//! optimum, then picks the candidate block side that minimizes it.
+//!
+//! The pure §V model cannot do this by itself: `T_All = max(T_M, T_C)` is
+//! monotone non-increasing in `nb`, so its argmin is always the local-store
+//! bound. The tuner adds the terms the paper leaves to measurement (see
+//! [`Tuner::predict_seconds`]):
+//!
+//! * **padding** — the blocked triangle computes `⌈n/nb⌉·nb` cells per
+//!   side, the fine structure of the measured single-SPE curve;
+//! * **parallelism loss** — block-level parallelism is bounded by
+//!   `⌈n/nb⌉/3` ([`perf_model::extensions::critical_path_speedup_bound`]),
+//!   discounted further by the wavefront's ramp/tail, so large blocks
+//!   starve a wide machine;
+//! * **DMA startup** — every dependency fetch pays a fixed issue cost,
+//!   the Fig. 13 cliff below `nb = 8`;
+//! * **imperfect overlap** — the analyzer-reported DMA/compute overlap
+//!   ratio discounts the `max(T_M, T_C)` idealization;
+//! * **per-task overhead** — each of the `m(m+1)/2` scheduled tasks pays a
+//!   mailbox/dispatch cost.
+//!
+//! For machines without a cycle-accurate profile, [`ProbeFit`] fits the
+//! same curve shape to a handful of measured probe runs (least squares on
+//! three coefficients — overhead, floor, and cache-pressure slope) and
+//! predicts from the fit — the model-then-measure loop used by blocked-DP
+//! autotuners.
+
+use perf_model::extensions;
+// Re-exported so downstream crates can build a [`Tuner`] without taking a
+// direct `perf-model` dependency.
+pub use perf_model::{Kernel, Machine, PerfModel};
+
+/// The Fig. 13 block-side ladder (the sweep grid of the paper's figure and
+/// of `repro-fig13`): descending multiples of 4 from the 32 KB working size.
+pub const FIG13_SIDES: [usize; 8] = [88, 64, 44, 32, 20, 16, 8, 4];
+
+/// Measured correction terms layered on the §V analytical model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calibration {
+    /// Seconds of per-task dispatch overhead (mailbox round trip + task
+    /// fetch), `task_overhead_cycles` over the clock on the simulated QS20.
+    pub task_overhead_s: f64,
+    /// Seconds of fixed startup per DMA command (issue + arbitration +
+    /// first-beat latency). Each of the `~m³/3` dependency fetches pays it,
+    /// which is the Fig. 13 cliff below `nb = 8`.
+    pub dma_startup_s: f64,
+    /// Achieved DMA/compute overlap in `[0, 1]`, as reported by the trace
+    /// analyzer's `DmaOverlap::ratio`. `1.0` reproduces the paper's ideal
+    /// `max(T_M, T_C)`; lower values pay the un-overlapped remainder.
+    pub overlap: f64,
+}
+
+impl Calibration {
+    /// The §V idealization: free tasks, free DMA issue, perfect overlap.
+    pub fn ideal() -> Self {
+        Self {
+            task_overhead_s: 0.0,
+            dma_startup_s: 0.0,
+            overlap: 1.0,
+        }
+    }
+
+    /// Calibration for a cache-coherent host: no DMA issue cost (hardware
+    /// prefetch streams the operands), a deque push/pop plus wake-up of
+    /// roughly a microsecond per task, and near-full prefetch overlap.
+    pub fn host() -> Self {
+        Self {
+            task_overhead_s: 1.5e-6,
+            dma_startup_s: 0.0,
+            overlap: 0.95,
+        }
+    }
+
+    /// Calibration from a Cell-style protocol on a `freq_hz` clock:
+    /// `task_overhead_cycles` of dispatch cost per scheduled task and
+    /// `dma_startup_cycles` of issue cost per DMA command.
+    pub fn from_cell_protocol(
+        task_overhead_cycles: f64,
+        dma_startup_cycles: f64,
+        freq_hz: f64,
+        overlap: f64,
+    ) -> Self {
+        Self {
+            task_overhead_s: task_overhead_cycles / freq_hz,
+            dma_startup_s: dma_startup_cycles / freq_hz,
+            overlap: overlap.clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// A block-size choice with its predicted time, for reporting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// The chosen memory-block side.
+    pub nb: usize,
+    /// Predicted wall seconds at that side.
+    pub seconds: f64,
+}
+
+/// Model-driven block-size tuner for one `(machine, kernel)` pair.
+#[derive(Debug, Clone)]
+pub struct Tuner {
+    /// The §V analytical model.
+    pub model: PerfModel,
+    /// Worker cores actually used (≤ `machine.cores`).
+    pub workers: usize,
+    /// Measured correction terms.
+    pub calibration: Calibration,
+}
+
+impl Tuner {
+    /// Tuner over `machine`/`kernel` with `elem_bytes`-wide DP cells,
+    /// running on `workers` cores.
+    pub fn new(
+        machine: Machine,
+        kernel: Kernel,
+        elem_bytes: usize,
+        workers: usize,
+        calibration: Calibration,
+    ) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        Self {
+            model: PerfModel::new(machine, kernel, elem_bytes),
+            workers,
+            calibration,
+        }
+    }
+
+    /// Largest admissible block side: the §V six-buffer local-store bound,
+    /// rounded down to a multiple of 4 (the computing-block side).
+    pub fn max_block_side(&self) -> usize {
+        ((self.model.max_block_side() as usize) / 4 * 4).max(4)
+    }
+
+    /// Candidate block sides: every entry of `ladder` that respects the
+    /// local-store bound, or the bound itself if the ladder has none.
+    pub fn candidates(&self, ladder: &[usize]) -> Vec<usize> {
+        let cap = self.max_block_side();
+        let mut c: Vec<usize> = ladder.iter().copied().filter(|&nb| nb <= cap).collect();
+        if c.is_empty() {
+            c.push(cap);
+        }
+        c
+    }
+
+    /// Predicted wall seconds for problem size `n` at block side `nb`.
+    ///
+    /// The §V `max(T_M, T_C)` is refined with the four effects that give
+    /// the Fig. 13 curve its interior optimum:
+    ///
+    /// * **padding** — the blocked triangle computes `n_pad = ⌈n/nb⌉·nb`
+    ///   cells per side, so both times scale by `(n_pad/n)³`;
+    /// * **ramp/tail parallelism loss** — a triangular wavefront cannot
+    ///   hold `min(w, m/3)` cores busy while it narrows, costing an extra
+    ///   `3·T_1·w/m²` of schedule (the last `~w` diagonals run starved);
+    /// * **DMA startup** — the `~m³/3` dependency fetches each pay a fixed
+    ///   issue cost, which dominates once `nb` is tiny;
+    /// * **imperfect overlap** — the non-dominant components hide behind
+    ///   the dominant one only to the measured `overlap` fraction;
+    ///
+    /// plus the `m(m+1)/2 · task_overhead / w` dispatch term.
+    pub fn predict_seconds(&self, n: usize, nb: usize) -> f64 {
+        assert!(nb >= 4, "block side below the computing-block size");
+        let w = self.workers as f64;
+        let m = n.div_ceil(nb).max(1) as f64;
+        let n_pad = m * nb as f64;
+        // Serial compute over the padded triangle (compute_time is per the
+        // model's full core count; rescale to one core).
+        let tc1 = self.model.compute_time(n_pad) * self.model.machine.cores;
+        // Achievable parallelism: the m/3 critical-path bound, discounted
+        // by the wavefront's ramp/tail (3·T1·w/m² of extra schedule).
+        let p_bound = extensions::parallel_speedup_bound(n_pad, nb as f64, w).max(1.0);
+        let p_eff = 1.0 / (1.0 / p_bound + 3.0 * w / (m * m));
+        let tc = tc1 / p_eff.max(1.0);
+        // Aggregate-bandwidth time and per-command issue time (DMA engines
+        // are per-core, so issue cost parallelizes across workers).
+        let tm = self.model.memory_time(n_pad, Some(nb as f64));
+        let ts = self.calibration.dma_startup_s * m * m * m / 3.0 / w;
+        let dominant = tc.max(tm).max(ts);
+        let hidden = tc + tm + ts - dominant;
+        let o = self.calibration.overlap.clamp(0.0, 1.0);
+        let tasks = m * (m + 1.0) / 2.0;
+        let overhead = tasks * self.calibration.task_overhead_s / w;
+        dominant + (1.0 - o) * hidden + overhead
+    }
+
+    /// The candidate from `ladder` minimizing [`Self::predict_seconds`]
+    /// (ties break toward the larger side, matching Fig. 13's preference).
+    /// The result never exceeds [`Self::max_block_side`].
+    pub fn predict_from(&self, n: usize, ladder: &[usize]) -> Prediction {
+        let mut best: Option<Prediction> = None;
+        for nb in self.candidates(ladder) {
+            let seconds = self.predict_seconds(n, nb);
+            let better = match best {
+                None => true,
+                Some(b) => seconds < b.seconds || (seconds == b.seconds && nb > b.nb),
+            };
+            if better {
+                best = Some(Prediction { nb, seconds });
+            }
+        }
+        best.expect("candidates are never empty")
+    }
+
+    /// Predicted optimal block side for problem size `n` over the Fig. 13
+    /// ladder.
+    pub fn predicted_nb(&self, n: usize) -> usize {
+        self.predict_from(n, &FIG13_SIDES).nb
+    }
+}
+
+/// Three-coefficient fit of the tuner's curve shape to measured probe
+/// runs, for hosts without a cycle-accurate machine profile.
+///
+/// Measured time is modelled as `t(nb) ≈ (A/nb + B + C·nb) · scale(nb)`
+/// with `scale(nb) = workers / min(workers, ⌈n/nb⌉/3)` the
+/// parallelism-loss factor: `A/nb` captures bandwidth plus per-block
+/// overhead (both scale like `1/nb` at fixed `n`), `B` the
+/// block-size-independent compute floor, and `C·nb` the working-set cost
+/// that grows with block side — the three operand tiles are `3·nb²`
+/// elements, so past the cache size the per-cell miss cost rises roughly
+/// linearly in `nb` and the measured curve turns back up on the large
+/// end. Without that term the fit is monotone in `nb` and a cache-bound
+/// host always "predicts" the biggest legal block. Coefficients come
+/// from least squares over the probes (`C` is dropped when fewer than
+/// three distinct sides were probed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeFit {
+    /// `1/nb` coefficient in second·cells.
+    pub a: f64,
+    /// Constant floor in seconds.
+    pub b: f64,
+    /// `nb` coefficient in seconds per cell (cache-pressure slope).
+    pub c: f64,
+    /// Problem size the probes were measured at.
+    pub n: usize,
+    /// Worker count the probes were measured with.
+    pub workers: usize,
+}
+
+impl ProbeFit {
+    /// Parallelism-loss factor at block side `nb` (≥ 1).
+    fn scale(&self, nb: usize) -> f64 {
+        let p = extensions::parallel_speedup_bound(self.n as f64, nb as f64, self.workers as f64)
+            .max(1.0);
+        self.workers as f64 / p
+    }
+
+    /// Least-squares fit from `(nb, measured_seconds)` probes. Needs at
+    /// least two distinct block sides; returns `None` otherwise or if the
+    /// system is degenerate. With three or more distinct sides the full
+    /// `A/nb + B + C·nb` shape is fitted; with exactly two, `C` is pinned
+    /// to zero (two points cannot see curvature).
+    pub fn fit(n: usize, workers: usize, probes: &[(usize, f64)]) -> Option<Self> {
+        let mut fit = Self {
+            a: 0.0,
+            b: 0.0,
+            c: 0.0,
+            n,
+            workers,
+        };
+        // Divide out the known parallelism factor, then fit
+        // y = A·x + B + C·z with x = 1/nb, z = nb.
+        let pts: Vec<(f64, f64, f64)> = probes
+            .iter()
+            .filter(|&&(nb, t)| nb >= 4 && t.is_finite() && t >= 0.0)
+            .map(|&(nb, t)| (1.0 / nb as f64, nb as f64, t / fit.scale(nb)))
+            .collect();
+        let mut sides: Vec<u64> = pts.iter().map(|p| p.1 as u64).collect();
+        sides.sort_unstable();
+        sides.dedup();
+        if sides.len() < 2 {
+            return None;
+        }
+        let k = pts.len() as f64;
+        let sx: f64 = pts.iter().map(|p| p.0).sum();
+        let sz: f64 = pts.iter().map(|p| p.1).sum();
+        let sy: f64 = pts.iter().map(|p| p.2).sum();
+        let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+        let sxz: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+        let szz: f64 = pts.iter().map(|p| p.1 * p.1).sum();
+        let sxy: f64 = pts.iter().map(|p| p.0 * p.2).sum();
+        let szy: f64 = pts.iter().map(|p| p.1 * p.2).sum();
+        if sides.len() >= 3 {
+            // Normal equations for [A, B, C], solved by Cramer's rule.
+            let m = [[sxx, sx, sxz], [sx, k, sz], [sxz, sz, szz]];
+            let r = [sxy, sy, szy];
+            let det3 = |m: &[[f64; 3]; 3]| {
+                m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+                    - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+                    + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
+            };
+            let d = det3(&m);
+            if d.abs() > 1e-30 {
+                let col = |j: usize| {
+                    let mut mm = m;
+                    for (row, &ri) in mm.iter_mut().zip(&r) {
+                        row[j] = ri;
+                    }
+                    det3(&mm) / d
+                };
+                fit.a = col(0);
+                fit.b = col(1);
+                fit.c = col(2);
+                return Some(fit);
+            }
+        }
+        // Two distinct sides (or a degenerate 3-side system): C = 0.
+        let det = k * sxx - sx * sx;
+        if det.abs() < 1e-30 {
+            return None;
+        }
+        fit.a = (k * sxy - sx * sy) / det;
+        fit.b = (sy * sxx - sx * sxy) / det;
+        Some(fit)
+    }
+
+    /// Predicted seconds at block side `nb`.
+    pub fn predict_seconds(&self, nb: usize) -> f64 {
+        (self.a / nb as f64 + self.b + self.c * nb as f64) * self.scale(nb)
+    }
+
+    /// The candidate from `ladder` minimizing the fitted curve (ties break
+    /// toward the larger side).
+    pub fn predict_from(&self, ladder: &[usize]) -> Prediction {
+        let mut best: Option<Prediction> = None;
+        for &nb in ladder {
+            if nb < 4 {
+                continue;
+            }
+            let seconds = self.predict_seconds(nb);
+            let better = match best {
+                None => true,
+                Some(b) => seconds < b.seconds || (seconds == b.seconds && nb > b.nb),
+            };
+            if better {
+                best = Some(Prediction { nb, seconds });
+            }
+        }
+        best.expect("ladder holds at least one side >= 4")
+    }
+}
+
+/// Whether `predicted` is within one step of `empirical` on `ladder`
+/// (the repro-tune acceptance gate). Sides absent from the ladder fail.
+pub fn within_one_step(ladder: &[usize], predicted: usize, empirical: usize) -> bool {
+    let pi = ladder.iter().position(|&s| s == predicted);
+    let ei = ladder.iter().position(|&s| s == empirical);
+    match (pi, ei) {
+        (Some(p), Some(e)) => p.abs_diff(e) <= 1,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn qs20_sp(workers: usize) -> Tuner {
+        Tuner::new(
+            Machine::qs20(),
+            Kernel::spu_sp(),
+            4,
+            workers,
+            Calibration::from_cell_protocol(4000.0, 450.0, 3.2e9, 0.8),
+        )
+    }
+
+    #[test]
+    fn ladder_respects_local_store_bound() {
+        let t = qs20_sp(16);
+        // √(256 KiB / 24) ≈ 104 → every Fig. 13 side is admissible.
+        assert_eq!(t.candidates(&FIG13_SIDES), FIG13_SIDES.to_vec());
+        // A tiny local store rejects the big sides.
+        let small = Machine {
+            local_store_bytes: 6.0 * 4.0 * 32.0 * 32.0,
+            ..Machine::qs20()
+        };
+        let t = Tuner::new(small, Kernel::spu_sp(), 4, 16, Calibration::ideal());
+        assert_eq!(t.max_block_side(), 32);
+        assert_eq!(t.candidates(&FIG13_SIDES), vec![32, 20, 16, 8, 4]);
+    }
+
+    #[test]
+    fn single_spe_prefers_a_big_aligned_block() {
+        // No parallelism to lose: a big block amortizes DMA issue, but 88
+        // does not divide 4096 (pad to 4136, ≈3% extra work) while 64
+        // does, so padding hands 64 the single-SPE optimum — exactly the
+        // fine structure of the measured Fig. 13 curve.
+        let t = qs20_sp(1);
+        assert_eq!(t.predicted_nb(4096), 64);
+        let a = t.predict_seconds(4096, 64);
+        let b = t.predict_seconds(4096, 8);
+        assert!(a < b, "64 → {a}, 8 → {b}");
+    }
+
+    #[test]
+    fn wide_machine_backs_off_the_block_size() {
+        // On 16 SPEs an 88-wide block both caps parallelism at ⌈n/88⌉/3
+        // and starves the wavefront tail; the tuner must trade block size
+        // for width, stopping above the nb ≤ 8 DMA-startup cliff.
+        let t = qs20_sp(16);
+        for n in [1024usize, 4096] {
+            let p = t.predict_from(n, &FIG13_SIDES);
+            assert!(p.nb < 88, "n = {n} predicted {}", p.nb);
+            assert!(p.nb >= 16, "n = {n} predicted {}", p.nb);
+        }
+    }
+
+    #[test]
+    fn tiny_blocks_are_punished_by_overhead() {
+        let t = qs20_sp(16);
+        let t4 = t.predict_seconds(4096, 4);
+        let t64 = t.predict_seconds(4096, 64);
+        assert!(t4 > 2.0 * t64, "4 → {t4}, 64 → {t64}");
+    }
+
+    #[test]
+    fn probe_fit_recovers_a_planted_curve() {
+        // Plant y = (0.9/nb + 0.05 + 0.002·nb)·scale and check recovery
+        // plus the argmin (the curve bottoms out at an interior side).
+        let n = 1024;
+        let workers = 8;
+        let shape = ProbeFit {
+            a: 0.9,
+            b: 0.05,
+            c: 0.002,
+            n,
+            workers,
+        };
+        let probes: Vec<(usize, f64)> = [8usize, 20, 64]
+            .iter()
+            .map(|&nb| (nb, shape.predict_seconds(nb)))
+            .collect();
+        let fit = ProbeFit::fit(n, workers, &probes).expect("well-posed");
+        assert!((fit.a - 0.9).abs() < 1e-6, "a = {}", fit.a);
+        assert!((fit.b - 0.05).abs() < 1e-6, "b = {}", fit.b);
+        assert!((fit.c - 0.002).abs() < 1e-6, "c = {}", fit.c);
+        let best = fit.predict_from(&FIG13_SIDES);
+        assert_eq!(best.nb, shape.predict_from(&FIG13_SIDES).nb);
+    }
+
+    #[test]
+    fn probe_fit_sees_the_cache_turnaround() {
+        // A measured single-worker host curve (n = 192): mid-size blocks
+        // win, both tiny blocks (overhead) and big blocks (working set
+        // spills the cache) lose. Three probes spanning the ladder must
+        // land the prediction within a step of the true argmin at 16 —
+        // the old two-coefficient fit was monotone in nb and picked 88.
+        let probes = [(64usize, 0.985e-3), (16, 0.473e-3), (4, 1.189e-3)];
+        let fit = ProbeFit::fit(192, 1, &probes).expect("well-posed");
+        assert!(fit.c > 0.0, "cache slope should be positive, got {}", fit.c);
+        let best = fit.predict_from(&FIG13_SIDES);
+        assert!(
+            within_one_step(&FIG13_SIDES, best.nb, 16),
+            "predicted nb = {}",
+            best.nb
+        );
+    }
+
+    #[test]
+    fn probe_fit_with_two_sides_stays_linear() {
+        // Two distinct sides cannot see curvature: C must pin to zero.
+        let fit = ProbeFit::fit(512, 4, &[(16, 0.5), (32, 0.4)]).expect("well-posed");
+        assert_eq!(fit.c, 0.0);
+    }
+
+    #[test]
+    fn probe_fit_rejects_degenerate_input() {
+        assert!(ProbeFit::fit(512, 4, &[(16, 0.5)]).is_none());
+        assert!(ProbeFit::fit(512, 4, &[(16, 0.5), (16, 0.6)]).is_none());
+        assert!(ProbeFit::fit(512, 4, &[(16, f64::NAN), (32, 0.4)]).is_none());
+    }
+
+    #[test]
+    fn one_step_gate() {
+        assert!(within_one_step(&FIG13_SIDES, 64, 88));
+        assert!(within_one_step(&FIG13_SIDES, 64, 64));
+        assert!(within_one_step(&FIG13_SIDES, 64, 44));
+        assert!(!within_one_step(&FIG13_SIDES, 64, 32));
+        assert!(!within_one_step(&FIG13_SIDES, 60, 64));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn predicted_nb_never_exceeds_the_ls_bound(
+            ls_kib in 2usize..512,
+            workers in 1usize..32,
+            n in 64usize..8192,
+        ) {
+            // The six-buffer local-store bound (paper §III/§V) must hold
+            // for every machine shape, including stores too small for any
+            // ladder entry.
+            let machine = Machine {
+                local_store_bytes: (ls_kib * 1024) as f64,
+                ..Machine::qs20()
+            };
+            let t = Tuner::new(
+                machine,
+                Kernel::spu_sp(),
+                4,
+                workers,
+                Calibration::from_cell_protocol(4000.0, 450.0, 3.2e9, 0.8),
+            );
+            let nb = t.predicted_nb(n);
+            prop_assert!(nb <= t.max_block_side());
+            prop_assert!(nb >= 4 && nb.is_multiple_of(4));
+            let p = t.model.max_block_side();
+            prop_assert!((nb as f64) <= p.max(4.0));
+        }
+
+        #[test]
+        fn prediction_is_positive_and_finite(
+            workers in 1usize..32,
+            n in 16usize..16384,
+            nb_idx in 0usize..FIG13_SIDES.len(),
+        ) {
+            let t = qs20_sp(workers.min(16));
+            let s = t.predict_seconds(n, FIG13_SIDES[nb_idx]);
+            prop_assert!(s.is_finite() && s > 0.0);
+        }
+    }
+}

@@ -14,6 +14,8 @@
 //!   dual-issue timing, DMA/EIB model, QS20 machine model).
 //! * [`cachesim`] (`cache-sim`) — LLC traffic measurement (Fig. 9b).
 //! * [`model`] (`perf-model`) — the §V analytical performance model.
+//! * [`tune`] (`npdp-tune`) — the model-driven block-size autotuner
+//!   behind [`core::Engine::solve_autotuned`].
 //! * [`metrics`] (`npdp-metrics`) — counters, scoped timers and the
 //!   `BENCH_*.json` report emitter threaded through all of the above.
 //! * [`trace`] (`npdp-trace`) — per-track event timelines, Chrome-trace
@@ -40,6 +42,7 @@ pub use npdp_core as core;
 pub use npdp_fault as fault;
 pub use npdp_metrics as metrics;
 pub use npdp_trace as trace;
+pub use npdp_tune as tune;
 pub use perf_model as model;
 pub use simd_kernel as simd;
 pub use task_queue as tasks;
@@ -55,4 +58,5 @@ pub mod prelude {
     pub use npdp_fault::{FaultInjector, FaultKind, FaultPlan, RetryPolicy};
     pub use npdp_metrics::{Metrics, MetricsSink, Recorder, Report};
     pub use npdp_trace::Tracer;
+    pub use npdp_tune::{Calibration, ProbeFit, Tuner, FIG13_SIDES};
 }

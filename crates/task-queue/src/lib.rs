@@ -40,11 +40,13 @@
 //! ```
 
 pub mod graph;
+pub mod locality;
 pub mod pool;
 pub mod stealing;
 pub mod triangle;
 
 pub use graph::TaskGraph;
+pub use locality::{execute_locality, try_execute_locality_faulted};
 pub use pool::{
     execute, execute_instrumented, execute_metered, execute_sequential, execute_with_stats,
     try_execute, try_execute_faulted, ExecError, ExecStats,
@@ -53,4 +55,6 @@ pub use stealing::{
     execute_stealing, execute_stealing_instrumented, execute_stealing_metered,
     try_execute_stealing, try_execute_stealing_faulted,
 };
-pub use triangle::{scheduling_grid, triangle_graph, SchedulingGrid, TriangleGrid};
+pub use triangle::{
+    diagonal_batched_grid, scheduling_grid, triangle_graph, SchedulingGrid, TriangleGrid,
+};

@@ -1,0 +1,404 @@
+//! Locality-aware executor — the scheduling half of the diagonal-batched
+//! discipline (see [`crate::triangle::diagonal_batched_grid`]).
+//!
+//! Structurally this is the work-stealing executor (per-worker LIFO deques,
+//! a global injector, round-robin stealing) with one policy change: when a
+//! finishing task readies successors, the *first* stays on the finishing
+//! worker's own deque — that worker just wrote the `(i,k)`/`(k,j)` operand
+//! blocks the successor reads, so its caches are hot — while any further
+//! ready successors are published to the global injector for idle workers to
+//! pick up without deque contention. The executor tracks which worker made
+//! each task ready and reports the affinity outcome as
+//! `queue.affinity_hits` / `queue.affinity_misses` (a miss means the task
+//! ran on a worker other than the one that produced its operands — an
+//! injector pickup or a steal).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use crossbeam::utils::Backoff;
+use npdp_fault::{site2, FaultInjector, FaultKind, RetryPolicy};
+use npdp_metrics::Metrics;
+use npdp_trace::{EventKind, Tracer, TrackDesc};
+
+use crate::graph::TaskGraph;
+use crate::pool::{panic_message, ExecError, ExecStats};
+
+/// No worker recorded yet (roots, or tasks not yet ready).
+const NO_WORKER: u32 = u32::MAX;
+
+/// Execute `graph` on `workers` threads with the locality-aware discipline.
+/// Semantics identical to [`crate::pool::execute`].
+pub fn execute_locality<F>(graph: &TaskGraph, workers: usize, task: F) -> ExecStats
+where
+    F: Fn(usize) + Sync,
+{
+    match try_execute_locality_faulted(
+        graph,
+        workers,
+        &Metrics::noop(),
+        &Tracer::noop(),
+        &FaultInjector::noop(),
+        RetryPolicy::DEFAULT,
+        task,
+    ) {
+        Ok(stats) => stats,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// The fault-tolerant core of the locality-aware executor; panic-isolation,
+/// retry-budget and abort semantics are identical to
+/// [`crate::stealing::try_execute_stealing_faulted`]. Emits the stealing
+/// executor's `queue.*` counters plus `queue.affinity_hits` /
+/// `queue.affinity_misses`.
+pub fn try_execute_locality_faulted<F>(
+    graph: &TaskGraph,
+    workers: usize,
+    metrics: &Metrics,
+    tracer: &Tracer,
+    faults: &FaultInjector,
+    retry: RetryPolicy,
+    task: F,
+) -> Result<ExecStats, ExecError>
+where
+    F: Fn(usize) + Sync,
+{
+    assert!(workers >= 1);
+    assert!(
+        retry.max_attempts >= 1,
+        "retry budget must allow one attempt"
+    );
+    let n = graph.len();
+    if n == 0 {
+        return Ok(ExecStats {
+            tasks_per_worker: vec![0; workers],
+        });
+    }
+    debug_assert!(graph.topological_order().is_some(), "cyclic task graph");
+
+    let pending: Vec<AtomicU32> = (0..n)
+        .map(|t| AtomicU32::new(graph.pred_count(t)))
+        .collect();
+    let attempts: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    // Worker whose completion made each task ready (its operand producer).
+    let ready_by: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NO_WORKER)).collect();
+    let aborted = AtomicBool::new(false);
+    let failure: Mutex<Option<ExecError>> = Mutex::new(None);
+    let remaining = AtomicUsize::new(n);
+    let injector: Injector<u32> = Injector::new();
+    for t in graph.roots() {
+        injector.push(t as u32);
+    }
+    let locals: Vec<Worker<u32>> = (0..workers).map(|_| Worker::new_lifo()).collect();
+    let stealers: Vec<Stealer<u32>> = locals.iter().map(Worker::stealer).collect();
+    let counts: Vec<AtomicUsize> = (0..workers).map(|_| AtomicUsize::new(0)).collect();
+    let tracks: Vec<_> = (0..workers)
+        .map(|w| tracer.register(TrackDesc::worker(format!("worker {w}"), w as u32)))
+        .collect();
+
+    std::thread::scope(|scope| {
+        for (w, local) in locals.into_iter().enumerate() {
+            let pending = &pending;
+            let attempts = &attempts;
+            let ready_by = &ready_by;
+            let aborted = &aborted;
+            let failure = &failure;
+            let remaining = &remaining;
+            let injector = &injector;
+            let stealers = &stealers;
+            let task = &task;
+            let counts = &counts;
+            let track = tracks[w];
+            scope.spawn(move || {
+                let _bind = tracer.bind_thread(track);
+                let backoff = Backoff::new();
+                let mut idle_ns: u64 = 0;
+                loop {
+                    if aborted.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let next = local.pop().or_else(|| 'search: loop {
+                        let mut contended = false;
+                        match injector.steal_batch_and_pop(&local) {
+                            Steal::Success(t) => {
+                                metrics.add("queue.injector_steals", 1);
+                                break 'search Some(t);
+                            }
+                            Steal::Retry => contended = true,
+                            Steal::Empty => {}
+                        }
+                        for (i, stealer) in stealers.iter().enumerate() {
+                            if i == w {
+                                continue;
+                            }
+                            match stealer.steal() {
+                                Steal::Success(t) => {
+                                    metrics.add("queue.steals", 1);
+                                    tracer.instant(track, EventKind::Steal { task: t });
+                                    break 'search Some(t);
+                                }
+                                Steal::Retry => contended = true,
+                                Steal::Empty => {}
+                            }
+                        }
+                        if !contended {
+                            break 'search None;
+                        }
+                    });
+                    match next {
+                        Some(t) => {
+                            backoff.reset();
+                            let producer = ready_by[t as usize].load(Ordering::Relaxed);
+                            if producer != NO_WORKER {
+                                if producer == w as u32 {
+                                    metrics.add("queue.affinity_hits", 1);
+                                } else {
+                                    metrics.add("queue.affinity_misses", 1);
+                                }
+                            }
+                            let attempt = attempts[t as usize].load(Ordering::Relaxed);
+                            tracer.begin(track, EventKind::Task { id: t });
+                            // Injected panics fire before the body touches
+                            // anything, so retrying them is side-effect free.
+                            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                if faults.should_inject(
+                                    FaultKind::TaskPanic,
+                                    site2(t as u64, attempt as u64),
+                                ) {
+                                    panic!("injected task panic");
+                                }
+                                task(t as usize)
+                            }));
+                            tracer.end(track, EventKind::Task { id: t });
+                            match outcome {
+                                Ok(()) => {
+                                    counts[w].fetch_add(1, Ordering::Relaxed);
+                                    metrics.add("queue.tasks_executed", 1);
+                                    let mut kept_local = false;
+                                    for &s in graph.successors(t as usize) {
+                                        if pending[s as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                            ready_by[s as usize].store(w as u32, Ordering::Relaxed);
+                                            // First ready successor inherits
+                                            // the hot operands; the rest go
+                                            // global for idle workers.
+                                            if kept_local {
+                                                injector.push(s);
+                                            } else {
+                                                kept_local = true;
+                                                local.push(s);
+                                            }
+                                            metrics.add("queue.ready_pushes", 1);
+                                        }
+                                    }
+                                    remaining.fetch_sub(1, Ordering::Release);
+                                }
+                                Err(payload) => {
+                                    faults.count_task_panic();
+                                    metrics.add("queue.task_panics", 1);
+                                    tracer.instant(
+                                        track,
+                                        EventKind::Fault {
+                                            code: FaultKind::TaskPanic.code(),
+                                        },
+                                    );
+                                    let made =
+                                        attempts[t as usize].fetch_add(1, Ordering::Relaxed) + 1;
+                                    if made < retry.max_attempts {
+                                        metrics.add("queue.task_retries", 1);
+                                        local.push(t);
+                                    } else {
+                                        *failure.lock().unwrap() = Some(ExecError::TaskPanicked {
+                                            task: t as usize,
+                                            attempts: made,
+                                            message: panic_message(payload),
+                                        });
+                                        aborted.store(true, Ordering::Release);
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        None => {
+                            if remaining.load(Ordering::Acquire) == 0 {
+                                break;
+                            }
+                            if metrics.enabled() || tracer.enabled() {
+                                tracer.begin(track, EventKind::Idle);
+                                let start = Instant::now();
+                                backoff.snooze();
+                                idle_ns += start.elapsed().as_nanos() as u64;
+                                tracer.end(track, EventKind::Idle);
+                            } else {
+                                backoff.snooze();
+                            }
+                        }
+                    }
+                }
+                if idle_ns > 0 {
+                    metrics.add("queue.worker_idle_ns", idle_ns);
+                }
+            });
+        }
+    });
+
+    if let Some(err) = failure.into_inner().unwrap() {
+        return Err(err);
+    }
+    Ok(ExecStats {
+        tasks_per_worker: counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triangle::{diagonal_batched_grid, triangle_graph};
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn executes_every_task_once() {
+        let g = triangle_graph(10);
+        let hits: Vec<AtomicU32> = (0..g.len()).map(|_| AtomicU32::new(0)).collect();
+        let stats = execute_locality(&g, 4, |t| {
+            hits[t].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+        assert_eq!(stats.tasks_per_worker.iter().sum::<usize>(), g.len());
+    }
+
+    #[test]
+    fn respects_dependences() {
+        let mut g = TaskGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        let done: Vec<AtomicBool> = (0..4).map(|_| AtomicBool::new(false)).collect();
+        execute_locality(&g, 4, |t| {
+            match t {
+                1 | 2 => assert!(done[0].load(Ordering::SeqCst)),
+                3 => {
+                    assert!(done[1].load(Ordering::SeqCst));
+                    assert!(done[2].load(Ordering::SeqCst));
+                }
+                _ => {}
+            }
+            done[t].store(true, Ordering::SeqCst);
+        });
+    }
+
+    #[test]
+    fn single_worker_serial_and_all_hits() {
+        let g = triangle_graph(6);
+        let (metrics, recorder) = Metrics::recording();
+        let stats = try_execute_locality_faulted(
+            &g,
+            1,
+            &metrics,
+            &Tracer::noop(),
+            &FaultInjector::noop(),
+            RetryPolicy::DEFAULT,
+            |_| {},
+        )
+        .unwrap();
+        assert_eq!(stats.tasks_per_worker, vec![21]);
+        // One worker produces every operand itself: every non-root task is
+        // an affinity hit.
+        let roots = g.roots().count();
+        assert_eq!(
+            recorder.get("queue.affinity_hits"),
+            (g.len() - roots) as u64
+        );
+        assert_eq!(recorder.get("queue.affinity_misses"), 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = TaskGraph::new(0);
+        execute_locality(&g, 3, |_| panic!("nothing to run"));
+    }
+
+    #[test]
+    fn affinity_counters_partition_non_roots() {
+        let g = triangle_graph(12);
+        let (metrics, recorder) = Metrics::recording();
+        try_execute_locality_faulted(
+            &g,
+            4,
+            &metrics,
+            &Tracer::noop(),
+            &FaultInjector::noop(),
+            RetryPolicy::DEFAULT,
+            |_| std::thread::yield_now(),
+        )
+        .unwrap();
+        let roots = g.roots().count() as u64;
+        assert_eq!(
+            recorder.get("queue.affinity_hits") + recorder.get("queue.affinity_misses"),
+            g.len() as u64 - roots
+        );
+        assert_eq!(recorder.get("queue.tasks_executed"), g.len() as u64);
+    }
+
+    #[test]
+    fn runs_the_batched_grid() {
+        let sg = diagonal_batched_grid(10, 1, 4);
+        let hits: Vec<AtomicU32> = (0..sg.graph.len()).map(|_| AtomicU32::new(0)).collect();
+        execute_locality(&sg.graph, 4, |t| {
+            hits[t].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn panicking_task_errors_instead_of_hanging() {
+        let g = triangle_graph(5);
+        let err = try_execute_locality_faulted(
+            &g,
+            4,
+            &Metrics::noop(),
+            &Tracer::noop(),
+            &FaultInjector::noop(),
+            RetryPolicy::DEFAULT,
+            |t| {
+                if t == 7 {
+                    panic!("boom in task 7");
+                }
+            },
+        )
+        .unwrap_err();
+        let ExecError::TaskPanicked { task, attempts, .. } = err;
+        assert_eq!(task, 7);
+        assert_eq!(attempts, RetryPolicy::DEFAULT.max_attempts);
+    }
+
+    #[test]
+    fn injected_panics_recovered_by_retry() {
+        let g = triangle_graph(6);
+        let faults = FaultInjector::new(
+            npdp_fault::FaultPlan::seeded(17).with_rate(FaultKind::TaskPanic, 0.4),
+        );
+        let hits: Vec<AtomicU32> = (0..g.len()).map(|_| AtomicU32::new(0)).collect();
+        try_execute_locality_faulted(
+            &g,
+            4,
+            &Metrics::noop(),
+            &Tracer::noop(),
+            &faults,
+            RetryPolicy {
+                max_attempts: 16,
+                base_backoff: 1,
+            },
+            |t| {
+                hits[t].fetch_add(1, Ordering::SeqCst);
+            },
+        )
+        .unwrap();
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+        assert!(faults.injected(FaultKind::TaskPanic) > 0);
+    }
+}

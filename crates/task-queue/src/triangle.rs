@@ -141,6 +141,97 @@ pub fn scheduling_grid(m: usize, sb: usize) -> SchedulingGrid {
     }
 }
 
+/// [`scheduling_grid`] with the trailing small diagonals merged into a single
+/// batch task.
+///
+/// The wavefront shrinks by one task per coarse diagonal, so the final
+/// diagonals carry fewer tasks than there are workers: each pays full
+/// dispatch overhead to keep at most a couple of SPEs busy (the analyzer's
+/// "apex tail" in Fig. 12–13). Every coarse diagonal `d` with fewer than
+/// `min_parallel` tasks — i.e. `d > cm - min_parallel` — is folded into one
+/// trailing batch task whose members are concatenated in ascending-diagonal
+/// order. That order is dependence-safe: a task's predecessors live on the
+/// previous diagonal (merged ⇒ earlier in the batch) or on a kept diagonal
+/// (⇒ an external edge into the batch). Diagonal 0 is never merged, so the
+/// wide start of the wavefront keeps its parallelism.
+///
+/// `min_parallel <= 1` (or a triangle too small to have a tail) degenerates
+/// to the plain [`scheduling_grid`].
+pub fn diagonal_batched_grid(m: usize, sb: usize, min_parallel: usize) -> SchedulingGrid {
+    let base = scheduling_grid(m, sb);
+    let cm = base.coarse_side;
+    // First merged diagonal: the earliest d >= 1 whose task count cm - d is
+    // below min_parallel. At least two tasks must merge for the batch to
+    // change anything.
+    let d0 = (cm.saturating_sub(min_parallel.saturating_sub(1))).max(1);
+    if cm < 2 || d0 >= cm || cm - d0 < 2 {
+        return base;
+    }
+
+    let coarse = TriangleGrid::new(cm);
+    // Kept coarse tasks keep their dense ids' relative order; the batch task
+    // goes last.
+    let mut kept_id = vec![usize::MAX; coarse.len()];
+    let mut next = 0usize;
+    for (cr, cc) in coarse.iter() {
+        if cc - cr < d0 {
+            kept_id[coarse.id(cr, cc)] = next;
+            next += 1;
+        }
+    }
+    let batch = next;
+    let mut graph = TaskGraph::new(batch + 1);
+    let mut members = vec![Vec::new(); batch + 1];
+    let mut batch_preds: Vec<usize> = Vec::new();
+
+    for (cr, cc) in coarse.iter() {
+        let src = coarse.id(cr, cc);
+        if cc - cr < d0 {
+            members[kept_id[src]] = base.members[src].clone();
+        }
+    }
+    // Batch members by ascending diagonal, then by row — dependence-safe.
+    for d in d0..cm {
+        for cr in 0..cm - d {
+            let src = coarse.id(cr, cr + d);
+            members[batch].extend_from_slice(&base.members[src]);
+        }
+    }
+    // Edges: the left/below rule among kept tasks; edges from kept tasks into
+    // the batch are deduplicated.
+    for (cr, cc) in coarse.iter() {
+        let dst = coarse.id(cr, cc);
+        let mut edge = |pred_rc: (usize, usize)| {
+            let pred = coarse.id(pred_rc.0, pred_rc.1);
+            match (kept_id[pred], kept_id[dst]) {
+                (p, d2) if p != usize::MAX && d2 != usize::MAX => graph.add_edge(p, d2),
+                (p, _) if p != usize::MAX => batch_preds.push(p),
+                // pred merged ⇒ dst merged too (diagonals only grow): the
+                // dependence is internal to the batch's member order.
+                _ => {}
+            }
+        };
+        if cc > cr {
+            edge((cr, cc - 1));
+        }
+        if cr < cc && cr + 1 < cm {
+            edge((cr + 1, cc));
+        }
+    }
+    batch_preds.sort_unstable();
+    batch_preds.dedup();
+    for p in batch_preds {
+        graph.add_edge(p, batch);
+    }
+
+    SchedulingGrid {
+        graph,
+        members,
+        coarse_side: cm,
+        sb,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,5 +364,85 @@ mod tests {
         let sg = scheduling_grid(5, 100);
         assert_eq!(sg.graph.len(), 1);
         assert_eq!(sg.members[0].len(), 15);
+    }
+
+    #[test]
+    fn batched_grid_covers_all_blocks_once() {
+        for (m, sb, mp) in [(8, 1, 4), (9, 2, 3), (16, 2, 8), (7, 1, 16), (12, 3, 2)] {
+            let sg = diagonal_batched_grid(m, sb, mp);
+            let grid = TriangleGrid::new(m);
+            let mut seen = vec![false; grid.len()];
+            for task in &sg.members {
+                for &(r, c) in task {
+                    let id = grid.id(r, c);
+                    assert!(!seen[id], "block ({r},{c}) in two tasks (m={m} sb={sb})");
+                    seen[id] = true;
+                }
+            }
+            assert!(seen.into_iter().all(|s| s), "m={m} sb={sb} mp={mp}");
+            assert_eq!(sg.members.len(), sg.graph.len());
+        }
+    }
+
+    #[test]
+    fn batched_grid_merges_exactly_the_starved_diagonals() {
+        // m=8, sb=1, min_parallel=4: diagonals 5..=7 have 3, 2, 1 tasks —
+        // 6 coarse tasks fold into one batch; diagonals 0..=4 (30 tasks)
+        // stay individual.
+        let sg = diagonal_batched_grid(8, 1, 4);
+        assert_eq!(sg.graph.len(), 30 + 1);
+        let batch = &sg.members[30];
+        assert_eq!(batch.len(), 6);
+        // Ascending diagonal order inside the batch.
+        let diags: Vec<usize> = batch.iter().map(|&(r, c)| c - r).collect();
+        let mut sorted = diags.clone();
+        sorted.sort_unstable();
+        assert_eq!(diags, sorted);
+        assert_eq!(diags, vec![5, 5, 5, 6, 6, 7]);
+    }
+
+    #[test]
+    fn batched_grid_member_order_is_dependence_safe() {
+        // Replaying members in task order within each task, and tasks in a
+        // topological order, must always see both block predecessors done.
+        for (m, sb, mp) in [(10, 1, 4), (9, 2, 3), (13, 3, 5)] {
+            let sg = diagonal_batched_grid(m, sb, mp);
+            let order = sg.graph.topological_order().expect("acyclic");
+            let grid = TriangleGrid::new(m);
+            let mut done = vec![false; grid.len()];
+            for t in order {
+                for &(r, c) in &sg.members[t] {
+                    if c > r {
+                        assert!(done[grid.id(r, c - 1)], "({r},{c}) before left");
+                    }
+                    if r < c && r + 1 < m {
+                        assert!(done[grid.id(r + 1, c)], "({r},{c}) before below");
+                    }
+                    done[grid.id(r, c)] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_grid_degenerates_without_a_tail() {
+        // min_parallel <= 1 never merges; tiny triangles have no tail to
+        // merge either.
+        let plain = scheduling_grid(6, 1);
+        let sg = diagonal_batched_grid(6, 1, 1);
+        assert_eq!(sg.graph.len(), plain.graph.len());
+        assert_eq!(sg.graph.edge_count(), plain.graph.edge_count());
+        let tiny = diagonal_batched_grid(2, 1, 8);
+        assert_eq!(tiny.graph.len(), scheduling_grid(2, 1).graph.len());
+    }
+
+    #[test]
+    fn batched_grid_keeps_diagonal_zero_parallel() {
+        // Even with an absurd min_parallel, the diagonal-0 roots stay
+        // individual tasks so the wavefront can fan out.
+        let sg = diagonal_batched_grid(8, 1, 64);
+        assert_eq!(sg.graph.roots().count(), 8);
+        assert_eq!(sg.graph.len(), 8 + 1);
+        assert_eq!(sg.members[8].len(), 36 - 8);
     }
 }

@@ -80,12 +80,15 @@ proptest! {
         workers in 1usize..5,
         fault_seed in any::<u64>(),
         rate in 0.0f64..0.5,
-        stealing in any::<bool>(),
+        sched in prop_oneof![
+            Just(Scheduler::CentralQueue),
+            Just(Scheduler::WorkStealing),
+            Just(Scheduler::LocalityBatched),
+        ],
     ) {
         quiet_injected_panics();
         let seeds = problem::random_seeds_f32(n, 100.0, n as u64);
         let reference = SerialEngine.solve(&seeds);
-        let sched = if stealing { Scheduler::WorkStealing } else { Scheduler::CentralQueue };
         let faults = FaultInjector::new(
             FaultPlan::seeded(fault_seed).with_rate(FaultKind::TaskPanic, rate),
         );
