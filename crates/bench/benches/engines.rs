@@ -4,8 +4,8 @@
 use baselines::TanEngine;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use npdp_core::{
-    problem, BlockedEngine, Engine, ParallelEngine, SerialEngine, SimdEngine, TiledEngine,
-    WavefrontEngine,
+    problem, BlockedEngine, Engine, ExecContext, ParallelEngine, SerialEngine, SimdEngine,
+    TiledEngine, WavefrontEngine,
 };
 use npdp_fault::{FaultInjector, FaultKind, FaultPlan, RetryPolicy};
 use npdp_metrics::Metrics;
@@ -39,7 +39,22 @@ fn bench_engines(c: &mut Criterion) {
     }
     g.finish();
 
-    // Metrics-layer overhead: plain solve vs solve_metered with the
+    // The generic entry point with everything disabled: one seed-validation
+    // pass plus untaken branches. Must stay within noise of plain `solve`
+    // (<2%) — this is the contract that let the `solve_*` variant zoo
+    // collapse into `solve_with`.
+    let mut g = c.benchmark_group("exec_context_overhead_n512_f32");
+    g.throughput(Throughput::Elements(relax));
+    g.sample_size(10);
+    let par = ParallelEngine::new(64, 2, workers);
+    g.bench_function("plain", |b| b.iter(|| par.solve(&seeds)));
+    g.bench_function("solve_with_disabled", |b| {
+        let ctx = ExecContext::disabled();
+        b.iter(|| par.solve_with(&seeds, &ctx).unwrap())
+    });
+    g.finish();
+
+    // Metrics-layer overhead: plain solve vs solve_with carrying the
     // disabled (no-op) handle vs a live recorder. The no-op path must stay
     // within noise of plain (<2% — one untaken branch per event).
     let mut g = c.benchmark_group("metrics_overhead_n512_f32");
@@ -48,12 +63,13 @@ fn bench_engines(c: &mut Criterion) {
     let par = ParallelEngine::new(64, 2, workers);
     g.bench_function("plain", |b| b.iter(|| par.solve(&seeds)));
     g.bench_function("metered_noop", |b| {
-        let m = Metrics::noop();
-        b.iter(|| par.solve_metered(&seeds, &m))
+        let ctx = ExecContext::disabled().with_metrics(&Metrics::noop());
+        b.iter(|| par.solve_with(&seeds, &ctx).unwrap())
     });
     g.bench_function("metered_recording", |b| {
         let (m, _rec) = Metrics::recording();
-        b.iter(|| par.solve_metered(&seeds, &m))
+        let ctx = ExecContext::disabled().with_metrics(&m);
+        b.iter(|| par.solve_with(&seeds, &ctx).unwrap())
     });
     g.finish();
 
@@ -65,39 +81,37 @@ fn bench_engines(c: &mut Criterion) {
     g.throughput(Throughput::Elements(relax));
     g.sample_size(10);
     let par = ParallelEngine::new(64, 2, workers);
-    let metrics = Metrics::noop();
     g.bench_function("plain", |b| b.iter(|| par.solve(&seeds)));
     g.bench_function("traced_noop", |b| {
-        let t = Tracer::noop();
-        b.iter(|| par.solve_traced(&seeds, &metrics, &t))
+        let ctx = ExecContext::disabled().with_tracer(&Tracer::noop());
+        b.iter(|| par.solve_with(&seeds, &ctx).unwrap())
     });
     g.bench_function("traced_recording", |b| {
         b.iter(|| {
             let t = Tracer::new();
-            par.solve_traced(&seeds, &metrics, &t)
+            let ctx = ExecContext::disabled().with_tracer(&t);
+            par.solve_with(&seeds, &ctx).unwrap()
         })
     });
     g.finish();
 
-    // Fault-layer overhead: plain solve vs the fault-tolerant entry point
-    // with a disabled injector vs a live low-rate plan. The disabled path
-    // costs one untaken branch per would-be injection site and must stay
-    // within noise of plain (<2%), same contract as the metrics and trace
-    // layers; the live plan pays site hashing plus recovery and is reported
-    // for reference.
+    // Fault-layer overhead: plain solve vs the generic entry point with a
+    // disabled injector vs a live low-rate plan. The disabled path costs
+    // one untaken branch per would-be injection site and must stay within
+    // noise of plain (<2%), same contract as the metrics and trace layers;
+    // the live plan pays site hashing plus recovery and is reported for
+    // reference.
     let mut g = c.benchmark_group("fault_overhead_n512_f32");
     g.throughput(Throughput::Elements(relax));
     g.sample_size(10);
     let par = ParallelEngine::new(64, 2, workers);
-    let metrics = Metrics::noop();
-    let tracer = Tracer::noop();
     g.bench_function("plain", |b| b.iter(|| par.solve(&seeds)));
     g.bench_function("faulted_noop", |b| {
         let f = FaultInjector::noop();
-        b.iter(|| {
-            par.try_solve_with_stats_faulted(&seeds, &metrics, &tracer, &f, RetryPolicy::DEFAULT)
-                .unwrap()
-        })
+        let ctx = ExecContext::disabled()
+            .with_faults(&f)
+            .with_retry(RetryPolicy::DEFAULT);
+        b.iter(|| par.solve_with(&seeds, &ctx).unwrap())
     });
     g.bench_function("faulted_low_rate", |b| {
         let f = FaultInjector::new(FaultPlan::seeded(42).with_rate(FaultKind::TaskPanic, 0.01));
@@ -105,10 +119,8 @@ fn bench_engines(c: &mut Criterion) {
             max_attempts: 16,
             base_backoff: 64,
         };
-        b.iter(|| {
-            par.try_solve_with_stats_faulted(&seeds, &metrics, &tracer, &f, retry)
-                .unwrap()
-        })
+        let ctx = ExecContext::disabled().with_faults(&f).with_retry(retry);
+        b.iter(|| par.solve_with(&seeds, &ctx).unwrap())
     });
     g.finish();
 

@@ -3,16 +3,16 @@
 //! trade-off), ready-queue discipline (PPE central queue vs work stealing),
 //! and the simplified dependence graph vs barriers.
 
-use bench::{header, host_workers, json_out, time_engine, write_report, Report};
-use cell_sim::machine::{
-    simulate_cellnpdp, simulate_cellnpdp_with_policy, CellConfig, QueuePolicy,
-};
+use bench::{header, host_workers, time_engine, write_report, Cli, ExecContext, Report};
+use cell_sim::machine::{simulate, CellConfig, QueuePolicy, SimSpec};
 use cell_sim::ppe::Precision;
 use npdp_core::{problem, ParallelEngine, Scheduler, WavefrontEngine};
 use npdp_metrics::json::Value;
 
 fn main() {
-    let json = json_out();
+    let cli = Cli::parse();
+    let json = cli.json;
+    let ctx = ExecContext::disabled();
     header(
         "Ablations",
         "scheduling-block size, queue discipline, barriers vs task queue",
@@ -31,7 +31,7 @@ fn main() {
         "sb", "tasks", "seconds", "imbalance"
     );
     for sb in [1usize, 2, 3, 4, 6, 8] {
-        let r = simulate_cellnpdp(&cfg, 4096, nb, sb, prec, 16);
+        let r = simulate(&cfg, &SimSpec::cellnpdp(4096, nb, sb, prec, 16), &ctx);
         let m = (4096usize).div_ceil(nb);
         let cm = m.div_ceil(sb);
         let tasks = cm * (cm + 1) / 2;
@@ -63,7 +63,7 @@ fn main() {
     println!("same sweep with 16-cell blocks and a 31 µs/task PPE round trip:");
     println!("{:<6} {:>9} {:>12}", "sb", "tasks", "seconds");
     for sb in [1usize, 2, 4, 8, 16, 32] {
-        let r = simulate_cellnpdp(&slow_ppe, 4096, 16, sb, prec, 16);
+        let r = simulate(&slow_ppe, &SimSpec::cellnpdp(4096, 16, sb, prec, 16), &ctx);
         let m = (4096usize).div_ceil(16);
         let cm = m.div_ceil(sb);
         let tasks = cm * (cm + 1) / 2;
@@ -83,10 +83,14 @@ fn main() {
 
     // --- Ready-queue policy near the critical-path bound ---
     println!("ready-queue policy on the simulated QS20 (n = 4096 SP, 16 SPEs):");
-    let fifo = simulate_cellnpdp_with_policy(&cfg, 4096, nb, 1, prec, 16, QueuePolicy::Fifo);
-    let cpf =
-        simulate_cellnpdp_with_policy(&cfg, 4096, nb, 1, prec, 16, QueuePolicy::CriticalPathFirst);
-    let t1 = simulate_cellnpdp(&cfg, 4096, nb, 1, prec, 1).seconds;
+    let spec = SimSpec::cellnpdp(4096, nb, 1, prec, 16);
+    let fifo = simulate(&cfg, &spec.with_policy(QueuePolicy::Fifo), &ctx);
+    let cpf = simulate(
+        &cfg,
+        &spec.with_policy(QueuePolicy::CriticalPathFirst),
+        &ctx,
+    );
+    let t1 = simulate(&cfg, &SimSpec::cellnpdp(4096, nb, 1, prec, 1), &ctx).seconds;
     println!(
         "  FIFO (paper):             {:.3}s  ({:.1}× vs 1 SPE)",
         fifo.seconds,

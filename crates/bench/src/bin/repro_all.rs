@@ -12,7 +12,7 @@
 
 use std::process::Command;
 
-use bench::{json_out, trace_out};
+use bench::{gate_fail, Cli};
 
 /// Binaries that understand `--trace <path>`.
 const TRACEABLE: &[&str] = &["repro-table3", "repro-fig10b", "repro-fig11b"];
@@ -36,12 +36,11 @@ const BINARIES: &[&str] = &[
 ];
 
 fn main() {
-    let json_dir = json_out();
-    let trace_dir = trace_out();
+    let cli = Cli::parse();
+    let (json_dir, trace_dir) = (cli.json, cli.trace);
     for dir in json_dir.iter().chain(trace_dir.iter()) {
         if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("error: cannot create {}: {e}", dir.display());
-            std::process::exit(1);
+            gate_fail(&format!("cannot create {}: {e}", dir.display()));
         }
     }
     let exe = std::env::current_exe().expect("own path");
@@ -75,8 +74,7 @@ fn main() {
         }
     }
     if !failures.is_empty() {
-        eprintln!("\nFAILED: {failures:?}");
-        std::process::exit(1);
+        gate_fail(&format!("{failures:?}"));
     }
     println!("\nall experiments regenerated ✓");
 }

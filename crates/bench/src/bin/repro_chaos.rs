@@ -22,11 +22,11 @@
 use std::collections::BTreeMap;
 
 use bench::{
-    fault_args, header, host_workers, json_out, repro_small, write_report, FaultInjector,
-    FaultPlan, Metrics, Report, RetryPolicy, Tracer,
+    gate_fail, header, host_workers, write_report, Cli, ExecContext, FaultInjector, FaultPlan,
+    Report, RetryPolicy,
 };
-use cell_sim::machine::{simulate_cellnpdp_faulted, CellConfig, QueuePolicy};
-use cell_sim::multi_spe::functional_cellnpdp_multi_spe_faulted;
+use cell_sim::machine::{simulate, CellConfig, SimSpec};
+use cell_sim::multi_spe::functional_cellnpdp_multi_spe_with;
 use cell_sim::ppe::Precision;
 use npdp_core::{problem, Engine, ParallelEngine, Scheduler, SerialEngine, SolveError};
 
@@ -44,8 +44,9 @@ fn main() {
         }
     }));
 
-    let json = json_out();
-    let fa = fault_args();
+    let cli = Cli::parse();
+    let json = cli.json;
+    let fa = cli.faults;
     header(
         "Chaos",
         "fault-injection sweep over every fault-tolerant execution path",
@@ -58,11 +59,7 @@ fn main() {
         max_attempts: 16,
         base_backoff: 64,
     };
-    let (n_host, n_sim, sweep) = if repro_small() {
-        (96, 40, 4)
-    } else {
-        (256, 56, 8)
-    };
+    let (n_host, n_sim, sweep) = if cli.small { (96, 40, 4) } else { (256, 56, 8) };
     let seeds_u64: Vec<u64> = match fa {
         Some(f) => vec![f.seed],
         None => (0..sweep).collect(),
@@ -137,46 +134,35 @@ fn main() {
                 ("host/locality-batched", Scheduler::LocalityBatched),
             ] {
                 let faults = FaultInjector::new(FaultPlan::default_rates(seed, rate));
+                let ctx = ExecContext::disabled()
+                    .with_faults(&faults)
+                    .with_retry(retry);
                 let engine = ParallelEngine::new(16, 1, workers).with_scheduler(sched);
                 let r = engine
-                    .try_solve_with_stats_faulted(
-                        &host_seeds,
-                        &Metrics::noop(),
-                        &Tracer::noop(),
-                        &faults,
-                        retry,
-                    )
+                    .solve_with(&host_seeds, &ctx)
                     .map(|(got, _)| host_ref.first_difference(&got).map(|(i, j, _, _)| (i, j)));
                 check(sname, seed, &faults, r);
             }
 
             let faults = FaultInjector::new(FaultPlan::default_rates(seed, rate));
-            let r = functional_cellnpdp_multi_spe_faulted(
-                &sim_seeds,
-                8,
-                2,
-                4,
-                &faults,
-                retry,
-                &Tracer::noop(),
-            )
-            .map(|(got, _)| sim_ref.first_difference(&got).map(|(i, j, _, _)| (i, j)));
+            let ctx = ExecContext::disabled()
+                .with_faults(&faults)
+                .with_retry(retry);
+            let r = functional_cellnpdp_multi_spe_with(&sim_seeds, 8, 2, 4, &ctx)
+                .map(|(got, _)| sim_ref.first_difference(&got).map(|(i, j, _, _)| (i, j)));
             check("sim/multi-spe", seed, &faults, r);
 
             // Machine model: a performance projection, so the contract is only
             // that it terminates with a sane, deterministic report.
             let faults = FaultInjector::new(FaultPlan::default_rates(seed, rate));
+            let ctx = ExecContext::disabled()
+                .with_faults(&faults)
+                .with_retry(retry);
             let cfg = CellConfig::qs20();
-            let rep = simulate_cellnpdp_faulted(
+            let rep = simulate(
                 &cfg,
-                1024,
-                64,
-                2,
-                Precision::Single,
-                8,
-                QueuePolicy::Fifo,
-                &faults,
-                retry,
+                &SimSpec::cellnpdp(1024, 64, 2, Precision::Single, 8),
+                &ctx,
             );
             let sane = rep.seconds.is_finite() && rep.seconds > 0.0;
             check(
@@ -196,7 +182,7 @@ fn main() {
     // must be a typed error from every engine front door.
     let mut bad = problem::random_seeds_f32(64, 100.0, 3);
     bad.set(2, 9, f32::NAN);
-    match ParallelEngine::new(32, 2, workers).try_solve(&bad) {
+    match ParallelEngine::new(32, 2, workers).solve_with(&bad, &ExecContext::disabled()) {
         Err(SolveError::InvalidSeed { i: 2, j: 9, .. }) => {
             println!(
                 "{:<28} {:>6} {:>6} {:>20}",
@@ -230,8 +216,7 @@ fn main() {
     write_report(&report, json.as_deref());
 
     if violations > 0 {
-        eprintln!("\nCHAOS FAILED: {violations} violation(s)");
-        std::process::exit(1);
+        gate_fail(&format!("{violations} chaos violation(s)"));
     }
     println!("chaos sweep clean ✓");
 }

@@ -17,6 +17,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use bench::compare::{diff_dirs, diff_files, parse_max_regress, CompareOptions};
+use bench::{usage_fail, EXIT_GATE_FAIL, EXIT_USAGE};
 use npdp_metrics::json::Value;
 use npdp_trace::analysis::{analyze, diff_analyses};
 use npdp_trace::chrome::parse_chrome_trace;
@@ -32,7 +33,7 @@ fn usage() -> ! {
         "usage: repro-compare <base.json|base-dir> <new.json|new-dir> \
          [--max-regress <pct>] [--min-seconds <s>]"
     );
-    std::process::exit(2);
+    std::process::exit(EXIT_USAGE);
 }
 
 fn parse_args() -> Args {
@@ -43,17 +44,14 @@ fn parse_args() -> Args {
         match a.as_str() {
             "--max-regress" => {
                 let v = args.next().unwrap_or_else(|| usage());
-                opts.max_regress = parse_max_regress(&v).unwrap_or_else(|e| {
-                    eprintln!("error: {e}");
-                    std::process::exit(2);
-                });
+                opts.max_regress =
+                    parse_max_regress(&v).unwrap_or_else(|e| usage_fail(&e.to_string()));
             }
             "--min-seconds" => {
                 let v = args.next().unwrap_or_else(|| usage());
-                opts.min_seconds = v.parse().unwrap_or_else(|_| {
-                    eprintln!("error: invalid --min-seconds value '{v}'");
-                    std::process::exit(2);
-                });
+                opts.min_seconds = v
+                    .parse()
+                    .unwrap_or_else(|_| usage_fail(&format!("invalid --min-seconds value '{v}'")));
             }
             "--help" | "-h" => usage(),
             _ => positional.push(PathBuf::from(a)),
@@ -152,7 +150,7 @@ fn main() -> ExitCode {
             Ok(d) => d,
             Err(e) => {
                 eprintln!("error: {e}");
-                return ExitCode::from(2);
+                return ExitCode::from(EXIT_USAGE as u8);
             }
         };
         for (name, diff) in &d.diffs {
@@ -170,13 +168,13 @@ fn main() -> ExitCode {
         (timings, d.regression_count(opts))
     } else if args.base.is_dir() != args.new.is_dir() {
         eprintln!("error: cannot compare a directory against a single report");
-        return ExitCode::from(2);
+        return ExitCode::from(EXIT_USAGE as u8);
     } else {
         let diff = match diff_files(&args.base, &args.new) {
             Ok(d) => d,
             Err(e) => {
                 eprintln!("error: {e}");
-                return ExitCode::from(2);
+                return ExitCode::from(EXIT_USAGE as u8);
             }
         };
         println!();
@@ -186,7 +184,7 @@ fn main() -> ExitCode {
 
     println!("\n{compared} timing(s) compared, {regressions} regression(s)");
     if regressions > 0 {
-        ExitCode::from(1)
+        ExitCode::from(EXIT_GATE_FAIL as u8)
     } else {
         ExitCode::SUCCESS
     }

@@ -5,13 +5,14 @@
 //! Paper averages: NDL ≈ 31.6×, + SPE procedure ≈ 28× more, + parallel
 //! procedure ≈ 15.7× more at 16 SPEs.
 
-use bench::{header, json_out, write_report, Metrics, Report};
-use cell_sim::machine::{simulate_cellnpdp, simulate_ndl_scalar, CellConfig};
+use bench::{header, write_report, Cli, ExecContext, Metrics, Report};
+use cell_sim::machine::{simulate, CellConfig, SimSpec};
 use cell_sim::ppe::{Precision, SpeScalarModel};
 use npdp_metrics::json::Value;
 
 fn main() {
-    let json = json_out();
+    let json = Cli::parse().json;
+    let ctx = ExecContext::disabled();
     header(
         "Fig. 10(a)",
         "SP speedups on the simulated Cell blade (baseline: original on 1 SPE)",
@@ -30,8 +31,8 @@ fn main() {
     );
     for n in [2048usize, 4096, 8192] {
         let base = spe.seconds_original(n as u64, prec);
-        let ndl = simulate_ndl_scalar(&cfg, n, nb, 1, prec, 1).seconds;
-        let spep = simulate_cellnpdp(&cfg, n, nb, 1, prec, 1).seconds;
+        let ndl = simulate(&cfg, &SimSpec::ndl_scalar(n, nb, 1, prec, 1), &ctx).seconds;
+        let spep = simulate(&cfg, &SimSpec::cellnpdp(n, nb, 1, prec, 1), &ctx).seconds;
         let mut row = format!("{n:<7} {:>8.1}x {:>8.1}x", base / ndl, ndl / spep);
         let mut jrow = Value::object();
         jrow.set("n", n)
@@ -39,11 +40,11 @@ fn main() {
             .set("speedup_ndl", base / ndl)
             .set("speedup_spep", ndl / spep);
         for spes in [2usize, 4, 8, 16] {
-            let t = simulate_cellnpdp(&cfg, n, nb, 1, prec, spes).seconds;
+            let t = simulate(&cfg, &SimSpec::cellnpdp(n, nb, 1, prec, spes), &ctx).seconds;
             row += &format!(" {:>8.1}x", spep / t);
             jrow.set(&format!("speedup_parp{spes}"), spep / t);
         }
-        let t16 = simulate_cellnpdp(&cfg, n, nb, 1, prec, 16).seconds;
+        let t16 = simulate(&cfg, &SimSpec::cellnpdp(n, nb, 1, prec, 16), &ctx).seconds;
         row += &format!(" {:>8.0}x", base / t16);
         jrow.set("speedup_total", base / t16);
         report.add_row(jrow);
@@ -56,7 +57,11 @@ fn main() {
         let n = 8192;
         report.set_param("counter_n", n);
         let (metrics, recorder) = Metrics::recording();
-        simulate_cellnpdp(&cfg, n, nb, 1, prec, 16).record_into(&metrics);
+        simulate(
+            &cfg,
+            &SimSpec::cellnpdp(n, nb, 1, prec, 16),
+            &ctx.clone().with_metrics(&metrics),
+        );
         report.merge_recorder("", &recorder);
     }
     write_report(&report, json.as_deref());

@@ -17,12 +17,11 @@
 //! occupancy/overlap/critical-path summary.
 
 use bench::{
-    fault_args, header, host_workers, json_out, merge_fault_counters, repro_small, time_engine,
-    trace_out, write_report, write_trace, Metrics, Report, Tracer,
+    gate_fail, header, host_workers, merge_fault_counters, time_engine, write_report, write_trace,
+    Cli, ExecContext, Metrics, Report, Tracer,
 };
 use cell_sim::machine::{
-    ndl_bytes_transferred, original_bytes_transferred, simulate_cellnpdp_traced, CellConfig,
-    QueuePolicy,
+    ndl_bytes_transferred, original_bytes_transferred, simulate, CellConfig, SimSpec,
 };
 use cell_sim::ppe::Precision;
 use npdp_core::problem;
@@ -30,8 +29,8 @@ use npdp_core::{BlockedEngine, Engine, ParallelEngine, SerialEngine, SimdEngine,
 use npdp_metrics::json::Value;
 
 fn main() {
-    let json = json_out();
-    let trace = trace_out();
+    let cli = Cli::parse();
+    let (json, trace) = (cli.json.clone(), cli.trace.clone());
     header(
         "Fig. 10(b)",
         "SP speedups on the CPU platform (measured; baseline: original)",
@@ -49,7 +48,7 @@ fn main() {
         "{:<7} {:>10} {:>9} {:>9} {:>9} {:>11}",
         "n", "original", "tiled", "NDL", "+SPEP", "+PARP"
     );
-    let sizes: Vec<usize> = if repro_small() {
+    let sizes: Vec<usize> = if cli.small {
         vec![192, 256]
     } else {
         vec![512, 1024, 1536]
@@ -97,7 +96,9 @@ fn main() {
         let n = *sizes.last().unwrap();
         let seeds = problem::random_seeds_f32(n, 100.0, n as u64);
         let (metrics, recorder) = Metrics::recording();
-        let _ = ParallelEngine::new(64, 2, workers).solve_with_stats_metered(&seeds, &metrics);
+        ParallelEngine::new(64, 2, workers)
+            .solve_with(&seeds, &ExecContext::disabled().with_metrics(&metrics))
+            .expect("counter run");
         report.set_param("counter_n", n);
         report.merge_recorder("", &recorder);
         report.set_counter(
@@ -109,7 +110,7 @@ fn main() {
             original_bytes_transferred(n as u64, Precision::Single),
         );
     }
-    if let Some(fa) = fault_args() {
+    if let Some(fa) = cli.faults {
         // Seeded chaos pass at the smallest size: the same solve under a
         // deterministic fault plan must recover bit-identically (or fail
         // typed); the fault counters join the JSON report.
@@ -119,23 +120,17 @@ fn main() {
         // fires at the default rate even at NPDP_REPRO_SMALL sizes.
         let chaos_engine = ParallelEngine::new(16, 1, workers);
         let clean = chaos_engine.solve(&seeds);
-        let faults = fa.injector();
+        let faults = cli.injector().expect("--faults was given");
         report
             .set_param("fault_seed", fa.seed)
             .set_param("fault_rate", fa.rate);
-        match chaos_engine.try_solve_with_stats_faulted(
-            &seeds,
-            &Metrics::noop(),
-            &Tracer::noop(),
-            &faults,
-            fa.retry(),
-        ) {
+        match chaos_engine.solve_with(&seeds, &cli.context()) {
             Ok((got, _)) => {
-                assert_eq!(
-                    clean.first_difference(&got).map(|(i, j, _, _)| (i, j)),
-                    None,
-                    "faulted solve diverged from the fault-free run"
-                );
+                if let Some((i, j, _, _)) = clean.first_difference(&got) {
+                    gate_fail(&format!(
+                        "faulted solve diverged from the fault-free run at ({i},{j})"
+                    ));
+                }
                 println!(
                     "
 faults seed {} rate {}: recovered bit-identical ({} injected)",
@@ -150,7 +145,7 @@ faults seed {} rate {}: typed error: {e}",
                 fa.seed, fa.rate
             ),
         }
-        merge_fault_counters(&mut report, &faults);
+        merge_fault_counters(&mut report, faults);
     }
     write_report(&report, json.as_deref());
 
@@ -161,18 +156,13 @@ faults seed {} rate {}: typed error: {e}",
         let n = sizes[0];
         let tracer = Tracer::new();
         let seeds = problem::random_seeds_f32(n, 100.0, n as u64);
-        ParallelEngine::new(64, 2, workers).solve_traced(&seeds, &Metrics::noop(), &tracer);
+        let ctx = ExecContext::disabled().with_tracer(&tracer);
+        ParallelEngine::new(64, 2, workers)
+            .solve_with(&seeds, &ctx)
+            .expect("traced run");
         let cfg = CellConfig::qs20();
-        simulate_cellnpdp_traced(
-            &cfg,
-            n,
-            64,
-            2,
-            Precision::Single,
-            workers.clamp(1, cfg.spes),
-            QueuePolicy::Fifo,
-            &tracer,
-        );
+        let spec = SimSpec::cellnpdp(n, 64, 2, Precision::Single, workers.clamp(1, cfg.spes));
+        simulate(&cfg, &spec, &ctx);
         write_trace(&tracer, trace.as_deref());
     }
 }

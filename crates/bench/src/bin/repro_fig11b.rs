@@ -10,12 +10,11 @@
 //! DP simulated QS20 run) as Chrome trace-event JSON, as in `repro-fig10b`.
 
 use bench::{
-    header, host_workers, json_out, repro_small, time_engine, trace_out, write_report, write_trace,
-    Metrics, Report, Tracer,
+    header, host_workers, time_engine, write_report, write_trace, Cli, ExecContext, Metrics,
+    Report, Tracer,
 };
 use cell_sim::machine::{
-    ndl_bytes_transferred, original_bytes_transferred, simulate_cellnpdp_traced, CellConfig,
-    QueuePolicy,
+    ndl_bytes_transferred, original_bytes_transferred, simulate, CellConfig, SimSpec,
 };
 use cell_sim::ppe::Precision;
 use npdp_core::problem;
@@ -23,8 +22,8 @@ use npdp_core::{BlockedEngine, Engine, ParallelEngine, SerialEngine, SimdEngine,
 use npdp_metrics::json::Value;
 
 fn main() {
-    let json = json_out();
-    let trace = trace_out();
+    let cli = Cli::parse();
+    let (json, trace) = (cli.json, cli.trace);
     header(
         "Fig. 11(b)",
         "DP speedups on the CPU platform (measured; baseline: original)",
@@ -43,7 +42,7 @@ fn main() {
         "{:<7} {:>10} {:>9} {:>9} {:>9} {:>11}",
         "n", "original", "tiled", "NDL", "+SPEP", "+PARP"
     );
-    let sizes: Vec<usize> = if repro_small() {
+    let sizes: Vec<usize> = if cli.small {
         vec![192, 256]
     } else {
         vec![512, 1024, 1536]
@@ -86,7 +85,9 @@ fn main() {
         let n = *sizes.last().unwrap();
         let seeds = problem::random_seeds_f64(n, 100.0, n as u64);
         let (metrics, recorder) = Metrics::recording();
-        let _ = ParallelEngine::new(64, 2, workers).solve_with_stats_metered(&seeds, &metrics);
+        ParallelEngine::new(64, 2, workers)
+            .solve_with(&seeds, &ExecContext::disabled().with_metrics(&metrics))
+            .expect("counter run");
         report.set_param("counter_n", n);
         report.merge_recorder("", &recorder);
         report.set_counter(
@@ -104,18 +105,13 @@ fn main() {
         let n = sizes[0];
         let tracer = Tracer::new();
         let seeds = problem::random_seeds_f64(n, 100.0, n as u64);
-        ParallelEngine::new(64, 2, workers).solve_traced(&seeds, &Metrics::noop(), &tracer);
+        let ctx = ExecContext::disabled().with_tracer(&tracer);
+        ParallelEngine::new(64, 2, workers)
+            .solve_with(&seeds, &ctx)
+            .expect("traced run");
         let cfg = CellConfig::qs20();
-        simulate_cellnpdp_traced(
-            &cfg,
-            n,
-            64,
-            2,
-            Precision::Double,
-            workers.clamp(1, cfg.spes),
-            QueuePolicy::Fifo,
-            &tracer,
-        );
+        let spec = SimSpec::cellnpdp(n, 64, 2, Precision::Double, workers.clamp(1, cfg.spes));
+        simulate(&cfg, &spec, &ctx);
         write_trace(&tracer, trace.as_deref());
     }
 }

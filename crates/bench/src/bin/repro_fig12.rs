@@ -7,15 +7,14 @@
 //! step parallelization, no SIMD, no NDL).
 
 use baselines::TanEngine;
-use bench::{
-    header, host_workers, json_out, repro_small, time_engine, write_report, Report, Timing,
-};
+use bench::{header, host_workers, time_engine, write_report, Cli, Report, Timing};
 use npdp_core::problem;
 use npdp_core::ParallelEngine;
 use npdp_metrics::json::Value;
 
 fn main() {
-    let json = json_out();
+    let cli = Cli::parse();
+    let json = cli.json;
     header(
         "Fig. 12",
         "CellNPDP vs TanNPDP on the CPU platform (measured)",
@@ -35,7 +34,7 @@ fn main() {
         "{:<7} {:>12} {:>12} {:>9}",
         "n", "TanNPDP", "CellNPDP", "speedup"
     );
-    let sizes: Vec<usize> = if repro_small() {
+    let sizes: Vec<usize> = if cli.small {
         vec![192, 256]
     } else {
         vec![512, 1024, 1536]

@@ -6,13 +6,14 @@
 //! software pipelining has less to work with. The effect compounds with
 //! SPE count as the shared memory interface saturates.
 
-use bench::{header, json_out, write_report, Metrics, Report};
-use cell_sim::machine::{simulate_cellnpdp, CellConfig};
+use bench::{header, write_report, Cli, ExecContext, Metrics, Report};
+use cell_sim::machine::{simulate, CellConfig, SimSpec};
 use cell_sim::ppe::Precision;
 use npdp_metrics::json::Value;
 
 fn main() {
-    let json = json_out();
+    let json = Cli::parse().json;
+    let ctx = ExecContext::disabled();
     header(
         "Fig. 13",
         "CellNPDP speedup vs (memory-block size × SPEs), n = 4096 SP (simulated)",
@@ -29,13 +30,13 @@ fn main() {
     let n = 4096usize;
 
     let nb_base = cfg.block_side_for_bytes(32 * 1024, prec);
-    let base = simulate_cellnpdp(&cfg, n, nb_base, 1, prec, 1).seconds;
+    let base = simulate(&cfg, &SimSpec::cellnpdp(n, nb_base, 1, prec, 1), &ctx).seconds;
 
     let times: Vec<Vec<f64>> = sides
         .iter()
         .map(|&nb| {
             spes.iter()
-                .map(|&s| simulate_cellnpdp(&cfg, n, nb, 1, prec, s).seconds)
+                .map(|&s| simulate(&cfg, &SimSpec::cellnpdp(n, nb, 1, prec, s), &ctx).seconds)
                 .collect()
         })
         .collect();
@@ -95,7 +96,11 @@ fn main() {
         // Full simulator counters for the baseline configuration.
         report.set_param("counter_n", n);
         let (metrics, recorder) = Metrics::recording();
-        simulate_cellnpdp(&cfg, n, nb_base, 1, prec, 1).record_into(&metrics);
+        simulate(
+            &cfg,
+            &SimSpec::cellnpdp(n, nb_base, 1, prec, 1),
+            &ctx.clone().with_metrics(&metrics),
+        );
         report.merge_recorder("", &recorder);
     }
     write_report(&report, json.as_deref());

@@ -8,9 +8,9 @@
 //! `--json <path>` additionally writes the per-size rows and the simulator's
 //! DMA counters at the largest size as `BENCH_fig9a.json`.
 
-use bench::{header, json_out, write_report, Metrics, Report};
+use bench::{header, write_report, Cli, ExecContext, Metrics, Report};
 use cell_sim::machine::{
-    ndl_bytes_transferred, original_bytes_transferred, simulate_cellnpdp, CellConfig,
+    ndl_bytes_transferred, original_bytes_transferred, simulate, CellConfig, SimSpec,
 };
 use cell_sim::ppe::Precision;
 use npdp_metrics::json::Value;
@@ -20,7 +20,7 @@ fn gb(bytes: u64) -> f64 {
 }
 
 fn main() {
-    let json = json_out();
+    let json = Cli::parse().json;
     header(
         "Fig. 9(a)",
         "data transfer between the Cell processor and main memory (SP)",
@@ -39,7 +39,11 @@ fn main() {
     for n in [4096usize, 8192, 16384] {
         let orig = original_bytes_transferred(n as u64, Precision::Single);
         let ndl_model = ndl_bytes_transferred(n as u64, nb as u64, Precision::Single);
-        let sim = simulate_cellnpdp(&cfg, n, nb, 1, Precision::Single, 16);
+        let sim = simulate(
+            &cfg,
+            &SimSpec::cellnpdp(n, nb, 1, Precision::Single, 16),
+            &ExecContext::disabled(),
+        );
         println!(
             "{n:<8} {:>16.2} {:>16.2} {:>16.2} {:>8.1}x",
             gb(orig),

@@ -11,7 +11,7 @@
 //! `--json <path>` additionally writes the per-configuration rows and the
 //! cache counters of the last configuration as `BENCH_fig9b.json`.
 
-use bench::{header, json_out, repro_small, write_report, Metrics, Report};
+use bench::{header, write_report, Cli, Metrics, Report};
 use cache_sim::{trace_blocked, trace_original, trace_tiled, Cache, CacheConfig, TraceResult};
 use npdp_metrics::json::Value;
 
@@ -57,7 +57,8 @@ fn run(n: usize, cache_kb: usize, nb: usize, report: &mut Report) -> (TraceResul
 
 fn main() {
     let paper_scale = std::env::args().any(|a| a == "--paper-scale");
-    let json = json_out();
+    let cli = Cli::parse();
+    let json = cli.json;
     header(
         "Fig. 9(b)",
         "CPU ↔ memory traffic via LLC simulation (64 B lines, SP)",
@@ -78,7 +79,7 @@ fn main() {
     // regimes (33–537 MB tables vs 8 MB LLC → ratios 4–67). The address
     // streams are ~n³ long, so `NPDP_REPRO_SMALL` halves n (same regime,
     // the cache shrinks with the table).
-    let mut last = if repro_small() && !paper_scale {
+    let mut last = if cli.small && !paper_scale {
         run(256, 64, 32, &mut report); // ratio ~4
         run(512, 64, 32, &mut report) // ratio ~16
     } else {

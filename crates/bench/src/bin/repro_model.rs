@@ -5,14 +5,15 @@
 //! 2. Does efficiency depend on problem size? → no: T_M and T_C both scale
 //!    as N₁³, so utilization is size-independent.
 
-use bench::{header, json_out, write_report, Report};
-use cell_sim::machine::{simulate_cellnpdp, CellConfig};
+use bench::{header, write_report, Cli, ExecContext, Report};
+use cell_sim::machine::{simulate, CellConfig, SimSpec};
 use cell_sim::ppe::Precision;
 use npdp_metrics::json::Value;
 use perf_model::{Kernel, Machine, PerfModel};
 
 fn main() {
-    let json = json_out();
+    let json = Cli::parse().json;
+    let ctx = ExecContext::disabled();
     header(
         "§V model",
         "analytical performance model vs the simulated machine",
@@ -52,7 +53,11 @@ fn main() {
         let tm = sp.memory_time(n as f64, Some(nb as f64));
         let tc = sp.compute_time(n as f64);
         let u = sp.utilization(Some(nb as f64));
-        let sim = simulate_cellnpdp(&cfg, n, nb, 1, Precision::Single, 16);
+        let sim = simulate(
+            &cfg,
+            &SimSpec::cellnpdp(n, nb, 1, Precision::Single, 16),
+            &ctx,
+        );
         println!(
             "{n:<8} {tm:>10.3} {tc:>10.3} {:>11.1}% {:>11.1}%",
             u * 100.0,

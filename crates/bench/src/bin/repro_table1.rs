@@ -2,7 +2,7 @@
 //! computing-block update (counts, latencies, pipeline types), plus the
 //! §IV-A schedule-length story (128 → 80 instructions → ~54 cycles).
 
-use bench::{header, json_out, write_report, Report};
+use bench::{header, write_report, Cli, Report};
 use cell_sim::kernels::{
     sp_kernel_blocked, sp_kernel_naive, sp_kernel_stream, sp_kernel_tree, TileAddrs,
 };
@@ -10,7 +10,7 @@ use cell_sim::{schedule, software_pipeline, Instr, InstrMix, Reg};
 use npdp_metrics::json::Value;
 
 fn main() {
-    let json = json_out();
+    let json = Cli::parse().json;
     header(
         "Table I",
         "SIMD instructions of one computing-block update (SP)",

@@ -6,8 +6,8 @@
 //! simulation whose kernel cost comes from scheduling the real SPU
 //! instruction sequence.
 
-use bench::{header, json_out, write_report, Metrics, Report};
-use cell_sim::machine::{simulate_cellnpdp, CellConfig};
+use bench::{header, write_report, Cli, ExecContext, Metrics, Report};
+use cell_sim::machine::{simulate, CellConfig, SimSpec};
 use cell_sim::ppe::{PpeModel, Precision, SpeScalarModel};
 use npdp_metrics::json::Value;
 
@@ -39,7 +39,11 @@ fn run(prec: Precision, paper: &[(f64, f64, f64); 3], report: &mut Report) {
     for (idx, &n) in SIZES.iter().enumerate() {
         let t_ppe = ppe.seconds_original(n as u64, prec);
         let t_spe = spe.seconds_original(n as u64, prec);
-        let sim = simulate_cellnpdp(&cfg, n, nb, 1, prec, 16);
+        let sim = simulate(
+            &cfg,
+            &SimSpec::cellnpdp(n, nb, 1, prec, 16),
+            &ExecContext::disabled(),
+        );
         let (p_ppe, p_spe, p_cell) = paper[idx];
         println!(
             "{n:<8} {t_ppe:>12.1}s {t_spe:>12.1}s {:>12.2}s   ({p_ppe} / {p_spe} / {p_cell})",
@@ -57,7 +61,7 @@ fn run(prec: Precision, paper: &[(f64, f64, f64); 3], report: &mut Report) {
 }
 
 fn main() {
-    let json = json_out();
+    let json = Cli::parse().json;
     header(
         "Table II",
         "performance on the IBM QS20 Cell blade (simulated)",
@@ -74,7 +78,11 @@ fn main() {
 
     let cfg = CellConfig::qs20();
     let nb = cfg.block_side_for_bytes(32 * 1024, Precision::Single);
-    let r = simulate_cellnpdp(&cfg, 8192, nb, 1, Precision::Single, 16);
+    let r = simulate(
+        &cfg,
+        &SimSpec::cellnpdp(8192, nb, 1, Precision::Single, 16),
+        &ExecContext::disabled(),
+    );
     println!(
         "\nprocessor utilization (SP, 16 SPEs, n=8192): {:.1}%  (paper §VI-A.4: 62.5%)",
         r.utilization * 100.0

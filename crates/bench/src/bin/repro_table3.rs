@@ -10,12 +10,11 @@
 //! (host parallel solve + simulated QS20) as Chrome trace-event JSON.
 
 use bench::{
-    fault_args, header, host_workers, json_out, merge_fault_counters, repro_small, time_engine,
-    trace_out, write_report, write_trace, Metrics, Report, Timing, Tracer,
+    gate_fail, header, host_workers, merge_fault_counters, time_engine, write_report, write_trace,
+    Cli, ExecContext, Metrics, Report, Timing, Tracer,
 };
 use cell_sim::machine::{
-    ndl_bytes_transferred, original_bytes_transferred, simulate_cellnpdp_traced, CellConfig,
-    QueuePolicy,
+    ndl_bytes_transferred, original_bytes_transferred, simulate, CellConfig, SimSpec,
 };
 use cell_sim::ppe::Precision;
 use npdp_core::problem;
@@ -27,8 +26,8 @@ const PAPER_DP: [(f64, f64); 3] = [(119.79, 0.8159), (1234.3, 6.185), (13624.0, 
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
-    let json = json_out();
-    let trace = trace_out();
+    let cli = Cli::parse();
+    let (json, trace) = (cli.json.clone(), cli.trace.clone());
     header(
         "Table III",
         "performance on the CPU platform (measured on this host)",
@@ -46,7 +45,7 @@ fn main() {
 
     // Measurement anchors. `NPDP_REPRO_SMALL` shrinks them (and the
     // throughput probe) so a CI run stays in seconds, not minutes.
-    let small = repro_small() && !full;
+    let small = cli.small && !full;
     let n_serial = if full {
         4096
     } else if small {
@@ -110,7 +109,8 @@ fn main() {
         // scheduler counters, plus the analytic DMA traffic at that size.
         let seeds = problem::random_seeds_f32(n_cell, 100.0, 2);
         let (metrics, recorder) = Metrics::recording();
-        let _ = cell.solve_with_stats_metered(&seeds, &metrics);
+        cell.solve_with(&seeds, &ExecContext::disabled().with_metrics(&metrics))
+            .expect("counter run");
         report.set_param("counter_n", n_cell);
         report.merge_recorder("", &recorder);
         report.set_counter(
@@ -122,30 +122,24 @@ fn main() {
             original_bytes_transferred(n_cell as u64, Precision::Single),
         );
     }
-    if let Some(fa) = fault_args() {
+    if let Some(fa) = cli.faults {
         // Seeded chaos pass with the Table III block geometry: host engine
         // and the functional multi-SPE simulator both recover bit-identical
         // (or fail typed) under the same deterministic plan.
         let n = if small { 256 } else { 512 };
         let seeds = problem::random_seeds_f32(n, 100.0, 6);
         let clean = SerialEngine.solve(&seeds);
-        let faults = fa.injector();
+        let faults = cli.injector().expect("--faults was given");
         report
             .set_param("fault_seed", fa.seed)
             .set_param("fault_rate", fa.rate);
-        match cell.try_solve_with_stats_faulted(
-            &seeds,
-            &Metrics::noop(),
-            &Tracer::noop(),
-            &faults,
-            fa.retry(),
-        ) {
+        match cell.solve_with(&seeds, &cli.context()) {
             Ok((got, _)) => {
-                assert_eq!(
-                    clean.first_difference(&got).map(|(i, j, _, _)| (i, j)),
-                    None,
-                    "faulted solve diverged from the fault-free run"
-                );
+                if let Some((i, j, _, _)) = clean.first_difference(&got) {
+                    gate_fail(&format!(
+                        "faulted solve diverged from the fault-free run at ({i},{j})"
+                    ));
+                }
                 println!(
                     "
 faults seed {} rate {}: host recovered bit-identical ({} injected)",
@@ -162,21 +156,17 @@ faults seed {} rate {}: typed error: {e}",
         }
         let sim_seeds = problem::random_seeds_f32(48, 100.0, 7);
         let sim_clean = SerialEngine.solve(&sim_seeds);
-        match cell_sim::multi_spe::functional_cellnpdp_multi_spe_faulted(
+        match cell_sim::multi_spe::functional_cellnpdp_multi_spe_with(
             &sim_seeds,
             8,
             2,
             4,
-            &faults,
-            fa.retry(),
-            &Tracer::noop(),
+            &cli.context(),
         ) {
             Ok((got, rep)) => {
-                assert_eq!(
-                    sim_clean.first_difference(&got).map(|(i, j, _, _)| (i, j)),
-                    None,
-                    "faulted multi-SPE sim diverged"
-                );
+                if let Some((i, j, _, _)) = sim_clean.first_difference(&got) {
+                    gate_fail(&format!("faulted multi-SPE sim diverged at ({i},{j})"));
+                }
                 println!(
                     "multi-SPE sim recovered bit-identical ({} resends, {} rebalanced blocks)",
                     rep.resends, rep.rebalanced_blocks
@@ -184,7 +174,7 @@ faults seed {} rate {}: typed error: {e}",
             }
             Err(e) => println!("multi-SPE sim: typed error: {e}"),
         }
-        merge_fault_counters(&mut report, &faults);
+        merge_fault_counters(&mut report, faults);
     }
     write_report(&report, json.as_deref());
 
@@ -195,18 +185,13 @@ faults seed {} rate {}: typed error: {e}",
         let n = if small { 512 } else { 1024 };
         let tracer = Tracer::new();
         let seeds = problem::random_seeds_f32(n, 100.0, 2);
-        ParallelEngine::new(88, 2, workers).solve_traced(&seeds, &Metrics::noop(), &tracer);
+        let ctx = ExecContext::disabled().with_tracer(&tracer);
+        ParallelEngine::new(88, 2, workers)
+            .solve_with(&seeds, &ctx)
+            .expect("traced run");
         let cfg = CellConfig::qs20();
-        simulate_cellnpdp_traced(
-            &cfg,
-            n,
-            88,
-            2,
-            Precision::Single,
-            workers.clamp(1, cfg.spes),
-            QueuePolicy::Fifo,
-            &tracer,
-        );
+        let spec = SimSpec::cellnpdp(n, 88, 2, Precision::Single, workers.clamp(1, cfg.spes));
+        simulate(&cfg, &spec, &ctx);
         write_trace(&tracer, trace.as_deref());
     }
 }

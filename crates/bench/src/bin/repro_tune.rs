@@ -18,11 +18,10 @@
 //!    all host scheduler variants. Gate: batched is no slower, improves
 //!    tail occupancy, and every scheduler returns the same bits.
 
-use bench::{header, host_workers, json_out, repro_small, time_min, write_report, Report};
-use cell_sim::machine::{
-    simulate_cellnpdp, simulate_cellnpdp_batched_traced, simulate_cellnpdp_traced, CellConfig,
-    QueuePolicy,
+use bench::{
+    header, host_workers, time_min, write_report, Cli, ExecContext, Report, EXIT_GATE_FAIL,
 };
+use cell_sim::machine::{simulate, CellConfig, SimSpec};
 use cell_sim::ppe::Precision;
 use npdp_core::problem::random_seeds_f32;
 use npdp_core::{Engine, ParallelEngine, Scheduler, SerialEngine};
@@ -32,8 +31,9 @@ use npdp_trace::Tracer;
 use npdp_tune::{within_one_step, Calibration, Kernel, Machine, ProbeFit, Tuner, FIG13_SIDES};
 
 fn main() {
-    let json = json_out();
-    let small = repro_small();
+    let cli = Cli::parse();
+    let json = cli.json;
+    let small = cli.small;
     header(
         "repro-tune",
         "model-predicted block size vs the empirical Fig. 13 argmin",
@@ -60,7 +60,7 @@ fn main() {
     report.set_counter("tune.gate_failures", failures.len() as u64);
     write_report(&report, json.as_deref());
     if !failures.is_empty() {
-        std::process::exit(1);
+        std::process::exit(EXIT_GATE_FAIL);
     }
 }
 
@@ -93,7 +93,12 @@ fn sim_gate(small: bool, report: &mut Report, failures: &mut Vec<String>) {
             .map(|&nb| {
                 (
                     nb,
-                    simulate_cellnpdp(&cfg, n, nb, 1, Precision::Single, spes).seconds,
+                    simulate(
+                        &cfg,
+                        &SimSpec::cellnpdp(n, nb, 1, Precision::Single, spes),
+                        &ExecContext::disabled(),
+                    )
+                    .seconds,
                 )
             })
             .collect();
@@ -213,9 +218,11 @@ fn host_gate(small: bool, report: &mut Report, failures: &mut Vec<String>) {
     }
 
     // The autotuned entry point must agree with the ground truth engines.
-    let auto = ParallelEngine::new(16, 1, workers).solve_autotuned(&seeds);
+    let (auto, _) = ParallelEngine::new(16, 1, workers)
+        .solve_with(&seeds, &ExecContext::disabled().autotuned())
+        .expect("autotuned solve");
     if auto.first_difference(&SerialEngine.solve(&seeds)).is_some() {
-        failures.push("host: solve_autotuned diverged from SerialEngine".into());
+        failures.push("host: autotuned solve diverged from SerialEngine".into());
     }
 }
 
@@ -229,28 +236,18 @@ fn scheduler_gate(report: &mut Report, failures: &mut Vec<String>) {
     let cfg = CellConfig::qs20();
     let (n, nb, sb, spes, min_parallel) = (16usize, 4usize, 1usize, 3usize, 3usize);
 
+    let spec = SimSpec::cellnpdp(n, nb, sb, Precision::Single, spes);
     let run_plain = Tracer::new();
-    let plain = simulate_cellnpdp_traced(
+    let plain = simulate(
         &cfg,
-        n,
-        nb,
-        sb,
-        Precision::Single,
-        spes,
-        QueuePolicy::Fifo,
-        &run_plain,
+        &spec,
+        &ExecContext::disabled().with_tracer(&run_plain),
     );
     let run_batched = Tracer::new();
-    let batched = simulate_cellnpdp_batched_traced(
+    let batched = simulate(
         &cfg,
-        n,
-        nb,
-        sb,
-        Precision::Single,
-        spes,
-        QueuePolicy::Fifo,
-        min_parallel,
-        &run_batched,
+        &spec.batched(min_parallel),
+        &ExecContext::disabled().with_tracer(&run_batched),
     );
     let a_plain = analyze(&run_plain.snapshot()).expect("analyzable sim trace");
     let a_batched = analyze(&run_batched.snapshot()).expect("analyzable sim trace");

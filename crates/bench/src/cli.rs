@@ -1,0 +1,192 @@
+//! The shared command-line surface of the repro binaries.
+//!
+//! Every `repro-*` binary accepts the same observation/perturbation flags;
+//! [`Cli::parse`] reads them once and [`Cli::context`] turns them into the
+//! workspace-wide [`ExecContext`] that the generic entry points
+//! (`Engine::solve_with`, `task_queue::run`, `cell_sim::simulate`, …)
+//! consume:
+//!
+//! * `--json <path>` — write the machine-readable report (schema
+//!   `cellnpdp-bench-v1`, conventionally `BENCH_<experiment>.json`) in
+//!   addition to the human-readable table;
+//! * `--trace <path>` — capture an event timeline of one representative run
+//!   as Chrome trace-event JSON (loadable in Perfetto /
+//!   `chrome://tracing`), conventionally `TRACE_<experiment>.json`;
+//! * `--faults <seed>` / `--fault-rate <r>` — run an extra seeded chaos
+//!   pass under a deterministic fault plan (default rate 0.05);
+//! * `NPDP_REPRO_SMALL=1` — shrink host-measured problem sizes to
+//!   CI-smoke time (simulator-driven binaries ignore it).
+//!
+//! Flags the binary does not own are ignored, so binaries can layer their
+//! own (e.g. `--full`, `--paper-scale`) on top.
+//!
+//! ## Exit codes
+//!
+//! Every repro binary uses the same three exit codes:
+//!
+//! | code | constant | meaning |
+//! |---|---|---|
+//! | 0 | [`EXIT_OK`] | ran to completion, all gates passed |
+//! | 1 | [`EXIT_GATE_FAIL`] | an acceptance gate failed (chaos divergence, regression over budget, …) |
+//! | 2 | [`EXIT_USAGE`] | malformed command line |
+
+use std::path::PathBuf;
+
+use npdp_exec::ExecContext;
+use npdp_fault::FaultInjector;
+
+use crate::FaultArgs;
+
+/// The binary ran to completion and every gate passed.
+pub const EXIT_OK: i32 = 0;
+/// An acceptance gate failed (divergence, regression, prediction error…).
+pub const EXIT_GATE_FAIL: i32 = 1;
+/// Malformed command line.
+pub const EXIT_USAGE: i32 = 2;
+
+/// Report a malformed command line and exit with [`EXIT_USAGE`].
+pub fn usage_fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(EXIT_USAGE)
+}
+
+/// Report a failed acceptance gate and exit with [`EXIT_GATE_FAIL`].
+pub fn gate_fail(msg: &str) -> ! {
+    eprintln!("\nGATE FAILED: {msg}");
+    std::process::exit(EXIT_GATE_FAIL)
+}
+
+/// The parsed shared flags of one repro-binary invocation.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// `--json <path>`: machine-readable report destination.
+    pub json: Option<PathBuf>,
+    /// `--trace <path>`: Chrome trace destination.
+    pub trace: Option<PathBuf>,
+    /// `--faults <seed>` / `--fault-rate <r>`: the chaos-pass plan.
+    pub faults: Option<FaultArgs>,
+    /// `NPDP_REPRO_SMALL`: shrink host-measured sizes to CI-smoke time.
+    pub small: bool,
+    /// Built once at parse time so every context handed out by
+    /// [`Cli::context`] shares the same fault counters.
+    injector: Option<FaultInjector>,
+}
+
+impl Cli {
+    /// Parse the process arguments and `NPDP_REPRO_SMALL`. Exits with
+    /// [`EXIT_USAGE`] on a malformed value; unknown flags are left for the
+    /// binary's own parsing.
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1), crate::env_repro_small())
+    }
+
+    fn from_args(args: impl Iterator<Item = String>, small: bool) -> Self {
+        let mut json = None;
+        let mut trace = None;
+        let mut seed = None;
+        let mut rate = 0.05f64;
+        let mut args = args.peekable();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--json" => match args.next() {
+                    Some(p) if !p.starts_with("--") => json = Some(PathBuf::from(p)),
+                    _ => usage_fail("--json requires a path argument"),
+                },
+                "--trace" => match args.next() {
+                    Some(p) if !p.starts_with("--") => trace = Some(PathBuf::from(p)),
+                    _ => usage_fail("--trace requires a path argument"),
+                },
+                "--faults" => match args.next().and_then(|v| v.parse().ok()) {
+                    Some(s) => seed = Some(s),
+                    None => usage_fail("--faults requires an integer seed"),
+                },
+                "--fault-rate" => match args.next().and_then(|v| v.parse().ok()) {
+                    Some(r) if (0.0..=1.0).contains(&r) => rate = r,
+                    _ => usage_fail("--fault-rate requires a number in [0, 1]"),
+                },
+                _ => {}
+            }
+        }
+        let faults = seed.map(|seed| FaultArgs { seed, rate });
+        let injector = faults.as_ref().map(|fa| fa.injector());
+        Self {
+            json,
+            trace,
+            faults,
+            small,
+            injector,
+        }
+    }
+
+    /// The run's [`ExecContext`]: disabled observation, plus — when
+    /// `--faults` was given — the seeded injector and its generous chaos
+    /// retry policy ([`FaultArgs::retry`]). Contexts from repeated calls
+    /// share one injector, so the fault counters accumulate across every
+    /// pass of the binary; read them back through [`Cli::injector`].
+    pub fn context(&self) -> ExecContext {
+        match (&self.injector, &self.faults) {
+            (Some(inj), Some(fa)) => ExecContext::disabled()
+                .with_faults(inj)
+                .with_retry(fa.retry()),
+            _ => ExecContext::disabled(),
+        }
+    }
+
+    /// The shared injector handle behind [`Cli::context`] (present iff
+    /// `--faults` was given), for merging its counter snapshot into the
+    /// JSON report.
+    pub fn injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npdp_fault::FaultKind;
+
+    fn cli(args: &[&str]) -> Cli {
+        Cli::from_args(args.iter().map(|s| s.to_string()), false)
+    }
+
+    #[test]
+    fn parses_all_shared_flags() {
+        let c = cli(&[
+            "--json",
+            "out.json",
+            "--trace",
+            "out.trace",
+            "--faults",
+            "7",
+            "--fault-rate",
+            "0.25",
+            "--full",
+        ]);
+        assert_eq!(c.json.as_deref(), Some(std::path::Path::new("out.json")));
+        assert_eq!(c.trace.as_deref(), Some(std::path::Path::new("out.trace")));
+        let fa = c.faults.unwrap();
+        assert_eq!(fa.seed, 7);
+        assert_eq!(fa.rate, 0.25);
+        assert!(c.injector().is_some());
+    }
+
+    #[test]
+    fn defaults_are_disabled() {
+        let c = cli(&[]);
+        assert!(c.json.is_none() && c.trace.is_none() && c.faults.is_none());
+        assert!(c.injector().is_none());
+        let ctx = c.context();
+        assert!(!ctx.faults.enabled() && !ctx.observed());
+    }
+
+    #[test]
+    fn contexts_share_one_injector() {
+        let c = cli(&["--faults", "3", "--fault-rate", "1.0"]);
+        let ctx = c.context();
+        assert!(ctx.faults.should_inject(FaultKind::TaskPanic, 1));
+        // The counter increments are visible through the Cli's handle and
+        // through a second context — one injector behind them all.
+        assert_eq!(c.injector().unwrap().injected(FaultKind::TaskPanic), 1);
+        assert_eq!(c.context().faults.injected(FaultKind::TaskPanic), 1);
+    }
+}

@@ -7,6 +7,7 @@
 //! binary prints the paper's values alongside for *shape* comparison — who
 //! wins, by roughly what factor, where crossovers fall.
 
+pub mod cli;
 pub mod compare;
 
 use std::path::PathBuf;
@@ -14,53 +15,22 @@ use std::time::Instant;
 
 use npdp_core::{DpValue, Engine, TriangularMatrix};
 
+pub use cli::{gate_fail, usage_fail, Cli, EXIT_GATE_FAIL, EXIT_OK, EXIT_USAGE};
+pub use npdp_exec::ExecContext;
 pub use npdp_fault::{FaultInjector, FaultKind, FaultPlan, RetryPolicy};
 pub use npdp_metrics::{Metrics, Recorder, Report};
 pub use npdp_trace::Tracer;
 
 /// Parse the shared `--json <path>` flag from the process arguments.
-///
-/// Every repro binary accepts `--json <path>` and then writes its results
-/// machine-readably (schema `cellnpdp-bench-v1`, conventionally named
-/// `BENCH_<experiment>.json`) in addition to the human-readable table.
-/// Exits with an error if `--json` is given without a path.
+#[deprecated(since = "0.1.0", note = "use `Cli::parse().json`")]
 pub fn json_out() -> Option<PathBuf> {
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        if a == "--json" {
-            match args.next() {
-                Some(p) => return Some(PathBuf::from(p)),
-                None => {
-                    eprintln!("error: --json requires a path argument");
-                    std::process::exit(2);
-                }
-            }
-        }
-    }
-    None
+    Cli::parse().json
 }
 
 /// Parse the shared `--trace <path>` flag from the process arguments.
-///
-/// Repro binaries that accept it capture an event timeline of one
-/// representative run and write it as a Chrome trace-event JSON file
-/// (loadable in Perfetto / `chrome://tracing`), conventionally named
-/// `TRACE_<experiment>.json`, then print the occupancy/overlap/critical-path
-/// summary. Exits with an error if `--trace` is given without a path.
+#[deprecated(since = "0.1.0", note = "use `Cli::parse().trace`")]
 pub fn trace_out() -> Option<PathBuf> {
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        if a == "--trace" {
-            match args.next() {
-                Some(p) => return Some(PathBuf::from(p)),
-                None => {
-                    eprintln!("error: --trace requires a path argument");
-                    std::process::exit(2);
-                }
-            }
-        }
-    }
-    None
+    Cli::parse().trace
 }
 
 /// Snapshot `tracer`, write the Chrome trace to `path` (if given) and print
@@ -119,32 +89,10 @@ impl FaultArgs {
 }
 
 /// Parse `--faults <seed>` and `--fault-rate <r>` from the process
-/// arguments. Returns `None` when `--faults` was not given; exits with an
-/// error on a malformed value.
+/// arguments.
+#[deprecated(since = "0.1.0", note = "use `Cli::parse().faults`")]
 pub fn fault_args() -> Option<FaultArgs> {
-    let mut seed = None;
-    let mut rate = 0.05f64;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--faults" => match args.next().and_then(|v| v.parse().ok()) {
-                Some(s) => seed = Some(s),
-                None => {
-                    eprintln!("error: --faults requires an integer seed");
-                    std::process::exit(2);
-                }
-            },
-            "--fault-rate" => match args.next().and_then(|v| v.parse().ok()) {
-                Some(r) if (0.0..=1.0).contains(&r) => rate = r,
-                _ => {
-                    eprintln!("error: --fault-rate requires a number in [0, 1]");
-                    std::process::exit(2);
-                }
-            },
-            _ => {}
-        }
-    }
-    seed.map(|seed| FaultArgs { seed, rate })
+    Cli::parse().faults
 }
 
 /// Write an injector's counter snapshot (`fault.injected`, `dma.retries`,
@@ -161,8 +109,14 @@ pub fn merge_fault_counters(report: &mut Report, faults: &FaultInjector) {
 /// host-measured repro binaries shrink their problem sizes so the whole
 /// suite finishes in CI-smoke time. Simulator-driven binaries ignore it —
 /// they sample, and run in milliseconds at paper scale anyway.
-pub fn repro_small() -> bool {
+pub(crate) fn env_repro_small() -> bool {
     std::env::var("NPDP_REPRO_SMALL").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// True when `NPDP_REPRO_SMALL` is set (see [`Cli::small`]).
+#[deprecated(since = "0.1.0", note = "use `Cli::parse().small`")]
+pub fn repro_small() -> bool {
+    env_repro_small()
 }
 
 /// Write `report` to `path` if the `--json` flag was given, printing a

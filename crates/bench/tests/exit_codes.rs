@@ -1,0 +1,107 @@
+//! The repro binaries' shared exit-code contract (see `bench::cli`):
+//! `0` = ran to completion with every gate passed, `1` = an acceptance
+//! gate failed, `2` = malformed command line. Every binary must refuse a
+//! malformed shared flag the same way, and the cheap binaries are run to
+//! completion to pin the success path.
+
+use std::process::Command;
+
+use bench::{Report, EXIT_GATE_FAIL, EXIT_OK, EXIT_USAGE};
+
+/// `CARGO_BIN_EXE_<name>` paths for every repro binary.
+const BINS: &[(&str, &str)] = &[
+    ("repro-tune", env!("CARGO_BIN_EXE_repro-tune")),
+    ("repro-chaos", env!("CARGO_BIN_EXE_repro-chaos")),
+    ("repro-table1", env!("CARGO_BIN_EXE_repro-table1")),
+    ("repro-table2", env!("CARGO_BIN_EXE_repro-table2")),
+    ("repro-table3", env!("CARGO_BIN_EXE_repro-table3")),
+    ("repro-fig9a", env!("CARGO_BIN_EXE_repro-fig9a")),
+    ("repro-fig9b", env!("CARGO_BIN_EXE_repro-fig9b")),
+    ("repro-fig10a", env!("CARGO_BIN_EXE_repro-fig10a")),
+    ("repro-fig10b", env!("CARGO_BIN_EXE_repro-fig10b")),
+    ("repro-fig11a", env!("CARGO_BIN_EXE_repro-fig11a")),
+    ("repro-fig11b", env!("CARGO_BIN_EXE_repro-fig11b")),
+    ("repro-fig12", env!("CARGO_BIN_EXE_repro-fig12")),
+    ("repro-fig13", env!("CARGO_BIN_EXE_repro-fig13")),
+    ("repro-model", env!("CARGO_BIN_EXE_repro-model")),
+    ("repro-ablation", env!("CARGO_BIN_EXE_repro-ablation")),
+    ("repro-all", env!("CARGO_BIN_EXE_repro-all")),
+    ("repro-compare", env!("CARGO_BIN_EXE_repro-compare")),
+];
+
+fn exit_code(bin: &str, args: &[&str]) -> i32 {
+    let (_, path) = BINS
+        .iter()
+        .find(|(name, _)| *name == bin)
+        .unwrap_or_else(|| panic!("unknown binary {bin}"));
+    Command::new(path)
+        .args(args)
+        .env("NPDP_REPRO_SMALL", "1")
+        .output()
+        .unwrap_or_else(|e| panic!("{bin} did not run: {e}"))
+        .status
+        .code()
+        .unwrap_or_else(|| panic!("{bin} killed by signal"))
+}
+
+#[test]
+fn dangling_shared_flag_is_a_usage_error_everywhere() {
+    // `--json` with no path must exit EXIT_USAGE from every binary before
+    // it does any work — the shared parser front-loads flag validation.
+    // (repro-compare rejects it as a malformed positional pair instead,
+    // same exit code by design.)
+    for (bin, _) in BINS {
+        assert_eq!(
+            exit_code(bin, &["--json"]),
+            EXIT_USAGE,
+            "{bin}: --json without a path must be a usage error"
+        );
+    }
+}
+
+#[test]
+fn malformed_fault_flags_are_usage_errors() {
+    assert_eq!(
+        exit_code("repro-chaos", &["--faults", "not-a-seed"]),
+        EXIT_USAGE
+    );
+    assert_eq!(
+        exit_code("repro-fig10b", &["--fault-rate", "7.5"]),
+        EXIT_USAGE
+    );
+}
+
+#[test]
+fn compare_without_inputs_is_a_usage_error() {
+    assert_eq!(exit_code("repro-compare", &[]), EXIT_USAGE);
+    assert_eq!(exit_code("repro-compare", &["one-path-only"]), EXIT_USAGE);
+}
+
+#[test]
+fn cheap_binaries_run_to_completion_with_exit_ok() {
+    // The two fast all-analytic/simulated binaries pin the success path.
+    for bin in ["repro-table1", "repro-model"] {
+        assert_eq!(exit_code(bin, &[]), EXIT_OK, "{bin} should pass its gates");
+    }
+}
+
+#[test]
+fn compare_reports_regressions_with_exit_gate_fail() {
+    let dir = std::env::temp_dir().join(format!("npdp-exit-codes-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = dir.join("base.json");
+    let new = dir.join("new.json");
+    let mut r = Report::new("exitcodes");
+    r.add_timing("solve/n512", 1.0);
+    r.write_to(&base).unwrap();
+    let mut r = Report::new("exitcodes");
+    r.add_timing("solve/n512", 2.0);
+    r.write_to(&new).unwrap();
+
+    let args_fwd = [base.to_str().unwrap(), new.to_str().unwrap()];
+    assert_eq!(exit_code("repro-compare", &args_fwd), EXIT_GATE_FAIL);
+    // The same pair in the other direction is a speedup, not a regression.
+    let args_rev = [new.to_str().unwrap(), base.to_str().unwrap()];
+    assert_eq!(exit_code("repro-compare", &args_rev), EXIT_OK);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

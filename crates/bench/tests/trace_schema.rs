@@ -5,8 +5,8 @@
 
 use std::collections::HashMap;
 
-use bench::{Metrics, Tracer};
-use cell_sim::machine::{simulate_cellnpdp_traced, CellConfig, QueuePolicy};
+use bench::{ExecContext, Tracer};
+use cell_sim::machine::{simulate, CellConfig, SimSpec};
 use cell_sim::ppe::Precision;
 use npdp_core::{problem, Engine, ParallelEngine};
 use npdp_metrics::json::Value;
@@ -22,17 +22,15 @@ fn fig10b_style_trace() -> Tracer {
     // SPEs to receive work (256 would leave SPE 3 idle — 3 tasks).
     let n = 512usize;
     let seeds = problem::random_seeds_f32(n, 100.0, n as u64);
-    ParallelEngine::new(64, 2, 2).solve_traced(&seeds, &Metrics::noop(), &tracer);
+    let ctx = ExecContext::disabled().with_tracer(&tracer);
+    ParallelEngine::new(64, 2, 2)
+        .solve_with(&seeds, &ctx)
+        .expect("traced run");
     let cfg = CellConfig::qs20();
-    simulate_cellnpdp_traced(
+    simulate(
         &cfg,
-        n,
-        64,
-        2,
-        Precision::Single,
-        4,
-        QueuePolicy::Fifo,
-        &tracer,
+        &SimSpec::cellnpdp(n, 64, 2, Precision::Single, 4),
+        &ctx,
     );
     tracer
 }

@@ -68,8 +68,11 @@ pub mod swp;
 
 pub use asm::{assemble, disassemble, disassemble_scheduled};
 pub use isa::{Instr, InstrMix, Pipe, Reg};
-pub use machine::{CellConfig, SimReport};
+pub use machine::{simulate, CellConfig, SimReport, SimSpec};
 pub use mailbox::Mailbox;
-pub use multi_spe::{functional_cellnpdp_multi_spe, MultiSpeReport};
+pub use multi_spe::{
+    functional_cellnpdp_multi_spe, functional_cellnpdp_multi_spe_with, MultiSpeReport,
+};
+pub use npdp_exec::ExecContext;
 pub use spu::{schedule, Schedule, Spu};
 pub use swp::{software_pipeline, Pipelined};

@@ -10,6 +10,7 @@
 //! sizes (n = 16 K) simulate in milliseconds this way; the *functional*
 //! cross-check for small n lives in [`crate::npdp`].
 
+use npdp_exec::ExecContext;
 use npdp_trace::{EventKind, TimeDomain, Tracer, Track, TrackDesc};
 use task_queue::{diagonal_batched_grid, scheduling_grid};
 
@@ -291,10 +292,129 @@ pub enum QueuePolicy {
     CriticalPathFirst,
 }
 
+/// What to simulate: the problem, the blocking, the machine slice and the
+/// scheduling discipline. The *how to observe / perturb it* — tracing,
+/// metrics, fault plan, retry policy — comes separately through an
+/// [`ExecContext`], so one [`simulate`] covers what used to be six
+/// `simulate_cellnpdp*` spellings.
+#[derive(Debug, Clone, Copy)]
+pub struct SimSpec {
+    /// Problem size (intervals).
+    pub n: usize,
+    /// Memory-block side (cells, multiple of 4).
+    pub nb: usize,
+    /// Scheduling-block side (memory blocks).
+    pub sb: usize,
+    /// Element precision.
+    pub prec: Precision,
+    /// SPEs used (≤ the machine's).
+    pub spes: usize,
+    /// Ready-queue policy of the simulated PPE.
+    pub policy: QueuePolicy,
+    /// `Some(min_parallel)` folds trailing starved diagonals into one batch
+    /// task ([`task_queue::diagonal_batched_grid`]); `None` is the plain
+    /// grid.
+    pub batch_min_parallel: Option<usize>,
+    /// SIMD computing-block kernels (CellNPDP) vs the scalar NDL loop (the
+    /// paper's "NDL" ablation bar).
+    pub simd: bool,
+}
+
+impl SimSpec {
+    /// Full CellNPDP: NDL + SIMD kernels + FIFO task queue.
+    pub fn cellnpdp(n: usize, nb: usize, sb: usize, prec: Precision, spes: usize) -> Self {
+        Self {
+            n,
+            nb,
+            sb,
+            prec,
+            spes,
+            policy: QueuePolicy::Fifo,
+            batch_min_parallel: None,
+            simd: true,
+        }
+    }
+
+    /// The NDL + *scalar* ablation configuration.
+    pub fn ndl_scalar(n: usize, nb: usize, sb: usize, prec: Precision, spes: usize) -> Self {
+        Self {
+            simd: false,
+            ..Self::cellnpdp(n, nb, sb, prec, spes)
+        }
+    }
+
+    /// Switch the simulated PPE's ready-queue policy.
+    pub fn with_policy(mut self, policy: QueuePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Fold trailing coarse diagonals carrying fewer than `min_parallel`
+    /// tasks into one batch task, so the apex tail pays one task overhead
+    /// instead of one per starved task. Same blocks, same per-block costs —
+    /// only the scheduling granularity changes. The batch runs on a single
+    /// SPE, so merging trades residual parallelism for saved dispatch
+    /// overhead: small `min_parallel` (merge only the near-serial apex) is
+    /// the profitable setting; `min_parallel >= spes` is the aggressive
+    /// ablation.
+    pub fn batched(mut self, min_parallel: usize) -> Self {
+        self.batch_min_parallel = Some(min_parallel);
+        self
+    }
+}
+
+/// Simulate one CellNPDP (or NDL-scalar) run of `spec` on the machine `cfg`
+/// under the policies of `ctx` — the one entry point behind every legacy
+/// `simulate_cellnpdp*` spelling:
+///
+/// * `ctx.tracer` — timeline emission: one `Worker` track per SPE carrying
+///   `Block` spans over the *compute* intervals of the double-buffering
+///   pipeline (DMA stalls are not busy time), one `Dma` track per SPE with
+///   the pipeline's get/put transfers, and a PPE control track with a
+///   `MailboxSend` instant per task assignment — all in
+///   [`TimeDomain::SimCycles`] so simulated cycles never mix with wall
+///   clocks. Tracing observes, never steers the discrete-event schedule.
+/// * `ctx.faults` / `ctx.retry` — an injected DMA failure re-issues the
+///   block's prologue transfer after exponential backoff (per the retry
+///   policy), and an injected delay stretches the block by a deterministic
+///   payload-derived stall — both lengthen the schedule without changing
+///   what is computed. The retry count lands in [`SimReport::dma_retries`].
+/// * `ctx.metrics` — when enabled, the finished report is recorded via
+///   [`SimReport::record_into`].
+///
+/// `ctx.scheduler` and `ctx.tuning` are host-engine policies and are
+/// ignored here; the simulated PPE's discipline is [`SimSpec::policy`].
+pub fn simulate(cfg: &CellConfig, spec: &SimSpec, ctx: &ExecContext) -> SimReport {
+    assert!(spec.spes >= 1 && spec.spes <= cfg.spes);
+    assert!(spec.nb >= 4 && spec.nb.is_multiple_of(4));
+    let report = simulate_blocked(
+        cfg,
+        spec.n,
+        spec.nb,
+        spec.sb,
+        spec.prec,
+        spec.spes,
+        spec.simd,
+        spec.policy,
+        &ctx.tracer,
+        &ctx.faults,
+        ctx.retry,
+        spec.batch_min_parallel,
+    );
+    if ctx.metrics.enabled() {
+        report.record_into(&ctx.metrics);
+    }
+    report
+}
+
 /// Simulate CellNPDP (NDL + SIMD kernels + task queue) on `spes` SPEs.
 ///
 /// `nb` is the memory-block side (cells), `sb` the scheduling-block side
 /// (memory blocks).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `simulate(cfg, &SimSpec::cellnpdp(..), &ExecContext::disabled())`"
+)]
 pub fn simulate_cellnpdp(
     cfg: &CellConfig,
     n: usize,
@@ -303,10 +423,18 @@ pub fn simulate_cellnpdp(
     prec: Precision,
     spes: usize,
 ) -> SimReport {
-    simulate_cellnpdp_with_policy(cfg, n, nb, sb, prec, spes, QueuePolicy::Fifo)
+    simulate(
+        cfg,
+        &SimSpec::cellnpdp(n, nb, sb, prec, spes),
+        &ExecContext::disabled(),
+    )
 }
 
 /// [`simulate_cellnpdp`] with an explicit ready-queue policy.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `simulate` with `SimSpec::cellnpdp(..).with_policy(policy)`"
+)]
 pub fn simulate_cellnpdp_with_policy(
     cfg: &CellConfig,
     n: usize,
@@ -316,30 +444,18 @@ pub fn simulate_cellnpdp_with_policy(
     spes: usize,
     policy: QueuePolicy,
 ) -> SimReport {
-    assert!(spes >= 1 && spes <= cfg.spes);
-    assert!(nb >= 4 && nb.is_multiple_of(4));
-    simulate_blocked(
+    simulate(
         cfg,
-        n,
-        nb,
-        sb,
-        prec,
-        spes,
-        true,
-        policy,
-        &Tracer::noop(),
-        &npdp_fault::FaultInjector::noop(),
-        npdp_fault::RetryPolicy::DEFAULT,
-        None,
+        &SimSpec::cellnpdp(n, nb, sb, prec, spes).with_policy(policy),
+        &ExecContext::disabled(),
     )
 }
 
-/// [`simulate_cellnpdp_with_policy`] under a fault plan: an injected DMA
-/// failure re-issues the block's prologue transfer after exponential
-/// backoff (per the retry policy), and an injected delay stretches the
-/// block by a deterministic payload-derived stall — both lengthen the
-/// schedule without changing what is computed. The retry count lands in
-/// [`SimReport::dma_retries`].
+/// [`simulate_cellnpdp_with_policy`] under a fault plan.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `simulate` with an `ExecContext` carrying the injector and retry policy"
+)]
 #[allow(clippy::too_many_arguments)]
 pub fn simulate_cellnpdp_faulted(
     cfg: &CellConfig,
@@ -352,30 +468,20 @@ pub fn simulate_cellnpdp_faulted(
     faults: &npdp_fault::FaultInjector,
     retry: npdp_fault::RetryPolicy,
 ) -> SimReport {
-    assert!(spes >= 1 && spes <= cfg.spes);
-    assert!(nb >= 4 && nb.is_multiple_of(4));
-    simulate_blocked(
+    simulate(
         cfg,
-        n,
-        nb,
-        sb,
-        prec,
-        spes,
-        true,
-        policy,
-        &Tracer::noop(),
-        faults,
-        retry,
-        None,
+        &SimSpec::cellnpdp(n, nb, sb, prec, spes).with_policy(policy),
+        &ExecContext::disabled()
+            .with_faults(faults)
+            .with_retry(retry),
     )
 }
 
-/// [`simulate_cellnpdp_with_policy`] plus timeline emission: one `Worker`
-/// track per SPE carrying `Block` spans over the *compute* intervals of the
-/// double-buffering pipeline (DMA stalls are not busy time), one `Dma` track
-/// per SPE with the pipeline's get/put transfers, and a PPE control track
-/// with a `MailboxSend` instant per task assignment — all in
-/// [`TimeDomain::SimCycles`] so simulated cycles never mix with wall clocks.
+/// [`simulate_cellnpdp_with_policy`] plus timeline emission.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `simulate` with `ExecContext::disabled().with_tracer(tracer)`"
+)]
 #[allow(clippy::too_many_arguments)]
 pub fn simulate_cellnpdp_traced(
     cfg: &CellConfig,
@@ -387,34 +493,19 @@ pub fn simulate_cellnpdp_traced(
     policy: QueuePolicy,
     tracer: &Tracer,
 ) -> SimReport {
-    assert!(spes >= 1 && spes <= cfg.spes);
-    assert!(nb >= 4 && nb.is_multiple_of(4));
-    simulate_blocked(
+    simulate(
         cfg,
-        n,
-        nb,
-        sb,
-        prec,
-        spes,
-        true,
-        policy,
-        tracer,
-        &npdp_fault::FaultInjector::noop(),
-        npdp_fault::RetryPolicy::DEFAULT,
-        None,
+        &SimSpec::cellnpdp(n, nb, sb, prec, spes).with_policy(policy),
+        &ExecContext::disabled().with_tracer(tracer),
     )
 }
 
 /// [`simulate_cellnpdp_with_policy`] with the diagonal-batched scheduling
-/// grid: trailing coarse diagonals carrying fewer than `min_parallel` tasks
-/// are folded into one batch task ([`task_queue::diagonal_batched_grid`]),
-/// so the apex tail pays one task overhead instead of one per starved task.
-/// Same blocks, same per-block costs — only the scheduling granularity
-/// changes. The batch runs on a single SPE, so merging a diagonal trades
-/// its residual parallelism for the saved dispatch overheads: small
-/// `min_parallel` (merge only the near-serial apex) is the profitable
-/// setting; `min_parallel >= spes` (merge every starved diagonal) is the
-/// aggressive ablation.
+/// grid (see [`SimSpec::batched`]).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `simulate` with `SimSpec::cellnpdp(..).batched(min_parallel)`"
+)]
 #[allow(clippy::too_many_arguments)]
 pub fn simulate_cellnpdp_batched(
     cfg: &CellConfig,
@@ -426,27 +517,21 @@ pub fn simulate_cellnpdp_batched(
     policy: QueuePolicy,
     min_parallel: usize,
 ) -> SimReport {
-    assert!(spes >= 1 && spes <= cfg.spes);
-    assert!(nb >= 4 && nb.is_multiple_of(4));
-    simulate_blocked(
+    simulate(
         cfg,
-        n,
-        nb,
-        sb,
-        prec,
-        spes,
-        true,
-        policy,
-        &Tracer::noop(),
-        &npdp_fault::FaultInjector::noop(),
-        npdp_fault::RetryPolicy::DEFAULT,
-        Some(min_parallel),
+        &SimSpec::cellnpdp(n, nb, sb, prec, spes)
+            .with_policy(policy)
+            .batched(min_parallel),
+        &ExecContext::disabled(),
     )
 }
 
-/// [`simulate_cellnpdp_batched`] plus timeline emission (same track layout
-/// as [`simulate_cellnpdp_traced`]), for analyzer-level comparison of the
-/// plain and batched disciplines on identical block costs.
+/// [`simulate_cellnpdp_batched`] plus timeline emission, for analyzer-level
+/// comparison of the plain and batched disciplines on identical block costs.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `simulate` with a batched `SimSpec` and `ExecContext::disabled().with_tracer(tracer)`"
+)]
 #[allow(clippy::too_many_arguments)]
 pub fn simulate_cellnpdp_batched_traced(
     cfg: &CellConfig,
@@ -459,26 +544,21 @@ pub fn simulate_cellnpdp_batched_traced(
     min_parallel: usize,
     tracer: &Tracer,
 ) -> SimReport {
-    assert!(spes >= 1 && spes <= cfg.spes);
-    assert!(nb >= 4 && nb.is_multiple_of(4));
-    simulate_blocked(
+    simulate(
         cfg,
-        n,
-        nb,
-        sb,
-        prec,
-        spes,
-        true,
-        policy,
-        tracer,
-        &npdp_fault::FaultInjector::noop(),
-        npdp_fault::RetryPolicy::DEFAULT,
-        Some(min_parallel),
+        &SimSpec::cellnpdp(n, nb, sb, prec, spes)
+            .with_policy(policy)
+            .batched(min_parallel),
+        &ExecContext::disabled().with_tracer(tracer),
     )
 }
 
 /// Simulate the NDL + *scalar* configuration (the paper's "NDL" ablation
 /// bar) on `spes` SPEs.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `simulate(cfg, &SimSpec::ndl_scalar(..), &ExecContext::disabled())`"
+)]
 pub fn simulate_ndl_scalar(
     cfg: &CellConfig,
     n: usize,
@@ -487,19 +567,10 @@ pub fn simulate_ndl_scalar(
     prec: Precision,
     spes: usize,
 ) -> SimReport {
-    simulate_blocked(
+    simulate(
         cfg,
-        n,
-        nb,
-        sb,
-        prec,
-        spes,
-        false,
-        QueuePolicy::Fifo,
-        &Tracer::noop(),
-        &npdp_fault::FaultInjector::noop(),
-        npdp_fault::RetryPolicy::DEFAULT,
-        None,
+        &SimSpec::ndl_scalar(n, nb, sb, prec, spes),
+        &ExecContext::disabled(),
     )
 }
 
@@ -798,6 +869,9 @@ pub fn ndl_bytes_transferred(n: u64, nb: u64, prec: Precision) -> u64 {
 }
 
 #[cfg(test)]
+// The deprecated wrappers double as equivalence proofs: these tests keep
+// exercising them on purpose until the wrappers are removed.
+#[allow(deprecated)]
 mod tests {
     use super::*;
 

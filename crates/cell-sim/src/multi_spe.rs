@@ -11,6 +11,7 @@
 //! Results must be bit-identical to the host engines (integration-tested).
 
 use npdp_core::{BlockedMatrix, SolveError, TriangularMatrix};
+use npdp_exec::ExecContext;
 use npdp_fault::{site2, site3, FaultInjector, FaultKind, RetryPolicy};
 use npdp_trace::{EventKind, TimeDomain, Tracer, TrackDesc};
 use task_queue::scheduling_grid;
@@ -87,14 +88,16 @@ pub fn functional_cellnpdp_multi_spe(
     sb: usize,
     spes: usize,
 ) -> (TriangularMatrix<f32>, MultiSpeReport) {
-    functional_cellnpdp_multi_spe_traced(seeds, nb, sb, spes, &Tracer::noop())
+    functional_cellnpdp_multi_spe_with(seeds, nb, sb, spes, &ExecContext::disabled())
+        .expect("fault-free protocol run cannot fail")
 }
 
 /// [`functional_cellnpdp_multi_spe`] plus timeline emission in
-/// [`TimeDomain::Ticks`]: one worker track per SPE with `Task` spans (one
-/// round wide) nesting per-block spans, mailbox `MailboxSend`/`MailboxWait`
-/// instants from the attached mailboxes (assignments on the SPE's track,
-/// completions on the PPE's), timestamped on the round clock.
+/// [`TimeDomain::Ticks`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `functional_cellnpdp_multi_spe_with` with `ExecContext::disabled().with_tracer(tracer)`"
+)]
 pub fn functional_cellnpdp_multi_spe_traced(
     seeds: &TriangularMatrix<f32>,
     nb: usize,
@@ -102,20 +105,48 @@ pub fn functional_cellnpdp_multi_spe_traced(
     spes: usize,
     tracer: &Tracer,
 ) -> (TriangularMatrix<f32>, MultiSpeReport) {
-    functional_cellnpdp_multi_spe_faulted(
+    functional_cellnpdp_multi_spe_with(
         seeds,
         nb,
         sb,
         spes,
-        &FaultInjector::noop(),
-        RetryPolicy::DEFAULT,
-        tracer,
+        &ExecContext::disabled().with_tracer(tracer),
     )
     .expect("fault-free protocol run cannot fail")
 }
 
-/// The fault-tolerant Fig. 8 protocol: [`functional_cellnpdp_multi_spe_traced`]
-/// under a fault plan.
+/// The fault-tolerant Fig. 8 protocol under a fault plan.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `functional_cellnpdp_multi_spe_with` with an `ExecContext` carrying the injector and retry policy"
+)]
+#[allow(clippy::too_many_arguments)]
+pub fn functional_cellnpdp_multi_spe_faulted(
+    seeds: &TriangularMatrix<f32>,
+    nb: usize,
+    sb: usize,
+    spes: usize,
+    faults: &FaultInjector,
+    retry: RetryPolicy,
+    tracer: &Tracer,
+) -> Result<(TriangularMatrix<f32>, MultiSpeReport), SolveError> {
+    functional_cellnpdp_multi_spe_with(
+        seeds,
+        nb,
+        sb,
+        spes,
+        &ExecContext::disabled()
+            .with_faults(faults)
+            .with_retry(retry)
+            .with_tracer(tracer),
+    )
+}
+
+/// The fault-tolerant Fig. 8 protocol, under the policies of `ctx`
+/// (`ctx.tracer` for the [`TimeDomain::Ticks`] timeline — one worker track
+/// per SPE with `Task` spans nesting per-block spans, mailbox
+/// `MailboxSend`/`MailboxWait` instants on the round clock — and
+/// `ctx.faults` / `ctx.retry` for the fault plan).
 ///
 /// Recovery mechanisms, all bit-identical-safe because block recomputation
 /// is idempotent (results are written back only at block end, over inputs
@@ -137,16 +168,16 @@ pub fn functional_cellnpdp_multi_spe_traced(
 /// [`SolveError::ProtocolStalled`] when the round watchdog gives up (e.g.
 /// a 100 % drop rate). Never a hang: every round either makes progress or
 /// burns the bounded round budget.
-#[allow(clippy::too_many_arguments)]
-pub fn functional_cellnpdp_multi_spe_faulted(
+pub fn functional_cellnpdp_multi_spe_with(
     seeds: &TriangularMatrix<f32>,
     nb: usize,
     sb: usize,
     spes: usize,
-    faults: &FaultInjector,
-    retry: RetryPolicy,
-    tracer: &Tracer,
+    ctx: &ExecContext,
 ) -> Result<(TriangularMatrix<f32>, MultiSpeReport), SolveError> {
+    let faults = &ctx.faults;
+    let retry = ctx.retry;
+    let tracer = &ctx.tracer;
     assert!(
         nb >= 4 && nb.is_multiple_of(4),
         "block side must be a multiple of 4"
@@ -379,6 +410,9 @@ pub fn functional_cellnpdp_multi_spe_faulted(
 }
 
 #[cfg(test)]
+// The deprecated wrappers double as equivalence proofs for the generic
+// ExecContext path, so these tests keep exercising them on purpose.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use npdp_core::{Engine, SerialEngine};

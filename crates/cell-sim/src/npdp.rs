@@ -285,22 +285,44 @@ pub fn functional_cellnpdp_f32(
     seeds: &TriangularMatrix<f32>,
     nb: usize,
 ) -> (TriangularMatrix<f32>, u64) {
-    functional_cellnpdp_f32_faulted(seeds, nb, &FaultInjector::noop(), RetryPolicy::DEFAULT)
+    functional_cellnpdp_f32_with(seeds, nb, &npdp_exec::ExecContext::disabled())
         .expect("fault-free run cannot fail")
 }
 
-/// [`functional_cellnpdp_f32`] under a fault plan: every DMA transfer is
-/// checksum-verified on receive and retried with backoff on loss or
-/// corruption. Whenever recovery succeeds the table is **bit-identical** to
-/// the fault-free run (a verified transfer delivered exactly the source
-/// bytes); once a transfer exhausts its retry budget the run stops with
-/// [`SolveError::TransferFailed`].
+/// [`functional_cellnpdp_f32`] under a fault plan.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `functional_cellnpdp_f32_with` with an `ExecContext` carrying the injector and retry policy"
+)]
 pub fn functional_cellnpdp_f32_faulted(
     seeds: &TriangularMatrix<f32>,
     nb: usize,
     faults: &FaultInjector,
     retry: RetryPolicy,
 ) -> Result<(TriangularMatrix<f32>, u64), SolveError> {
+    functional_cellnpdp_f32_with(
+        seeds,
+        nb,
+        &npdp_exec::ExecContext::disabled()
+            .with_faults(faults)
+            .with_retry(retry),
+    )
+}
+
+/// [`functional_cellnpdp_f32`] under the fault plan of `ctx` (only
+/// `ctx.faults` / `ctx.retry` apply to this single-SPE functional run):
+/// every DMA transfer is checksum-verified on receive and retried with
+/// backoff on loss or corruption. Whenever recovery succeeds the table is
+/// **bit-identical** to the fault-free run (a verified transfer delivered
+/// exactly the source bytes); once a transfer exhausts its retry budget the
+/// run stops with [`SolveError::TransferFailed`].
+pub fn functional_cellnpdp_f32_with(
+    seeds: &TriangularMatrix<f32>,
+    nb: usize,
+    ctx: &npdp_exec::ExecContext,
+) -> Result<(TriangularMatrix<f32>, u64), SolveError> {
+    let faults = &ctx.faults;
+    let retry = ctx.retry;
     assert!(
         nb >= 4 && nb.is_multiple_of(4),
         "block side must be a multiple of 4"
@@ -404,6 +426,9 @@ pub(crate) fn spe_compute_block_checked(
 }
 
 #[cfg(test)]
+// The deprecated wrappers double as equivalence proofs for the generic
+// ExecContext path, so these tests keep exercising them on purpose.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use npdp_core::{Engine, SerialEngine};

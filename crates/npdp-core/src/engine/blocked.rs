@@ -1,10 +1,14 @@
 //! Single-threaded NDL engines: the blocked layout swept in dependence
 //! order, with either scalar or SIMD block kernels.
 
+use npdp_exec::ExecContext;
 use npdp_metrics::Metrics;
+use npdp_trace::{EventKind, TrackDesc};
+use task_queue::ExecStats;
 
 use crate::engine::scalar_kernels::{ScalarKernels, SimdKernels};
-use crate::engine::{compute_offdiag_block, BlockKernels, Engine};
+use crate::engine::{compute_offdiag_block, validate_seeds, BlockKernels, Engine};
+use crate::error::SolveError;
 use crate::layout::{BlockedMatrix, TriangularMatrix};
 use crate::value::DpValue;
 
@@ -105,8 +109,19 @@ impl<T: DpValue> Engine<T> for BlockedEngine {
         solve_via_blocked(seeds, self.nb, &ScalarKernels)
     }
 
-    fn solve_metered(&self, seeds: &TriangularMatrix<T>, metrics: &Metrics) -> TriangularMatrix<T> {
-        solve_via_blocked_metered(seeds, self.nb, &ScalarKernels, metrics)
+    fn solve_with(
+        &self,
+        seeds: &TriangularMatrix<T>,
+        ctx: &ExecContext,
+    ) -> Result<(TriangularMatrix<T>, ExecStats), SolveError> {
+        validate_seeds(seeds)?;
+        let track = ctx.tracer.register(TrackDesc::control(format!(
+            "engine: {}",
+            <Self as Engine<T>>::name(self)
+        )));
+        let _span = ctx.tracer.span(track, EventKind::Solve);
+        let out = solve_via_blocked_metered(seeds, self.nb, &ScalarKernels, &ctx.metrics);
+        Ok((out, ExecStats::serial()))
     }
 }
 

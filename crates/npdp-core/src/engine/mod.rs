@@ -36,8 +36,10 @@ pub use simd::SimdEngine;
 pub use tiled::TiledEngine;
 pub use wavefront::WavefrontEngine;
 
+use npdp_exec::ExecContext;
 use npdp_metrics::Metrics;
 use npdp_trace::{EventKind, Tracer, TrackDesc};
+use task_queue::ExecStats;
 
 use crate::error::SolveError;
 use crate::layout::TriangularMatrix;
@@ -45,13 +47,21 @@ use crate::value::DpValue;
 
 /// Validate every problem seed (NaN, negative lengths) before a solve.
 /// O(n²) compares — negligible next to the O(n³) closure.
+///
+/// The all-valid case (every solve that doesn't error) is a straight sweep
+/// of the flat storage with no per-cell index arithmetic, keeping
+/// `solve_with`'s mandatory validation within noise of the raw solve; the
+/// coordinate walk runs only to name the offending cell.
 pub fn validate_seeds<T: DpValue>(seeds: &TriangularMatrix<T>) -> Result<(), SolveError> {
+    if seeds.as_slice().iter().all(|&v| T::seed_issue(v).is_none()) {
+        return Ok(());
+    }
     for (i, j, v) in seeds.iter() {
         if let Some(issue) = T::seed_issue(v) {
             return Err(SolveError::InvalidSeed { i, j, issue });
         }
     }
-    Ok(())
+    unreachable!("flat-storage scan flagged a seed the cell walk cannot find")
 }
 
 /// A solver for the NPDP min-plus interval closure.
@@ -61,60 +71,98 @@ pub trait Engine<T: DpValue> {
 
     /// Solve the closure over the seeded triangle, returning the completed
     /// DP table. Seeds are the initial `d[i][j]` values (`+∞` where absent).
+    ///
+    /// This is the engine's one mathematical implementation; every
+    /// instrumented spelling goes through [`Engine::solve_with`].
     fn solve(&self, seeds: &TriangularMatrix<T>) -> TriangularMatrix<T>;
 
-    /// Validating solve: rejects NaN / negative-length seeds with a typed
-    /// [`SolveError`] instead of computing garbage. The fault-tolerant
-    /// engines additionally override this to convert worker failures into
-    /// errors rather than panics.
-    fn try_solve(&self, seeds: &TriangularMatrix<T>) -> Result<TriangularMatrix<T>, SolveError> {
-        validate_seeds(seeds)?;
-        Ok(self.solve(seeds))
-    }
-
-    /// Solve while emitting metrics. A disabled handle ([`Metrics::noop`])
-    /// must leave the result bit-identical to [`Engine::solve`] at
-    /// negligible cost — the metrics layer observes, never steers.
+    /// The one generic instrumented entry point: solve under the policies of
+    /// `ctx` — counters into `ctx.metrics` (a disabled handle costs one
+    /// untaken branch and leaves the result bit-identical), a timeline into
+    /// `ctx.tracer`, faults from `ctx.faults` retried per `ctx.retry`, the
+    /// parallel tier's discipline from `ctx.scheduler`, and a model-chosen
+    /// block side when `ctx.tuning` is [`npdp_exec::Tuning::Auto`]. Seeds
+    /// are always validated (NaN / negative lengths become a typed
+    /// [`SolveError`] instead of garbage).
     ///
-    /// The default measures `engine.wall_ns` and attributes
-    /// `engine.cells_computed` (the `n(n-1)/2` logical DP cells) in one
-    /// shot; blocked engines override it to attribute work per memory block
-    /// and to count `engine.blocks_swept` / `engine.kernel_invocations`.
-    fn solve_metered(&self, seeds: &TriangularMatrix<T>, metrics: &Metrics) -> TriangularMatrix<T> {
+    /// The default wraps [`Engine::solve`] in a control-track `Solve` span
+    /// and an `engine.wall_ns` timer and attributes `engine.cells_computed`
+    /// (the `n(n-1)/2` logical DP cells) in one shot; blocked engines
+    /// override it to attribute work per memory block and the parallel
+    /// engine to run the task-queue driver, returning real scheduler stats.
+    fn solve_with(
+        &self,
+        seeds: &TriangularMatrix<T>,
+        ctx: &ExecContext,
+    ) -> Result<(TriangularMatrix<T>, ExecStats), SolveError> {
+        validate_seeds(seeds)?;
+        let track = ctx
+            .tracer
+            .register(TrackDesc::control(format!("engine: {}", self.name())));
+        let _span = ctx.tracer.span(track, EventKind::Solve);
         let out = {
-            let _t = metrics.timed("engine.wall_ns");
+            let _t = ctx.metrics.timed("engine.wall_ns");
             self.solve(seeds)
         };
-        metrics.add("engine.cells_computed", seeds.len() as u64);
-        out
+        ctx.metrics.add("engine.cells_computed", seeds.len() as u64);
+        Ok((out, ExecStats::serial()))
     }
 
-    /// Solve with a model-chosen memory-block size. Engines without a
-    /// tunable block (or whose block size is load-bearing for layout
-    /// round-trips) behave exactly like [`Engine::solve`];
-    /// [`ParallelEngine`] overrides this to pick `nb` from the §V
-    /// performance model via `npdp_tune::Tuner` for this problem size and
-    /// worker count, so callers need not hand-sweep Fig. 13.
+    /// Validating solve: rejects NaN / negative-length seeds with a typed
+    /// [`SolveError`] instead of computing garbage.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `solve_with(seeds, &ExecContext::disabled())`"
+    )]
+    fn try_solve(&self, seeds: &TriangularMatrix<T>) -> Result<TriangularMatrix<T>, SolveError> {
+        self.solve_with(seeds, &ExecContext::disabled())
+            .map(|(out, _)| out)
+    }
+
+    /// Solve while emitting metrics (`engine.wall_ns`,
+    /// `engine.cells_computed`, and per-block counters on blocked engines).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `solve_with` with `ExecContext::disabled().with_metrics(metrics)`"
+    )]
+    fn solve_metered(&self, seeds: &TriangularMatrix<T>, metrics: &Metrics) -> TriangularMatrix<T> {
+        self.solve_with(seeds, &ExecContext::disabled().with_metrics(metrics))
+            .map(|(out, _)| out)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Solve with a model-chosen memory-block size ([`ParallelEngine`] picks
+    /// `nb` from the §V performance model; engines without a tunable block
+    /// behave exactly like [`Engine::solve`]).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `solve_with` with `ExecContext::disabled().autotuned()`"
+    )]
     fn solve_autotuned(&self, seeds: &TriangularMatrix<T>) -> TriangularMatrix<T> {
-        self.solve(seeds)
+        self.solve_with(seeds, &ExecContext::disabled().autotuned())
+            .map(|(out, _)| out)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Solve while emitting both metrics and a timeline. Like the metrics
-    /// handle, a disabled [`Tracer::noop`] must leave the result
-    /// bit-identical to [`Engine::solve`] at one-untaken-branch cost.
-    ///
-    /// The default wraps the whole solve in a single `Solve` span on a
-    /// control track; the parallel engine overrides it to journal one track
-    /// per worker with per-task and per-block spans.
+    /// Solve while emitting both metrics and a timeline.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `solve_with` with `ExecContext::disabled().with_metrics(metrics).with_tracer(tracer)`"
+    )]
     fn solve_traced(
         &self,
         seeds: &TriangularMatrix<T>,
         metrics: &Metrics,
         tracer: &Tracer,
     ) -> TriangularMatrix<T> {
-        let track = tracer.register(TrackDesc::control(format!("engine: {}", self.name())));
-        let _span = tracer.span(track, EventKind::Solve);
-        self.solve_metered(seeds, metrics)
+        self.solve_with(
+            seeds,
+            &ExecContext::disabled()
+                .with_metrics(metrics)
+                .with_tracer(tracer),
+        )
+        .map(|(out, _)| out)
+        .unwrap_or_else(|e| panic!("{e}"))
     }
 }
 

@@ -1,13 +1,11 @@
 //! The full CellNPDP algorithm (paper Fig. 8): NDL + SIMD computing blocks +
 //! the task-queue parallel procedure over scheduling blocks.
 
+use npdp_exec::{ExecContext, Tuning};
 use npdp_fault::{FaultInjector, RetryPolicy};
 use npdp_metrics::Metrics;
 use npdp_trace::{EventKind, Tracer};
-use task_queue::{
-    diagonal_batched_grid, scheduling_grid, try_execute_faulted, try_execute_locality_faulted,
-    try_execute_stealing_faulted, ExecStats,
-};
+use task_queue::{diagonal_batched_grid, run, scheduling_grid, ExecStats};
 
 use crate::engine::scalar_kernels::SimdKernels;
 use crate::engine::shared::SharedBlocked;
@@ -16,22 +14,7 @@ use crate::error::SolveError;
 use crate::layout::{BlockedMatrix, TriangularMatrix};
 use crate::value::DpValue;
 
-/// Scheduling discipline of the parallel tier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Scheduler {
-    /// One shared FIFO ready queue — the paper's PPE task-queue model.
-    #[default]
-    CentralQueue,
-    /// Per-worker deques with work stealing — the modern alternative,
-    /// kept as an ablation axis.
-    WorkStealing,
-    /// Locality-aware batched discipline: trailing starved diagonals are
-    /// merged into one scheduling batch
-    /// ([`task_queue::diagonal_batched_grid`]) and a finished task's first
-    /// ready successor stays on the worker that just produced its operand
-    /// blocks ([`task_queue::locality`]).
-    LocalityBatched,
-}
+pub use npdp_exec::Scheduler;
 
 /// CellNPDP on the host: every worker thread plays an SPE against the shared
 /// ready queue; the dependence graph is the simplified left+below graph over
@@ -108,80 +91,104 @@ impl ParallelEngine {
 
     /// Solve and also return scheduler statistics (for load-balance
     /// experiments).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `solve_with(seeds, &ExecContext::disabled())`"
+    )]
     pub fn solve_with_stats<T: DpValue>(
         &self,
         seeds: &TriangularMatrix<T>,
     ) -> (TriangularMatrix<T>, ExecStats) {
-        self.solve_with_stats_metered(seeds, &Metrics::noop())
+        self.solve_with(seeds, &ExecContext::disabled())
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// [`Self::solve_with_stats`] with metric emission: engine counters
-    /// (`engine.blocks_swept`, `engine.kernel_invocations`,
-    /// `engine.cells_computed`, `engine.wall_ns`) attributed per memory
-    /// block as workers finalize them, plus the scheduler's `queue.*`
-    /// counters from the task pool.
+    /// Solve with metric emission plus scheduler statistics.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `solve_with` with `ExecContext::disabled().with_metrics(metrics)`"
+    )]
     pub fn solve_with_stats_metered<T: DpValue>(
         &self,
         seeds: &TriangularMatrix<T>,
         metrics: &Metrics,
     ) -> (TriangularMatrix<T>, ExecStats) {
-        self.solve_with_stats_instrumented(seeds, metrics, &Tracer::noop())
+        self.solve_with(seeds, &ExecContext::disabled().with_metrics(metrics))
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// [`Self::solve_with_stats_metered`] plus a timeline: one `Worker`
-    /// track per thread with `Task` spans from the scheduler and a nested
-    /// `Block` span for every memory block as it is claimed, computed and
-    /// finalized.
+    /// Solve with metrics and a timeline plus scheduler statistics.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `solve_with` with `ExecContext::disabled().with_metrics(metrics).with_tracer(tracer)`"
+    )]
     pub fn solve_with_stats_instrumented<T: DpValue>(
         &self,
         seeds: &TriangularMatrix<T>,
         metrics: &Metrics,
         tracer: &Tracer,
     ) -> (TriangularMatrix<T>, ExecStats) {
-        let _t = metrics.timed("engine.wall_ns");
-        let mut m = BlockedMatrix::from_triangular(seeds, self.nb);
-        let stats = self.solve_blocked_in_place_instrumented(&mut m, metrics, tracer);
-        (m.to_triangular(), stats)
+        self.solve_with(
+            seeds,
+            &ExecContext::disabled()
+                .with_metrics(metrics)
+                .with_tracer(tracer),
+        )
+        .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Run CellNPDP over an already-blocked matrix in place.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `solve_blocked_with(m, &ExecContext::disabled())`"
+    )]
     pub fn solve_blocked_in_place<T: DpValue>(&self, m: &mut BlockedMatrix<T>) -> ExecStats {
-        self.solve_blocked_in_place_metered(m, &Metrics::noop())
+        self.solve_blocked_with(m, &ExecContext::disabled())
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// [`Self::solve_blocked_in_place`] with metric emission.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `solve_blocked_with` with `ExecContext::disabled().with_metrics(metrics)`"
+    )]
     pub fn solve_blocked_in_place_metered<T: DpValue>(
         &self,
         m: &mut BlockedMatrix<T>,
         metrics: &Metrics,
     ) -> ExecStats {
-        self.solve_blocked_in_place_instrumented(m, metrics, &Tracer::noop())
+        self.solve_blocked_with(m, &ExecContext::disabled().with_metrics(metrics))
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// [`Self::solve_blocked_in_place_metered`] plus timeline emission.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `solve_blocked_with` with `ExecContext::disabled().with_metrics(metrics).with_tracer(tracer)`"
+    )]
     pub fn solve_blocked_in_place_instrumented<T: DpValue>(
         &self,
         m: &mut BlockedMatrix<T>,
         metrics: &Metrics,
         tracer: &Tracer,
     ) -> ExecStats {
-        match self.try_solve_blocked_in_place_faulted(
+        self.solve_blocked_with(
             m,
-            metrics,
-            tracer,
-            &FaultInjector::noop(),
-            RetryPolicy::DEFAULT,
-        ) {
-            Ok(stats) => stats,
-            Err(e) => panic!("{e}"),
-        }
+            &ExecContext::disabled()
+                .with_metrics(metrics)
+                .with_tracer(tracer),
+        )
+        .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Fault-tolerant solve: validates every seed, runs the scheduler
-    /// through the panic-isolating executor cores — optionally under fault
+    /// through the panic-isolating executor core — optionally under fault
     /// injection — and converts worker failures into a typed error instead
-    /// of a panic or a hang. With a disabled injector and valid seeds the
-    /// result is bit-identical to [`Self::solve_with_stats_instrumented`].
+    /// of a panic or a hang.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `solve_with` with an `ExecContext` carrying the injector and retry policy"
+    )]
     pub fn try_solve_with_stats_faulted<T: DpValue>(
         &self,
         seeds: &TriangularMatrix<T>,
@@ -190,22 +197,21 @@ impl ParallelEngine {
         faults: &FaultInjector,
         retry: RetryPolicy,
     ) -> Result<(TriangularMatrix<T>, ExecStats), SolveError> {
-        validate_seeds(seeds)?;
-        let _t = metrics.timed("engine.wall_ns");
-        let mut m = BlockedMatrix::from_triangular(seeds, self.nb);
-        let stats =
-            self.try_solve_blocked_in_place_faulted(&mut m, metrics, tracer, faults, retry)?;
-        Ok((m.to_triangular(), stats))
+        self.solve_with(
+            seeds,
+            &ExecContext::disabled()
+                .with_metrics(metrics)
+                .with_tracer(tracer)
+                .with_faults(faults)
+                .with_retry(retry),
+        )
     }
 
-    /// Fault-tolerant core over an already-blocked matrix. On `Err` the
-    /// matrix is left partially finalized and must be discarded.
-    ///
-    /// Injected [`npdp_fault::FaultKind::TaskPanic`] faults fire in the
-    /// executor *before* the task body claims any block, so a retried task
-    /// replays cleanly and a recovered run stays bit-identical; a *real*
-    /// panic mid-task trips the block state machine on requeue, exhausts the
-    /// retry budget and surfaces as [`SolveError::TaskFailed`].
+    /// Fault-tolerant core over an already-blocked matrix.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `solve_blocked_with` with an `ExecContext` carrying the injector and retry policy"
+    )]
     pub fn try_solve_blocked_in_place_faulted<T: DpValue>(
         &self,
         m: &mut BlockedMatrix<T>,
@@ -214,7 +220,38 @@ impl ParallelEngine {
         faults: &FaultInjector,
         retry: RetryPolicy,
     ) -> Result<ExecStats, SolveError> {
+        self.solve_blocked_with(
+            m,
+            &ExecContext::disabled()
+                .with_metrics(metrics)
+                .with_tracer(tracer)
+                .with_faults(faults)
+                .with_retry(retry),
+        )
+    }
+
+    /// The parallel tier's one implementation: CellNPDP over an
+    /// already-blocked matrix in place, under the policies of `ctx` —
+    /// counters into `ctx.metrics`, a timeline into `ctx.tracer`, faults
+    /// from `ctx.faults` retried per `ctx.retry`. The ready-queue
+    /// discipline comes from the engine's own [`ParallelEngine::scheduler`]
+    /// field (`ctx.scheduler` configures the raw [`task_queue::run`]
+    /// driver, not an engine that already carries a discipline). On `Err`
+    /// the matrix is left partially finalized and must be discarded.
+    ///
+    /// Injected [`npdp_fault::FaultKind::TaskPanic`] faults fire in the
+    /// executor *before* the task body claims any block, so a retried task
+    /// replays cleanly and a recovered run stays bit-identical; a *real*
+    /// panic mid-task trips the block state machine on requeue, exhausts the
+    /// retry budget and surfaces as [`SolveError::TaskFailed`].
+    pub fn solve_blocked_with<T: DpValue>(
+        &self,
+        m: &mut BlockedMatrix<T>,
+        ctx: &ExecContext,
+    ) -> Result<ExecStats, SolveError> {
         let nb = self.nb;
+        let metrics = &ctx.metrics;
+        let tracer = &ctx.tracer;
         assert_eq!(m.block_side(), nb, "matrix blocked with a different nb");
         let mb = m.blocks_per_side();
         // Per-block logical-cell counts, precomputed so the hot worker loop
@@ -267,35 +304,10 @@ impl ParallelEngine {
                 }
             }
         };
-        let result = match self.scheduler {
-            Scheduler::CentralQueue => try_execute_faulted(
-                &sched.graph,
-                self.workers,
-                metrics,
-                tracer,
-                faults,
-                retry,
-                body,
-            ),
-            Scheduler::WorkStealing => try_execute_stealing_faulted(
-                &sched.graph,
-                self.workers,
-                metrics,
-                tracer,
-                faults,
-                retry,
-                body,
-            ),
-            Scheduler::LocalityBatched => try_execute_locality_faulted(
-                &sched.graph,
-                self.workers,
-                metrics,
-                tracer,
-                faults,
-                retry,
-                body,
-            ),
-        };
+        // One generic driver call; the engine's own discipline wins over
+        // whatever `ctx.scheduler` was set to.
+        let exec_ctx = ctx.clone().with_scheduler(self.scheduler);
+        let result = run(&sched.graph, self.workers, &exec_ctx, body);
         let stats = result.map_err(SolveError::from)?;
         assert!(shared.all_final(), "scheduler left unfinished blocks");
         Ok(stats)
@@ -308,40 +320,41 @@ impl<T: DpValue> Engine<T> for ParallelEngine {
     }
 
     fn solve(&self, seeds: &TriangularMatrix<T>) -> TriangularMatrix<T> {
-        self.solve_with_stats(seeds).0
+        // No validation here (matching every other engine's raw `solve`);
+        // only a real worker panic can make the disabled-context core fail.
+        let mut m = BlockedMatrix::from_triangular(seeds, self.nb);
+        self.solve_blocked_with(&mut m, &ExecContext::disabled())
+            .unwrap_or_else(|e| panic!("{e}"));
+        m.to_triangular()
     }
 
-    fn solve_autotuned(&self, seeds: &TriangularMatrix<T>) -> TriangularMatrix<T> {
-        let nb = Self::autotune_nb(self.workers, seeds.n(), std::mem::size_of::<T>());
-        ParallelEngine { nb, ..*self }.solve(seeds)
-    }
-
-    fn try_solve(&self, seeds: &TriangularMatrix<T>) -> Result<TriangularMatrix<T>, SolveError> {
-        self.try_solve_with_stats_faulted(
-            seeds,
-            &Metrics::noop(),
-            &Tracer::noop(),
-            &FaultInjector::noop(),
-            RetryPolicy::DEFAULT,
-        )
-        .map(|(m, _)| m)
-    }
-
-    fn solve_metered(&self, seeds: &TriangularMatrix<T>, metrics: &Metrics) -> TriangularMatrix<T> {
-        self.solve_with_stats_metered(seeds, metrics).0
-    }
-
-    fn solve_traced(
+    /// Unlike the serial engines, the parallel tier emits no control-track
+    /// `Solve` span: its timeline is the per-worker `Task`/`Block` spans
+    /// (paper Fig. 10b), and the trace schema pins that track set.
+    fn solve_with(
         &self,
         seeds: &TriangularMatrix<T>,
-        metrics: &Metrics,
-        tracer: &Tracer,
-    ) -> TriangularMatrix<T> {
-        self.solve_with_stats_instrumented(seeds, metrics, tracer).0
+        ctx: &ExecContext,
+    ) -> Result<(TriangularMatrix<T>, ExecStats), SolveError> {
+        let engine = match ctx.tuning {
+            Tuning::Auto => ParallelEngine {
+                nb: Self::autotune_nb(self.workers, seeds.n(), std::mem::size_of::<T>()),
+                ..*self
+            },
+            Tuning::Fixed => *self,
+        };
+        validate_seeds(seeds)?;
+        let _t = ctx.metrics.timed("engine.wall_ns");
+        let mut m = BlockedMatrix::from_triangular(seeds, engine.nb);
+        let stats = engine.solve_blocked_with(&mut m, ctx)?;
+        Ok((m.to_triangular(), stats))
     }
 }
 
 #[cfg(test)]
+// The deprecated wrappers double as equivalence proofs: these tests keep
+// exercising them on purpose until the wrappers are removed.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::engine::SerialEngine;

@@ -1,10 +1,13 @@
 //! The single-threaded SPE procedure on the host: NDL + SIMD computing
 //! blocks.
 
-use npdp_metrics::Metrics;
+use npdp_exec::ExecContext;
+use npdp_trace::{EventKind, TrackDesc};
+use task_queue::ExecStats;
 
 use crate::engine::blocked::SimdEngineInner;
-use crate::engine::Engine;
+use crate::engine::{validate_seeds, Engine};
+use crate::error::SolveError;
 use crate::layout::TriangularMatrix;
 use crate::value::DpValue;
 
@@ -36,8 +39,19 @@ impl<T: DpValue> Engine<T> for SimdEngine {
         SimdEngineInner { nb: self.nb }.solve(seeds)
     }
 
-    fn solve_metered(&self, seeds: &TriangularMatrix<T>, metrics: &Metrics) -> TriangularMatrix<T> {
-        SimdEngineInner { nb: self.nb }.solve_metered(seeds, metrics)
+    fn solve_with(
+        &self,
+        seeds: &TriangularMatrix<T>,
+        ctx: &ExecContext,
+    ) -> Result<(TriangularMatrix<T>, ExecStats), SolveError> {
+        validate_seeds(seeds)?;
+        let track = ctx.tracer.register(TrackDesc::control(format!(
+            "engine: {}",
+            <Self as Engine<T>>::name(self)
+        )));
+        let _span = ctx.tracer.span(track, EventKind::Solve);
+        let out = SimdEngineInner { nb: self.nb }.solve_metered(seeds, &ctx.metrics);
+        Ok((out, ExecStats::serial()))
     }
 }
 

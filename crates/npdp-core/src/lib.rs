@@ -51,4 +51,6 @@ pub use engine::{
 };
 pub use error::{SeedIssue, SolveError};
 pub use layout::{BlockedMatrix, TriangularMatrix};
+pub use npdp_exec::{ExecContext, Tuning};
+pub use task_queue::ExecStats;
 pub use value::{DpValue, MaxPlus};

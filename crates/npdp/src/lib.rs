@@ -9,13 +9,16 @@
 //!   parallel procedure, as host-CPU engines.
 //! * [`simd`] (`simd-kernel`) — portable 128-bit vectors and the
 //!   register-blocked 4×4 min-plus kernels.
+//! * [`exec`] (`npdp-exec`) — the [`prelude::ExecContext`] execution
+//!   bundle every generic entry point (`Engine::solve_with`,
+//!   `tasks::run`, `cell::machine::simulate`) consumes.
 //! * [`tasks`] (`task-queue`) — the dependence-graph scheduler substrate.
 //! * [`cell`] (`cell-sim`) — the Cell Broadband Engine simulator (SPU ISA,
 //!   dual-issue timing, DMA/EIB model, QS20 machine model).
 //! * [`cachesim`] (`cache-sim`) — LLC traffic measurement (Fig. 9b).
 //! * [`model`] (`perf-model`) — the §V analytical performance model.
 //! * [`tune`] (`npdp-tune`) — the model-driven block-size autotuner
-//!   behind [`core::Engine::solve_autotuned`].
+//!   behind `ExecContext::disabled().autotuned()`.
 //! * [`metrics`] (`npdp-metrics`) — counters, scoped timers and the
 //!   `BENCH_*.json` report emitter threaded through all of the above.
 //! * [`trace`] (`npdp-trace`) — per-track event timelines, Chrome-trace
@@ -34,11 +37,29 @@
 //! let table = ParallelEngine::new(16, 2, 4).solve(&seeds);
 //! assert_eq!(table.first_difference(&SerialEngine.solve(&seeds)), None);
 //! ```
+//!
+//! Observation, fault injection, retry, scheduling and tuning policies all
+//! ride in one [`prelude::ExecContext`] handed to the generic entry point:
+//!
+//! ```
+//! use npdp::prelude::*;
+//!
+//! let seeds = npdp::core::problem::random_seeds_f32(192, 100.0, 1);
+//! let (metrics, recorder) = Metrics::recording();
+//! let ctx = ExecContext::disabled().with_metrics(&metrics);
+//! let (table, stats) = ParallelEngine::new(16, 2, 4)
+//!     .solve_with(&seeds, &ctx)
+//!     .expect("valid seeds");
+//! assert_eq!(table.first_difference(&SerialEngine.solve(&seeds)), None);
+//! assert!(stats.tasks_per_worker.iter().sum::<usize>() > 0);
+//! assert!(recorder.snapshot().contains_key("engine.cells_computed"));
+//! ```
 
 pub use baselines as baseline;
 pub use cache_sim as cachesim;
 pub use cell_sim as cell;
 pub use npdp_core as core;
+pub use npdp_exec as exec;
 pub use npdp_fault as fault;
 pub use npdp_metrics as metrics;
 pub use npdp_trace as trace;
@@ -53,10 +74,12 @@ pub mod prelude {
     pub use baselines::{OriginalEngine, TanEngine};
     pub use npdp_core::{
         BlockedEngine, BlockedMatrix, DpValue, Engine, ParallelEngine, Scheduler, SerialEngine,
-        SimdEngine, TiledEngine, TriangularMatrix, WavefrontEngine,
+        SimdEngine, SolveError, TiledEngine, TriangularMatrix, WavefrontEngine,
     };
+    pub use npdp_exec::{ExecContext, Tuning};
     pub use npdp_fault::{FaultInjector, FaultKind, FaultPlan, RetryPolicy};
     pub use npdp_metrics::{Metrics, MetricsSink, Recorder, Report};
     pub use npdp_trace::Tracer;
     pub use npdp_tune::{Calibration, ProbeFit, Tuner, FIG13_SIDES};
+    pub use task_queue::ExecStats;
 }

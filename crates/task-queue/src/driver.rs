@@ -1,0 +1,548 @@
+//! The one generic executor driving every scheduling discipline.
+//!
+//! Historically this crate carried three near-identical worker pools —
+//! central queue ([`crate::pool`]), work stealing ([`crate::stealing`]) and
+//! locality-aware ([`crate::locality`]) — that shared the whole
+//! notify/claim/retry/abort protocol and differed only in how tasks enter,
+//! leave and revisit the ready set. [`run`] keeps exactly one copy of the
+//! worker loop and dispatches the ready-set discipline on
+//! [`ExecContext::scheduler`]; the old entry points are deprecated one-line
+//! wrappers that build the equivalent context.
+//!
+//! Per-discipline semantics are preserved exactly, including the metric
+//! vocabulary each one historically emitted:
+//!
+//! * [`Scheduler::CentralQueue`] — one shared FIFO; every insertion
+//!   (roots included) counts `queue.ready_pushes` and updates
+//!   `queue.depth_hwm`.
+//! * [`Scheduler::WorkStealing`] — per-worker LIFO deques + global
+//!   injector; roots enter through the injector uncounted, pickups count
+//!   `queue.injector_steals`, deque-to-deque transfers count `queue.steals`
+//!   (with a `Steal` trace instant).
+//! * [`Scheduler::LocalityBatched`] — the stealing discipline plus operand
+//!   affinity: the first successor readied by a completion stays on the
+//!   finishing worker's deque, the rest go global, and pickups are scored
+//!   as `queue.affinity_hits` / `queue.affinity_misses` against the worker
+//!   that produced their operands.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use crossbeam::queue::SegQueue;
+use crossbeam::utils::Backoff;
+use npdp_exec::{ExecContext, Scheduler};
+use npdp_fault::{site2, FaultKind};
+use npdp_metrics::Metrics;
+use npdp_trace::{EventKind, Tracer, Track, TrackDesc};
+
+use crate::graph::TaskGraph;
+use crate::pool::{panic_message, ExecError, ExecStats};
+
+/// No worker recorded yet (roots, or tasks not yet ready).
+const NO_WORKER: u32 = u32::MAX;
+
+/// Ready-set discipline: how tasks enter, leave and revisit the ready set.
+/// Exactly one worker-loop body exists (in [`drive`]); the disciplines
+/// differ only in these hooks.
+trait Discipline: Sync {
+    /// Per-worker ready-set state (a deque handle, or nothing).
+    type Local: Send;
+
+    /// Claim the next task for worker `w`: local work first, then whatever
+    /// sharing protocol the discipline uses. `None` means "idle for now".
+    fn next(
+        &self,
+        w: usize,
+        local: &Self::Local,
+        metrics: &Metrics,
+        tracer: &Tracer,
+        track: Track,
+    ) -> Option<u32>;
+
+    /// Called once per claimed task before it runs (affinity accounting).
+    fn claimed(&self, _w: usize, _t: u32, _metrics: &Metrics) {}
+
+    /// Publish a newly-ready task. `first` is true for the first successor
+    /// readied by the current completion.
+    fn ready(&self, w: usize, local: &Self::Local, t: u32, first: bool, metrics: &Metrics);
+
+    /// Requeue a failed task for retry on the same worker (uncounted here;
+    /// the loop already counted `queue.task_retries`).
+    fn retry(&self, w: usize, local: &Self::Local, t: u32);
+}
+
+/// The paper's PPE model: one shared lock-free FIFO.
+struct Central {
+    ready: SegQueue<u32>,
+}
+
+impl Discipline for Central {
+    type Local = ();
+
+    fn next(
+        &self,
+        _w: usize,
+        _local: &(),
+        _metrics: &Metrics,
+        _tracer: &Tracer,
+        _track: Track,
+    ) -> Option<u32> {
+        self.ready.pop()
+    }
+
+    fn ready(&self, _w: usize, _local: &(), t: u32, _first: bool, metrics: &Metrics) {
+        self.ready.push(t);
+        metrics.add("queue.ready_pushes", 1);
+        metrics.record_max("queue.depth_hwm", self.ready.len() as u64);
+    }
+
+    fn retry(&self, _w: usize, _local: &(), t: u32) {
+        self.ready.push(t);
+    }
+}
+
+/// Per-worker LIFO deques with a global injector — plain work stealing, or
+/// the locality-aware refinement when `locality` is set.
+struct Deques {
+    injector: Injector<u32>,
+    stealers: Vec<Stealer<u32>>,
+    /// Worker whose completion made each task ready; empty unless
+    /// `locality`.
+    ready_by: Vec<AtomicU32>,
+    locality: bool,
+}
+
+impl Discipline for Deques {
+    type Local = Worker<u32>;
+
+    fn next(
+        &self,
+        w: usize,
+        local: &Worker<u32>,
+        metrics: &Metrics,
+        tracer: &Tracer,
+        track: Track,
+    ) -> Option<u32> {
+        // Local deque first, then the global queue, then steal round-robin;
+        // keep searching while any source reports a racing Retry.
+        local.pop().or_else(|| 'search: loop {
+            let mut contended = false;
+            match self.injector.steal_batch_and_pop(local) {
+                Steal::Success(t) => {
+                    metrics.add("queue.injector_steals", 1);
+                    break 'search Some(t);
+                }
+                Steal::Retry => contended = true,
+                Steal::Empty => {}
+            }
+            for (i, stealer) in self.stealers.iter().enumerate() {
+                if i == w {
+                    continue;
+                }
+                match stealer.steal() {
+                    Steal::Success(t) => {
+                        metrics.add("queue.steals", 1);
+                        tracer.instant(track, EventKind::Steal { task: t });
+                        break 'search Some(t);
+                    }
+                    Steal::Retry => contended = true,
+                    Steal::Empty => {}
+                }
+            }
+            if !contended {
+                break 'search None;
+            }
+        })
+    }
+
+    fn claimed(&self, w: usize, t: u32, metrics: &Metrics) {
+        if self.locality {
+            let producer = self.ready_by[t as usize].load(Ordering::Relaxed);
+            if producer != NO_WORKER {
+                if producer == w as u32 {
+                    metrics.add("queue.affinity_hits", 1);
+                } else {
+                    metrics.add("queue.affinity_misses", 1);
+                }
+            }
+        }
+    }
+
+    fn ready(&self, w: usize, local: &Worker<u32>, t: u32, first: bool, metrics: &Metrics) {
+        if self.locality {
+            self.ready_by[t as usize].store(w as u32, Ordering::Relaxed);
+            // First ready successor inherits the hot operands; the rest go
+            // global for idle workers.
+            if first {
+                local.push(t);
+            } else {
+                self.injector.push(t);
+            }
+        } else {
+            local.push(t);
+        }
+        metrics.add("queue.ready_pushes", 1);
+    }
+
+    fn retry(&self, _w: usize, local: &Worker<u32>, t: u32) {
+        local.push(t);
+    }
+}
+
+/// Execute every task of `graph` exactly once, respecting dependences, on
+/// `workers` threads, under the policies of `ctx`: the ready-set discipline
+/// comes from [`ExecContext::scheduler`], counters go to
+/// [`ExecContext::metrics`] (`queue.*`), the timeline to
+/// [`ExecContext::tracer`] (one `Worker` track per thread, `Task`/`Idle`
+/// spans, `Steal`/`Fault` instants), and task panics — injected via
+/// [`ExecContext::faults`] with [`FaultKind::TaskPanic`], or real — are
+/// caught, counted (`queue.task_panics`), and retried up to
+/// [`ExecContext::retry`]`.max_attempts` total attempts
+/// (`queue.task_retries`). On budget exhaustion every worker shuts down and
+/// the result is [`ExecError::TaskPanicked`] — the driver never hangs and
+/// never lets a panic escape. Injected panics fire *before* the task body,
+/// so a retried task replays from a clean slate and a recovered run stays
+/// bit-identical.
+///
+/// `task` is invoked with the task index. Every disabled context component
+/// costs one untaken branch per event, so
+/// `run(g, w, &ExecContext::disabled(), f)` performs like the historical
+/// plain `execute`.
+pub fn run<F>(
+    graph: &TaskGraph,
+    workers: usize,
+    ctx: &ExecContext,
+    task: F,
+) -> Result<ExecStats, ExecError>
+where
+    F: Fn(usize) + Sync,
+{
+    assert!(workers >= 1, "need at least one worker");
+    assert!(
+        ctx.retry.max_attempts >= 1,
+        "retry budget must allow one attempt"
+    );
+    let n = graph.len();
+    if n == 0 {
+        return Ok(ExecStats {
+            tasks_per_worker: vec![0; workers],
+        });
+    }
+    debug_assert!(
+        graph.topological_order().is_some(),
+        "task graph has a cycle"
+    );
+
+    match ctx.scheduler {
+        Scheduler::CentralQueue => {
+            let ready = SegQueue::new();
+            for t in graph.roots() {
+                ready.push(t as u32);
+                ctx.metrics.add("queue.ready_pushes", 1);
+            }
+            ctx.metrics
+                .record_max("queue.depth_hwm", ready.len() as u64);
+            let locals = std::iter::repeat_with(|| ()).take(workers).collect();
+            drive(graph, workers, ctx, &Central { ready }, locals, task)
+        }
+        sched => {
+            let injector = Injector::new();
+            for t in graph.roots() {
+                injector.push(t as u32);
+            }
+            let locals: Vec<Worker<u32>> = (0..workers).map(|_| Worker::new_lifo()).collect();
+            let stealers = locals.iter().map(Worker::stealer).collect();
+            let locality = sched == Scheduler::LocalityBatched;
+            let ready_by = if locality {
+                (0..n).map(|_| AtomicU32::new(NO_WORKER)).collect()
+            } else {
+                Vec::new()
+            };
+            let deques = Deques {
+                injector,
+                stealers,
+                ready_by,
+                locality,
+            };
+            drive(graph, workers, ctx, &deques, locals, task)
+        }
+    }
+}
+
+/// The single worker-loop body shared by every discipline.
+fn drive<F, D>(
+    graph: &TaskGraph,
+    workers: usize,
+    ctx: &ExecContext,
+    discipline: &D,
+    locals: Vec<D::Local>,
+    task: F,
+) -> Result<ExecStats, ExecError>
+where
+    F: Fn(usize) + Sync,
+    D: Discipline,
+{
+    let n = graph.len();
+    let metrics = &ctx.metrics;
+    let tracer = &ctx.tracer;
+    let faults = &ctx.faults;
+    let retry = ctx.retry;
+
+    // Remaining notify counts per task; a task becomes ready when this hits
+    // zero.
+    let pending: Vec<AtomicU32> = (0..n)
+        .map(|t| AtomicU32::new(graph.pred_count(t)))
+        .collect();
+    let attempts: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    let aborted = AtomicBool::new(false);
+    let failure: Mutex<Option<ExecError>> = Mutex::new(None);
+    let remaining = AtomicUsize::new(n);
+    let counts: Vec<AtomicUsize> = (0..workers).map(|_| AtomicUsize::new(0)).collect();
+    let tracks: Vec<_> = (0..workers)
+        .map(|w| tracer.register(TrackDesc::worker(format!("worker {w}"), w as u32)))
+        .collect();
+
+    std::thread::scope(|scope| {
+        for (w, local) in locals.into_iter().enumerate() {
+            let pending = &pending;
+            let attempts = &attempts;
+            let aborted = &aborted;
+            let failure = &failure;
+            let remaining = &remaining;
+            let counts = &counts;
+            let task = &task;
+            let track = tracks[w];
+            scope.spawn(move || {
+                let _bind = tracer.bind_thread(track);
+                let backoff = Backoff::new();
+                let mut idle_ns: u64 = 0;
+                loop {
+                    if aborted.load(Ordering::Acquire) {
+                        break;
+                    }
+                    match discipline.next(w, &local, metrics, tracer, track) {
+                        Some(t) => {
+                            backoff.reset();
+                            discipline.claimed(w, t, metrics);
+                            let attempt = attempts[t as usize].load(Ordering::Relaxed);
+                            tracer.begin(track, EventKind::Task { id: t });
+                            // Injected panics fire before the body touches
+                            // anything, so retrying them is side-effect free.
+                            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                if faults.should_inject(
+                                    FaultKind::TaskPanic,
+                                    site2(t as u64, attempt as u64),
+                                ) {
+                                    panic!("injected task panic");
+                                }
+                                task(t as usize)
+                            }));
+                            tracer.end(track, EventKind::Task { id: t });
+                            match outcome {
+                                Ok(()) => {
+                                    counts[w].fetch_add(1, Ordering::Relaxed);
+                                    metrics.add("queue.tasks_executed", 1);
+                                    // Notify successors; Release pairs with
+                                    // the Acquire below so a worker picking
+                                    // up a newly-ready task sees all writes
+                                    // made while computing its predecessors.
+                                    let mut first = true;
+                                    for &s in graph.successors(t as usize) {
+                                        if pending[s as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                            discipline.ready(w, &local, s, first, metrics);
+                                            first = false;
+                                        }
+                                    }
+                                    remaining.fetch_sub(1, Ordering::Release);
+                                }
+                                Err(payload) => {
+                                    faults.count_task_panic();
+                                    metrics.add("queue.task_panics", 1);
+                                    tracer.instant(
+                                        track,
+                                        EventKind::Fault {
+                                            code: FaultKind::TaskPanic.code(),
+                                        },
+                                    );
+                                    let made =
+                                        attempts[t as usize].fetch_add(1, Ordering::Relaxed) + 1;
+                                    if made < retry.max_attempts {
+                                        metrics.add("queue.task_retries", 1);
+                                        discipline.retry(w, &local, t);
+                                    } else {
+                                        *failure.lock().unwrap() = Some(ExecError::TaskPanicked {
+                                            task: t as usize,
+                                            attempts: made,
+                                            message: panic_message(payload),
+                                        });
+                                        aborted.store(true, Ordering::Release);
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        None => {
+                            if remaining.load(Ordering::Acquire) == 0 {
+                                break;
+                            }
+                            if metrics.enabled() || tracer.enabled() {
+                                tracer.begin(track, EventKind::Idle);
+                                let start = Instant::now();
+                                backoff.snooze();
+                                idle_ns += start.elapsed().as_nanos() as u64;
+                                tracer.end(track, EventKind::Idle);
+                            } else {
+                                backoff.snooze();
+                            }
+                        }
+                    }
+                }
+                if idle_ns > 0 {
+                    metrics.add("queue.worker_idle_ns", idle_ns);
+                }
+            });
+        }
+    });
+
+    if let Some(err) = failure.into_inner().unwrap() {
+        return Err(err);
+    }
+    Ok(ExecStats {
+        tasks_per_worker: counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triangle::triangle_graph;
+    use npdp_fault::{FaultInjector, FaultPlan, RetryPolicy};
+
+    #[test]
+    fn every_scheduler_runs_every_task_once() {
+        for sched in [
+            Scheduler::CentralQueue,
+            Scheduler::WorkStealing,
+            Scheduler::LocalityBatched,
+        ] {
+            let g = triangle_graph(10);
+            let hits: Vec<AtomicU32> = (0..g.len()).map(|_| AtomicU32::new(0)).collect();
+            let ctx = ExecContext::disabled().with_scheduler(sched);
+            let stats = run(&g, 4, &ctx, |t| {
+                hits[t].fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::SeqCst) == 1),
+                "{sched:?}"
+            );
+            assert_eq!(
+                stats.tasks_per_worker.iter().sum::<usize>(),
+                g.len(),
+                "{sched:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_graph_returns_immediately_for_every_scheduler() {
+        for sched in [
+            Scheduler::CentralQueue,
+            Scheduler::WorkStealing,
+            Scheduler::LocalityBatched,
+        ] {
+            let g = TaskGraph::new(0);
+            let ctx = ExecContext::disabled().with_scheduler(sched);
+            let stats = run(&g, 3, &ctx, |_| panic!("no tasks to run")).unwrap();
+            assert_eq!(stats.tasks_per_worker, vec![0; 3]);
+        }
+    }
+
+    #[test]
+    fn central_metric_vocabulary_counts_roots() {
+        let g = triangle_graph(6);
+        let (metrics, recorder) = Metrics::recording();
+        let ctx = ExecContext::disabled().with_metrics(&metrics);
+        run(&g, 2, &ctx, |_| {}).unwrap();
+        assert_eq!(recorder.get("queue.tasks_executed"), g.len() as u64);
+        // Central queue: every task (roots included) is pushed exactly once.
+        assert_eq!(recorder.get("queue.ready_pushes"), g.len() as u64);
+        assert!(recorder.get("queue.depth_hwm") >= 1);
+    }
+
+    #[test]
+    fn stealing_metric_vocabulary_excludes_roots() {
+        let g = triangle_graph(8);
+        let (metrics, recorder) = Metrics::recording();
+        let ctx = ExecContext::disabled()
+            .with_metrics(&metrics)
+            .with_scheduler(Scheduler::WorkStealing);
+        run(&g, 4, &ctx, |_| std::thread::yield_now()).unwrap();
+        let roots = g.roots().count();
+        assert_eq!(recorder.get("queue.ready_pushes"), (g.len() - roots) as u64);
+        assert!(recorder.get("queue.injector_steals") >= 1);
+    }
+
+    #[test]
+    fn locality_affinity_partitions_non_roots() {
+        let g = triangle_graph(12);
+        let (metrics, recorder) = Metrics::recording();
+        let ctx = ExecContext::disabled()
+            .with_metrics(&metrics)
+            .with_scheduler(Scheduler::LocalityBatched);
+        run(&g, 4, &ctx, |_| std::thread::yield_now()).unwrap();
+        let roots = g.roots().count() as u64;
+        assert_eq!(
+            recorder.get("queue.affinity_hits") + recorder.get("queue.affinity_misses"),
+            g.len() as u64 - roots
+        );
+    }
+
+    #[test]
+    fn injected_panics_recover_under_every_scheduler() {
+        for sched in [
+            Scheduler::CentralQueue,
+            Scheduler::WorkStealing,
+            Scheduler::LocalityBatched,
+        ] {
+            let g = triangle_graph(6);
+            let faults =
+                FaultInjector::new(FaultPlan::seeded(17).with_rate(FaultKind::TaskPanic, 0.4));
+            let ctx = ExecContext::disabled()
+                .with_scheduler(sched)
+                .with_faults(&faults)
+                .with_retry(RetryPolicy {
+                    max_attempts: 16,
+                    base_backoff: 1,
+                });
+            let hits: Vec<AtomicU32> = (0..g.len()).map(|_| AtomicU32::new(0)).collect();
+            run(&g, 4, &ctx, |t| {
+                hits[t].fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::SeqCst) == 1),
+                "{sched:?}"
+            );
+            assert!(faults.injected(FaultKind::TaskPanic) > 0, "{sched:?}");
+        }
+    }
+
+    #[test]
+    fn hopeless_budget_is_a_typed_error() {
+        let g = triangle_graph(4);
+        let ctx = ExecContext::disabled();
+        let err = run(&g, 3, &ctx, |t| {
+            if t == 2 {
+                panic!("boom in task 2");
+            }
+        })
+        .unwrap_err();
+        let ExecError::TaskPanicked { task, attempts, .. } = err;
+        assert_eq!(task, 2);
+        assert_eq!(attempts, RetryPolicy::DEFAULT.max_attempts);
+    }
+}

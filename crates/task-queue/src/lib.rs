@@ -19,13 +19,14 @@
 //!    order (bottom row first, left column first).
 //!
 //! This crate implements the substrate generically: a [`TaskGraph`] of
-//! predecessor counts and successor lists, an [`execute`] worker pool in which
-//! every worker plays the SPE role against a shared lock-free ready queue,
-//! and [`triangle`] helpers that build the paper's graphs.
+//! predecessor counts and successor lists, one generic [`run`] driver in
+//! which every worker plays the SPE role under the ready-set discipline
+//! chosen by [`ExecContext::scheduler`], and [`triangle`] helpers that build
+//! the paper's graphs.
 //!
 //! ```
 //! use std::sync::atomic::{AtomicUsize, Ordering};
-//! use task_queue::{execute, triangle_graph, TriangleGrid};
+//! use task_queue::{run, triangle_graph, ExecContext, TriangleGrid};
 //!
 //! // The paper's simplified graph over a 6×6 triangle of blocks.
 //! let graph = triangle_graph(6);
@@ -33,28 +34,39 @@
 //! assert_eq!(graph.len(), grid.len());
 //!
 //! let done = AtomicUsize::new(0);
-//! execute(&graph, 4, |_block| {
+//! run(&graph, 4, &ExecContext::disabled(), |_block| {
 //!     done.fetch_add(1, Ordering::Relaxed);
-//! });
+//! })
+//! .unwrap();
 //! assert_eq!(done.load(Ordering::Relaxed), 21);
 //! ```
 
+pub mod driver;
 pub mod graph;
 pub mod locality;
 pub mod pool;
 pub mod stealing;
 pub mod triangle;
 
+pub use driver::run;
 pub use graph::TaskGraph;
-pub use locality::{execute_locality, try_execute_locality_faulted};
-pub use pool::{
-    execute, execute_instrumented, execute_metered, execute_sequential, execute_with_stats,
-    try_execute, try_execute_faulted, ExecError, ExecStats,
+pub use npdp_exec::{ExecContext, Scheduler};
+pub use pool::{execute_sequential, ExecError, ExecStats};
+pub use triangle::{
+    diagonal_batched_grid, scheduling_grid, triangle_graph, SchedulingGrid, TriangleGrid,
 };
+
+// Historical entry points, kept importable from the crate root for
+// downstream code that has not migrated to `run` yet.
+#[allow(deprecated)]
+pub use locality::{execute_locality, try_execute_locality_faulted};
+#[allow(deprecated)]
+pub use pool::{
+    execute, execute_instrumented, execute_metered, execute_with_stats, try_execute,
+    try_execute_faulted,
+};
+#[allow(deprecated)]
 pub use stealing::{
     execute_stealing, execute_stealing_instrumented, execute_stealing_metered,
     try_execute_stealing, try_execute_stealing_faulted,
-};
-pub use triangle::{
-    diagonal_batched_grid, scheduling_grid, triangle_graph, SchedulingGrid, TriangleGrid,
 };

@@ -13,48 +13,40 @@
 //! ran on a worker other than the one that produced its operands — an
 //! injector pickup or a steal).
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+//! The implementation lives in [`crate::driver::run`]
+//! ([`Scheduler::LocalityBatched`]); this module keeps the historical entry
+//! points as deprecated wrappers.
 
-use crossbeam::deque::{Injector, Steal, Stealer, Worker};
-use crossbeam::utils::Backoff;
-use npdp_fault::{site2, FaultInjector, FaultKind, RetryPolicy};
+use npdp_exec::{ExecContext, Scheduler};
+use npdp_fault::{FaultInjector, RetryPolicy};
 use npdp_metrics::Metrics;
-use npdp_trace::{EventKind, Tracer, TrackDesc};
+use npdp_trace::Tracer;
 
+use crate::driver::run;
 use crate::graph::TaskGraph;
-use crate::pool::{panic_message, ExecError, ExecStats};
-
-/// No worker recorded yet (roots, or tasks not yet ready).
-const NO_WORKER: u32 = u32::MAX;
+use crate::pool::{ExecError, ExecStats};
 
 /// Execute `graph` on `workers` threads with the locality-aware discipline.
 /// Semantics identical to [`crate::pool::execute`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `run` with `ExecContext::disabled().with_scheduler(Scheduler::LocalityBatched)`"
+)]
 pub fn execute_locality<F>(graph: &TaskGraph, workers: usize, task: F) -> ExecStats
 where
     F: Fn(usize) + Sync,
 {
-    match try_execute_locality_faulted(
-        graph,
-        workers,
-        &Metrics::noop(),
-        &Tracer::noop(),
-        &FaultInjector::noop(),
-        RetryPolicy::DEFAULT,
-        task,
-    ) {
-        Ok(stats) => stats,
-        Err(e) => panic!("{e}"),
-    }
+    run(graph, workers, &locality_ctx(), task).unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// The fault-tolerant core of the locality-aware executor; panic-isolation,
-/// retry-budget and abort semantics are identical to
-/// [`crate::stealing::try_execute_stealing_faulted`]. Emits the stealing
-/// executor's `queue.*` counters plus `queue.affinity_hits` /
+/// Historical name of the locality-aware fault-tolerant core; see
+/// [`crate::driver::run`] for the semantics. Emits the stealing
+/// discipline's `queue.*` counters plus `queue.affinity_hits` /
 /// `queue.affinity_misses`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `run` with a locality-batched context carrying metrics/tracer/faults/retry"
+)]
 pub fn try_execute_locality_faulted<F>(
     graph: &TaskGraph,
     workers: usize,
@@ -67,197 +59,31 @@ pub fn try_execute_locality_faulted<F>(
 where
     F: Fn(usize) + Sync,
 {
-    assert!(workers >= 1);
-    assert!(
-        retry.max_attempts >= 1,
-        "retry budget must allow one attempt"
-    );
-    let n = graph.len();
-    if n == 0 {
-        return Ok(ExecStats {
-            tasks_per_worker: vec![0; workers],
-        });
-    }
-    debug_assert!(graph.topological_order().is_some(), "cyclic task graph");
+    run(
+        graph,
+        workers,
+        &locality_ctx()
+            .with_metrics(metrics)
+            .with_tracer(tracer)
+            .with_faults(faults)
+            .with_retry(retry),
+        task,
+    )
+}
 
-    let pending: Vec<AtomicU32> = (0..n)
-        .map(|t| AtomicU32::new(graph.pred_count(t)))
-        .collect();
-    let attempts: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
-    // Worker whose completion made each task ready (its operand producer).
-    let ready_by: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NO_WORKER)).collect();
-    let aborted = AtomicBool::new(false);
-    let failure: Mutex<Option<ExecError>> = Mutex::new(None);
-    let remaining = AtomicUsize::new(n);
-    let injector: Injector<u32> = Injector::new();
-    for t in graph.roots() {
-        injector.push(t as u32);
-    }
-    let locals: Vec<Worker<u32>> = (0..workers).map(|_| Worker::new_lifo()).collect();
-    let stealers: Vec<Stealer<u32>> = locals.iter().map(Worker::stealer).collect();
-    let counts: Vec<AtomicUsize> = (0..workers).map(|_| AtomicUsize::new(0)).collect();
-    let tracks: Vec<_> = (0..workers)
-        .map(|w| tracer.register(TrackDesc::worker(format!("worker {w}"), w as u32)))
-        .collect();
-
-    std::thread::scope(|scope| {
-        for (w, local) in locals.into_iter().enumerate() {
-            let pending = &pending;
-            let attempts = &attempts;
-            let ready_by = &ready_by;
-            let aborted = &aborted;
-            let failure = &failure;
-            let remaining = &remaining;
-            let injector = &injector;
-            let stealers = &stealers;
-            let task = &task;
-            let counts = &counts;
-            let track = tracks[w];
-            scope.spawn(move || {
-                let _bind = tracer.bind_thread(track);
-                let backoff = Backoff::new();
-                let mut idle_ns: u64 = 0;
-                loop {
-                    if aborted.load(Ordering::Acquire) {
-                        break;
-                    }
-                    let next = local.pop().or_else(|| 'search: loop {
-                        let mut contended = false;
-                        match injector.steal_batch_and_pop(&local) {
-                            Steal::Success(t) => {
-                                metrics.add("queue.injector_steals", 1);
-                                break 'search Some(t);
-                            }
-                            Steal::Retry => contended = true,
-                            Steal::Empty => {}
-                        }
-                        for (i, stealer) in stealers.iter().enumerate() {
-                            if i == w {
-                                continue;
-                            }
-                            match stealer.steal() {
-                                Steal::Success(t) => {
-                                    metrics.add("queue.steals", 1);
-                                    tracer.instant(track, EventKind::Steal { task: t });
-                                    break 'search Some(t);
-                                }
-                                Steal::Retry => contended = true,
-                                Steal::Empty => {}
-                            }
-                        }
-                        if !contended {
-                            break 'search None;
-                        }
-                    });
-                    match next {
-                        Some(t) => {
-                            backoff.reset();
-                            let producer = ready_by[t as usize].load(Ordering::Relaxed);
-                            if producer != NO_WORKER {
-                                if producer == w as u32 {
-                                    metrics.add("queue.affinity_hits", 1);
-                                } else {
-                                    metrics.add("queue.affinity_misses", 1);
-                                }
-                            }
-                            let attempt = attempts[t as usize].load(Ordering::Relaxed);
-                            tracer.begin(track, EventKind::Task { id: t });
-                            // Injected panics fire before the body touches
-                            // anything, so retrying them is side-effect free.
-                            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                                if faults.should_inject(
-                                    FaultKind::TaskPanic,
-                                    site2(t as u64, attempt as u64),
-                                ) {
-                                    panic!("injected task panic");
-                                }
-                                task(t as usize)
-                            }));
-                            tracer.end(track, EventKind::Task { id: t });
-                            match outcome {
-                                Ok(()) => {
-                                    counts[w].fetch_add(1, Ordering::Relaxed);
-                                    metrics.add("queue.tasks_executed", 1);
-                                    let mut kept_local = false;
-                                    for &s in graph.successors(t as usize) {
-                                        if pending[s as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
-                                            ready_by[s as usize].store(w as u32, Ordering::Relaxed);
-                                            // First ready successor inherits
-                                            // the hot operands; the rest go
-                                            // global for idle workers.
-                                            if kept_local {
-                                                injector.push(s);
-                                            } else {
-                                                kept_local = true;
-                                                local.push(s);
-                                            }
-                                            metrics.add("queue.ready_pushes", 1);
-                                        }
-                                    }
-                                    remaining.fetch_sub(1, Ordering::Release);
-                                }
-                                Err(payload) => {
-                                    faults.count_task_panic();
-                                    metrics.add("queue.task_panics", 1);
-                                    tracer.instant(
-                                        track,
-                                        EventKind::Fault {
-                                            code: FaultKind::TaskPanic.code(),
-                                        },
-                                    );
-                                    let made =
-                                        attempts[t as usize].fetch_add(1, Ordering::Relaxed) + 1;
-                                    if made < retry.max_attempts {
-                                        metrics.add("queue.task_retries", 1);
-                                        local.push(t);
-                                    } else {
-                                        *failure.lock().unwrap() = Some(ExecError::TaskPanicked {
-                                            task: t as usize,
-                                            attempts: made,
-                                            message: panic_message(payload),
-                                        });
-                                        aborted.store(true, Ordering::Release);
-                                        break;
-                                    }
-                                }
-                            }
-                        }
-                        None => {
-                            if remaining.load(Ordering::Acquire) == 0 {
-                                break;
-                            }
-                            if metrics.enabled() || tracer.enabled() {
-                                tracer.begin(track, EventKind::Idle);
-                                let start = Instant::now();
-                                backoff.snooze();
-                                idle_ns += start.elapsed().as_nanos() as u64;
-                                tracer.end(track, EventKind::Idle);
-                            } else {
-                                backoff.snooze();
-                            }
-                        }
-                    }
-                }
-                if idle_ns > 0 {
-                    metrics.add("queue.worker_idle_ns", idle_ns);
-                }
-            });
-        }
-    });
-
-    if let Some(err) = failure.into_inner().unwrap() {
-        return Err(err);
-    }
-    Ok(ExecStats {
-        tasks_per_worker: counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
-    })
+fn locality_ctx() -> ExecContext {
+    ExecContext::disabled().with_scheduler(Scheduler::LocalityBatched)
 }
 
 #[cfg(test)]
+// The deprecated wrappers double as equivalence proofs for the generic
+// driver, so these tests keep exercising them on purpose.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::triangle::{diagonal_batched_grid, triangle_graph};
-    use std::sync::atomic::AtomicBool;
+    use npdp_fault::FaultKind;
+    use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 
     #[test]
     fn executes_every_task_once() {

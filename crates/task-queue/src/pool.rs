@@ -8,18 +8,18 @@
 //! workers instead of funnelled through one PPE thread — same protocol, no
 //! central bottleneck (on the CPU platform the paper likewise lets "all cores
 //! cooperatively manage the task queue", §VI-B).
+//!
+//! The implementation lives in [`crate::driver::run`]
+//! ([`Scheduler::CentralQueue`]); this module keeps the error/stats types,
+//! the deterministic sequential reference, and the historical entry points
+//! as deprecated wrappers.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
-
-use crossbeam::queue::SegQueue;
-use crossbeam::utils::Backoff;
-use npdp_fault::{site2, FaultInjector, FaultKind, RetryPolicy};
+use npdp_exec::{ExecContext, Scheduler};
+use npdp_fault::{FaultInjector, RetryPolicy};
 use npdp_metrics::Metrics;
-use npdp_trace::{EventKind, Tracer, TrackDesc};
+use npdp_trace::Tracer;
 
+use crate::driver::run;
 use crate::graph::TaskGraph;
 
 /// Typed failure of a pool execution: the retry budget for a panicking task
@@ -74,6 +74,14 @@ pub struct ExecStats {
 }
 
 impl ExecStats {
+    /// Stats of an execution that never used the task queue (single-threaded
+    /// engines): no workers, perfect balance.
+    pub fn serial() -> Self {
+        Self {
+            tasks_per_worker: Vec::new(),
+        }
+    }
+
     /// Ratio of the busiest worker to the ideal even share; 1.0 is perfect.
     pub fn imbalance(&self) -> f64 {
         let total: usize = self.tasks_per_worker.iter().sum();
@@ -90,28 +98,38 @@ impl ExecStats {
 ///
 /// Panics in `task` are caught, retried up to the default budget, and then
 /// re-raised as a single clean panic after every worker has shut down — the
-/// pool never hangs on a panicking task. Use [`try_execute`] for an error
-/// return instead.
+/// pool never hangs on a panicking task.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `run(graph, workers, &ExecContext::disabled(), task)`"
+)]
 pub fn execute<F>(graph: &TaskGraph, workers: usize, task: F)
 where
     F: Fn(usize) + Sync,
 {
-    execute_with_stats(graph, workers, task);
+    run(graph, workers, &ExecContext::disabled(), task).unwrap_or_else(|e| panic!("{e}"));
 }
 
 /// Like [`execute`], returning per-worker task counts.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `run(graph, workers, &ExecContext::disabled(), task)`"
+)]
 pub fn execute_with_stats<F>(graph: &TaskGraph, workers: usize, task: F) -> ExecStats
 where
     F: Fn(usize) + Sync,
 {
-    execute_metered(graph, workers, &Metrics::noop(), task)
+    run(graph, workers, &ExecContext::disabled(), task).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Like [`execute_with_stats`], also emitting scheduler counters into
 /// `metrics`: `queue.tasks_executed`, `queue.ready_pushes`,
 /// `queue.depth_hwm` (ready-queue high-water mark) and
-/// `queue.worker_idle_ns` (summed over workers). With a disabled handle
-/// every event is one untaken branch and idle time is not sampled.
+/// `queue.worker_idle_ns` (summed over workers).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `run` with `ExecContext::disabled().with_metrics(metrics)`"
+)]
 pub fn execute_metered<F>(
     graph: &TaskGraph,
     workers: usize,
@@ -121,14 +139,20 @@ pub fn execute_metered<F>(
 where
     F: Fn(usize) + Sync,
 {
-    execute_instrumented(graph, workers, metrics, &Tracer::noop(), task)
+    run(
+        graph,
+        workers,
+        &ExecContext::disabled().with_metrics(metrics),
+        task,
+    )
+    .unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// Like [`execute_metered`], also journaling a timeline into `tracer`: one
-/// `Worker` track per thread (bound to the thread so nested code can emit
-/// block spans via [`Tracer::begin_current`]), a `Task` span per executed
-/// task and `Idle` spans around scheduler back-off. With a disabled tracer
-/// every event is one untaken branch.
+/// Like [`execute_metered`], also journaling a timeline into `tracer`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `run` with `ExecContext::disabled().with_metrics(metrics).with_tracer(tracer)`"
+)]
 pub fn execute_instrumented<F>(
     graph: &TaskGraph,
     workers: usize,
@@ -139,48 +163,36 @@ pub fn execute_instrumented<F>(
 where
     F: Fn(usize) + Sync,
 {
-    match try_execute_faulted(
+    run(
         graph,
         workers,
-        metrics,
-        tracer,
-        &FaultInjector::noop(),
-        RetryPolicy::DEFAULT,
+        &ExecContext::disabled()
+            .with_metrics(metrics)
+            .with_tracer(tracer),
         task,
-    ) {
-        Ok(stats) => stats,
-        Err(e) => panic!("{e}"),
-    }
+    )
+    .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Like [`execute`], but a task whose closure panics on every attempt of its
-/// retry budget produces an `Err` instead of propagating the panic — the
-/// pool always shuts down cleanly.
+/// retry budget produces an `Err` instead of propagating the panic.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `run(graph, workers, &ExecContext::disabled(), task)`"
+)]
 pub fn try_execute<F>(graph: &TaskGraph, workers: usize, task: F) -> Result<ExecStats, ExecError>
 where
     F: Fn(usize) + Sync,
 {
-    try_execute_faulted(
-        graph,
-        workers,
-        &Metrics::noop(),
-        &Tracer::noop(),
-        &FaultInjector::noop(),
-        RetryPolicy::DEFAULT,
-        task,
-    )
+    run(graph, workers, &ExecContext::disabled(), task)
 }
 
-/// The fault-tolerant core of the central-queue executor.
-///
-/// Every task body runs inside [`catch_unwind`]: a panicking task (injected
-/// via `faults` with [`FaultKind::TaskPanic`], or real) is counted
-/// (`queue.task_panics`), requeued up to `retry.max_attempts` total attempts
-/// (`queue.task_retries`), and on budget exhaustion the pool sets an abort
-/// flag, drains, joins every worker and returns
-/// [`ExecError::TaskPanicked`] — it never hangs and never lets a panic
-/// escape. Injected panics fire *before* the task body, so a retry replays
-/// the task from a clean slate and the result stays bit-identical.
+/// Historical name of the central-queue fault-tolerant core; see
+/// [`crate::driver::run`] for the semantics.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `run` with `ExecContext::disabled().with_metrics(..).with_tracer(..).with_faults(..).with_retry(..)`"
+)]
 pub fn try_execute_faulted<F>(
     graph: &TaskGraph,
     workers: usize,
@@ -193,151 +205,17 @@ pub fn try_execute_faulted<F>(
 where
     F: Fn(usize) + Sync,
 {
-    assert!(workers >= 1, "need at least one worker");
-    assert!(
-        retry.max_attempts >= 1,
-        "retry budget must allow one attempt"
-    );
-    let n = graph.len();
-    if n == 0 {
-        return Ok(ExecStats {
-            tasks_per_worker: vec![0; workers],
-        });
-    }
-    debug_assert!(
-        graph.topological_order().is_some(),
-        "task graph has a cycle"
-    );
-
-    // Remaining notify counts per task; a task is pushed when this hits zero.
-    let pending: Vec<AtomicU32> = (0..n)
-        .map(|t| AtomicU32::new(graph.pred_count(t)))
-        .collect();
-    let attempts: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
-    let aborted = AtomicBool::new(false);
-    let failure: Mutex<Option<ExecError>> = Mutex::new(None);
-    let remaining = AtomicUsize::new(n);
-    let ready: SegQueue<u32> = SegQueue::new();
-    for t in graph.roots() {
-        ready.push(t as u32);
-        metrics.add("queue.ready_pushes", 1);
-    }
-    metrics.record_max("queue.depth_hwm", ready.len() as u64);
-
-    let counts: Vec<AtomicUsize> = (0..workers).map(|_| AtomicUsize::new(0)).collect();
-    let tracks: Vec<_> = (0..workers)
-        .map(|w| tracer.register(TrackDesc::worker(format!("worker {w}"), w as u32)))
-        .collect();
-
-    std::thread::scope(|scope| {
-        for w in 0..workers {
-            let pending = &pending;
-            let attempts = &attempts;
-            let aborted = &aborted;
-            let failure = &failure;
-            let remaining = &remaining;
-            let ready = &ready;
-            let task = &task;
-            let counts = &counts;
-            let track = tracks[w];
-            scope.spawn(move || {
-                let _bind = tracer.bind_thread(track);
-                let backoff = Backoff::new();
-                let mut idle_ns: u64 = 0;
-                loop {
-                    if aborted.load(Ordering::Acquire) {
-                        break;
-                    }
-                    match ready.pop() {
-                        Some(t) => {
-                            backoff.reset();
-                            let t = t as usize;
-                            let attempt = attempts[t].load(Ordering::Relaxed);
-                            tracer.begin(track, EventKind::Task { id: t as u32 });
-                            // Injected panics fire before the body touches
-                            // anything, so retrying them is side-effect free.
-                            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                                if faults.should_inject(
-                                    FaultKind::TaskPanic,
-                                    site2(t as u64, attempt as u64),
-                                ) {
-                                    panic!("injected task panic");
-                                }
-                                task(t)
-                            }));
-                            tracer.end(track, EventKind::Task { id: t as u32 });
-                            match outcome {
-                                Ok(()) => {
-                                    counts[w].fetch_add(1, Ordering::Relaxed);
-                                    metrics.add("queue.tasks_executed", 1);
-                                    // Notify successors; Release pairs with
-                                    // the Acquire below so a worker picking
-                                    // up a newly-ready task sees all writes
-                                    // made while computing its predecessors.
-                                    for &s in graph.successors(t) {
-                                        if pending[s as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
-                                            ready.push(s);
-                                            metrics.add("queue.ready_pushes", 1);
-                                            metrics
-                                                .record_max("queue.depth_hwm", ready.len() as u64);
-                                        }
-                                    }
-                                    remaining.fetch_sub(1, Ordering::Release);
-                                }
-                                Err(payload) => {
-                                    faults.count_task_panic();
-                                    metrics.add("queue.task_panics", 1);
-                                    tracer.instant(
-                                        track,
-                                        EventKind::Fault {
-                                            code: FaultKind::TaskPanic.code(),
-                                        },
-                                    );
-                                    let made = attempts[t].fetch_add(1, Ordering::Relaxed) + 1;
-                                    if made < retry.max_attempts {
-                                        metrics.add("queue.task_retries", 1);
-                                        ready.push(t as u32);
-                                    } else {
-                                        *failure.lock().unwrap() = Some(ExecError::TaskPanicked {
-                                            task: t,
-                                            attempts: made,
-                                            message: panic_message(payload),
-                                        });
-                                        aborted.store(true, Ordering::Release);
-                                        break;
-                                    }
-                                }
-                            }
-                        }
-                        None => {
-                            if remaining.load(Ordering::Acquire) == 0 {
-                                break;
-                            }
-                            if metrics.enabled() || tracer.enabled() {
-                                tracer.begin(track, EventKind::Idle);
-                                let start = Instant::now();
-                                backoff.snooze();
-                                idle_ns += start.elapsed().as_nanos() as u64;
-                                tracer.end(track, EventKind::Idle);
-                            } else {
-                                backoff.snooze();
-                            }
-                        }
-                    }
-                }
-                if idle_ns > 0 {
-                    metrics.add("queue.worker_idle_ns", idle_ns);
-                }
-            });
-        }
-    });
-
-    if let Some(err) = failure.into_inner().unwrap() {
-        return Err(err);
-    }
-    Ok(ExecStats {
-        tasks_per_worker: counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
-    })
+    run(
+        graph,
+        workers,
+        &ExecContext::disabled()
+            .with_metrics(metrics)
+            .with_tracer(tracer)
+            .with_faults(faults)
+            .with_retry(retry)
+            .with_scheduler(Scheduler::CentralQueue),
+        task,
+    )
 }
 
 /// Deterministic single-threaded executor: runs tasks in a fixed topological
@@ -353,9 +231,15 @@ where
 }
 
 #[cfg(test)]
+// The deprecated wrappers double as equivalence proofs for the generic
+// driver, so these tests keep exercising them on purpose.
+#[allow(deprecated)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicBool;
+    use npdp_fault::FaultKind;
+    use npdp_trace::EventKind;
+    use std::panic::AssertUnwindSafe;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
     use std::sync::Mutex;
 
     fn diamond() -> TaskGraph {

@@ -6,33 +6,40 @@
 //! coarse, the queue is short); stealing pays off when tasks are fine or
 //! the machine is large. The `ablation` bench quantifies it.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+//! The implementation lives in [`crate::driver::run`]
+//! ([`Scheduler::WorkStealing`]); this module keeps the historical entry
+//! points as deprecated wrappers.
 
-use crossbeam::deque::{Injector, Steal, Stealer, Worker};
-use crossbeam::utils::Backoff;
-use npdp_fault::{site2, FaultInjector, FaultKind, RetryPolicy};
+use npdp_exec::{ExecContext, Scheduler};
+use npdp_fault::{FaultInjector, RetryPolicy};
 use npdp_metrics::Metrics;
-use npdp_trace::{EventKind, Tracer, TrackDesc};
+use npdp_trace::Tracer;
 
+use crate::driver::run;
 use crate::graph::TaskGraph;
-use crate::pool::{panic_message, ExecError, ExecStats};
+use crate::pool::{ExecError, ExecStats};
 
 /// Execute `graph` on `workers` threads with per-worker deques and work
 /// stealing. Semantics identical to [`crate::pool::execute`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `run` with `ExecContext::disabled().with_scheduler(Scheduler::WorkStealing)`"
+)]
 pub fn execute_stealing<F>(graph: &TaskGraph, workers: usize, task: F) -> ExecStats
 where
     F: Fn(usize) + Sync,
 {
-    execute_stealing_metered(graph, workers, &Metrics::noop(), task)
+    run(graph, workers, &stealing_ctx(), task).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Like [`execute_stealing`], also emitting scheduler counters into
 /// `metrics`: `queue.tasks_executed`, `queue.steals` (successful steals from
 /// another worker's deque), `queue.injector_steals` (tasks taken from the
 /// global injector) and `queue.worker_idle_ns`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `run` with a work-stealing context and `.with_metrics(metrics)`"
+)]
 pub fn execute_stealing_metered<F>(
     graph: &TaskGraph,
     workers: usize,
@@ -42,13 +49,17 @@ pub fn execute_stealing_metered<F>(
 where
     F: Fn(usize) + Sync,
 {
-    execute_stealing_instrumented(graph, workers, metrics, &Tracer::noop(), task)
+    run(graph, workers, &stealing_ctx().with_metrics(metrics), task)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Like [`execute_stealing_metered`], also journaling a timeline into
-/// `tracer`: one `Worker` track per thread (bound for
-/// [`Tracer::begin_current`]), `Task` spans, `Idle` spans around back-off
-/// and a `Steal` instant on every successful deque-to-deque steal.
+/// `tracer`: `Task` spans, `Idle` spans around back-off and a `Steal`
+/// instant on every successful deque-to-deque steal.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `run` with a work-stealing context and `.with_metrics(..).with_tracer(..)`"
+)]
 pub fn execute_stealing_instrumented<F>(
     graph: &TaskGraph,
     workers: usize,
@@ -59,23 +70,22 @@ pub fn execute_stealing_instrumented<F>(
 where
     F: Fn(usize) + Sync,
 {
-    match try_execute_stealing_faulted(
+    run(
         graph,
         workers,
-        metrics,
-        tracer,
-        &FaultInjector::noop(),
-        RetryPolicy::DEFAULT,
+        &stealing_ctx().with_metrics(metrics).with_tracer(tracer),
         task,
-    ) {
-        Ok(stats) => stats,
-        Err(e) => panic!("{e}"),
-    }
+    )
+    .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Like [`execute_stealing`], but a task whose closure panics on every
 /// attempt of its retry budget produces an `Err` instead of propagating the
 /// panic — the pool always shuts down cleanly.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `run` with `ExecContext::disabled().with_scheduler(Scheduler::WorkStealing)`"
+)]
 pub fn try_execute_stealing<F>(
     graph: &TaskGraph,
     workers: usize,
@@ -84,21 +94,15 @@ pub fn try_execute_stealing<F>(
 where
     F: Fn(usize) + Sync,
 {
-    try_execute_stealing_faulted(
-        graph,
-        workers,
-        &Metrics::noop(),
-        &Tracer::noop(),
-        &FaultInjector::noop(),
-        RetryPolicy::DEFAULT,
-        task,
-    )
+    run(graph, workers, &stealing_ctx(), task)
 }
 
-/// The fault-tolerant core of the work-stealing executor; the stealing twin
-/// of [`crate::pool::try_execute_faulted`] with identical panic-isolation,
-/// retry-budget and abort semantics (a failed task's retry goes back on the
-/// failing worker's own deque).
+/// Historical name of the work-stealing fault-tolerant core; see
+/// [`crate::driver::run`] for the semantics.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `run` with a work-stealing context carrying metrics/tracer/faults/retry"
+)]
 pub fn try_execute_stealing_faulted<F>(
     graph: &TaskGraph,
     workers: usize,
@@ -111,179 +115,32 @@ pub fn try_execute_stealing_faulted<F>(
 where
     F: Fn(usize) + Sync,
 {
-    assert!(workers >= 1);
-    assert!(
-        retry.max_attempts >= 1,
-        "retry budget must allow one attempt"
-    );
-    let n = graph.len();
-    if n == 0 {
-        return Ok(ExecStats {
-            tasks_per_worker: vec![0; workers],
-        });
-    }
-    debug_assert!(graph.topological_order().is_some(), "cyclic task graph");
+    run(
+        graph,
+        workers,
+        &stealing_ctx()
+            .with_metrics(metrics)
+            .with_tracer(tracer)
+            .with_faults(faults)
+            .with_retry(retry),
+        task,
+    )
+}
 
-    let pending: Vec<AtomicU32> = (0..n)
-        .map(|t| AtomicU32::new(graph.pred_count(t)))
-        .collect();
-    let attempts: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
-    let aborted = AtomicBool::new(false);
-    let failure: Mutex<Option<ExecError>> = Mutex::new(None);
-    let remaining = AtomicUsize::new(n);
-    let injector: Injector<u32> = Injector::new();
-    for t in graph.roots() {
-        injector.push(t as u32);
-    }
-    let locals: Vec<Worker<u32>> = (0..workers).map(|_| Worker::new_lifo()).collect();
-    let stealers: Vec<Stealer<u32>> = locals.iter().map(Worker::stealer).collect();
-    let counts: Vec<AtomicUsize> = (0..workers).map(|_| AtomicUsize::new(0)).collect();
-    let tracks: Vec<_> = (0..workers)
-        .map(|w| tracer.register(TrackDesc::worker(format!("worker {w}"), w as u32)))
-        .collect();
-
-    std::thread::scope(|scope| {
-        for (w, local) in locals.into_iter().enumerate() {
-            let pending = &pending;
-            let attempts = &attempts;
-            let aborted = &aborted;
-            let failure = &failure;
-            let remaining = &remaining;
-            let injector = &injector;
-            let stealers = &stealers;
-            let task = &task;
-            let counts = &counts;
-            let track = tracks[w];
-            scope.spawn(move || {
-                let _bind = tracer.bind_thread(track);
-                let backoff = Backoff::new();
-                let mut idle_ns: u64 = 0;
-                loop {
-                    if aborted.load(Ordering::Acquire) {
-                        break;
-                    }
-                    // Local deque first, then the global queue, then steal
-                    // round-robin; keep searching while any source reports
-                    // a racing Retry.
-                    let next = local.pop().or_else(|| 'search: loop {
-                        let mut contended = false;
-                        match injector.steal_batch_and_pop(&local) {
-                            Steal::Success(t) => {
-                                metrics.add("queue.injector_steals", 1);
-                                break 'search Some(t);
-                            }
-                            Steal::Retry => contended = true,
-                            Steal::Empty => {}
-                        }
-                        for (i, stealer) in stealers.iter().enumerate() {
-                            if i == w {
-                                continue;
-                            }
-                            match stealer.steal() {
-                                Steal::Success(t) => {
-                                    metrics.add("queue.steals", 1);
-                                    tracer.instant(track, EventKind::Steal { task: t });
-                                    break 'search Some(t);
-                                }
-                                Steal::Retry => contended = true,
-                                Steal::Empty => {}
-                            }
-                        }
-                        if !contended {
-                            break 'search None;
-                        }
-                    });
-                    match next {
-                        Some(t) => {
-                            backoff.reset();
-                            let attempt = attempts[t as usize].load(Ordering::Relaxed);
-                            tracer.begin(track, EventKind::Task { id: t });
-                            // Injected panics fire before the body touches
-                            // anything, so retrying them is side-effect free.
-                            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                                if faults.should_inject(
-                                    FaultKind::TaskPanic,
-                                    site2(t as u64, attempt as u64),
-                                ) {
-                                    panic!("injected task panic");
-                                }
-                                task(t as usize)
-                            }));
-                            tracer.end(track, EventKind::Task { id: t });
-                            match outcome {
-                                Ok(()) => {
-                                    counts[w].fetch_add(1, Ordering::Relaxed);
-                                    metrics.add("queue.tasks_executed", 1);
-                                    for &s in graph.successors(t as usize) {
-                                        if pending[s as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
-                                            local.push(s);
-                                            metrics.add("queue.ready_pushes", 1);
-                                        }
-                                    }
-                                    remaining.fetch_sub(1, Ordering::Release);
-                                }
-                                Err(payload) => {
-                                    faults.count_task_panic();
-                                    metrics.add("queue.task_panics", 1);
-                                    tracer.instant(
-                                        track,
-                                        EventKind::Fault {
-                                            code: FaultKind::TaskPanic.code(),
-                                        },
-                                    );
-                                    let made =
-                                        attempts[t as usize].fetch_add(1, Ordering::Relaxed) + 1;
-                                    if made < retry.max_attempts {
-                                        metrics.add("queue.task_retries", 1);
-                                        local.push(t);
-                                    } else {
-                                        *failure.lock().unwrap() = Some(ExecError::TaskPanicked {
-                                            task: t as usize,
-                                            attempts: made,
-                                            message: panic_message(payload),
-                                        });
-                                        aborted.store(true, Ordering::Release);
-                                        break;
-                                    }
-                                }
-                            }
-                        }
-                        None => {
-                            if remaining.load(Ordering::Acquire) == 0 {
-                                break;
-                            }
-                            if metrics.enabled() || tracer.enabled() {
-                                tracer.begin(track, EventKind::Idle);
-                                let start = Instant::now();
-                                backoff.snooze();
-                                idle_ns += start.elapsed().as_nanos() as u64;
-                                tracer.end(track, EventKind::Idle);
-                            } else {
-                                backoff.snooze();
-                            }
-                        }
-                    }
-                }
-                if idle_ns > 0 {
-                    metrics.add("queue.worker_idle_ns", idle_ns);
-                }
-            });
-        }
-    });
-
-    if let Some(err) = failure.into_inner().unwrap() {
-        return Err(err);
-    }
-    Ok(ExecStats {
-        tasks_per_worker: counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
-    })
+fn stealing_ctx() -> ExecContext {
+    ExecContext::disabled().with_scheduler(Scheduler::WorkStealing)
 }
 
 #[cfg(test)]
+// The deprecated wrappers double as equivalence proofs for the generic
+// driver, so these tests keep exercising them on purpose.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::triangle::triangle_graph;
-    use std::sync::atomic::AtomicBool;
+    use npdp_fault::FaultKind;
+    use npdp_trace::EventKind;
+    use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 
     #[test]
     fn executes_every_task_once() {

@@ -7,7 +7,7 @@
 //! ```
 
 use npdp::cell::kernels::{sp_kernel_blocked, sp_kernel_naive, sp_kernel_tree, TileAddrs};
-use npdp::cell::machine::{simulate_cellnpdp, CellConfig};
+use npdp::cell::machine::{simulate, CellConfig, SimSpec};
 use npdp::cell::npdp::functional_cellnpdp_f32;
 use npdp::cell::ppe::Precision;
 use npdp::cell::{schedule, software_pipeline, InstrMix};
@@ -62,7 +62,11 @@ fn main() {
     println!("memory block: {nb}×{nb} SP cells (≤ 32 KB), 16 SPEs");
     println!("{:>7} {:>12} {:>12}", "n", "seconds", "utilization");
     for n in [4096usize, 8192, 16384] {
-        let r = simulate_cellnpdp(&cfg, n, nb, 1, Precision::Single, 16);
+        let r = simulate(
+            &cfg,
+            &SimSpec::cellnpdp(n, nb, 1, Precision::Single, 16),
+            &ExecContext::disabled(),
+        );
         println!(
             "{n:>7} {:>11.2}s {:>11.1}%",
             r.seconds,

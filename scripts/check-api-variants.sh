@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Guard against the per-concern variant explosion returning.
+#
+# Cross-cutting behavior (metrics, tracing, fault injection, retries,
+# scheduling, tuning) rides in an `ExecContext` handed to the one generic
+# entry point per layer (`Engine::solve_with`, `task_queue::run`,
+# `cell_sim::machine::simulate`) — it must NOT come back as new
+# `_metered` / `_traced` / `_faulted` / `_instrumented` function names.
+# Every name below is grandfathered: either a `#[deprecated]` one-line
+# wrapper kept for migration (proven equivalent by tests/exec_context.rs)
+# or a genuine fault-injection primitive. Adding a new suffixed function
+# fails CI; extend `ExecContext` instead.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+allowlist() {
+    cat <<'EOF'
+execute_instrumented
+execute_metered
+execute_stealing_instrumented
+execute_stealing_metered
+functional_cellnpdp_f32_faulted
+functional_cellnpdp_multi_spe_faulted
+functional_cellnpdp_multi_spe_traced
+simulate_cellnpdp_batched_traced
+simulate_cellnpdp_faulted
+simulate_cellnpdp_traced
+solve_blocked_in_place_instrumented
+solve_blocked_in_place_metered
+solve_metered
+solve_traced
+solve_via_blocked_metered
+solve_with_stats_instrumented
+solve_with_stats_metered
+try_execute_faulted
+try_execute_locality_faulted
+try_execute_stealing_faulted
+try_solve_blocked_in_place_faulted
+try_solve_with_stats_faulted
+write_faulted
+EOF
+}
+# solve_via_blocked_metered: private single-threaded orchestrator shared by
+#   the blocked engines' solve_with overrides (not an entry point).
+# write_faulted: the mailbox's fault-injection primitive — a modelled
+#   lossy write, not an instrumented variant of a clean one.
+
+found=$(grep -rhoE 'fn [a-zA-Z0-9_]+_(metered|traced|faulted|instrumented)\s*[(<]' \
+            crates/*/src --include='*.rs' \
+        | sed -E 's/^fn ([a-zA-Z0-9_]+).*/\1/' | sort -u)
+
+new=$(comm -23 <(printf '%s\n' "$found") <(allowlist | sort -u))
+if [ -n "$new" ]; then
+    echo "ERROR: new per-concern API variant(s) introduced:" >&2
+    printf '  %s\n' $new >&2
+    echo "Thread the concern through ExecContext / the generic entry point" >&2
+    echo "instead of adding a suffixed variant (see docs/EXEC_CONTEXT.md)." >&2
+    exit 1
+fi
+echo "API variant guard: no new _metered/_traced/_faulted/_instrumented names."

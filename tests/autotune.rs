@@ -4,6 +4,10 @@
 //! variant — central queue, work stealing, locality-batched — returns the
 //! same table bit-for-bit, with and without injected faults, as does the
 //! autotuned entry point.
+// The deprecated wrappers double as equivalence proofs for the generic
+// ExecContext path, so this suite keeps exercising them on purpose until
+// the wrappers are removed (tests/exec_context.rs pins the equivalence).
+#![allow(deprecated)]
 
 use npdp::core::{problem, Engine, ParallelEngine, Scheduler, SerialEngine};
 use npdp::fault::{FaultInjector, FaultKind, FaultPlan, RetryPolicy};

@@ -3,6 +3,10 @@
 //! fault-free reference or fails with a **typed** [`SolveError`] — never a
 //! hang, an escaped panic, or a silently wrong answer — and the same fault
 //! seed always replays the same fault sequence.
+// The deprecated wrappers double as equivalence proofs for the generic
+// ExecContext path, so this suite keeps exercising them on purpose until
+// the wrappers are removed (tests/exec_context.rs pins the equivalence).
+#![allow(deprecated)]
 
 use npdp::cell::multi_spe::functional_cellnpdp_multi_spe_faulted;
 use npdp::cell::npdp::functional_cellnpdp_f32_faulted;

@@ -3,6 +3,10 @@
 //! independent of problem size, compute-bound SP configuration, cubic time
 //! scaling — and the simulator's DMA counters match the model's traffic
 //! formula.
+// The deprecated wrappers double as equivalence proofs for the generic
+// ExecContext path, so this suite keeps exercising them on purpose until
+// the wrappers are removed (tests/exec_context.rs pins the equivalence).
+#![allow(deprecated)]
 
 use npdp::cell::machine::{ndl_bytes_transferred, simulate_cellnpdp, CellConfig};
 use npdp::cell::ppe::Precision;

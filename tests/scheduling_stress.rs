@@ -2,6 +2,10 @@
 //! deadlock-free, runs every task exactly once, and never violates a
 //! dependence — stressed with many workers, random triangles and random
 //! DAGs.
+// The deprecated wrappers double as equivalence proofs for the generic
+// ExecContext path, so this suite keeps exercising them on purpose until
+// the wrappers are removed (tests/exec_context.rs pins the equivalence).
+#![allow(deprecated)]
 
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 
