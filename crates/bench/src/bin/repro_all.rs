@@ -6,13 +6,14 @@
 //!
 //! `--trace <dir>` passes the binaries that support event tracing
 //! `--trace <dir>/TRACE_<experiment>.json`, collecting Chrome trace-event
-//! timelines alongside the reports. `NPDP_REPRO_SMALL=1` in the
-//! environment shrinks the host-measured problem sizes (inherited by the
-//! children automatically).
+//! timelines alongside the reports. Both directories are created if
+//! missing. `--only <bin>` (repeatable) restricts the run to the named
+//! binaries. `NPDP_REPRO_SMALL=1` in the environment shrinks the
+//! host-measured problem sizes (inherited by the children automatically).
 
 use std::process::Command;
 
-use bench::{gate_fail, Cli};
+use bench::{gate_fail, usage_fail, Cli};
 
 /// Binaries that understand `--trace <path>`.
 const TRACEABLE: &[&str] = &["repro-table3", "repro-fig10b", "repro-fig11b"];
@@ -33,12 +34,16 @@ const BINARIES: &[&str] = &[
     "repro-ablation",
     "repro-chaos",
     "repro-tune",
+    "repro-serve",
 ];
 
 fn main() {
     let cli = Cli::parse();
     let (json_dir, trace_dir) = (cli.json, cli.trace);
+    let only = parse_only();
     for dir in json_dir.iter().chain(trace_dir.iter()) {
+        // Missing (possibly nested) output directories are created, never an
+        // error — `--json reports/run-42` must just work.
         if let Err(e) = std::fs::create_dir_all(dir) {
             gate_fail(&format!("cannot create {}: {e}", dir.display()));
         }
@@ -47,6 +52,9 @@ fn main() {
     let dir = exe.parent().expect("bin dir");
     let mut failures = Vec::new();
     for bin in BINARIES {
+        if !only.is_empty() && !only.iter().any(|o| o == bin) {
+            continue;
+        }
         let path = dir.join(bin);
         println!();
         let mut cmd = Command::new(&path);
@@ -77,4 +85,20 @@ fn main() {
         gate_fail(&format!("{failures:?}"));
     }
     println!("\nall experiments regenerated ✓");
+}
+
+/// Parse the repeatable `--only <bin>` filter (names must be known).
+fn parse_only() -> Vec<String> {
+    let mut only = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--only" {
+            match args.next() {
+                Some(b) if BINARIES.contains(&b.as_str()) => only.push(b),
+                Some(b) => usage_fail(&format!("--only: unknown binary {b:?}")),
+                None => usage_fail("--only requires a binary name"),
+            }
+        }
+    }
+    only
 }

@@ -1,0 +1,219 @@
+//! Serving-layer load test: drive a mixed synthetic request stream through
+//! the `npdp-serve` front door and verify every response — cached or not —
+//! bit-identical to a direct `Engine::solve_with` of the same seeds.
+//!
+//! A local server is spawned on a loopback port; several client threads
+//! push the deterministic mix from `npdp_serve::load::synthetic_stream`
+//! (small closures, parenthesizations, folds, large closures, repeated
+//! seeds for cache hits, several tenants) and measure per-request round
+//! trips. The run gate-fails on any wrong byte or unexpected status, and
+//! the report (`BENCH_serve.json`, schema `cellnpdp-bench-v1`) carries
+//! p50/p90/p99/max latency, throughput, and the full `serve.*` counter
+//! vocabulary (batches, cache hits, per-tenant charged cells, …).
+//!
+//! `NPDP_REPRO_SMALL=1` shrinks the stream to CI-smoke time (still ≥ 1000
+//! requests — the acceptance floor). `--faults <seed>` runs the same load
+//! with the injector wired into the server's epochs: responses must then
+//! still be bit-identical *or* typed failures — never wrong bytes.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use bench::{gate_fail, header, host_workers, write_report, Cli, Report};
+use npdp_metrics::Metrics;
+use npdp_serve::client::Client;
+use npdp_serve::load::{synthetic_stream, LatencySummary, MixConfig};
+use npdp_serve::protocol::{Request, Status};
+use npdp_serve::server::{spawn, ServerConfig};
+use npdp_serve::solve::solve_direct;
+use npdp_serve::workload_key;
+
+fn main() {
+    let cli = Cli::parse();
+    // Injected task panics inside server epochs are expected under
+    // `--faults`; keep the default hook for anything else.
+    if cli.faults.is_some() {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|m| m.contains("injected task panic"));
+            if !injected {
+                default_hook(info);
+            }
+        }));
+    }
+    header(
+        "Serve",
+        "NPDP-as-a-service load test (batched small tier + autotuned large tier)",
+        "every served byte must equal a direct solve of the same seeds —\n\
+         the serving layer may batch, cache and reorder, never change answers.",
+    );
+
+    let chaos = cli.faults.is_some();
+    let (requests, small_side, large_side, threads) = if cli.small {
+        (1200usize, 20u32, 96u32, 8usize)
+    } else {
+        (4000, 40, 192, 8)
+    };
+    let mix = MixConfig {
+        requests,
+        seed: 42,
+        small_side,
+        large_side,
+        tenants: 4,
+    };
+    let cfg = ServerConfig {
+        workers: host_workers().min(8),
+        small_threshold: large_side as usize, // only the large closures cross
+        large_lanes: 2,
+        cache_entries: 512,
+        ..ServerConfig::default()
+    };
+
+    let (metrics, recorder) = Metrics::recording();
+    let ctx = cli.context().with_metrics(&metrics);
+    let server = spawn(cfg.clone(), None, &ctx).expect("spawn server");
+    let addr = server.addr();
+    let stream = synthetic_stream(&mix);
+
+    // Expected bytes, computed service-free and memoized by content key —
+    // the same problem never gets two different right answers.
+    let expected: Mutex<HashMap<u128, Arc<Vec<u8>>>> = Mutex::new(HashMap::new());
+    let expect_for = |req: &Request| -> Arc<Vec<u8>> {
+        let key = workload_key(&req.workload);
+        if let Some(b) = expected.lock().unwrap().get(&key) {
+            return Arc::clone(b);
+        }
+        let bytes = Arc::new(
+            solve_direct(&req.workload)
+                .expect("synthetic workloads are always solvable")
+                .encode_body(),
+        );
+        expected.lock().unwrap().entry(key).or_insert(bytes).clone()
+    };
+
+    let next = AtomicUsize::new(0);
+    let wrong = AtomicUsize::new(0);
+    let failed = AtomicUsize::new(0);
+    let cached_hits = AtomicUsize::new(0);
+    let t0 = Instant::now();
+    let latencies: Vec<Mutex<Vec<u64>>> = (0..threads).map(|_| Mutex::new(Vec::new())).collect();
+    std::thread::scope(|s| {
+        for lat in &latencies {
+            s.spawn(|| {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut samples = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(req) = stream.get(i) else { break };
+                    let t = Instant::now();
+                    let resp = client.call(req).expect("response");
+                    samples.push(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                    assert_eq!(resp.id, req.id, "response routed to the wrong request");
+                    if resp.cached {
+                        cached_hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    match resp.status {
+                        Status::Ok => {
+                            if *expect_for(req) != resp.body {
+                                wrong.fetch_add(1, Ordering::Relaxed);
+                                eprintln!(
+                                    "WRONG BYTES for request {} ({:?}, cached={})",
+                                    req.id, req.workload, resp.cached
+                                );
+                            }
+                        }
+                        // Under chaos, an exhausted retry budget is a typed
+                        // failure — legitimate. Anything else is a bug.
+                        Status::Failed if chaos => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        other => {
+                            wrong.fetch_add(1, Ordering::Relaxed);
+                            eprintln!(
+                                "unexpected status {other:?} for request {} ({:?})",
+                                req.id, req.workload
+                            );
+                        }
+                    }
+                }
+                *lat.lock().unwrap() = samples;
+            });
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    server.shutdown();
+
+    let mut all: Vec<u64> = Vec::with_capacity(requests);
+    for lat in &latencies {
+        all.extend(lat.lock().unwrap().iter().copied());
+    }
+    let summary = LatencySummary::from_samples(&all);
+    let wrong = wrong.load(Ordering::Relaxed);
+    let failed = failed.load(Ordering::Relaxed);
+    let cached_hits = cached_hits.load(Ordering::Relaxed);
+    let throughput = requests as f64 / wall;
+
+    println!("{:<26} {:>12}", "requests", format!("{requests}"));
+    for (label, v) in [
+        ("threads", threads as u64),
+        ("server workers", cfg.workers as u64),
+        ("cache hits (client-seen)", cached_hits as u64),
+        ("epochs (batches)", recorder.get("serve.batches")),
+        ("batched requests", recorder.get("serve.batched_requests")),
+        ("largest batch", recorder.get("serve.batch_max_seen")),
+        ("large solves", recorder.get("serve.large_solves")),
+        ("typed failures", failed as u64),
+        ("wrong responses", wrong as u64),
+    ] {
+        println!("{label:<26} {v:>12}");
+    }
+    println!(
+        "\nlatency  p50 {:>9.3} ms   p90 {:>9.3} ms   p99 {:>9.3} ms   max {:>9.3} ms",
+        summary.p50_ns as f64 / 1e6,
+        summary.p90_ns as f64 / 1e6,
+        summary.p99_ns as f64 / 1e6,
+        summary.max_ns as f64 / 1e6,
+    );
+    println!("throughput {throughput:>10.1} req/s over {wall:.2} s");
+
+    let mut report = Report::new("serve");
+    report
+        .set_param("requests", requests as u64)
+        .set_param("threads", threads as u64)
+        .set_param("workers", cfg.workers as u64)
+        .set_param("small_side", small_side as u64)
+        .set_param("large_side", large_side as u64)
+        .set_param("small_threshold", cfg.small_threshold as u64)
+        .set_param("tenants", mix.tenants as u64)
+        .set_param("chaos", chaos)
+        .set_param("throughput_rps", throughput)
+        .add_timing("wall", wall)
+        .set_counter("serve.latency_p50_ns", summary.p50_ns)
+        .set_counter("serve.latency_p90_ns", summary.p90_ns)
+        .set_counter("serve.latency_p99_ns", summary.p99_ns)
+        .set_counter("serve.latency_max_ns", summary.max_ns)
+        .set_counter("serve.client_cache_hits", cached_hits as u64)
+        .set_counter("serve.wrong_responses", wrong as u64)
+        .set_counter("serve.typed_failures", failed as u64)
+        .merge_recorder("", &recorder);
+    if let Some(inj) = cli.injector() {
+        bench::merge_fault_counters(&mut report, inj);
+    }
+    write_report(&report, cli.json.as_deref());
+
+    if wrong > 0 {
+        gate_fail(&format!("{wrong} incorrect response(s)"));
+    }
+    if summary.count != requests {
+        gate_fail(&format!(
+            "expected {requests} responses, measured {}",
+            summary.count
+        ));
+    }
+    println!("\nall {requests} responses correct ✓");
+}

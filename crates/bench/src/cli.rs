@@ -14,6 +14,7 @@
 //!   `chrome://tracing`), conventionally `TRACE_<experiment>.json`;
 //! * `--faults <seed>` / `--fault-rate <r>` — run an extra seeded chaos
 //!   pass under a deterministic fault plan (default rate 0.05);
+//!   `--fault-rate` without `--faults` is a usage error, not a silent no-op;
 //! * `NPDP_REPRO_SMALL=1` — shrink host-measured problem sizes to
 //!   CI-smoke time (simulator-driven binaries ignore it).
 //!
@@ -85,6 +86,7 @@ impl Cli {
         let mut trace = None;
         let mut seed = None;
         let mut rate = 0.05f64;
+        let mut rate_given = false;
         let mut args = args.peekable();
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -101,11 +103,19 @@ impl Cli {
                     None => usage_fail("--faults requires an integer seed"),
                 },
                 "--fault-rate" => match args.next().and_then(|v| v.parse().ok()) {
-                    Some(r) if (0.0..=1.0).contains(&r) => rate = r,
+                    Some(r) if (0.0..=1.0).contains(&r) => {
+                        rate = r;
+                        rate_given = true;
+                    }
                     _ => usage_fail("--fault-rate requires a number in [0, 1]"),
                 },
                 _ => {}
             }
+        }
+        if rate_given && seed.is_none() {
+            // A rate without a plan seed used to be silently dropped — the
+            // user asked for chaos and got a clean run. Refuse instead.
+            usage_fail("--fault-rate requires --faults <seed> (the rate alone selects no plan)");
         }
         let faults = seed.map(|seed| FaultArgs { seed, rate });
         let injector = faults.as_ref().map(|fa| fa.injector());

@@ -33,10 +33,22 @@ pub fn trace_out() -> Option<PathBuf> {
     Cli::parse().trace
 }
 
+/// Create the parent directory of an output path (like a well-behaved tool:
+/// `--json out/reports/BENCH_x.json` must not fail just because `out/` does
+/// not exist yet). Errors are left for the write itself to report.
+pub fn ensure_parent_dir(path: &std::path::Path) {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+}
+
 /// Snapshot `tracer`, write the Chrome trace to `path` (if given) and print
 /// the analysis summary. Exits with an error if the write fails.
 pub fn write_trace(tracer: &Tracer, path: Option<&std::path::Path>) {
     let Some(path) = path else { return };
+    ensure_parent_dir(path);
     let data = tracer.snapshot();
     match npdp_trace::chrome::write_chrome_trace(&data, path) {
         Ok(()) => println!(
@@ -123,11 +135,7 @@ pub fn repro_small() -> bool {
 /// confirmation line. Exits with an error if the write fails.
 pub fn write_report(report: &Report, path: Option<&std::path::Path>) {
     let Some(path) = path else { return };
-    if let Some(dir) = path.parent() {
-        if !dir.as_os_str().is_empty() {
-            let _ = std::fs::create_dir_all(dir);
-        }
-    }
+    ensure_parent_dir(path);
     match report.write_to(path) {
         Ok(()) => println!("\nwrote {}", path.display()),
         Err(e) => {

@@ -25,6 +25,7 @@ const BINS: &[(&str, &str)] = &[
     ("repro-fig13", env!("CARGO_BIN_EXE_repro-fig13")),
     ("repro-model", env!("CARGO_BIN_EXE_repro-model")),
     ("repro-ablation", env!("CARGO_BIN_EXE_repro-ablation")),
+    ("repro-serve", env!("CARGO_BIN_EXE_repro-serve")),
     ("repro-all", env!("CARGO_BIN_EXE_repro-all")),
     ("repro-compare", env!("CARGO_BIN_EXE_repro-compare")),
 ];
@@ -69,6 +70,77 @@ fn malformed_fault_flags_are_usage_errors() {
         exit_code("repro-fig10b", &["--fault-rate", "7.5"]),
         EXIT_USAGE
     );
+}
+
+#[test]
+fn fault_rate_without_faults_is_a_usage_error() {
+    // A rate with no `--faults <seed>` used to be silently dropped — the
+    // user asked for a chaos pass and got a clean run instead. The shared
+    // parser now refuses the combination up front, from every binary.
+    for bin in ["repro-chaos", "repro-fig10b", "repro-table1", "repro-serve"] {
+        assert_eq!(
+            exit_code(bin, &["--fault-rate", "0.25"]),
+            EXIT_USAGE,
+            "{bin}: --fault-rate without --faults must be a usage error"
+        );
+    }
+    // The legitimate combination still parses (order-independent).
+    assert_eq!(
+        exit_code("repro-table1", &["--fault-rate", "0.25", "--faults", "7"]),
+        EXIT_OK
+    );
+}
+
+#[test]
+fn output_paths_in_missing_directories_are_created() {
+    // `--json`/`--trace` into directories that do not exist yet must be
+    // created (nested), not reported as errors.
+    let dir = std::env::temp_dir().join(format!("npdp-outdirs-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let json = dir.join("a/b/BENCH_table3.json");
+    let trace = dir.join("c/d/TRACE_table3.json");
+    let code = exit_code(
+        "repro-table3",
+        &[
+            "--json",
+            json.to_str().unwrap(),
+            "--trace",
+            trace.to_str().unwrap(),
+        ],
+    );
+    assert_eq!(code, EXIT_OK);
+    assert!(json.is_file(), "missing {}", json.display());
+    assert!(trace.is_file(), "missing {}", trace.display());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn repro_all_creates_missing_output_directories() {
+    // The collector itself must also create nested report/trace directories;
+    // `--only` keeps the regression test to one cheap child binary.
+    let dir = std::env::temp_dir().join(format!("npdp-allrdirs-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let reports = dir.join("deep/reports");
+    let traces = dir.join("deep/traces");
+    let code = exit_code(
+        "repro-all",
+        &[
+            "--only",
+            "repro-table1",
+            "--json",
+            reports.to_str().unwrap(),
+            "--trace",
+            traces.to_str().unwrap(),
+        ],
+    );
+    assert_eq!(code, EXIT_OK);
+    assert!(reports.join("BENCH_table1.json").is_file());
+    assert!(traces.is_dir());
+    assert_eq!(
+        exit_code("repro-all", &["--only", "no-such-binary"]),
+        EXIT_USAGE
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]

@@ -47,6 +47,35 @@ impl<T: DpValue> TriangularMatrix<T> {
         }
     }
 
+    /// Build from flat row-major storage — the inverse of
+    /// [`TriangularMatrix::as_slice`] (row `i` holds columns `i+1..n`, back
+    /// to back). Wire-facing layers (the `npdp-serve` protocol) decode seed
+    /// and result payloads straight into this without a per-cell walk.
+    ///
+    /// # Panics
+    /// If `data.len()` is not exactly `n(n-1)/2`.
+    pub fn from_flat(n: usize, data: Vec<T>) -> Self {
+        let expected = n * n.saturating_sub(1) / 2;
+        assert_eq!(
+            data.len(),
+            expected,
+            "flat triangle of side {n} needs n(n-1)/2 = {expected} cells"
+        );
+        let mut row_offsets = Vec::with_capacity(n + 1);
+        let mut off = 0;
+        for i in 0..=n {
+            row_offsets.push(off);
+            if i < n {
+                off += n - 1 - i;
+            }
+        }
+        Self {
+            n,
+            row_offsets,
+            data,
+        }
+    }
+
     /// Build from a seeding function over cells `(i, j)`, `i < j`.
     pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
         let mut m = Self::new_infinity(n);
@@ -165,6 +194,22 @@ mod tests {
         for (i, j, v) in collected {
             assert_eq!(v, (i * 10 + j) as f64);
         }
+    }
+
+    #[test]
+    fn from_flat_round_trips_as_slice() {
+        let m = TriangularMatrix::<f32>::from_fn(7, |i, j| (i * 10 + j) as f32);
+        let rebuilt = TriangularMatrix::from_flat(7, m.as_slice().to_vec());
+        assert_eq!(rebuilt.first_difference(&m), None);
+        // Degenerate sides carry zero cells.
+        assert_eq!(TriangularMatrix::<i32>::from_flat(0, Vec::new()).len(), 0);
+        assert_eq!(TriangularMatrix::<i32>::from_flat(1, Vec::new()).len(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_flat_rejects_wrong_length() {
+        let _ = TriangularMatrix::<f32>::from_flat(5, vec![0.0; 9]);
     }
 
     #[test]

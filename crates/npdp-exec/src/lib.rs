@@ -144,6 +144,15 @@ impl ExecContext {
         self
     }
 
+    /// Select the block-size tuning mode explicitly — the conditional
+    /// spelling of [`ExecContext::autotuned`] for callers that decide per
+    /// run (e.g. a serving layer that autotunes only the large-problem
+    /// tier).
+    pub fn with_tuning(mut self, tuning: Tuning) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
     /// True when any observability component (metrics or tracer) is live —
     /// the hot loops use this to skip instrumentation-only work.
     pub fn observed(&self) -> bool {
@@ -184,6 +193,14 @@ mod tests {
             .with_retry(retry)
             .with_scheduler(Scheduler::LocalityBatched)
             .autotuned();
+        assert_eq!(
+            ExecContext::disabled().with_tuning(Tuning::Auto).tuning,
+            Tuning::Auto
+        );
+        assert_eq!(
+            ExecContext::disabled().with_tuning(Tuning::Fixed).tuning,
+            Tuning::Fixed
+        );
         assert!(ctx.metrics.enabled());
         assert!(ctx.tracer.enabled());
         assert!(ctx.faults.enabled());

@@ -241,9 +241,11 @@ pub struct ScopedTimer<'a> {
 }
 
 impl ScopedTimer<'_> {
-    /// Nanoseconds elapsed so far (the timer keeps running).
+    /// Nanoseconds elapsed so far (the timer keeps running). Saturates at
+    /// `u64::MAX` instead of wrapping on pathological (century-scale)
+    /// elapsed times.
     pub fn elapsed_ns(&self) -> u64 {
-        self.start.elapsed().as_nanos() as u64
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
     }
 }
 

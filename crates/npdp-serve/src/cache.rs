@@ -1,0 +1,164 @@
+//! The solve cache: identical problems are common at scale (the same RNA
+//! sequence folded by many callers), and a DP solve is a pure function of
+//! its seeds — so the service memoizes *encoded result bodies* keyed by a
+//! stable hash of the workload's canonical bytes.
+//!
+//! Bit-identity of hits is structural: the cache stores the exact bytes a
+//! miss produced, and the canonical key covers every bit of the problem
+//! (generator seeds for synthetic workloads, the full seed bit-pattern for
+//! inline ones) under a 128-bit FNV-1a — no truncated-hash aliasing at any
+//! realistic cache size. The property test in `tests/serve.rs` checks the
+//! contract end to end: a warmed cache serves bytes equal to a fresh
+//! recomputation.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::sync::Mutex;
+
+use crate::protocol::Workload;
+
+/// 128-bit FNV-1a over `bytes` — stable across processes, platforms and
+/// runs (no `RandomState`), which is what lets cache keys appear in logs
+/// and reports.
+pub fn fnv1a_128(bytes: &[u8]) -> u128 {
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013b;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u128;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Stable cache key of a workload.
+pub fn workload_key(workload: &Workload) -> u128 {
+    fnv1a_128(&workload.canonical_bytes())
+}
+
+/// A bounded FIFO memo of encoded result bodies.
+///
+/// FIFO (not LRU) keeps the lock hold time O(1) and is plenty for the
+/// service's hit pattern — repeated identical requests arrive in bursts.
+/// Capacity 0 disables the cache entirely.
+#[derive(Debug)]
+pub struct SolveCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<u128, Arc<Vec<u8>>>,
+    order: VecDeque<u128>,
+}
+
+impl SolveCache {
+    /// A cache holding at most `capacity` encoded bodies.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(CacheInner::default()),
+            capacity,
+        }
+    }
+
+    /// Look up an encoded body.
+    pub fn get(&self, key: u128) -> Option<Arc<Vec<u8>>> {
+        if self.capacity == 0 {
+            return None;
+        }
+        self.inner.lock().unwrap().map.get(&key).cloned()
+    }
+
+    /// Insert an encoded body, evicting the oldest entry at capacity.
+    /// Concurrent duplicate inserts are harmless: solves are deterministic,
+    /// so both writers carry identical bytes.
+    pub fn insert(&self, key: u128, body: Arc<Vec<u8>>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        if inner.map.insert(key, body).is_none() {
+            inner.order.push_back(key);
+            while inner.map.len() > self.capacity {
+                if let Some(old) = inner.order.pop_front() {
+                    inner.map.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Number of cached bodies.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// Whether the cache currently holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npdp_core::TriangularMatrix;
+
+    #[test]
+    fn keys_are_stable_and_content_sensitive() {
+        let a = Workload::ClosureSynthetic { n: 32, seed: 7 };
+        assert_eq!(workload_key(&a), workload_key(&a.clone()));
+        // Any differing field changes the key.
+        assert_ne!(
+            workload_key(&a),
+            workload_key(&Workload::ClosureSynthetic { n: 32, seed: 8 })
+        );
+        assert_ne!(
+            workload_key(&a),
+            workload_key(&Workload::ClosureSynthetic { n: 33, seed: 7 })
+        );
+        // Kind is part of the key even at equal (n, seed).
+        assert_ne!(
+            workload_key(&Workload::ClosureSynthetic { n: 32, seed: 7 }),
+            workload_key(&Workload::FoldSynthetic { bases: 32, seed: 7 })
+        );
+        // Inline keys see every seed bit.
+        let seeds = TriangularMatrix::from_fn(8, |i, j| (i + j) as f32);
+        let mut tweaked = seeds.clone();
+        tweaked.set(2, 5, f32::from_bits(tweaked.get(2, 5).to_bits() ^ 1));
+        assert_ne!(
+            workload_key(&Workload::ClosureInline { seeds }),
+            workload_key(&Workload::ClosureInline { seeds: tweaked })
+        );
+    }
+
+    #[test]
+    fn fnv_reference_vector() {
+        // FNV-1a 128 of the empty input is the offset basis.
+        assert_eq!(fnv1a_128(b""), 0x6c62272e07bb014262b821756295c58d);
+        assert_ne!(fnv1a_128(b"a"), fnv1a_128(b"b"));
+    }
+
+    #[test]
+    fn fifo_eviction_bounds_the_cache() {
+        let cache = SolveCache::new(2);
+        cache.insert(1, Arc::new(vec![1]));
+        cache.insert(2, Arc::new(vec![2]));
+        cache.insert(3, Arc::new(vec![3]));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(1).is_none(), "oldest entry evicted first");
+        assert_eq!(*cache.get(3).unwrap(), vec![3]);
+        // Re-inserting an existing key neither duplicates nor evicts.
+        cache.insert(3, Arc::new(vec![3]));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(*cache.get(2).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = SolveCache::new(0);
+        cache.insert(1, Arc::new(vec![1]));
+        assert!(cache.get(1).is_none());
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,113 @@
+//! A minimal blocking client for the solve service — what the integration
+//! tests and the `repro-serve` load generator speak through.
+//!
+//! One [`Client`] wraps one TCP connection. [`Client::call`] is the simple
+//! lock-step path; [`Client::call_many`] pipelines a whole slice of
+//! requests before reading any response, which is how the load generator
+//! keeps the server's batcher fed (and how the batching integration test
+//! provokes a multi-request epoch through a single connection).
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use crate::protocol::{read_frame, write_frame, Request, Response, WireError};
+
+/// A blocking connection to a solve server.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+/// Client-side failure: transport trouble or an undecodable response.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed or closed before a full response arrived.
+    Io(io::Error),
+    /// The server sent bytes that do not decode as a response frame.
+    Wire(WireError),
+    /// Responses stopped before every pipelined request was answered.
+    MissingResponses(usize),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "transport error: {e}"),
+            Self::Wire(e) => write!(f, "undecodable response: {e}"),
+            Self::MissingResponses(n) => {
+                write!(f, "connection closed with {n} responses outstanding")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        Self::Wire(e)
+    }
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Write one request frame (buffered; flushed before reads).
+    pub fn send(&mut self, req: &Request) -> Result<(), ClientError> {
+        write_frame(&mut self.writer, &req.encode())?;
+        Ok(())
+    }
+
+    /// Read the next response frame.
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        self.writer.flush()?;
+        let payload = read_frame(&mut self.reader)?
+            .ok_or_else(|| ClientError::Io(io::Error::from(io::ErrorKind::UnexpectedEof)))?;
+        Ok(Response::decode(&payload)?)
+    }
+
+    /// Lock-step request/response.
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.send(req)?;
+        self.recv()
+    }
+
+    /// Pipeline every request, then collect responses in *request order*
+    /// (the server may answer out of order across tiers; ids pair them up).
+    /// Requires the ids within `reqs` to be unique.
+    pub fn call_many(&mut self, reqs: &[Request]) -> Result<Vec<Response>, ClientError> {
+        for req in reqs {
+            self.send(req)?;
+        }
+        let mut by_id: HashMap<u64, Response> = HashMap::with_capacity(reqs.len());
+        while by_id.len() < reqs.len() {
+            let resp = self.recv()?;
+            by_id.insert(resp.id, resp);
+        }
+        let mut out = Vec::with_capacity(reqs.len());
+        for req in reqs {
+            let resp = by_id
+                .remove(&req.id)
+                .ok_or(ClientError::MissingResponses(reqs.len() - out.len()))?;
+            out.push(resp);
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,174 @@
+//! Load-generation support: the deterministic mixed request stream the
+//! `repro-serve` bin drives through the service, and latency summaries.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::protocol::{Request, Workload};
+
+/// Latency percentiles over a set of per-request wall times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of samples summarized.
+    pub count: usize,
+    /// Median latency in nanoseconds.
+    pub p50_ns: u64,
+    /// 90th-percentile latency in nanoseconds.
+    pub p90_ns: u64,
+    /// 99th-percentile latency in nanoseconds.
+    pub p99_ns: u64,
+    /// Worst observed latency in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl LatencySummary {
+    /// Summarize a sample set (empty input yields all zeros). Percentiles
+    /// use the nearest-rank method: the smallest sample ≥ the requested
+    /// fraction of the distribution.
+    pub fn from_samples(samples: &[u64]) -> Self {
+        if samples.is_empty() {
+            return Self {
+                count: 0,
+                p50_ns: 0,
+                p90_ns: 0,
+                p99_ns: 0,
+                max_ns: 0,
+            };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let rank = |pct: f64| {
+            let idx = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+            sorted[idx.clamp(1, sorted.len()) - 1]
+        };
+        Self {
+            count: sorted.len(),
+            p50_ns: rank(50.0),
+            p90_ns: rank(90.0),
+            p99_ns: rank(99.0),
+            max_ns: *sorted.last().unwrap(),
+        }
+    }
+}
+
+/// Shape of the synthetic request mix.
+#[derive(Debug, Clone, Copy)]
+pub struct MixConfig {
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// RNG seed of the stream (same seed, same stream).
+    pub seed: u64,
+    /// Problem side of the small tier's workloads.
+    pub small_side: u32,
+    /// Problem side of the large closure workloads.
+    pub large_side: u32,
+    /// Number of distinct tenants cycled through.
+    pub tenants: usize,
+}
+
+/// Generate the deterministic mixed request stream.
+///
+/// The mix exercises every server path: ~60 % small closures, 15 %
+/// parenthesize, 15 % folds, 10 % large closures, with roughly a quarter
+/// of the workloads repeating an earlier seed so the solve cache sees
+/// genuine hits. Request ids are the stream index; tenants cycle so
+/// fairness accounting has several accounts to balance.
+pub fn synthetic_stream(cfg: &MixConfig) -> Vec<Request> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // A small seed pool (~4 distinct seeds per 16 requests) makes repeats
+    // common without making every request a cache hit.
+    let pool = (cfg.requests / 4).max(1) as u64;
+    (0..cfg.requests)
+        .map(|i| {
+            let seed = rng.random_range(0..pool);
+            let kind = rng.random_range(0..100u64);
+            let workload = if kind < 60 {
+                Workload::ClosureSynthetic {
+                    n: cfg.small_side,
+                    seed,
+                }
+            } else if kind < 75 {
+                Workload::ParenthesizeSynthetic {
+                    matrices: cfg.small_side.saturating_sub(1).max(1),
+                    seed,
+                }
+            } else if kind < 90 {
+                Workload::FoldSynthetic {
+                    bases: cfg.small_side.saturating_sub(1).max(1),
+                    seed,
+                }
+            } else {
+                Workload::ClosureSynthetic {
+                    n: cfg.large_side,
+                    seed,
+                }
+            };
+            Request {
+                id: i as u64,
+                tenant: format!("tenant-{}", i % cfg.tenants.max(1)),
+                workload,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let samples: Vec<u64> = (1..=100).collect();
+        let s = LatencySummary::from_samples(&samples);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_ns, 50);
+        assert_eq!(s.p90_ns, 90);
+        assert_eq!(s.p99_ns, 99);
+        assert_eq!(s.max_ns, 100);
+        // Single sample: every percentile is that sample.
+        let one = LatencySummary::from_samples(&[7]);
+        assert_eq!((one.p50_ns, one.p99_ns, one.max_ns), (7, 7, 7));
+        assert_eq!(LatencySummary::from_samples(&[]).count, 0);
+    }
+
+    #[test]
+    fn stream_is_deterministic_and_mixed() {
+        let cfg = MixConfig {
+            requests: 400,
+            seed: 9,
+            small_side: 24,
+            large_side: 160,
+            tenants: 3,
+        };
+        let a = synthetic_stream(&cfg);
+        let b = synthetic_stream(&cfg);
+        assert_eq!(a.len(), 400);
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| x.id == y.id && x.tenant == y.tenant && x.workload == y.workload));
+        // Every workload kind appears, including the large tier.
+        assert!(a
+            .iter()
+            .any(|r| matches!(r.workload, Workload::ClosureSynthetic { n, .. } if n == 160)));
+        assert!(a
+            .iter()
+            .any(|r| matches!(r.workload, Workload::ParenthesizeSynthetic { .. })));
+        assert!(a
+            .iter()
+            .any(|r| matches!(r.workload, Workload::FoldSynthetic { .. })));
+        // Duplicate workloads exist (cache-hit fodder).
+        let mut keys: Vec<_> = a
+            .iter()
+            .map(|r| crate::cache::workload_key(&r.workload))
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert!(keys.len() < 400, "expected repeated workloads in the mix");
+        // Ids are unique (call_many requires it).
+        let mut ids: Vec<_> = a.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 400);
+    }
+}

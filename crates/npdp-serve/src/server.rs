@@ -1,0 +1,661 @@
+//! The solve server: acceptor, per-connection readers, the small-request
+//! batcher and the large-request workers, glued by one dispatch queue with
+//! admission control and per-tenant fairness.
+//!
+//! ## Request path
+//!
+//! 1. A reader thread decodes a frame. Malformed → `Invalid` response.
+//! 2. Cache lookup by the workload's stable content key — a hit responds
+//!    immediately with the stored bytes (bit-identical to recomputation by
+//!    construction) and never touches the queues.
+//! 3. Admission control: if the pending count is at
+//!    [`ServerConfig::queue_limit`], respond `Overloaded` — a bounded queue
+//!    is what keeps tail latency honest under pressure.
+//! 4. Classification by problem side: under
+//!    [`ServerConfig::small_threshold`] the request joins its tenant's
+//!    small queue (batched into shared scheduler epochs); otherwise the
+//!    large queue (one autotuned parallel solve per request).
+//!
+//! ## Shared scheduler epochs
+//!
+//! PR 4's `Scheduler::LocalityBatched` merged one problem's starved tail
+//! diagonals into a single scheduling batch; this layer lifts the same idea
+//! *across requests*: up to [`ServerConfig::batch_max`] small problems
+//! (lingering [`ServerConfig::batch_linger`] for stragglers) become one
+//! [`task_queue::run`] epoch — one task per request, all independent — so a
+//! trickle of tiny solves rides one worker-pool wakeup instead of paying
+//! per-request pool spin-up, exactly the duty-cycle recovery measured at
+//! the overhead-dominated corner.
+//!
+//! ## Fairness
+//!
+//! Tenants are charged the DP cells their requests solved, with epoch task
+//! totals cross-checked against the scheduler's own
+//! [`ExecStats`](task_queue::ExecStats); both
+//! drains (batcher and large workers) always serve the least-charged tenant
+//! first, so a heavy tenant cannot starve a light one out of a batch slot.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::BufReader;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use npdp_core::{ParallelEngine, SimdEngine, SolveError};
+use npdp_exec::{ExecContext, Scheduler, Tuning};
+use task_queue::TaskGraph;
+
+use crate::cache::{workload_key, SolveCache};
+use crate::protocol::{read_frame, write_frame, Request, Response, Status, Workload};
+use crate::solve::{materialize, solve_problem};
+
+/// Tuning knobs of one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads per batch epoch and per large solve.
+    pub workers: usize,
+    /// Problems with side `< small_threshold` are batched; the rest run the
+    /// autotuned parallel engine.
+    pub small_threshold: usize,
+    /// Most requests merged into one scheduler epoch.
+    pub batch_max: usize,
+    /// How long a forming batch waits for stragglers once it has at least
+    /// one request.
+    pub batch_linger: Duration,
+    /// Admission bound: pending (queued, un-started) requests beyond this
+    /// are refused with [`Status::Overloaded`].
+    pub queue_limit: usize,
+    /// Solve-cache capacity in entries; 0 disables caching.
+    pub cache_entries: usize,
+    /// Concurrent large solves (each already uses `workers` threads).
+    pub large_lanes: usize,
+    /// Memory-block side of the small tier's serial NDL+SIMD engine.
+    pub small_nb: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+            small_threshold: 128,
+            batch_max: 32,
+            batch_linger: Duration::from_micros(300),
+            queue_limit: 1024,
+            cache_entries: 1024,
+            large_lanes: 1,
+            small_nb: 32,
+        }
+    }
+}
+
+/// One queued request plus where to send its answer.
+struct Job {
+    id: u64,
+    tenant: String,
+    workload: Workload,
+    key: u128,
+    conn: Arc<ConnWriter>,
+}
+
+/// Per-tenant queues and fairness account.
+#[derive(Default)]
+struct TenantState {
+    small: VecDeque<Job>,
+    large: VecDeque<Job>,
+    /// DP cells charged to this tenant so far (the fairness currency).
+    charged_cells: u64,
+}
+
+#[derive(Default)]
+struct DispatchQueues {
+    tenants: BTreeMap<String, TenantState>,
+    small_pending: usize,
+    large_pending: usize,
+}
+
+impl DispatchQueues {
+    fn pending(&self) -> usize {
+        self.small_pending + self.large_pending
+    }
+
+    /// Tenant names with nonempty queues of the given tier, least-charged
+    /// first (ties break by name for determinism).
+    fn fair_order(&self, large: bool) -> Vec<String> {
+        let mut names: Vec<_> = self
+            .tenants
+            .iter()
+            .filter(|(_, t)| !(if large { &t.large } else { &t.small }).is_empty())
+            .map(|(name, t)| (t.charged_cells, name.clone()))
+            .collect();
+        names.sort();
+        names.into_iter().map(|(_, n)| n).collect()
+    }
+
+    /// Drain up to `max` small jobs round-robin across tenants in fairness
+    /// order.
+    fn drain_small(&mut self, max: usize) -> Vec<Job> {
+        let mut batch = Vec::new();
+        while batch.len() < max {
+            let order = self.fair_order(false);
+            if order.is_empty() {
+                break;
+            }
+            for name in order {
+                if batch.len() >= max {
+                    break;
+                }
+                if let Some(job) = self
+                    .tenants
+                    .get_mut(&name)
+                    .and_then(|t| t.small.pop_front())
+                {
+                    self.small_pending -= 1;
+                    batch.push(job);
+                }
+            }
+        }
+        batch
+    }
+
+    /// Pop the least-charged tenant's oldest large job.
+    fn pop_large(&mut self) -> Option<Job> {
+        let name = self.fair_order(true).into_iter().next()?;
+        let job = self.tenants.get_mut(&name)?.large.pop_front()?;
+        self.large_pending -= 1;
+        Some(job)
+    }
+
+    /// Charge a tenant for completed work.
+    fn charge(&mut self, tenant: &str, cells: u64) {
+        self.tenants
+            .entry(tenant.to_owned())
+            .or_default()
+            .charged_cells += cells;
+    }
+}
+
+/// A connection's write half: response frames from any solver thread are
+/// serialized under one mutex.
+struct ConnWriter {
+    stream: Mutex<TcpStream>,
+}
+
+impl ConnWriter {
+    /// Best-effort send; a vanished client is not a server error.
+    fn send(&self, id: u64, status: Status, cached: bool, body: &[u8]) {
+        let payload = Response::encode_parts(id, status, cached, body);
+        let mut stream = self.stream.lock().unwrap();
+        let _ = write_frame(&mut *stream, &payload);
+    }
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    ctx: ExecContext,
+    cache: SolveCache,
+    q: Mutex<DispatchQueues>,
+    work_ready: Condvar,
+    shutdown: AtomicBool,
+    conns: Mutex<Vec<TcpStream>>,
+    reader_joins: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn metric(&self, key: &str, delta: u64) {
+        self.ctx.metrics.add(key, delta);
+    }
+}
+
+/// A running server; dropping (or [`ServerHandle::shutdown`]) stops it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    joins: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address to connect clients to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, drain queued work, and join every thread. Responses
+    /// for already-queued requests are still delivered.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        let shared = &self.shared;
+        shared.shutdown.store(true, Ordering::Release);
+        // Unblock readers (connection shutdown) and the acceptor (dummy
+        // connect), then wake the solver threads.
+        for conn in shared.conns.lock().unwrap().iter() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        let _ = TcpStream::connect(self.addr);
+        shared.work_ready.notify_all();
+        for j in self.joins.drain(..) {
+            let _ = j.join();
+        }
+        let readers = std::mem::take(&mut *shared.reader_joins.lock().unwrap());
+        for j in readers {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if !self.joins.is_empty() {
+            self.stop();
+        }
+    }
+}
+
+/// Bind `127.0.0.1:0` (or `addr`) and spawn the server's threads.
+///
+/// `ctx` carries the service's observability and perturbation policy: its
+/// metrics handle receives the `serve.*` vocabulary plus every `engine.*` /
+/// `queue.*` counter the epochs emit, its fault injector and retry budget
+/// ride into every epoch (so chaos testing the service reuses the exact
+/// task-queue recovery machinery), and its scheduler choice applies to the
+/// large tier. Small-tier epochs always run `Scheduler::LocalityBatched` —
+/// that is the point of the batching layer.
+pub fn spawn(
+    cfg: ServerConfig,
+    addr: Option<SocketAddr>,
+    ctx: &ExecContext,
+) -> std::io::Result<ServerHandle> {
+    assert!(cfg.workers >= 1, "need at least one worker");
+    assert!(cfg.batch_max >= 1, "batches need at least one slot");
+    assert!(cfg.large_lanes >= 1, "need at least one large lane");
+    let listener = TcpListener::bind(addr.unwrap_or_else(|| "127.0.0.1:0".parse().unwrap()))?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        cache: SolveCache::new(cfg.cache_entries),
+        cfg,
+        ctx: ctx.clone(),
+        q: Mutex::new(DispatchQueues::default()),
+        work_ready: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        conns: Mutex::new(Vec::new()),
+        reader_joins: Mutex::new(Vec::new()),
+    });
+
+    let mut joins = Vec::new();
+    {
+        let shared = Arc::clone(&shared);
+        joins.push(std::thread::spawn(move || accept_loop(listener, shared)));
+    }
+    {
+        let shared = Arc::clone(&shared);
+        joins.push(std::thread::spawn(move || batch_loop(shared)));
+    }
+    for _ in 0..shared.cfg.large_lanes {
+        let shared = Arc::clone(&shared);
+        joins.push(std::thread::spawn(move || large_loop(shared)));
+    }
+    Ok(ServerHandle {
+        addr,
+        shared,
+        joins,
+    })
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let read_half = match stream.try_clone() {
+            Ok(h) => h,
+            Err(_) => continue,
+        };
+        shared
+            .conns
+            .lock()
+            .unwrap()
+            .push(read_half.try_clone().unwrap_or_else(|_| {
+                // Losing the shutdown handle only delays reader exit until
+                // the client closes; keep serving.
+                stream.try_clone().expect("clone just succeeded")
+            }));
+        let conn = Arc::new(ConnWriter {
+            stream: Mutex::new(stream),
+        });
+        let shared2 = Arc::clone(&shared);
+        let join = std::thread::spawn(move || read_loop(read_half, conn, shared2));
+        shared.reader_joins.lock().unwrap().push(join);
+    }
+}
+
+fn read_loop(stream: TcpStream, conn: Arc<ConnWriter>, shared: Arc<Shared>) {
+    let mut reader = BufReader::new(stream);
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(p)) => p,
+            // Clean close, torn connection or shutdown: stop reading.
+            Ok(None) | Err(_) => return,
+        };
+        let req = match Request::decode(&payload) {
+            Ok(req) => req,
+            Err(e) => {
+                shared.metric("serve.malformed", 1);
+                conn.send(
+                    salvage_id(&payload),
+                    Status::Invalid,
+                    false,
+                    e.to_string().as_bytes(),
+                );
+                continue;
+            }
+        };
+        shared.metric("serve.requests", 1);
+        admit(req, Arc::clone(&conn), &shared);
+    }
+}
+
+/// Best-effort request id of a payload that failed to decode (version byte
+/// then id), so even malformed traffic gets an attributable answer.
+fn salvage_id(payload: &[u8]) -> u64 {
+    match payload.get(1..9) {
+        Some(bytes) => u64::from_le_bytes(bytes.try_into().unwrap()),
+        None => 0,
+    }
+}
+
+/// Cache lookup → admission control → classification → enqueue.
+fn admit(req: Request, conn: Arc<ConnWriter>, shared: &Arc<Shared>) {
+    let key = workload_key(&req.workload);
+    if let Some(body) = shared.cache.get(key) {
+        shared.metric("serve.cache_hits", 1);
+        conn.send(req.id, Status::Ok, true, &body);
+        return;
+    }
+    shared.metric("serve.cache_misses", 1);
+
+    let small = req.workload.side() < shared.cfg.small_threshold;
+    let job = Job {
+        id: req.id,
+        tenant: req.tenant,
+        workload: req.workload,
+        key,
+        conn,
+    };
+    {
+        let mut q = shared.q.lock().unwrap();
+        if q.pending() >= shared.cfg.queue_limit {
+            drop(q);
+            shared.metric("serve.rejected", 1);
+            job.conn
+                .send(job.id, Status::Overloaded, false, b"admission queue full");
+            return;
+        }
+        let tenant = q.tenants.entry(job.tenant.clone()).or_default();
+        if small {
+            tenant.small.push_back(job);
+            q.small_pending += 1;
+        } else {
+            tenant.large.push_back(job);
+            q.large_pending += 1;
+        }
+    }
+    shared.metric(
+        if small {
+            "serve.small_requests"
+        } else {
+            "serve.large_requests"
+        },
+        1,
+    );
+    shared.work_ready.notify_all();
+}
+
+/// The small tier: merge queued requests into shared scheduler epochs.
+fn batch_loop(shared: Arc<Shared>) {
+    let mut q = shared.q.lock().unwrap();
+    loop {
+        if q.small_pending == 0 {
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let (guard, _) = shared
+                .work_ready
+                .wait_timeout(q, Duration::from_millis(20))
+                .unwrap();
+            q = guard;
+            continue;
+        }
+        // Linger briefly for stragglers so light concurrent load still
+        // coalesces, but never past the deadline — batching must not cost
+        // an idle service visible latency.
+        let deadline = Instant::now() + shared.cfg.batch_linger;
+        while q.small_pending < shared.cfg.batch_max && !shared.shutdown.load(Ordering::Acquire) {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, _) = shared.work_ready.wait_timeout(q, deadline - now).unwrap();
+            q = guard;
+        }
+        let batch = q.drain_small(shared.cfg.batch_max);
+        drop(q);
+        if !batch.is_empty() {
+            run_epoch(&batch, &shared);
+        }
+        q = shared.q.lock().unwrap();
+    }
+}
+
+/// Per-request result slot of an epoch: the encoded response body, filled
+/// in by whichever worker ran the request's task.
+type EpochSlot = Mutex<Option<Result<Vec<u8>, SolveError>>>;
+
+/// Execute one shared scheduler epoch: one independent task per request on
+/// the locality-batched discipline.
+fn run_epoch(batch: &[Job], shared: &Arc<Shared>) {
+    let epoch_ctx = shared
+        .ctx
+        .clone()
+        .with_scheduler(Scheduler::LocalityBatched);
+    let engine = SimdEngine::new(shared.cfg.small_nb);
+    let results: Vec<EpochSlot> = batch.iter().map(|_| Mutex::new(None)).collect();
+    let workers = shared.cfg.workers.min(batch.len()).max(1);
+    let graph = TaskGraph::new(batch.len());
+    let ran = {
+        let _t = shared.ctx.metrics.timed("serve.epoch_ns");
+        task_queue::run(&graph, workers, &epoch_ctx, |i| {
+            let problem = materialize(&batch[i].workload);
+            let out = solve_problem(&problem, &engine, &epoch_ctx).map(|o| o.encode_body());
+            *results[i].lock().unwrap() = Some(out);
+        })
+    };
+    shared.metric("serve.batches", 1);
+    shared.metric("serve.batched_requests", batch.len() as u64);
+    shared
+        .ctx
+        .metrics
+        .record_max("serve.batch_max_seen", batch.len() as u64);
+    match ran {
+        Ok(stats) => {
+            // The scheduler's own account of the epoch: every request ran
+            // exactly once across the shared worker pool.
+            let tasks: usize = stats.tasks_per_worker.iter().sum();
+            debug_assert_eq!(tasks, batch.len());
+            shared.metric("serve.epoch_tasks", tasks as u64);
+        }
+        Err(_) => shared.metric("serve.epochs_failed", 1),
+    }
+    let mut charges: Vec<(String, u64)> = Vec::with_capacity(batch.len());
+    for (job, slot) in batch.iter().zip(&results) {
+        let result = slot.lock().unwrap().take();
+        respond(job, result, shared);
+        charges.push((job.tenant.clone(), job.workload.cells()));
+    }
+    let mut q = shared.q.lock().unwrap();
+    for (tenant, cells) in charges {
+        q.charge(&tenant, cells);
+        charge_metric(shared, &tenant, cells);
+    }
+}
+
+/// The large tier: one autotuned parallel solve per request.
+fn large_loop(shared: Arc<Shared>) {
+    let mut q = shared.q.lock().unwrap();
+    loop {
+        let Some(job) = q.pop_large() else {
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let (guard, _) = shared
+                .work_ready
+                .wait_timeout(q, Duration::from_millis(20))
+                .unwrap();
+            q = guard;
+            continue;
+        };
+        drop(q);
+        let ctx = shared.ctx.clone().with_tuning(Tuning::Auto);
+        // `Tuning::Auto` replaces nb with the §V model's choice at solve
+        // time; the constructor values are placeholders.
+        let engine = ParallelEngine::new(32, 2, shared.cfg.workers);
+        let problem = materialize(&job.workload);
+        let result = {
+            let _t = shared.ctx.metrics.timed("serve.large_ns");
+            solve_problem(&problem, &engine, &ctx).map(|o| o.encode_body())
+        };
+        shared.metric("serve.large_solves", 1);
+        respond(&job, Some(result), &shared);
+        let cells = job.workload.cells();
+        charge_metric(&shared, &job.tenant, cells);
+        q = shared.q.lock().unwrap();
+        q.charge(&job.tenant, cells);
+    }
+}
+
+/// Send a solve result (or its absence) back, caching successes.
+fn respond(job: &Job, result: Option<Result<Vec<u8>, SolveError>>, shared: &Arc<Shared>) {
+    match result {
+        Some(Ok(body)) => {
+            let body = Arc::new(body);
+            shared.cache.insert(job.key, Arc::clone(&body));
+            shared.metric("serve.responses_ok", 1);
+            job.conn.send(job.id, Status::Ok, false, &body);
+        }
+        Some(Err(e)) => {
+            let status = match e {
+                SolveError::InvalidSeed { .. } => Status::Invalid,
+                _ => Status::Failed,
+            };
+            shared.metric("serve.responses_failed", 1);
+            job.conn
+                .send(job.id, status, false, e.to_string().as_bytes());
+        }
+        None => {
+            // The epoch aborted (retry budget exhausted) before this task
+            // ran; its retry machinery already counted the panics.
+            shared.metric("serve.responses_failed", 1);
+            job.conn.send(
+                job.id,
+                Status::Failed,
+                false,
+                b"epoch aborted before task ran",
+            );
+        }
+    }
+}
+
+/// Per-tenant charge counters (only materialized when metrics are live —
+/// the key is heap-formatted).
+fn charge_metric(shared: &Arc<Shared>, tenant: &str, cells: u64) {
+    if shared.ctx.metrics.enabled() {
+        let label = if tenant.is_empty() { "-" } else { tenant };
+        shared
+            .ctx
+            .metrics
+            .add(&format!("serve.tenant.{label}.cells"), cells);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fair_order_prefers_least_charged() {
+        let mut q = DispatchQueues::default();
+        for (tenant, charged) in [("a", 300u64), ("b", 100), ("c", 200)] {
+            let t = q.tenants.entry(tenant.into()).or_default();
+            t.charged_cells = charged;
+            t.small.push_back(Job {
+                id: 0,
+                tenant: tenant.into(),
+                workload: Workload::ClosureSynthetic { n: 8, seed: 0 },
+                key: 0,
+                conn: dummy_conn(),
+            });
+            q.small_pending += 1;
+        }
+        assert_eq!(q.fair_order(false), ["b", "c", "a"]);
+        let batch = q.drain_small(2);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0].tenant, "b");
+        assert_eq!(batch[1].tenant, "c");
+        assert_eq!(q.small_pending, 1);
+    }
+
+    #[test]
+    fn drain_small_round_robins_within_a_batch() {
+        let mut q = DispatchQueues::default();
+        for tenant in ["a", "b"] {
+            let t = q.tenants.entry(tenant.into()).or_default();
+            for i in 0..3 {
+                t.small.push_back(Job {
+                    id: i,
+                    tenant: tenant.into(),
+                    workload: Workload::ClosureSynthetic { n: 8, seed: i },
+                    key: 0,
+                    conn: dummy_conn(),
+                });
+                q.small_pending += 1;
+            }
+        }
+        let batch = q.drain_small(4);
+        let tenants: Vec<_> = batch.iter().map(|j| j.tenant.as_str()).collect();
+        // Alternating, not three-of-a then one-of-b.
+        assert_eq!(tenants, ["a", "b", "a", "b"]);
+    }
+
+    #[test]
+    fn charge_accumulates() {
+        let mut q = DispatchQueues::default();
+        q.charge("t", 10);
+        q.charge("t", 5);
+        assert_eq!(q.tenants["t"].charged_cells, 15);
+    }
+
+    fn dummy_conn() -> Arc<ConnWriter> {
+        // A connected pair the tests never read from.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stream = TcpStream::connect(addr).unwrap();
+        let _ = listener.accept();
+        Arc::new(ConnWriter {
+            stream: Mutex::new(stream),
+        })
+    }
+}

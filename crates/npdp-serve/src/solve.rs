@@ -1,0 +1,200 @@
+//! Workload materialization and the canonical solve paths.
+//!
+//! Everything here is a pure function of the workload: synthetic problems
+//! materialize from their generator seed deterministically, and every
+//! engine in the workspace is bit-identical by contract (see
+//! `npdp_core::DpValue`), so the server's batched small tier, its autotuned
+//! large tier, and a client-side [`solve_direct`] verification all produce
+//! the same bytes. That is the property the acceptance gate leans on:
+//! *served responses — cached or not — must equal a direct
+//! `Engine::solve_with` of the same seeds.*
+
+use npdp_core::apps::matrix_chain;
+use npdp_core::{problem, Engine, ExecContext, SolveError, TriangularMatrix};
+use zuker::fold::{v_stems, w_seeds_from_v};
+use zuker::sequence::random_sequence;
+use zuker::EnergyModel;
+
+use crate::protocol::{SolveOutput, Workload};
+
+/// Scale of the synthetic closure seeds (matches the paper's
+/// random-initialized `d` in `[0, 100)`).
+pub const CLOSURE_SCALE: f32 = 100.0;
+
+/// Matrix-chain dimensions are drawn uniformly from `1..=MAX_CHAIN_DIM`,
+/// keeping every `p_i · p_k · p_j` product far inside the `i64` domain.
+pub const MAX_CHAIN_DIM: u64 = 64;
+
+/// A materialized problem, ready for an engine.
+#[derive(Debug, Clone)]
+pub enum Problem {
+    /// Closure seeds (synthetic or inline).
+    Closure(TriangularMatrix<f32>),
+    /// Matrix-chain dimension vector.
+    Parenthesize(Vec<u64>),
+    /// Fold: the precomputed `W` closure seeds plus the sequence length.
+    Fold {
+        seeds: TriangularMatrix<i32>,
+        bases: usize,
+    },
+}
+
+/// Deterministic matrix-chain dimensions for a synthetic parenthesize
+/// request.
+pub fn chain_dims(matrices: u32, seed: u64) -> Vec<u64> {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..matrices as usize + 1)
+        .map(|_| rng.random_range(0..MAX_CHAIN_DIM) + 1)
+        .collect()
+}
+
+/// Materialize a workload into its solvable problem — a pure function of
+/// the workload (same input, same seeds, bit for bit).
+pub fn materialize(workload: &Workload) -> Problem {
+    match workload {
+        Workload::ClosureSynthetic { n, seed } => {
+            Problem::Closure(problem::random_seeds_f32(*n as usize, CLOSURE_SCALE, *seed))
+        }
+        Workload::ClosureInline { seeds } => Problem::Closure(seeds.clone()),
+        Workload::ParenthesizeSynthetic { matrices, seed } => {
+            Problem::Parenthesize(chain_dims(*matrices, *seed))
+        }
+        Workload::FoldSynthetic { bases, seed } => {
+            let seq = random_sequence(*bases as usize, *seed);
+            let v = v_stems(&seq, &EnergyModel::default());
+            Problem::Fold {
+                seeds: w_seeds_from_v(seq.len(), &v),
+                bases: seq.len(),
+            }
+        }
+    }
+}
+
+/// Solve a materialized problem with the given engine under `ctx`.
+///
+/// The engine is generic so both service tiers (and any verifier) share
+/// this one path: the batched small tier passes a serial NDL+SIMD engine,
+/// the large tier the task-queue parallel engine with `Tuning::Auto`.
+/// Parenthesize runs the k-dependent generic serial solver (its combine
+/// term is not pure min-plus); its work is still attributed to
+/// `ctx.metrics` so fairness accounting sees it.
+pub fn solve_problem<E>(
+    problem: &Problem,
+    engine: &E,
+    ctx: &ExecContext,
+) -> Result<SolveOutput, SolveError>
+where
+    E: Engine<f32> + Engine<i32> + ?Sized,
+{
+    match problem {
+        Problem::Closure(seeds) => {
+            let (table, _) = Engine::<f32>::solve_with(engine, seeds, ctx)?;
+            Ok(SolveOutput::F32Table(table))
+        }
+        Problem::Parenthesize(dims) => {
+            let chain = matrix_chain(dims);
+            ctx.metrics
+                .add("engine.cells_computed", chain.table.len() as u64);
+            Ok(SolveOutput::I64Table(chain.table))
+        }
+        Problem::Fold { seeds, bases } => {
+            // Like `zuker::fold::fold_with_engine`: the raw solve, not
+            // `solve_with` — fold seeds are legitimately negative energies,
+            // which the closure-length validator would reject.
+            let w = Engine::<i32>::solve(engine, seeds);
+            ctx.metrics.add("engine.cells_computed", seeds.len() as u64);
+            // Exterior energy as in `zuker::fold::fold_with_engine`: the
+            // whole-interval cell, never worse than the open chain.
+            let energy = if *bases == 0 {
+                0
+            } else {
+                w.get(0, *bases).min(0)
+            };
+            Ok(SolveOutput::Fold { energy, w })
+        }
+    }
+}
+
+/// Direct, service-free solve of a workload — what the load generator's
+/// verifier and the cache property tests compare served bytes against.
+/// Uses the serial NDL+SIMD engine; bit-identity across engines makes the
+/// choice immaterial.
+pub fn solve_direct(workload: &Workload) -> Result<SolveOutput, SolveError> {
+    let problem = materialize(workload);
+    solve_problem(
+        &problem,
+        &npdp_core::SimdEngine::new(32),
+        &ExecContext::disabled(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npdp_core::{ParallelEngine, SerialEngine};
+
+    #[test]
+    fn materialize_is_deterministic() {
+        let w = Workload::ClosureSynthetic { n: 24, seed: 7 };
+        let (Problem::Closure(a), Problem::Closure(b)) = (materialize(&w), materialize(&w)) else {
+            panic!("closure workload materialized to something else");
+        };
+        assert_eq!(a.first_difference(&b), None);
+        assert_eq!(chain_dims(10, 3), chain_dims(10, 3));
+        assert_ne!(chain_dims(10, 3), chain_dims(10, 4));
+    }
+
+    #[test]
+    fn chain_dims_stay_in_domain() {
+        for d in chain_dims(100, 11) {
+            assert!((1..=MAX_CHAIN_DIM).contains(&d));
+        }
+    }
+
+    #[test]
+    fn small_and_large_tiers_agree_bit_for_bit() {
+        for workload in [
+            Workload::ClosureSynthetic { n: 48, seed: 1 },
+            Workload::ParenthesizeSynthetic {
+                matrices: 12,
+                seed: 2,
+            },
+            Workload::FoldSynthetic { bases: 40, seed: 3 },
+        ] {
+            let problem = materialize(&workload);
+            let ctx = ExecContext::disabled();
+            let small = solve_problem(&problem, &npdp_core::SimdEngine::new(16), &ctx).unwrap();
+            let large = solve_problem(&problem, &ParallelEngine::new(16, 2, 4), &ctx).unwrap();
+            let serial = solve_problem(&problem, &SerialEngine, &ctx).unwrap();
+            assert_eq!(small.encode_body(), large.encode_body(), "{workload:?}");
+            assert_eq!(small.encode_body(), serial.encode_body(), "{workload:?}");
+            assert_eq!(
+                small.encode_body(),
+                solve_direct(&workload).unwrap().encode_body(),
+                "{workload:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fold_energy_matches_fold_with_engine() {
+        let seq = random_sequence(36, 5);
+        let reference = zuker::fold::fold_with_engine(&seq, &EnergyModel::default(), &SerialEngine);
+        let out = solve_direct(&Workload::FoldSynthetic { bases: 36, seed: 5 }).unwrap();
+        let SolveOutput::Fold { energy, w } = out else {
+            panic!("fold workload produced a non-fold output");
+        };
+        assert_eq!(energy, reference.energy);
+        assert_eq!(w.first_difference(&reference.w), None);
+    }
+
+    #[test]
+    fn invalid_inline_seeds_are_typed_errors() {
+        let seeds =
+            TriangularMatrix::from_fn(6, |i, j| if (i, j) == (1, 3) { f32::NAN } else { 1.0 });
+        let err = solve_direct(&Workload::ClosureInline { seeds }).unwrap_err();
+        assert!(matches!(err, SolveError::InvalidSeed { i: 1, j: 3, .. }));
+    }
+}

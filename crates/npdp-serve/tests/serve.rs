@@ -1,0 +1,212 @@
+//! End-to-end tests of the solve service: correctness of served bytes,
+//! cross-request batching, admission control, malformed-frame handling and
+//! the cache's bit-identity property.
+
+use std::net::TcpStream;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use npdp_exec::{ExecContext, Metrics};
+use npdp_serve::client::Client;
+use npdp_serve::protocol::{read_frame, write_frame, Request, Response, Status, Workload};
+use npdp_serve::server::{spawn, ServerConfig, ServerHandle};
+use npdp_serve::solve::solve_direct;
+use proptest::prelude::*;
+
+fn req(id: u64, tenant: &str, workload: Workload) -> Request {
+    Request {
+        id,
+        tenant: tenant.into(),
+        workload,
+    }
+}
+
+#[test]
+fn end_to_end_mixed_stream_is_correct() {
+    let cfg = ServerConfig {
+        workers: 2,
+        small_threshold: 48,
+        large_lanes: 1,
+        ..ServerConfig::default()
+    };
+    let server = spawn(cfg, None, &ExecContext::disabled()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let workloads = [
+        Workload::ClosureSynthetic { n: 24, seed: 1 },
+        Workload::ParenthesizeSynthetic {
+            matrices: 10,
+            seed: 2,
+        },
+        Workload::FoldSynthetic { bases: 30, seed: 3 },
+        // Over the 48 threshold: routed through the autotuned large tier.
+        Workload::ClosureSynthetic { n: 96, seed: 4 },
+    ];
+    for (i, workload) in workloads.iter().enumerate() {
+        let resp = client.call(&req(i as u64, "t", workload.clone())).unwrap();
+        assert_eq!(resp.id, i as u64);
+        assert_eq!(resp.status, Status::Ok, "{workload:?}: {}", resp.message());
+        assert!(!resp.cached, "first sighting cannot be a cache hit");
+        assert_eq!(
+            resp.body,
+            solve_direct(workload).unwrap().encode_body(),
+            "{workload:?}: served bytes differ from a direct solve"
+        );
+        // Decoding must round-trip, too.
+        resp.output().unwrap();
+    }
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_small_requests_share_one_batch_epoch() {
+    let (metrics, recorder) = Metrics::recording();
+    let cfg = ServerConfig {
+        workers: 2,
+        small_threshold: 64,
+        batch_max: 8,
+        // Generous linger: the batcher must wait for all eight pipelined
+        // requests instead of running eight one-request epochs.
+        batch_linger: Duration::from_millis(500),
+        cache_entries: 0, // every request must really solve
+        large_lanes: 1,
+        ..ServerConfig::default()
+    };
+    let server = spawn(cfg, None, &ExecContext::disabled().with_metrics(&metrics)).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let reqs: Vec<Request> = (0..8)
+        .map(|i| {
+            req(
+                i,
+                ["a", "b"][i as usize % 2],
+                Workload::ClosureSynthetic {
+                    n: 16,
+                    seed: 100 + i,
+                },
+            )
+        })
+        .collect();
+    let resps = client.call_many(&reqs).unwrap();
+    for (r, resp) in reqs.iter().zip(&resps) {
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(resp.body, solve_direct(&r.workload).unwrap().encode_body());
+    }
+    server.shutdown();
+    assert_eq!(
+        recorder.get("serve.batched_requests"),
+        8,
+        "every request should have gone through the small tier"
+    );
+    assert_eq!(
+        recorder.get("serve.batches"),
+        1,
+        "eight pipelined requests should coalesce into one shared epoch"
+    );
+    assert_eq!(recorder.get("serve.batch_max_seen"), 8);
+    // The scheduler's own stats agreed with the batch size.
+    assert_eq!(recorder.get("serve.epoch_tasks"), 8);
+    // Both tenants were charged their three/four requests' cells.
+    let per_tenant = 4 * 16 * 15 / 2;
+    assert_eq!(recorder.get("serve.tenant.a.cells"), per_tenant);
+    assert_eq!(recorder.get("serve.tenant.b.cells"), per_tenant);
+}
+
+#[test]
+fn overload_is_a_typed_rejection_not_a_hang() {
+    let (metrics, recorder) = Metrics::recording();
+    let cfg = ServerConfig {
+        workers: 1,
+        queue_limit: 0, // admit nothing
+        cache_entries: 0,
+        large_lanes: 1,
+        ..ServerConfig::default()
+    };
+    let server = spawn(cfg, None, &ExecContext::disabled().with_metrics(&metrics)).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let resp = client
+        .call(&req(9, "t", Workload::ClosureSynthetic { n: 16, seed: 5 }))
+        .unwrap();
+    assert_eq!(resp.status, Status::Overloaded);
+    assert!(!resp.cached);
+    server.shutdown();
+    assert_eq!(recorder.get("serve.rejected"), 1);
+}
+
+#[test]
+fn malformed_frames_get_an_invalid_response() {
+    let server = spawn(ServerConfig::default(), None, &ExecContext::disabled()).unwrap();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    // Version byte 99 + a recognizable id: undecodable as a request, but
+    // the id must still come back attributed on the Invalid response.
+    let mut payload = vec![99u8];
+    payload.extend_from_slice(&0xDEAD_BEEFu64.to_le_bytes());
+    write_frame(&mut stream, &payload).unwrap();
+    let resp = Response::decode(&read_frame(&mut stream).unwrap().unwrap()).unwrap();
+    assert_eq!(resp.status, Status::Invalid);
+    assert_eq!(resp.id, 0xDEAD_BEEF);
+    // The connection survives malformed traffic: a good request after the
+    // bad frame is still served.
+    let workload = Workload::ClosureSynthetic { n: 12, seed: 6 };
+    write_frame(&mut stream, &req(7, "t", workload.clone()).encode()).unwrap();
+    let resp = Response::decode(&read_frame(&mut stream).unwrap().unwrap()).unwrap();
+    assert_eq!(resp.status, Status::Ok);
+    assert_eq!(resp.body, solve_direct(&workload).unwrap().encode_body());
+    server.shutdown();
+}
+
+#[test]
+fn invalid_inline_seeds_come_back_as_invalid_status() {
+    let server = spawn(ServerConfig::default(), None, &ExecContext::disabled()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let mut seeds = npdp_core::TriangularMatrix::from_fn(8, |i, j| (i + j) as f32);
+    seeds.set(2, 5, f32::NAN);
+    let resp = client
+        .call(&req(1, "t", Workload::ClosureInline { seeds }))
+        .unwrap();
+    assert_eq!(resp.status, Status::Invalid, "{}", resp.message());
+    server.shutdown();
+}
+
+/// One long-lived server for the cache property: never shut down, its
+/// threads die with the test process.
+fn shared_server() -> &'static ServerHandle {
+    static SERVER: OnceLock<ServerHandle> = OnceLock::new();
+    SERVER.get_or_init(|| {
+        let cfg = ServerConfig {
+            workers: 2,
+            small_threshold: 32,
+            large_lanes: 1,
+            cache_entries: 4096,
+            ..ServerConfig::default()
+        };
+        spawn(cfg, None, &ExecContext::disabled()).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The cache-hit contract: asking twice serves the *same bytes*, the
+    /// second time from cache, and both equal a service-free direct solve
+    /// — across workload kinds and both size tiers.
+    #[test]
+    fn cache_hits_are_bit_identical_to_recomputation(
+        kind in 0u8..3,
+        side in 4u32..48,
+        seed in any::<u64>(),
+    ) {
+        let workload = match kind {
+            0 => Workload::ClosureSynthetic { n: side, seed },
+            1 => Workload::ParenthesizeSynthetic { matrices: side, seed },
+            _ => Workload::FoldSynthetic { bases: side, seed },
+        };
+        let mut client = Client::connect(shared_server().addr()).unwrap();
+        let first = client.call(&req(1, "p", workload.clone())).unwrap();
+        let second = client.call(&req(2, "p", workload.clone())).unwrap();
+        prop_assert_eq!(first.status, Status::Ok);
+        prop_assert_eq!(second.status, Status::Ok);
+        prop_assert!(second.cached, "second identical request must hit the cache");
+        let direct = solve_direct(&workload).unwrap().encode_body();
+        prop_assert_eq!(&first.body, &direct, "served bytes differ from direct solve");
+        prop_assert_eq!(&second.body, &direct, "cached bytes differ from direct solve");
+    }
+}

@@ -351,11 +351,13 @@ impl Tracer {
     }
 
     /// Monotonic nanoseconds since this tracer was created (0 when
-    /// disabled) — the `WallNs` domain's clock.
+    /// disabled) — the `WallNs` domain's clock. Saturates at `u64::MAX`
+    /// instead of wrapping, so a timestamp can never travel backwards in a
+    /// long-lived process.
     #[inline]
     pub fn now_ns(&self) -> u64 {
         match &self.inner {
-            Some(inner) => inner.epoch.elapsed().as_nanos() as u64,
+            Some(inner) => u64::try_from(inner.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX),
             None => 0,
         }
     }

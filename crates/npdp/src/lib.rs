@@ -27,6 +27,9 @@
 //!   and the retry policies behind the fault-tolerant entry points.
 //! * [`rna`] (`zuker`) — simplified Zuker RNA folding on the engines.
 //! * [`baseline`] (`baselines`) — the original algorithm and TanNPDP.
+//! * [`serve`] (`npdp-serve`) — NPDP-as-a-service: the framed-TCP solve
+//!   server batching small requests into shared scheduler epochs, with its
+//!   blocking client and load-generation helpers.
 //!
 //! ## Quickstart
 //!
@@ -62,6 +65,7 @@ pub use npdp_core as core;
 pub use npdp_exec as exec;
 pub use npdp_fault as fault;
 pub use npdp_metrics as metrics;
+pub use npdp_serve as serve;
 pub use npdp_trace as trace;
 pub use npdp_tune as tune;
 pub use perf_model as model;

@@ -44,6 +44,16 @@ use crate::pool::{panic_message, ExecError, ExecStats};
 /// No worker recorded yet (roots, or tasks not yet ready).
 const NO_WORKER: u32 = u32::MAX;
 
+/// Clamp a `u128` nanosecond total into the `u64` counter domain.
+///
+/// Idle/wall accounting accumulates in `u128` (`Duration::as_nanos`' native
+/// width) and saturates once, at the metrics boundary — a long-lived server
+/// process must never see `queue.worker_idle_ns` silently wrap back to a
+/// small number after ~584 years of accumulated idle across its workers.
+pub fn saturating_ns(ns: u128) -> u64 {
+    u64::try_from(ns).unwrap_or(u64::MAX)
+}
+
 /// Ready-set discipline: how tasks enter, leave and revisit the ready set.
 /// Exactly one worker-loop body exists (in [`drive`]); the disciplines
 /// differ only in these hooks.
@@ -318,7 +328,7 @@ where
             scope.spawn(move || {
                 let _bind = tracer.bind_thread(track);
                 let backoff = Backoff::new();
-                let mut idle_ns: u64 = 0;
+                let mut idle_ns: u128 = 0;
                 loop {
                     if aborted.load(Ordering::Acquire) {
                         break;
@@ -392,7 +402,7 @@ where
                                 tracer.begin(track, EventKind::Idle);
                                 let start = Instant::now();
                                 backoff.snooze();
-                                idle_ns += start.elapsed().as_nanos() as u64;
+                                idle_ns += start.elapsed().as_nanos();
                                 tracer.end(track, EventKind::Idle);
                             } else {
                                 backoff.snooze();
@@ -401,7 +411,7 @@ where
                     }
                 }
                 if idle_ns > 0 {
-                    metrics.add("queue.worker_idle_ns", idle_ns);
+                    metrics.add("queue.worker_idle_ns", saturating_ns(idle_ns));
                 }
             });
         }
@@ -529,6 +539,22 @@ mod tests {
             );
             assert!(faults.injected(FaultKind::TaskPanic) > 0, "{sched:?}");
         }
+    }
+
+    #[test]
+    fn idle_accounting_saturates_instead_of_wrapping() {
+        // In-range totals pass through exactly…
+        assert_eq!(saturating_ns(0), 0);
+        assert_eq!(saturating_ns(u64::MAX as u128), u64::MAX);
+        // …and anything wider than u64 — the old `as u64` cast silently
+        // wrapped here — pins to the maximum instead.
+        assert_eq!(saturating_ns(u64::MAX as u128 + 1), u64::MAX);
+        assert_eq!(saturating_ns(u128::MAX), u64::MAX);
+        // The accumulator itself is u128, so even a sum of many near-MAX
+        // contributions saturates once at the metrics boundary rather than
+        // wrapping per-addition.
+        let total = (0..4).fold(0u128, |acc, _| acc + u64::MAX as u128);
+        assert_eq!(saturating_ns(total), u64::MAX);
     }
 
     #[test]

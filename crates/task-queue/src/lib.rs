@@ -48,7 +48,7 @@ pub mod pool;
 pub mod stealing;
 pub mod triangle;
 
-pub use driver::run;
+pub use driver::{run, saturating_ns};
 pub use graph::TaskGraph;
 pub use npdp_exec::{ExecContext, Scheduler};
 pub use pool::{execute_sequential, ExecError, ExecStats};

@@ -641,6 +641,67 @@ fn functional_cellnpdp_faulted_wrapper_matches_context() {
     assert_same_table("faulted vs clean", &a, &SerialEngine.solve(&seeds));
 }
 
+// ---------------------------------------------------------------------------
+// Concurrent sharing: one ExecContext, many simultaneous solve_with calls.
+// The serving layer (npdp-serve) leans on exactly this — every connection
+// and epoch thread clones one server context, so results must stay
+// bit-identical and shared counters must sum exactly under contention.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn concurrent_solve_with_calls_share_one_context_exactly() {
+    let problems: Vec<TriangularMatrix<f32>> = [(96usize, 41u64), (128, 43), (160, 47)]
+        .iter()
+        .map(|&(n, seed)| problem::random_seeds_f32(n, 100.0, seed))
+        .collect();
+    let references: Vec<TriangularMatrix<f32>> =
+        problems.iter().map(|s| SerialEngine.solve(s)).collect();
+
+    let (metrics, recorder) = Metrics::recording();
+    let ctx = ExecContext::disabled().with_metrics(&metrics);
+    let threads = 6;
+    let rounds = 4;
+
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            // All threads borrow the SAME context — no per-thread clone, so
+            // any internal state it mutated during a solve would race.
+            let (ctx, problems, references) = (&ctx, &problems, &references);
+            s.spawn(move || {
+                let engines: Vec<Box<dyn Engine<f32>>> = vec![
+                    Box::new(SerialEngine),
+                    Box::new(SimdEngine::new(32)),
+                    Box::new(ParallelEngine::new(32, 2, 3)),
+                ];
+                for r in 0..rounds {
+                    let i = (t + r) % problems.len();
+                    let engine = &engines[(t + r) % engines.len()];
+                    let (table, _) = engine.solve_with(&problems[i], ctx).expect("valid seeds");
+                    assert_eq!(
+                        table.first_difference(&references[i]),
+                        None,
+                        "thread {t} round {r}: concurrent solve diverged"
+                    );
+                }
+            });
+        }
+    });
+
+    // Every solve attributes exactly n(n-1)/2 logical cells; the shared
+    // counter must be the exact sum — no lost updates, no double counting.
+    let mut expected = 0u64;
+    for t in 0..threads {
+        for r in 0..rounds {
+            expected += problems[(t + r) % problems.len()].len() as u64;
+        }
+    }
+    assert_eq!(
+        recorder.get("engine.cells_computed"),
+        expected,
+        "shared engine.cells_computed drifted under concurrency"
+    );
+}
+
 #[test]
 fn multi_spe_wrappers_match_with() {
     let seeds = problem::random_seeds_f32(48, 100.0, 31);
