@@ -5,14 +5,16 @@
 //!
 //! Timings are matched by label; a timing regresses when
 //! `new > base × (1 + max_regress)`. Counter changes (work counts,
-//! scheduler traffic, DMA bytes) are reported but never gate — they are
-//! workload descriptions, not performance.
+//! scheduler traffic, DMA bytes) and latency-histogram shifts (the
+//! `histograms` section `repro-serve` writes) are reported but never gate —
+//! they are workload descriptions, not performance.
 
 use std::collections::BTreeMap;
 use std::path::Path;
 
 use npdp_metrics::json::Value;
-use npdp_metrics::report::SCHEMA;
+use npdp_metrics::report::{histogram_from_value, SCHEMA};
+use npdp_metrics::HistogramSummary;
 
 /// Thresholds for [`ReportDiff::regressions`].
 #[derive(Debug, Clone, Copy)]
@@ -94,6 +96,14 @@ pub struct CounterDelta {
     pub new: u64,
 }
 
+/// A latency histogram whose summary changed (informational only).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramDelta {
+    pub key: String,
+    pub base: HistogramSummary,
+    pub new: HistogramSummary,
+}
+
 /// The structured diff of two reports.
 #[derive(Debug, Clone)]
 pub struct ReportDiff {
@@ -106,6 +116,8 @@ pub struct ReportDiff {
     pub only_new: Vec<String>,
     /// Counters present in both but with different values.
     pub counters_changed: Vec<CounterDelta>,
+    /// Histogram summaries present in both but with different values.
+    pub histograms_changed: Vec<HistogramDelta>,
 }
 
 impl ReportDiff {
@@ -147,6 +159,22 @@ impl ReportDiff {
                 let _ = writeln!(out, "    {:<38} {} -> {}", c.key, c.base, c.new);
             }
         }
+        if !self.histograms_changed.is_empty() {
+            let _ = writeln!(out, "  histograms changed (informational):");
+            for h in &self.histograms_changed {
+                let _ = writeln!(
+                    out,
+                    "    {:<38} p50 {:.3}ms -> {:.3}ms   p99 {:.3}ms -> {:.3}ms   (n {} -> {})",
+                    h.key,
+                    h.base.p50 as f64 / 1e6,
+                    h.new.p50 as f64 / 1e6,
+                    h.base.p99 as f64 / 1e6,
+                    h.new.p99 as f64 / 1e6,
+                    h.base.count,
+                    h.new.count,
+                );
+            }
+        }
         out
     }
 }
@@ -184,6 +212,18 @@ fn counter_map(doc: &Value) -> BTreeMap<String, u64> {
         for (k, v) in entries {
             if let Some(n) = v.as_u64() {
                 out.insert(k.clone(), n);
+            }
+        }
+    }
+    out
+}
+
+fn histogram_map(doc: &Value) -> BTreeMap<String, HistogramSummary> {
+    let mut out = BTreeMap::new();
+    if let Some(Value::Object(entries)) = doc.get("histograms") {
+        for (k, v) in entries {
+            if let Some(s) = histogram_from_value(v) {
+                out.insert(k.clone(), s);
             }
         }
     }
@@ -243,12 +283,26 @@ pub fn diff_reports(base: &Value, new: &Value) -> Result<ReportDiff, String> {
         })
         .collect();
 
+    let base_h = histogram_map(base);
+    let new_h = histogram_map(new);
+    let histograms_changed = base_h
+        .iter()
+        .filter_map(|(k, b)| {
+            new_h.get(k).filter(|n| *n != b).map(|n| HistogramDelta {
+                key: k.clone(),
+                base: *b,
+                new: *n,
+            })
+        })
+        .collect();
+
     Ok(ReportDiff {
         experiment: b_exp.to_owned(),
         timings,
         only_base,
         only_new,
         counters_changed,
+        histograms_changed,
     })
 }
 
@@ -446,6 +500,40 @@ mod tests {
         );
         // The big timing regression gates; the counter change never does.
         assert_eq!(d.regressions(&CompareOptions::default()).len(), 1);
+    }
+
+    #[test]
+    fn histogram_changes_are_informational() {
+        let hist = |p50: u64, p99: u64| HistogramSummary {
+            count: 100,
+            sum: 1_000,
+            min: 1,
+            max: p99,
+            p50,
+            p90: p50,
+            p99,
+            p999: p99,
+        };
+        let doc = |p50, p99| {
+            let mut r = Report::new("serve");
+            r.add_timing("wall", 1.0);
+            r.add_histogram("serve.phase.total", &hist(p50, p99));
+            r.add_histogram("client.latency", &hist(10, 20));
+            r.to_value()
+        };
+        let d = diff_reports(&doc(500, 900), &doc(600, 1_800)).unwrap();
+        assert_eq!(d.histograms_changed.len(), 1);
+        let h = &d.histograms_changed[0];
+        assert_eq!(h.key, "serve.phase.total");
+        assert_eq!((h.base.p99, h.new.p99), (900, 1_800));
+        // A doubled tail never gates; only timings do.
+        assert!(d.regressions(&CompareOptions::default()).is_empty());
+        assert!(d
+            .render(&CompareOptions::default())
+            .contains("histograms changed"));
+        // Identical histograms stay quiet.
+        let same = diff_reports(&doc(500, 900), &doc(500, 900)).unwrap();
+        assert!(same.histograms_changed.is_empty());
     }
 
     #[test]

@@ -1,0 +1,497 @@
+//! Lock-free, mergeable, log-bucketed streaming histograms.
+//!
+//! The serving layer needs latency percentiles that can be recorded from
+//! many threads without coordination, merged across threads or snapshots,
+//! and shipped over a wire in constant space. [`Histogram`] is the
+//! HDR-style answer: values bucket into power-of-two groups split into
+//! [`SUBS`] linear sub-buckets, so storage is constant (1920 atomic
+//! counters covering the full `u64` domain) and the quantile estimate
+//! carries a bounded, one-sided relative error.
+//!
+//! # Error bound
+//!
+//! A bucket in the logarithmic region spans `2^shift` consecutive values;
+//! its lower bound is at least `SUBS << shift`, so the span is at most a
+//! `1/SUBS` fraction of any value inside it. Quantiles are reported as the
+//! bucket's *upper* bound clamped to the observed maximum, which makes the
+//! estimate conservative:
+//!
+//! ```text
+//! exact <= estimate <= exact * (1 + RELATIVE_ERROR)
+//! ```
+//!
+//! where [`RELATIVE_ERROR`] is `1/SUBS` = 3.125 %. Values below [`SUBS`]
+//! are exact. The property test in `tests/histogram_merge.rs` checks both
+//! sides against a nearest-rank computation on the raw samples.
+//!
+//! # Merging
+//!
+//! Buckets are plain counts, so [`Histogram::merge`] (and
+//! [`HistogramSnapshot::delta_since`]) are bucket-wise addition and
+//! subtraction: merging per-thread histograms is *bit-identical* to having
+//! recorded every sample into one shared histogram, and subtracting an
+//! earlier snapshot yields the interval histogram a live dashboard wants.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// log2 of the linear sub-buckets per power-of-two group.
+pub const SUB_BITS: u32 = 5;
+
+/// Linear sub-buckets per power-of-two group (32).
+pub const SUBS: u64 = 1 << SUB_BITS;
+
+/// Total bucket count: one linear group for `0..SUBS` plus `64 - SUB_BITS`
+/// logarithmic groups of [`SUBS`] buckets each, covering all of `u64`.
+pub const BUCKETS: usize = (SUBS as usize) * (64 - SUB_BITS as usize + 1);
+
+/// One-sided relative error bound of every quantile estimate (`1/SUBS`).
+pub const RELATIVE_ERROR: f64 = 1.0 / SUBS as f64;
+
+/// Bucket index for a value. Exact for `v < SUBS`; otherwise the value's
+/// power-of-two group (`msb`) picks the group and the next [`SUB_BITS`]
+/// bits below the msb pick the linear sub-bucket.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUBS {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let shift = msb - SUB_BITS;
+    let sub = (v >> shift) - SUBS;
+    (SUBS as usize) + ((shift as usize) << SUB_BITS) + sub as usize
+}
+
+/// Largest value that maps to bucket `index` — the conservative
+/// representative quantiles report.
+#[inline]
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    debug_assert!(index < BUCKETS);
+    if index < SUBS as usize {
+        return index as u64;
+    }
+    let shift = (index >> SUB_BITS) as u32 - 1;
+    let sub = (index as u64) & (SUBS - 1);
+    let lo = (SUBS + sub) << shift;
+    lo + ((1u64 << shift) - 1)
+}
+
+/// A lock-free streaming histogram over `u64` values (latencies in
+/// nanoseconds, by repository convention). Constant memory (~15 KiB);
+/// recording is five relaxed atomic ops and never takes a lock.
+pub struct Histogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("min", &self.min.load(Ordering::Relaxed))
+            .field("max", &self.max.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        // Box the bucket array directly; [AtomicU64; 1920] is ~15 KiB,
+        // too large to build on the stack in debug builds, so go through
+        // a Vec.
+        let v: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; BUCKETS]> = v
+            .into_boxed_slice()
+            .try_into()
+            .unwrap_or_else(|_| unreachable!("vec built with BUCKETS elements"));
+        Self {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value. Lock-free; safe from any number of threads.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Wrapping add: overflows only after 2^64 total nanoseconds
+        // (~584 years of recorded latency), documented rather than paid
+        // for with a CAS loop.
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values.
+    #[inline]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Fold another histogram into this one — bucket-wise addition, so the
+    /// result is bit-identical to having recorded every sample here.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        let n = other.count.load(Ordering::Relaxed);
+        if n > 0 {
+            self.count.fetch_add(n, Ordering::Relaxed);
+            self.sum
+                .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+            self.min
+                .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+            self.max
+                .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+    }
+
+    /// A consistent-enough point-in-time copy (individual loads are
+    /// relaxed; concurrent recording may be torn across fields by at most
+    /// the in-flight samples).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((i as u32, n))
+            })
+            .collect();
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    /// Shortcut for `self.snapshot().summary()`.
+    pub fn summary(&self) -> HistogramSummary {
+        self.snapshot().summary()
+    }
+}
+
+/// An owned, sparse copy of a [`Histogram`]'s state — what crosses thread,
+/// process and wire boundaries. Buckets are `(index, count)` pairs for the
+/// non-empty buckets only.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Nearest-rank quantile estimate (`q` in `[0, 1]`), reported as the
+    /// owning bucket's upper bound clamped to the observed max — never
+    /// below the exact value, never more than [`RELATIVE_ERROR`] above it.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(idx, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_bound(idx as usize).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Derive the fixed percentile summary.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            min: self.min,
+            max: self.max,
+            p50: self.value_at_quantile(0.50),
+            p90: self.value_at_quantile(0.90),
+            p99: self.value_at_quantile(0.99),
+            p999: self.value_at_quantile(0.999),
+        }
+    }
+
+    /// The interval histogram between an earlier snapshot of the *same*
+    /// series and this one: bucket-wise saturating subtraction. `min`/`max`
+    /// are re-derived from the surviving buckets (bucket bounds, not exact
+    /// observed values — same [`RELATIVE_ERROR`] contract as quantiles).
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let base: BTreeMap<u32, u64> = earlier.buckets.iter().copied().collect();
+        let buckets: Vec<(u32, u64)> = self
+            .buckets
+            .iter()
+            .filter_map(|&(idx, n)| {
+                let left = n.saturating_sub(base.get(&idx).copied().unwrap_or(0));
+                (left > 0).then_some((idx, left))
+            })
+            .collect();
+        let count = self.count.saturating_sub(earlier.count);
+        let min = buckets
+            .first()
+            .map(|&(idx, _)| bucket_upper_bound(idx as usize))
+            .unwrap_or(0);
+        let max = buckets
+            .last()
+            .map(|&(idx, _)| bucket_upper_bound(idx as usize))
+            .unwrap_or(0);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.wrapping_sub(earlier.sum),
+            min: if count == 0 { 0 } else { min },
+            max,
+            buckets,
+        }
+    }
+}
+
+/// The fixed percentile summary a report or stats frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSummary {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+    pub p999: u64,
+}
+
+/// Canonical key for a labeled series: `base{k1=v1,k2=v2}` with label
+/// names sorted, so the same label set always produces the same key.
+///
+/// Label names and values must not contain `{`, `}`, `,` or `=` (debug
+/// asserted): keys stay trivially parseable.
+pub fn series_key(base: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return base.to_owned();
+    }
+    let mut pairs: Vec<(&str, &str)> = labels.to_vec();
+    pairs.sort_unstable();
+    let mut key = String::with_capacity(base.len() + 16 * pairs.len());
+    key.push_str(base);
+    key.push('{');
+    for (i, (name, value)) in pairs.iter().enumerate() {
+        debug_assert!(
+            !name.contains(['{', '}', ',', '=']) && !value.contains(['{', '}', ',', '=']),
+            "label {name}={value} contains a reserved character"
+        );
+        if i > 0 {
+            key.push(',');
+        }
+        key.push_str(name);
+        key.push('=');
+        key.push_str(value);
+    }
+    key.push('}');
+    key
+}
+
+/// A key → [`Histogram`] registry, the value-distribution counterpart of
+/// [`Recorder`](crate::Recorder)'s counter map. First touch of a key takes
+/// a write lock to insert; every later record is a read lock plus the
+/// histogram's relaxed atomics.
+#[derive(Debug, Default)]
+pub struct HistogramRegistry {
+    inner: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl HistogramRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The histogram at `key`, created empty on first touch.
+    pub fn get_or_create(&self, key: &str) -> Arc<Histogram> {
+        if let Some(h) = self.inner.read().unwrap().get(key) {
+            return Arc::clone(h);
+        }
+        let mut map = self.inner.write().unwrap();
+        Arc::clone(
+            map.entry(key.to_owned())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Record `value` into the series at `key`.
+    #[inline]
+    pub fn record(&self, key: &str, value: u64) {
+        self.get_or_create(key).record(value);
+    }
+
+    /// The histogram at `key`, if any value was ever recorded there.
+    pub fn get(&self, key: &str) -> Option<Arc<Histogram>> {
+        self.inner.read().unwrap().get(key).map(Arc::clone)
+    }
+
+    /// Sorted point-in-time snapshots of every series.
+    pub fn snapshot(&self) -> BTreeMap<String, HistogramSnapshot> {
+        self.inner
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(k, h)| (k.clone(), h.snapshot()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_contiguous_and_monotone() {
+        // Every value's bucket upper bound contains the value, and bucket
+        // indices are monotone in the value.
+        let mut last = 0usize;
+        for v in 0u64..4096 {
+            let idx = bucket_index(v);
+            assert!(idx >= last, "indices monotone at v={v}");
+            last = idx;
+        }
+        for v in (0u64..4096).chain([u64::MAX / 3, u64::MAX - 1, u64::MAX]) {
+            let idx = bucket_index(v);
+            assert!(idx < BUCKETS, "v={v} idx={idx}");
+            let hi = bucket_upper_bound(idx);
+            assert!(hi >= v, "v={v} hi={hi}");
+            // The bucket's span respects the error bound.
+            assert!(
+                (hi - v) as f64 <= RELATIVE_ERROR * v.max(1) as f64 + 1.0,
+                "v={v} hi={hi}"
+            );
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_upper_bound(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..SUBS {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.value_at_quantile(0.5), SUBS / 2 - 1);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, SUBS - 1);
+        assert_eq!(snap.sum, SUBS * (SUBS - 1) / 2);
+    }
+
+    #[test]
+    fn quantiles_respect_the_error_bound() {
+        let h = Histogram::new();
+        let samples: Vec<u64> = (1..=1000u64).map(|i| i * i * 37).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        let snap = h.snapshot();
+        for q in [0.5, 0.9, 0.99, 0.999, 1.0] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let exact = samples[rank - 1]; // samples are sorted
+            let est = snap.value_at_quantile(q);
+            assert!(est >= exact, "q={q}: est {est} < exact {exact}");
+            assert!(
+                est as f64 <= exact as f64 * (1.0 + RELATIVE_ERROR),
+                "q={q}: est {est} above bound for exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_global_recording() {
+        let global = Histogram::new();
+        let merged = Histogram::new();
+        let parts: Vec<Histogram> = (0..4).map(|_| Histogram::new()).collect();
+        for i in 0..10_000u64 {
+            let v = i.wrapping_mul(2654435761) >> (i % 32);
+            global.record(v);
+            parts[(i % 4) as usize].record(v);
+        }
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert_eq!(merged.snapshot(), global.snapshot());
+    }
+
+    #[test]
+    fn delta_since_recovers_the_interval() {
+        let h = Histogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        let early = h.snapshot();
+        for v in [1000u64, 2000] {
+            h.record(v);
+        }
+        let delta = h.snapshot().delta_since(&early);
+        assert_eq!(delta.count, 2);
+        assert_eq!(delta.sum, 3000);
+        assert!(delta.value_at_quantile(1.0) >= 2000);
+        // Empty interval.
+        let none = h.snapshot().delta_since(&h.snapshot());
+        assert_eq!(none.count, 0);
+        assert_eq!(none.value_at_quantile(0.5), 0);
+    }
+
+    #[test]
+    fn series_key_is_canonical() {
+        assert_eq!(series_key("serve.phase.total", &[]), "serve.phase.total");
+        let a = series_key("x", &[("tenant", "t1"), ("status", "ok")]);
+        let b = series_key("x", &[("status", "ok"), ("tenant", "t1")]);
+        assert_eq!(a, b);
+        assert_eq!(a, "x{status=ok,tenant=t1}");
+    }
+
+    #[test]
+    fn registry_creates_on_first_touch() {
+        let reg = HistogramRegistry::new();
+        assert!(reg.get("a").is_none());
+        reg.record("a", 5);
+        reg.record("a", 7);
+        let snap = reg.snapshot();
+        assert_eq!(snap["a"].count, 2);
+        assert_eq!(snap["a"].sum, 12);
+    }
+
+    #[test]
+    fn empty_histogram_summarizes_to_zeros() {
+        let s = Histogram::new().summary();
+        assert_eq!(s, HistogramSummary::default());
+    }
+}

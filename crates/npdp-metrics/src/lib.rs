@@ -12,7 +12,11 @@
 //!   branch per event, nothing recorded — the zero-overhead default) or
 //!   backed by a sink;
 //! * [`Recorder`] — the standard collecting sink: a key → atomic-counter
-//!   registry (reads are lock-free after first touch of a key);
+//!   registry (reads are lock-free after first touch of a key) plus a
+//!   key → [`Histogram`] registry for value distributions;
+//! * [`histogram::Histogram`] — a lock-free, mergeable, log-bucketed
+//!   streaming histogram with bounded-error percentiles (the substrate of
+//!   the serving layer's `serve.phase.*` latency vocabulary);
 //! * [`ScopedTimer`] — measures wall time from construction to drop into a
 //!   `*_ns` key;
 //! * [`Report`] — the machine-readable `BENCH_<experiment>.json` emitter
@@ -31,9 +35,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
+pub mod histogram;
 pub mod json;
 pub mod report;
 
+pub use histogram::{
+    series_key, Histogram, HistogramRegistry, HistogramSnapshot, HistogramSummary,
+};
 pub use report::Report;
 
 /// A lock-free atomic counter.
@@ -83,6 +91,14 @@ pub trait MetricsSink: Send + Sync {
     fn time_ns(&self, key: &str, ns: u64) {
         let _ = (key, ns);
     }
+
+    /// Record one sample of a value distribution (latency, size) under
+    /// `key`. Unlike [`time_ns`](MetricsSink::time_ns), which accumulates
+    /// a total, sinks that care keep a full [`histogram::Histogram`] so
+    /// percentiles can be derived.
+    fn record_value(&self, key: &str, value: u64) {
+        let _ = (key, value);
+    }
 }
 
 /// A sink that drops everything. [`Metrics::noop`] avoids even the virtual
@@ -98,6 +114,7 @@ impl MetricsSink for NoopSink {}
 #[derive(Debug, Default)]
 pub struct Recorder {
     counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    histograms: histogram::HistogramRegistry,
 }
 
 impl Recorder {
@@ -135,6 +152,22 @@ impl Recorder {
             .map(|(k, c)| (k.clone(), c.get()))
             .collect()
     }
+
+    /// The value-distribution series recorded via
+    /// [`record_value`](MetricsSink::record_value).
+    pub fn histograms(&self) -> &histogram::HistogramRegistry {
+        &self.histograms
+    }
+
+    /// The histogram at `key`, if any value was recorded there.
+    pub fn histogram(&self, key: &str) -> Option<Arc<histogram::Histogram>> {
+        self.histograms.get(key)
+    }
+
+    /// Sorted snapshot of every value-distribution series.
+    pub fn histogram_snapshot(&self) -> BTreeMap<String, histogram::HistogramSnapshot> {
+        self.histograms.snapshot()
+    }
 }
 
 impl MetricsSink for Recorder {
@@ -149,6 +182,10 @@ impl MetricsSink for Recorder {
     fn time_ns(&self, key: &str, ns: u64) {
         self.counter(key).add(ns);
         self.counter(&format!("{key}.count")).add(1);
+    }
+
+    fn record_value(&self, key: &str, value: u64) {
+        self.histograms.record(key, value);
     }
 }
 
@@ -218,6 +255,16 @@ impl Metrics {
     pub fn time_ns(&self, key: &str, ns: u64) {
         if let Some(sink) = &self.sink {
             sink.time_ns(key, ns);
+        }
+    }
+
+    /// Record one value-distribution sample (see
+    /// [`MetricsSink::record_value`]). Disabled handles pay one untaken
+    /// branch.
+    #[inline]
+    pub fn record_value(&self, key: &str, value: u64) {
+        if let Some(sink) = &self.sink {
+            sink.record_value(key, value);
         }
     }
 
@@ -297,6 +344,22 @@ mod tests {
         assert_eq!(rec.get("engine.wall_ns.count"), 1);
         let snap = rec.snapshot();
         assert!(snap.contains_key("engine.wall_ns"));
+    }
+
+    #[test]
+    fn recorder_collects_value_distributions() {
+        let (m, rec) = Metrics::recording();
+        for v in [100u64, 200, 300, 400] {
+            m.record_value("serve.phase.total", v);
+        }
+        let h = rec.histogram("serve.phase.total").expect("series exists");
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1000);
+        let snap = rec.histogram_snapshot();
+        assert_eq!(snap["serve.phase.total"].count, 4);
+        assert!(rec.histogram("missing").is_none());
+        // Disabled handles drop samples on an untaken branch.
+        Metrics::noop().record_value("serve.phase.total", 7);
     }
 
     #[test]

@@ -20,6 +20,7 @@ use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
 
+use crate::histogram::HistogramSummary;
 use crate::json::Value;
 use crate::Recorder;
 
@@ -32,6 +33,7 @@ pub struct Report {
     parameters: Value,
     timings: Vec<Value>,
     counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, HistogramSummary>,
     rows: Vec<Value>,
 }
 
@@ -44,6 +46,7 @@ impl Report {
             parameters: Value::object(),
             timings: Vec::new(),
             counters: BTreeMap::new(),
+            histograms: BTreeMap::new(),
             rows: Vec::new(),
         }
     }
@@ -92,6 +95,22 @@ impl Report {
         self
     }
 
+    /// Record one value-distribution summary (latency percentiles) under
+    /// `key`, emitted in the report's `histograms` section.
+    pub fn add_histogram(&mut self, key: &str, summary: &HistogramSummary) -> &mut Self {
+        self.histograms.insert(key.to_owned(), *summary);
+        self
+    }
+
+    /// Merge every value-distribution series from a recorder as histogram
+    /// summaries (keys unprefixed, as recorded).
+    pub fn merge_recorder_histograms(&mut self, recorder: &Recorder) -> &mut Self {
+        for (key, snap) in recorder.histogram_snapshot() {
+            self.histograms.insert(key, snap.summary());
+        }
+        self
+    }
+
     /// The conventional file name for this report: `BENCH_<experiment>.json`.
     pub fn default_filename(&self) -> String {
         format!("BENCH_{}.json", self.experiment)
@@ -109,6 +128,13 @@ impl Report {
             counters.set(key, *value);
         }
         doc.set("counters", counters);
+        if !self.histograms.is_empty() {
+            let mut hists = Value::object();
+            for (key, s) in &self.histograms {
+                hists.set(key, histogram_value(s));
+            }
+            doc.set("histograms", hists);
+        }
         if !self.rows.is_empty() {
             doc.set("rows", Value::Array(self.rows.clone()));
         }
@@ -123,6 +149,37 @@ impl Report {
     pub fn write_to(&self, path: &Path) -> io::Result<()> {
         std::fs::write(path, self.to_json_pretty())
     }
+}
+
+/// One histogram summary as a JSON object (shared layout with the serve
+/// stats snapshot: count/sum/min/max/p50/p90/p99/p999).
+pub fn histogram_value(s: &HistogramSummary) -> Value {
+    let mut v = Value::object();
+    v.set("count", s.count)
+        .set("sum", s.sum)
+        .set("min", s.min)
+        .set("max", s.max)
+        .set("p50", s.p50)
+        .set("p90", s.p90)
+        .set("p99", s.p99)
+        .set("p999", s.p999);
+    v
+}
+
+/// Parse a histogram summary back out of its [`histogram_value`] JSON
+/// form. Returns `None` if any field is missing or non-numeric.
+pub fn histogram_from_value(v: &Value) -> Option<HistogramSummary> {
+    let field = |name: &str| v.get(name).and_then(Value::as_u64);
+    Some(HistogramSummary {
+        count: field("count")?,
+        sum: field("sum")?,
+        min: field("min")?,
+        max: field("max")?,
+        p50: field("p50")?,
+        p90: field("p90")?,
+        p99: field("p99")?,
+        p999: field("p999")?,
+    })
 }
 
 #[cfg(test)]
@@ -185,6 +242,27 @@ mod tests {
                 .and_then(Value::as_u64),
             Some(7)
         );
+    }
+
+    #[test]
+    fn histogram_section_round_trips() {
+        let (metrics, recorder) = Metrics::recording();
+        for v in [10u64, 20, 30, 1000] {
+            metrics.record_value("serve.phase.total", v);
+        }
+        let mut report = Report::new("serve");
+        report.merge_recorder_histograms(&recorder);
+        let doc = report.to_value();
+        let hist = doc
+            .get("histograms")
+            .and_then(|h| h.get("serve.phase.total"))
+            .expect("histograms section present");
+        let parsed = histogram_from_value(hist).expect("summary parses back");
+        assert_eq!(parsed.count, 4);
+        assert_eq!(parsed.sum, 1060);
+        assert!(parsed.p99 >= 1000);
+        // No section when nothing was recorded.
+        assert_eq!(Report::new("x").to_value().get("histograms"), None);
     }
 
     #[test]

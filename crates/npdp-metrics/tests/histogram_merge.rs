@@ -1,0 +1,102 @@
+//! Property tests for the streaming histogram: concurrent recording +
+//! merge is bit-identical to global recording, and every quantile stays
+//! within the documented one-sided error bound of an exact nearest-rank
+//! computation on the raw samples.
+
+use npdp_metrics::histogram::{Histogram, RELATIVE_ERROR};
+use proptest::prelude::*;
+
+/// Exact nearest-rank percentile on raw samples (the oracle the histogram
+/// is allowed to over-report by at most `RELATIVE_ERROR`).
+fn nearest_rank(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Split samples across four recording threads, each with a private
+    /// histogram; merging the four must be bit-identical (same sparse
+    /// buckets, count, sum, min, max) to one histogram that every thread
+    /// recorded into concurrently.
+    #[test]
+    fn concurrent_merge_is_bit_identical_to_global(
+        samples in prop::collection::vec(any::<u64>(), 1..512),
+    ) {
+        let global = Histogram::new();
+        let parts: Vec<Histogram> = (0..4).map(|_| Histogram::new()).collect();
+        std::thread::scope(|s| {
+            for (t, part) in parts.iter().enumerate() {
+                let global = &global;
+                let samples = &samples;
+                s.spawn(move || {
+                    for v in samples.iter().skip(t).step_by(4) {
+                        global.record(*v);
+                        part.record(*v);
+                    }
+                });
+            }
+        });
+        let merged = Histogram::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        prop_assert_eq!(merged.snapshot(), global.snapshot());
+    }
+
+    /// Quantile estimates are conservative and bounded: never below the
+    /// exact nearest-rank value, never more than RELATIVE_ERROR above it.
+    #[test]
+    fn quantiles_match_nearest_rank_within_bound(
+        samples in prop::collection::vec(0u64..u64::MAX / 2, 1..512),
+    ) {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let mut samples = samples;
+        samples.sort_unstable();
+        let snap = h.snapshot();
+        for q in [0.5, 0.9, 0.99, 0.999, 1.0] {
+            let exact = nearest_rank(&samples, q);
+            let est = snap.value_at_quantile(q);
+            prop_assert!(est >= exact, "q={}: est {} < exact {}", q, est, exact);
+            prop_assert!(
+                est as f64 <= exact as f64 * (1.0 + RELATIVE_ERROR) + 1.0,
+                "q={}: est {} above bound for exact {}", q, est, exact
+            );
+        }
+        prop_assert_eq!(snap.count, samples.len() as u64);
+        prop_assert_eq!(snap.min, samples[0]);
+        prop_assert_eq!(snap.max, *samples.last().unwrap());
+    }
+
+    /// Subtracting an earlier snapshot recovers exactly the samples that
+    /// arrived in between.
+    #[test]
+    fn delta_since_is_the_interval_histogram(
+        first in prop::collection::vec(any::<u64>(), 0..128),
+        second in prop::collection::vec(any::<u64>(), 0..128),
+    ) {
+        let h = Histogram::new();
+        for &v in &first {
+            h.record(v);
+        }
+        let early = h.snapshot();
+        for &v in &second {
+            h.record(v);
+        }
+        let delta = h.snapshot().delta_since(&early);
+
+        let alone = Histogram::new();
+        for &v in &second {
+            alone.record(v);
+        }
+        let expect = alone.snapshot();
+        prop_assert_eq!(&delta.buckets, &expect.buckets);
+        prop_assert_eq!(delta.count, expect.count);
+        prop_assert_eq!(delta.sum, expect.sum);
+    }
+}

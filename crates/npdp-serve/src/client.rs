@@ -11,13 +11,19 @@ use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream};
 
-use crate::protocol::{read_frame, write_frame, Request, Response, WireError};
+use crate::protocol::{
+    read_frame, write_frame, Request, Response, StatsRequest, Status, WireError,
+};
+use crate::stats::StatsSnapshot;
 
 /// A blocking connection to a solve server.
 #[derive(Debug)]
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    /// Ids for admin (`Stats`) frames, kept in the top half of the id space
+    /// so they cannot collide with caller-chosen solve ids in flight.
+    admin_id: u64,
 }
 
 /// Client-side failure: transport trouble or an undecodable response.
@@ -66,7 +72,29 @@ impl Client {
         Ok(Self {
             reader,
             writer: BufWriter::new(stream),
+            admin_id: 1 << 63,
         })
+    }
+
+    /// Fetch a live [`StatsSnapshot`] via the protocol's `Stats` admin
+    /// frame. Must not be interleaved with outstanding pipelined solves on
+    /// this connection (the reply is matched by id, lock-step).
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        self.admin_id += 1;
+        let req = StatsRequest { id: self.admin_id };
+        write_frame(&mut self.writer, &req.encode())?;
+        let resp = self.recv()?;
+        if resp.id != req.id {
+            return Err(ClientError::Wire(WireError::Malformed(
+                "stats response id mismatch",
+            )));
+        }
+        if resp.status != Status::Ok {
+            return Err(ClientError::Wire(WireError::Malformed(
+                "stats request refused",
+            )));
+        }
+        Ok(StatsSnapshot::decode_body(&resp.body)?)
     }
 
     /// Write one request frame (buffered; flushed before reads).

@@ -26,6 +26,17 @@
 //! `repro-serve` load generator (`crates/bench`), whose mixed stream and
 //! latency percentiles live in [`load`].
 //!
+//! Every request is stamped through a lifecycle of [`stats::Phase`]s
+//! (admission → cache lookup → queue wait → batch linger → solve →
+//! respond), each landing in a streaming histogram under
+//! `serve.phase.<name>`. The same collector answers the protocol's `Stats`
+//! admin frame ([`protocol::StatsRequest`] → [`stats::StatsSnapshot`]) off
+//! the reader threads — never through admission control — which the
+//! `npdp-stat` CLI polls to render live rates, queue depths and interval
+//! percentiles. With `--trace`, the phases also emit spans on a dedicated
+//! serve time domain so Perfetto shows a per-request waterfall alongside
+//! the epoch's worker tracks.
+//!
 //! ```
 //! use npdp_serve::client::Client;
 //! use npdp_serve::protocol::{Request, SolveOutput, Workload};
@@ -54,10 +65,12 @@ pub mod load;
 pub mod protocol;
 pub mod server;
 pub mod solve;
+pub mod stats;
 
 pub use cache::{workload_key, SolveCache};
 pub use client::{Client, ClientError};
-pub use load::{synthetic_stream, LatencySummary, MixConfig};
-pub use protocol::{Request, Response, SolveOutput, Status, Workload};
+pub use load::{synthetic_stream, LatencyRecorder, LatencySummary, MixConfig};
+pub use protocol::{Request, Response, SolveOutput, StatsRequest, Status, Workload};
 pub use server::{spawn, ServerConfig, ServerHandle};
 pub use solve::{materialize, solve_direct, solve_problem, Problem};
+pub use stats::{Phase, StatsSnapshot, Telemetry};

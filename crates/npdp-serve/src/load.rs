@@ -1,13 +1,68 @@
 //! Load-generation support: the deterministic mixed request stream the
 //! `repro-serve` bin drives through the service, and latency summaries.
+//!
+//! Latencies are accumulated in the same streaming histogram the server's
+//! phase telemetry uses ([`npdp_metrics::histogram`]), so client-side and
+//! server-side percentiles are directly comparable, multi-threaded load
+//! generators can [`LatencyRecorder::merge`] their shards losslessly, and
+//! percentile estimates carry the histogram's documented one-sided
+//! relative error bound (`RELATIVE_ERROR`, 1/32) instead of requiring
+//! every sample to be kept.
 
+use npdp_metrics::histogram::{Histogram, HistogramSnapshot, RELATIVE_ERROR};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use crate::protocol::{Request, Workload};
 
+/// Streaming accumulator of per-request wall times: a thread can record
+/// into its own recorder and merge shards at the end (bit-identical to one
+/// global recorder, whatever the interleaving).
+#[derive(Debug, Default)]
+pub struct LatencyRecorder {
+    hist: Histogram,
+}
+
+impl LatencyRecorder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one latency in nanoseconds.
+    #[inline]
+    pub fn record(&self, ns: u64) {
+        self.hist.record(ns);
+    }
+
+    /// Fold another recorder's samples into this one (bucket-wise; order
+    /// never matters).
+    pub fn merge(&self, other: &LatencyRecorder) {
+        self.hist.merge(&other.hist);
+    }
+
+    /// Number of samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.hist.count()
+    }
+
+    /// The current percentile summary.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary::from_snapshot(&self.hist.snapshot())
+    }
+
+    /// The full sparse histogram (for reports that want more than the
+    /// fixed percentiles).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.hist.snapshot()
+    }
+}
+
 /// Latency percentiles over a set of per-request wall times.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Derived from a log-bucketed streaming histogram: each percentile is an
+/// upper estimate within `exact × (1 + RELATIVE_ERROR)` of the true
+/// nearest-rank value (see [`npdp_metrics::histogram`]); `max_ns` is exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LatencySummary {
     /// Number of samples summarized.
     pub count: usize,
@@ -17,36 +72,41 @@ pub struct LatencySummary {
     pub p90_ns: u64,
     /// 99th-percentile latency in nanoseconds.
     pub p99_ns: u64,
+    /// 99.9th-percentile latency in nanoseconds.
+    pub p999_ns: u64,
     /// Worst observed latency in nanoseconds.
     pub max_ns: u64,
 }
 
 impl LatencySummary {
-    /// Summarize a sample set (empty input yields all zeros). Percentiles
-    /// use the nearest-rank method: the smallest sample ≥ the requested
-    /// fraction of the distribution.
+    /// The documented percentile overestimate bound, re-exported where
+    /// summaries are consumed.
+    pub const ERROR_BOUND: f64 = RELATIVE_ERROR;
+
+    /// Summarize a sample set (empty input yields all zeros) by streaming
+    /// it through a histogram — estimates match [`Self::from_snapshot`] of
+    /// the same data, nearest-rank within [`Self::ERROR_BOUND`].
     pub fn from_samples(samples: &[u64]) -> Self {
-        if samples.is_empty() {
-            return Self {
-                count: 0,
-                p50_ns: 0,
-                p90_ns: 0,
-                p99_ns: 0,
-                max_ns: 0,
-            };
+        let rec = LatencyRecorder::new();
+        for &s in samples {
+            rec.record(s);
         }
-        let mut sorted = samples.to_vec();
-        sorted.sort_unstable();
-        let rank = |pct: f64| {
-            let idx = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
-            sorted[idx.clamp(1, sorted.len()) - 1]
-        };
+        rec.summary()
+    }
+
+    /// Summarize an already-collected histogram (e.g. a server phase from
+    /// a [`StatsSnapshot`](crate::stats::StatsSnapshot)).
+    pub fn from_snapshot(snap: &HistogramSnapshot) -> Self {
+        if snap.count == 0 {
+            return Self::default();
+        }
         Self {
-            count: sorted.len(),
-            p50_ns: rank(50.0),
-            p90_ns: rank(90.0),
-            p99_ns: rank(99.0),
-            max_ns: *sorted.last().unwrap(),
+            count: usize::try_from(snap.count).unwrap_or(usize::MAX),
+            p50_ns: snap.value_at_quantile(0.50),
+            p90_ns: snap.value_at_quantile(0.90),
+            p99_ns: snap.value_at_quantile(0.99),
+            p999_ns: snap.value_at_quantile(0.999),
+            max_ns: snap.max,
         }
     }
 }
@@ -118,17 +178,42 @@ mod tests {
 
     #[test]
     fn percentiles_use_nearest_rank() {
+        // Estimates sit within the histogram's one-sided bound of the
+        // exact nearest-rank values: never below, at most ERROR_BOUND
+        // above. For 1..=100 the small values are exact (sub-64 buckets
+        // have width 1); p90 may round up to its bucket top.
         let samples: Vec<u64> = (1..=100).collect();
         let s = LatencySummary::from_samples(&samples);
+        let bound = |exact: u64| (exact as f64 * (1.0 + LatencySummary::ERROR_BOUND)) as u64;
         assert_eq!(s.count, 100);
         assert_eq!(s.p50_ns, 50);
-        assert_eq!(s.p90_ns, 90);
-        assert_eq!(s.p99_ns, 99);
+        assert!((90..=bound(90)).contains(&s.p90_ns), "p90 = {}", s.p90_ns);
+        assert!((99..=bound(99)).contains(&s.p99_ns), "p99 = {}", s.p99_ns);
+        // p999 clamps to the observed max, which is exact.
+        assert_eq!(s.p999_ns, 100);
         assert_eq!(s.max_ns, 100);
         // Single sample: every percentile is that sample.
         let one = LatencySummary::from_samples(&[7]);
         assert_eq!((one.p50_ns, one.p99_ns, one.max_ns), (7, 7, 7));
         assert_eq!(LatencySummary::from_samples(&[]).count, 0);
+    }
+
+    #[test]
+    fn sharded_recorders_merge_to_the_global_summary() {
+        let global = LatencyRecorder::new();
+        let shards: Vec<LatencyRecorder> = (0..4).map(|_| LatencyRecorder::new()).collect();
+        for i in 0..1_000u64 {
+            let v = i * 37 + 5;
+            global.record(v);
+            shards[(i % 4) as usize].record(v);
+        }
+        let merged = LatencyRecorder::new();
+        for s in &shards {
+            merged.merge(s);
+        }
+        assert_eq!(merged.count(), 1_000);
+        assert_eq!(merged.summary(), global.summary());
+        assert_eq!(merged.snapshot(), global.snapshot());
     }
 
     #[test]

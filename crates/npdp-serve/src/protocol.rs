@@ -1,11 +1,14 @@
 //! The framed wire format: length-prefixed little-endian frames over TCP.
 //!
-//! One frame = a `u32` payload length followed by the payload. Requests
-//! name a *workload* — either a synthetic problem (a generator seed, the
-//! common case at benchmark scale) or inline closure seeds — plus a request
-//! id (echoed verbatim, so responses may be matched out of order) and a
-//! tenant label (the fairness unit). Responses carry a status byte, a
-//! cache-hit flag, and on success the kind-specific result payload.
+//! One frame = a `u32` payload length followed by the payload. Request
+//! payloads lead with the protocol version and a message-kind byte: solve
+//! frames ([`Request`]) name a *workload* — either a synthetic problem (a
+//! generator seed, the common case at benchmark scale) or inline closure
+//! seeds — plus a request id (echoed verbatim, so responses may be matched
+//! out of order) and a tenant label (the fairness unit); [`StatsRequest`]
+//! admin frames poll the server's telemetry. Responses carry a status
+//! byte, a cache-hit flag, and on success the kind-specific result
+//! payload.
 //!
 //! The result payload is encoded *without* the id/status/flags prefix (see
 //! [`Response::body`]), so the solve cache can store one encoded body and
@@ -16,7 +19,18 @@ use std::io::{self, Read, Write};
 use npdp_core::TriangularMatrix;
 
 /// Protocol version byte leading every request and response payload.
-pub const VERSION: u8 = 1;
+///
+/// v2 added a message-kind byte after the version on request payloads
+/// (solve vs. admin frames); responses are unchanged.
+pub const VERSION: u8 = 2;
+
+/// Request-kind byte: a solve request ([`Request`]).
+pub const KIND_SOLVE: u8 = 0;
+
+/// Request-kind byte: a `Stats` admin request ([`StatsRequest`]). Answered
+/// inline by the reader thread — never queued, never admission-controlled —
+/// so telemetry stays reachable on an overloaded server.
+pub const KIND_STATS: u8 = 1;
 
 /// Refuse frames above this size (a corrupt or hostile length prefix must
 /// not become an allocation bomb).
@@ -70,6 +84,17 @@ impl Workload {
     pub fn cells(&self) -> u64 {
         let s = self.side() as u64;
         s * s.saturating_sub(1) / 2
+    }
+
+    /// Stable lowercase kind name — the `kind=` label value of the
+    /// telemetry plane's labeled latency series.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Workload::ClosureSynthetic { .. } => "closure",
+            Workload::ClosureInline { .. } => "closure_inline",
+            Workload::ParenthesizeSynthetic { .. } => "parenthesize",
+            Workload::FoldSynthetic { .. } => "fold",
+        }
     }
 
     fn encode(&self, out: &mut Vec<u8>) {
@@ -161,6 +186,7 @@ impl Request {
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.push(VERSION);
+        out.push(KIND_SOLVE);
         put_u64(&mut out, self.id);
         debug_assert!(self.tenant.len() <= MAX_TENANT);
         out.push(self.tenant.len().min(MAX_TENANT) as u8);
@@ -169,26 +195,75 @@ impl Request {
         out
     }
 
-    /// Parse a frame payload.
+    /// Parse a frame payload (must be a solve frame; see
+    /// [`RequestFrame::decode`] for the kind-dispatching entry point).
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        match RequestFrame::decode(payload)? {
+            RequestFrame::Solve(req) => Ok(req),
+            RequestFrame::Stats(_) => Err(WireError::Malformed("expected a solve frame")),
+        }
+    }
+}
+
+/// The `Stats` admin request: ask a running server for a
+/// [`StatsSnapshot`](crate::stats::StatsSnapshot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsRequest {
+    /// Caller-chosen id, echoed in the response.
+    pub id: u64,
+}
+
+impl StatsRequest {
+    /// Serialize into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(10);
+        out.push(VERSION);
+        out.push(KIND_STATS);
+        put_u64(&mut out, self.id);
+        out
+    }
+}
+
+/// Any request payload, dispatched on the kind byte.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestFrame {
+    /// A solve request for the dispatch queues.
+    Solve(Request),
+    /// An admin stats poll, answered off the queues.
+    Stats(StatsRequest),
+}
+
+impl RequestFrame {
+    /// Parse a frame payload into whichever request kind it carries.
     pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
         let mut r = Cursor(payload);
         if r.u8()? != VERSION {
             return Err(WireError::Malformed("unsupported protocol version"));
         }
+        let kind = r.u8()?;
         let id = r.u64()?;
-        let tlen = r.u8()? as usize;
-        if tlen > MAX_TENANT {
-            return Err(WireError::Malformed("tenant label over MAX_TENANT"));
+        match kind {
+            KIND_SOLVE => {
+                let tlen = r.u8()? as usize;
+                if tlen > MAX_TENANT {
+                    return Err(WireError::Malformed("tenant label over MAX_TENANT"));
+                }
+                let tenant = String::from_utf8(r.bytes(tlen)?.to_vec())
+                    .map_err(|_| WireError::Malformed("tenant label is not UTF-8"))?;
+                let workload = Workload::decode(&mut r)?;
+                r.finish()?;
+                Ok(RequestFrame::Solve(Request {
+                    id,
+                    tenant,
+                    workload,
+                }))
+            }
+            KIND_STATS => {
+                r.finish()?;
+                Ok(RequestFrame::Stats(StatsRequest { id }))
+            }
+            _ => Err(WireError::Malformed("unknown request kind")),
         }
-        let tenant = String::from_utf8(r.bytes(tlen)?.to_vec())
-            .map_err(|_| WireError::Malformed("tenant label is not UTF-8"))?;
-        let workload = Workload::decode(&mut r)?;
-        r.finish()?;
-        Ok(Request {
-            id,
-            tenant,
-            workload,
-        })
     }
 }
 
@@ -417,11 +492,12 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
     Ok(Some(payload))
 }
 
-/// Little-endian scanning cursor over a payload.
-struct Cursor<'a>(&'a [u8]);
+/// Little-endian scanning cursor over a payload (shared with the stats
+/// body codec in [`crate::stats`]).
+pub(crate) struct Cursor<'a>(pub(crate) &'a [u8]);
 
 impl<'a> Cursor<'a> {
-    fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+    pub(crate) fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         if self.0.len() < n {
             return Err(WireError::Malformed("payload truncated"));
         }
@@ -430,15 +506,15 @@ impl<'a> Cursor<'a> {
         Ok(head)
     }
 
-    fn u8(&mut self) -> Result<u8, WireError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, WireError> {
         Ok(self.bytes(1)?[0])
     }
 
-    fn u32(&mut self) -> Result<u32, WireError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, WireError> {
         Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
     }
 
-    fn u64(&mut self) -> Result<u64, WireError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, WireError> {
         Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
     }
 
@@ -446,7 +522,7 @@ impl<'a> Cursor<'a> {
         std::mem::take(&mut self.0)
     }
 
-    fn finish(&mut self) -> Result<(), WireError> {
+    pub(crate) fn finish(&mut self) -> Result<(), WireError> {
         if self.0.is_empty() {
             Ok(())
         } else {
@@ -543,6 +619,34 @@ mod tests {
         let resp = Response::decode(&payload).unwrap();
         assert_eq!(resp.status, Status::Overloaded);
         assert_eq!(resp.message(), "queue full");
+    }
+
+    #[test]
+    fn stats_frames_round_trip_and_dispatch() {
+        let payload = StatsRequest { id: 77 }.encode();
+        assert_eq!(
+            RequestFrame::decode(&payload).unwrap(),
+            RequestFrame::Stats(StatsRequest { id: 77 })
+        );
+        // A stats frame is not a solve frame.
+        assert!(Request::decode(&payload).is_err());
+        // Solve frames dispatch through the same entry point.
+        let req = Request {
+            id: 8,
+            tenant: "t".into(),
+            workload: Workload::ClosureSynthetic { n: 4, seed: 0 },
+        };
+        assert_eq!(
+            RequestFrame::decode(&req.encode()).unwrap(),
+            RequestFrame::Solve(req)
+        );
+        // Unknown kinds and trailing bytes are refused.
+        let mut bad = StatsRequest { id: 1 }.encode();
+        bad[1] = 9;
+        assert!(RequestFrame::decode(&bad).is_err());
+        let mut trailing = StatsRequest { id: 1 }.encode();
+        trailing.push(0);
+        assert!(RequestFrame::decode(&trailing).is_err());
     }
 
     #[test]

@@ -45,11 +45,42 @@ use std::time::{Duration, Instant};
 
 use npdp_core::{ParallelEngine, SimdEngine, SolveError};
 use npdp_exec::{ExecContext, Scheduler, Tuning};
+use npdp_trace::{EventKind, TimeDomain, Track, TrackDesc};
 use task_queue::TaskGraph;
 
 use crate::cache::{workload_key, SolveCache};
-use crate::protocol::{read_frame, write_frame, Request, Response, Status, Workload};
+use crate::protocol::{read_frame, write_frame, Request, RequestFrame, Response, Status, Workload};
 use crate::solve::{materialize, solve_problem};
+use crate::stats::{Phase, StatsSnapshot, Telemetry};
+
+/// Nanoseconds since `start`, saturating.
+fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// The trace-span kind of a lifecycle phase.
+fn phase_kind(phase: Phase) -> EventKind {
+    EventKind::ServePhase { code: phase.code() }
+}
+
+/// Tenant names come off the wire; strip the label-reserved characters so
+/// they can ride inside a `serve.phase.*{tenant=…}` series key (empty
+/// becomes `-`, matching the per-tenant charge counters).
+fn tenant_label(tenant: &str) -> String {
+    if tenant.is_empty() {
+        return "-".to_owned();
+    }
+    tenant
+        .chars()
+        .map(|c| {
+            if matches!(c, '{' | '}' | ',' | '=') {
+                '_'
+            } else {
+                c
+            }
+        })
+        .collect()
+}
 
 /// Tuning knobs of one server instance.
 #[derive(Debug, Clone)]
@@ -92,13 +123,22 @@ impl Default for ServerConfig {
     }
 }
 
-/// One queued request plus where to send its answer.
+/// One queued request plus where to send its answer, carrying the
+/// lifecycle timestamps the phase histograms are derived from.
 struct Job {
     id: u64,
     tenant: String,
     workload: Workload,
     key: u128,
     conn: Arc<ConnWriter>,
+    /// Small-tier (batched) vs large-tier (autotuned lane) — the `size=`
+    /// label of the labeled latency series.
+    small: bool,
+    /// When the request's frame finished decoding (the lifecycle origin).
+    t_recv: Instant,
+    /// When the request entered its dispatch queue; queue wait is measured
+    /// from here to drain.
+    t_enqueued: Instant,
 }
 
 /// Per-tenant queues and fairness account.
@@ -202,11 +242,81 @@ struct Shared {
     shutdown: AtomicBool,
     conns: Mutex<Vec<TcpStream>>,
     reader_joins: Mutex<Vec<JoinHandle<()>>>,
+    /// The always-on stats plane. Counters and phase histograms land here
+    /// unconditionally (the `Stats` frame must answer even when the caller's
+    /// metrics handle is disabled) and are mirrored into `ctx.metrics` when
+    /// that handle is live.
+    telemetry: Telemetry,
 }
 
 impl Shared {
+    /// Count into both the stats plane and the caller's metrics handle.
     fn metric(&self, key: &str, delta: u64) {
+        self.telemetry.add(key, delta);
         self.ctx.metrics.add(key, delta);
+    }
+
+    /// Record one lifecycle phase duration into the phase histogram (and
+    /// the caller's value sink, when live).
+    fn phase_ns(&self, phase: Phase, ns: u64) {
+        self.telemetry.record_phase(phase, ns);
+        self.ctx.metrics.record_value(phase.key(), ns);
+    }
+
+    /// [`Shared::phase_ns`] measured from `start` to now; returns the
+    /// duration it recorded.
+    fn phase_since(&self, phase: Phase, start: Instant) -> u64 {
+        let ns = elapsed_ns(start);
+        self.phase_ns(phase, ns);
+        ns
+    }
+
+    /// Record a labeled sibling of a phase histogram, e.g.
+    /// `serve.phase.admission{status=overloaded}`.
+    fn phase_labeled(&self, phase: Phase, labels: &[(&str, &str)], ns: u64) {
+        let key = Telemetry::labeled_key(phase, labels);
+        self.telemetry.record_series(&key, ns);
+        self.ctx.metrics.record_value(&key, ns);
+    }
+
+    /// Close out a request: record `serve.phase.total` from `t_recv` plus
+    /// its fully-labeled sibling keyed by workload kind × size class ×
+    /// outcome × tenant.
+    fn record_total(
+        &self,
+        tenant: &str,
+        kind: &'static str,
+        small: bool,
+        status: &'static str,
+        t_recv: Instant,
+    ) {
+        let ns = self.phase_since(Phase::Total, t_recv);
+        let tenant = tenant_label(tenant);
+        self.phase_labeled(
+            Phase::Total,
+            &[
+                ("kind", kind),
+                ("size", if small { "small" } else { "large" }),
+                ("status", status),
+                ("tenant", &tenant),
+            ],
+            ns,
+        );
+    }
+
+    /// A point-in-time [`StatsSnapshot`]: queue depths and tenant charges
+    /// from under the dispatch lock, everything else from the stats plane.
+    fn stats_snapshot(&self) -> StatsSnapshot {
+        let (queue_small, queue_large, tenants) = {
+            let q = self.q.lock().unwrap();
+            let tenants = q
+                .tenants
+                .iter()
+                .map(|(name, t)| (name.clone(), t.charged_cells))
+                .collect();
+            (q.small_pending as u64, q.large_pending as u64, tenants)
+        };
+        self.telemetry.snapshot(queue_small, queue_large, tenants)
     }
 }
 
@@ -223,13 +333,25 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stop accepting, drain queued work, and join every thread. Responses
-    /// for already-queued requests are still delivered.
-    pub fn shutdown(mut self) {
-        self.stop();
+    /// A live [`StatsSnapshot`] — the same data the wire `Stats` frame
+    /// carries, without a connection.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats_snapshot()
     }
 
-    fn stop(&mut self) {
+    /// Stop accepting, drain queued work, and join every thread. Responses
+    /// for already-queued requests are still delivered. Returns the final
+    /// stats snapshot, which is also flushed into the context's metrics
+    /// sink as `serve.phase.*` scalar summaries.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.stop()
+            .expect("first shutdown always yields a snapshot")
+    }
+
+    fn stop(&mut self) -> Option<StatsSnapshot> {
+        if self.joins.is_empty() {
+            return None;
+        }
         let shared = &self.shared;
         shared.shutdown.store(true, Ordering::Release);
         // Unblock readers (connection shutdown) and the acceptor (dummy
@@ -246,14 +368,38 @@ impl ServerHandle {
         for j in readers {
             let _ = j.join();
         }
+        let snap = shared.stats_snapshot();
+        flush_final_snapshot(shared, &snap);
+        Some(snap)
+    }
+}
+
+/// At shutdown, fold the final snapshot into the caller's metrics handle as
+/// plain counters (`serve.phase.<name>.p99_ns` etc.), so a `--json` report
+/// carries the server-side percentiles without a live Stats poll. Labeled
+/// series keep their full detail in the snapshot itself.
+fn flush_final_snapshot(shared: &Shared, snap: &StatsSnapshot) {
+    if !shared.ctx.metrics.enabled() {
+        return;
+    }
+    let m = &shared.ctx.metrics;
+    m.add("serve.uptime_ns", snap.uptime_ns);
+    for (key, hist) in &snap.phases {
+        if key.contains('{') {
+            continue;
+        }
+        let s = hist.summary();
+        m.add(&format!("{key}.count"), s.count);
+        m.add(&format!("{key}.p50_ns"), s.p50);
+        m.add(&format!("{key}.p90_ns"), s.p90);
+        m.add(&format!("{key}.p99_ns"), s.p99);
+        m.add(&format!("{key}.p999_ns"), s.p999);
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        if !self.joins.is_empty() {
-            self.stop();
-        }
+        let _ = self.stop();
     }
 }
 
@@ -285,6 +431,7 @@ pub fn spawn(
         shutdown: AtomicBool::new(false),
         conns: Mutex::new(Vec::new()),
         reader_joins: Mutex::new(Vec::new()),
+        telemetry: Telemetry::new(),
     });
 
     let mut joins = Vec::new();
@@ -293,12 +440,22 @@ pub fn spawn(
         joins.push(std::thread::spawn(move || accept_loop(listener, shared)));
     }
     {
+        // Request-lifecycle spans live on a serve wall-clock domain, one
+        // track per server-side actor, so `--trace` renders a per-request
+        // waterfall next to the epoch's `task_queue::run` worker tracks.
+        let track = shared
+            .ctx
+            .tracer
+            .register(TrackDesc::control("serve batcher").in_domain(TimeDomain::ServeNs));
         let shared = Arc::clone(&shared);
-        joins.push(std::thread::spawn(move || batch_loop(shared)));
+        joins.push(std::thread::spawn(move || batch_loop(shared, track)));
     }
-    for _ in 0..shared.cfg.large_lanes {
+    for lane in 0..shared.cfg.large_lanes {
+        let track = shared.ctx.tracer.register(
+            TrackDesc::control(format!("serve large lane {lane}")).in_domain(TimeDomain::ServeNs),
+        );
         let shared = Arc::clone(&shared);
-        joins.push(std::thread::spawn(move || large_loop(shared)));
+        joins.push(std::thread::spawn(move || large_loop(shared, track)));
     }
     Ok(ServerHandle {
         addr,
@@ -308,6 +465,7 @@ pub fn spawn(
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut conn_seq = 0u64;
     loop {
         let (stream, _) = match listener.accept() {
             Ok(pair) => pair,
@@ -337,13 +495,18 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
         let conn = Arc::new(ConnWriter {
             stream: Mutex::new(stream),
         });
+        let track = shared.ctx.tracer.register(
+            TrackDesc::control(format!("serve conn {conn_seq}")).in_domain(TimeDomain::ServeNs),
+        );
+        conn_seq += 1;
+        shared.metric("serve.connections", 1);
         let shared2 = Arc::clone(&shared);
-        let join = std::thread::spawn(move || read_loop(read_half, conn, shared2));
+        let join = std::thread::spawn(move || read_loop(read_half, conn, shared2, track));
         shared.reader_joins.lock().unwrap().push(join);
     }
 }
 
-fn read_loop(stream: TcpStream, conn: Arc<ConnWriter>, shared: Arc<Shared>) {
+fn read_loop(stream: TcpStream, conn: Arc<ConnWriter>, shared: Arc<Shared>, track: Track) {
     let mut reader = BufReader::new(stream);
     loop {
         let payload = match read_frame(&mut reader) {
@@ -351,8 +514,20 @@ fn read_loop(stream: TcpStream, conn: Arc<ConnWriter>, shared: Arc<Shared>) {
             // Clean close, torn connection or shutdown: stop reading.
             Ok(None) | Err(_) => return,
         };
-        let req = match Request::decode(&payload) {
-            Ok(req) => req,
+        let t_recv = Instant::now();
+        match RequestFrame::decode(&payload) {
+            Ok(RequestFrame::Solve(req)) => {
+                shared.metric("serve.requests", 1);
+                admit(req, Arc::clone(&conn), &shared, track, t_recv);
+            }
+            Ok(RequestFrame::Stats(req)) => {
+                // Answered inline off the reader thread — the stats plane
+                // must stay reachable when the solve queues are saturated,
+                // so it never passes through admission control.
+                shared.metric("serve.stats_requests", 1);
+                let snap = shared.stats_snapshot();
+                conn.send(req.id, Status::Ok, false, &snap.encode_body());
+            }
             Err(e) => {
                 shared.metric("serve.malformed", 1);
                 conn.send(
@@ -361,48 +536,75 @@ fn read_loop(stream: TcpStream, conn: Arc<ConnWriter>, shared: Arc<Shared>) {
                     false,
                     e.to_string().as_bytes(),
                 );
-                continue;
             }
-        };
-        shared.metric("serve.requests", 1);
-        admit(req, Arc::clone(&conn), &shared);
+        }
     }
 }
 
-/// Best-effort request id of a payload that failed to decode (version byte
-/// then id), so even malformed traffic gets an attributable answer.
+/// Best-effort request id of a payload that failed to decode (version and
+/// kind bytes then id), so even malformed traffic gets an attributable
+/// answer.
 fn salvage_id(payload: &[u8]) -> u64 {
-    match payload.get(1..9) {
+    match payload.get(2..10) {
         Some(bytes) => u64::from_le_bytes(bytes.try_into().unwrap()),
         None => 0,
     }
 }
 
-/// Cache lookup → admission control → classification → enqueue.
-fn admit(req: Request, conn: Arc<ConnWriter>, shared: &Arc<Shared>) {
+/// Cache lookup → admission control → classification → enqueue, stamping
+/// the `admission` / `cache_lookup` phases along the way.
+fn admit(req: Request, conn: Arc<ConnWriter>, shared: &Arc<Shared>, track: Track, t_recv: Instant) {
+    let tracer = &shared.ctx.tracer;
+    tracer.instant(track, EventKind::Request { id: req.id as u32 });
+    tracer.begin(track, phase_kind(Phase::Admission));
+    let kind = req.workload.kind_name();
+    let small = req.workload.side() < shared.cfg.small_threshold;
+    let t_cache = Instant::now();
     let key = workload_key(&req.workload);
-    if let Some(body) = shared.cache.get(key) {
+    let hit = shared.cache.get(key);
+    shared.phase_since(Phase::CacheLookup, t_cache);
+    if let Some(body) = hit {
         shared.metric("serve.cache_hits", 1);
+        let adm_ns = elapsed_ns(t_recv);
+        shared.phase_ns(Phase::Admission, adm_ns);
+        shared.phase_labeled(Phase::Admission, &[("status", "hit")], adm_ns);
+        tracer.end(track, phase_kind(Phase::Admission));
+        let t_resp = Instant::now();
+        tracer.begin(track, phase_kind(Phase::Respond));
         conn.send(req.id, Status::Ok, true, &body);
+        tracer.end(track, phase_kind(Phase::Respond));
+        shared.phase_since(Phase::Respond, t_resp);
+        shared.record_total(&req.tenant, kind, small, "hit", t_recv);
         return;
     }
     shared.metric("serve.cache_misses", 1);
 
-    let small = req.workload.side() < shared.cfg.small_threshold;
     let job = Job {
         id: req.id,
         tenant: req.tenant,
         workload: req.workload,
         key,
         conn,
+        small,
+        t_recv,
+        t_enqueued: Instant::now(),
     };
     {
         let mut q = shared.q.lock().unwrap();
         if q.pending() >= shared.cfg.queue_limit {
             drop(q);
             shared.metric("serve.rejected", 1);
+            let adm_ns = elapsed_ns(t_recv);
+            shared.phase_ns(Phase::Admission, adm_ns);
+            shared.phase_labeled(Phase::Admission, &[("status", "overloaded")], adm_ns);
+            tracer.end(track, phase_kind(Phase::Admission));
+            let t_resp = Instant::now();
+            tracer.begin(track, phase_kind(Phase::Respond));
             job.conn
                 .send(job.id, Status::Overloaded, false, b"admission queue full");
+            tracer.end(track, phase_kind(Phase::Respond));
+            shared.phase_since(Phase::Respond, t_resp);
+            shared.record_total(&job.tenant, kind, small, "overloaded", t_recv);
             return;
         }
         let tenant = q.tenants.entry(job.tenant.clone()).or_default();
@@ -422,11 +624,15 @@ fn admit(req: Request, conn: Arc<ConnWriter>, shared: &Arc<Shared>) {
         },
         1,
     );
+    let adm_ns = elapsed_ns(t_recv);
+    shared.phase_ns(Phase::Admission, adm_ns);
+    shared.phase_labeled(Phase::Admission, &[("status", "ok")], adm_ns);
+    tracer.end(track, phase_kind(Phase::Admission));
     shared.work_ready.notify_all();
 }
 
 /// The small tier: merge queued requests into shared scheduler epochs.
-fn batch_loop(shared: Arc<Shared>) {
+fn batch_loop(shared: Arc<Shared>, track: Track) {
     let mut q = shared.q.lock().unwrap();
     loop {
         if q.small_pending == 0 {
@@ -443,7 +649,12 @@ fn batch_loop(shared: Arc<Shared>) {
         // Linger briefly for stragglers so light concurrent load still
         // coalesces, but never past the deadline — batching must not cost
         // an idle service visible latency.
-        let deadline = Instant::now() + shared.cfg.batch_linger;
+        let linger_start = Instant::now();
+        shared
+            .ctx
+            .tracer
+            .begin(track, phase_kind(Phase::BatchLinger));
+        let deadline = linger_start + shared.cfg.batch_linger;
         while q.small_pending < shared.cfg.batch_max && !shared.shutdown.load(Ordering::Acquire) {
             let now = Instant::now();
             if now >= deadline {
@@ -454,8 +665,10 @@ fn batch_loop(shared: Arc<Shared>) {
         }
         let batch = q.drain_small(shared.cfg.batch_max);
         drop(q);
+        shared.ctx.tracer.end(track, phase_kind(Phase::BatchLinger));
+        shared.phase_since(Phase::BatchLinger, linger_start);
         if !batch.is_empty() {
-            run_epoch(&batch, &shared);
+            run_epoch(&batch, &shared, track);
         }
         q = shared.q.lock().unwrap();
     }
@@ -467,7 +680,17 @@ type EpochSlot = Mutex<Option<Result<Vec<u8>, SolveError>>>;
 
 /// Execute one shared scheduler epoch: one independent task per request on
 /// the locality-batched discipline.
-fn run_epoch(batch: &[Job], shared: &Arc<Shared>) {
+fn run_epoch(batch: &[Job], shared: &Arc<Shared>, track: Track) {
+    let tracer = &shared.ctx.tracer;
+    // Queue wait ends for every member when the batch drains (one clock
+    // read for the whole batch).
+    let t_drained = Instant::now();
+    for job in batch {
+        tracer.instant(track, EventKind::Request { id: job.id as u32 });
+        let wait = t_drained.saturating_duration_since(job.t_enqueued);
+        let ns = u64::try_from(wait.as_nanos()).unwrap_or(u64::MAX);
+        shared.phase_ns(Phase::QueueWait, ns);
+    }
     let epoch_ctx = shared
         .ctx
         .clone()
@@ -476,6 +699,8 @@ fn run_epoch(batch: &[Job], shared: &Arc<Shared>) {
     let results: Vec<EpochSlot> = batch.iter().map(|_| Mutex::new(None)).collect();
     let workers = shared.cfg.workers.min(batch.len()).max(1);
     let graph = TaskGraph::new(batch.len());
+    let t_epoch = Instant::now();
+    tracer.begin(track, phase_kind(Phase::EpochSolve));
     let ran = {
         let _t = shared.ctx.metrics.timed("serve.epoch_ns");
         task_queue::run(&graph, workers, &epoch_ctx, |i| {
@@ -484,11 +709,22 @@ fn run_epoch(batch: &[Job], shared: &Arc<Shared>) {
             *results[i].lock().unwrap() = Some(out);
         })
     };
+    tracer.end(track, phase_kind(Phase::EpochSolve));
+    // Each member's solve cost *is* its epoch: the batch is the unit of
+    // execution, so the phase histogram gets one epoch-duration sample per
+    // request (keeping phase counts aligned with request counts).
+    let epoch_ns = elapsed_ns(t_epoch);
+    for _ in batch {
+        shared.phase_ns(Phase::EpochSolve, epoch_ns);
+    }
     shared.metric("serve.batches", 1);
     shared.metric("serve.batched_requests", batch.len() as u64);
     shared
         .ctx
         .metrics
+        .record_max("serve.batch_max_seen", batch.len() as u64);
+    shared
+        .telemetry
         .record_max("serve.batch_max_seen", batch.len() as u64);
     match ran {
         Ok(stats) => {
@@ -503,7 +739,7 @@ fn run_epoch(batch: &[Job], shared: &Arc<Shared>) {
     let mut charges: Vec<(String, u64)> = Vec::with_capacity(batch.len());
     for (job, slot) in batch.iter().zip(&results) {
         let result = slot.lock().unwrap().take();
-        respond(job, result, shared);
+        respond(job, result, shared, track);
         charges.push((job.tenant.clone(), job.workload.cells()));
     }
     let mut q = shared.q.lock().unwrap();
@@ -514,7 +750,8 @@ fn run_epoch(batch: &[Job], shared: &Arc<Shared>) {
 }
 
 /// The large tier: one autotuned parallel solve per request.
-fn large_loop(shared: Arc<Shared>) {
+fn large_loop(shared: Arc<Shared>, track: Track) {
+    let tracer = shared.ctx.tracer.clone();
     let mut q = shared.q.lock().unwrap();
     loop {
         let Some(job) = q.pop_large() else {
@@ -529,17 +766,23 @@ fn large_loop(shared: Arc<Shared>) {
             continue;
         };
         drop(q);
+        tracer.instant(track, EventKind::Request { id: job.id as u32 });
+        shared.phase_since(Phase::QueueWait, job.t_enqueued);
         let ctx = shared.ctx.clone().with_tuning(Tuning::Auto);
         // `Tuning::Auto` replaces nb with the §V model's choice at solve
         // time; the constructor values are placeholders.
         let engine = ParallelEngine::new(32, 2, shared.cfg.workers);
         let problem = materialize(&job.workload);
+        let t_solve = Instant::now();
+        tracer.begin(track, phase_kind(Phase::LargeSolve));
         let result = {
             let _t = shared.ctx.metrics.timed("serve.large_ns");
             solve_problem(&problem, &engine, &ctx).map(|o| o.encode_body())
         };
+        tracer.end(track, phase_kind(Phase::LargeSolve));
+        shared.phase_since(Phase::LargeSolve, t_solve);
         shared.metric("serve.large_solves", 1);
-        respond(&job, Some(result), &shared);
+        respond(&job, Some(result), &shared, track);
         let cells = job.workload.cells();
         charge_metric(&shared, &job.tenant, cells);
         q = shared.q.lock().unwrap();
@@ -547,14 +790,24 @@ fn large_loop(shared: Arc<Shared>) {
     }
 }
 
-/// Send a solve result (or its absence) back, caching successes.
-fn respond(job: &Job, result: Option<Result<Vec<u8>, SolveError>>, shared: &Arc<Shared>) {
-    match result {
+/// Send a solve result (or its absence) back, caching successes; stamps
+/// the `respond` phase and closes out `total` for the request.
+fn respond(
+    job: &Job,
+    result: Option<Result<Vec<u8>, SolveError>>,
+    shared: &Arc<Shared>,
+    track: Track,
+) {
+    let tracer = &shared.ctx.tracer;
+    let t_resp = Instant::now();
+    tracer.begin(track, phase_kind(Phase::Respond));
+    let status = match result {
         Some(Ok(body)) => {
             let body = Arc::new(body);
             shared.cache.insert(job.key, Arc::clone(&body));
             shared.metric("serve.responses_ok", 1);
             job.conn.send(job.id, Status::Ok, false, &body);
+            "ok"
         }
         Some(Err(e)) => {
             let status = match e {
@@ -564,6 +817,10 @@ fn respond(job: &Job, result: Option<Result<Vec<u8>, SolveError>>, shared: &Arc<
             shared.metric("serve.responses_failed", 1);
             job.conn
                 .send(job.id, status, false, e.to_string().as_bytes());
+            match status {
+                Status::Invalid => "invalid",
+                _ => "failed",
+            }
         }
         None => {
             // The epoch aborted (retry budget exhausted) before this task
@@ -575,8 +832,18 @@ fn respond(job: &Job, result: Option<Result<Vec<u8>, SolveError>>, shared: &Arc<
                 false,
                 b"epoch aborted before task ran",
             );
+            "failed"
         }
-    }
+    };
+    tracer.end(track, phase_kind(Phase::Respond));
+    shared.phase_since(Phase::Respond, t_resp);
+    shared.record_total(
+        &job.tenant,
+        job.workload.kind_name(),
+        job.small,
+        status,
+        job.t_recv,
+    );
 }
 
 /// Per-tenant charge counters (only materialized when metrics are live —
@@ -607,6 +874,9 @@ mod tests {
                 workload: Workload::ClosureSynthetic { n: 8, seed: 0 },
                 key: 0,
                 conn: dummy_conn(),
+                small: true,
+                t_recv: Instant::now(),
+                t_enqueued: Instant::now(),
             });
             q.small_pending += 1;
         }
@@ -630,6 +900,9 @@ mod tests {
                     workload: Workload::ClosureSynthetic { n: 8, seed: i },
                     key: 0,
                     conn: dummy_conn(),
+                    small: true,
+                    t_recv: Instant::now(),
+                    t_enqueued: Instant::now(),
                 });
                 q.small_pending += 1;
             }

@@ -1,6 +1,6 @@
 //! End-to-end tests of the solve service: correctness of served bytes,
-//! cross-request batching, admission control, malformed-frame handling and
-//! the cache's bit-identity property.
+//! cross-request batching, admission control, malformed-frame handling,
+//! the stats plane and the cache's bit-identity property.
 
 use std::net::TcpStream;
 use std::sync::OnceLock;
@@ -11,6 +11,7 @@ use npdp_serve::client::Client;
 use npdp_serve::protocol::{read_frame, write_frame, Request, Response, Status, Workload};
 use npdp_serve::server::{spawn, ServerConfig, ServerHandle};
 use npdp_serve::solve::solve_direct;
+use npdp_serve::stats::{Phase, StatsSnapshot, Telemetry};
 use proptest::prelude::*;
 
 fn req(id: u64, tenant: &str, workload: Workload) -> Request {
@@ -127,17 +128,42 @@ fn overload_is_a_typed_rejection_not_a_hang() {
         .unwrap();
     assert_eq!(resp.status, Status::Overloaded);
     assert!(!resp.cached);
-    server.shutdown();
+    let snap = server.shutdown();
     assert_eq!(recorder.get("serve.rejected"), 1);
+    // The rejection is visible in the phase plane: one admission sample,
+    // status-labeled as overloaded, and a closed-out total with the same
+    // outcome — rejections are part of the latency story, not outside it.
+    assert_eq!(snap.counter("serve.rejected"), 1);
+    assert_eq!(snap.phase(Phase::Admission.key()).unwrap().count, 1);
+    let labeled = Telemetry::labeled_key(Phase::Admission, &[("status", "overloaded")]);
+    assert_eq!(snap.phase(&labeled).unwrap().count, 1);
+    let total = Telemetry::labeled_key(
+        Phase::Total,
+        &[
+            ("kind", "closure"),
+            ("size", "small"),
+            ("status", "overloaded"),
+            ("tenant", "t"),
+        ],
+    );
+    assert_eq!(snap.phase(&total).unwrap().count, 1);
+    assert_eq!(snap.phase(Phase::Total.key()).unwrap().count, 1);
+    // Nothing ever reached a solve tier.
+    assert!(snap.phase(Phase::EpochSolve.key()).is_none());
+    assert!(snap.phase(Phase::LargeSolve.key()).is_none());
+    // The shutdown flush mirrored the percentiles into the metrics sink.
+    assert_eq!(recorder.get("serve.phase.admission.count"), 1);
+    assert!(recorder.get("serve.phase.total.p99_ns") > 0);
 }
 
 #[test]
 fn malformed_frames_get_an_invalid_response() {
     let server = spawn(ServerConfig::default(), None, &ExecContext::disabled()).unwrap();
     let mut stream = TcpStream::connect(server.addr()).unwrap();
-    // Version byte 99 + a recognizable id: undecodable as a request, but
-    // the id must still come back attributed on the Invalid response.
-    let mut payload = vec![99u8];
+    // Version byte 99, kind byte, then a recognizable id: undecodable as a
+    // request, but the id must still come back attributed on the Invalid
+    // response.
+    let mut payload = vec![99u8, 0u8];
     payload.extend_from_slice(&0xDEAD_BEEFu64.to_le_bytes());
     write_frame(&mut stream, &payload).unwrap();
     let resp = Response::decode(&read_frame(&mut stream).unwrap().unwrap()).unwrap();
@@ -164,6 +190,73 @@ fn invalid_inline_seeds_come_back_as_invalid_status() {
         .unwrap();
     assert_eq!(resp.status, Status::Invalid, "{}", resp.message());
     server.shutdown();
+}
+
+#[test]
+fn stats_frame_answers_live_with_consistent_phases() {
+    // Metrics stay disabled: the stats plane must not depend on the
+    // caller's metrics handle being live.
+    let cfg = ServerConfig {
+        workers: 2,
+        small_threshold: 48,
+        cache_entries: 1024,
+        large_lanes: 1,
+        ..ServerConfig::default()
+    };
+    let server = spawn(cfg, None, &ExecContext::disabled()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let first = client.stats().unwrap();
+    assert_eq!(first.counter("serve.requests"), 0);
+    assert_eq!(first.counter("serve.stats_requests"), 1);
+
+    let workloads = [
+        Workload::ClosureSynthetic { n: 20, seed: 1 },
+        Workload::ClosureSynthetic { n: 20, seed: 1 }, // cache hit
+        Workload::FoldSynthetic { bases: 24, seed: 2 },
+        Workload::ClosureSynthetic { n: 96, seed: 3 }, // large tier
+    ];
+    for (i, w) in workloads.iter().enumerate() {
+        let resp = client.call(&req(i as u64, "t", w.clone())).unwrap();
+        assert_eq!(resp.status, Status::Ok, "{}", resp.message());
+    }
+
+    let snap = client.stats().unwrap();
+    assert!(snap.uptime_ns > first.uptime_ns);
+    assert_eq!(snap.counter("serve.requests"), 4);
+    assert_eq!(snap.counter("serve.cache_hits"), 1);
+    // Every finished request closed out a total; solved ones crossed a
+    // queue and exactly one solve tier.
+    let total = snap.phase(Phase::Total.key()).unwrap();
+    assert_eq!(total.count, 4);
+    assert_eq!(snap.phase(Phase::QueueWait.key()).unwrap().count, 3);
+    let epoch = snap.phase(Phase::EpochSolve.key()).unwrap().count;
+    let large = snap.phase(Phase::LargeSolve.key()).unwrap().count;
+    assert_eq!((epoch, large), (2, 1));
+    // Admission outcomes are status-labeled and sum to the request count.
+    let by_status: u64 = ["ok", "hit"]
+        .iter()
+        .map(|s| {
+            let key = Telemetry::labeled_key(Phase::Admission, &[("status", s)]);
+            snap.phase(&key).map_or(0, |h| h.count)
+        })
+        .sum();
+    assert_eq!(by_status, 4);
+    // Tenant charge shows up (cells for the three solved requests).
+    assert!(snap
+        .tenants
+        .iter()
+        .any(|(name, cells)| name == "t" && *cells > 0));
+    // Wire round-trip of the exact live bytes.
+    let back = StatsSnapshot::decode_body(&snap.encode_body()).unwrap();
+    assert_eq!(back, snap);
+
+    // The handle-side accessor and the final shutdown snapshot agree on
+    // the monotone counters.
+    let local = server.stats();
+    assert_eq!(local.counter("serve.requests"), 4);
+    let last = server.shutdown();
+    assert_eq!(last.counter("serve.requests"), 4);
+    assert_eq!(last.phase(Phase::Total.key()).unwrap().count, 4);
 }
 
 /// One long-lived server for the cache property: never shut down, its

@@ -57,6 +57,7 @@ pub fn chrome_trace(data: &TraceData) -> Value {
                 TimeDomain::WallNs => "wall_ns",
                 TimeDomain::SimCycles { .. } => "sim_cycles",
                 TimeDomain::Ticks => "ticks",
+                TimeDomain::ServeNs => "serve_ns",
             },
         );
         if let TimeDomain::SimCycles { hz } = track.domain {
@@ -165,6 +166,7 @@ pub fn parse_chrome_trace(doc: &Value) -> Result<TraceData, TraceError> {
                     .unwrap_or(1e9),
             },
             Some("ticks") => TimeDomain::Ticks,
+            Some("serve_ns") => TimeDomain::ServeNs,
             Some("wall_ns") | None => TimeDomain::WallNs,
             Some(other) => return Err(TraceError(format!("unknown domain '{other}'"))),
         };
@@ -279,6 +281,15 @@ fn parse_kind(name: &str, args: Option<&Value>) -> Option<EventKind> {
         // to the label's code, then to 0 for a bare "fault".
         let code = arg_u64("code").or_else(|| tail_u64("fault")).unwrap_or(0);
         Some(EventKind::Fault { code: code as u32 })
+    } else if name.starts_with("request") {
+        let id = arg_u64("request").or_else(|| tail_u64("request"))?;
+        Some(EventKind::Request { id: id as u32 })
+    } else if let Some(phase) = name.strip_prefix("serve ") {
+        // The exported label carries the phase *name*; the args carry the
+        // stable code. Prefer the code, fall back to reversing the name.
+        let code = arg_u64("code")
+            .or_else(|| (0..8u64).find(|&c| crate::serve_phase_name(c as u32) == phase.trim()))?;
+        Some(EventKind::ServePhase { code: code as u32 })
     } else {
         None
     }
@@ -315,6 +326,12 @@ fn kind_args(kind: &EventKind) -> Option<Value> {
             args.set("task", task);
         }
         EventKind::Fault { code } => {
+            args.set("code", code);
+        }
+        EventKind::Request { id } => {
+            args.set("request", id);
+        }
+        EventKind::ServePhase { code } => {
             args.set("code", code);
         }
         EventKind::Solve | EventKind::MailboxWait | EventKind::Idle => return None,
@@ -451,7 +468,32 @@ mod tests {
         t.instant_at(host, 1_000, EventKind::Steal { task: 4 });
         t.begin_at(host, 2_000, EventKind::Idle);
         t.end_at(host, 3_000, EventKind::Idle);
+        let serve = t.register(TrackDesc::control("serve conn 0").in_domain(TimeDomain::ServeNs));
+        t.instant_at(serve, 50, EventKind::Request { id: 42 });
+        t.begin_at(serve, 60, EventKind::ServePhase { code: 0 });
+        t.end_at(serve, 90, EventKind::ServePhase { code: 0 });
+        t.begin_at(serve, 100, EventKind::ServePhase { code: 7 });
+        t.end_at(serve, 400, EventKind::ServePhase { code: 7 });
         assert_round_trips(&t.snapshot());
+    }
+
+    #[test]
+    fn serve_phase_labels_reverse_without_args() {
+        // Phase spans must survive an args-stripping round trip: the label
+        // alone ("serve queue_wait") reverses to the stable code.
+        assert_eq!(
+            parse_kind("serve queue_wait", None),
+            Some(EventKind::ServePhase { code: 2 })
+        );
+        assert_eq!(
+            parse_kind("request 7", None),
+            Some(EventKind::Request { id: 7 })
+        );
+        assert_eq!(parse_kind("serve nonsense", None), None);
+        for code in 0..8u32 {
+            let kind = EventKind::ServePhase { code };
+            assert_eq!(parse_kind(&kind.label(), None), Some(kind));
+        }
     }
 
     #[test]

@@ -52,6 +52,12 @@ pub enum TimeDomain {
     /// Abstract protocol ticks (the functional multi-SPE simulation's
     /// round-based clock).
     Ticks,
+    /// Monotonic wall-clock nanoseconds on the serving plane. Same clock
+    /// as [`TimeDomain::WallNs`] (so serve-request waterfalls line up with
+    /// `task_queue::run` epoch spans in Perfetto), but its own domain so
+    /// the exporter groups request-lifecycle tracks into a separate
+    /// process row.
+    ServeNs,
 }
 
 impl TimeDomain {
@@ -61,6 +67,7 @@ impl TimeDomain {
             TimeDomain::WallNs => 1e-3,
             TimeDomain::SimCycles { hz } => 1e6 / hz,
             TimeDomain::Ticks => 1.0,
+            TimeDomain::ServeNs => 1e-3,
         }
     }
 
@@ -71,6 +78,7 @@ impl TimeDomain {
             TimeDomain::WallNs => 1,
             TimeDomain::SimCycles { .. } => 2,
             TimeDomain::Ticks => 3,
+            TimeDomain::ServeNs => 4,
         }
     }
 
@@ -80,6 +88,7 @@ impl TimeDomain {
             TimeDomain::WallNs => "host (wall ns)",
             TimeDomain::SimCycles { .. } => "cell-sim (cycles)",
             TimeDomain::Ticks => "protocol (ticks)",
+            TimeDomain::ServeNs => "serve (wall ns)",
         }
     }
 }
@@ -121,6 +130,31 @@ pub enum EventKind {
     /// An injected fault fired, or a recovery action ran, at this point
     /// (instant). `code` is the `npdp_fault::FaultKind` discriminant.
     Fault { code: u32 },
+    /// A serve-plane request touched this track (instant). `id` is the
+    /// request id truncated to 32 bits — enough to correlate a request's
+    /// waterfall across reader, batcher and large-lane tracks.
+    Request { id: u32 },
+    /// One request-lifecycle phase on the serving plane. `code` indexes
+    /// the stable phase vocabulary (see [`serve_phase_name`]), mirroring
+    /// `npdp-serve`'s `serve.phase.*` metric keys.
+    ServePhase { code: u32 },
+}
+
+/// Serve-phase `code` → stable lowercase name. Mirrors the request
+/// lifecycle vocabulary of `npdp-serve` (`serve.phase.<name>` metric
+/// keys); codes are stable wire/trace identifiers.
+pub fn serve_phase_name(code: u32) -> &'static str {
+    match code {
+        0 => "admission",
+        1 => "cache_lookup",
+        2 => "queue_wait",
+        3 => "batch_linger",
+        4 => "epoch_solve",
+        5 => "large_solve",
+        6 => "respond",
+        7 => "total",
+        _ => "unknown",
+    }
 }
 
 impl EventKind {
@@ -137,6 +171,8 @@ impl EventKind {
             EventKind::Steal { task } => format!("steal {task}"),
             EventKind::Idle => "idle".to_owned(),
             EventKind::Fault { code } => format!("fault {code}"),
+            EventKind::Request { id } => format!("request {id}"),
+            EventKind::ServePhase { code } => format!("serve {}", serve_phase_name(*code)),
         }
     }
 
@@ -148,6 +184,7 @@ impl EventKind {
             EventKind::MailboxSend { .. } | EventKind::MailboxWait => "mailbox",
             EventKind::Steal { .. } | EventKind::Idle => "scheduler",
             EventKind::Fault { .. } => "fault",
+            EventKind::Request { .. } | EventKind::ServePhase { .. } => "serve",
         }
     }
 }
