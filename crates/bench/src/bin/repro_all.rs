@@ -35,6 +35,7 @@ const BINARIES: &[&str] = &[
     "repro-chaos",
     "repro-tune",
     "repro-serve",
+    "repro-chaos-serve",
 ];
 
 fn main() {

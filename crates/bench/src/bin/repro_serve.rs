@@ -99,6 +99,7 @@ fn main() {
         small_side,
         large_side,
         tenants: 4,
+        deadline_ms: 0,
     };
     let cfg = ServerConfig {
         workers: host_workers().min(8),

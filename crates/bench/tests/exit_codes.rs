@@ -26,6 +26,7 @@ const BINS: &[(&str, &str)] = &[
     ("repro-model", env!("CARGO_BIN_EXE_repro-model")),
     ("repro-ablation", env!("CARGO_BIN_EXE_repro-ablation")),
     ("repro-serve", env!("CARGO_BIN_EXE_repro-serve")),
+    ("repro-chaos-serve", env!("CARGO_BIN_EXE_repro-chaos-serve")),
     ("repro-all", env!("CARGO_BIN_EXE_repro-all")),
     ("repro-compare", env!("CARGO_BIN_EXE_repro-compare")),
 ];

@@ -49,10 +49,20 @@ pub enum FaultKind {
     SpeStall = 6,
     /// A worker's task closure panics.
     TaskPanic = 7,
+    /// A network write delivers only a prefix of the frame, then the
+    /// connection breaks (a torn frame on the wire).
+    NetTornFrame = 8,
+    /// A network write completes after a deterministic delay.
+    NetDelayWrite = 9,
+    /// A connection drops outright (reset) at an I/O boundary.
+    NetDropConn = 10,
+    /// A network read stalls for a bounded, deterministic interval before
+    /// delivering bytes (a slow or wedged peer).
+    NetStallRead = 11,
 }
 
 /// Number of [`FaultKind`] variants (rate/counter array size).
-pub const FAULT_KINDS: usize = 8;
+pub const FAULT_KINDS: usize = 12;
 
 /// All kinds, in discriminant order.
 pub const ALL_FAULT_KINDS: [FaultKind; FAULT_KINDS] = [
@@ -64,6 +74,20 @@ pub const ALL_FAULT_KINDS: [FaultKind; FAULT_KINDS] = [
     FaultKind::SpeCrash,
     FaultKind::SpeStall,
     FaultKind::TaskPanic,
+    FaultKind::NetTornFrame,
+    FaultKind::NetDelayWrite,
+    FaultKind::NetDropConn,
+    FaultKind::NetStallRead,
+];
+
+/// The network-fault family ([`FaultKind::NetTornFrame`] …
+/// [`FaultKind::NetStallRead`]) — what a fault-injecting stream wrapper
+/// consults (see `npdp_serve::net::ChaosStream`).
+pub const NET_FAULT_KINDS: [FaultKind; 4] = [
+    FaultKind::NetTornFrame,
+    FaultKind::NetDelayWrite,
+    FaultKind::NetDropConn,
+    FaultKind::NetStallRead,
 ];
 
 impl FaultKind {
@@ -78,6 +102,10 @@ impl FaultKind {
             FaultKind::SpeCrash => "spe_crash",
             FaultKind::SpeStall => "spe_stall",
             FaultKind::TaskPanic => "task_panic",
+            FaultKind::NetTornFrame => "net_torn_frame",
+            FaultKind::NetDelayWrite => "net_delay_write",
+            FaultKind::NetDropConn => "net_drop_conn",
+            FaultKind::NetStallRead => "net_stall_read",
         }
     }
 
@@ -365,10 +393,23 @@ impl RetryPolicy {
     };
 
     /// Backoff before retry number `retry` (1-based), doubling per retry
-    /// and saturating.
+    /// and saturating at `u64::MAX`. The doubling itself is exact up to the
+    /// shift width: retry counts whose factor no longer fits a `u64`
+    /// (`retry > 64`) saturate instead of wrapping or silently capping the
+    /// exponent.
     pub fn backoff(&self, retry: u32) -> u64 {
-        self.base_backoff
-            .saturating_mul(1u64 << (retry.saturating_sub(1)).min(16))
+        match 1u64.checked_shl(retry.saturating_sub(1)) {
+            Some(factor) => self.base_backoff.saturating_mul(factor),
+            // 2^(retry-1) exceeds u64: the backoff is saturated (unless the
+            // base is zero, in which case it stays zero).
+            None => {
+                if self.base_backoff == 0 {
+                    0
+                } else {
+                    u64::MAX
+                }
+            }
+        }
     }
 }
 
@@ -511,6 +552,30 @@ mod tests {
             base_backoff: u64::MAX / 2,
         };
         assert_eq!(big.backoff(40), u64::MAX); // saturated, no overflow
+    }
+
+    #[test]
+    fn retry_policy_backoff_saturates_at_extreme_retry_counts() {
+        // retry = 63 → factor 2^62: representable, but base 64 saturates.
+        let p = RetryPolicy::DEFAULT;
+        assert_eq!(p.backoff(63), u64::MAX);
+        // A base of 1 keeps exact doubling right up to the shift width.
+        let unit = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_backoff: 1,
+        };
+        assert_eq!(unit.backoff(63), 1u64 << 62);
+        assert_eq!(unit.backoff(64), 1u64 << 63);
+        // retry = 65 → factor 2^64: past the shift width; must saturate,
+        // never wrap to zero or panic.
+        assert_eq!(unit.backoff(65), u64::MAX);
+        assert_eq!(unit.backoff(u32::MAX), u64::MAX);
+        // A zero base stays zero no matter how many retries.
+        let zero = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_backoff: 0,
+        };
+        assert_eq!(zero.backoff(65), 0);
     }
 
     #[test]

@@ -10,8 +10,14 @@
 //! realistic cache size. The property test in `tests/serve.rs` checks the
 //! contract end to end: a warmed cache serves bytes equal to a fresh
 //! recomputation.
+//!
+//! Eviction is **segmented LRU**: new bodies enter a *probation* segment
+//! and are promoted to a *protected* segment on their first hit, so a
+//! burst of one-shot workloads sweeping through probation cannot flush the
+//! workloads that hit repeatedly. Each segment is LRU-ordered; protected
+//! overflow demotes back to probation rather than evicting outright.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::sync::Mutex;
 
@@ -36,56 +42,156 @@ pub fn workload_key(workload: &Workload) -> u128 {
     fnv1a_128(&workload.canonical_bytes())
 }
 
-/// A bounded FIFO memo of encoded result bodies.
+/// A successful lookup: the cached body plus whether this hit promoted
+/// the entry out of probation (the event behind the
+/// `serve.cache.promotions` counter).
+#[derive(Debug, Clone)]
+pub struct CacheHit {
+    /// The cached encoded result body.
+    pub body: Arc<Vec<u8>>,
+    /// True when this was the entry's first hit, moving it from the
+    /// probation segment into the protected one.
+    pub promoted: bool,
+}
+
+/// A bounded segmented-LRU memo of encoded result bodies.
 ///
-/// FIFO (not LRU) keeps the lock hold time O(1) and is plenty for the
-/// service's hit pattern — repeated identical requests arrive in bursts.
-/// Capacity 0 disables the cache entirely.
+/// Capacity 0 disables the cache entirely. Roughly a fifth of the
+/// capacity is probation (first sighting), the rest protected (hit at
+/// least once); both segments evict least-recently-used. Lock hold time
+/// is `O(log capacity)` per operation (ordered-map reshuffles).
 #[derive(Debug)]
 pub struct SolveCache {
     inner: Mutex<CacheInner>,
-    capacity: usize,
+    probation_cap: usize,
+    protected_cap: usize,
 }
 
 #[derive(Debug, Default)]
 struct CacheInner {
-    map: HashMap<u128, Arc<Vec<u8>>>,
-    order: VecDeque<u128>,
+    map: HashMap<u128, Slot>,
+    /// LRU orders: recency stamp → key, oldest first. A key lives in
+    /// exactly one of the two, matching its slot's `protected` flag.
+    probation: BTreeMap<u64, u128>,
+    protected: BTreeMap<u64, u128>,
+    stamp: u64,
+    promotions: u64,
+    evictions: u64,
+}
+
+#[derive(Debug)]
+struct Slot {
+    body: Arc<Vec<u8>>,
+    stamp: u64,
+    protected: bool,
+}
+
+impl CacheInner {
+    fn next_stamp(&mut self) -> u64 {
+        self.stamp += 1;
+        self.stamp
+    }
 }
 
 impl SolveCache {
     /// A cache holding at most `capacity` encoded bodies.
     pub fn new(capacity: usize) -> Self {
+        // Probation gets at least one slot (else nothing could ever be
+        // admitted); protected takes the rest.
+        let probation_cap = if capacity == 0 {
+            0
+        } else {
+            (capacity / 5).max(1).min(capacity)
+        };
         Self {
             inner: Mutex::new(CacheInner::default()),
-            capacity,
+            probation_cap,
+            protected_cap: capacity - probation_cap,
         }
     }
 
-    /// Look up an encoded body.
-    pub fn get(&self, key: u128) -> Option<Arc<Vec<u8>>> {
-        if self.capacity == 0 {
+    /// Look up an encoded body. A hit refreshes the entry's recency; a
+    /// first hit additionally promotes it from probation to protected
+    /// (demoting the protected LRU back to probation if that segment is
+    /// full).
+    pub fn get(&self, key: u128) -> Option<CacheHit> {
+        if self.probation_cap == 0 {
             return None;
         }
-        self.inner.lock().unwrap().map.get(&key).cloned()
+        let mut inner = self.inner.lock().unwrap();
+        let slot = inner.map.get(&key)?;
+        let (old_stamp, was_probation) = (slot.stamp, !slot.protected);
+        if was_probation {
+            inner.probation.remove(&old_stamp);
+            inner.promotions += 1;
+        } else {
+            inner.protected.remove(&old_stamp);
+        }
+        let stamp = inner.next_stamp();
+        inner.protected.insert(stamp, key);
+        let slot = inner.map.get_mut(&key).expect("slot just found");
+        slot.stamp = stamp;
+        slot.protected = true;
+        let body = Arc::clone(&slot.body);
+        // Protected overflow demotes its LRU back to probation (as that
+        // segment's MRU) instead of dropping it — it earned a hit once.
+        if inner.protected.len() > self.protected_cap {
+            let (&lru_stamp, &lru_key) = inner.protected.iter().next().expect("non-empty");
+            inner.protected.remove(&lru_stamp);
+            let demoted_stamp = inner.next_stamp();
+            inner.probation.insert(demoted_stamp, lru_key);
+            let demoted = inner
+                .map
+                .get_mut(&lru_key)
+                .expect("ordered keys are mapped");
+            demoted.stamp = demoted_stamp;
+            demoted.protected = false;
+            self.trim_probation(&mut inner);
+        }
+        Some(CacheHit {
+            body,
+            promoted: was_probation,
+        })
     }
 
-    /// Insert an encoded body, evicting the oldest entry at capacity.
-    /// Concurrent duplicate inserts are harmless: solves are deterministic,
-    /// so both writers carry identical bytes.
-    pub fn insert(&self, key: u128, body: Arc<Vec<u8>>) {
-        if self.capacity == 0 {
-            return;
+    /// Insert an encoded body into probation, evicting that segment's LRU
+    /// at capacity. Returns the number of evictions performed (0 or 1).
+    /// Concurrent duplicate inserts are harmless: solves are
+    /// deterministic, so both writers carry identical bytes.
+    pub fn insert(&self, key: u128, body: Arc<Vec<u8>>) -> usize {
+        if self.probation_cap == 0 {
+            return 0;
         }
         let mut inner = self.inner.lock().unwrap();
-        if inner.map.insert(key, body).is_none() {
-            inner.order.push_back(key);
-            while inner.map.len() > self.capacity {
-                if let Some(old) = inner.order.pop_front() {
-                    inner.map.remove(&old);
-                }
-            }
+        if let Some(slot) = inner.map.get_mut(&key) {
+            // Already cached (a racing miss): refresh the bytes, keep the
+            // recency position.
+            slot.body = body;
+            return 0;
         }
+        let stamp = inner.next_stamp();
+        inner.map.insert(
+            key,
+            Slot {
+                body,
+                stamp,
+                protected: false,
+            },
+        );
+        inner.probation.insert(stamp, key);
+        self.trim_probation(&mut inner)
+    }
+
+    fn trim_probation(&self, inner: &mut CacheInner) -> usize {
+        let mut evicted = 0;
+        while inner.probation.len() > self.probation_cap {
+            let (&lru_stamp, &lru_key) = inner.probation.iter().next().expect("non-empty");
+            inner.probation.remove(&lru_stamp);
+            inner.map.remove(&lru_key);
+            inner.evictions += 1;
+            evicted += 1;
+        }
+        evicted
     }
 
     /// Number of cached bodies.
@@ -96,6 +202,17 @@ impl SolveCache {
     /// Whether the cache currently holds nothing.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Lifetime probation→protected promotions (the
+    /// `serve.cache.promotions` counter).
+    pub fn promotions(&self) -> u64 {
+        self.inner.lock().unwrap().promotions
+    }
+
+    /// Lifetime capacity evictions (the `serve.cache.evictions` counter).
+    pub fn evictions(&self) -> u64 {
+        self.inner.lock().unwrap().evictions
     }
 }
 
@@ -140,18 +257,56 @@ mod tests {
     }
 
     #[test]
-    fn fifo_eviction_bounds_the_cache() {
-        let cache = SolveCache::new(2);
-        cache.insert(1, Arc::new(vec![1]));
-        cache.insert(2, Arc::new(vec![2]));
-        cache.insert(3, Arc::new(vec![3]));
-        assert_eq!(cache.len(), 2);
-        assert!(cache.get(1).is_none(), "oldest entry evicted first");
-        assert_eq!(*cache.get(3).unwrap(), vec![3]);
+    fn probation_evicts_lru_and_bounds_the_cache() {
+        // Capacity 5 → probation 1, protected 4: un-hit entries churn
+        // through the single probation slot.
+        let cache = SolveCache::new(5);
+        assert_eq!(cache.insert(1, Arc::new(vec![1])), 0);
+        assert_eq!(cache.insert(2, Arc::new(vec![2])), 1, "1 evicted");
+        assert!(cache.get(1).is_none(), "un-hit LRU evicted first");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions(), 1);
         // Re-inserting an existing key neither duplicates nor evicts.
-        cache.insert(3, Arc::new(vec![3]));
-        assert_eq!(cache.len(), 2);
-        assert_eq!(*cache.get(2).unwrap(), vec![2]);
+        assert_eq!(cache.insert(2, Arc::new(vec![2])), 0);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn hits_promote_out_of_probations_reach() {
+        let cache = SolveCache::new(5);
+        cache.insert(1, Arc::new(vec![1]));
+        let hit = cache.get(1).unwrap();
+        assert_eq!(*hit.body, vec![1]);
+        assert!(hit.promoted, "first hit promotes");
+        assert_eq!(cache.promotions(), 1);
+        // A sweep of one-shot keys through probation cannot evict the
+        // promoted entry.
+        for k in 10..20 {
+            cache.insert(k, Arc::new(vec![k as u8]));
+        }
+        let hit = cache.get(1).unwrap();
+        assert_eq!(*hit.body, vec![1]);
+        assert!(!hit.promoted, "already protected");
+        assert_eq!(cache.promotions(), 1);
+    }
+
+    #[test]
+    fn protected_overflow_demotes_its_lru() {
+        // Capacity 5 → protected 4. Promote five keys; the fifth
+        // promotion pushes the protected LRU (key 1) back to probation,
+        // where the next insert sweeps it out.
+        let cache = SolveCache::new(5);
+        for k in 1..=5 {
+            cache.insert(k, Arc::new(vec![k as u8]));
+            cache.get(k).unwrap();
+        }
+        assert_eq!(cache.promotions(), 5);
+        assert_eq!(cache.len(), 5);
+        cache.insert(6, Arc::new(vec![6]));
+        assert!(cache.get(1).is_none(), "demoted LRU swept from probation");
+        for k in 2..=5 {
+            assert!(cache.get(k).is_some(), "protected key {k} survived");
+        }
     }
 
     #[test]
@@ -160,5 +315,6 @@ mod tests {
         cache.insert(1, Arc::new(vec![1]));
         assert!(cache.get(1).is_none());
         assert!(cache.is_empty());
+        assert_eq!((cache.promotions(), cache.evictions()), (0, 0));
     }
 }

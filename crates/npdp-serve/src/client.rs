@@ -1,26 +1,120 @@
 //! A minimal blocking client for the solve service — what the integration
-//! tests and the `repro-serve` load generator speak through.
+//! tests and the `repro-serve` / `repro-chaos-serve` load generators speak
+//! through.
 //!
 //! One [`Client`] wraps one TCP connection. [`Client::call`] is the simple
 //! lock-step path; [`Client::call_many`] pipelines a whole slice of
 //! requests before reading any response, which is how the load generator
 //! keeps the server's batcher fed (and how the batching integration test
 //! provokes a multi-request epoch through a single connection).
+//!
+//! [`CallOpts`] bounds every blocking point: connect, each socket read and
+//! write, and the call as a whole (the per-call deadline, also stamped
+//! onto the wire as `deadline_ms` so the server stops solving what the
+//! client will no longer wait for). [`Client::call_with_retry`] retries
+//! with [`RetryPolicy`] backoff — **only** on connect/transport errors and
+//! typed [`Status::Overloaded`] rejections. A decoded `Ok` or `Invalid`
+//! response is final: the solve is answered, so retrying could only
+//! manufacture double-solve ambiguity.
 
 use std::collections::HashMap;
-use std::io::{self, BufReader, BufWriter, Write};
+use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
 
+use npdp_fault::{FaultInjector, RetryPolicy};
+
+use crate::net::ChaosStream;
 use crate::protocol::{
     read_frame, write_frame, Request, Response, StatsRequest, Status, WireError,
 };
 use crate::stats::StatsSnapshot;
 
+/// Per-call robustness knobs: socket timeouts, an end-to-end deadline,
+/// and the retry budget of [`Client::call_with_retry`].
+#[derive(Debug, Clone, Copy)]
+pub struct CallOpts {
+    /// Bound on establishing the TCP connection (`None` = OS default).
+    pub connect_timeout: Option<Duration>,
+    /// Bound on each socket read; a response that stops arriving surfaces
+    /// as a typed timeout error instead of blocking forever.
+    pub read_timeout: Option<Duration>,
+    /// Bound on each socket write (a peer that stops draining).
+    pub write_timeout: Option<Duration>,
+    /// End-to-end budget for one call *including retries*. Also stamped
+    /// onto outgoing requests (as the remaining budget in ms) when the
+    /// request doesn't carry its own `deadline_ms`.
+    pub deadline: Option<Duration>,
+    /// Retry budget and backoff for [`Client::call_with_retry`];
+    /// `base_backoff` is in **milliseconds** here. `max_attempts: 1`
+    /// means no retries.
+    pub retry: RetryPolicy,
+}
+
+impl Default for CallOpts {
+    fn default() -> Self {
+        Self {
+            connect_timeout: None,
+            read_timeout: None,
+            write_timeout: None,
+            deadline: None,
+            retry: RetryPolicy {
+                max_attempts: 1,
+                base_backoff: 0,
+            },
+        }
+    }
+}
+
+/// Either transport flavor of a connection half.
+#[derive(Debug)]
+enum Half {
+    Plain(TcpStream),
+    Chaos(ChaosStream),
+}
+
+impl Read for Half {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Half::Plain(s) => s.read(buf),
+            Half::Chaos(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Half {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Half::Plain(s) => s.write(buf),
+            Half::Chaos(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Half::Plain(s) => s.flush(),
+            Half::Chaos(s) => s.flush(),
+        }
+    }
+}
+
+/// Chaos wiring of a client: the injector plus the connection-id sequence
+/// (each reconnect gets a fresh id, so fault sites decorrelate across
+/// connection incarnations).
+#[derive(Debug)]
+struct ChaosConfig {
+    inj: FaultInjector,
+    conn: u64,
+}
+
 /// A blocking connection to a solve server.
 #[derive(Debug)]
 pub struct Client {
-    reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
+    reader: BufReader<Half>,
+    writer: BufWriter<Half>,
+    addr: SocketAddr,
+    opts: CallOpts,
+    chaos: Option<ChaosConfig>,
     /// Ids for admin (`Stats`) frames, kept in the top half of the id space
     /// so they cannot collide with caller-chosen solve ids in flight.
     admin_id: u64,
@@ -29,7 +123,8 @@ pub struct Client {
 /// Client-side failure: transport trouble or an undecodable response.
 #[derive(Debug)]
 pub enum ClientError {
-    /// The socket failed or closed before a full response arrived.
+    /// The socket failed, timed out, or closed before a full response
+    /// arrived.
     Io(io::Error),
     /// The server sent bytes that do not decode as a response frame.
     Wire(WireError),
@@ -63,17 +158,101 @@ impl From<WireError> for ClientError {
     }
 }
 
+impl ClientError {
+    /// Whether retrying can help: true for transport-level failures where
+    /// no decoded response arrived. A decoded response — any status — is
+    /// final.
+    pub fn is_transport(&self) -> bool {
+        matches!(self, Self::Io(_) | Self::MissingResponses(_))
+    }
+}
+
+fn open_halves(
+    addr: SocketAddr,
+    opts: &CallOpts,
+    chaos: Option<(&FaultInjector, u64)>,
+) -> io::Result<(BufReader<Half>, BufWriter<Half>)> {
+    let stream = match opts.connect_timeout {
+        Some(t) => TcpStream::connect_timeout(&addr, t)?,
+        None => TcpStream::connect(addr)?,
+    };
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(opts.read_timeout)?;
+    stream.set_write_timeout(opts.write_timeout)?;
+    Ok(match chaos {
+        Some((inj, conn)) => {
+            let write_half = ChaosStream::new(stream, inj.clone(), conn);
+            let read_half = write_half.try_clone()?;
+            (
+                BufReader::new(Half::Chaos(read_half)),
+                BufWriter::new(Half::Chaos(write_half)),
+            )
+        }
+        None => {
+            let read_half = stream.try_clone()?;
+            (
+                BufReader::new(Half::Plain(read_half)),
+                BufWriter::new(Half::Plain(stream)),
+            )
+        }
+    })
+}
+
 impl Client {
-    /// Connect to a server.
+    /// Connect to a server with no timeouts and no retries (the defaults).
     pub fn connect(addr: SocketAddr) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        let reader = BufReader::new(stream.try_clone()?);
+        Self::connect_with(addr, CallOpts::default())
+    }
+
+    /// Connect with explicit socket timeouts / deadline / retry policy.
+    pub fn connect_with(addr: SocketAddr, opts: CallOpts) -> io::Result<Self> {
+        let (reader, writer) = open_halves(addr, &opts, None)?;
         Ok(Self {
             reader,
-            writer: BufWriter::new(stream),
+            writer,
+            addr,
+            opts,
+            chaos: None,
             admin_id: 1 << 63,
         })
+    }
+
+    /// Connect through a fault-injecting [`ChaosStream`]: every socket op
+    /// may be deterministically torn, delayed, dropped or stalled per the
+    /// injector's plan. `conn` is this connection's site coordinate;
+    /// reconnects use fresh ids above it.
+    pub fn connect_chaos(
+        addr: SocketAddr,
+        opts: CallOpts,
+        inj: FaultInjector,
+        conn: u64,
+    ) -> io::Result<Self> {
+        let (reader, writer) = open_halves(addr, &opts, Some((&inj, conn)))?;
+        Ok(Self {
+            reader,
+            writer,
+            addr,
+            opts,
+            chaos: Some(ChaosConfig { inj, conn }),
+            admin_id: 1 << 63,
+        })
+    }
+
+    /// Drop the current connection and dial a fresh one (same options;
+    /// chaos clients get a fresh connection site id).
+    pub fn reconnect(&mut self) -> io::Result<()> {
+        let chaos = self.chaos.as_mut().map(|c| {
+            c.conn += 1;
+            (c.inj.clone(), c.conn)
+        });
+        let (reader, writer) = open_halves(
+            self.addr,
+            &self.opts,
+            chaos.as_ref().map(|(inj, conn)| (inj, *conn)),
+        )?;
+        self.reader = reader;
+        self.writer = writer;
+        Ok(())
     }
 
     /// Fetch a live [`StatsSnapshot`] via the protocol's `Stats` admin
@@ -111,10 +290,77 @@ impl Client {
         Ok(Response::decode(&payload)?)
     }
 
-    /// Lock-step request/response.
+    /// Lock-step request/response, single attempt.
     pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
         self.send(req)?;
         self.recv()
+    }
+
+    /// Lock-step call with the connection's [`CallOpts`] deadline and
+    /// retry policy applied.
+    ///
+    /// Retries (after [`RetryPolicy::backoff`] milliseconds, reconnecting
+    /// first on transport errors) fire **only** for transport failures and
+    /// typed [`Status::Overloaded`] rejections — a decoded `Ok`/`Invalid`/
+    /// `Failed`/`DeadlineExceeded` response is returned as-is, so a solve
+    /// is never ambiguously re-issued after an answer. The whole loop,
+    /// backoffs included, stays inside [`CallOpts::deadline`]; when the
+    /// budget runs out the last failure comes back as a typed
+    /// [`ClientError::Io`] timeout.
+    pub fn call_with_retry(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let deadline = self.opts.deadline.map(|d| Instant::now() + d);
+        let policy = self.opts.retry;
+        let mut attempt: u32 = 0;
+        loop {
+            attempt += 1;
+            // Stamp the remaining budget on the wire so the server can
+            // cancel instead of solving dead work (explicit request
+            // deadlines win).
+            let wire_req = match deadline {
+                Some(d) if req.deadline_ms == 0 => {
+                    let rem = d.saturating_duration_since(Instant::now()).as_millis();
+                    let rem_ms = u32::try_from(rem).unwrap_or(u32::MAX).max(1);
+                    let mut stamped = req.clone();
+                    stamped.deadline_ms = rem_ms;
+                    stamped
+                }
+                _ => req.clone(),
+            };
+            let outcome = self.call(&wire_req);
+            let transport_failed = match &outcome {
+                Ok(resp) if resp.status == Status::Overloaded => false,
+                Ok(_) => return outcome,
+                Err(e) if e.is_transport() => true,
+                // Undecodable response bytes: an answer arrived, so
+                // retrying risks a double solve — surface it.
+                Err(_) => return outcome,
+            };
+            if attempt >= policy.max_attempts {
+                return outcome;
+            }
+            let backoff = Duration::from_millis(policy.backoff(attempt));
+            if let Some(d) = deadline {
+                if Instant::now() + backoff >= d {
+                    return match outcome {
+                        Ok(resp) => Ok(resp),
+                        Err(_) => Err(ClientError::Io(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "call deadline exhausted during retries",
+                        ))),
+                    };
+                }
+            }
+            std::thread::sleep(backoff);
+            if transport_failed {
+                // The old connection is suspect; a failed reconnect is
+                // itself a retryable transport error.
+                if let Err(e) = self.reconnect() {
+                    if attempt + 1 >= policy.max_attempts {
+                        return Err(ClientError::Io(e));
+                    }
+                }
+            }
+        }
     }
 
     /// Pipeline every request, then collect responses in *request order*

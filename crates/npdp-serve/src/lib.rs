@@ -48,6 +48,7 @@
 //! let mut client = Client::connect(server.addr()).unwrap();
 //! let req = Request {
 //!     id: 1,
+//!     deadline_ms: 0,
 //!     tenant: "doc".into(),
 //!     workload: Workload::ClosureSynthetic { n: 32, seed: 7 },
 //! };
@@ -62,14 +63,16 @@
 pub mod cache;
 pub mod client;
 pub mod load;
+pub mod net;
 pub mod protocol;
 pub mod server;
 pub mod solve;
 pub mod stats;
 
-pub use cache::{workload_key, SolveCache};
-pub use client::{Client, ClientError};
+pub use cache::{workload_key, CacheHit, SolveCache};
+pub use client::{CallOpts, Client, ClientError};
 pub use load::{synthetic_stream, LatencyRecorder, LatencySummary, MixConfig};
+pub use net::ChaosStream;
 pub use protocol::{Request, Response, SolveOutput, StatsRequest, Status, Workload};
 pub use server::{spawn, ServerConfig, ServerHandle};
 pub use solve::{materialize, solve_direct, solve_problem, Problem};

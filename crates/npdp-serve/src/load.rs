@@ -124,6 +124,9 @@ pub struct MixConfig {
     pub large_side: u32,
     /// Number of distinct tenants cycled through.
     pub tenants: usize,
+    /// Per-request deadline budget in milliseconds stamped on every
+    /// generated request (`0` = no deadline).
+    pub deadline_ms: u32,
 }
 
 /// Generate the deterministic mixed request stream.
@@ -165,6 +168,7 @@ pub fn synthetic_stream(cfg: &MixConfig) -> Vec<Request> {
             };
             Request {
                 id: i as u64,
+                deadline_ms: cfg.deadline_ms,
                 tenant: format!("tenant-{}", i % cfg.tenants.max(1)),
                 workload,
             }
@@ -224,6 +228,7 @@ mod tests {
             small_side: 24,
             large_side: 160,
             tenants: 3,
+            deadline_ms: 0,
         };
         let a = synthetic_stream(&cfg);
         let b = synthetic_stream(&cfg);

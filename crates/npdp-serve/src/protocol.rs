@@ -21,8 +21,11 @@ use npdp_core::TriangularMatrix;
 /// Protocol version byte leading every request and response payload.
 ///
 /// v2 added a message-kind byte after the version on request payloads
-/// (solve vs. admin frames); responses are unchanged.
-pub const VERSION: u8 = 2;
+/// (solve vs. admin frames). v3 added the `deadline_ms` budget to solve
+/// frames (between the id and the tenant label; `0` = no deadline);
+/// responses are unchanged apart from the new
+/// [`Status::DeadlineExceeded`] byte.
+pub const VERSION: u8 = 3;
 
 /// Request-kind byte: a solve request ([`Request`]).
 pub const KIND_SOLVE: u8 = 0;
@@ -175,6 +178,11 @@ impl Workload {
 pub struct Request {
     /// Caller-chosen id, echoed in the response.
     pub id: u64,
+    /// Per-request deadline budget in milliseconds, measured by the server
+    /// from the moment the frame is admitted. `0` means no deadline. Once
+    /// the budget is spent the server answers
+    /// [`Status::DeadlineExceeded`] instead of solving dead work.
+    pub deadline_ms: u32,
     /// Fairness unit; empty is a valid (anonymous) tenant.
     pub tenant: String,
     /// The problem to solve.
@@ -188,6 +196,7 @@ impl Request {
         out.push(VERSION);
         out.push(KIND_SOLVE);
         put_u64(&mut out, self.id);
+        put_u32(&mut out, self.deadline_ms);
         debug_assert!(self.tenant.len() <= MAX_TENANT);
         out.push(self.tenant.len().min(MAX_TENANT) as u8);
         out.extend_from_slice(self.tenant.as_bytes());
@@ -244,6 +253,7 @@ impl RequestFrame {
         let id = r.u64()?;
         match kind {
             KIND_SOLVE => {
+                let deadline_ms = r.u32()?;
                 let tlen = r.u8()? as usize;
                 if tlen > MAX_TENANT {
                     return Err(WireError::Malformed("tenant label over MAX_TENANT"));
@@ -254,6 +264,7 @@ impl RequestFrame {
                 r.finish()?;
                 Ok(RequestFrame::Solve(Request {
                     id,
+                    deadline_ms,
                     tenant,
                     workload,
                 }))
@@ -278,6 +289,9 @@ pub enum Status {
     Overloaded = 2,
     /// The solve itself failed (a typed `SolveError`).
     Failed = 3,
+    /// The request's `deadline_ms` budget expired before a result was
+    /// produced; the work was cancelled, not solved.
+    DeadlineExceeded = 4,
 }
 
 impl Status {
@@ -287,6 +301,7 @@ impl Status {
             1 => Status::Invalid,
             2 => Status::Overloaded,
             3 => Status::Failed,
+            4 => Status::DeadlineExceeded,
             _ => return Err(WireError::Malformed("unknown status byte")),
         })
     }
@@ -552,11 +567,13 @@ mod tests {
     fn requests_round_trip() {
         round_trip_request(&Request {
             id: 7,
+            deadline_ms: 1500,
             tenant: "acme".into(),
             workload: Workload::ClosureSynthetic { n: 64, seed: 42 },
         });
         round_trip_request(&Request {
             id: u64::MAX,
+            deadline_ms: u32::MAX,
             tenant: String::new(),
             workload: Workload::ParenthesizeSynthetic {
                 matrices: 12,
@@ -565,11 +582,13 @@ mod tests {
         });
         round_trip_request(&Request {
             id: 0,
+            deadline_ms: 0,
             tenant: "t".repeat(MAX_TENANT),
             workload: Workload::FoldSynthetic { bases: 30, seed: 9 },
         });
         round_trip_request(&Request {
             id: 5,
+            deadline_ms: 1,
             tenant: "inline".into(),
             workload: Workload::ClosureInline {
                 seeds: TriangularMatrix::from_fn(9, |i, j| (i * 10 + j) as f32),
@@ -619,6 +638,16 @@ mod tests {
         let resp = Response::decode(&payload).unwrap();
         assert_eq!(resp.status, Status::Overloaded);
         assert_eq!(resp.message(), "queue full");
+
+        let payload =
+            Response::encode_parts(4, Status::DeadlineExceeded, false, b"deadline exceeded");
+        let resp = Response::decode(&payload).unwrap();
+        assert_eq!(resp.status, Status::DeadlineExceeded);
+        assert_eq!(resp.message(), "deadline exceeded");
+        // Unknown status bytes are typed wire errors, not panics.
+        let mut bad = Response::encode_parts(5, Status::Ok, false, b"");
+        bad[9] = 250;
+        assert!(Response::decode(&bad).is_err());
     }
 
     #[test]
@@ -633,6 +662,7 @@ mod tests {
         // Solve frames dispatch through the same entry point.
         let req = Request {
             id: 8,
+            deadline_ms: 250,
             tenant: "t".into(),
             workload: Workload::ClosureSynthetic { n: 4, seed: 0 },
         };
@@ -656,6 +686,7 @@ mod tests {
         // Workload tag 9 does not exist.
         let mut p = Request {
             id: 1,
+            deadline_ms: 0,
             tenant: String::new(),
             workload: Workload::ClosureSynthetic { n: 4, seed: 0 },
         }
@@ -666,6 +697,7 @@ mod tests {
         // Oversized problem sides are refused at decode time.
         let big = Request {
             id: 1,
+            deadline_ms: 0,
             tenant: String::new(),
             workload: Workload::ClosureSynthetic {
                 n: MAX_PROBLEM_SIDE as u32 + 1,
@@ -677,6 +709,7 @@ mod tests {
         // Trailing garbage is refused.
         let mut ok = Request {
             id: 1,
+            deadline_ms: 0,
             tenant: String::new(),
             workload: Workload::ClosureSynthetic { n: 4, seed: 0 },
         }

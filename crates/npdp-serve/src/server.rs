@@ -38,7 +38,7 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::io::BufReader;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -104,6 +104,14 @@ pub struct ServerConfig {
     pub large_lanes: usize,
     /// Memory-block side of the small tier's serial NDL+SIMD engine.
     pub small_nb: usize,
+    /// Reap a connection whose reader sees no traffic for this long
+    /// (`None` keeps sockets forever). An abandoned client must not hold a
+    /// reader thread and a connection slot indefinitely.
+    pub idle_timeout: Option<Duration>,
+    /// Give up on a response write blocked for this long (`None` blocks
+    /// forever). A client that stops draining its socket must not wedge
+    /// the solver thread holding its connection's write mutex.
+    pub write_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -119,6 +127,8 @@ impl Default for ServerConfig {
             cache_entries: 1024,
             large_lanes: 1,
             small_nb: 32,
+            idle_timeout: Some(Duration::from_secs(120)),
+            write_timeout: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -139,6 +149,17 @@ struct Job {
     /// When the request entered its dispatch queue; queue wait is measured
     /// from here to drain.
     t_enqueued: Instant,
+    /// Absolute deadline derived from the request's `deadline_ms` budget
+    /// (`None` = no deadline). Checked at every phase boundary: a job found
+    /// expired is answered [`Status::DeadlineExceeded`] instead of solved.
+    deadline: Option<Instant>,
+}
+
+impl Job {
+    /// Whether the job's deadline (if any) has already passed.
+    fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
 }
 
 /// Per-tenant queues and fairness account.
@@ -240,6 +261,13 @@ struct Shared {
     q: Mutex<DispatchQueues>,
     work_ready: Condvar,
     shutdown: AtomicBool,
+    /// Set by [`ServerHandle::drain`]: new solve requests are refused
+    /// (typed `Overloaded`, "server draining") while queued and in-flight
+    /// work finishes.
+    draining: AtomicBool,
+    /// Jobs popped from the queues but not yet answered — what `drain`
+    /// waits on after the queues empty.
+    inflight: AtomicUsize,
     conns: Mutex<Vec<TcpStream>>,
     reader_joins: Mutex<Vec<JoinHandle<()>>>,
     /// The always-on stats plane. Counters and phase histograms land here
@@ -348,6 +376,48 @@ impl ServerHandle {
             .expect("first shutdown always yields a snapshot")
     }
 
+    /// Graceful shutdown with a grace period: stop admitting new solves
+    /// (they get a typed `Overloaded` "server draining"), let queued and
+    /// in-flight work finish for up to `grace`, answer whatever is still
+    /// queued after that with [`Status::DeadlineExceeded`], then stop and
+    /// flush the final stats snapshot exactly like [`Self::shutdown`].
+    pub fn drain(mut self, grace: Duration) -> StatsSnapshot {
+        let shared = Arc::clone(&self.shared);
+        shared.draining.store(true, Ordering::Release);
+        shared.metric("serve.drains", 1);
+        let deadline = Instant::now() + grace;
+        loop {
+            let quiesced = shared.q.lock().unwrap().pending() == 0
+                && shared.inflight.load(Ordering::Acquire) == 0;
+            if quiesced || Instant::now() >= deadline {
+                break;
+            }
+            shared.work_ready.notify_all();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Grace expired: whatever is still queued is dead work — answer it
+        // typed instead of solving past the drain.
+        let leftovers = {
+            let mut q = shared.q.lock().unwrap();
+            let mut jobs = q.drain_small(usize::MAX);
+            while let Some(job) = q.pop_large() {
+                jobs.push(job);
+            }
+            jobs
+        };
+        if !leftovers.is_empty() {
+            let track = shared
+                .ctx
+                .tracer
+                .register(TrackDesc::control("serve drain").in_domain(TimeDomain::ServeNs));
+            for job in &leftovers {
+                shared.metric("serve.drain_expired", 1);
+                respond_deadline(job, &shared, track, "server drained before solve");
+            }
+        }
+        self.stop().expect("first stop always yields a snapshot")
+    }
+
     fn stop(&mut self) -> Option<StatsSnapshot> {
         if self.joins.is_empty() {
             return None;
@@ -429,6 +499,8 @@ pub fn spawn(
         q: Mutex::new(DispatchQueues::default()),
         work_ready: Condvar::new(),
         shutdown: AtomicBool::new(false),
+        draining: AtomicBool::new(false),
+        inflight: AtomicUsize::new(0),
         conns: Mutex::new(Vec::new()),
         reader_joins: Mutex::new(Vec::new()),
         telemetry: Telemetry::new(),
@@ -479,6 +551,12 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
+        if shared.draining.load(Ordering::Acquire) {
+            // Draining: no new connections, existing ones finish out.
+            let _ = stream.shutdown(Shutdown::Both);
+            continue;
+        }
+        let _ = stream.set_write_timeout(shared.cfg.write_timeout);
         let read_half = match stream.try_clone() {
             Ok(h) => h,
             Err(_) => continue,
@@ -507,12 +585,39 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 }
 
 fn read_loop(stream: TcpStream, conn: Arc<ConnWriter>, shared: Arc<Shared>, track: Track) {
+    let _ = stream.set_read_timeout(shared.cfg.idle_timeout);
     let mut reader = BufReader::new(stream);
     loop {
         let payload = match read_frame(&mut reader) {
             Ok(Some(p)) => p,
-            // Clean close, torn connection or shutdown: stop reading.
-            Ok(None) | Err(_) => return,
+            // Clean close or shutdown: stop reading.
+            Ok(None) => return,
+            Err(e) => {
+                match e.kind() {
+                    // The idle timeout fired: reap the abandoned socket
+                    // (both halves, so a half-open client unblocks too).
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                        shared.metric("serve.net.idle_reaped", 1);
+                        let _ = conn.stream.lock().unwrap().shutdown(Shutdown::Both);
+                    }
+                    // A hostile length prefix (over MAX_FRAME). The bytes
+                    // that follow are unframeable, so answer typed and
+                    // close rather than desyncing every later frame.
+                    std::io::ErrorKind::InvalidData => {
+                        shared.metric("serve.net.oversized", 1);
+                        conn.send(0, Status::Invalid, false, e.to_string().as_bytes());
+                        let _ = conn.stream.lock().unwrap().shutdown(Shutdown::Both);
+                    }
+                    // Torn connection (EOF mid-frame, reset): close both
+                    // halves so the peer sees FIN instead of a half-open
+                    // socket (the conns registry holds another fd dup).
+                    _ => {
+                        shared.metric("serve.net.torn", 1);
+                        let _ = conn.stream.lock().unwrap().shutdown(Shutdown::Both);
+                    }
+                }
+                return;
+            }
         };
         let t_recv = Instant::now();
         match RequestFrame::decode(&payload) {
@@ -563,15 +668,18 @@ fn admit(req: Request, conn: Arc<ConnWriter>, shared: &Arc<Shared>, track: Track
     let key = workload_key(&req.workload);
     let hit = shared.cache.get(key);
     shared.phase_since(Phase::CacheLookup, t_cache);
-    if let Some(body) = hit {
+    if let Some(hit) = hit {
         shared.metric("serve.cache_hits", 1);
+        if hit.promoted {
+            shared.metric("serve.cache.promotions", 1);
+        }
         let adm_ns = elapsed_ns(t_recv);
         shared.phase_ns(Phase::Admission, adm_ns);
         shared.phase_labeled(Phase::Admission, &[("status", "hit")], adm_ns);
         tracer.end(track, phase_kind(Phase::Admission));
         let t_resp = Instant::now();
         tracer.begin(track, phase_kind(Phase::Respond));
-        conn.send(req.id, Status::Ok, true, &body);
+        conn.send(req.id, Status::Ok, true, &hit.body);
         tracer.end(track, phase_kind(Phase::Respond));
         shared.phase_since(Phase::Respond, t_resp);
         shared.record_total(&req.tenant, kind, small, "hit", t_recv);
@@ -588,7 +696,34 @@ fn admit(req: Request, conn: Arc<ConnWriter>, shared: &Arc<Shared>, track: Track
         small,
         t_recv,
         t_enqueued: Instant::now(),
+        deadline: (req.deadline_ms > 0)
+            .then(|| t_recv + Duration::from_millis(req.deadline_ms as u64)),
     };
+    // Deadline boundary 1, admission: a budget the cache lookup already
+    // spent is dead on arrival.
+    if job.expired() {
+        let adm_ns = elapsed_ns(t_recv);
+        shared.phase_ns(Phase::Admission, adm_ns);
+        shared.phase_labeled(Phase::Admission, &[("status", "deadline_exceeded")], adm_ns);
+        tracer.end(track, phase_kind(Phase::Admission));
+        respond_deadline(&job, shared, track, "deadline exceeded at admission");
+        return;
+    }
+    if shared.draining.load(Ordering::Acquire) {
+        shared.metric("serve.drain_rejected", 1);
+        let adm_ns = elapsed_ns(t_recv);
+        shared.phase_ns(Phase::Admission, adm_ns);
+        shared.phase_labeled(Phase::Admission, &[("status", "draining")], adm_ns);
+        tracer.end(track, phase_kind(Phase::Admission));
+        let t_resp = Instant::now();
+        tracer.begin(track, phase_kind(Phase::Respond));
+        job.conn
+            .send(job.id, Status::Overloaded, false, b"server draining");
+        tracer.end(track, phase_kind(Phase::Respond));
+        shared.phase_since(Phase::Respond, t_resp);
+        shared.record_total(&job.tenant, kind, small, "draining", t_recv);
+        return;
+    }
     {
         let mut q = shared.q.lock().unwrap();
         if q.pending() >= shared.cfg.queue_limit {
@@ -664,12 +799,16 @@ fn batch_loop(shared: Arc<Shared>, track: Track) {
             q = guard;
         }
         let batch = q.drain_small(shared.cfg.batch_max);
+        // Count the batch in-flight before releasing the lock so `drain`
+        // never observes "no pending, no in-flight" while work exists.
+        shared.inflight.fetch_add(batch.len(), Ordering::AcqRel);
         drop(q);
         shared.ctx.tracer.end(track, phase_kind(Phase::BatchLinger));
         shared.phase_since(Phase::BatchLinger, linger_start);
         if !batch.is_empty() {
             run_epoch(&batch, &shared, track);
         }
+        shared.inflight.fetch_sub(batch.len(), Ordering::AcqRel);
         q = shared.q.lock().unwrap();
     }
 }
@@ -680,16 +819,26 @@ type EpochSlot = Mutex<Option<Result<Vec<u8>, SolveError>>>;
 
 /// Execute one shared scheduler epoch: one independent task per request on
 /// the locality-batched discipline.
-fn run_epoch(batch: &[Job], shared: &Arc<Shared>, track: Track) {
+fn run_epoch(all: &[Job], shared: &Arc<Shared>, track: Track) {
     let tracer = &shared.ctx.tracer;
     // Queue wait ends for every member when the batch drains (one clock
     // read for the whole batch).
     let t_drained = Instant::now();
-    for job in batch {
+    for job in all {
         tracer.instant(track, EventKind::Request { id: job.id as u32 });
         let wait = t_drained.saturating_duration_since(job.t_enqueued);
         let ns = u64::try_from(wait.as_nanos()).unwrap_or(u64::MAX);
         shared.phase_ns(Phase::QueueWait, ns);
+    }
+    // Deadline boundary 2, epoch dispatch: a job that expired waiting in
+    // queue (or during linger) is cancelled here — it never enters the
+    // epoch and never lands in the `epoch_solve` histogram.
+    let (expired, batch): (Vec<&Job>, Vec<&Job>) = all.iter().partition(|j| j.expired());
+    for job in expired {
+        respond_deadline(job, shared, track, "deadline exceeded in queue");
+    }
+    if batch.is_empty() {
+        return;
     }
     let epoch_ctx = shared
         .ctx
@@ -714,7 +863,7 @@ fn run_epoch(batch: &[Job], shared: &Arc<Shared>, track: Track) {
     // execution, so the phase histogram gets one epoch-duration sample per
     // request (keeping phase counts aligned with request counts).
     let epoch_ns = elapsed_ns(t_epoch);
-    for _ in batch {
+    for _ in &batch {
         shared.phase_ns(Phase::EpochSolve, epoch_ns);
     }
     shared.metric("serve.batches", 1);
@@ -737,7 +886,7 @@ fn run_epoch(batch: &[Job], shared: &Arc<Shared>, track: Track) {
         Err(_) => shared.metric("serve.epochs_failed", 1),
     }
     let mut charges: Vec<(String, u64)> = Vec::with_capacity(batch.len());
-    for (job, slot) in batch.iter().zip(&results) {
+    for (&job, slot) in batch.iter().zip(&results) {
         let result = slot.lock().unwrap().take();
         respond(job, result, shared, track);
         charges.push((job.tenant.clone(), job.workload.cells()));
@@ -765,9 +914,19 @@ fn large_loop(shared: Arc<Shared>, track: Track) {
             q = guard;
             continue;
         };
+        shared.inflight.fetch_add(1, Ordering::AcqRel);
         drop(q);
         tracer.instant(track, EventKind::Request { id: job.id as u32 });
         shared.phase_since(Phase::QueueWait, job.t_enqueued);
+        // Deadline boundary 3, large dispatch: checked between pop and
+        // solve, so an expired request never burns a lane (and never lands
+        // in the `large_solve` histogram).
+        if job.expired() {
+            respond_deadline(&job, &shared, track, "deadline exceeded in queue");
+            shared.inflight.fetch_sub(1, Ordering::AcqRel);
+            q = shared.q.lock().unwrap();
+            continue;
+        }
         let ctx = shared.ctx.clone().with_tuning(Tuning::Auto);
         // `Tuning::Auto` replaces nb with the §V model's choice at solve
         // time; the constructor values are placeholders.
@@ -783,6 +942,7 @@ fn large_loop(shared: Arc<Shared>, track: Track) {
         shared.phase_since(Phase::LargeSolve, t_solve);
         shared.metric("serve.large_solves", 1);
         respond(&job, Some(result), &shared, track);
+        shared.inflight.fetch_sub(1, Ordering::AcqRel);
         let cells = job.workload.cells();
         charge_metric(&shared, &job.tenant, cells);
         q = shared.q.lock().unwrap();
@@ -804,7 +964,10 @@ fn respond(
     let status = match result {
         Some(Ok(body)) => {
             let body = Arc::new(body);
-            shared.cache.insert(job.key, Arc::clone(&body));
+            let evicted = shared.cache.insert(job.key, Arc::clone(&body));
+            if evicted > 0 {
+                shared.metric("serve.cache.evictions", evicted as u64);
+            }
             shared.metric("serve.responses_ok", 1);
             job.conn.send(job.id, Status::Ok, false, &body);
             "ok"
@@ -846,6 +1009,28 @@ fn respond(
     );
 }
 
+/// Answer an expired job typed, without solving: stamps the `respond`
+/// phase, counts `serve.deadline_exceeded`, and closes out
+/// `total{status=deadline_exceeded}` — so deadline failures are part of
+/// the latency story exactly like rejections.
+fn respond_deadline(job: &Job, shared: &Arc<Shared>, track: Track, msg: &str) {
+    let tracer = &shared.ctx.tracer;
+    let t_resp = Instant::now();
+    tracer.begin(track, phase_kind(Phase::Respond));
+    shared.metric("serve.deadline_exceeded", 1);
+    job.conn
+        .send(job.id, Status::DeadlineExceeded, false, msg.as_bytes());
+    tracer.end(track, phase_kind(Phase::Respond));
+    shared.phase_since(Phase::Respond, t_resp);
+    shared.record_total(
+        &job.tenant,
+        job.workload.kind_name(),
+        job.small,
+        "deadline_exceeded",
+        job.t_recv,
+    );
+}
+
 /// Per-tenant charge counters (only materialized when metrics are live —
 /// the key is heap-formatted).
 fn charge_metric(shared: &Arc<Shared>, tenant: &str, cells: u64) {
@@ -877,6 +1062,7 @@ mod tests {
                 small: true,
                 t_recv: Instant::now(),
                 t_enqueued: Instant::now(),
+                deadline: None,
             });
             q.small_pending += 1;
         }
@@ -903,6 +1089,7 @@ mod tests {
                     small: true,
                     t_recv: Instant::now(),
                     t_enqueued: Instant::now(),
+                    deadline: None,
                 });
                 q.small_pending += 1;
             }

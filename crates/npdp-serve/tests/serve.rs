@@ -17,6 +17,7 @@ use proptest::prelude::*;
 fn req(id: u64, tenant: &str, workload: Workload) -> Request {
     Request {
         id,
+        deadline_ms: 0,
         tenant: tenant.into(),
         workload,
     }

@@ -28,10 +28,10 @@ const CHAOS_RETRY: RetryPolicy = RetryPolicy {
 /// fault-schedule generator shared by the properties below. Bit `k` of
 /// `mask` enables fault kind `k`; crash rates are scaled down so a plan
 /// usually leaves a survivor.
-fn plan_from(seed: u64, rate: f64, mask: u8) -> FaultPlan {
+fn plan_from(seed: u64, rate: f64, mask: u16) -> FaultPlan {
     let mut plan = FaultPlan::seeded(seed);
     for kind in ALL_FAULT_KINDS {
-        if mask & (1 << (kind as usize)) != 0 {
+        if mask & (1u16 << (kind as usize)) != 0 {
             let r = if kind == FaultKind::SpeCrash {
                 rate * 0.1
             } else {
@@ -145,7 +145,7 @@ proptest! {
     ) {
         let seeds = problem::random_seeds_f32(n, 100.0, n as u64 + 2);
         let reference = SerialEngine.solve(&seeds);
-        let faults = FaultInjector::new(plan_from(fault_seed, rate, mask as u8));
+        let faults = FaultInjector::new(plan_from(fault_seed, rate, mask));
         match functional_cellnpdp_multi_spe_faulted(
             &seeds, 8, 2, spes, &faults, CHAOS_RETRY, &Tracer::noop(),
         ) {
@@ -170,7 +170,7 @@ proptest! {
     ) {
         let seeds = problem::random_seeds_f32(n, 100.0, n as u64 + 3);
         let run = || {
-            let faults = FaultInjector::new(plan_from(fault_seed, rate, mask as u8));
+            let faults = FaultInjector::new(plan_from(fault_seed, rate, mask));
             let r = functional_cellnpdp_multi_spe_faulted(
                 &seeds, 8, 2, 3, &faults, CHAOS_RETRY, &Tracer::noop(),
             );
