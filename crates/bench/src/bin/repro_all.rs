@@ -34,6 +34,7 @@ const BINARIES: &[&str] = &[
     "repro-ablation",
     "repro-chaos",
     "repro-tune",
+    "repro-pipeline",
     "repro-serve",
     "repro-chaos-serve",
 ];

@@ -1,0 +1,316 @@
+//! repro-pipeline: barrier-free pipelined scheduling versus the diagonal
+//! batch, attributed through the trace analyzer.
+//!
+//! The locality batch (PR 4) fixes the starved tail by *merging* diagonals,
+//! which keeps the barrier and serializes the merged batches. The pipelined
+//! discipline removes the barrier instead: a block is claimable the instant
+//! its left and below producers complete, with a bounded lookahead so a
+//! producer diagonal never runs more than `L` diagonals ahead of its
+//! slowest consumer. Three parts, each with a hard gate (non-zero exit on
+//! failure):
+//!
+//! 1. **Wall time** — simulated QS20 ladder; pipelined must beat the
+//!    batched discipline at n ≥ 2048 where ramp/tail overlap and hidden
+//!    dispatch overhead dominate the residual loss.
+//! 2. **Starved-tail corner** — the PR 4 corner (n=16, nb=4, 3 SPEs,
+//!    min_parallel=3) where the plain queue idles at ~33% duty. Pipelined
+//!    must restore ≥ 90% active duty *and* keep the live-block high-water
+//!    mark within the modeled local-store budget (bounded lookahead is what
+//!    makes the barrier removal safe).
+//! 3. **Host bit-identity** — `Scheduler::Pipelined` returns the same bits
+//!    as the serial engine on ragged sizes (n % nb ≠ 0) across lookahead
+//!    depths, including through the autotuned entry point.
+
+use bench::{header, write_report, Cli, ExecContext, Report, EXIT_GATE_FAIL};
+use cell_sim::machine::{simulate, CellConfig, SimSpec};
+use cell_sim::ppe::Precision;
+use npdp_core::problem::random_seeds_f32;
+use npdp_core::{Engine, ParallelEngine, Scheduler, SerialEngine};
+use npdp_metrics::json::Value;
+use npdp_trace::analysis::{analyze, diff_analyses, TraceAnalysis};
+use npdp_trace::Tracer;
+
+/// Lookahead depth used throughout (the `Scheduler::pipelined()` default).
+const LOOKAHEAD: usize = 2;
+
+fn main() {
+    let cli = Cli::parse();
+    let json = cli.json;
+    let small = cli.small;
+    header(
+        "repro-pipeline",
+        "barrier-free pipelined scheduling vs the diagonal batch",
+        "blocks release the instant their left/below producers finish,\n\
+         rate-matched to a bounded lookahead window; the analyzer must\n\
+         attribute the win (diagonal overlap, live-block high-water mark).",
+    );
+    let mut report = Report::new("pipeline");
+    report.set_param("small", small);
+    report.set_param("lookahead", LOOKAHEAD);
+    let mut failures: Vec<String> = Vec::new();
+
+    wall_gate(small, &mut report, &mut failures);
+    corner_gate(&mut report, &mut failures);
+    identity_gate(&mut report, &mut failures);
+
+    if failures.is_empty() {
+        println!("\nall pipeline gates passed");
+    } else {
+        println!("\n{} gate failure(s):", failures.len());
+        for f in &failures {
+            println!("  FAIL: {f}");
+        }
+    }
+    report.set_counter("pipeline.gate_failures", failures.len() as u64);
+    write_report(&report, json.as_deref());
+    if !failures.is_empty() {
+        std::process::exit(EXIT_GATE_FAIL);
+    }
+}
+
+/// Part 1: simulated wall-time ladder. The gate binds at n >= 2048 — below
+/// that the ramp/tail share is small enough that batch and pipeline are
+/// within noise of each other; the smaller sizes are printed for shape.
+fn wall_gate(small: bool, report: &mut Report, failures: &mut Vec<String>) {
+    let cfg = CellConfig::qs20();
+    let (nb, spes) = (32usize, 8usize);
+    let sizes: &[usize] = if small {
+        &[512, 2048]
+    } else {
+        &[512, 1024, 2048, 4096]
+    };
+    report.set_param("wall_nb", nb).set_param("wall_spes", spes);
+
+    println!("simulated QS20 wall time, nb = {nb}, {spes} SPEs, SP:");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>8} {:>6}",
+        "n", "fifo (ms)", "batched (ms)", "piped (ms)", "speedup", "gate"
+    );
+    for &n in sizes {
+        let spec = SimSpec::cellnpdp(n, nb, 1, Precision::Single, spes);
+        let ctx = ExecContext::disabled();
+        let plain = simulate(&cfg, &spec, &ctx);
+        let batched = simulate(&cfg, &spec.batched(spes), &ctx);
+        let piped = simulate(&cfg, &spec.pipelined(LOOKAHEAD), &ctx);
+        let speedup = batched.seconds / piped.seconds;
+        let gated = n >= 2048;
+        let ok = !gated || piped.seconds < batched.seconds;
+        println!(
+            "{n:>6} {:>12.3} {:>12.3} {:>12.3} {:>7.3}x {:>6}",
+            plain.seconds * 1e3,
+            batched.seconds * 1e3,
+            piped.seconds * 1e3,
+            speedup,
+            if !gated {
+                "-"
+            } else if ok {
+                "ok"
+            } else {
+                "MISS"
+            }
+        );
+        if !ok {
+            failures.push(format!(
+                "wall n={n}: pipelined {:.6e} s not faster than batched {:.6e} s",
+                piped.seconds, batched.seconds
+            ));
+        }
+        // The disciplines reorder work; they must not change it.
+        if piped.kernel_calls != plain.kernel_calls || piped.dma.bytes != plain.dma.bytes {
+            failures.push(format!("wall n={n}: pipelined run changed the block work"));
+        }
+        let mut row = Value::object();
+        row.set("part", "wall")
+            .set("n", n)
+            .set("fifo_seconds", plain.seconds)
+            .set("batched_seconds", batched.seconds)
+            .set("pipelined_seconds", piped.seconds)
+            .set("speedup_vs_batched", speedup)
+            .set("gated", gated)
+            .set("pass", ok);
+        report.add_row(row);
+    }
+
+    // Attribute the barrier-free release: a traced mid-size pipelined run
+    // must show adjacent diagonal windows actually overlapping in time
+    // (under a barrier the overlap is identically zero).
+    let n = 512;
+    let run = Tracer::new();
+    let spec = SimSpec::cellnpdp(n, nb, 1, Precision::Single, spes);
+    simulate(
+        &cfg,
+        &spec.pipelined(LOOKAHEAD),
+        &ExecContext::disabled().with_tracer(&run),
+    );
+    let a = analyze(&run.snapshot()).expect("analyzable sim trace");
+    let view = a.domains.first().and_then(|d| d.pipeline.as_ref());
+    let (mean, hwm) = view.map_or((0.0, 0), |p| (p.mean_overlap, p.live_block_hwm));
+    println!(
+        "traced pipelined run at n={n}: mean diagonal overlap {:.1}%, live-block hwm {hwm}",
+        100.0 * mean
+    );
+    if mean <= 0.0 {
+        failures.push(format!(
+            "wall: traced pipelined run at n={n} shows no diagonal overlap (barrier not removed?)"
+        ));
+    }
+    let mut row = Value::object();
+    row.set("part", "wall_trace")
+        .set("n", n)
+        .set("mean_overlap", mean)
+        .set("live_block_hwm", hwm);
+    report.add_row(row);
+}
+
+/// Part 2: the PR 4 starved-tail corner. Plain FIFO idles two of three SPEs
+/// across the tail (≈33% duty); the batch restores duty by merging
+/// diagonals; the pipeline must restore it *without* the barrier while the
+/// bounded lookahead keeps resident blocks within the local-store budget.
+fn corner_gate(report: &mut Report, failures: &mut Vec<String>) {
+    let cfg = CellConfig::qs20();
+    let (n, nb, sb, spes, min_parallel) = (16usize, 4usize, 1usize, 3usize, 3usize);
+    let elem_bytes = Precision::Single.bytes();
+    // Modeled residency budget: each SPE's local store holds
+    // ls_bytes / (nb² · elem_bytes) blocks; the machine as a whole can keep
+    // spes times that live before the window must stall producers.
+    let budget = spes * (cfg.ls_bytes / (nb * nb * elem_bytes));
+
+    let spec = SimSpec::cellnpdp(n, nb, sb, Precision::Single, spes);
+    let ctx = ExecContext::disabled();
+    let plain = simulate(&cfg, &spec, &ctx);
+    let run_batched = Tracer::new();
+    let batched = simulate(
+        &cfg,
+        &spec.batched(min_parallel),
+        &ExecContext::disabled().with_tracer(&run_batched),
+    );
+    let run_piped = Tracer::new();
+    let piped = simulate(
+        &cfg,
+        &spec.pipelined(LOOKAHEAD),
+        &ExecContext::disabled().with_tracer(&run_piped),
+    );
+    let a_batched = analyze(&run_batched.snapshot()).expect("analyzable sim trace");
+    let a_piped = analyze(&run_piped.snapshot()).expect("analyzable sim trace");
+
+    let tail_active = |a: &TraceAnalysis| {
+        a.domains
+            .first()
+            .and_then(|d| d.tail.as_ref())
+            .map_or(0.0, |t| t.active_occupancy)
+    };
+    let overlap = |a: &TraceAnalysis| {
+        a.domains
+            .first()
+            .and_then(|d| d.pipeline.as_ref())
+            .map_or(0.0, |p| p.mean_overlap)
+    };
+    let hwm = |a: &TraceAnalysis| {
+        a.domains
+            .first()
+            .and_then(|d| d.pipeline.as_ref())
+            .map_or(0, |p| p.live_block_hwm)
+    };
+
+    println!(
+        "\nstarved-tail corner (simulated, n={n} nb={nb} spes={spes} min_parallel={min_parallel}):"
+    );
+    println!("  fifo:      {:>9.3} us wall", plain.seconds * 1e6);
+    println!(
+        "  batched:   {:>9.3} us wall, tail duty {:>5.1}%, diagonal overlap {:>5.1}%, live hwm {}",
+        batched.seconds * 1e6,
+        100.0 * tail_active(&a_batched),
+        100.0 * overlap(&a_batched),
+        hwm(&a_batched),
+    );
+    println!(
+        "  pipelined: {:>9.3} us wall, tail duty {:>5.1}%, diagonal overlap {:>5.1}%, live hwm {}",
+        piped.seconds * 1e6,
+        100.0 * tail_active(&a_piped),
+        100.0 * overlap(&a_piped),
+        hwm(&a_piped),
+    );
+    for d in diff_analyses(&a_batched, &a_piped) {
+        print!("  {d}");
+    }
+    if let Some(p) = a_piped.domains.first().and_then(|d| d.pipeline.as_ref()) {
+        let rendered: Vec<String> = p
+            .overlaps
+            .iter()
+            .map(|&(d, r)| format!("d{d} {:.0}%", 100.0 * r))
+            .collect();
+        println!("  pipelined per-diagonal overlap: {}", rendered.join(", "));
+    }
+
+    let duty = tail_active(&a_piped);
+    if duty < 0.90 {
+        failures.push(format!(
+            "corner: pipelined tail duty cycle {:.1}% below the 90% gate",
+            100.0 * duty
+        ));
+    }
+    let live = hwm(&a_piped);
+    if live > budget {
+        failures.push(format!(
+            "corner: live-block high-water mark {live} exceeds the local-store budget {budget}"
+        ));
+    }
+    if piped.seconds >= plain.seconds {
+        failures.push(format!(
+            "corner: pipelined {:.3e} s not faster than fifo {:.3e} s",
+            piped.seconds, plain.seconds
+        ));
+    }
+    if piped.kernel_calls != plain.kernel_calls || piped.dma.bytes != plain.dma.bytes {
+        failures.push("corner: pipelined run changed the block work".into());
+    }
+    let mut row = Value::object();
+    row.set("part", "corner")
+        .set("fifo_seconds", plain.seconds)
+        .set("batched_seconds", batched.seconds)
+        .set("pipelined_seconds", piped.seconds)
+        .set("batched_tail_duty", tail_active(&a_batched))
+        .set("pipelined_tail_duty", duty)
+        .set("pipelined_mean_overlap", overlap(&a_piped))
+        .set("live_block_hwm", live)
+        .set("live_block_budget", budget);
+    report.add_row(row);
+}
+
+/// Part 3: host bit-identity on ragged sizes across lookahead depths, plus
+/// the autotuned entry point under the pipelined scheduler.
+fn identity_gate(report: &mut Report, failures: &mut Vec<String>) {
+    println!("\nhost bit-identity (ragged sizes, ParallelEngine 8/1/4 vs serial):");
+    let mut checked = 0usize;
+    for n in [33usize, 97, 130] {
+        let seeds = random_seeds_f32(n, 100.0, 7);
+        let reference = SerialEngine.solve(&seeds);
+        for lookahead in [1usize, 2, 4] {
+            let got = ParallelEngine::new(8, 1, 4)
+                .with_scheduler(Scheduler::Pipelined { lookahead })
+                .solve(&seeds);
+            if got.first_difference(&reference).is_some() {
+                failures.push(format!(
+                    "identity: pipelined(L={lookahead}) diverged from serial at n={n}"
+                ));
+            }
+            checked += 1;
+        }
+        // The autotuned path must pick a legal nb for the pipelined shape
+        // and still return the reference bits.
+        let (auto, _) = ParallelEngine::new(16, 1, 4)
+            .with_scheduler(Scheduler::pipelined())
+            .solve_with(&seeds, &ExecContext::disabled().autotuned())
+            .expect("autotuned pipelined solve");
+        if auto.first_difference(&reference).is_some() {
+            failures.push(format!(
+                "identity: autotuned pipelined solve diverged from serial at n={n}"
+            ));
+        }
+        checked += 1;
+    }
+    println!("  {checked} solve(s) checked bit-identical");
+    let mut row = Value::object();
+    row.set("part", "identity").set("solves_checked", checked);
+    report.add_row(row);
+}

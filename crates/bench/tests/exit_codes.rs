@@ -11,6 +11,7 @@ use bench::{Report, EXIT_GATE_FAIL, EXIT_OK, EXIT_USAGE};
 /// `CARGO_BIN_EXE_<name>` paths for every repro binary.
 const BINS: &[(&str, &str)] = &[
     ("repro-tune", env!("CARGO_BIN_EXE_repro-tune")),
+    ("repro-pipeline", env!("CARGO_BIN_EXE_repro-pipeline")),
     ("repro-chaos", env!("CARGO_BIN_EXE_repro-chaos")),
     ("repro-table1", env!("CARGO_BIN_EXE_repro-table1")),
     ("repro-table2", env!("CARGO_BIN_EXE_repro-table2")),

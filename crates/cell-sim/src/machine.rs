@@ -315,6 +315,15 @@ pub struct SimSpec {
     /// task ([`task_queue::diagonal_batched_grid`]); `None` is the plain
     /// grid.
     pub batch_min_parallel: Option<usize>,
+    /// `Some(lookahead)` runs the barrier-free pipelined discipline
+    /// (`Scheduler::Pipelined` on the host): a task may not *start* until
+    /// every task more than `lookahead` diagonals behind it has completed
+    /// (rate-matching bounds the live operand set), and a task whose inputs
+    /// are ready strictly before its SPE frees up hides the mailbox/dispatch
+    /// overhead behind the previous block's compute (the PPE pushes the
+    /// descriptor early); tasks land on the SPE that finishes them first
+    /// under that rule. `None` is the plain dispatch protocol.
+    pub pipeline_lookahead: Option<usize>,
     /// SIMD computing-block kernels (CellNPDP) vs the scalar NDL loop (the
     /// paper's "NDL" ablation bar).
     pub simd: bool,
@@ -331,6 +340,7 @@ impl SimSpec {
             spes,
             policy: QueuePolicy::Fifo,
             batch_min_parallel: None,
+            pipeline_lookahead: None,
             simd: true,
         }
     }
@@ -359,6 +369,15 @@ impl SimSpec {
     /// ablation.
     pub fn batched(mut self, min_parallel: usize) -> Self {
         self.batch_min_parallel = Some(min_parallel);
+        self
+    }
+
+    /// Run the barrier-free pipelined dispatch protocol with the given
+    /// rate-matching window (clamped up to 1, matching the host driver):
+    /// see [`SimSpec::pipeline_lookahead`]. Same blocks, same per-block
+    /// costs, same traffic — only the dispatch protocol changes.
+    pub fn pipelined(mut self, lookahead: usize) -> Self {
+        self.pipeline_lookahead = Some(lookahead.max(1));
         self
     }
 }
@@ -400,6 +419,7 @@ pub fn simulate(cfg: &CellConfig, spec: &SimSpec, ctx: &ExecContext) -> SimRepor
         &ctx.faults,
         ctx.retry,
         spec.batch_min_parallel,
+        spec.pipeline_lookahead,
     );
     if ctx.metrics.enabled() {
         report.record_into(&ctx.metrics);
@@ -588,7 +608,9 @@ fn simulate_blocked(
     faults: &npdp_fault::FaultInjector,
     retry: npdp_fault::RetryPolicy,
     batch_min_parallel: Option<usize>,
+    pipeline: Option<usize>,
 ) -> SimReport {
+    let pipeline = pipeline.map(|l| l.max(1));
     let m = n.div_ceil(nb).max(1);
     let kernel_cycles = cfg.kernel_cycles(prec);
     let bw_per_cycle = cfg.mem_bandwidth / cfg.freq_hz;
@@ -673,6 +695,23 @@ fn simulate_blocked(
     let mut finish = vec![0.0f64; ntasks];
     let mut done = 0usize;
 
+    // Pipelined dispatch state: longest-path depth per task (the diagonal
+    // index on the block triangle), scheduled/total counts per depth for
+    // the rate-matching eligibility check, and the max finish per depth for
+    // the rate-matching gate time.
+    let depth: Vec<u32> = if pipeline.is_some() {
+        sched.graph.depths().expect("scheduling graph is a DAG")
+    } else {
+        Vec::new()
+    };
+    let ndepths = depth.iter().copied().max().map_or(0, |d| d as usize + 1);
+    let mut total_per_depth = vec![0usize; ndepths];
+    for &d in &depth {
+        total_per_depth[d as usize] += 1;
+    }
+    let mut sched_per_depth = vec![0usize; ndepths];
+    let mut depth_max_finish = vec![0.0f64; ndepths];
+
     while done < ntasks {
         match policy {
             QueuePolicy::Fifo => {
@@ -698,15 +737,82 @@ fn simulate_blocked(
                 });
             }
         }
-        let (rt, task) = ready.remove(0);
-        // Earliest-available SPE.
-        let (s, _) = spe_free
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap();
-        let start = rt.max(spe_free[s]);
-        let end = start + dur[task];
+        // Rate-matching eligibility: a task at depth `d` may only be
+        // dispatched once every depth ≤ d − lookahead is fully scheduled
+        // (so its gate time below is final). The minimal-depth ready task
+        // is always eligible — every strictly shallower task is already
+        // scheduled, else *it* would be the minimal ready one — so the scan
+        // always finds a task and the pipeline cannot deadlock.
+        let pick = match pipeline {
+            Some(l) => ready
+                .iter()
+                .position(|&(_, t)| {
+                    let d = depth[t] as usize;
+                    d < l || (0..=d - l).all(|k| sched_per_depth[k] == total_per_depth[k])
+                })
+                .expect("minimal-depth ready task is always eligible"),
+            None => 0,
+        };
+        let (rt, task) = ready.remove(pick);
+        // Rate-matching gate: depth `d` may not start until every task more
+        // than `lookahead` depths behind has completed.
+        let gate = match pipeline {
+            Some(l) => {
+                let d = depth[task] as usize;
+                if d >= l {
+                    depth_max_finish[..=d - l]
+                        .iter()
+                        .copied()
+                        .fold(0.0, f64::max)
+                } else {
+                    0.0
+                }
+            }
+            None => 0.0,
+        };
+        let arrival = rt.max(gate);
+        // Pipelined overhead hiding: the PPE may push a task's descriptor
+        // to an SPE while that SPE is still computing, but only once the
+        // task's inputs are ready — so the mailbox/dispatch roundtrip is
+        // hidden exactly when readiness *strictly* precedes the SPE's
+        // completion. An SPE already idle at arrival (including the exact
+        // producer-to-consumer handoff, where readiness and completion
+        // coincide) learns of the task at arrival and pays the roundtrip.
+        let placement = |s: usize| -> (f64, f64) {
+            if pipeline.is_some() && spe_free[s] > arrival {
+                (spe_free[s], 0.0)
+            } else {
+                (arrival.max(spe_free[s]), cfg.task_overhead_cycles)
+            }
+        };
+        // SPE selection. Plain dispatch takes the earliest-available SPE.
+        // Pipelined dispatch minimizes the task's finish under the hiding
+        // rule above: a warm SPE freeing within one roundtrip of arrival
+        // finishes the task sooner than a cold idle one, which packs the
+        // starved tail onto the SPE already streaming the operand chain
+        // instead of fanning serial work across idle SPEs — and reverts to
+        // fanning out the moment queueing delay exceeds the roundtrip.
+        let end_on = |s: usize| -> f64 {
+            let (st, oh) = placement(s);
+            st + dur[task] - (cfg.task_overhead_cycles - oh)
+        };
+        let s = if pipeline.is_some() {
+            (0..spes)
+                .min_by(|&a, &b| {
+                    end_on(a)
+                        .partial_cmp(&end_on(b))
+                        .unwrap()
+                        .then(spe_free[b].partial_cmp(&spe_free[a]).unwrap())
+                })
+                .unwrap()
+        } else {
+            (0..spes)
+                .min_by(|&a, &b| spe_free[a].partial_cmp(&spe_free[b]).unwrap())
+                .unwrap()
+        };
+        let (start, eff_overhead) = placement(s);
+        let eff_dur = dur[task] - (cfg.task_overhead_cycles - eff_overhead);
+        let end = start + eff_dur;
         if let Some(tracks) = &tracks {
             emit_task_timeline(
                 tracer,
@@ -714,15 +820,20 @@ fn simulate_blocked(
                 s,
                 task,
                 start,
-                cfg.task_overhead_cycles,
+                eff_overhead,
                 &sched.members[task],
                 &costs[task],
                 (nb * nb * prec.bytes()) as u64,
             );
         }
         spe_free[s] = end;
-        spe_busy[s] += dur[task];
+        spe_busy[s] += eff_dur;
         finish[task] = end;
+        if pipeline.is_some() {
+            let d = depth[task] as usize;
+            sched_per_depth[d] += 1;
+            depth_max_finish[d] = depth_max_finish[d].max(end);
+        }
         done += 1;
         for &succ in sched.graph.successors(task) {
             pending[succ as usize] -= 1;
@@ -1059,6 +1170,71 @@ mod tests {
         assert_eq!(batched.kernel_calls, plain.kernel_calls);
         assert_eq!(batched.dma.bytes, plain.dma.bytes);
         assert_eq!(batched.dma.commands, plain.dma.commands);
+    }
+
+    #[test]
+    fn pipelined_simulation_hides_overhead_at_the_starved_corner() {
+        // The PR 4 starved-tail corner: per-task dispatch overhead rivals
+        // block compute, so hiding it behind the previous block's compute
+        // (plus barrier-free release) must beat both the plain protocol and
+        // the batched ablation on wall time — without changing the work.
+        let cfg = CellConfig::qs20();
+        let spec = SimSpec::cellnpdp(16, 4, 1, Precision::Single, 3);
+        let ctx = ExecContext::disabled();
+        let plain = simulate(&cfg, &spec, &ctx);
+        let batched = simulate(&cfg, &spec.batched(3), &ctx);
+        let piped = simulate(&cfg, &spec.pipelined(2), &ctx);
+        assert!(
+            piped.seconds < plain.seconds,
+            "pipelined {} plain {}",
+            piped.seconds,
+            plain.seconds
+        );
+        assert!(
+            piped.seconds < batched.seconds,
+            "pipelined {} batched {}",
+            piped.seconds,
+            batched.seconds
+        );
+        assert_eq!(piped.kernel_calls, plain.kernel_calls);
+        assert_eq!(piped.dma.bytes, plain.dma.bytes);
+        assert_eq!(piped.dma.commands, plain.dma.commands);
+    }
+
+    #[test]
+    fn pipelined_lookahead_one_is_no_faster_than_deeper_windows() {
+        // lookahead = 1 is the strict diagonal barrier; widening the window
+        // can only remove gate stalls, never add them.
+        let cfg = CellConfig::qs20();
+        let spec = SimSpec::cellnpdp(512, 16, 1, Precision::Single, 8);
+        let ctx = ExecContext::disabled();
+        let mut last = f64::INFINITY;
+        for l in [1usize, 2, 4] {
+            let t = simulate(&cfg, &spec.pipelined(l), &ctx).seconds;
+            assert!(t <= last * 1.0001, "lookahead {l}: {t} > {last}");
+            last = t;
+        }
+        // lookahead 0 clamps to 1.
+        let t0 = simulate(&cfg, &spec.pipelined(0), &ctx).seconds;
+        let t1 = simulate(&cfg, &spec.pipelined(1), &ctx).seconds;
+        assert_eq!(t0, t1);
+    }
+
+    #[test]
+    fn traced_pipelined_simulation_matches_untraced() {
+        use npdp_trace::analysis::analyze;
+        let cfg = CellConfig::qs20();
+        let spec = SimSpec::cellnpdp(512, 64, 1, Precision::Single, 4).pipelined(2);
+        let plain = simulate(&cfg, &spec, &ExecContext::disabled());
+        let tracer = Tracer::new();
+        let traced = simulate(&cfg, &spec, &ExecContext::disabled().with_tracer(&tracer));
+        assert_eq!(plain.seconds, traced.seconds);
+        assert_eq!(plain.kernel_calls, traced.kernel_calls);
+        assert_eq!(plain.spe_busy_cycles, traced.spe_busy_cycles);
+        let data = tracer.snapshot();
+        assert_eq!(data.dropped(), 0);
+        let a = analyze(&data).expect("well-formed pipelined sim trace");
+        assert_eq!(a.domains[0].diagonals.len(), 8);
     }
 
     #[test]

@@ -56,6 +56,20 @@ impl ParallelEngine {
     /// (`size_of::<T>()`); it selects the SP or DP kernel profile and the
     /// working-set bound. Used by [`Engine::solve_autotuned`].
     pub fn autotune_nb(workers: usize, n: usize, elem_bytes: usize) -> usize {
+        Self::autotune_nb_for(workers, n, elem_bytes, Scheduler::CentralQueue)
+    }
+
+    /// Scheduler-aware [`Self::autotune_nb`]: the pipelined discipline
+    /// hides dispatch and amortizes the wavefront ramp/tail, which moves
+    /// the model's interior optimum (small blocks stop being punished as
+    /// hard), so [`Engine::solve_with`] under [`Tuning::Auto`] scores the
+    /// ladder with the matching [`npdp_tune::Tuner::pipelined`] shape.
+    pub fn autotune_nb_for(
+        workers: usize,
+        n: usize,
+        elem_bytes: usize,
+        scheduler: Scheduler,
+    ) -> usize {
         let workers = workers.max(1);
         let machine = npdp_tune::Machine {
             cores: workers as f64,
@@ -73,6 +87,10 @@ impl ParallelEngine {
             workers,
             npdp_tune::Calibration::host(),
         );
+        let tuner = match scheduler {
+            Scheduler::Pipelined { lookahead } => tuner.pipelined(lookahead),
+            _ => tuner,
+        };
         tuner.predicted_nb(n.max(1))
     }
 
@@ -338,7 +356,12 @@ impl<T: DpValue> Engine<T> for ParallelEngine {
     ) -> Result<(TriangularMatrix<T>, ExecStats), SolveError> {
         let engine = match ctx.tuning {
             Tuning::Auto => ParallelEngine {
-                nb: Self::autotune_nb(self.workers, seeds.n(), std::mem::size_of::<T>()),
+                nb: Self::autotune_nb_for(
+                    self.workers,
+                    seeds.n(),
+                    std::mem::size_of::<T>(),
+                    self.scheduler,
+                ),
                 ..*self
             },
             Tuning::Fixed => *self,
@@ -456,6 +479,48 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_scheduler_matches() {
+        for n in [1, 9, 33, 64, 97] {
+            for (nb, sb, workers) in [(4, 1, 2), (8, 2, 4), (8, 1, 8)] {
+                let seeds = random_seeds(n, (n * 3 + nb + sb + workers) as u64);
+                let a = SerialEngine.solve(&seeds);
+                for lookahead in [1, 2, 4] {
+                    let b = ParallelEngine::new(nb, sb, workers)
+                        .with_scheduler(Scheduler::Pipelined { lookahead })
+                        .solve(&seeds);
+                    assert_eq!(
+                        a.first_difference(&b),
+                        None,
+                        "n={n} nb={nb} sb={sb} w={workers} L={lookahead}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_autotune_is_scheduler_aware_and_legal() {
+        for n in [64usize, 1024, 4096] {
+            let nb = ParallelEngine::autotune_nb_for(8, n, 4, Scheduler::pipelined());
+            assert_eq!(nb % 4, 0, "nb = {nb}");
+            assert!(nb >= 4);
+        }
+        // The legacy entry point is the CentralQueue shape.
+        assert_eq!(
+            ParallelEngine::autotune_nb(4, 512, 4),
+            ParallelEngine::autotune_nb_for(4, 512, 4, Scheduler::CentralQueue)
+        );
+        // Autotuned pipelined solve stays bit-identical to serial.
+        let seeds = random_seeds(130, 29);
+        let expect = SerialEngine.solve(&seeds);
+        let engine = ParallelEngine::new(8, 1, 4).with_scheduler(Scheduler::pipelined());
+        let (got, _) = engine
+            .solve_with(&seeds, &ExecContext::disabled().autotuned())
+            .expect("autotuned pipelined solve");
+        assert_eq!(expect.first_difference(&got), None);
+    }
+
+    #[test]
     fn autotuned_solve_is_bit_identical_and_legal() {
         for n in [5usize, 64, 130] {
             let seeds = random_seeds(n, 11);
@@ -482,6 +547,7 @@ mod tests {
             Scheduler::CentralQueue,
             Scheduler::WorkStealing,
             Scheduler::LocalityBatched,
+            Scheduler::pipelined(),
         ] {
             let faults =
                 FaultInjector::new(FaultPlan::seeded(123).with_rate(FaultKind::TaskPanic, 0.3));

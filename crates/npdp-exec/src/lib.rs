@@ -57,6 +57,33 @@ pub enum Scheduler {
     /// and a finished task's first ready successor stays on the worker that
     /// just produced its operand blocks (`task_queue::driver`).
     LocalityBatched,
+    /// Barrier-free pipelined discipline (Matsumae/Miyazaki's GPU pipeline,
+    /// arXiv:2008.01938, mapped onto the task queue): a block becomes
+    /// claimable the instant its left and below producers complete — no
+    /// diagonal barrier, no trailing-batch merge — with rate-matching so a
+    /// producer diagonal never runs more than `lookahead` diagonals ahead of
+    /// its slowest consumer, bounding the live operand working set.
+    Pipelined {
+        /// Maximum number of diagonals a producer may run ahead of the
+        /// oldest incomplete diagonal. `1` degenerates to a strict diagonal
+        /// barrier; must be at least 1 (the driver clamps 0 up to 1).
+        lookahead: usize,
+    },
+}
+
+impl Scheduler {
+    /// Default rate-matching window for [`Scheduler::Pipelined`]: deep
+    /// enough to overlap a diagonal's ramp with its predecessor's tail,
+    /// shallow enough to keep at most three diagonals of operands live
+    /// (the double-buffering analogue at wavefront granularity).
+    pub const DEFAULT_LOOKAHEAD: usize = 2;
+
+    /// [`Scheduler::Pipelined`] with [`Scheduler::DEFAULT_LOOKAHEAD`].
+    pub fn pipelined() -> Self {
+        Self::Pipelined {
+            lookahead: Self::DEFAULT_LOOKAHEAD,
+        }
+    }
 }
 
 /// Block-size selection mode for engines that support the model-driven
@@ -208,6 +235,23 @@ mod tests {
         assert_eq!(ctx.scheduler, Scheduler::LocalityBatched);
         assert_eq!(ctx.tuning, Tuning::Auto);
         assert!(ctx.observed());
+    }
+
+    #[test]
+    fn pipelined_helper_uses_default_lookahead() {
+        assert_eq!(
+            Scheduler::pipelined(),
+            Scheduler::Pipelined {
+                lookahead: Scheduler::DEFAULT_LOOKAHEAD
+            }
+        );
+        const { assert!(Scheduler::DEFAULT_LOOKAHEAD >= 1) };
+        assert_eq!(
+            ExecContext::disabled()
+                .with_scheduler(Scheduler::pipelined())
+                .scheduler,
+            Scheduler::pipelined()
+        );
     }
 
     #[test]

@@ -161,12 +161,22 @@ pub struct DmaOverlap {
 }
 
 /// Occupancy of one wavefront diagonal `d = bj - bi`.
+///
+/// Occupancy is computed from *actual span overlap*: the busy numerator is
+/// every worker's compute time clipped to the diagonal's window, whatever
+/// diagonal that compute belongs to. Under barrier semantics only the
+/// diagonal's own blocks fall inside its window, so this matches the naive
+/// per-diagonal span sum; under the barrier-free pipelined discipline,
+/// neighbouring diagonals' blocks filling the window count as busy instead
+/// of double-counting as idle (which misreported overlapped runs as
+/// starved).
 #[derive(Debug, Clone)]
 pub struct DiagonalOccupancy {
     pub diagonal: u32,
     /// Distinct blocks with spans on this diagonal.
     pub blocks: usize,
-    /// Sum of block-span durations on this diagonal.
+    /// Union of all workers' compute spans clipped to this diagonal's
+    /// window, summed over worker tracks (see the struct docs).
     pub busy: u64,
     /// `max end - min start` over this diagonal's block spans.
     pub window: u64,
@@ -174,9 +184,10 @@ pub struct DiagonalOccupancy {
     pub occupancy: f64,
     /// Distinct worker tracks with block spans on this diagonal.
     pub active_workers: usize,
-    /// `busy / (window × active_workers)` — the duty cycle of the workers
-    /// actually running this diagonal. On starved apex diagonals this is
-    /// the discriminating number: a scheduler that spreads the few blocks
+    /// The active workers' compute (clipped to the window) over
+    /// `window × active_workers` — the duty cycle of the workers actually
+    /// running this diagonal. On starved apex diagonals this is the
+    /// discriminating number: a scheduler that spreads the few blocks
     /// across waiting workers scores low (dispatch gaps dominate the
     /// window), one that runs them dense scores high.
     pub active_occupancy: f64,
@@ -211,7 +222,9 @@ pub struct TailOccupancy {
     pub diagonals: usize,
     /// Distinct blocks across them.
     pub blocks: usize,
-    /// Sum of their block-span durations.
+    /// Union of all workers' compute spans clipped to the tail window,
+    /// summed over worker tracks (overlap-aware, like
+    /// [`DiagonalOccupancy::busy`]).
     pub busy: u64,
     /// Union length of their execution windows.
     pub window: u64,
@@ -222,6 +235,27 @@ pub struct TailOccupancy {
     /// `busy / (window × active_workers)` — see
     /// [`DiagonalOccupancy::active_occupancy`].
     pub active_occupancy: f64,
+}
+
+/// Attribution of the barrier-free pipelined schedule: how much successive
+/// diagonals actually overlapped in time, and the high-water mark of
+/// simultaneously live blocks — the operand working set the rate-matching
+/// lookahead window exists to bound.
+#[derive(Debug, Clone)]
+pub struct PipelineView {
+    /// Per diagonal `d ≥ 1` (paired with diagonal `d − 1`):
+    /// `|window(d) ∩ window(d−1)| / |window(d)|`. Zero under strict barrier
+    /// stepping; approaches 1 as diagonal `d` runs entirely inside its
+    /// predecessor's window.
+    pub overlaps: Vec<(u32, f64)>,
+    /// Mean of the per-diagonal overlap ratios (0 with fewer than two
+    /// diagonals).
+    pub mean_overlap: f64,
+    /// Maximum number of simultaneously live blocks. A block is live from
+    /// its first compute span until both its own spans and its consumers'
+    /// (`(bi−1, bj)` above, `(bi, bj+1)` right) last spans end — the
+    /// residency interval of its operand buffer.
+    pub live_block_hwm: usize,
 }
 
 /// Everything derived for one clock domain.
@@ -236,6 +270,8 @@ pub struct DomainAnalysis {
     /// Aggregate over the starved diagonals (`blocks < worker tracks`),
     /// when any exist.
     pub tail: Option<TailOccupancy>,
+    /// Diagonal-overlap attribution; present whenever block spans exist.
+    pub pipeline: Option<PipelineView>,
     pub critical_path: Option<CriticalPath>,
 }
 
@@ -298,6 +334,9 @@ fn analyze_domain(data: &TraceData, all: &[Span], domain: TimeDomain) -> DomainA
     // Per-worker busy/idle and per-group compute unions (for DMA overlap).
     let mut workers = Vec::new();
     let mut group_compute: BTreeMap<u32, Vec<(u64, u64)>> = BTreeMap::new();
+    // Per-track compute unions, kept for the overlap-aware diagonal and
+    // tail occupancies below.
+    let mut track_compute: BTreeMap<usize, Vec<(u64, u64)>> = BTreeMap::new();
     let mut worker_tracks = 0usize;
     for (ti, track) in data.tracks.iter().enumerate() {
         if track.domain != domain || track.kind != TrackKind::Worker {
@@ -314,6 +353,7 @@ fn analyze_domain(data: &TraceData, all: &[Span], domain: TimeDomain) -> DomainA
             .entry(track.group)
             .or_default()
             .extend(busy_iv.iter().copied());
+        track_compute.insert(ti, busy_iv.clone());
         let busy = total(&busy_iv);
         let idle_recorded = total(&union(
             mine.iter()
@@ -374,13 +414,24 @@ fn analyze_domain(data: &TraceData, all: &[Span], domain: TimeDomain) -> DomainA
         bytes,
     });
 
-    // Per-diagonal wavefront occupancy over block spans.
+    // Per-diagonal wavefront occupancy over block spans, overlap-aware:
+    // busy is every worker's compute clipped to the diagonal's window, so
+    // overlapped neighbouring diagonals count as busy rather than idle.
     let mut per_diag: BTreeMap<u32, Vec<&&Span>> = BTreeMap::new();
     for s in &spans {
         if let EventKind::Block { bi, bj } = s.kind {
             per_diag.entry(bj - bi).or_default().push(s);
         }
     }
+    let clipped = |tracks: &[usize], win: &[(u64, u64)]| -> u64 {
+        tracks
+            .iter()
+            .filter_map(|t| track_compute.get(t))
+            .map(|iv| intersect_len(iv, win))
+            .sum()
+    };
+    let all_tracks: Vec<usize> = track_compute.keys().copied().collect();
+    let mut diag_window: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
     let diagonals: Vec<DiagonalOccupancy> = per_diag
         .iter()
         .map(|(&d, ss)| {
@@ -389,7 +440,7 @@ fn analyze_domain(data: &TraceData, all: &[Span], domain: TimeDomain) -> DomainA
             // bounds instead of unwrapping.
             let lo = ss.iter().map(|s| s.start).min().unwrap_or(0);
             let hi = ss.iter().map(|s| s.end).max().unwrap_or(lo);
-            let busy: u64 = ss.iter().map(|s| s.duration()).sum();
+            diag_window.insert(d, (lo, hi));
             let mut ids: Vec<(u32, u32)> = ss
                 .iter()
                 .map(|s| match s.kind {
@@ -402,6 +453,9 @@ fn analyze_domain(data: &TraceData, all: &[Span], domain: TimeDomain) -> DomainA
             let mut active: Vec<usize> = ss.iter().map(|s| s.track).collect();
             active.sort_unstable();
             active.dedup();
+            let win = [(lo, hi)];
+            let busy = clipped(&all_tracks, &win);
+            let active_busy = clipped(&active, &win);
             DiagonalOccupancy {
                 diagonal: d,
                 blocks: ids.len(),
@@ -409,7 +463,7 @@ fn analyze_domain(data: &TraceData, all: &[Span], domain: TimeDomain) -> DomainA
                 window: hi - lo,
                 occupancy: ratio(busy, (hi - lo) * worker_tracks as u64),
                 active_workers: active.len(),
-                active_occupancy: ratio(busy, (hi - lo) * active.len() as u64),
+                active_occupancy: ratio(active_busy, (hi - lo) * active.len() as u64),
             }
         })
         .collect();
@@ -430,8 +484,10 @@ fn analyze_domain(data: &TraceData, all: &[Span], domain: TimeDomain) -> DomainA
         }
         active.sort_unstable();
         active.dedup();
-        let busy: u64 = starved.iter().map(|o| o.busy).sum();
-        let window = total(&union(windows));
+        let win = union(windows);
+        let busy = clipped(&all_tracks, &win);
+        let active_busy = clipped(&active, &win);
+        let window = total(&win);
         TailOccupancy {
             diagonals: starved.len(),
             blocks: starved.iter().map(|o| o.blocks).sum(),
@@ -439,7 +495,7 @@ fn analyze_domain(data: &TraceData, all: &[Span], domain: TimeDomain) -> DomainA
             window,
             occupancy: ratio(busy, window * worker_tracks as u64),
             active_workers: active.len(),
-            active_occupancy: ratio(busy, window * active.len() as u64),
+            active_occupancy: ratio(active_busy, window * active.len() as u64),
         }
     });
 
@@ -450,8 +506,75 @@ fn analyze_domain(data: &TraceData, all: &[Span], domain: TimeDomain) -> DomainA
         dma,
         diagonals,
         tail,
+        pipeline: pipeline_view(&spans, &diag_window),
         critical_path: critical_path(&spans, window_len),
     }
+}
+
+/// Derive the [`PipelineView`] from the block spans: per-diagonal window
+/// overlap with the predecessor diagonal, and the live-block high-water
+/// mark from a sweep over block residency intervals (first compute span →
+/// last end among the block itself and its consumers `(bi−1, bj)` and
+/// `(bi, bj+1)`).
+fn pipeline_view(spans: &[&Span], diag_window: &BTreeMap<u32, (u64, u64)>) -> Option<PipelineView> {
+    let mut block_span: BTreeMap<(u32, u32), (u64, u64)> = BTreeMap::new();
+    for s in spans {
+        if let EventKind::Block { bi, bj } = s.kind {
+            let e = block_span.entry((bi, bj)).or_insert((s.start, s.end));
+            e.0 = e.0.min(s.start);
+            e.1 = e.1.max(s.end);
+        }
+    }
+    if block_span.is_empty() {
+        return None;
+    }
+
+    let mut overlaps = Vec::new();
+    for (&d, &(lo, hi)) in diag_window {
+        if d == 0 {
+            continue;
+        }
+        if let Some(&(plo, phi)) = diag_window.get(&(d - 1)) {
+            let inter = hi.min(phi).saturating_sub(lo.max(plo));
+            overlaps.push((d, ratio(inter, hi - lo)));
+        }
+    }
+    let mean_overlap = if overlaps.is_empty() {
+        0.0
+    } else {
+        overlaps.iter().map(|&(_, r)| r).sum::<f64>() / overlaps.len() as f64
+    };
+
+    // Residency sweep: +1 at first compute, −1 once the block and both
+    // consumers are done with it (ends sort before starts at equal times,
+    // so back-to-back residencies don't inflate the mark).
+    let mut events: Vec<(u64, i32)> = Vec::new();
+    for (&(bi, bj), &(start, end)) in &block_span {
+        let mut live_end = end;
+        if bi > 0 {
+            if let Some(&(_, e)) = block_span.get(&(bi - 1, bj)) {
+                live_end = live_end.max(e);
+            }
+        }
+        if let Some(&(_, e)) = block_span.get(&(bi, bj + 1)) {
+            live_end = live_end.max(e);
+        }
+        events.push((start, 1));
+        events.push((live_end, -1));
+    }
+    events.sort_unstable();
+    let mut live = 0i64;
+    let mut hwm = 0i64;
+    for (_, delta) in events {
+        live += delta as i64;
+        hwm = hwm.max(live);
+    }
+
+    Some(PipelineView {
+        overlaps,
+        mean_overlap,
+        live_block_hwm: hwm as usize,
+    })
 }
 
 /// Longest duration-weighted chain through the recorded blocks, following the
@@ -568,6 +691,10 @@ pub struct DomainDiff {
     /// Starved-tail occupancy normalised by the workers that actually ran
     /// tail blocks — the duty cycle of the participating workers.
     pub tail_active_occupancy: (f64, f64),
+    /// Mean diagonal-window overlap (0 when a side recorded no blocks).
+    pub pipeline_overlap: (f64, f64),
+    /// Live-block high-water mark (0 when a side recorded no blocks).
+    pub live_block_hwm: (usize, usize),
     /// Per-diagonal occupancy for diagonals present on both sides.
     pub diagonals: Vec<(u32, f64, f64)>,
 }
@@ -591,6 +718,8 @@ pub fn diff_analyses(a: &TraceAnalysis, b: &TraceAnalysis) -> Vec<DomainDiff> {
         let slack = |d: &DomainAnalysis| d.critical_path.as_ref().map_or(0, |cp| cp.slack);
         let tail = |d: &DomainAnalysis| d.tail.as_ref().map_or(0.0, |t| t.occupancy);
         let tail_active = |d: &DomainAnalysis| d.tail.as_ref().map_or(0.0, |t| t.active_occupancy);
+        let overlap = |d: &DomainAnalysis| d.pipeline.as_ref().map_or(0.0, |p| p.mean_overlap);
+        let hwm = |d: &DomainAnalysis| d.pipeline.as_ref().map_or(0, |p| p.live_block_hwm);
         let mut diagonals = Vec::new();
         for oa in &da.diagonals {
             if let Some(ob) = db.diagonals.iter().find(|o| o.diagonal == oa.diagonal) {
@@ -604,6 +733,8 @@ pub fn diff_analyses(a: &TraceAnalysis, b: &TraceAnalysis) -> Vec<DomainDiff> {
             slack: (slack(da), slack(db)),
             tail_occupancy: (tail(da), tail(db)),
             tail_active_occupancy: (tail_active(da), tail_active(db)),
+            pipeline_overlap: (overlap(da), overlap(db)),
+            live_block_hwm: (hwm(da), hwm(db)),
             diagonals,
         });
     }
@@ -622,6 +753,11 @@ impl DomainDiff {
         v.set("critical_path_slack", pair(self.slack));
         v.set("tail_occupancy", fpair(self.tail_occupancy));
         v.set("tail_active_occupancy", fpair(self.tail_active_occupancy));
+        v.set("pipeline_overlap", fpair(self.pipeline_overlap));
+        v.set(
+            "live_block_hwm",
+            pair((self.live_block_hwm.0 as u64, self.live_block_hwm.1 as u64)),
+        );
         let mut ds = Vec::new();
         for &(d, oa, ob) in &self.diagonals {
             let mut dv = Value::object();
@@ -650,6 +786,14 @@ impl fmt::Display for DomainDiff {
             100.0 * self.tail_occupancy.1,
             100.0 * self.tail_active_occupancy.0,
             100.0 * self.tail_active_occupancy.1,
+        )?;
+        writeln!(
+            f,
+            "  pipeline overlap {:.1}% -> {:.1}%, live-block hwm {} -> {}",
+            100.0 * self.pipeline_overlap.0,
+            100.0 * self.pipeline_overlap.1,
+            self.live_block_hwm.0,
+            self.live_block_hwm.1,
         )?;
         for &(d, oa, ob) in &self.diagonals {
             writeln!(f, "  d{d}: {:.1}% -> {:.1}%", 100.0 * oa, 100.0 * ob)?;
@@ -713,6 +857,20 @@ impl TraceAnalysis {
                 tv.set("active_workers", t.active_workers);
                 tv.set("active_occupancy", t.active_occupancy);
                 dv.set("tail", tv);
+            }
+            if let Some(p) = &d.pipeline {
+                let mut pv = Value::object();
+                pv.set("mean_overlap", p.mean_overlap);
+                pv.set("live_block_hwm", p.live_block_hwm);
+                let mut os = Vec::new();
+                for &(diag, r) in &p.overlaps {
+                    let mut ov = Value::object();
+                    ov.set("diagonal", diag);
+                    ov.set("overlap", r);
+                    os.push(ov);
+                }
+                pv.set("overlaps", Value::Array(os));
+                dv.set("pipeline", pv);
             }
             if let Some(cp) = &d.critical_path {
                 let mut cv = Value::object();
@@ -812,6 +970,14 @@ impl fmt::Display for TraceAnalysis {
                     ms(t.window),
                 )?;
             }
+            if let Some(p) = &d.pipeline {
+                writeln!(
+                    f,
+                    "    pipeline: mean diagonal overlap {:.1}%, live-block high-water mark {}",
+                    100.0 * p.mean_overlap,
+                    p.live_block_hwm,
+                )?;
+            }
             if let Some(cp) = &d.critical_path {
                 writeln!(
                     f,
@@ -904,6 +1070,85 @@ mod tests {
         assert_eq!(d.diagonals[1].diagonal, 1);
         assert_eq!(d.diagonals[1].blocks, 1);
         assert!((d.diagonals[1].occupancy - 0.5).abs() < 1e-12);
+    }
+
+    /// A hand-built *pipelined* trace: diagonal 1 starts while diagonal 0
+    /// is still running, so the diagonals' windows overlap.
+    ///
+    /// ```text
+    /// spe0: block (0,0) [0,100)   block (0,1) [100,200)
+    /// spe1: block (1,1) [0,120)
+    /// ```
+    fn overlapped_trace() -> TraceData {
+        let t = Tracer::new();
+        let spe0 = t.register(TrackDesc::worker("spe0", 0).in_domain(TimeDomain::Ticks));
+        let spe1 = t.register(TrackDesc::worker("spe1", 1).in_domain(TimeDomain::Ticks));
+        let b = |bi, bj| EventKind::Block { bi, bj };
+        t.begin_at(spe0, 0, b(0, 0));
+        t.end_at(spe0, 100, b(0, 0));
+        t.begin_at(spe0, 100, b(0, 1));
+        t.end_at(spe0, 200, b(0, 1));
+        t.begin_at(spe1, 0, b(1, 1));
+        t.end_at(spe1, 120, b(1, 1));
+        t.snapshot()
+    }
+
+    #[test]
+    fn overlapped_diagonals_do_not_double_count_as_idle() {
+        // The barrier-semantics bug: bucketing spans by diagonal charged
+        // diagonal 0's window [0,120) for the 20 ticks spe0 spent on block
+        // (0,1) — compute time reported as idle (occupancy 220/240), and
+        // again charged diagonal 1's window for spe1's (1,1) tail. The
+        // overlap-aware metric counts machine compute inside each window.
+        let a = analyze(&overlapped_trace()).unwrap();
+        let d = &a.domains[0];
+        assert_eq!(d.diagonals.len(), 2);
+        // d=0 window [0,120): spe0 compute [0,120) = 120, spe1 [0,120) =
+        // 120 → fully busy.
+        assert_eq!(d.diagonals[0].window, 120);
+        assert_eq!(d.diagonals[0].busy, 240);
+        assert!((d.diagonals[0].occupancy - 1.0).abs() < 1e-12);
+        // d=1 window [100,200): spe0 contributes 100, spe1 [100,120) = 20.
+        assert_eq!(d.diagonals[1].busy, 120);
+        assert!((d.diagonals[1].occupancy - 120.0 / 200.0).abs() < 1e-12);
+        // Active occupancy only charges the tracks that ran the diagonal:
+        // spe0 ran (0,1) back-to-back with (0,0) → perfect duty.
+        assert_eq!(d.diagonals[1].active_workers, 1);
+        assert!((d.diagonals[1].active_occupancy - 1.0).abs() < 1e-12);
+        // The starved tail (d=1, one block on a two-worker domain) sees the
+        // same overlap-aware duty cycle.
+        let t = d.tail.as_ref().unwrap();
+        assert_eq!(t.busy, 120);
+        assert!((t.active_occupancy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pipeline_view_measures_overlap_and_live_blocks() {
+        let a = analyze(&overlapped_trace()).unwrap();
+        let p = a.domains[0].pipeline.as_ref().unwrap();
+        // window(1) = [100,200), window(0) = [0,120): overlap 20 of 100.
+        assert_eq!(p.overlaps.len(), 1);
+        assert_eq!(p.overlaps[0].0, 1);
+        assert!((p.overlaps[0].1 - 0.2).abs() < 1e-12);
+        assert!((p.mean_overlap - 0.2).abs() < 1e-12);
+        // Residency: (0,0) live [0,200) (consumer (0,1) ends at 200),
+        // (1,1) live [0,200) (consumer (0,1)), (0,1) live [100,200) — all
+        // three live during [100,200).
+        assert_eq!(p.live_block_hwm, 3);
+    }
+
+    #[test]
+    fn barrier_trace_pipeline_view_shows_no_overlap() {
+        let a = analyze(&two_spe_trace()).unwrap();
+        let p = a.domains[0].pipeline.as_ref().unwrap();
+        // two_spe_trace steps diagonals with a barrier: window(1) =
+        // [150,350) starts when window(0) = [0,150) ends.
+        assert!((p.mean_overlap - 0.0).abs() < 1e-12);
+        // (0,0) and (1,1) stay live for their consumer (0,1): all three
+        // blocks are live during [150,350).
+        assert_eq!(p.live_block_hwm, 3);
+        let text = a.to_string();
+        assert!(text.contains("live-block high-water mark 3"), "{text}");
     }
 
     #[test]

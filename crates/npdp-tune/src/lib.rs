@@ -116,9 +116,20 @@ pub struct Tuner {
     pub workers: usize,
     /// Measured correction terms.
     pub calibration: Calibration,
+    /// Rate-matching window of the barrier-free pipelined schedule, or
+    /// `None` for the wavefront/batched shape. Set via [`Tuner::pipelined`];
+    /// see [`Tuner::predict_seconds`] for how it reshapes the loss terms.
+    pub pipeline_lookahead: Option<usize>,
 }
 
 impl Tuner {
+    /// Fraction of the per-task dispatch cost left exposed under the
+    /// pipelined discipline: with barrier-free release the driver hands the
+    /// next block's descriptor to an SPE while the previous block is still
+    /// computing, so all but the pipeline fill/drain of the
+    /// `m(m+1)/2 · task_overhead / w` term hides behind compute.
+    pub const PIPELINE_EXPOSED_OVERHEAD: f64 = 0.1;
+
     /// Tuner over `machine`/`kernel` with `elem_bytes`-wide DP cells,
     /// running on `workers` cores.
     pub fn new(
@@ -133,7 +144,15 @@ impl Tuner {
             model: PerfModel::new(machine, kernel, elem_bytes),
             workers,
             calibration,
+            pipeline_lookahead: None,
         }
+    }
+
+    /// Predict for the barrier-free pipelined schedule with the given
+    /// rate-matching window (clamped up to 1, matching the driver).
+    pub fn pipelined(mut self, lookahead: usize) -> Self {
+        self.pipeline_lookahead = Some(lookahead.max(1));
+        self
     }
 
     /// Largest admissible block side: the §V six-buffer local-store bound,
@@ -169,6 +188,17 @@ impl Tuner {
     ///   the dominant one only to the measured `overlap` fraction;
     ///
     /// plus the `m(m+1)/2 · task_overhead / w` dispatch term.
+    ///
+    /// When [`Tuner::pipelined`] set a rate-matching window `L`, two of the
+    /// loss terms reshape to the barrier-free schedule:
+    ///
+    /// * the **ramp/tail** addend shrinks by `1/min(L, m)` — diagonal `d+1`
+    ///   starts filling while diagonal `d` drains, so only every `L`-th
+    ///   ramp/tail is exposed instead of every one;
+    /// * the **dispatch** term shrinks to
+    ///   [`Tuner::PIPELINE_EXPOSED_OVERHEAD`] of its wavefront value —
+    ///   descriptors for in-window blocks prefetch during the previous
+    ///   block's compute, leaving only fill/drain exposed.
     pub fn predict_seconds(&self, n: usize, nb: usize) -> f64 {
         assert!(nb >= 4, "block side below the computing-block size");
         let w = self.workers as f64;
@@ -178,9 +208,15 @@ impl Tuner {
         // model's full core count; rescale to one core).
         let tc1 = self.model.compute_time(n_pad) * self.model.machine.cores;
         // Achievable parallelism: the m/3 critical-path bound, discounted
-        // by the wavefront's ramp/tail (3·T1·w/m² of extra schedule).
+        // by the wavefront's ramp/tail (3·T1·w/m² of extra schedule). The
+        // pipelined shape overlaps L successive diagonals, so only one
+        // ramp/tail in L stays exposed.
+        let ramp_share = match self.pipeline_lookahead {
+            Some(l) => 1.0 / (l as f64).min(m).max(1.0),
+            None => 1.0,
+        };
         let p_bound = extensions::parallel_speedup_bound(n_pad, nb as f64, w).max(1.0);
-        let p_eff = 1.0 / (1.0 / p_bound + 3.0 * w / (m * m));
+        let p_eff = 1.0 / (1.0 / p_bound + ramp_share * 3.0 * w / (m * m));
         let tc = tc1 / p_eff.max(1.0);
         // Aggregate-bandwidth time and per-command issue time (DMA engines
         // are per-core, so issue cost parallelizes across workers).
@@ -190,7 +226,12 @@ impl Tuner {
         let hidden = tc + tm + ts - dominant;
         let o = self.calibration.overlap.clamp(0.0, 1.0);
         let tasks = m * (m + 1.0) / 2.0;
-        let overhead = tasks * self.calibration.task_overhead_s / w;
+        let exposed = if self.pipeline_lookahead.is_some() {
+            Self::PIPELINE_EXPOSED_OVERHEAD
+        } else {
+            1.0
+        };
+        let overhead = exposed * tasks * self.calibration.task_overhead_s / w;
         dominant + (1.0 - o) * hidden + overhead
     }
 
@@ -424,6 +465,53 @@ mod tests {
         let t4 = t.predict_seconds(4096, 4);
         let t64 = t.predict_seconds(4096, 64);
         assert!(t4 > 2.0 * t64, "4 → {t4}, 64 → {t64}");
+    }
+
+    #[test]
+    fn pipelined_predictions_never_exceed_wavefront() {
+        // The pipelined shape only removes exposed loss (ramp/tail share,
+        // dispatch fill/drain); it must never predict slower than the
+        // wavefront at the same (n, nb), and must strictly win where
+        // overhead or ramp/tail dominates.
+        let wave = qs20_sp(16);
+        let pipe = qs20_sp(16).pipelined(2);
+        for n in [64usize, 256, 1024, 4096] {
+            for nb in FIG13_SIDES {
+                let tw = wave.predict_seconds(n, nb);
+                let tp = pipe.predict_seconds(n, nb);
+                assert!(tp <= tw, "n={n} nb={nb}: pipelined {tp} > wavefront {tw}");
+            }
+        }
+        // At a genuinely overhead-dominated corner (free DMA issue, heavy
+        // per-task dispatch — the PR 4 starved-tail regime) hiding dispatch
+        // behind compute shrinks the prediction substantially.
+        let heavy = Calibration {
+            task_overhead_s: 1e-4,
+            dma_startup_s: 0.0,
+            overlap: 1.0,
+        };
+        let wave = Tuner::new(Machine::qs20(), Kernel::spu_sp(), 4, 16, heavy);
+        let pipe = wave.clone().pipelined(2);
+        let tw = wave.predict_seconds(4096, 4);
+        let tp = pipe.predict_seconds(4096, 4);
+        assert!(tp < 0.6 * tw, "corner: pipelined {tp} vs wavefront {tw}");
+    }
+
+    #[test]
+    fn pipelined_lookahead_clamps_and_deepens_monotonically() {
+        // lookahead 0 clamps to 1 (the strict-barrier degenerate case)...
+        let l0 = qs20_sp(16).pipelined(0);
+        let l1 = qs20_sp(16).pipelined(1);
+        assert_eq!(l0.pipeline_lookahead, Some(1));
+        assert_eq!(l0.predict_seconds(1024, 16), l1.predict_seconds(1024, 16));
+        // ...and a deeper window exposes no more ramp/tail than a shallow
+        // one (monotone non-increasing in L).
+        let mut prev = f64::INFINITY;
+        for l in 1..=8 {
+            let s = qs20_sp(16).pipelined(l).predict_seconds(1024, 16);
+            assert!(s <= prev, "L={l}: {s} > {prev}");
+            prev = s;
+        }
     }
 
     #[test]

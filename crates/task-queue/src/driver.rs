@@ -24,6 +24,18 @@
 //!   finishing worker's deque, the rest go global, and pickups are scored
 //!   as `queue.affinity_hits` / `queue.affinity_misses` against the worker
 //!   that produced their operands.
+//! * [`Scheduler::Pipelined`] — depth-bucketed dataflow release with a
+//!   bounded lookahead window (no diagonal barrier, no trailing-batch
+//!   merge); non-root insertions count `queue.ready_pushes`, each fully
+//!   retired depth counts `queue.frontier_advances`, and a claim round
+//!   that found work only beyond the rate-matching window counts
+//!   `queue.lookahead_stalls`.
+//!
+//! Abort protocol: the first terminal task failure wins the error slot and
+//! raises the abort flag; every worker re-checks the flag **after** each
+//! claim (a claim can race the abort store) and before each retry requeue,
+//! so no task body starts once abort is observed — surrendered claims
+//! count `queue.aborted_claims`.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
@@ -82,6 +94,11 @@ trait Discipline: Sync {
     /// Requeue a failed task for retry on the same worker (uncounted here;
     /// the loop already counted `queue.task_retries`).
     fn retry(&self, w: usize, local: &Self::Local, t: u32);
+
+    /// Called once after a task's body succeeds and its successors have
+    /// been notified (completion bookkeeping; the pipelined discipline
+    /// advances its rate-matching frontier here).
+    fn completed(&self, _t: u32, _metrics: &Metrics) {}
 }
 
 /// The paper's PPE model: one shared lock-free FIFO.
@@ -202,6 +219,113 @@ impl Discipline for Deques {
     }
 }
 
+/// Barrier-free pipelined discipline ([`Scheduler::Pipelined`]): ready
+/// tasks are bucketed by their longest-path depth (the diagonal index on
+/// the triangular grid) and released the instant their predecessors
+/// complete, with rate-matching between producer and consumer diagonals. A
+/// task of depth `d` is claimable only while `d < frontier + lookahead`,
+/// where `frontier` is the oldest incomplete depth; claims scan buckets
+/// oldest-first, so consumer diagonals drain before producers sprint ahead
+/// and at most `lookahead + 1` diagonals of operand blocks are ever live.
+/// `lookahead == 1` degenerates to a strict diagonal barrier.
+struct Pipelined {
+    /// Ready tasks bucketed by depth.
+    buckets: Vec<SegQueue<u32>>,
+    /// Longest-path depth of every task.
+    depth: Vec<u32>,
+    /// Task count per depth.
+    total: Vec<u32>,
+    /// Completed-task count per depth.
+    done: Vec<AtomicU32>,
+    /// Oldest depth not yet fully completed.
+    frontier: AtomicUsize,
+    /// Rate-matching window (≥ 1).
+    lookahead: usize,
+}
+
+impl Pipelined {
+    fn new(graph: &TaskGraph, lookahead: usize) -> Self {
+        let depth = graph.depths().expect("task graph has a cycle");
+        let levels = depth.iter().map(|&d| d as usize + 1).max().unwrap_or(0);
+        let mut total = vec![0u32; levels];
+        for &d in &depth {
+            total[d as usize] += 1;
+        }
+        Self {
+            buckets: (0..levels).map(|_| SegQueue::new()).collect(),
+            depth,
+            total,
+            done: (0..levels).map(|_| AtomicU32::new(0)).collect(),
+            frontier: AtomicUsize::new(0),
+            lookahead: lookahead.max(1),
+        }
+    }
+}
+
+impl Discipline for Pipelined {
+    type Local = ();
+
+    fn next(
+        &self,
+        _w: usize,
+        _local: &(),
+        metrics: &Metrics,
+        _tracer: &Tracer,
+        _track: Track,
+    ) -> Option<u32> {
+        // A stale (low) frontier read only narrows the window — the scan
+        // then finds nothing in already-drained buckets and the next round
+        // reloads a fresh value. Progress is guaranteed because a task on
+        // the frontier depth is always inside the window.
+        let f = self.frontier.load(Ordering::Acquire);
+        let hi = (f + self.lookahead).min(self.buckets.len());
+        for bucket in &self.buckets[f..hi] {
+            if let Some(t) = bucket.pop() {
+                return Some(t);
+            }
+        }
+        // Work beyond the window means the rate-matcher is holding a
+        // producer diagonal back for its slowest consumer.
+        if metrics.enabled() && self.buckets[hi..].iter().any(|b| !b.is_empty()) {
+            metrics.add("queue.lookahead_stalls", 1);
+        }
+        None
+    }
+
+    fn ready(&self, _w: usize, _local: &(), t: u32, _first: bool, metrics: &Metrics) {
+        self.buckets[self.depth[t as usize] as usize].push(t);
+        metrics.add("queue.ready_pushes", 1);
+    }
+
+    fn retry(&self, _w: usize, _local: &(), t: u32) {
+        self.buckets[self.depth[t as usize] as usize].push(t);
+    }
+
+    fn completed(&self, t: u32, metrics: &Metrics) {
+        let d = self.depth[t as usize] as usize;
+        if self.done[d].fetch_add(1, Ordering::AcqRel) + 1 < self.total[d] {
+            return;
+        }
+        // This completion retired depth `d`; roll the frontier forward over
+        // every fully-completed depth. The CAS makes each single-step
+        // advance happen exactly once globally, so `queue.frontier_advances`
+        // totals the number of depths deterministically.
+        let mut f = self.frontier.load(Ordering::Acquire);
+        while f < self.total.len() && self.done[f].load(Ordering::Acquire) >= self.total[f] {
+            match self
+                .frontier
+                .compare_exchange(f, f + 1, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => {
+                    metrics.add("queue.frontier_advances", 1);
+                    f += 1;
+                }
+                Err(cur) => f = cur,
+            }
+        }
+    }
+}
+
 /// Execute every task of `graph` exactly once, respecting dependences, on
 /// `workers` threads, under the policies of `ctx`: the ready-set discipline
 /// comes from [`ExecContext::scheduler`], counters go to
@@ -257,6 +381,16 @@ where
                 .record_max("queue.depth_hwm", ready.len() as u64);
             let locals = std::iter::repeat_with(|| ()).take(workers).collect();
             drive(graph, workers, ctx, &Central { ready }, locals, task)
+        }
+        Scheduler::Pipelined { lookahead } => {
+            let pipelined = Pipelined::new(graph, lookahead);
+            // Roots all sit at depth 0 and enter uncounted, matching the
+            // stealing vocabulary (`queue.ready_pushes` excludes roots).
+            for t in graph.roots() {
+                pipelined.buckets[0].push(t as u32);
+            }
+            let locals = std::iter::repeat_with(|| ()).take(workers).collect();
+            drive(graph, workers, ctx, &pipelined, locals, task)
         }
         sched => {
             let injector = Injector::new();
@@ -336,6 +470,17 @@ where
                     match discipline.next(w, &local, metrics, tracer, track) {
                         Some(t) => {
                             backoff.reset();
+                            // Re-check the abort flag after the claim: the
+                            // claim can race another worker's terminal
+                            // failure (the flag was clear at the loop top),
+                            // and no task body may start once abort is
+                            // observed. The claim is surrendered, not
+                            // requeued — the run is returning Err and every
+                            // ready queue dies with it.
+                            if aborted.load(Ordering::Acquire) {
+                                metrics.add("queue.aborted_claims", 1);
+                                break;
+                            }
                             discipline.claimed(w, t, metrics);
                             let attempt = attempts[t as usize].load(Ordering::Relaxed);
                             tracer.begin(track, EventKind::Task { id: t });
@@ -366,6 +511,7 @@ where
                                             first = false;
                                         }
                                     }
+                                    discipline.completed(t, metrics);
                                     remaining.fetch_sub(1, Ordering::Release);
                                 }
                                 Err(payload) => {
@@ -380,14 +526,31 @@ where
                                     let made =
                                         attempts[t as usize].fetch_add(1, Ordering::Relaxed) + 1;
                                     if made < retry.max_attempts {
+                                        // A retry consults the abort flag
+                                        // before requeueing: handing the
+                                        // task back to a dying run could
+                                        // let a worker that has not yet
+                                        // observed the flag start its body.
+                                        if aborted.load(Ordering::Acquire) {
+                                            metrics.add("queue.aborted_claims", 1);
+                                            break;
+                                        }
                                         metrics.add("queue.task_retries", 1);
                                         discipline.retry(w, &local, t);
                                     } else {
-                                        *failure.lock().unwrap() = Some(ExecError::TaskPanicked {
-                                            task: t as usize,
-                                            attempts: made,
-                                            message: panic_message(payload),
-                                        });
+                                        // First terminal failure wins the
+                                        // slot; a concurrent exhaustion on
+                                        // another worker must not replace
+                                        // the error the caller sees.
+                                        let mut slot = failure.lock().unwrap();
+                                        if slot.is_none() {
+                                            *slot = Some(ExecError::TaskPanicked {
+                                                task: t as usize,
+                                                attempts: made,
+                                                message: panic_message(payload),
+                                            });
+                                        }
+                                        drop(slot);
                                         aborted.store(true, Ordering::Release);
                                         break;
                                     }
@@ -437,6 +600,7 @@ mod tests {
             Scheduler::CentralQueue,
             Scheduler::WorkStealing,
             Scheduler::LocalityBatched,
+            Scheduler::pipelined(),
         ] {
             let g = triangle_graph(10);
             let hits: Vec<AtomicU32> = (0..g.len()).map(|_| AtomicU32::new(0)).collect();
@@ -463,6 +627,7 @@ mod tests {
             Scheduler::CentralQueue,
             Scheduler::WorkStealing,
             Scheduler::LocalityBatched,
+            Scheduler::pipelined(),
         ] {
             let g = TaskGraph::new(0);
             let ctx = ExecContext::disabled().with_scheduler(sched);
@@ -517,6 +682,7 @@ mod tests {
             Scheduler::CentralQueue,
             Scheduler::WorkStealing,
             Scheduler::LocalityBatched,
+            Scheduler::pipelined(),
         ] {
             let g = triangle_graph(6);
             let faults =
@@ -570,5 +736,169 @@ mod tests {
         let ExecError::TaskPanicked { task, attempts, .. } = err;
         assert_eq!(task, 2);
         assert_eq!(attempts, RetryPolicy::DEFAULT.max_attempts);
+    }
+
+    #[test]
+    fn pipelined_metric_vocabulary() {
+        let g = triangle_graph(8);
+        let (metrics, recorder) = Metrics::recording();
+        let ctx = ExecContext::disabled()
+            .with_metrics(&metrics)
+            .with_scheduler(Scheduler::pipelined());
+        run(&g, 4, &ctx, |_| std::thread::yield_now()).unwrap();
+        let roots = g.roots().count();
+        // Roots enter uncounted (stealing vocabulary); every other task is
+        // pushed exactly once.
+        assert_eq!(recorder.get("queue.ready_pushes"), (g.len() - roots) as u64);
+        // Each of the 8 diagonals retires exactly once, CAS-deduplicated.
+        assert_eq!(recorder.get("queue.frontier_advances"), 8);
+        assert_eq!(recorder.get("queue.tasks_executed"), g.len() as u64);
+    }
+
+    #[test]
+    fn pipelined_lookahead_one_is_a_strict_diagonal_barrier() {
+        // With `lookahead == 1` a depth-d task is claimable only once every
+        // earlier depth fully completed, so each body can assert that all
+        // blocks on earlier diagonals finished before it started. (Flags are
+        // set at the end of each body, which happens-before the frontier
+        // advance that releases the next diagonal.)
+        let m = 8;
+        let grid = crate::triangle::TriangleGrid::new(m);
+        let g = triangle_graph(m);
+        let done: Vec<AtomicBool> = (0..g.len()).map(|_| AtomicBool::new(false)).collect();
+        let ctx = ExecContext::disabled().with_scheduler(Scheduler::Pipelined { lookahead: 1 });
+        run(&g, 4, &ctx, |t| {
+            let (r, c) = grid.coords(t);
+            for (r2, c2) in grid.iter() {
+                if c2 - r2 < c - r {
+                    assert!(
+                        done[grid.id(r2, c2)].load(Ordering::SeqCst),
+                        "({r},{c}) started before ({r2},{c2}) under a lookahead-1 barrier"
+                    );
+                }
+            }
+            done[grid.id(r, c)].store(true, Ordering::SeqCst);
+        })
+        .unwrap();
+        assert!(done.iter().all(|d| d.load(Ordering::SeqCst)));
+    }
+
+    #[test]
+    fn pipelined_rate_matching_bounds_live_diagonals() {
+        // Under any lookahead L, a running task's diagonal can exceed the
+        // oldest *unfinished* diagonal by at most L-1 — track the minimum
+        // unfinished depth and assert the bound from inside the bodies.
+        for lookahead in [1usize, 2, 3] {
+            let m = 10;
+            let grid = crate::triangle::TriangleGrid::new(m);
+            let g = triangle_graph(m);
+            let done: Vec<AtomicBool> = (0..g.len()).map(|_| AtomicBool::new(false)).collect();
+            let ctx = ExecContext::disabled().with_scheduler(Scheduler::Pipelined { lookahead });
+            run(&g, 4, &ctx, |t| {
+                let (r, c) = grid.coords(t);
+                let oldest_unfinished = grid
+                    .iter()
+                    .filter(|&(r2, c2)| !done[grid.id(r2, c2)].load(Ordering::SeqCst))
+                    .map(|(r2, c2)| c2 - r2)
+                    .min()
+                    .unwrap_or(m);
+                assert!(
+                    c - r < oldest_unfinished + lookahead,
+                    "diagonal {} ran {} ahead of the oldest unfinished diagonal {} \
+                     (lookahead {lookahead})",
+                    c - r,
+                    (c - r) - oldest_unfinished,
+                    oldest_unfinished
+                );
+                done[grid.id(r, c)].store(true, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+    }
+
+    /// Deterministic regression for the claim/abort race: worker 1 is handed
+    /// an always-failing task (budget 1 ⇒ terminal), while worker 0's claim
+    /// is stalled until that failure has long been recorded. The old driver
+    /// checked the abort flag only at the loop top — before the claim — so
+    /// the victim body ran anyway; the fixed driver re-checks after the
+    /// claim and surrenders it (`queue.aborted_claims`).
+    struct AbortRace {
+        poison_handed: AtomicBool,
+        victim_handed: AtomicBool,
+        /// Set by the poison body immediately before it panics.
+        poison_fired: AtomicBool,
+    }
+
+    impl Discipline for AbortRace {
+        type Local = ();
+
+        fn next(
+            &self,
+            w: usize,
+            _local: &(),
+            _metrics: &Metrics,
+            _tracer: &Tracer,
+            _track: Track,
+        ) -> Option<u32> {
+            if w == 1 {
+                if !self.poison_handed.swap(true, Ordering::SeqCst) {
+                    return Some(0);
+                }
+                None
+            } else {
+                if self.victim_handed.load(Ordering::SeqCst) {
+                    return None;
+                }
+                // Hold the claim open until the poison body has fired, then
+                // give the terminal-failure bookkeeping (unwind + error slot
+                // + abort store, microseconds of work) a huge margin before
+                // handing out the victim: the claim now lands strictly
+                // after the abort.
+                while !self.poison_fired.load(Ordering::SeqCst) {
+                    std::thread::yield_now();
+                }
+                std::thread::sleep(std::time::Duration::from_millis(100));
+                self.victim_handed.store(true, Ordering::SeqCst);
+                Some(1)
+            }
+        }
+
+        fn ready(&self, _w: usize, _local: &(), _t: u32, _first: bool, _metrics: &Metrics) {}
+
+        fn retry(&self, _w: usize, _local: &(), _t: u32) {}
+    }
+
+    #[test]
+    fn claim_landing_after_abort_is_surrendered_not_run() {
+        let g = TaskGraph::new(2); // two independent roots
+        let (metrics, recorder) = Metrics::recording();
+        let ctx = ExecContext::disabled()
+            .with_metrics(&metrics)
+            .with_retry(RetryPolicy {
+                max_attempts: 1,
+                base_backoff: 1,
+            });
+        let race = AbortRace {
+            poison_handed: AtomicBool::new(false),
+            victim_handed: AtomicBool::new(false),
+            poison_fired: AtomicBool::new(false),
+        };
+        let victim_ran = AtomicBool::new(false);
+        let err = drive(&g, 2, &ctx, &race, vec![(), ()], |t| {
+            if t == 0 {
+                race.poison_fired.store(true, Ordering::SeqCst);
+                panic!("poison task");
+            }
+            victim_ran.store(true, Ordering::SeqCst);
+        })
+        .unwrap_err();
+        let ExecError::TaskPanicked { task, .. } = err;
+        assert_eq!(task, 0, "the poison failure must win the error slot");
+        assert!(
+            !victim_ran.load(Ordering::SeqCst),
+            "a task claimed after abort was observed must not run its body"
+        );
+        assert_eq!(recorder.get("queue.aborted_claims"), 1);
+        assert_eq!(recorder.get("queue.tasks_executed"), 0);
     }
 }

@@ -87,6 +87,22 @@ impl TaskGraph {
         self.succs.iter().map(Vec::len).sum()
     }
 
+    /// Longest-path depth of every task, roots at depth 0: `depth[t]` is
+    /// the maximum number of edges on any path ending at `t`. On the
+    /// triangular dependence graph this is exactly the diagonal index
+    /// `c - r`, which is what the pipelined discipline rate-matches on.
+    /// Returns `None` when the graph has a cycle.
+    pub fn depths(&self) -> Option<Vec<u32>> {
+        let order = self.topological_order()?;
+        let mut depth = vec![0u32; self.len()];
+        for &t in &order {
+            for &s in &self.succs[t] {
+                depth[s as usize] = depth[s as usize].max(depth[t] + 1);
+            }
+        }
+        Some(depth)
+    }
+
     /// Length of the longest path (in tasks), i.e. the critical path that
     /// bounds parallel speedup. Panics on a cyclic graph.
     pub fn critical_path_len(&self) -> usize {
@@ -149,6 +165,22 @@ mod tests {
         g.add_edge(0, 1);
         g.add_edge(1, 0);
         assert_eq!(g.topological_order(), None);
+        assert_eq!(g.depths(), None);
+    }
+
+    #[test]
+    fn depths_are_longest_paths() {
+        // Diamond with a long side: 0 → 1 → 2 → 4 and 0 → 3 → 4; task 4's
+        // depth follows the longer chain.
+        let mut g = TaskGraph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 3);
+        g.add_edge(2, 4);
+        g.add_edge(3, 4);
+        assert_eq!(g.depths(), Some(vec![0, 1, 2, 1, 3]));
+        // Edgeless tasks are all roots at depth 0.
+        assert_eq!(TaskGraph::new(3).depths(), Some(vec![0, 0, 0]));
     }
 
     #[test]

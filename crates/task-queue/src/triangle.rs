@@ -445,4 +445,113 @@ mod tests {
         assert_eq!(sg.graph.len(), 8 + 1);
         assert_eq!(sg.members[8].len(), 36 - 8);
     }
+
+    /// Boundary audit of the `d0` arithmetic (PR 9): the two saturating
+    /// subtractions compose so every degenerate parameter lands on the
+    /// plain grid, never on a half-merged one.
+    #[test]
+    fn batched_grid_d0_boundaries_degenerate_to_plain() {
+        // min_parallel == 0: "diagonals with fewer than 0 tasks" is the
+        // empty set; the inner saturating_sub(1) pins d0 to cm, which the
+        // d0 >= cm guard rejects. min_parallel == 1: every diagonal has at
+        // least 1 task, same outcome via the identical d0.
+        for mp in [0usize, 1] {
+            for (m, sb) in [(8usize, 1usize), (9, 2), (16, 4), (5, 5)] {
+                let plain = scheduling_grid(m, sb);
+                let sg = diagonal_batched_grid(m, sb, mp);
+                assert_eq!(sg.graph.len(), plain.graph.len(), "m={m} sb={sb} mp={mp}");
+                assert_eq!(
+                    sg.graph.edge_count(),
+                    plain.graph.edge_count(),
+                    "m={m} sb={sb} mp={mp}"
+                );
+                assert_eq!(sg.members, plain.members, "m={m} sb={sb} mp={mp}");
+            }
+        }
+        // sb > m: the whole triangle is one coarse task (cm == 1); the
+        // cm < 2 guard bails before d0 is even consulted.
+        for (m, sb, mp) in [(4usize, 5usize, 3usize), (7, 100, 2), (1, 2, 8)] {
+            let sg = diagonal_batched_grid(m, sb, mp);
+            assert_eq!(sg.graph.len(), 1, "m={m} sb={sb} mp={mp}");
+            assert_eq!(sg.members[0].len(), m * (m + 1) / 2);
+        }
+        // m == 0 and the cm == 2 apex (only a 1-task diagonal could merge)
+        // also fall through to the plain grid.
+        assert_eq!(diagonal_batched_grid(0, 1, 4).graph.len(), 0);
+        let sg = diagonal_batched_grid(4, 2, 8);
+        assert_eq!(sg.graph.len(), scheduling_grid(4, 2).graph.len());
+    }
+
+    /// Replay `members` task-by-task in a topological order and check every
+    /// block's left/below producers were already done — the shared
+    /// dependence-safety oracle for all three grid builders.
+    fn assert_dependence_safe(m: usize, sg: &SchedulingGrid) {
+        let order = sg.graph.topological_order().expect("grid graph acyclic");
+        let grid = TriangleGrid::new(m);
+        let mut done = vec![false; grid.len()];
+        for t in order {
+            for &(r, c) in &sg.members[t] {
+                if c > r {
+                    assert!(done[grid.id(r, c - 1)], "({r},{c}) before left producer");
+                }
+                if r < c && r + 1 < m {
+                    assert!(done[grid.id(r + 1, c)], "({r},{c}) before below producer");
+                }
+                assert!(!done[grid.id(r, c)], "block ({r},{c}) appears twice");
+                done[grid.id(r, c)] = true;
+            }
+        }
+        assert!(
+            done.into_iter().all(|d| d),
+            "a block is missing from every task"
+        );
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(96))]
+
+        /// Property (PR 9 boundary audit): for arbitrary (m, sb,
+        /// min_parallel) — including sb > m and min_parallel ∈ {0, 1} —
+        /// all three grid builders cover every block exactly once and keep
+        /// members dependence-safe.
+        #[test]
+        fn prop_grid_builders_cover_once_dependence_safe(
+            m in 0usize..24,
+            sb in 1usize..26,
+            mp in 0usize..26,
+        ) {
+            // triangle_graph: one block per task, id == dense grid id.
+            let fine = triangle_graph(m);
+            let grid = TriangleGrid::new(m);
+            let fine_members = (0..fine.len()).map(|id| vec![grid.coords(id)]).collect();
+            assert_dependence_safe(m, &SchedulingGrid {
+                graph: fine,
+                members: fine_members,
+                coarse_side: m,
+                sb: 1,
+            });
+            assert_dependence_safe(m, &scheduling_grid(m, sb));
+            assert_dependence_safe(m, &diagonal_batched_grid(m, sb, mp));
+        }
+
+        /// Property: the batched grid merges exactly the starved diagonals
+        /// whenever it merges at all — task counts match the closed form.
+        #[test]
+        fn prop_batched_grid_task_count_matches_model(
+            m in 1usize..24,
+            sb in 1usize..8,
+            mp in 0usize..12,
+        ) {
+            let sg = diagonal_batched_grid(m, sb, mp);
+            let cm = m.div_ceil(sb);
+            let d0 = (cm.saturating_sub(mp.saturating_sub(1))).max(1);
+            let expected = if cm < 2 || d0 >= cm || cm - d0 < 2 {
+                scheduling_grid(m, sb).graph.len()
+            } else {
+                // Kept tasks on diagonals 0..d0, plus the one batch task.
+                (0..d0).map(|d| cm - d).sum::<usize>() + 1
+            };
+            proptest::prop_assert_eq!(sg.graph.len(), expected);
+        }
+    }
 }

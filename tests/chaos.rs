@@ -8,11 +8,15 @@
 // the wrappers are removed (tests/exec_context.rs pins the equivalence).
 #![allow(deprecated)]
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use npdp::cell::multi_spe::functional_cellnpdp_multi_spe_faulted;
 use npdp::cell::npdp::functional_cellnpdp_f32_faulted;
 use npdp::core::{problem, Engine, ParallelEngine, Scheduler, SerialEngine, SolveError};
+use npdp::exec::ExecContext;
 use npdp::fault::{FaultInjector, FaultKind, FaultPlan, RetryPolicy, ALL_FAULT_KINDS};
 use npdp::metrics::Metrics;
+use npdp::tasks::{ExecError, TaskGraph};
 use npdp::trace::Tracer;
 use proptest::prelude::*;
 
@@ -88,6 +92,8 @@ proptest! {
             Just(Scheduler::CentralQueue),
             Just(Scheduler::WorkStealing),
             Just(Scheduler::LocalityBatched),
+            Just(Scheduler::pipelined()),
+            Just(Scheduler::Pipelined { lookahead: 1 }),
         ],
     ) {
         quiet_injected_panics();
@@ -253,6 +259,69 @@ fn host_fault_counters_replay_across_thread_interleavings() {
     }
     assert_eq!(snaps[0], snaps[1]);
     assert_eq!(snaps[1], snaps[2]);
+}
+
+/// Regression for the driver's claim/abort race, on every discipline: once
+/// a worker observes the abort flag, no task body may start and no fresh
+/// retry budget may be spent. Injected panics fire *before* the body, so
+/// under a total injection rate no body ever runs and every recorded panic
+/// is one spent attempt — which makes the attempt budget countable. A
+/// correct driver stops at the first terminal failure; since a task turns
+/// terminal once it reaches `max_attempts`, the abort lands after at most
+/// `n·(max_attempts−1) + 1` attempts, plus one already-in-flight attempt
+/// per extra worker. A racy driver that keeps claiming from the wide
+/// root-only ready set instead drains it to exhaustion — `n·max_attempts`
+/// attempts, well past the cap. With one worker and a one-attempt budget
+/// the cap is exact: precisely one panic, then silence.
+#[test]
+fn no_task_body_starts_after_abort_under_total_injection() {
+    quiet_injected_panics();
+    const N: u64 = 64;
+    for sched in [
+        Scheduler::CentralQueue,
+        Scheduler::WorkStealing,
+        Scheduler::LocalityBatched,
+        Scheduler::pipelined(),
+    ] {
+        for workers in [1usize, 4] {
+            for max_attempts in [1u32, 2] {
+                // No edges: all tasks are roots, claimable the instant the
+                // run starts — maximal opportunity for a post-abort claim.
+                let graph = TaskGraph::new(N as usize);
+                let faults =
+                    FaultInjector::new(FaultPlan::seeded(7).with_rate(FaultKind::TaskPanic, 1.0));
+                let (metrics, recorder) = Metrics::recording();
+                let ctx = ExecContext::disabled()
+                    .with_metrics(&metrics)
+                    .with_faults(&faults)
+                    .with_retry(RetryPolicy {
+                        max_attempts,
+                        base_backoff: 1,
+                    })
+                    .with_scheduler(sched);
+                let bodies = AtomicUsize::new(0);
+                let err = npdp::tasks::run(&graph, workers, &ctx, |_| {
+                    bodies.fetch_add(1, Ordering::Relaxed);
+                })
+                .expect_err("total injection must exhaust the retry budget");
+                let ExecError::TaskPanicked { attempts, .. } = err;
+                let tag = format!("{sched:?}/{workers}w/{max_attempts}a");
+                assert_eq!(attempts, max_attempts, "{tag}");
+                assert_eq!(
+                    bodies.load(Ordering::Relaxed),
+                    0,
+                    "{tag}: no task body may run under total injection"
+                );
+                let panics = recorder.get("queue.task_panics");
+                let cap = N * u64::from(max_attempts - 1) + workers as u64;
+                assert!(
+                    panics <= cap,
+                    "{tag}: {panics} panics exceed the stop-at-first-terminal \
+                     cap of {cap} — workers kept claiming after the abort"
+                );
+            }
+        }
+    }
 }
 
 /// Poisoned inputs are rejected typed at every front door, and the

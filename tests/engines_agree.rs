@@ -27,6 +27,17 @@ fn all_f32_engines(workers: usize) -> Vec<(&'static str, Box<dyn Engine<f32>>)> 
         ),
         ("wavefront-8", Box::new(WavefrontEngine::new(8))),
         ("tan-16", Box::new(TanEngine::new(16))),
+        (
+            "pipelined-8-1",
+            Box::new(ParallelEngine::new(8, 1, workers).with_scheduler(Scheduler::pipelined())),
+        ),
+        (
+            "pipelined-16-2-L1",
+            Box::new(
+                ParallelEngine::new(16, 2, workers)
+                    .with_scheduler(Scheduler::Pipelined { lookahead: 1 }),
+            ),
+        ),
     ]
 }
 
@@ -331,6 +342,23 @@ mod more_invariants {
                 .with_scheduler(Scheduler::WorkStealing)
                 .solve(&seeds);
             prop_assert_eq!(central.first_difference(&stealing), None);
+        }
+
+        /// The barrier-free pipelined scheduler agrees bit-for-bit with the
+        /// central queue for arbitrary shapes and lookahead windows.
+        #[test]
+        fn prop_pipelined_scheduler_agrees(
+            n in 1usize..100,
+            workers in 1usize..6,
+            lookahead in 1usize..5,
+            seed in any::<u64>(),
+        ) {
+            let seeds = problem::random_seeds_f32(n, 100.0, seed);
+            let central = ParallelEngine::new(8, 2, workers).solve(&seeds);
+            let piped = ParallelEngine::new(8, 2, workers)
+                .with_scheduler(Scheduler::Pipelined { lookahead })
+                .solve(&seeds);
+            prop_assert_eq!(central.first_difference(&piped), None);
         }
     }
 }

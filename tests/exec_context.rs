@@ -27,17 +27,19 @@ use npdp::prelude::*;
 use npdp::tasks::{self, TaskGraph};
 
 /// Counter keys whose value (or very presence) depends on thread timing:
-/// queue depths, steal/affinity races and idle accounting. Everything else
-/// in the vocabulary — `engine.*` work counters, `queue.tasks_executed`,
-/// `queue.ready_pushes`, `queue.task_panics`/`task_retries` (fault sites
-/// hash `(task, attempt)`, not the worker), `sim.*`, `dma.*`, `spe.*`,
-/// `mailbox.*` — is deterministic and must match exactly.
+/// queue depths, steal/affinity races, lookahead stalls and idle
+/// accounting. Everything else in the vocabulary — `engine.*` work
+/// counters, `queue.tasks_executed`, `queue.ready_pushes`,
+/// `queue.frontier_advances`, `queue.task_panics`/`task_retries` (fault
+/// sites hash `(task, attempt)`, not the worker), `sim.*`, `dma.*`,
+/// `spe.*`, `mailbox.*` — is deterministic and must match exactly.
 const TIMING_DEPENDENT: &[&str] = &[
     "queue.depth_hwm",
     "queue.steals",
     "queue.injector_steals",
     "queue.affinity_hits",
     "queue.affinity_misses",
+    "queue.lookahead_stalls",
 ];
 
 /// Strip timing-dependent keys, keeping the deterministic remainder for an
@@ -120,6 +122,10 @@ fn engines() -> Vec<(&'static str, Box<dyn Engine<f32>>)> {
         (
             "parallel/locality",
             Box::new(ParallelEngine::new(32, 2, 4).with_scheduler(Scheduler::LocalityBatched)),
+        ),
+        (
+            "parallel/pipelined",
+            Box::new(ParallelEngine::new(32, 2, 4).with_scheduler(Scheduler::pipelined())),
         ),
     ]
 }
@@ -415,6 +421,8 @@ fn queue_wrappers_match_run() {
         Scheduler::CentralQueue,
         Scheduler::WorkStealing,
         Scheduler::LocalityBatched,
+        Scheduler::pipelined(),
+        Scheduler::Pipelined { lookahead: 1 },
     ] {
         let ctx = ExecContext::disabled().with_scheduler(scheduler);
         let (hits, stats) = counted(&g, |task| tasks::run(&g, 4, &ctx, task).expect("no faults"));
@@ -672,6 +680,7 @@ fn concurrent_solve_with_calls_share_one_context_exactly() {
                     Box::new(SerialEngine),
                     Box::new(SimdEngine::new(32)),
                     Box::new(ParallelEngine::new(32, 2, 3)),
+                    Box::new(ParallelEngine::new(32, 2, 3).with_scheduler(Scheduler::pipelined())),
                 ];
                 for r in 0..rounds {
                     let i = (t + r) % problems.len();
