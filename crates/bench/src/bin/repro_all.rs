@@ -37,6 +37,7 @@ const BINARIES: &[&str] = &[
     "repro-pipeline",
     "repro-serve",
     "repro-chaos-serve",
+    "repro-workloads",
 ];
 
 fn main() {

@@ -28,6 +28,7 @@ const BINS: &[(&str, &str)] = &[
     ("repro-ablation", env!("CARGO_BIN_EXE_repro-ablation")),
     ("repro-serve", env!("CARGO_BIN_EXE_repro-serve")),
     ("repro-chaos-serve", env!("CARGO_BIN_EXE_repro-chaos-serve")),
+    ("repro-workloads", env!("CARGO_BIN_EXE_repro-workloads")),
     ("repro-all", env!("CARGO_BIN_EXE_repro-all")),
     ("repro-compare", env!("CARGO_BIN_EXE_repro-compare")),
 ];
@@ -157,6 +158,41 @@ fn cheap_binaries_run_to_completion_with_exit_ok() {
     for bin in ["repro-table1", "repro-model"] {
         assert_eq!(exit_code(bin, &[]), EXIT_OK, "{bin} should pass its gates");
     }
+}
+
+#[test]
+fn repro_workloads_passes_its_gates_and_emits_a_schema_valid_report() {
+    // The four-workload recurrence gate: cross-checks exact, served bytes
+    // correct, and the report carries the counters CI asserts on.
+    let dir = std::env::temp_dir().join(format!("npdp-workloads-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let json = dir.join("BENCH_workloads.json");
+    assert_eq!(
+        exit_code("repro-workloads", &["--json", json.to_str().unwrap()]),
+        EXIT_OK,
+        "repro-workloads should pass its gates"
+    );
+    let text = std::fs::read_to_string(&json).unwrap();
+    let doc = npdp_metrics::json::Value::parse(&text).unwrap();
+    assert_eq!(
+        doc.get("schema").and_then(|v| v.as_str()),
+        Some("cellnpdp-bench-v1")
+    );
+    assert_eq!(
+        doc.get("experiment").and_then(|v| v.as_str()),
+        Some("workloads")
+    );
+    let counters = doc.get("counters").unwrap();
+    let counter = |k: &str| counters.get(k).and_then(|v| v.as_u64()).unwrap();
+    assert_eq!(counter("workloads.crosscheck_failures"), 0);
+    assert_eq!(counter("workloads.served_wrong"), 0);
+    // Four workloads × four engine tiers, each cross-checked.
+    assert_eq!(counter("workloads.crosschecks"), 16);
+    assert!(
+        counter("workloads.cache_hits") >= 4,
+        "repeats must hit the cache"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]

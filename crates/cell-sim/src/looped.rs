@@ -340,7 +340,8 @@ pub fn looped_stage1_program(nb: usize, a_base: u32, b_base: u32, c_base: u32) -
 mod tests {
     use super::*;
     use crate::spu::Spu;
-    use npdp_core::DpValue;
+    use npdp_core::engine::block_compute::stage1_ring;
+    use npdp_core::{DpValue, MaxPlusRing, MinPlus};
 
     fn lcg(seed: u64, count: usize) -> Vec<f32> {
         let mut s = seed;
@@ -401,22 +402,9 @@ mod tests {
         let c0 = lcg(9, block);
 
         let mut host_c = c0.clone();
-        // npdp-core's block_compute::stage1 is crate-private; drive it via
-        // the public tile update.
-        for r in 0..nb / 4 {
-            for cc in 0..nb / 4 {
-                for t in 0..nb / 4 {
-                    f32::tile4_update(
-                        &mut host_c[(r * 4) * nb + cc * 4..],
-                        nb,
-                        &a[(r * 4) * nb + t * 4..],
-                        nb,
-                        &b[(t * 4) * nb + cc * 4..],
-                        nb,
-                    );
-                }
-            }
-        }
+        // The SIMD engine's inner stage-1 is the ring-generic tile sweep
+        // instantiated at min-plus; drive exactly that spelling.
+        stage1_ring(&MinPlus::<f32>::new(), &mut host_c, &a, &b, nb);
 
         let bytes = (block * 4) as u32;
         let mut spu = Spu::new();
@@ -426,6 +414,38 @@ mod tests {
         let prog = looped_stage1_program(nb, 0, bytes, 2 * bytes);
         spu.run(&prog, 1_000_000).unwrap();
         assert_eq!(spu.read_f32(2 * bytes as usize, block), host_c);
+    }
+
+    #[test]
+    fn generic_ring_stage1_agrees_with_min_plus_by_duality() {
+        // The simulated SPE's block compute is min-plus in hardware; the
+        // host library's stage-1 is ring-generic. Max-plus over negated
+        // operands must be the exact negation of min-plus (IEEE negation
+        // is an involutive bijection commuting with min/max and +), so the
+        // generic sweep is pinned to the same SPU-validated semantics for
+        // a second semiring instance.
+        let nb = 8;
+        let block = nb * nb;
+        let a = lcg(11, block);
+        let b = lcg(12, block);
+        let c0 = lcg(13, block);
+
+        let mut min_c = c0.clone();
+        stage1_ring(&MinPlus::<f32>::new(), &mut min_c, &a, &b, nb);
+
+        let neg = |v: &[f32]| v.iter().map(|x| -x).collect::<Vec<f32>>();
+        let mut max_c = neg(&c0);
+        stage1_ring(
+            &MaxPlusRing::<f32>::new(),
+            &mut max_c,
+            &neg(&a),
+            &neg(&b),
+            nb,
+        );
+
+        for (lo, hi) in min_c.iter().zip(max_c.iter()) {
+            assert_eq!(lo.to_bits(), (-hi).to_bits());
+        }
     }
 
     #[test]

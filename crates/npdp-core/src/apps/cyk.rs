@@ -1,0 +1,463 @@
+//! Weighted CYK parsing on the NPDP engines.
+//!
+//! CYK over a binary (Chomsky-normal-form) grammar is interval-containment
+//! DP with the *same* dependence structure as the min-plus closure — cell
+//! `(i, j)` covers tokens `i..j` and reduces over splits `i < k < j` — but
+//! over a richer algebra: the element is a **vector of nonterminal weights**
+//! (tropical semiring per nonterminal) and `extend` applies every binary
+//! rule `A → B C` to the pair of child vectors. Casting it as a
+//! [`Recurrence`] over [`CykRing`] runs the parser unchanged on every
+//! engine tier, SIMD-layout blocks and task queue included.
+//!
+//! Weights are non-negative rule costs (min-cost derivation ≙ Viterbi parse
+//! under negated log-probabilities); all arithmetic is exact `i32`
+//! saturating adds, so engine agreement is exact equality.
+
+use std::sync::Arc;
+
+use npdp_exec::ExecContext;
+
+use crate::error::SolveError;
+use crate::layout::TriangularMatrix;
+use crate::recurrence::{Recurrence, SolveRecurrence};
+use crate::semiring::Semiring;
+use crate::value::DpValue;
+
+/// Hard cap on grammar nonterminals: the ring element is a fixed-width
+/// vector so it stays `Copy` and block-layout friendly.
+pub const MAX_NT: usize = 8;
+
+/// Infinity for rule weights (absent derivation).
+const INF: i32 = <i32 as DpValue>::INFINITY;
+
+/// Per-cell parse state: minimal derivation cost for each nonterminal over
+/// the covered token span (`INF` = not derivable).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct NtVec(pub [i32; MAX_NT]);
+
+impl NtVec {
+    /// The "no derivation" vector — `combine`'s identity.
+    pub const NONE: NtVec = NtVec([INF; MAX_NT]);
+
+    /// Cost of deriving nonterminal `a`, if any.
+    pub fn cost(&self, a: usize) -> Option<i32> {
+        (self.0[a] < INF).then_some(self.0[a])
+    }
+}
+
+/// A weighted CNF grammar: binary rules `A → B C` and per-terminal unit
+/// rules `A → t`, each with a non-negative cost.
+#[derive(Debug, Clone)]
+pub struct Grammar {
+    /// Number of live nonterminals (`≤ MAX_NT`); ids `0..nt_count`.
+    pub nt_count: usize,
+    /// Start symbol id.
+    pub start: u8,
+    /// Binary rules `(a, b, c, weight)`: `a → b c`.
+    pub binary: Vec<(u8, u8, u8, i32)>,
+    /// `terminal[t]` lists `(a, weight)` pairs for unit rules `a → t`.
+    pub terminal: Vec<Vec<(u8, i32)>>,
+}
+
+impl Grammar {
+    /// Validate rule ids and weights (non-negative, below saturation range).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nt_count == 0 || self.nt_count > MAX_NT {
+            return Err(format!("nt_count {} out of 1..={MAX_NT}", self.nt_count));
+        }
+        let nt = self.nt_count as u8;
+        if self.start >= nt {
+            return Err("start symbol out of range".into());
+        }
+        for &(a, b, c, w) in &self.binary {
+            if a >= nt || b >= nt || c >= nt {
+                return Err("binary rule id out of range".into());
+            }
+            if !(0..=1_000_000).contains(&w) {
+                return Err("binary rule weight out of range".into());
+            }
+        }
+        for rules in &self.terminal {
+            for &(a, w) in rules {
+                if a >= nt {
+                    return Err("terminal rule id out of range".into());
+                }
+                if !(0..=1_000_000).contains(&w) {
+                    return Err("terminal rule weight out of range".into());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The nonterminal vector a single terminal symbol seeds.
+    fn terminal_vec(&self, t: usize) -> NtVec {
+        let mut v = NtVec::NONE;
+        if let Some(rules) = self.terminal.get(t) {
+            for &(a, w) in rules {
+                let slot = &mut v.0[a as usize];
+                *slot = (*slot).min(w);
+            }
+        }
+        v
+    }
+}
+
+/// The CYK algebra: elementwise tropical `min` as ⊕, rule application as ⊗.
+///
+/// Padding law: `zero()` is all-`INF`; `extend` of anything with an
+/// all-`INF` operand yields per-rule sums with at least one `INF` term,
+/// which saturating `i32` addition keeps `≥ INF` — far above any domain
+/// cost (rule weights are capped at 10⁶ and spans at thousands of tokens,
+/// while `INF = i32::MAX/4 ≈ 5.4·10⁸`) — so padded vectors always lose the
+/// elementwise `min`. Pinned by `padding_law_for_cyk_ring` below.
+#[derive(Clone)]
+pub struct CykRing {
+    grammar: Arc<Grammar>,
+}
+
+impl Semiring for CykRing {
+    type Elem = NtVec;
+
+    fn zero(&self) -> NtVec {
+        NtVec::NONE
+    }
+
+    fn combine(&self, a: NtVec, b: NtVec) -> NtVec {
+        let mut out = a;
+        for (o, &bv) in out.0.iter_mut().zip(b.0.iter()) {
+            // min2 discipline: first argument wins ties (no-op for ints,
+            // kept for uniformity with the scalar rings).
+            if bv < *o {
+                *o = bv;
+            }
+        }
+        out
+    }
+
+    fn extend(&self, x: NtVec, y: NtVec) -> NtVec {
+        let mut out = NtVec::NONE;
+        for &(a, b, c, w) in &self.grammar.binary {
+            let cand = x.0[b as usize]
+                .saturating_add(y.0[c as usize])
+                .saturating_add(w);
+            let slot = &mut out.0[a as usize];
+            if cand < *slot {
+                *slot = cand;
+            }
+        }
+        out
+    }
+}
+
+/// CYK as a [`Recurrence`]: engine table side `tokens + 1` in gap
+/// coordinates — cell `(i, j)` covers `tokens[i..j]`, the base diagonal
+/// `(i, i + 1)` is the terminal-rule vector of token `i`, and an engine
+/// split `k` is exactly the CYK split point.
+pub struct CykRec {
+    ring: CykRing,
+    seeds: Vec<NtVec>,
+}
+
+impl CykRec {
+    /// Parse `tokens` (terminal symbol ids) under `grammar`.
+    pub fn new(grammar: Arc<Grammar>, tokens: &[usize]) -> Self {
+        let seeds = tokens.iter().map(|&t| grammar.terminal_vec(t)).collect();
+        Self {
+            ring: CykRing { grammar },
+            seeds,
+        }
+    }
+}
+
+impl Recurrence for CykRec {
+    type Ring = CykRing;
+
+    fn ring(&self) -> &CykRing {
+        &self.ring
+    }
+
+    fn side(&self) -> usize {
+        self.seeds.len() + 1
+    }
+
+    fn seed(&self, i: usize, j: usize) -> NtVec {
+        if j == i + 1 {
+            self.seeds[i]
+        } else {
+            NtVec::NONE
+        }
+    }
+}
+
+/// A completed parse chart.
+#[derive(Debug, Clone)]
+pub struct CykParse {
+    /// Chart in gap coordinates (side `tokens + 1`): `chart.get(i, j)` is
+    /// the nonterminal vector over `tokens[i..j]`.
+    pub chart: TriangularMatrix<NtVec>,
+    /// Start symbol id the parse was run for.
+    pub start: u8,
+}
+
+impl CykParse {
+    /// Minimal derivation cost of the whole string from the start symbol,
+    /// or `None` if the string is not in the language.
+    pub fn weight(&self) -> Option<i32> {
+        let n = self.chart.n();
+        if n < 2 {
+            return None; // empty token string
+        }
+        self.chart.get(0, n - 1).cost(self.start as usize)
+    }
+}
+
+/// Parse `tokens` with `grammar` on any [`SolveRecurrence`] engine.
+pub fn cyk_parse_on<E: SolveRecurrence + ?Sized>(
+    engine: &E,
+    grammar: Arc<Grammar>,
+    tokens: &[usize],
+    ctx: &ExecContext,
+) -> Result<CykParse, SolveError> {
+    let start = grammar.start;
+    let rec = CykRec::new(grammar, tokens);
+    let (chart, _) = engine.solve_recurrence(&rec, ctx)?;
+    Ok(CykParse { chart, start })
+}
+
+/// Textbook O(n³) CYK over explicit span lengths — the independent
+/// reference the engine path is cross-checked against. Deliberately a
+/// different loop structure (span length outer) and a plain `Vec<Vec<_>>`
+/// chart, sharing no code with the engine path.
+#[allow(clippy::needless_range_loop)] // deliberately the textbook index loops
+pub fn cyk_reference(grammar: &Grammar, tokens: &[usize]) -> Option<i32> {
+    let n = tokens.len();
+    if n == 0 {
+        return None;
+    }
+    let mut chart = vec![vec![[INF; MAX_NT]; n + 1]; n];
+    for (i, &t) in tokens.iter().enumerate() {
+        chart[i][i + 1] = grammar.terminal_vec(t).0;
+    }
+    for span in 2..=n {
+        for i in 0..=n - span {
+            let j = i + span;
+            let mut acc = [INF; MAX_NT];
+            for k in i + 1..j {
+                for &(a, b, c, w) in &grammar.binary {
+                    let cand = chart[i][k][b as usize]
+                        .saturating_add(chart[k][j][c as usize])
+                        .saturating_add(w);
+                    if cand < acc[a as usize] {
+                        acc[a as usize] = cand;
+                    }
+                }
+            }
+            chart[i][j] = acc;
+        }
+    }
+    let w = chart[0][n][grammar.start as usize];
+    (w < INF).then_some(w)
+}
+
+/// A small fixed demo grammar: balanced-ish bracket pairs with weighted
+/// alternatives. Terminals: 0 = `(`, 1 = `)`, 2 = `x`.
+pub fn demo_grammar() -> Grammar {
+    Grammar {
+        nt_count: 4,
+        start: 0,
+        // S → S S | L R | L P ; P → S R ; X → x-ish content
+        binary: vec![
+            (0, 0, 0, 1), // S → S S
+            (0, 1, 2, 0), // S → L R
+            (0, 1, 3, 2), // S → L P
+            (3, 0, 2, 0), // P → S R
+            (0, 0, 3, 5), // S → S P (redundant alternative, exercises min)
+        ],
+        terminal: vec![
+            vec![(1, 0)],         // ( → L
+            vec![(2, 0)],         // ) → R
+            vec![(0, 3), (3, 9)], // x → S (cost 3) | P (cost 9)
+        ],
+    }
+}
+
+/// Deterministically generate a pseudo-random valid grammar (splitmix-style
+/// LCG over `seed`): used by the property cross-checks and the serve-layer
+/// synthetic workload, so both sides derive identical grammars from a seed.
+pub fn random_grammar(seed: u64) -> Grammar {
+    let mut s = seed;
+    let mut next = move || {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (s >> 33) as u32
+    };
+    let nt_count = 2 + (next() as usize % (MAX_NT - 1)); // 2..=8
+    let n_binary = 3 + (next() as usize % 10);
+    let binary = (0..n_binary)
+        .map(|_| {
+            (
+                (next() as usize % nt_count) as u8,
+                (next() as usize % nt_count) as u8,
+                (next() as usize % nt_count) as u8,
+                (next() % 100) as i32,
+            )
+        })
+        .collect();
+    let n_terminals = 2 + (next() as usize % 4);
+    let terminal = (0..n_terminals)
+        .map(|_| {
+            let rules = 1 + (next() as usize % 2);
+            (0..rules)
+                .map(|_| ((next() as usize % nt_count) as u8, (next() % 100) as i32))
+                .collect()
+        })
+        .collect();
+    Grammar {
+        nt_count,
+        start: (next() as usize % nt_count) as u8,
+        binary,
+        terminal,
+    }
+}
+
+/// Deterministic token string for a grammar (ids within its terminal set).
+pub fn random_tokens(grammar: &Grammar, len: usize, seed: u64) -> Vec<usize> {
+    let t = grammar.terminal.len().max(1);
+    let mut s = seed ^ 0x9E3779B97F4A7C15;
+    (0..len)
+        .map(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (s >> 33) as usize % t
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{BlockedEngine, ParallelEngine, SerialEngine, SimdEngine};
+
+    #[test]
+    fn demo_grammar_parses_brackets() {
+        let g = Arc::new(demo_grammar());
+        g.validate().unwrap();
+        let ctx = ExecContext::disabled();
+        // "( x )" = S → L P, P → S R with x → S: 2 + 3 + 0 + 0 = weight 5
+        // vs S → L R impossible; exact min taken over alternatives.
+        let parse = cyk_parse_on(&SerialEngine, g.clone(), &[0, 2, 1], &ctx).unwrap();
+        assert_eq!(parse.weight(), cyk_reference(&g, &[0, 2, 1]));
+        assert!(parse.weight().is_some());
+        // Unbalanced string: ") (" has no S derivation.
+        let bad = cyk_parse_on(&SerialEngine, g.clone(), &[1, 0], &ctx).unwrap();
+        assert_eq!(bad.weight(), None);
+        assert_eq!(bad.weight(), cyk_reference(&g, &[1, 0]));
+    }
+
+    /// Cross-check: the engine-path chart weight equals the textbook O(n³)
+    /// reference for random grammars and random strings, on every engine
+    /// tier — exact equality, spans straddling block boundaries.
+    #[test]
+    fn engines_match_textbook_reference_on_random_grammars() {
+        let ctx = ExecContext::disabled();
+        for trial in 0..12u64 {
+            let g = Arc::new(random_grammar(0xC1C + trial));
+            g.validate().unwrap();
+            let len = [1, 2, 3, 7, 13, 18][trial as usize % 6] + (trial as usize % 3) * 10;
+            let tokens = random_tokens(&g, len, trial * 31 + 7);
+            let expect = cyk_reference(&g, &tokens);
+            let serial = cyk_parse_on(&SerialEngine, g.clone(), &tokens, &ctx).unwrap();
+            let blocked = cyk_parse_on(&BlockedEngine::new(8), g.clone(), &tokens, &ctx).unwrap();
+            let simd = cyk_parse_on(&SimdEngine::new(8), g.clone(), &tokens, &ctx).unwrap();
+            let par =
+                cyk_parse_on(&ParallelEngine::new(8, 2, 4), g.clone(), &tokens, &ctx).unwrap();
+            assert_eq!(serial.weight(), expect, "serial trial={trial} len={len}");
+            // Full-chart equality across tiers, not just the root weight.
+            assert_eq!(
+                serial.chart.first_difference(&blocked.chart),
+                None,
+                "blocked trial={trial}"
+            );
+            assert_eq!(
+                serial.chart.first_difference(&simd.chart),
+                None,
+                "simd trial={trial}"
+            );
+            assert_eq!(
+                serial.chart.first_difference(&par.chart),
+                None,
+                "parallel trial={trial}"
+            );
+        }
+    }
+
+    /// Satellite: the padding law holds for the CYK ring — one padded
+    /// extend can never win a reduce against a domain vector.
+    #[test]
+    fn padding_law_for_cyk_ring() {
+        for trial in 0..8u64 {
+            let ring = CykRing {
+                grammar: Arc::new(random_grammar(0xFAD + trial)),
+            };
+            let zero = ring.zero();
+            let mut domain = vec![NtVec([0; MAX_NT]), NtVec([5; MAX_NT])];
+            let mut mixed = NtVec::NONE;
+            for (i, slot) in mixed.0.iter_mut().enumerate() {
+                if i % 2 == 0 {
+                    *slot = (i * 37) as i32;
+                }
+            }
+            domain.push(mixed);
+            for &d in &domain {
+                // Everything an engine can write into padding: zero itself
+                // and any chain of extends involving it.
+                for padded in [
+                    zero,
+                    ring.extend(zero, d),
+                    ring.extend(d, zero),
+                    ring.extend(ring.extend(zero, d), ring.extend(d, zero)),
+                ] {
+                    // A padded vector may derive nothing below INF... but
+                    // rule application on INF operands saturates ≥ INF, so
+                    // the law reduces to: no finite lane below any domain
+                    // lane that is itself finite. `padding_loses` needs the
+                    // padded value to lose elementwise min outright, which
+                    // holds when the domain value is fully finite.
+                    if d.0.iter().all(|&x| x < INF) {
+                        assert!(ring.padding_loses(padded, d), "trial={trial}");
+                    }
+                    for lane in padded.0 {
+                        assert!(lane >= <i32 as DpValue>::PAD_FLOOR, "trial={trial}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_grammars() {
+        let mut g = demo_grammar();
+        g.start = 7;
+        assert!(g.validate().is_err());
+        let mut g2 = demo_grammar();
+        g2.binary.push((0, 9, 0, 1));
+        assert!(g2.validate().is_err());
+        let mut g3 = demo_grammar();
+        g3.terminal[0].push((0, -4));
+        assert!(g3.validate().is_err());
+    }
+
+    #[test]
+    fn empty_and_single_token_strings() {
+        let g = Arc::new(demo_grammar());
+        let ctx = ExecContext::disabled();
+        let empty = cyk_parse_on(&SerialEngine, g.clone(), &[], &ctx).unwrap();
+        assert_eq!(empty.weight(), None);
+        let one = cyk_parse_on(&SerialEngine, g.clone(), &[2], &ctx).unwrap();
+        assert_eq!(one.weight(), Some(3)); // x → S directly
+        assert_eq!(one.weight(), cyk_reference(&g, &[2]));
+    }
+}

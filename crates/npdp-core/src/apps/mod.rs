@@ -3,18 +3,24 @@
 //! algorithm, has its own crate — `zuker` — since it runs on top of the fast
 //! engines.)
 //!
-//! These two use k-dependent combination terms, so they run through the
-//! [`generic`] serial solvers rather than the pure min-plus engines; they
-//! exist to pin down the recurrence structure and for end-to-end validation
-//! against brute force.
+//! Matrix chain and kin use k-dependent combination terms, so they run
+//! through the [`generic`] serial solvers; they exist to pin down the
+//! recurrence structure and for end-to-end validation against brute force.
+//! Optimal BST additionally ships an engine-compatible spelling
+//! ([`optimal_bst::BstRec`]: weight term moved into `finalize`, removing
+//! the split-dependence) and [`cyk`] parses on the engines outright — both
+//! ride the generic [`crate::recurrence::Recurrence`] path over the
+//! blocked/SIMD/parallel tiers.
 
+pub mod cyk;
 pub mod generic;
 pub mod matrix_chain;
 pub mod optimal_bst;
 pub mod split_tree;
 pub mod triangulation;
 
+pub use cyk::{cyk_parse_on, CykParse, Grammar, NtVec};
 pub use matrix_chain::{matrix_chain, MatrixChain};
-pub use optimal_bst::{optimal_bst, OptimalBst};
+pub use optimal_bst::{optimal_bst, optimal_bst_on, BstRec, OptimalBst};
 pub use split_tree::{split_tree, SplitTree};
 pub use triangulation::{regular_polygon, triangulate, Triangulation};

@@ -6,8 +6,14 @@
 //! `e[i][j] = min over roots i < r ≤ j of e[i][r-1] + e[r][j] + w(i, j)`,
 //! where `w(i, j) = Σ f[i+1..=j]` is the subtree weight added once per level.
 
+use npdp_exec::ExecContext;
+
 use crate::apps::generic::solve_rooted;
+use crate::error::SolveError;
 use crate::layout::TriangularMatrix;
+use crate::recurrence::{Recurrence, SolveRecurrence};
+use crate::semiring::MinPlus;
+use crate::value::DpValue;
 
 /// Result of an optimal-BST construction.
 #[derive(Debug, Clone)]
@@ -59,6 +65,88 @@ impl OptimalBst {
         }
         unreachable!("table cell not explained by any root");
     }
+}
+
+/// The optimal-BST recurrence for the engine stack: the rooted recurrence
+/// in *gap-shifted* coordinates with the interval weight moved into
+/// [`Recurrence::finalize`], which removes the split-dependence — `extend`
+/// is the plain min-plus `⊗` — so the blocked, SIMD and parallel tiers all
+/// apply.
+///
+/// Cell `(i, j)` of the side-`(n + 2)` engine table is `e(i, j - 1)` of the
+/// classic side-`(n + 1)` gap table: the engine split `k` *is* the root
+/// choice `r`, with `D(i, k) = e(i, r - 1)` the left subtree and
+/// `D(k, j) = e(r, j - 1)` the right, and the weight `w(i, j - 1)` added
+/// exactly once per cell after the root reduction (it does not depend on
+/// `r`, which is what makes this shape engine-compatible where the raw
+/// [`solve_rooted`] spelling is not).
+pub struct BstRec {
+    prefix: Vec<i64>,
+}
+
+impl BstRec {
+    /// Recurrence over keys `1..=n` with the given access frequencies.
+    pub fn new(freq: &[i64]) -> Self {
+        let mut prefix = Vec::with_capacity(freq.len() + 1);
+        prefix.push(0);
+        for &f in freq {
+            assert!(f >= 0, "frequencies must be non-negative");
+            prefix.push(prefix.last().unwrap() + f);
+        }
+        Self { prefix }
+    }
+}
+
+const BST_RING: MinPlus<i64> = MinPlus::new();
+
+impl Recurrence for BstRec {
+    type Ring = MinPlus<i64>;
+
+    fn ring(&self) -> &MinPlus<i64> {
+        &BST_RING
+    }
+
+    fn side(&self) -> usize {
+        // n keys → gap table side n + 1 → gap-shifted engine table n + 2.
+        self.prefix.len() + 1
+    }
+
+    fn seed(&self, i: usize, j: usize) -> i64 {
+        if j == i + 1 {
+            0 // empty key interval
+        } else {
+            <i64 as DpValue>::INFINITY
+        }
+    }
+
+    fn finalize(&self, i: usize, j: usize, acc: i64) -> i64 {
+        if j == i + 1 {
+            acc
+        } else {
+            // w(i, j - 1) in gap coordinates, once per level.
+            i64::add_sat(acc, self.prefix[j - 1] - self.prefix[i])
+        }
+    }
+}
+
+/// Build the optimal BST *on an engine*: same table, same costs as
+/// [`optimal_bst`], computed through the generic [`Recurrence`] path on any
+/// [`SolveRecurrence`] engine (blocked layout, SIMD tiles, task queue).
+pub fn optimal_bst_on<E: SolveRecurrence + ?Sized>(
+    engine: &E,
+    freq: &[i64],
+    ctx: &ExecContext,
+) -> Result<OptimalBst, SolveError> {
+    let rec = BstRec::new(freq);
+    let (d, _) = engine.solve_recurrence(&rec, ctx)?;
+    let n = freq.len();
+    // Shift back out of gap coordinates: e(i, j) = D(i, j + 1).
+    let table = TriangularMatrix::from_fn(n + 1, |i, j| d.get(i, j + 1));
+    Ok(OptimalBst {
+        freq: freq.to_vec(),
+        table,
+        prefix: rec.prefix,
+    })
 }
 
 /// Build the optimal BST over keys with the given access frequencies.
@@ -152,5 +240,69 @@ mod tests {
         // One huge frequency dominates; it must become the root.
         let bst = optimal_bst(&[1, 1000, 1]);
         assert_eq!(bst.root(), Some(2));
+    }
+
+    mod on_engine {
+        use super::*;
+        use crate::engine::{BlockedEngine, ParallelEngine, SerialEngine, SimdEngine};
+
+        fn random_freqs(n: usize, seed: u64) -> Vec<i64> {
+            let mut s = seed;
+            (0..n)
+                .map(|_| {
+                    s = s
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((s >> 56) % 100) as i64
+                })
+                .collect()
+        }
+
+        /// Cross-check: the engine-path table equals the `solve_rooted`
+        /// path exactly, cell for cell, on every engine tier — random
+        /// frequencies, sizes straddling block boundaries.
+        #[test]
+        fn engine_table_equals_rooted_solver_exactly() {
+            let ctx = ExecContext::disabled();
+            for n in [0usize, 1, 2, 5, 13, 30, 47, 64] {
+                let freq = random_freqs(n, 0xB57 + n as u64);
+                let reference = optimal_bst(&freq);
+                let results = [
+                    ("serial", optimal_bst_on(&SerialEngine, &freq, &ctx)),
+                    (
+                        "blocked",
+                        optimal_bst_on(&BlockedEngine::new(8), &freq, &ctx),
+                    ),
+                    ("simd", optimal_bst_on(&SimdEngine::new(8), &freq, &ctx)),
+                    (
+                        "parallel",
+                        optimal_bst_on(&ParallelEngine::new(8, 2, 4), &freq, &ctx),
+                    ),
+                ];
+                for (name, on) in results {
+                    let on = on.unwrap();
+                    assert_eq!(
+                        on.table.first_difference(&reference.table),
+                        None,
+                        "{name} table diverged at n={n}"
+                    );
+                    assert_eq!(on.optimal_cost(), reference.optimal_cost(), "{name} n={n}");
+                    assert_eq!(on.root(), reference.root(), "{name} n={n}");
+                }
+            }
+        }
+
+        /// The on-engine path must agree with recursive brute force too, so
+        /// a shared bug in both DP spellings cannot hide.
+        #[test]
+        fn on_engine_matches_brute_force() {
+            let ctx = ExecContext::disabled();
+            for trial in 0..10u64 {
+                let n = 1 + (trial as usize % 6);
+                let freq = random_freqs(n, 77 + trial);
+                let on = optimal_bst_on(&SimdEngine::new(8), &freq, &ctx).unwrap();
+                assert_eq!(on.optimal_cost(), brute(&freq, 0, n), "freq={freq:?}");
+            }
+        }
     }
 }

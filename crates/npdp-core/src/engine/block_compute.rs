@@ -24,6 +24,7 @@
 //! constraints `k > i` / `k < j` automatic: out-of-range candidates are
 //! `∞ + x` and never win the `min`.
 
+use crate::semiring::{MinPlus, Semiring};
 use crate::value::DpValue;
 
 /// Copy the 4×4 tile at tile coordinates `(tr, tc)` out of a row-major
@@ -43,6 +44,19 @@ fn copy_tile<T: Copy>(src: &[T], nb: usize, tr: usize, tc: usize) -> [T; 16] {
 /// Stage 1: `C ⊗= A × B` where `A = (bi, bk)` and `B = (bk, bj)` are final
 /// memory blocks distinct from `C`. All three are `nb × nb` row-major.
 pub fn stage1<T: DpValue>(c: &mut [T], a: &[T], b: &[T], nb: usize) {
+    stage1_ring(&MinPlus::<T>::new(), c, a, b, nb);
+}
+
+/// [`stage1`] over an arbitrary [`Semiring`]: the same tile sweep, with the
+/// 4×4 rank update going through [`Semiring::tile4`] — the SIMD kernel for
+/// min-plus `f32`/`f64`, the scalar ⊕/⊗ loop for everything else.
+pub fn stage1_ring<S: Semiring>(
+    ring: &S,
+    c: &mut [S::Elem],
+    a: &[S::Elem],
+    b: &[S::Elem],
+    nb: usize,
+) {
     debug_assert!(nb.is_multiple_of(4));
     let nt = nb / 4;
     for r in 0..nt {
@@ -51,7 +65,7 @@ pub fn stage1<T: DpValue>(c: &mut [T], a: &[T], b: &[T], nb: usize) {
             for t in 0..nt {
                 let a_off = r * 4 * nb + t * 4;
                 let b_off = t * 4 * nb + cc * 4;
-                T::tile4_update(&mut c[c_off..], nb, &a[a_off..], nb, &b[b_off..], nb);
+                ring.tile4(&mut c[c_off..], nb, &a[a_off..], nb, &b[b_off..], nb);
             }
         }
     }
@@ -63,10 +77,11 @@ pub fn stage1<T: DpValue>(c: &mut [T], a: &[T], b: &[T], nb: usize) {
 /// range (reading `dhi = Block(bj, bj)`). Cells are swept bottom-up,
 /// left-to-right so same-tile operands are final when read.
 #[inline]
-fn scalar_edge<T: DpValue>(
-    c: &mut [T],
-    dlo: Option<&[T]>,
-    dhi: Option<&[T]>,
+fn scalar_edge<S: Semiring>(
+    ring: &S,
+    c: &mut [S::Elem],
+    dlo: Option<&[S::Elem]>,
+    dhi: Option<&[S::Elem]>,
     nb: usize,
     r: usize,
     cc: usize,
@@ -83,7 +98,7 @@ fn scalar_edge<T: DpValue>(
                     Some(d) => d[ii * nb + k],
                     None => c[ii * nb + k],
                 };
-                best = T::min2(best, T::add_sat(lo, c[k * nb + jj]));
+                best = ring.combine(best, ring.extend(lo, c[k * nb + jj]));
             }
             // k inside this block's column range, k < jj: d(ii, k) from this
             // tile's left columns, d(k, jj) from the high diagonal block.
@@ -92,7 +107,7 @@ fn scalar_edge<T: DpValue>(
                     Some(d) => d[k * nb + jj],
                     None => c[k * nb + jj],
                 };
-                best = T::min2(best, T::add_sat(c[ii * nb + k], hi));
+                best = ring.combine(best, ring.extend(c[ii * nb + k], hi));
             }
             c[ii * nb + jj] = best;
         }
@@ -103,7 +118,7 @@ fn scalar_edge<T: DpValue>(
 /// diagonal memory block: the original Fig. 1 flowchart confined to the tile.
 /// Below-diagonal and diagonal cells are `+∞` padding and are never written.
 #[inline]
-fn diag_tile_closure<T: DpValue>(c: &mut [T], nb: usize, t: usize) {
+fn diag_tile_closure<S: Semiring>(ring: &S, c: &mut [S::Elem], nb: usize, t: usize) {
     let base = t * 4;
     for jl in 1..4 {
         for il in (0..jl).rev() {
@@ -111,7 +126,7 @@ fn diag_tile_closure<T: DpValue>(c: &mut [T], nb: usize, t: usize) {
             let mut best = c[ii * nb + jj];
             for k in il + 1..jl {
                 let kk = base + k;
-                best = T::min2(best, T::add_sat(c[ii * nb + kk], c[kk * nb + jj]));
+                best = ring.combine(best, ring.extend(c[ii * nb + kk], c[kk * nb + jj]));
             }
             c[ii * nb + jj] = best;
         }
@@ -125,8 +140,19 @@ fn diag_tile_closure<T: DpValue>(c: &mut [T], nb: usize, t: usize) {
 /// Computing blocks are processed bottom row first, left to right (paper:
 /// "the blocks on the left side and closer to the bottom are computed
 /// earlier"); per tile, the already-final tile operands go through the SIMD
-/// kernel and the same-tile remainder through [`scalar_edge`].
+/// kernel and the same-tile remainder through `scalar_edge`.
 pub fn stage2_offdiag<T: DpValue>(c: &mut [T], dlo: &[T], dhi: &[T], nb: usize) {
+    stage2_offdiag_ring(&MinPlus::<T>::new(), c, dlo, dhi, nb);
+}
+
+/// [`stage2_offdiag`] over an arbitrary [`Semiring`].
+pub fn stage2_offdiag_ring<S: Semiring>(
+    ring: &S,
+    c: &mut [S::Elem],
+    dlo: &[S::Elem],
+    dhi: &[S::Elem],
+    nb: usize,
+) {
     debug_assert!(nb.is_multiple_of(4));
     let nt = nb / 4;
     for r in (0..nt).rev() {
@@ -138,7 +164,7 @@ pub fn stage2_offdiag<T: DpValue>(c: &mut [T], dlo: &[T], dhi: &[T], nb: usize) 
                 let (head, tail) = c.split_at_mut(tr * 4 * nb);
                 let c_tile = &mut head[r * 4 * nb + cc * 4..];
                 let b_tile = &tail[cc * 4..];
-                T::tile4_update(c_tile, nb, &dlo[r * 4 * nb + tr * 4..], nb, b_tile, nb);
+                ring.tile4(c_tile, nb, &dlo[r * 4 * nb + tr * 4..], nb, b_tile, nb);
             }
             // (b) k-tiles strictly left of cc in this block's column range:
             //     C(r,cc) ⊗= C(r,tc) × DHI(tc,cc). The A operand shares rows
@@ -147,10 +173,10 @@ pub fn stage2_offdiag<T: DpValue>(c: &mut [T], dlo: &[T], dhi: &[T], nb: usize) 
             for tc in 0..cc {
                 let a_scratch = copy_tile(c, nb, r, tc);
                 let c_tile = &mut c[r * 4 * nb + cc * 4..];
-                T::tile4_update(c_tile, nb, &a_scratch, 4, &dhi[tc * 4 * nb + cc * 4..], nb);
+                ring.tile4(c_tile, nb, &a_scratch, 4, &dhi[tc * 4 * nb + cc * 4..], nb);
             }
             // (c) same-tile remainder: the original flowchart.
-            scalar_edge(c, Some(dlo), Some(dhi), nb, r, cc);
+            scalar_edge(ring, c, Some(dlo), Some(dhi), nb, r, cc);
         }
     }
 }
@@ -159,12 +185,17 @@ pub fn stage2_offdiag<T: DpValue>(c: &mut [T], dlo: &[T], dhi: &[T], nb: usize) 
 /// full NPDP recurrence restricted to the block, using the same
 /// tile-then-scalar structure as stage 2.
 pub fn compute_diag<T: DpValue>(c: &mut [T], nb: usize) {
+    compute_diag_ring(&MinPlus::<T>::new(), c, nb);
+}
+
+/// [`compute_diag`] over an arbitrary [`Semiring`].
+pub fn compute_diag_ring<S: Semiring>(ring: &S, c: &mut [S::Elem], nb: usize) {
     debug_assert!(nb.is_multiple_of(4));
     let nt = nb / 4;
     for r in (0..nt).rev() {
         for cc in r..nt {
             if r == cc {
-                diag_tile_closure(c, nb, r);
+                diag_tile_closure(ring, c, nb, r);
                 continue;
             }
             // Middle k-tiles: both operands are final tiles of this block.
@@ -172,10 +203,10 @@ pub fn compute_diag<T: DpValue>(c: &mut [T], nb: usize) {
                 let a_scratch = copy_tile(c, nb, r, tk);
                 let b_scratch = copy_tile(c, nb, tk, cc);
                 let c_tile = &mut c[r * 4 * nb + cc * 4..];
-                T::tile4_update(c_tile, nb, &a_scratch, 4, &b_scratch, 4);
+                ring.tile4(c_tile, nb, &a_scratch, 4, &b_scratch, 4);
             }
             // Edge k-tiles (tk == r and tk == cc) have same-tile operands.
-            scalar_edge(c, None, None, nb, r, cc);
+            scalar_edge(ring, c, None, None, nb, r, cc);
         }
     }
 }

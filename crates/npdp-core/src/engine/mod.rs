@@ -16,13 +16,13 @@
 //! | [`WavefrontEngine`] | NDL | 4×4 SIMD | rayon barriers | cross-check |
 
 pub(crate) mod banded;
-pub(crate) mod block_compute;
+pub mod block_compute;
 mod blocked;
 mod instrumented;
 mod parallel;
 mod scalar_kernels;
 mod serial;
-mod shared;
+pub(crate) mod shared;
 mod simd;
 mod tiled;
 mod wavefront;

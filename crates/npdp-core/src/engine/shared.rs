@@ -16,7 +16,6 @@
 use std::sync::atomic::{AtomicU8, Ordering};
 
 use crate::layout::BlockedMatrix;
-use crate::value::DpValue;
 
 const PENDING: u8 = 0;
 const OWNED: u8 = 1;
@@ -38,7 +37,9 @@ pub(crate) struct SharedBlocked<'a, T> {
 unsafe impl<T: Send + Sync> Send for SharedBlocked<'_, T> {}
 unsafe impl<T: Send + Sync> Sync for SharedBlocked<'_, T> {}
 
-impl<'a, T: DpValue> SharedBlocked<'a, T> {
+// No algebra bound: the state machine moves bytes, not ring values, so the
+// generic `Recurrence` path shares this view for composite elements too.
+impl<'a, T: Copy> SharedBlocked<'a, T> {
     /// Wrap a matrix for the duration of one parallel solve.
     pub fn new(m: &'a mut BlockedMatrix<T>) -> Self {
         let nb = m.block_side();

@@ -38,20 +38,7 @@ impl<T: DpValue> BlockedMatrix<T> {
     /// # Panics
     /// If `nb` is zero or not a multiple of 4.
     pub fn new_infinity(n: usize, nb: usize) -> Self {
-        assert!(
-            nb > 0 && nb.is_multiple_of(4),
-            "block side must be a multiple of 4"
-        );
-        let m = n.div_ceil(nb).max(1);
-        let grid = TriangleGrid::new(m);
-        let data = vec![T::INFINITY; grid.len() * nb * nb];
-        Self {
-            n,
-            nb,
-            m,
-            grid,
-            data,
-        }
+        Self::new_filled(n, nb, T::INFINITY)
     }
 
     /// Import a row-major triangular matrix into the NDL.
@@ -66,6 +53,54 @@ impl<T: DpValue> BlockedMatrix<T> {
     /// Export back to the row-major triangular layout.
     pub fn to_triangular(&self) -> TriangularMatrix<T> {
         TriangularMatrix::from_fn(self.n, |i, j| self.get(i, j))
+    }
+
+    /// Verify every padding cell still holds `INFINITY` — engines must keep
+    /// padding inert. (Padding cells *are* written by full-SIMD updates, but
+    /// only ever with values `≥ INFINITY`; this check accepts any such value.)
+    pub fn padding_is_inert(&self) -> bool {
+        for bi in 0..self.m {
+            for bj in bi..self.m {
+                let blk = self.block(bi, bj);
+                for li in 0..self.nb {
+                    for lj in 0..self.nb {
+                        let (i, j) = (bi * self.nb + li, bj * self.nb + lj);
+                        let pad = i >= j || j >= self.n;
+                        if pad && blk[li * self.nb + lj] < T::PAD_FLOOR {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+// Storage and block access need only `Copy`: the `Recurrence` path blocks
+// composite ring elements that have no `DpValue` ordering.
+impl<T: Copy> BlockedMatrix<T> {
+    /// A blocked triangle of logical side `n`, memory blocks of side `nb`,
+    /// every cell (padding included) set to `fill` — the generic-`Semiring`
+    /// spelling of [`BlockedMatrix::new_infinity`] with `fill = ring.zero()`.
+    ///
+    /// # Panics
+    /// If `nb` is zero or not a multiple of 4.
+    pub fn new_filled(n: usize, nb: usize, fill: T) -> Self {
+        assert!(
+            nb > 0 && nb.is_multiple_of(4),
+            "block side must be a multiple of 4"
+        );
+        let m = n.div_ceil(nb).max(1);
+        let grid = TriangleGrid::new(m);
+        let data = vec![fill; grid.len() * nb * nb];
+        Self {
+            n,
+            nb,
+            m,
+            grid,
+            data,
+        }
     }
 
     /// Logical side length.
@@ -151,27 +186,6 @@ impl<T: DpValue> BlockedMatrix<T> {
             // block-column bj, so the whole unpadded rectangle is logical.
             rows * cols
         }
-    }
-
-    /// Verify every padding cell still holds `INFINITY` — engines must keep
-    /// padding inert. (Padding cells *are* written by full-SIMD updates, but
-    /// only ever with values `≥ INFINITY`; this check accepts any such value.)
-    pub fn padding_is_inert(&self) -> bool {
-        for bi in 0..self.m {
-            for bj in bi..self.m {
-                let blk = self.block(bi, bj);
-                for li in 0..self.nb {
-                    for lj in 0..self.nb {
-                        let (i, j) = (bi * self.nb + li, bj * self.nb + lj);
-                        let pad = i >= j || j >= self.n;
-                        if pad && blk[li * self.nb + lj] < T::PAD_FLOOR {
-                            return false;
-                        }
-                    }
-                }
-            }
-        }
-        true
     }
 }
 

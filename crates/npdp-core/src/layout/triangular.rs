@@ -29,6 +29,29 @@ impl<T: DpValue> TriangularMatrix<T> {
         Self::filled(n, T::INFINITY)
     }
 
+    /// Build from a seeding function over cells `(i, j)`, `i < j`.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut m = Self::new_infinity(n);
+        for i in 0..n {
+            for j in i + 1..n {
+                *m.get_mut(i, j) = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// `min`-update cell `(i, j)` with a candidate value.
+    #[inline(always)]
+    pub fn relax(&mut self, i: usize, j: usize, cand: T) {
+        let idx = self.idx(i, j);
+        self.data[idx] = T::min2(self.data[idx], cand);
+    }
+}
+
+// Storage and access need only `Copy` — the `Recurrence` path stores ring
+// elements (CYK nonterminal vectors, Zuker track bundles) that are not
+// `DpValue`s.
+impl<T: Copy> TriangularMatrix<T> {
     /// A triangle of side `n` with every cell set to `fill`.
     pub fn filled(n: usize, fill: T) -> Self {
         let len = n * n.saturating_sub(1) / 2;
@@ -76,17 +99,6 @@ impl<T: DpValue> TriangularMatrix<T> {
         }
     }
 
-    /// Build from a seeding function over cells `(i, j)`, `i < j`.
-    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
-        let mut m = Self::new_infinity(n);
-        for i in 0..n {
-            for j in i + 1..n {
-                *m.get_mut(i, j) = f(i, j);
-            }
-        }
-        m
-    }
-
     /// Side length.
     pub fn n(&self) -> usize {
         self.n
@@ -128,13 +140,6 @@ impl<T: DpValue> TriangularMatrix<T> {
         self.data[idx] = v;
     }
 
-    /// `min`-update cell `(i, j)` with a candidate value.
-    #[inline(always)]
-    pub fn relax(&mut self, i: usize, j: usize, cand: T) {
-        let idx = self.idx(i, j);
-        self.data[idx] = T::min2(self.data[idx], cand);
-    }
-
     /// Iterate `(i, j, value)` over all stored cells in row-major order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
         (0..self.n).flat_map(move |i| (i + 1..self.n).map(move |j| (i, j, self.get(i, j))))
@@ -144,7 +149,9 @@ impl<T: DpValue> TriangularMatrix<T> {
     pub fn as_slice(&self) -> &[T] {
         &self.data
     }
+}
 
+impl<T: Copy + PartialEq> TriangularMatrix<T> {
     /// Exact cell-wise equality against another triangle of the same side.
     ///
     /// Returns the first differing cell, if any. (Engines are required to be

@@ -43,6 +43,8 @@ pub mod engine;
 pub mod error;
 pub mod layout;
 pub mod problem;
+pub mod recurrence;
+pub mod semiring;
 pub mod value;
 
 pub use engine::{
@@ -52,5 +54,9 @@ pub use engine::{
 pub use error::{SeedIssue, SolveError};
 pub use layout::{BlockedMatrix, TriangularMatrix};
 pub use npdp_exec::{ExecContext, Tuning};
+pub use recurrence::{Recurrence, SolveRecurrence};
+pub use semiring::{MaxPlusRing, MinPlus, Semiring};
 pub use task_queue::ExecStats;
-pub use value::{DpValue, MaxPlus};
+pub use value::DpValue;
+#[allow(deprecated)]
+pub use value::MaxPlus;

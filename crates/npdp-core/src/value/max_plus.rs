@@ -6,12 +6,25 @@
 //! `d[i][j] = max(d[i][j], d[i][k] + d[k][j])` unchanged: `min` over the
 //! reversed order is `max`, and the padding identity `MaxPlus::INFINITY`
 //! is the underlying `-∞`.
+//!
+//! **Deprecated:** the [`Semiring`](crate::semiring::Semiring) abstraction
+//! ships max-plus as a plain ring over unwrapped scalars
+//! ([`MaxPlusRing`](crate::semiring::MaxPlusRing)) that runs on every
+//! engine through the `Recurrence` path with no newtype lifting; the
+//! bit-identity regression old-vs-new lives in `semiring.rs` and
+//! `tests/engines_agree.rs`.
+
+#![allow(deprecated)]
 
 use std::cmp::Ordering;
 
 use crate::value::DpValue;
 
 /// Order-reversing wrapper turning the min-plus engines into max-plus.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `semiring::MaxPlusRing` over plain scalars via the `Recurrence` path"
+)]
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[repr(transparent)]
 pub struct MaxPlus<T>(pub T);

@@ -253,4 +253,5 @@ mod tests {
 }
 
 pub mod max_plus;
+#[allow(deprecated)]
 pub use max_plus::MaxPlus;

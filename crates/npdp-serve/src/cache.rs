@@ -234,11 +234,34 @@ mod tests {
             workload_key(&a),
             workload_key(&Workload::ClosureSynthetic { n: 33, seed: 7 })
         );
-        // Kind is part of the key even at equal (n, seed).
-        assert_ne!(
-            workload_key(&Workload::ClosureSynthetic { n: 32, seed: 7 }),
-            workload_key(&Workload::FoldSynthetic { bases: 32, seed: 7 })
-        );
+        // Kind is part of the key even at equal (n, seed): all six synthetic
+        // kinds carry the same (u32, u64) parameter bytes here, yet every
+        // pair of cache keys is distinct.
+        let same_params = [
+            Workload::ClosureSynthetic { n: 32, seed: 7 },
+            Workload::ParenthesizeSynthetic {
+                matrices: 32,
+                seed: 7,
+            },
+            Workload::FoldSynthetic { bases: 32, seed: 7 },
+            Workload::BstSynthetic { keys: 32, seed: 7 },
+            Workload::CykSynthetic {
+                tokens: 32,
+                seed: 7,
+            },
+            Workload::ZukerSynthetic { bases: 32, seed: 7 },
+        ];
+        for (i, x) in same_params.iter().enumerate() {
+            for y in same_params.iter().skip(i + 1) {
+                assert_ne!(
+                    workload_key(x),
+                    workload_key(y),
+                    "{} / {} cache keys collide",
+                    x.kind_name(),
+                    y.kind_name()
+                );
+            }
+        }
         // Inline keys see every seed bit.
         let seeds = TriangularMatrix::from_fn(8, |i, j| (i + j) as f32);
         let mut tweaked = seeds.clone();

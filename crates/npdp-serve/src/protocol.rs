@@ -24,8 +24,13 @@ use npdp_core::TriangularMatrix;
 /// (solve vs. admin frames). v3 added the `deadline_ms` budget to solve
 /// frames (between the id and the tenant label; `0` = no deadline);
 /// responses are unchanged apart from the new
-/// [`Status::DeadlineExceeded`] byte.
-pub const VERSION: u8 = 3;
+/// [`Status::DeadlineExceeded`] byte. v4 added the on-engine recurrence
+/// workloads — [`Workload::BstSynthetic`], [`Workload::CykSynthetic`] and
+/// [`Workload::ZukerSynthetic`] — which ride the generic
+/// `npdp_core::Recurrence` path on the same engine tiers; their results
+/// reuse the existing [`SolveOutput`] body tags, so responses are
+/// unchanged.
+pub const VERSION: u8 = 4;
 
 /// Request-kind byte: a solve request ([`Request`]).
 pub const KIND_SOLVE: u8 = 0;
@@ -66,6 +71,18 @@ pub enum Workload {
     /// Zuker RNA fold (stems-only `V'` + the min-plus `W` closure) of a
     /// seeded random sequence of `bases` bases.
     FoldSynthetic { bases: u32, seed: u64 },
+    /// Optimal binary search tree over `keys` seeded random access
+    /// frequencies, solved on-engine via the rooted recurrence
+    /// (`npdp_core::apps::optimal_bst::BstRec`).
+    BstSynthetic { keys: u32, seed: u64 },
+    /// Weighted CYK parse of a seeded random token string under a seeded
+    /// random grammar (`npdp_core::apps::cyk`), on-engine over the
+    /// tropical semiring.
+    CykSynthetic { tokens: u32, seed: u64 },
+    /// Full Zuker fold — multibranch loops included — of a seeded random
+    /// sequence, entirely on-engine (`zuker::on_engine::fold_on_engine`);
+    /// unlike [`Workload::FoldSynthetic`] nothing is precomputed serially.
+    ZukerSynthetic { bases: u32, seed: u64 },
 }
 
 impl Workload {
@@ -79,6 +96,11 @@ impl Workload {
             Workload::ParenthesizeSynthetic { matrices, .. } => *matrices as usize + 1,
             // Gap coordinates: `bases + 1` table side.
             Workload::FoldSynthetic { bases, .. } => *bases as usize + 1,
+            // Classic BST table side: `keys + 1` boundary indices.
+            Workload::BstSynthetic { keys, .. } => *keys as usize + 1,
+            // Gap coordinates: `tokens + 1` table side.
+            Workload::CykSynthetic { tokens, .. } => *tokens as usize + 1,
+            Workload::ZukerSynthetic { bases, .. } => *bases as usize + 1,
         }
     }
 
@@ -97,6 +119,9 @@ impl Workload {
             Workload::ClosureInline { .. } => "closure_inline",
             Workload::ParenthesizeSynthetic { .. } => "parenthesize",
             Workload::FoldSynthetic { .. } => "fold",
+            Workload::BstSynthetic { .. } => "bst",
+            Workload::CykSynthetic { .. } => "cyk",
+            Workload::ZukerSynthetic { .. } => "zuker",
         }
     }
 
@@ -121,6 +146,21 @@ impl Workload {
             }
             Workload::FoldSynthetic { bases, seed } => {
                 out.push(3);
+                put_u32(out, *bases);
+                put_u64(out, *seed);
+            }
+            Workload::BstSynthetic { keys, seed } => {
+                out.push(4);
+                put_u32(out, *keys);
+                put_u64(out, *seed);
+            }
+            Workload::CykSynthetic { tokens, seed } => {
+                out.push(5);
+                put_u32(out, *tokens);
+                put_u64(out, *seed);
+            }
+            Workload::ZukerSynthetic { bases, seed } => {
+                out.push(6);
                 put_u32(out, *bases);
                 put_u64(out, *seed);
             }
@@ -152,6 +192,18 @@ impl Workload {
                 seed: r.u64()?,
             },
             3 => Workload::FoldSynthetic {
+                bases: r.u32()?,
+                seed: r.u64()?,
+            },
+            4 => Workload::BstSynthetic {
+                keys: r.u32()?,
+                seed: r.u64()?,
+            },
+            5 => Workload::CykSynthetic {
+                tokens: r.u32()?,
+                seed: r.u64()?,
+            },
+            6 => Workload::ZukerSynthetic {
                 bases: r.u32()?,
                 seed: r.u64()?,
             },
@@ -594,6 +646,63 @@ mod tests {
                 seeds: TriangularMatrix::from_fn(9, |i, j| (i * 10 + j) as f32),
             },
         });
+        // v4 on-engine workloads.
+        round_trip_request(&Request {
+            id: 11,
+            deadline_ms: 0,
+            tenant: "bst".into(),
+            workload: Workload::BstSynthetic { keys: 40, seed: 6 },
+        });
+        round_trip_request(&Request {
+            id: 12,
+            deadline_ms: 100,
+            tenant: "cyk".into(),
+            workload: Workload::CykSynthetic {
+                tokens: 24,
+                seed: 13,
+            },
+        });
+        round_trip_request(&Request {
+            id: 13,
+            deadline_ms: 0,
+            tenant: "zuker".into(),
+            workload: Workload::ZukerSynthetic { bases: 28, seed: 2 },
+        });
+    }
+
+    /// Satellite: distinct workload kinds with *identical* parameter bytes
+    /// must never share canonical (cache-key) bytes — the kind tag leads
+    /// the encoding, so a BST over seed 7 can never alias a fold over
+    /// seed 7.
+    #[test]
+    fn canonical_bytes_separate_kinds_with_identical_seed_bytes() {
+        let same_tail: [Workload; 5] = [
+            Workload::ClosureSynthetic { n: 32, seed: 7 },
+            Workload::FoldSynthetic { bases: 32, seed: 7 },
+            Workload::BstSynthetic { keys: 32, seed: 7 },
+            Workload::CykSynthetic {
+                tokens: 32,
+                seed: 7,
+            },
+            Workload::ZukerSynthetic { bases: 32, seed: 7 },
+        ];
+        for (i, a) in same_tail.iter().enumerate() {
+            // Identical parameter bytes after the tag…
+            assert_eq!(
+                a.canonical_bytes()[1..],
+                same_tail[0].canonical_bytes()[1..]
+            );
+            for b in same_tail.iter().skip(i + 1) {
+                // …but distinct canonical bytes overall.
+                assert_ne!(
+                    a.canonical_bytes(),
+                    b.canonical_bytes(),
+                    "{} vs {}",
+                    a.kind_name(),
+                    b.kind_name()
+                );
+            }
+        }
     }
 
     #[test]
@@ -748,6 +857,16 @@ mod tests {
             11
         );
         assert_eq!(Workload::FoldSynthetic { bases: 20, seed: 0 }.side(), 21);
+        assert_eq!(Workload::BstSynthetic { keys: 20, seed: 0 }.side(), 21);
+        assert_eq!(
+            Workload::CykSynthetic {
+                tokens: 20,
+                seed: 0
+            }
+            .side(),
+            21
+        );
+        assert_eq!(Workload::ZukerSynthetic { bases: 20, seed: 0 }.side(), 21);
         assert_eq!(
             Workload::ClosureSynthetic { n: 64, seed: 0 }.cells(),
             64 * 63 / 2

@@ -9,10 +9,16 @@
 //! *served responses — cached or not — must equal a direct
 //! `Engine::solve_with` of the same seeds.*
 
-use npdp_core::apps::matrix_chain;
-use npdp_core::{problem, Engine, ExecContext, SolveError, TriangularMatrix};
+use std::sync::Arc;
+
+use npdp_core::apps::cyk::{random_grammar, random_tokens, Grammar};
+use npdp_core::apps::{cyk_parse_on, matrix_chain, optimal_bst_on};
+use npdp_core::{
+    problem, DpValue, Engine, ExecContext, SolveError, SolveRecurrence, TriangularMatrix,
+};
 use zuker::fold::{v_stems, w_seeds_from_v};
-use zuker::sequence::random_sequence;
+use zuker::on_engine::{fold_on_engine, ON_ENGINE_MAX_INTERNAL};
+use zuker::sequence::{random_sequence, Base};
 use zuker::EnergyModel;
 
 use crate::protocol::{SolveOutput, Workload};
@@ -24,6 +30,20 @@ pub const CLOSURE_SCALE: f32 = 100.0;
 /// Matrix-chain dimensions are drawn uniformly from `1..=MAX_CHAIN_DIM`,
 /// keeping every `p_i · p_k · p_j` product far inside the `i64` domain.
 pub const MAX_CHAIN_DIM: u64 = 64;
+
+/// BST access frequencies are drawn uniformly from `0..MAX_BST_FREQ`.
+pub const MAX_BST_FREQ: i64 = 1000;
+
+/// The energy model the `ZukerSynthetic` workload folds under: the default
+/// synthetic parameters with internal loops bounded to what the on-engine
+/// recurrence's trimmed-window tracks can see. Both the server and any
+/// verifier must use this exact model for byte equality.
+pub fn zuker_model() -> EnergyModel {
+    EnergyModel {
+        max_internal: ON_ENGINE_MAX_INTERNAL,
+        ..Default::default()
+    }
+}
 
 /// A materialized problem, ready for an engine.
 #[derive(Debug, Clone)]
@@ -37,6 +57,25 @@ pub enum Problem {
         seeds: TriangularMatrix<i32>,
         bases: usize,
     },
+    /// Optimal-BST access frequencies (on-engine rooted recurrence).
+    Bst { freq: Vec<i64> },
+    /// CYK grammar and token string (on-engine tropical semiring).
+    Cyk {
+        grammar: Arc<Grammar>,
+        tokens: Vec<usize>,
+    },
+    /// Full Zuker fold input sequence (on-engine composite semiring).
+    Zuker { seq: Vec<Base> },
+}
+
+/// Deterministic BST access frequencies for a synthetic BST request.
+pub fn bst_freqs(keys: u32, seed: u64) -> Vec<i64> {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..keys as usize)
+        .map(|_| rng.random_range(0..MAX_BST_FREQ))
+        .collect()
 }
 
 /// Deterministic matrix-chain dimensions for a synthetic parenthesize
@@ -69,6 +108,17 @@ pub fn materialize(workload: &Workload) -> Problem {
                 bases: seq.len(),
             }
         }
+        Workload::BstSynthetic { keys, seed } => Problem::Bst {
+            freq: bst_freqs(*keys, *seed),
+        },
+        Workload::CykSynthetic { tokens, seed } => {
+            let grammar = Arc::new(random_grammar(*seed));
+            let tokens = random_tokens(&grammar, *tokens as usize, *seed);
+            Problem::Cyk { grammar, tokens }
+        }
+        Workload::ZukerSynthetic { bases, seed } => Problem::Zuker {
+            seq: random_sequence(*bases as usize, *seed),
+        },
     }
 }
 
@@ -79,14 +129,16 @@ pub fn materialize(workload: &Workload) -> Problem {
 /// the large tier the task-queue parallel engine with `Tuning::Auto`.
 /// Parenthesize runs the k-dependent generic serial solver (its combine
 /// term is not pure min-plus); its work is still attributed to
-/// `ctx.metrics` so fairness accounting sees it.
+/// `ctx.metrics` so fairness accounting sees it. The v4 workloads (BST,
+/// CYK, full Zuker) ride the generic `Recurrence` path — hence the
+/// [`SolveRecurrence`] bound — on whichever tier dispatched them.
 pub fn solve_problem<E>(
     problem: &Problem,
     engine: &E,
     ctx: &ExecContext,
 ) -> Result<SolveOutput, SolveError>
 where
-    E: Engine<f32> + Engine<i32> + ?Sized,
+    E: Engine<f32> + Engine<i32> + SolveRecurrence + ?Sized,
 {
     match problem {
         Problem::Closure(seeds) => {
@@ -113,6 +165,33 @@ where
                 w.get(0, *bases).min(0)
             };
             Ok(SolveOutput::Fold { energy, w })
+        }
+        Problem::Bst { freq } => {
+            let bst = optimal_bst_on(engine, freq, ctx)?;
+            Ok(SolveOutput::I64Table(bst.table))
+        }
+        Problem::Cyk { grammar, tokens } => {
+            let parse = cyk_parse_on(engine, Arc::clone(grammar), tokens, ctx)?;
+            let start = parse.start as usize;
+            // Normalize the chart to start-symbol costs: derivable spans
+            // carry their exact weight, underivable ones the i64 domain's
+            // canonical infinity (lanes above `i32` INF are saturation
+            // artifacts, not energies — `cost` already masks them).
+            let table = TriangularMatrix::from_fn(parse.chart.n(), |i, j| {
+                parse
+                    .chart
+                    .get(i, j)
+                    .cost(start)
+                    .map_or(<i64 as DpValue>::INFINITY, i64::from)
+            });
+            Ok(SolveOutput::I64Table(table))
+        }
+        Problem::Zuker { seq } => {
+            let fold = fold_on_engine(seq, &zuker_model(), engine, ctx)?;
+            Ok(SolveOutput::Fold {
+                energy: fold.energy,
+                w: fold.w,
+            })
         }
     }
 }
@@ -162,6 +241,12 @@ mod tests {
                 seed: 2,
             },
             Workload::FoldSynthetic { bases: 40, seed: 3 },
+            Workload::BstSynthetic { keys: 33, seed: 4 },
+            Workload::CykSynthetic {
+                tokens: 26,
+                seed: 5,
+            },
+            Workload::ZukerSynthetic { bases: 30, seed: 6 },
         ] {
             let problem = materialize(&workload);
             let ctx = ExecContext::disabled();
@@ -185,6 +270,53 @@ mod tests {
         let out = solve_direct(&Workload::FoldSynthetic { bases: 36, seed: 5 }).unwrap();
         let SolveOutput::Fold { energy, w } = out else {
             panic!("fold workload produced a non-fold output");
+        };
+        assert_eq!(energy, reference.energy);
+        assert_eq!(w.first_difference(&reference.w), None);
+    }
+
+    /// The served BST table is exactly `optimal_bst`'s (the rooted serial
+    /// reference), entry for entry.
+    #[test]
+    fn bst_workload_matches_rooted_reference() {
+        let freq = bst_freqs(29, 11);
+        let reference = npdp_core::apps::optimal_bst(&freq);
+        let out = solve_direct(&Workload::BstSynthetic { keys: 29, seed: 11 }).unwrap();
+        let SolveOutput::I64Table(table) = out else {
+            panic!("bst workload produced a non-i64 output");
+        };
+        assert_eq!(table.first_difference(&reference.table), None);
+    }
+
+    /// The served CYK table's whole-string cell equals the textbook O(n³)
+    /// reference, including unparseable strings (canonical infinity).
+    #[test]
+    fn cyk_workload_matches_textbook_reference() {
+        for seed in [0u64, 3, 9] {
+            let grammar = random_grammar(seed);
+            let tokens = random_tokens(&grammar, 22, seed);
+            let reference = npdp_core::apps::cyk::cyk_reference(&grammar, &tokens);
+            let out = solve_direct(&Workload::CykSynthetic { tokens: 22, seed }).unwrap();
+            let SolveOutput::I64Table(table) = out else {
+                panic!("cyk workload produced a non-i64 output");
+            };
+            let served = table.get(0, table.n() - 1);
+            match reference {
+                Some(w) => assert_eq!(served, i64::from(w), "seed {seed}"),
+                None => assert_eq!(served, <i64 as DpValue>::INFINITY, "seed {seed}"),
+            }
+        }
+    }
+
+    /// The served full Zuker fold equals `fold_exact` under the bounded
+    /// service model — energy and the whole `W` table.
+    #[test]
+    fn zuker_workload_matches_fold_exact() {
+        let seq = random_sequence(34, 8);
+        let reference = zuker::fold_exact(&seq, &zuker_model());
+        let out = solve_direct(&Workload::ZukerSynthetic { bases: 34, seed: 8 }).unwrap();
+        let SolveOutput::Fold { energy, w } = out else {
+            panic!("zuker workload produced a non-fold output");
         };
         assert_eq!(energy, reference.energy);
         assert_eq!(w.first_difference(&reference.w), None);

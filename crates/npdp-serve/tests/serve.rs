@@ -40,8 +40,16 @@ fn end_to_end_mixed_stream_is_correct() {
             seed: 2,
         },
         Workload::FoldSynthetic { bases: 30, seed: 3 },
+        // The v4 on-engine recurrence workloads ride the same tiers.
+        Workload::BstSynthetic { keys: 21, seed: 5 },
+        Workload::CykSynthetic {
+            tokens: 18,
+            seed: 6,
+        },
+        Workload::ZukerSynthetic { bases: 26, seed: 7 },
         // Over the 48 threshold: routed through the autotuned large tier.
         Workload::ClosureSynthetic { n: 96, seed: 4 },
+        Workload::ZukerSynthetic { bases: 80, seed: 8 },
     ];
     for (i, workload) in workloads.iter().enumerate() {
         let resp = client.call(&req(i as u64, "t", workload.clone())).unwrap();
@@ -284,14 +292,17 @@ proptest! {
     /// — across workload kinds and both size tiers.
     #[test]
     fn cache_hits_are_bit_identical_to_recomputation(
-        kind in 0u8..3,
+        kind in 0u8..6,
         side in 4u32..48,
         seed in any::<u64>(),
     ) {
         let workload = match kind {
             0 => Workload::ClosureSynthetic { n: side, seed },
             1 => Workload::ParenthesizeSynthetic { matrices: side, seed },
-            _ => Workload::FoldSynthetic { bases: side, seed },
+            2 => Workload::FoldSynthetic { bases: side, seed },
+            3 => Workload::BstSynthetic { keys: side, seed },
+            4 => Workload::CykSynthetic { tokens: side, seed },
+            _ => Workload::ZukerSynthetic { bases: side, seed },
         };
         let mut client = Client::connect(shared_server().addr()).unwrap();
         let first = client.call(&req(1, "p", workload.clone())).unwrap();

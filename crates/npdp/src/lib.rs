@@ -77,8 +77,9 @@ pub use zuker as rna;
 pub mod prelude {
     pub use baselines::{OriginalEngine, TanEngine};
     pub use npdp_core::{
-        BlockedEngine, BlockedMatrix, DpValue, Engine, ParallelEngine, Scheduler, SerialEngine,
-        SimdEngine, SolveError, TiledEngine, TriangularMatrix, WavefrontEngine,
+        BlockedEngine, BlockedMatrix, DpValue, Engine, MaxPlusRing, MinPlus, ParallelEngine,
+        Recurrence, Scheduler, Semiring, SerialEngine, SimdEngine, SolveError, SolveRecurrence,
+        TiledEngine, TriangularMatrix, WavefrontEngine,
     };
     pub use npdp_exec::{ExecContext, Tuning};
     pub use npdp_fault::{FaultInjector, FaultKind, FaultPlan, RetryPolicy};

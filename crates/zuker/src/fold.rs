@@ -22,6 +22,19 @@ impl VTable {
         }
     }
 
+    /// Build from a per-pair function (used by the on-engine fold to
+    /// re-export its `v` track in the classic layout).
+    pub(crate) fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> i32) -> Self {
+        let mut v = Self::new(n);
+        for i in 0..n {
+            for j in i + 1..n {
+                let val = f(i, j);
+                v.set(i, j, val);
+            }
+        }
+        v
+    }
+
     /// `V(i, j)`: minimum energy of `s[i..=j]` with `(i, j)` paired.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> i32 {

@@ -44,10 +44,12 @@
 
 pub mod energy;
 pub mod fold;
+pub mod on_engine;
 pub mod sequence;
 pub mod traceback;
 
 pub use energy::EnergyModel;
 pub use fold::{fold_exact, fold_local, fold_with_engine, w_seeds, FoldResult};
+pub use on_engine::{fold_on_engine, ZukerRec, ON_ENGINE_MAX_INTERNAL};
 pub use sequence::{hairpin_sequence, parse_fasta, random_sequence, Base, FastaRecord, Seq};
 pub use traceback::{score_full, score_stems, traceback, traceback_exact, Structure};

@@ -1,0 +1,506 @@
+//! The **full** Zuker recursion — multibranch loops included — as a single
+//! [`Recurrence`] over a composite semiring, running unmodified on every
+//! `npdp-core` engine tier (blocked NDL layout, tile kernels, task queue).
+//!
+//! [`crate::fold::fold_with_engine`] decouples: stems serially, then the
+//! `W` closure on an engine. This module instead folds *everything* on the
+//! engine by making the table element a bundle of interval tracks
+//! ([`ZkElem`]) closed under interval concatenation:
+//!
+//! * `w` — exterior energy over `s[i..j)` (the classic `W` in gap
+//!   coordinates); `v` enters via [`Recurrence::finalize`].
+//! * `wm` — multiloop-interior energy with ≥ 1 branch (the classic `WM`):
+//!   split sums, plus unpaired-base extension when one side is a single
+//!   base, plus `v + b` at finalize.
+//! * `wm2` / `wm2_tr` / `mb` — a three-step chain that assembles the
+//!   multibranch term `min over c of WM(i+1, c) + WM(c, j-1)`: `wm2` is the
+//!   two-part sum over the *full* interval, `wm2_tr` trims one base on the
+//!   right (defined by the `k = j-1` split), and `mb` trims one more on the
+//!   left (defined by the `k = i+1` split). `combine` (elementwise `min`)
+//!   keeps the one defining candidate; all others contribute `INF`.
+//! * `win[p][q]` — the `v` value of the interval trimmed by `p` bases on
+//!   the left and `q` on the right, for `p + q ≤ `[`LMAX`]. This is what
+//!   lets `finalize(i, j)` see `V` of *interior* cells — stack partner
+//!   `win[1][1]`, internal-loop partners `win[l1+1][l2+1]` — without any
+//!   table access, at the cost of bounding internal loops to
+//!   [`ON_ENGINE_MAX_INTERNAL`].
+//! * `span` — exact interval length, gating the single-base rules
+//!   (padding carries a huge `span` and can never impersonate a base).
+//!
+//! # Saturation discipline
+//!
+//! Impossible states are `INF = i32::MAX / 4`. Track arithmetic uses
+//! saturating adds, so an `INF` operand yields a value in
+//! `[INF - n·C, 2·INF]` (stabilizing stacks subtract a few hundred at
+//! most); `finalize` clamps every track at `INF / 2` back to exact `INF`,
+//! which keeps all engines bit-identical to [`crate::fold::fold_exact`]
+//! and padded blocks inert (the padding law: clamp threshold `INF / 2`
+//! exceeds any real energy by orders of magnitude).
+
+use npdp_core::{ExecContext, Recurrence, Semiring, SolveRecurrence, TriangularMatrix};
+
+use crate::energy::{EnergyModel, INF};
+use crate::fold::{FoldResult, VTable};
+use crate::sequence::Base;
+
+/// Largest internal loop (`l1 + l2`) the on-engine fold can express: the
+/// trimmed-window tracks cover trims up to [`LMAX`] `= ON_ENGINE_MAX_INTERNAL
+/// + 2` bases. [`ZukerRec::new`] rejects models beyond this bound.
+pub const ON_ENGINE_MAX_INTERNAL: usize = 4;
+
+/// Maximum total trim `p + q` carried by the window tracks.
+pub const LMAX: usize = ON_ENGINE_MAX_INTERNAL + 2;
+
+/// Number of `(p, q)` windows with `1 ≤ p + q ≤ LMAX`.
+const NWIN: usize = 27;
+
+/// Start offset of each `p + q` diagonal in the packed window array.
+const OFF: [usize; LMAX + 1] = [usize::MAX, 0, 2, 5, 9, 14, 20];
+
+#[inline]
+fn win_idx(p: usize, q: usize) -> usize {
+    debug_assert!(p + q >= 1 && p + q <= LMAX);
+    OFF[p + q] + p
+}
+
+/// One DP cell of the on-engine Zuker fold: every track the recursion
+/// needs, closed under concatenation of adjacent intervals.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ZkElem {
+    /// Interval length `j - i` (saturating; padding is huge).
+    pub span: i32,
+    /// Exterior energy `W` over the interval.
+    pub w: i32,
+    /// Energy with the outermost bases paired (`V`); set by `finalize`.
+    pub v: i32,
+    /// Multiloop interior with ≥ 1 branch (`WM`).
+    pub wm: i32,
+    /// Two `wm` parts over the full interval.
+    pub wm2: i32,
+    /// `wm2` of the interval minus its last base.
+    pub wm2_tr: i32,
+    /// `wm2` of the interval minus first and last base — the multibranch
+    /// interior of a closing pair at this cell's ends.
+    pub mb: i32,
+    /// `v` of the interval trimmed `(p, q)` bases, packed by [`win_idx`].
+    win: [i32; NWIN],
+}
+
+impl ZkElem {
+    /// The `combine` identity: every track impossible.
+    const ABSENT: ZkElem = ZkElem {
+        span: INF,
+        w: INF,
+        v: INF,
+        wm: INF,
+        wm2: INF,
+        wm2_tr: INF,
+        mb: INF,
+        win: [INF; NWIN],
+    };
+
+    /// A single unpaired base: length 1, free exterior, nothing else.
+    const BASE: ZkElem = ZkElem {
+        span: 1,
+        w: 0,
+        ..Self::ABSENT
+    };
+
+    /// `v` of the interval trimmed `p` bases on the left, `q` on the right.
+    #[inline]
+    pub fn win(&self, p: usize, q: usize) -> i32 {
+        self.win[win_idx(p, q)]
+    }
+
+    /// Clamp every saturated-impossible track back to exact `INF`.
+    fn clamped(mut self) -> ZkElem {
+        #[inline]
+        fn cl(x: i32) -> i32 {
+            if x >= INF / 2 {
+                INF
+            } else {
+                x
+            }
+        }
+        self.w = cl(self.w);
+        self.v = cl(self.v);
+        self.wm = cl(self.wm);
+        self.wm2 = cl(self.wm2);
+        self.wm2_tr = cl(self.wm2_tr);
+        self.mb = cl(self.mb);
+        for x in &mut self.win {
+            *x = cl(*x);
+        }
+        self
+    }
+}
+
+/// The concatenation algebra over [`ZkElem`]: `combine` is elementwise
+/// `min`, `extend` merges two adjacent intervals. Carries the multiloop
+/// per-unpaired-base cost `c` (the only model parameter split composition
+/// needs — everything else lives in [`Recurrence::finalize`]).
+#[derive(Clone)]
+pub struct ZkRing {
+    multi_unpaired: i32,
+}
+
+impl Semiring for ZkRing {
+    type Elem = ZkElem;
+
+    fn zero(&self) -> ZkElem {
+        ZkElem::ABSENT
+    }
+
+    fn combine(&self, a: ZkElem, b: ZkElem) -> ZkElem {
+        let mut o = a;
+        o.span = o.span.min(b.span);
+        o.w = o.w.min(b.w);
+        o.v = o.v.min(b.v);
+        o.wm = o.wm.min(b.wm);
+        o.wm2 = o.wm2.min(b.wm2);
+        o.wm2_tr = o.wm2_tr.min(b.wm2_tr);
+        o.mb = o.mb.min(b.mb);
+        for (x, &y) in o.win.iter_mut().zip(b.win.iter()) {
+            *x = (*x).min(y);
+        }
+        o
+    }
+
+    fn extend(&self, l: ZkElem, r: ZkElem) -> ZkElem {
+        let mut o = ZkElem::ABSENT;
+        o.span = l.span.saturating_add(r.span);
+        o.w = l.w.saturating_add(r.w);
+        // WM: two branched parts, or one part plus an unpaired base.
+        o.wm = l.wm.saturating_add(r.wm);
+        if r.span == 1 {
+            o.wm = o.wm.min(l.wm.saturating_add(self.multi_unpaired));
+        }
+        if l.span == 1 {
+            o.wm = o.wm.min(r.wm.saturating_add(self.multi_unpaired));
+        }
+        // Exactly two branched parts (the multibranch interior shape).
+        o.wm2 = l.wm.saturating_add(r.wm);
+        // Trim chain: right trim at the k = j-1 split, then left trim at
+        // the k = i+1 split of the enclosing cell.
+        if r.span == 1 {
+            o.wm2_tr = l.wm2;
+        }
+        if l.span == 1 {
+            o.mb = r.wm2_tr;
+        }
+        // Window tracks: trimming one base off either end shifts every
+        // window by one, and the bare `v` of the other side becomes the
+        // (1,0) / (0,1) window.
+        if l.span == 1 {
+            o.win[win_idx(1, 0)] = r.v;
+            for s in 1..LMAX {
+                for p in 0..=s {
+                    let t = win_idx(p + 1, s - p);
+                    o.win[t] = o.win[t].min(r.win[win_idx(p, s - p)]);
+                }
+            }
+        }
+        if r.span == 1 {
+            let t = win_idx(0, 1);
+            o.win[t] = o.win[t].min(l.v);
+            for s in 1..LMAX {
+                for p in 0..=s {
+                    let t = win_idx(p, s - p + 1);
+                    o.win[t] = o.win[t].min(l.win[win_idx(p, s - p)]);
+                }
+            }
+        }
+        o
+    }
+}
+
+/// The full Zuker fold as a recurrence over [`ZkRing`].
+pub struct ZukerRec<'a> {
+    ring: ZkRing,
+    seq: &'a [Base],
+    model: &'a EnergyModel,
+}
+
+impl<'a> ZukerRec<'a> {
+    /// # Panics
+    /// If `model.max_internal` exceeds [`ON_ENGINE_MAX_INTERNAL`] (the
+    /// window tracks cannot see far enough into the interval).
+    pub fn new(seq: &'a [Base], model: &'a EnergyModel) -> Self {
+        assert!(
+            model.max_internal <= ON_ENGINE_MAX_INTERNAL,
+            "on-engine fold supports internal loops up to {ON_ENGINE_MAX_INTERNAL}, model asks for {}",
+            model.max_internal
+        );
+        Self {
+            ring: ZkRing {
+                multi_unpaired: model.multi_unpaired,
+            },
+            seq,
+            model,
+        }
+    }
+}
+
+impl Recurrence for ZukerRec<'_> {
+    type Ring = ZkRing;
+
+    fn ring(&self) -> &ZkRing {
+        &self.ring
+    }
+
+    fn side(&self) -> usize {
+        self.seq.len() + 1
+    }
+
+    fn seed(&self, i: usize, j: usize) -> ZkElem {
+        if j == i + 1 {
+            ZkElem::BASE
+        } else {
+            ZkElem::ABSENT
+        }
+    }
+
+    /// Assemble `V(i, j-1)` from the reduced tracks, then fold it back
+    /// into `wm` (`v + b`) and `w` — the only place the sequence and the
+    /// full energy model are consulted.
+    fn finalize(&self, i: usize, j: usize, acc: ZkElem) -> ZkElem {
+        if j == i + 1 {
+            return acc;
+        }
+        let m = self.model;
+        let seq = self.seq;
+        let span = j - i;
+        let mut e = acc.clamped();
+        debug_assert_eq!(e.span as usize, span, "span track corrupted at ({i},{j})");
+
+        let (a, b) = (i, j - 1); // the closing pair, in classic coordinates
+        let mut v = INF;
+        if m.can_pair(seq[a], seq[b]) {
+            let mut best = m.hairpin(span - 2);
+            if span >= 4 {
+                // Stack: inner pair hugs the closing pair. `win(1,1) < INF`
+                // implies the inner bases can pair, so `stack` is safe.
+                let inner = e.win(1, 1);
+                if inner < INF {
+                    best = best.min(inner + m.stack(seq[a], seq[b], seq[a + 1], seq[b - 1]));
+                }
+                // Bounded internal loops / bulges.
+                for l1 in 0..=m.max_internal {
+                    for l2 in 0..=m.max_internal - l1 {
+                        if l1 + l2 == 0 || l1 + l2 + 4 > span {
+                            continue;
+                        }
+                        let inner = e.win(l1 + 1, l2 + 1);
+                        if inner < INF {
+                            best = best.min(inner + m.internal(l1, l2));
+                        }
+                    }
+                }
+                // Multibranch: closing penalty + the closing pair's branch
+                // + the two-part branched interior reduced into `mb`.
+                if e.mb < INF {
+                    best = best.min(m.multi_close() + m.multi_branch + e.mb);
+                }
+            }
+            v = best.min(INF);
+        }
+        e.v = v;
+        if v < INF {
+            e.wm = e.wm.min(v + m.multi_branch);
+            e.w = e.w.min(v);
+        }
+        e
+    }
+}
+
+/// Fold the whole Zuker recursion — multibranch included — on `engine`,
+/// returning the same tables as [`crate::fold::fold_exact`].
+pub fn fold_on_engine<E: SolveRecurrence + ?Sized>(
+    seq: &[Base],
+    model: &EnergyModel,
+    engine: &E,
+    ctx: &ExecContext,
+) -> Result<FoldResult, npdp_core::SolveError> {
+    let n = seq.len();
+    let rec = ZukerRec::new(seq, model);
+    let (d, _) = engine.solve_recurrence(&rec, ctx)?;
+    let w = TriangularMatrix::from_fn(n + 1, |i, j| d.get(i, j).w);
+    let v = VTable::from_fn(n, |i, j| d.get(i, j + 1).v);
+    let mut wm = vec![INF; n * n];
+    for i in 0..n {
+        for j in i + 1..n {
+            wm[i * n + j] = d.get(i, j + 1).wm;
+        }
+    }
+    let energy = if n == 0 { 0 } else { w.get(0, n).min(0) };
+    Ok(FoldResult {
+        energy,
+        w,
+        v,
+        wm: Some(wm),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fold::fold_exact;
+    use crate::sequence::{hairpin_sequence, random_sequence, to_string};
+    use npdp_core::{BlockedEngine, ParallelEngine, SerialEngine, SimdEngine};
+
+    fn bounded_model() -> EnergyModel {
+        EnergyModel {
+            max_internal: ON_ENGINE_MAX_INTERNAL,
+            ..Default::default()
+        }
+    }
+
+    fn assert_tables_match(seq: &[Base], model: &EnergyModel, got: &FoldResult, what: &str) {
+        let n = seq.len();
+        let exact = fold_exact(seq, model);
+        assert_eq!(
+            got.energy,
+            exact.energy,
+            "{what}: energy ({})",
+            to_string(seq)
+        );
+        assert_eq!(
+            got.w.first_difference(&exact.w),
+            None,
+            "{what}: W table ({})",
+            to_string(seq)
+        );
+        for i in 0..n {
+            for j in i + 1..n {
+                assert_eq!(
+                    got.v.get(i, j),
+                    exact.v.get(i, j),
+                    "{what}: V({i},{j}) ({})",
+                    to_string(seq)
+                );
+            }
+        }
+        let exact_wm = exact.wm.as_ref().expect("fold_exact returns WM");
+        let got_wm = got.wm.as_ref().expect("on-engine fold returns WM");
+        for i in 0..n {
+            for j in i + 1..n {
+                assert_eq!(
+                    got_wm[i * n + j],
+                    exact_wm[i * n + j],
+                    "{what}: WM({i},{j}) ({})",
+                    to_string(seq)
+                );
+            }
+        }
+    }
+
+    /// Satellite cross-check: the on-engine fold equals `fold_exact` —
+    /// energy, `W`, `V` and `WM`, exact integer equality — on random
+    /// sequences across every engine tier.
+    #[test]
+    fn on_engine_fold_matches_fold_exact() {
+        let m = bounded_model();
+        let ctx = ExecContext::disabled();
+        for seed in 0..8u64 {
+            let n = [2usize, 5, 9, 17, 26, 33, 41, 54][seed as usize % 8];
+            let seq = random_sequence(n, seed * 7 + 1);
+            let serial = fold_on_engine(&seq, &m, &SerialEngine, &ctx).unwrap();
+            assert_tables_match(&seq, &m, &serial, "serial");
+            let blocked = fold_on_engine(&seq, &m, &BlockedEngine::new(8), &ctx).unwrap();
+            assert_tables_match(&seq, &m, &blocked, "blocked");
+            let simd = fold_on_engine(&seq, &m, &SimdEngine::new(8), &ctx).unwrap();
+            assert_tables_match(&seq, &m, &simd, "simd");
+            let par = fold_on_engine(&seq, &m, &ParallelEngine::new(8, 2, 4), &ctx).unwrap();
+            assert_tables_match(&seq, &m, &par, "parallel");
+        }
+    }
+
+    /// The multibranch term must actually fire: a sequence with two stable
+    /// hairpins side by side inside an enclosing stem folds to a multiloop,
+    /// and on-engine still matches exact.
+    #[test]
+    fn multibranch_structures_match() {
+        let m = bounded_model();
+        let ctx = ExecContext::disabled();
+        // Two hairpins concatenated: the W closure must branch.
+        let mut seq = hairpin_sequence(5, 4, 3);
+        seq.extend(hairpin_sequence(5, 4, 8));
+        let exact = fold_exact(&seq, &m);
+        let on = fold_on_engine(&seq, &m, &SimdEngine::new(8), &ctx).unwrap();
+        assert_eq!(on.energy, exact.energy);
+        assert!(on.energy < 0, "two stable hairpins must fold");
+        assert_tables_match(&seq, &m, &on, "two-hairpin");
+        // The exact fold's multibranch candidates are live for some cell:
+        // WM must be finite somewhere (a branched interior exists).
+        let wm = on.wm.as_ref().unwrap();
+        assert!(
+            wm.iter().any(|&x| x < INF),
+            "WM never became finite — multibranch path untested"
+        );
+    }
+
+    #[test]
+    fn empty_and_single_base_sequences() {
+        let m = bounded_model();
+        let ctx = ExecContext::disabled();
+        let empty = fold_on_engine(&[], &m, &SerialEngine, &ctx).unwrap();
+        assert_eq!(empty.energy, 0);
+        let one = fold_on_engine(&[Base::A], &m, &SerialEngine, &ctx).unwrap();
+        assert_eq!(one.energy, 0);
+        assert_eq!(one.w.get(0, 1), 0);
+    }
+
+    #[test]
+    fn hairpin_folds_negative_on_engine() {
+        let m = bounded_model();
+        let ctx = ExecContext::disabled();
+        let seq = hairpin_sequence(6, 4, 1);
+        let r = fold_on_engine(&seq, &m, &ParallelEngine::new(8, 2, 3), &ctx).unwrap();
+        assert!(r.energy < 0, "stable hairpin must fold, got {}", r.energy);
+        assert_tables_match(&seq, &m, &r, "hairpin");
+    }
+
+    #[test]
+    #[should_panic(expected = "on-engine fold supports internal loops")]
+    fn rejects_oversized_internal_loop_bound() {
+        let m = EnergyModel::default(); // max_internal = 30
+        let _ = ZukerRec::new(&[Base::A, Base::U], &m);
+    }
+
+    /// Padding law for the composite ring: any once- or twice-padded
+    /// element keeps every track at least `INF / 2`, so the finalize clamp
+    /// restores exact `INF` and padded blocks can never beat a real cell.
+    #[test]
+    fn padding_law_for_zk_ring() {
+        let ring = ZkRing { multi_unpaired: 3 };
+        let zero = ring.zero();
+        let mut real = ZkElem::BASE;
+        real.v = -120;
+        real.wm = -80;
+        real.wm2 = -60;
+        for padded in [
+            zero,
+            ring.extend(zero, real),
+            ring.extend(real, zero),
+            ring.extend(ring.extend(zero, real), ring.extend(real, zero)),
+        ] {
+            for (name, x) in [
+                ("span", padded.span),
+                ("w", padded.w),
+                ("v", padded.v),
+                ("wm", padded.wm),
+                ("wm2", padded.wm2),
+                ("wm2_tr", padded.wm2_tr),
+                ("mb", padded.mb),
+            ] {
+                assert!(x >= INF / 2, "padded track {name} dipped to {x}");
+            }
+            for (idx, &x) in padded.win.iter().enumerate() {
+                assert!(x >= INF / 2, "padded win[{idx}] dipped to {x}");
+            }
+            let both = ring.combine(real, padded);
+            assert_eq!(both.w, real.w);
+            assert_eq!(both.v, real.v);
+        }
+    }
+}

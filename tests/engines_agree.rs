@@ -282,6 +282,138 @@ mod metrics_invariants {
     }
 }
 
+mod generic_recurrence_path {
+    use npdp::core::problem;
+    use npdp::core::recurrence::ClosureRec;
+    use npdp::prelude::*;
+    use proptest::prelude::*;
+
+    /// The tentpole acceptance gate: min-plus routed through the generic
+    /// `Recurrence`/`Semiring` path is **bit-identical** to the hardcoded
+    /// engines on every tier — serial, blocked, SIMD — and the parallel
+    /// tier under all four scheduler disciplines.
+    #[test]
+    fn generic_min_plus_bit_identical_across_engines_and_schedulers() {
+        for n in [1usize, 13, 47, 96, 150] {
+            let seeds = problem::random_seeds_f32(n, 100.0, n as u64);
+            let reference = SerialEngine.solve(&seeds);
+            let rec = ClosureRec::new(MinPlus::<f32>::new(), &seeds);
+            let ctx = ExecContext::disabled();
+
+            let mut runs: Vec<(String, TriangularMatrix<f32>)> = vec![
+                (
+                    "serial".into(),
+                    SerialEngine.solve_recurrence(&rec, &ctx).unwrap().0,
+                ),
+                (
+                    "blocked-8".into(),
+                    BlockedEngine::new(8)
+                        .solve_recurrence(&rec, &ctx)
+                        .unwrap()
+                        .0,
+                ),
+                (
+                    "blocked-16".into(),
+                    BlockedEngine::new(16)
+                        .solve_recurrence(&rec, &ctx)
+                        .unwrap()
+                        .0,
+                ),
+                (
+                    "simd-8".into(),
+                    SimdEngine::new(8).solve_recurrence(&rec, &ctx).unwrap().0,
+                ),
+                (
+                    "simd-16".into(),
+                    SimdEngine::new(16).solve_recurrence(&rec, &ctx).unwrap().0,
+                ),
+            ];
+            for scheduler in [
+                Scheduler::CentralQueue,
+                Scheduler::WorkStealing,
+                Scheduler::LocalityBatched,
+                Scheduler::pipelined(),
+            ] {
+                runs.push((
+                    format!("parallel/{scheduler:?}"),
+                    ParallelEngine::new(8, 2, 4)
+                        .with_scheduler(scheduler)
+                        .solve_recurrence(&rec, &ctx)
+                        .unwrap()
+                        .0,
+                ));
+            }
+            for (name, got) in &runs {
+                assert_eq!(
+                    reference.first_difference(got),
+                    None,
+                    "generic path {name} diverged at n={n}"
+                );
+            }
+        }
+    }
+
+    /// Autotuned block selection on the generic path agrees with the fixed
+    /// spelling (the block side never changes the math).
+    #[test]
+    fn generic_path_autotuned_matches_fixed() {
+        let seeds = problem::random_seeds_f32(128, 100.0, 77);
+        let rec = ClosureRec::new(MinPlus::<f32>::new(), &seeds);
+        let fixed = ParallelEngine::new(16, 2, 4)
+            .solve_recurrence(&rec, &ExecContext::disabled())
+            .unwrap()
+            .0;
+        let tuned = ParallelEngine::new(16, 2, 4)
+            .solve_recurrence(&rec, &ExecContext::disabled().autotuned())
+            .unwrap()
+            .0;
+        assert_eq!(fixed.first_difference(&tuned), None);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Property: for arbitrary sizes, block sides, worker counts and
+        /// sparse seeds, the generic parallel tier equals the hardcoded
+        /// serial engine exactly — same shape as `prop_parallel_equals_serial`
+        /// but routed through `solve_recurrence`.
+        #[test]
+        fn prop_generic_parallel_equals_serial(
+            n in 1usize..120,
+            nb_pow in 0u32..3,
+            sb in 1usize..4,
+            workers in 1usize..9,
+            density in 0.05f64..1.0,
+            seed in any::<u64>(),
+        ) {
+            let nb = 8usize << nb_pow;
+            let seeds = problem::sparse_seeds_f32(n, density, seed);
+            let reference = SerialEngine.solve(&seeds);
+            let rec = ClosureRec::new(MinPlus::<f32>::new(), &seeds);
+            let (got, _) = ParallelEngine::new(nb, sb, workers)
+                .solve_recurrence(&rec, &ExecContext::disabled())
+                .unwrap();
+            prop_assert_eq!(reference.first_difference(&got), None);
+        }
+
+        /// Property: generic f64 path (F64x2 SIMD tiles through
+        /// `Semiring::tile4`) equals the hardcoded engines.
+        #[test]
+        fn prop_generic_f64_matches_engine(
+            n in 1usize..100,
+            seed in any::<u64>(),
+        ) {
+            let seeds = problem::random_seeds_f64(n, 10.0, seed);
+            let reference = SimdEngine::new(8).solve(&seeds);
+            let rec = ClosureRec::new(MinPlus::<f64>::new(), &seeds);
+            let (got, _) = SimdEngine::new(8)
+                .solve_recurrence(&rec, &ExecContext::disabled())
+                .unwrap();
+            prop_assert_eq!(reference.first_difference(&got), None);
+        }
+    }
+}
+
 mod more_invariants {
     use npdp::cell::functional_cellnpdp_multi_spe;
     use npdp::core::problem;
